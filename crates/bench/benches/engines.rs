@@ -1,0 +1,53 @@
+//! Criterion benchmarks: simulation throughput of the two training
+//! engines (how fast the harness itself can sweep the paper's grid).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gp_cluster::ClusterSpec;
+use gp_core::config::PaperParams;
+use gp_distdgl::{DistDglConfig, DistDglEngine};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_graph::{DatasetId, GraphScale, VertexSplit};
+use gp_partition::prelude::*;
+use gp_tensor::ModelKind;
+
+fn bench_distgnn_simulation(c: &mut Criterion) {
+    let graph = DatasetId::OR.generate(GraphScale::Tiny).expect("preset valid");
+    let partition = Hdrf::default().partition_edges(&graph, 8, 1).expect("valid");
+    let config = DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), ClusterSpec::paper(8));
+    let engine = DistGnnEngine::new(&graph, &partition, config).expect("valid");
+    c.bench_function("distgnn_simulate_epoch", |b| {
+        b.iter(|| black_box(engine.simulate_epoch()));
+    });
+}
+
+fn bench_distdgl_sampling(c: &mut Criterion) {
+    let graph = DatasetId::OR.generate(GraphScale::Tiny).expect("preset valid");
+    let split = VertexSplit::paper_default(graph.num_vertices(), 1).expect("valid");
+    let partition = Metis::default().partition_vertices(&graph, 8, 1).expect("valid");
+    let mut config = DistDglConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(8),
+    );
+    config.global_batch_size = 256;
+    let engine = DistDglEngine::new(&graph, &partition, &split, config).expect("valid");
+    c.bench_function("distdgl_sample_epoch", |b| {
+        b.iter(|| black_box(engine.sample_epoch(0)));
+    });
+    c.bench_function("distdgl_simulate_epoch", |b| {
+        b.iter(|| black_box(engine.simulate_epoch(0)));
+    });
+}
+
+fn bench_engine_setup(c: &mut Criterion) {
+    let graph = DatasetId::OR.generate(GraphScale::Tiny).expect("preset valid");
+    let partition = Hep::hep100().partition_edges(&graph, 8, 1).expect("valid");
+    let config = DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), ClusterSpec::paper(8));
+    c.bench_function("distgnn_engine_build", |b| {
+        b.iter(|| black_box(DistGnnEngine::new(&graph, &partition, config).expect("valid")));
+    });
+}
+
+criterion_group!(benches, bench_distgnn_simulation, bench_distdgl_sampling, bench_engine_setup);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks: partitioning throughput of all 12 algorithms
+//! (the raw-speed complement of the paper's Figures 6 and 15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gp_core::registry;
+use gp_graph::{DatasetId, GraphScale};
+
+fn bench_edge_partitioners(c: &mut Criterion) {
+    let graph = DatasetId::OR.generate(GraphScale::Tiny).expect("preset valid");
+    let mut group = c.benchmark_group("edge_partitioners_or_tiny");
+    for &name in registry::edge_partitioner_names() {
+        let partitioner = registry::edge_partitioner(name).expect("registered");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| black_box(partitioner.partition_edges(g, 8, 42).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vertex_partitioners(c: &mut Criterion) {
+    let graph = DatasetId::OR.generate(GraphScale::Tiny).expect("preset valid");
+    let mut group = c.benchmark_group("vertex_partitioners_or_tiny");
+    // KaHIP runs multiple repetitions: give the group a little headroom.
+    group.sample_size(20);
+    for &name in registry::vertex_partitioner_names() {
+        let partitioner = registry::vertex_partitioner(name, None).expect("registered");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, g| {
+            b.iter(|| black_box(partitioner.partition_vertices(g, 8, 42).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_partitioning_scaling(c: &mut Criterion) {
+    // HDRF cost grows with k (paper: "the complexity of the scoring
+    // function depends on the number of partitions").
+    let graph = DatasetId::EU.generate(GraphScale::Tiny).expect("preset valid");
+    let hdrf = registry::edge_partitioner("HDRF").expect("registered");
+    let mut group = c.benchmark_group("hdrf_vs_partition_count");
+    for k in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(hdrf.partition_edges(&graph, k, 42).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_edge_partitioners,
+    bench_vertex_partitioners,
+    bench_partitioning_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks: NN substrate throughput (matmul and the three
+//! GNN layer forward/backward passes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gp_tensor::init::{synthetic_features, xavier_uniform};
+use gp_tensor::layers::{GatLayer, GcnLayer, Layer, SageLayer};
+use gp_tensor::Aggregation;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_square");
+    for n in [32usize, 128, 256] {
+        let a = xavier_uniform(n, n, 1);
+        let b = xavier_uniform(n, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+/// A bipartite block of 256 destinations over 1024 sources with ~8
+/// neighbours each — the shape of a sampled mini-batch layer.
+fn sample_block() -> Aggregation {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(3);
+    let lists: Vec<Vec<u32>> =
+        (0..256).map(|_| (0..8).map(|_| rng.random_range(0..1024u32)).collect()).collect();
+    Aggregation::from_lists(1024, &lists)
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let block = sample_block();
+    let x = synthetic_features(1024, 64, 5);
+    let mut group = c.benchmark_group("layer_forward_backward_64");
+    let mut layers: Vec<(&str, Box<dyn Layer>)> = vec![
+        ("sage", Box::new(SageLayer::new(64, 64, true, 1))),
+        ("gcn", Box::new(GcnLayer::new(64, 64, true, 1))),
+        ("gat", Box::new(GatLayer::new(64, 64, true, 1))),
+    ];
+    for (name, layer) in &mut layers {
+        group.bench_with_input(BenchmarkId::from_parameter(*name), &(), |bench, ()| {
+            bench.iter(|| {
+                let y = layer.forward(&block, &x);
+                black_box(layer.backward(&block, &y))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let block = sample_block();
+    let x = synthetic_features(1024, 128, 5);
+    c.bench_function("block_mean_aggregation_128", |b| {
+        b.iter(|| black_box(block.mean(&x)));
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_layers, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures all                      # everything, Small scale
+//! figures fig7 table4              # selected artifacts
+//! figures all --scale tiny         # quick smoke run
+//! figures all --out results/       # output directory
+//! ```
+
+use std::path::PathBuf;
+
+use gp_bench::{run_artifact, Ctx, ALL_ARTIFACTS};
+use gp_graph::GraphScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = GraphScale::Small;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("tiny") => GraphScale::Tiny,
+                    Some("small") => GraphScale::Small,
+                    Some("medium") => GraphScale::Medium,
+                    other => {
+                        eprintln!("unknown scale {other:?} (tiny|small|medium)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => out_dir = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--out requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let ctx = Ctx::new(scale, out_dir);
+    let total = ids.len();
+    for (n, id) in ids.iter().enumerate() {
+        let start = std::time::Instant::now();
+        eprintln!("[{}/{}] {id} ...", n + 1, total);
+        if !run_artifact(&ctx, id) {
+            eprintln!("unknown artifact {id:?}; known: {ALL_ARTIFACTS:?}");
+            std::process::exit(2);
+        }
+        eprintln!("[{}/{}] {id} done in {:.1?}", n + 1, total, start.elapsed());
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: figures <artifact>... [--scale tiny|small|medium] [--out DIR]");
+    eprintln!("artifacts: all {}", ALL_ARTIFACTS.join(" "));
+}

@@ -1,0 +1,424 @@
+//! Hand-rolled argument parsing (no external dependency needed for five
+//! subcommands).
+
+use std::path::PathBuf;
+
+use gp_graph::GraphScale;
+
+/// Usage text shown by `gnnpart help`.
+pub const USAGE: &str = "\
+gnnpart — partitioning strategies for distributed GNN training
+
+USAGE:
+    gnnpart <command> [options]
+
+COMMANDS:
+    generate <HW|DI|EN|EU|OR>   synthesise an analogue dataset
+        --scale tiny|small|medium   (default small)
+        --out FILE                  (default <id>.el)
+    stats <edge-list>           graph + degree statistics
+        --directed                  treat input as directed
+    partition <edge-list>       partition an edge list
+        --algo NAME                 partitioner (see `gnnpart list`);
+                                    the name Random resolves to the
+                                    edge (vertex-cut) variant
+        -k N                        number of partitions (default 8)
+        --seed N                    (default 42)
+        --directed                  treat input as directed
+        --out FILE                  write assignments (one id per line)
+    recommend <edge-list>       recommend the best partitioner
+        -k N                        machines (default 8)
+        --system distgnn|distdgl    (default distgnn)
+        --epochs N                  training budget (default 100)
+        --features N --hidden N --layers N   (default 64/64/3)
+        --directed                  treat input as directed
+    simulate <edge-list>        simulate one training epoch
+        --algo NAME                 partitioner (see `gnnpart list`)
+        -k N                        machines (default 8)
+        --system distgnn|distdgl    (default distgnn)
+        --model sage|gcn|gat        (distdgl only, default sage)
+        --features N --hidden N --layers N   (default 64/64/3)
+        --directed                  treat input as directed
+    list                        list the 12 partitioners
+    help                        this text
+";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `gnnpart generate`.
+    Generate(GenerateCmd),
+    /// `gnnpart stats`.
+    Stats(StatsCmd),
+    /// `gnnpart partition`.
+    Partition(PartitionCmd),
+    /// `gnnpart simulate`.
+    Simulate(SimulateCmd),
+    /// `gnnpart recommend`.
+    Recommend(RecommendCmd),
+    /// `gnnpart list`.
+    List,
+    /// `gnnpart help`.
+    Help,
+}
+
+/// Options of `gnnpart generate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateCmd {
+    /// Dataset id (HW/DI/EN/EU/OR).
+    pub dataset: String,
+    /// Size preset.
+    pub scale: GraphScale,
+    /// Output path (default `<id>.el`).
+    pub out: Option<PathBuf>,
+}
+
+/// Options of `gnnpart stats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsCmd {
+    /// Edge-list path.
+    pub input: PathBuf,
+    /// Whether the input is directed.
+    pub directed: bool,
+}
+
+/// Options of `gnnpart partition`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionCmd {
+    /// Edge-list path.
+    pub input: PathBuf,
+    /// Partitioner name.
+    pub algo: String,
+    /// Partition count.
+    pub k: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Whether the input is directed.
+    pub directed: bool,
+    /// Output assignment path.
+    pub out: Option<PathBuf>,
+}
+
+/// Options of `gnnpart simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateCmd {
+    /// Edge-list path.
+    pub input: PathBuf,
+    /// Partitioner name.
+    pub algo: String,
+    /// Machine count.
+    pub k: u32,
+    /// Which engine: `"distgnn"` or `"distdgl"`.
+    pub system: String,
+    /// Model kind (distdgl only).
+    pub model: String,
+    /// Feature dimension.
+    pub features: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Layer count.
+    pub layers: usize,
+    /// Whether the input is directed.
+    pub directed: bool,
+}
+
+/// Options of `gnnpart recommend`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendCmd {
+    /// Edge-list path.
+    pub input: PathBuf,
+    /// Machine count.
+    pub k: u32,
+    /// Which engine: `"distgnn"` or `"distdgl"`.
+    pub system: String,
+    /// Training budget in epochs.
+    pub epochs: u32,
+    /// Feature dimension.
+    pub features: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Layer count.
+    pub layers: usize,
+    /// Whether the input is directed.
+    pub directed: bool,
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// A tiny option cursor over the argument list.
+struct Opts {
+    args: Vec<String>,
+    cursor: usize,
+}
+
+impl Opts {
+    fn next(&mut self) -> Option<String> {
+        let v = self.args.get(self.cursor).cloned();
+        if v.is_some() {
+            self.cursor += 1;
+        }
+        v
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<String, ParseError> {
+        self.next().ok_or_else(|| ParseError(format!("{flag} requires a value")))
+    }
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    let mut opts = Opts { args: args.to_vec(), cursor: 0 };
+    let Some(cmd) = opts.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "generate" => parse_generate(&mut opts),
+        "stats" => parse_stats(&mut opts),
+        "partition" => parse_partition(&mut opts),
+        "simulate" => parse_simulate(&mut opts),
+        "recommend" => parse_recommend(&mut opts),
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => err(format!("unknown command {other:?}; try `gnnpart help`")),
+    }
+}
+
+fn parse_scale(s: &str) -> Result<GraphScale, ParseError> {
+    match s {
+        "tiny" => Ok(GraphScale::Tiny),
+        "small" => Ok(GraphScale::Small),
+        "medium" => Ok(GraphScale::Medium),
+        other => err(format!("unknown scale {other:?} (tiny|small|medium)")),
+    }
+}
+
+fn parse_generate(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(dataset) = opts.next() else {
+        return err("generate requires a dataset id (HW|DI|EN|EU|OR)");
+    };
+    let mut cmd =
+        GenerateCmd { dataset, scale: GraphScale::Small, out: None };
+    while let Some(flag) = opts.next() {
+        match flag.as_str() {
+            "--scale" => cmd.scale = parse_scale(&opts.value_for("--scale")?)?,
+            "--out" => cmd.out = Some(PathBuf::from(opts.value_for("--out")?)),
+            other => return err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Command::Generate(cmd))
+}
+
+fn parse_stats(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("stats requires an edge-list path");
+    };
+    let mut cmd = StatsCmd { input: PathBuf::from(input), directed: false };
+    while let Some(flag) = opts.next() {
+        match flag.as_str() {
+            "--directed" => cmd.directed = true,
+            other => return err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Command::Stats(cmd))
+}
+
+fn parse_partition(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("partition requires an edge-list path");
+    };
+    let mut cmd = PartitionCmd {
+        input: PathBuf::from(input),
+        algo: "HDRF".into(),
+        k: 8,
+        seed: 42,
+        directed: false,
+        out: None,
+    };
+    while let Some(flag) = opts.next() {
+        match flag.as_str() {
+            "--algo" => cmd.algo = opts.value_for("--algo")?,
+            "-k" => {
+                cmd.k = opts
+                    .value_for("-k")?
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad -k: {e}")))?;
+            }
+            "--seed" => {
+                cmd.seed = opts
+                    .value_for("--seed")?
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --seed: {e}")))?;
+            }
+            "--directed" => cmd.directed = true,
+            "--out" => cmd.out = Some(PathBuf::from(opts.value_for("--out")?)),
+            other => return err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Command::Partition(cmd))
+}
+
+fn parse_simulate(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("simulate requires an edge-list path");
+    };
+    let mut cmd = SimulateCmd {
+        input: PathBuf::from(input),
+        algo: "HDRF".into(),
+        k: 8,
+        system: "distgnn".into(),
+        model: "sage".into(),
+        features: 64,
+        hidden: 64,
+        layers: 3,
+        directed: false,
+    };
+    while let Some(flag) = opts.next() {
+        let numeric = |opts: &mut Opts, flag: &str| -> Result<usize, ParseError> {
+            opts.value_for(flag)?.parse().map_err(|e| ParseError(format!("bad {flag}: {e}")))
+        };
+        match flag.as_str() {
+            "--algo" => cmd.algo = opts.value_for("--algo")?,
+            "-k" => cmd.k = numeric(opts, "-k")? as u32,
+            "--system" => cmd.system = opts.value_for("--system")?,
+            "--model" => cmd.model = opts.value_for("--model")?,
+            "--features" => cmd.features = numeric(opts, "--features")?,
+            "--hidden" => cmd.hidden = numeric(opts, "--hidden")?,
+            "--layers" => cmd.layers = numeric(opts, "--layers")?,
+            "--directed" => cmd.directed = true,
+            other => return err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Command::Simulate(cmd))
+}
+
+fn parse_recommend(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("recommend requires an edge-list path");
+    };
+    let mut cmd = RecommendCmd {
+        input: PathBuf::from(input),
+        k: 8,
+        system: "distgnn".into(),
+        epochs: 100,
+        features: 64,
+        hidden: 64,
+        layers: 3,
+        directed: false,
+    };
+    while let Some(flag) = opts.next() {
+        let numeric = |opts: &mut Opts, flag: &str| -> Result<usize, ParseError> {
+            opts.value_for(flag)?.parse().map_err(|e| ParseError(format!("bad {flag}: {e}")))
+        };
+        match flag.as_str() {
+            "-k" => cmd.k = numeric(opts, "-k")? as u32,
+            "--system" => cmd.system = opts.value_for("--system")?,
+            "--epochs" => cmd.epochs = numeric(opts, "--epochs")? as u32,
+            "--features" => cmd.features = numeric(opts, "--features")?,
+            "--hidden" => cmd.hidden = numeric(opts, "--hidden")?,
+            "--layers" => cmd.layers = numeric(opts, "--layers")?,
+            "--directed" => cmd.directed = true,
+            other => return err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Command::Recommend(cmd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, ParseError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_args(&v)
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert_eq!(parse(&["help"]), Ok(Command::Help));
+    }
+
+    #[test]
+    fn generate_defaults() {
+        let Command::Generate(c) = parse(&["generate", "OR"]).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.dataset, "OR");
+        assert_eq!(c.scale, GraphScale::Small);
+        assert_eq!(c.out, None);
+    }
+
+    #[test]
+    fn generate_with_options() {
+        let Command::Generate(c) =
+            parse(&["generate", "DI", "--scale", "tiny", "--out", "x.el"]).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.scale, GraphScale::Tiny);
+        assert_eq!(c.out, Some(PathBuf::from("x.el")));
+    }
+
+    #[test]
+    fn partition_options() {
+        let Command::Partition(c) = parse(&[
+            "partition", "g.el", "--algo", "HEP-100", "-k", "16", "--seed", "7", "--directed",
+        ])
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.algo, "HEP-100");
+        assert_eq!(c.k, 16);
+        assert_eq!(c.seed, 7);
+        assert!(c.directed);
+    }
+
+    #[test]
+    fn simulate_options() {
+        let Command::Simulate(c) = parse(&[
+            "simulate", "g.el", "--system", "distdgl", "--model", "gat", "--features", "512",
+        ])
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.system, "distdgl");
+        assert_eq!(c.model, "gat");
+        assert_eq!(c.features, 512);
+        assert_eq!(c.layers, 3);
+    }
+
+    #[test]
+    fn recommend_options() {
+        let Command::Recommend(c) =
+            parse(&["recommend", "g.el", "--epochs", "50", "--system", "distdgl"]).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.epochs, 50);
+        assert_eq!(c.system, "distdgl");
+        assert_eq!(c.k, 8);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse(&["frobnicate"]).unwrap_err().0.contains("unknown command"));
+        assert!(parse(&["generate"]).unwrap_err().0.contains("dataset id"));
+        assert!(parse(&["partition", "g.el", "-k"]).unwrap_err().0.contains("requires a value"));
+        assert!(parse(&["partition", "g.el", "-k", "zz"]).unwrap_err().0.contains("bad -k"));
+        assert!(parse(&["generate", "OR", "--scale", "huge"]).unwrap_err().0.contains("unknown scale"));
+    }
+}

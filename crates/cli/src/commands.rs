@@ -1,0 +1,380 @@
+//! Command implementations.
+
+use std::error::Error;
+use std::io::Write;
+use std::path::Path;
+
+use gp_cluster::ClusterSpec;
+use gp_core::registry;
+use gp_distdgl::{DistDglConfig, DistDglEngine};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_graph::{edgelist, DatasetId, DegreeStats, Graph, VertexSplit};
+use gp_tensor::{ModelConfig, ModelKind};
+
+use crate::args::{GenerateCmd, PartitionCmd, RecommendCmd, SimulateCmd, StatsCmd};
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// `gnnpart generate`.
+pub fn generate(cmd: GenerateCmd) -> CmdResult {
+    let id = DatasetId::parse(&cmd.dataset)
+        .ok_or_else(|| format!("unknown dataset {:?} (HW|DI|EN|EU|OR)", cmd.dataset))?;
+    let graph = id.generate(cmd.scale)?;
+    let out = cmd
+        .out
+        .unwrap_or_else(|| format!("{}.el", id.name().to_lowercase()).into());
+    edgelist::write_edge_list_file(&graph, &out)?;
+    println!(
+        "{}: |V| = {}, |E| = {}, directed = {} -> {}",
+        id.name(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.is_directed(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn load(path: &Path, directed: bool) -> Result<Graph, Box<dyn Error>> {
+    Ok(edgelist::read_edge_list_file(path, directed)?)
+}
+
+/// `gnnpart stats`.
+pub fn stats(cmd: StatsCmd) -> CmdResult {
+    let graph = load(&cmd.input, cmd.directed)?;
+    let s = DegreeStats::compute(&graph);
+    println!("vertices:      {}", graph.num_vertices());
+    println!("edges:         {}", graph.num_edges());
+    println!("directed:      {}", graph.is_directed());
+    println!("mean degree:   {:.2}", s.mean);
+    println!("median degree: {}", s.median);
+    println!("max degree:    {}", s.max);
+    println!("p99 degree:    {}", s.p99);
+    println!("degree gini:   {:.3}", s.gini);
+    println!("heavy tailed:  {}", s.is_heavy_tailed(5.0));
+    if graph.num_vertices() > 0 {
+        use gp_graph::algo;
+        let (_, components) = algo::connected_components(&graph);
+        println!("components:    {components}");
+        println!("largest comp:  {}", algo::largest_component_size(&graph));
+        println!("diameter >=:   {}", algo::diameter_lower_bound(&graph, 0));
+        println!("clustering:    {:.4}", algo::clustering_coefficient(&graph, 500));
+    }
+    Ok(())
+}
+
+/// `gnnpart partition`.
+pub fn partition(cmd: PartitionCmd) -> CmdResult {
+    let graph = load(&cmd.input, cmd.directed)?;
+    let start = std::time::Instant::now();
+    // Try edge partitioners first, then vertex partitioners.
+    if let Some(p) = registry::edge_partitioner(&cmd.algo) {
+        let part = p.partition_edges(&graph, cmd.k, cmd.seed)?;
+        let elapsed = start.elapsed();
+        println!("edge partitioning (vertex-cut) with {} into {} parts", p.name(), cmd.k);
+        println!("replication factor: {:.3}", part.replication_factor());
+        println!("edge balance:       {:.3}", part.edge_balance());
+        println!("vertex balance:     {:.3}", part.vertex_balance());
+        println!("time:               {elapsed:.2?}");
+        if let Some(out) = cmd.out {
+            write_assignments(&out, part.assignments())?;
+            println!("assignments (per edge, canonical order) -> {}", out.display());
+        }
+    } else if let Some(p) = registry::vertex_partitioner(&cmd.algo, None) {
+        let part = p.partition_vertices(&graph, cmd.k, cmd.seed)?;
+        let elapsed = start.elapsed();
+        println!("vertex partitioning (edge-cut) with {} into {} parts", p.name(), cmd.k);
+        println!("edge-cut ratio:  {:.4}", part.edge_cut_ratio());
+        println!("vertex balance:  {:.3}", part.vertex_balance());
+        println!("time:            {elapsed:.2?}");
+        if let Some(out) = cmd.out {
+            write_assignments(&out, part.assignments())?;
+            println!("assignments (per vertex) -> {}", out.display());
+        }
+    } else {
+        return Err(format!(
+            "unknown partitioner {:?}; run `gnnpart list` for the roster",
+            cmd.algo
+        )
+        .into());
+    }
+    Ok(())
+}
+
+fn write_assignments(path: &Path, assignments: &[u32]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for &a in assignments {
+        writeln!(f, "{a}")?;
+    }
+    f.flush()
+}
+
+/// `gnnpart simulate`.
+pub fn simulate(cmd: SimulateCmd) -> CmdResult {
+    let graph = load(&cmd.input, cmd.directed)?;
+    let kind = ModelKind::parse(&cmd.model)
+        .ok_or_else(|| format!("unknown model {:?} (sage|gcn|gat)", cmd.model))?;
+    let model = ModelConfig {
+        kind,
+        feature_dim: cmd.features,
+        hidden_dim: cmd.hidden,
+        num_layers: cmd.layers,
+        num_classes: 16,
+        seed: 0,
+    };
+    match cmd.system.as_str() {
+        "distgnn" => {
+            let p = registry::edge_partitioner(&cmd.algo)
+                .ok_or_else(|| format!("{:?} is not an edge partitioner", cmd.algo))?;
+            let part = p.partition_edges(&graph, cmd.k, 42)?;
+            let config = DistGnnConfig::paper(model, ClusterSpec::paper(cmd.k));
+            let report = DistGnnEngine::new(&graph, &part, config)?.simulate_epoch();
+            println!("DistGNN (full-batch) on {} machines with {}", cmd.k, p.name());
+            println!("replication factor: {:.3}", part.replication_factor());
+            println!("epoch time:         {:.3} ms", report.epoch_time() * 1e3);
+            println!("  forward:          {:.3} ms", report.phases.forward * 1e3);
+            println!("  backward:         {:.3} ms", report.phases.backward * 1e3);
+            println!("  replica sync:     {:.3} ms", report.phases.sync * 1e3);
+            println!("  optimiser:        {:.3} ms", report.phases.optimizer * 1e3);
+            println!(
+                "network traffic:    {:.2} MB",
+                report.counters.total_network_bytes() as f64 / 1e6
+            );
+            println!("cluster memory:     {:.2} MB", report.total_memory() as f64 / 1e6);
+            if report.any_oom() {
+                println!("WARNING: machines {:?} exceed installed memory", report.oom_machines);
+            }
+        }
+        "distdgl" => {
+            let p = registry::vertex_partitioner(&cmd.algo, None)
+                .ok_or_else(|| format!("{:?} is not a vertex partitioner", cmd.algo))?;
+            let part = p.partition_vertices(&graph, cmd.k, 42)?;
+            let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
+            let config = DistDglConfig::paper(model, ClusterSpec::paper(cmd.k));
+            let engine = DistDglEngine::new(&graph, &part, &split, config)?;
+            let summary = engine.simulate_epoch(0);
+            println!("DistDGL (mini-batch) on {} machines with {}", cmd.k, p.name());
+            println!("edge-cut ratio:  {:.4}", part.edge_cut_ratio());
+            println!("steps/epoch:     {}", summary.steps);
+            println!("epoch time:      {:.3} ms", summary.epoch_time() * 1e3);
+            println!("  sampling:      {:.3} ms", summary.phases.sampling * 1e3);
+            println!("  feature load:  {:.3} ms", summary.phases.feature_load * 1e3);
+            println!("  forward:       {:.3} ms", summary.phases.forward * 1e3);
+            println!("  backward:      {:.3} ms", summary.phases.backward * 1e3);
+            println!(
+                "remote vertices: {} / {}",
+                summary.total_remote_vertices, summary.total_input_vertices
+            );
+            println!(
+                "network traffic: {:.2} MB",
+                summary.counters.total_network_bytes() as f64 / 1e6
+            );
+        }
+        other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
+    }
+    Ok(())
+}
+
+/// `gnnpart recommend`.
+pub fn recommend(cmd: RecommendCmd) -> CmdResult {
+    use gp_core::advisor;
+    use gp_core::config::PaperParams;
+    let graph = load(&cmd.input, cmd.directed)?;
+    let params = PaperParams {
+        feature_size: cmd.features,
+        hidden_dim: cmd.hidden,
+        num_layers: cmd.layers,
+    };
+    let rec = match cmd.system.as_str() {
+        "distgnn" => advisor::recommend_edge_partitioner(&graph, cmd.k, params, cmd.epochs),
+        "distdgl" => {
+            let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
+            advisor::recommend_vertex_partitioner(
+                &graph,
+                &split,
+                cmd.k,
+                params,
+                ModelKind::Sage,
+                1024,
+                cmd.epochs,
+            )
+        }
+        other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
+    };
+    println!(
+        "Best partitioner for {} epochs of {} training on {} machines: {}",
+        cmd.epochs,
+        cmd.system,
+        cmd.k,
+        rec.best().name
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>14}",
+        "name", "part time s", "epoch ms", "speedup", "net saving s"
+    );
+    for c in &rec.ranked {
+        println!(
+            "{:<10} {:>12.4} {:>12.3} {:>9.2} {:>14.3}",
+            c.name,
+            c.partition_seconds,
+            c.epoch_seconds * 1e3,
+            c.speedup,
+            c.net_saving
+        );
+    }
+    Ok(())
+}
+
+/// `gnnpart list`.
+pub fn list() {
+    println!("edge partitioners (vertex-cut), for --system distgnn:");
+    for name in registry::edge_partitioner_names() {
+        println!("  {name}");
+    }
+    println!("vertex partitioners (edge-cut), for --system distdgl:");
+    for name in registry::vertex_partitioner_names() {
+        println!("  {name}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::GraphScale;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gp_cli_test_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn generate_stats_partition_roundtrip() {
+        let el = tmp("g.el");
+        generate(GenerateCmd {
+            dataset: "DI".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        stats(StatsCmd { input: el.clone(), directed: true }).unwrap();
+
+        let out = tmp("p.txt");
+        partition(PartitionCmd {
+            input: el.clone(),
+            algo: "METIS".into(),
+            k: 4,
+            seed: 1,
+            directed: true,
+            out: Some(out.clone()),
+        })
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let ids: Vec<u32> = text.lines().map(|l| l.parse().unwrap()).collect();
+        assert!(ids.iter().all(|&p| p < 4));
+        let _ = std::fs::remove_file(el);
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn simulate_both_systems() {
+        let el = tmp("s.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        simulate(SimulateCmd {
+            input: el.clone(),
+            algo: "HDRF".into(),
+            k: 4,
+            system: "distgnn".into(),
+            model: "sage".into(),
+            features: 16,
+            hidden: 16,
+            layers: 2,
+            directed: false,
+        })
+        .unwrap();
+        simulate(SimulateCmd {
+            input: el.clone(),
+            algo: "METIS".into(),
+            k: 4,
+            system: "distdgl".into(),
+            model: "gcn".into(),
+            features: 16,
+            hidden: 16,
+            layers: 2,
+            directed: false,
+        })
+        .unwrap();
+        let _ = std::fs::remove_file(el);
+    }
+
+    #[test]
+    fn recommend_runs() {
+        let el = tmp("r.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        recommend(RecommendCmd {
+            input: el.clone(),
+            k: 4,
+            system: "distgnn".into(),
+            epochs: 100,
+            features: 16,
+            hidden: 16,
+            layers: 2,
+            directed: false,
+        })
+        .unwrap();
+        let _ = std::fs::remove_file(el);
+    }
+
+    #[test]
+    fn bad_inputs_error() {
+        assert!(generate(GenerateCmd {
+            dataset: "XX".into(),
+            scale: GraphScale::Tiny,
+            out: None
+        })
+        .is_err());
+        assert!(stats(StatsCmd { input: "/nonexistent/file.el".into(), directed: false }).is_err());
+        assert!(partition(PartitionCmd {
+            input: "/nonexistent/file.el".into(),
+            algo: "HDRF".into(),
+            k: 4,
+            seed: 1,
+            directed: false,
+            out: None
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn wrong_partitioner_kind_for_system() {
+        let el = tmp("w.el");
+        generate(GenerateCmd {
+            dataset: "DI".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        // METIS is a vertex partitioner; distgnn needs an edge partitioner.
+        let r = simulate(SimulateCmd {
+            input: el.clone(),
+            algo: "METIS".into(),
+            k: 4,
+            system: "distgnn".into(),
+            model: "sage".into(),
+            features: 16,
+            hidden: 16,
+            layers: 2,
+            directed: true,
+        });
+        assert!(r.is_err());
+        let _ = std::fs::remove_file(el);
+    }
+}

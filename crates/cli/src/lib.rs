@@ -1,0 +1,46 @@
+//! # gp-cli — the `gnnpart` command-line tool
+//!
+//! A practitioner-facing front end to the library:
+//!
+//! ```text
+//! gnnpart generate OR --scale small --out or.el       # synthesise a dataset
+//! gnnpart stats or.el                                  # degree statistics
+//! gnnpart partition or.el --algo HDRF -k 8 --out p.txt # partition an edge list
+//! gnnpart simulate or.el --algo METIS -k 8 --system distdgl
+//! gnnpart recommend or.el -k 8 --epochs 200               # best partitioner
+//! gnnpart list                                         # available partitioners
+//! ```
+//!
+//! All commands work on plain-text edge lists (`u v` per line, `#`
+//! comments), the format used by SNAP and KONECT dumps.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParseError};
+
+/// Run a parsed command; returns a process exit code.
+pub fn run(command: Command) -> i32 {
+    let result = match command {
+        Command::Generate(c) => commands::generate(c),
+        Command::Stats(c) => commands::stats(c),
+        Command::Partition(c) => commands::partition(c),
+        Command::Simulate(c) => commands::simulate(c),
+        Command::Recommend(c) => commands::recommend(c),
+        Command::List => {
+            commands::list();
+            Ok(())
+        }
+        Command::Help => {
+            print!("{}", args::USAGE);
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! `gnnpart` binary entry point.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gp_cli::parse_args(&args) {
+        Ok(command) => std::process::exit(gp_cli::run(command)),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("try `gnnpart help`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Black-box end-to-end tests: spawn the real `gnnpart` binary and
+//! assert on its stdout/stderr/exit codes, exactly as a shell user
+//! would experience it.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn gnnpart(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gnnpart"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gnnpart_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = gnnpart(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["generate", "stats", "partition", "simulate", "recommend", "list"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn list_names_all_twelve_partitioners() {
+    let out = gnnpart(&["list"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in
+        ["Random", "DBH", "HDRF", "2PS-L", "HEP-10", "HEP-100", "LDG", "Spinner", "METIS",
+         "ByteGNN", "KaHIP"]
+    {
+        assert!(text.contains(name), "list missing {name}");
+    }
+}
+
+#[test]
+fn full_pipeline_generate_stats_partition_simulate() {
+    let dir = workdir();
+    let el = dir.join("pipeline.el");
+    let el_str = el.to_str().expect("utf8 path");
+
+    let out = gnnpart(&["generate", "DI", "--scale", "tiny", "--out", el_str]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+    assert!(el.exists());
+
+    let out = gnnpart(&["stats", el_str, "--directed"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("mean degree"));
+
+    let parts = dir.join("parts.txt");
+    let out = gnnpart(&[
+        "partition", el_str, "--algo", "METIS", "-k", "4", "--directed", "--out",
+        parts.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "partition failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("edge-cut ratio"));
+    let lines = std::fs::read_to_string(&parts).expect("assignments written");
+    assert!(lines.lines().all(|l| l.parse::<u32>().map(|p| p < 4).unwrap_or(false)));
+
+    let out = gnnpart(&["simulate", el_str, "--algo", "HDRF", "-k", "4", "--directed"]);
+    assert!(out.status.success(), "simulate failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("epoch time"));
+
+    let out = gnnpart(&[
+        "recommend", el_str, "-k", "4", "--epochs", "100", "--directed",
+    ]);
+    assert!(out.status.success(), "recommend failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("Best partitioner"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn deterministic_across_invocations() {
+    // Two separate processes produce byte-identical edge lists.
+    let dir = workdir();
+    let a = dir.join("a.el");
+    let b = dir.join("b.el");
+    for f in [&a, &b] {
+        let out = gnnpart(&["generate", "OR", "--scale", "tiny", "--out", f.to_str().unwrap()]);
+        assert!(out.status.success());
+    }
+    assert_eq!(
+        std::fs::read(&a).expect("a written"),
+        std::fs::read(&b).expect("b written"),
+        "process-level determinism"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn exit_codes_distinguish_usage_and_runtime_errors() {
+    // Usage error -> exit 2.
+    let out = gnnpart(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+
+    // Runtime error (missing file) -> exit 1.
+    let out = gnnpart(&["stats", "/nonexistent/x.el"]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // Bad value -> exit 2 with the flag named.
+    let out = gnnpart(&["partition", "x.el", "-k", "zebra"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("-k"));
+}
+
+#[test]
+fn no_args_prints_help_and_succeeds() {
+    let out = gnnpart(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}

@@ -1,0 +1,21 @@
+//! # gp-cluster — deterministic cluster cost model
+//!
+//! The paper runs on a 32-machine cluster (8 CPU cores @ 2.4 GHz, 64 GB
+//! RAM per machine). This crate replaces that hardware with a
+//! deterministic model: the training engines *count* work (FLOPs, bytes,
+//! messages, resident state) per simulated machine, and this crate
+//! converts the counts into simulated seconds and memory footprints.
+//!
+//! Because every quantity is computed exactly from the real partition
+//! and the real sampled mini-batches, the *relative* numbers between
+//! partitioners — the paper's subject — are faithful; only the absolute
+//! scale depends on the calibration constants in [`MachineSpec`] and
+//! [`NetworkSpec`].
+
+pub mod counters;
+pub mod spec;
+pub mod time;
+
+pub use counters::{max_mean_ratio, ClusterCounters, MachineCounters};
+pub use spec::{ClusterSpec, MachineSpec, NetworkSpec};
+pub use time::{compute_time, transfer_time};

@@ -1,0 +1,76 @@
+//! Converting counted work into simulated seconds.
+
+use crate::spec::{MachineSpec, NetworkSpec};
+
+/// Parallel-efficiency factor applied to peak FLOPs. Dense GEMM kernels
+/// (LIBXSMM in DistGNN, ATen in DistDGL) sustain a large fraction of
+/// peak; the sparse aggregation share pulls the blend down somewhat.
+const COMPUTE_EFFICIENCY: f64 = 0.7;
+
+/// Time to execute `flops` floating-point operations on one machine.
+pub fn compute_time(machine: &MachineSpec, flops: u64) -> f64 {
+    flops as f64 / (machine.flops_per_sec() * COMPUTE_EFFICIENCY)
+}
+
+/// Time to transfer `bytes` in `messages` messages over the network
+/// (bandwidth term + per-message latency term).
+pub fn transfer_time(network: &NetworkSpec, bytes: u64, messages: u64) -> f64 {
+    bytes as f64 / network.bandwidth_bytes_per_sec + messages as f64 * network.latency_sec
+}
+
+/// Time for a ring all-reduce of `bytes` across `machines` machines:
+/// `2 (m - 1) / m` of the buffer crosses each link, plus `2 (m - 1)`
+/// latency hops.
+pub fn allreduce_time(network: &NetworkSpec, bytes: u64, machines: u32) -> f64 {
+    if machines <= 1 {
+        return 0.0;
+    }
+    let m = f64::from(machines);
+    let volume = 2.0 * (m - 1.0) / m * bytes as f64;
+    volume / network.bandwidth_bytes_per_sec + 2.0 * (m - 1.0) * network.latency_sec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_time_scales_linearly() {
+        let m = MachineSpec::paper();
+        let t1 = compute_time(&m, 1_000_000);
+        let t2 = compute_time(&m, 2_000_000);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let n = NetworkSpec::ten_gbit();
+        let t = transfer_time(&n, 0, 1);
+        assert!((t - n.latency_sec).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_time_bandwidth_term() {
+        let n = NetworkSpec::ten_gbit();
+        // 1.25 GB at 1.25 GB/s = 1 second (plus zero messages).
+        let t = transfer_time(&n, 1_250_000_000, 0);
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_single_machine_free() {
+        let n = NetworkSpec::ten_gbit();
+        assert_eq!(allreduce_time(&n, 1_000_000, 1), 0.0);
+    }
+
+    #[test]
+    fn allreduce_grows_mildly_with_machines() {
+        // In the bandwidth-dominated regime (large buffers) the ring
+        // volume converges to 2×bytes, so 32 machines cost < 2× of 2.
+        let n = NetworkSpec::ten_gbit();
+        let t2 = allreduce_time(&n, 1_000_000_000, 2);
+        let t32 = allreduce_time(&n, 1_000_000_000, 32);
+        assert!(t32 < 2.5 * t2, "t2 {t2} t32 {t32}");
+        assert!(t32 > t2);
+    }
+}

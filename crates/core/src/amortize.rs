@@ -1,0 +1,57 @@
+//! Partitioning-time amortisation (Tables 4 and 5).
+//!
+//! The paper asks after how many training epochs the time invested in
+//! partitioning pays for itself through faster epochs, assuming random
+//! partitioning is free.
+
+/// Number of epochs after which `partition_seconds` is amortised by the
+/// per-epoch saving over random partitioning. Returns `None` when the
+/// partitioner provides no speedup ("no" in the paper's tables).
+pub fn epochs_to_amortize(
+    partition_seconds: f64,
+    random_epoch_seconds: f64,
+    partitioner_epoch_seconds: f64,
+) -> Option<f64> {
+    let saving = random_epoch_seconds - partitioner_epoch_seconds;
+    if saving <= 0.0 {
+        return None;
+    }
+    Some(partition_seconds / saving)
+}
+
+/// Format an amortisation value like the paper's tables ("no" for a
+/// slowdown).
+pub fn fmt_amortize(value: Option<f64>) -> String {
+    match value {
+        Some(v) => crate::report::fmt(v),
+        None => "no".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amortizes_with_speedup() {
+        // 10 s partitioning, 2 s/epoch saved → 5 epochs.
+        assert_eq!(epochs_to_amortize(10.0, 5.0, 3.0), Some(5.0));
+    }
+
+    #[test]
+    fn no_amortization_on_slowdown() {
+        assert_eq!(epochs_to_amortize(10.0, 3.0, 5.0), None);
+        assert_eq!(epochs_to_amortize(10.0, 3.0, 3.0), None);
+    }
+
+    #[test]
+    fn free_partitioning_amortizes_instantly() {
+        assert_eq!(epochs_to_amortize(0.0, 5.0, 3.0), Some(0.0));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_amortize(None), "no");
+        assert_eq!(fmt_amortize(Some(5.0)), "5.00");
+    }
+}

@@ -1,0 +1,116 @@
+//! The paper's hyper-parameter grid (Table 3) and cluster sizes.
+
+use gp_tensor::{ModelConfig, ModelKind};
+
+/// Scale-out factors evaluated throughout the paper.
+pub const SCALE_OUT_FACTORS: [u32; 4] = [4, 8, 16, 32];
+
+/// Hidden dimensions of Table 3.
+pub const HIDDEN_DIMS: [usize; 3] = [16, 64, 512];
+
+/// Feature sizes of Table 3.
+pub const FEATURE_SIZES: [usize; 3] = [16, 64, 512];
+
+/// Layer counts of Table 3.
+pub const NUM_LAYERS: [usize; 3] = [2, 3, 4];
+
+/// Number of classes used for the synthetic node-classification task.
+pub const NUM_CLASSES: usize = 16;
+
+/// One point of the hyper-parameter grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PaperParams {
+    /// Input feature size.
+    pub feature_size: usize,
+    /// Hidden dimension.
+    pub hidden_dim: usize,
+    /// Number of GNN layers.
+    pub num_layers: usize,
+}
+
+impl PaperParams {
+    /// The paper's "default" middle configuration.
+    pub fn middle() -> Self {
+        PaperParams { feature_size: 64, hidden_dim: 64, num_layers: 3 }
+    }
+
+    /// Convert into a model configuration.
+    pub fn model(self, kind: ModelKind) -> ModelConfig {
+        ModelConfig {
+            kind,
+            feature_dim: self.feature_size,
+            hidden_dim: self.hidden_dim,
+            num_layers: self.num_layers,
+            num_classes: NUM_CLASSES,
+            seed: 0x6d6f,
+        }
+    }
+}
+
+/// The full Table-3 grid (27 combinations).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParamGrid;
+
+impl ParamGrid {
+    /// Iterate all 27 combinations.
+    pub fn iter() -> impl Iterator<Item = PaperParams> {
+        FEATURE_SIZES.into_iter().flat_map(|feature_size| {
+            HIDDEN_DIMS.into_iter().flat_map(move |hidden_dim| {
+                NUM_LAYERS
+                    .into_iter()
+                    .map(move |num_layers| PaperParams { feature_size, hidden_dim, num_layers })
+            })
+        })
+    }
+
+    /// A reduced grid (8 combinations) for quick runs: the extreme
+    /// corners of every axis.
+    pub fn corners() -> impl Iterator<Item = PaperParams> {
+        [16usize, 512].into_iter().flat_map(|feature_size| {
+            [16usize, 512].into_iter().flat_map(move |hidden_dim| {
+                [2usize, 4]
+                    .into_iter()
+                    .map(move |num_layers| PaperParams { feature_size, hidden_dim, num_layers })
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_27_points() {
+        assert_eq!(ParamGrid::iter().count(), 27);
+    }
+
+    #[test]
+    fn corners_has_8_points() {
+        assert_eq!(ParamGrid::corners().count(), 8);
+    }
+
+    #[test]
+    fn grid_covers_table3() {
+        let all: Vec<PaperParams> = ParamGrid::iter().collect();
+        for f in FEATURE_SIZES {
+            for h in HIDDEN_DIMS {
+                for l in NUM_LAYERS {
+                    assert!(all.contains(&PaperParams {
+                        feature_size: f,
+                        hidden_dim: h,
+                        num_layers: l
+                    }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn params_to_model() {
+        let m = PaperParams::middle().model(ModelKind::Sage);
+        assert_eq!(m.feature_dim, 64);
+        assert_eq!(m.num_layers, 3);
+        assert_eq!(m.num_classes, NUM_CLASSES);
+    }
+}

@@ -1,0 +1,170 @@
+//! Timed partitioning runs and engine invocations.
+
+use std::time::Instant;
+
+use gp_cluster::ClusterSpec;
+use gp_distdgl::{DistDglConfig, DistDglEngine, EpochSummary};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine, EpochReport};
+use gp_graph::{Graph, VertexSplit};
+use gp_partition::{EdgePartition, VertexPartition};
+use gp_tensor::ModelKind;
+
+use crate::config::PaperParams;
+use crate::registry;
+
+/// An edge partition with its real partitioning wall time.
+#[derive(Debug, Clone)]
+pub struct TimedEdgePartition {
+    /// Partitioner name.
+    pub name: String,
+    /// The partition.
+    pub partition: EdgePartition,
+    /// Wall-clock partitioning time in seconds.
+    pub seconds: f64,
+}
+
+/// A vertex partition with its real partitioning wall time.
+#[derive(Debug, Clone)]
+pub struct TimedVertexPartition {
+    /// Partitioner name.
+    pub name: String,
+    /// The partition.
+    pub partition: VertexPartition,
+    /// Wall-clock partitioning time in seconds.
+    pub seconds: f64,
+}
+
+/// Run all six edge partitioners on `graph` with `k` parts, timing each.
+///
+/// # Panics
+///
+/// Panics if a registered partitioner fails (presets are valid for all
+/// dataset graphs).
+pub fn timed_edge_partitions(graph: &Graph, k: u32, seed: u64) -> Vec<TimedEdgePartition> {
+    registry::edge_partitioner_names()
+        .iter()
+        .map(|&name| {
+            let p = registry::edge_partitioner(name).expect("registered");
+            let start = Instant::now();
+            let partition =
+                p.partition_edges(graph, k, seed).unwrap_or_else(|e| panic!("{name}: {e}"));
+            TimedEdgePartition {
+                name: name.to_string(),
+                partition,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Run all six vertex partitioners on `graph` with `k` parts, timing
+/// each. `train` parameterises ByteGNN.
+///
+/// # Panics
+///
+/// Panics if a registered partitioner fails.
+pub fn timed_vertex_partitions(
+    graph: &Graph,
+    k: u32,
+    seed: u64,
+    train: &[u32],
+) -> Vec<TimedVertexPartition> {
+    registry::vertex_partitioner_names()
+        .iter()
+        .map(|&name| {
+            let p = registry::vertex_partitioner(name, Some(train.to_vec())).expect("registered");
+            let start = Instant::now();
+            let partition =
+                p.partition_vertices(graph, k, seed).unwrap_or_else(|e| panic!("{name}: {e}"));
+            TimedVertexPartition {
+                name: name.to_string(),
+                partition,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Simulate one DistGNN (full-batch GraphSAGE) epoch.
+///
+/// # Panics
+///
+/// Panics on configuration mismatch (callers control both sides).
+pub fn distgnn_epoch(graph: &Graph, partition: &EdgePartition, params: PaperParams) -> EpochReport {
+    let config = DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(partition.k()));
+    DistGnnEngine::new(graph, partition, config).expect("valid config").simulate_epoch()
+}
+
+/// Simulate one DistDGL epoch with the paper's defaults.
+///
+/// # Panics
+///
+/// Panics on configuration mismatch.
+pub fn distdgl_epoch(
+    graph: &Graph,
+    partition: &VertexPartition,
+    split: &VertexSplit,
+    params: PaperParams,
+    kind: ModelKind,
+    global_batch_size: u32,
+) -> EpochSummary {
+    let mut config =
+        DistDglConfig::paper(params.model(kind), ClusterSpec::paper(partition.k()));
+    config.global_batch_size = global_batch_size;
+    DistDglEngine::new(graph, partition, split, config)
+        .expect("valid config")
+        .simulate_epoch(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::{DatasetId, GraphScale};
+
+    #[test]
+    fn timed_edge_partitions_cover_all_six() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let timed = timed_edge_partitions(&g, 4, 1);
+        assert_eq!(timed.len(), 6);
+        for t in &timed {
+            assert!(t.seconds >= 0.0);
+            assert_eq!(t.partition.k(), 4);
+        }
+        // Quality ordering sanity: HEP-100 beats Random.
+        let rf = |name: &str| {
+            timed.iter().find(|t| t.name == name).unwrap().partition.replication_factor()
+        };
+        assert!(rf("HEP-100") < rf("Random"));
+    }
+
+    #[test]
+    fn timed_vertex_partitions_cover_all_six() {
+        let g = DatasetId::DI.generate(GraphScale::Tiny).unwrap();
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let timed = timed_vertex_partitions(&g, 4, 1, &split.train);
+        assert_eq!(timed.len(), 6);
+        let cut = |name: &str| {
+            timed.iter().find(|t| t.name == name).unwrap().partition.edge_cut_ratio()
+        };
+        assert!(cut("METIS") < cut("Random"));
+    }
+
+    #[test]
+    fn engines_run_on_timed_partitions() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let ep = timed_edge_partitions(&g, 4, 1);
+        let report = distgnn_epoch(&g, &ep[0].partition, crate::config::PaperParams::middle());
+        assert!(report.epoch_time() > 0.0);
+        let vp = timed_vertex_partitions(&g, 4, 1, &split.train);
+        let summary = distdgl_epoch(
+            &g,
+            &vp[0].partition,
+            &split,
+            crate::config::PaperParams::middle(),
+            ModelKind::Sage,
+            1024,
+        );
+        assert!(summary.epoch_time() > 0.0);
+    }
+}

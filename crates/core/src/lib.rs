@@ -1,0 +1,36 @@
+//! # gp-core — the experimental study
+//!
+//! Ties the substrates together into the paper's experiment harness:
+//!
+//! * [`registry`] — the 12 partitioners of Table 2, constructible by
+//!   name.
+//! * [`config`] — the hyper-parameter grid of Table 3 and the scale-out
+//!   factors.
+//! * [`experiment`] — timed partitioning runs and engine invocations.
+//! * [`sweep`] — grid sweeps producing speedup/memory distributions.
+//! * [`amortize`] — partitioning-time amortisation (Tables 4 and 5).
+//! * [`advisor`] — EASE-style partitioner recommendation (extension).
+//! * [`correlate`] — Pearson correlation / R² (Figures 3, 5).
+//! * [`report`] — CSV and Markdown emitters for every figure and table.
+
+pub mod advisor;
+pub mod amortize;
+pub mod config;
+pub mod correlate;
+pub mod experiment;
+pub mod registry;
+pub mod report;
+pub mod sweep;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::advisor::{recommend_edge_partitioner, recommend_vertex_partitioner};
+    pub use crate::amortize::epochs_to_amortize;
+    pub use crate::config::{ParamGrid, PaperParams, SCALE_OUT_FACTORS};
+    pub use crate::correlate::{pearson, r_squared};
+    pub use crate::experiment::{
+        timed_edge_partitions, timed_vertex_partitions, TimedEdgePartition, TimedVertexPartition,
+    };
+    pub use crate::registry::{edge_partitioner, edge_partitioner_names, vertex_partitioner, vertex_partitioner_names};
+    pub use crate::report::{Distribution, Table};
+}

@@ -1,0 +1,203 @@
+//! Report emitters: CSV files and Markdown tables.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A simple column-oriented results table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table name (used as the file stem).
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of string cells (pre-formatted numbers).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let escaped: Vec<String> = row.iter().map(|c| escape_csv(c)).collect();
+            out.push_str(&escaped.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Write `<dir>/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv<P: AsRef<Path>>(&self, dir: P) -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.as_ref().join(format!("{}.csv", self.name));
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+fn escape_csv(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Five-number summary + mean of a sample (the paper's box plots).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distribution {
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Distribution {
+    /// Summarise a sample; returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            if lo == hi {
+                v[lo]
+            } else {
+                v[lo] + (v[hi] - v[lo]) * (idx - lo as f64)
+            }
+        };
+        Some(Distribution {
+            min: v[0],
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            max: v[v.len() - 1],
+            mean: values.iter().sum::<f64>() / values.len() as f64,
+        })
+    }
+}
+
+/// Format a float with 3 significant decimals for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["1".into(), "x,y".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,\"x,y\"\n");
+    }
+
+    #[test]
+    fn markdown_renders() {
+        let mut t = Table::new("demo", &["a"]);
+        t.push(vec!["1".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a |"));
+        assert!(md.contains("| 1 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_enforced() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["1".into()]);
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("gp_core_report_test");
+        let mut t = Table::new("file_test", &["x"]);
+        t.push(vec!["5".into()]);
+        t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("file_test.csv")).unwrap();
+        assert!(content.contains("5"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn distribution_five_numbers() {
+        let d = Distribution::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.median, 3.0);
+        assert_eq!(d.max, 5.0);
+        assert_eq!(d.mean, 3.0);
+        assert_eq!(d.p25, 2.0);
+        assert_eq!(d.p75, 4.0);
+    }
+
+    #[test]
+    fn distribution_empty_none() {
+        assert!(Distribution::of(&[]).is_none());
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234), "0.1234");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(1234.5), "1234");
+    }
+}

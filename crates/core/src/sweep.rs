@@ -1,0 +1,288 @@
+//! Hyper-parameter grid sweeps producing the paper's distributions.
+
+use gp_cluster::ClusterSpec;
+use gp_distdgl::{DistDglConfig, DistDglEngine};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_graph::{Graph, VertexSplit};
+use gp_tensor::ModelKind;
+
+use crate::config::PaperParams;
+use crate::experiment::{TimedEdgePartition, TimedVertexPartition};
+
+/// Per-partitioner outcome of a DistGNN grid sweep, aligned with the
+/// grid order. All `*_pct` / speedup values are relative to `Random` at
+/// the same grid point.
+#[derive(Debug, Clone)]
+pub struct DistGnnGridOutcome {
+    /// Partitioner name.
+    pub name: String,
+    /// Speedup over Random per grid point (>1 = faster).
+    pub speedups: Vec<f64>,
+    /// Memory footprint in % of Random per grid point.
+    pub memory_pct: Vec<f64>,
+    /// Network traffic in % of Random per grid point.
+    pub traffic_pct: Vec<f64>,
+    /// Absolute epoch times (simulated seconds).
+    pub epoch_times: Vec<f64>,
+    /// Absolute epoch times of the Random baseline.
+    pub random_times: Vec<f64>,
+}
+
+impl DistGnnGridOutcome {
+    /// Mean speedup over the grid.
+    pub fn mean_speedup(&self) -> f64 {
+        mean(&self.speedups)
+    }
+
+    /// Mean epoch time over the grid.
+    pub fn mean_epoch_time(&self) -> f64 {
+        mean(&self.epoch_times)
+    }
+}
+
+/// Sweep the grid for every timed edge partition. `timed` must contain
+/// the `Random` baseline.
+///
+/// # Panics
+///
+/// Panics if `Random` is missing from `timed`.
+pub fn distgnn_grid(
+    graph: &Graph,
+    timed: &[TimedEdgePartition],
+    grid: &[PaperParams],
+) -> Vec<DistGnnGridOutcome> {
+    let random = timed.iter().find(|t| t.name == "Random").expect("Random baseline required");
+    let cluster = ClusterSpec::paper(random.partition.k());
+    fn mk_engine<'g>(
+        graph: &'g Graph,
+        t: &'g TimedEdgePartition,
+        cluster: ClusterSpec,
+    ) -> DistGnnEngine<'g> {
+        let config =
+            DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), cluster);
+        DistGnnEngine::new(graph, &t.partition, config).expect("valid config")
+    }
+    // Baseline reports per grid point.
+    let random_engine = mk_engine(graph, random, cluster);
+    let base: Vec<_> = grid
+        .iter()
+        .map(|p| random_engine.simulate_epoch_for(&p.model(ModelKind::Sage)))
+        .collect();
+
+    timed
+        .iter()
+        .map(|t| {
+            let engine = mk_engine(graph, t, cluster);
+            let mut speedups = Vec::with_capacity(grid.len());
+            let mut memory_pct = Vec::with_capacity(grid.len());
+            let mut traffic_pct = Vec::with_capacity(grid.len());
+            let mut epoch_times = Vec::with_capacity(grid.len());
+            let mut random_times = Vec::with_capacity(grid.len());
+            for (params, base_report) in grid.iter().zip(base.iter()) {
+                let report = engine.simulate_epoch_for(&params.model(ModelKind::Sage));
+                let own = report.epoch_time();
+                let base_time = base_report.epoch_time();
+                speedups.push(base_time / own);
+                memory_pct
+                    .push(100.0 * report.total_memory() as f64 / base_report.total_memory() as f64);
+                traffic_pct.push(
+                    100.0 * report.counters.total_network_bytes() as f64
+                        / base_report.counters.total_network_bytes() as f64,
+                );
+                epoch_times.push(own);
+                random_times.push(base_time);
+            }
+            DistGnnGridOutcome {
+                name: t.name.clone(),
+                speedups,
+                memory_pct,
+                traffic_pct,
+                epoch_times,
+                random_times,
+            }
+        })
+        .collect()
+}
+
+/// Per-partitioner outcome of a DistDGL grid sweep.
+#[derive(Debug, Clone)]
+pub struct DistDglGridOutcome {
+    /// Partitioner name.
+    pub name: String,
+    /// Speedup over Random per grid point.
+    pub speedups: Vec<f64>,
+    /// Remote input vertices in % of Random per grid point.
+    pub remote_pct: Vec<f64>,
+    /// Network traffic in % of Random per grid point.
+    pub traffic_pct: Vec<f64>,
+    /// Absolute epoch times.
+    pub epoch_times: Vec<f64>,
+    /// Absolute epoch times of the Random baseline.
+    pub random_times: Vec<f64>,
+}
+
+impl DistDglGridOutcome {
+    /// Mean speedup over the grid.
+    pub fn mean_speedup(&self) -> f64 {
+        mean(&self.speedups)
+    }
+}
+
+/// Sweep the grid for every timed vertex partition with one model kind.
+/// Sampling is reused across grid points with the same layer count
+/// (dimensions do not affect sampled blocks).
+///
+/// # Panics
+///
+/// Panics if `Random` is missing from `timed`.
+pub fn distdgl_grid(
+    graph: &Graph,
+    split: &VertexSplit,
+    timed: &[TimedVertexPartition],
+    grid: &[PaperParams],
+    kind: ModelKind,
+    global_batch_size: u32,
+) -> Vec<DistDglGridOutcome> {
+    let random = timed.iter().find(|t| t.name == "Random").expect("Random baseline required");
+    let k = random.partition.k();
+    let cluster = ClusterSpec::paper(k);
+    let layer_counts: Vec<usize> = {
+        let mut l: Vec<usize> = grid.iter().map(|p| p.num_layers).collect();
+        l.sort_unstable();
+        l.dedup();
+        l
+    };
+
+    // One engine + sampled epoch per (partitioner, layer count); the
+    // engine is rebuilt per grid point (cheap) while samples are reused.
+    let simulate = |t: &TimedVertexPartition| -> Vec<gp_distdgl::EpochSummary> {
+        let mut summaries = Vec::with_capacity(grid.len());
+        for &layers in &layer_counts {
+            let probe = PaperParams { num_layers: layers, ..PaperParams::middle() };
+            let mut config = DistDglConfig::paper(probe.model(kind), cluster);
+            config.global_batch_size = global_batch_size;
+            let engine =
+                DistDglEngine::new(graph, &t.partition, split, config).expect("valid config");
+            let sampled = engine.sample_epoch(0);
+            for params in grid.iter().filter(|p| p.num_layers == layers) {
+                let mut config = DistDglConfig::paper(params.model(kind), cluster);
+                config.global_batch_size = global_batch_size;
+                let engine = DistDglEngine::new(graph, &t.partition, split, config)
+                    .expect("valid config");
+                summaries.push((params, engine.simulate_epoch_from(&sampled)));
+            }
+        }
+        // Restore grid order.
+        let mut ordered = Vec::with_capacity(grid.len());
+        for params in grid {
+            let pos = summaries
+                .iter()
+                .position(|(p, _)| *p == params)
+                .expect("every grid point simulated");
+            ordered.push(summaries.remove(pos).1);
+        }
+        ordered
+    };
+
+    let base = simulate(random);
+    timed
+        .iter()
+        .map(|t| {
+            let own = simulate(t);
+            let mut speedups = Vec::with_capacity(grid.len());
+            let mut remote_pct = Vec::with_capacity(grid.len());
+            let mut traffic_pct = Vec::with_capacity(grid.len());
+            let mut epoch_times = Vec::with_capacity(grid.len());
+            let mut random_times = Vec::with_capacity(grid.len());
+            for (o, b) in own.iter().zip(base.iter()) {
+                speedups.push(b.epoch_time() / o.epoch_time());
+                remote_pct.push(pct(o.total_remote_vertices, b.total_remote_vertices));
+                traffic_pct.push(pct(
+                    o.counters.total_network_bytes(),
+                    b.counters.total_network_bytes(),
+                ));
+                epoch_times.push(o.epoch_time());
+                random_times.push(b.epoch_time());
+            }
+            DistDglGridOutcome {
+                name: t.name.clone(),
+                speedups,
+                remote_pct,
+                traffic_pct,
+                epoch_times,
+                random_times,
+            }
+        })
+        .collect()
+}
+
+fn pct(own: u64, base: u64) -> f64 {
+    if base == 0 {
+        if own == 0 {
+            100.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * own as f64 / base as f64
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{timed_edge_partitions, timed_vertex_partitions};
+    use gp_graph::{DatasetId, GraphScale};
+
+    fn tiny_grid() -> Vec<PaperParams> {
+        vec![
+            PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 },
+            PaperParams { feature_size: 64, hidden_dim: 16, num_layers: 3 },
+        ]
+    }
+
+    #[test]
+    fn distgnn_sweep_shapes() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let timed = timed_edge_partitions(&g, 4, 1);
+        let grid = tiny_grid();
+        let outcomes = distgnn_grid(&g, &timed, &grid);
+        assert_eq!(outcomes.len(), 6);
+        for o in &outcomes {
+            assert_eq!(o.speedups.len(), 2);
+            if o.name == "Random" {
+                for &s in &o.speedups {
+                    assert!((s - 1.0).abs() < 1e-9, "Random speedup {s}");
+                }
+            }
+        }
+        // HEP-100 must beat the streaming baselines on average.
+        let get = |n: &str| outcomes.iter().find(|o| o.name == n).unwrap().mean_speedup();
+        assert!(get("HEP-100") > get("Random"));
+        assert!(get("HEP-100") > 1.2, "HEP-100 speedup {}", get("HEP-100"));
+    }
+
+    #[test]
+    fn distdgl_sweep_shapes() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let timed = timed_vertex_partitions(&g, 4, 1, &split.train);
+        let grid = tiny_grid();
+        let outcomes = distdgl_grid(&g, &split, &timed, &grid, ModelKind::Sage, 256);
+        assert_eq!(outcomes.len(), 6);
+        let get = |n: &str| outcomes.iter().find(|o| o.name == n).unwrap();
+        for &s in &get("Random").speedups {
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        // METIS reduces remote vertices vs Random.
+        assert!(get("METIS").remote_pct.iter().all(|&p| p < 100.0));
+    }
+}

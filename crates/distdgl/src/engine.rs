@@ -1,0 +1,685 @@
+//! The DistDGL cost-model engine.
+//!
+//! Every step is *actually sampled* (real RNG-driven block construction
+//! over the real partition); only the conversion of counted work into
+//! seconds goes through the calibrated cost model. Phase times follow
+//! the paper's measurement protocol: per step, each phase is gated by
+//! the slowest worker (the straggler).
+
+use gp_cluster::{compute_time, transfer_time, ClusterCounters, ClusterSpec};
+use gp_graph::{Graph, VertexSplit};
+use gp_partition::VertexPartition;
+use gp_tensor::flops::{model_param_count, model_train_flops};
+use gp_tensor::ModelConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::DistDglError;
+use crate::sampler::{block_shapes, sample_minibatch, worker_seeds, MiniBatch};
+use crate::store::PartitionedStore;
+
+/// CPU cost of expanding one sampled edge locally (hash probes + pointer
+/// chasing; memory-bound).
+const SAMPLE_SECS_PER_EDGE: f64 = 150e-9;
+/// Fixed CPU cost per frontier expansion.
+const SAMPLE_SECS_PER_EXPANSION: f64 = 200e-9;
+/// Extra CPU cost per *remote* frontier expansion: request serialisation,
+/// RPC dispatch and response handling dominate the actual wire time for
+/// tiny adjacency payloads (DistDGL issues these via its KVStore RPC
+/// layer).
+const SAMPLE_SECS_PER_REMOTE_EXPANSION: f64 = 100e-9;
+/// Local feature-store bandwidth (shared-memory copy).
+const LOCAL_FEATURE_BW: f64 = 10e9;
+
+/// Configuration of a mini-batch training run.
+#[derive(Debug, Clone)]
+pub struct DistDglConfig {
+    /// Model hyper-parameters.
+    pub model: ModelConfig,
+    /// Simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Global batch size (split evenly across workers; paper default
+    /// 1024).
+    pub global_batch_size: u32,
+    /// Per-layer fan-outs; must have `model.num_layers` entries (see
+    /// [`crate::paper_fanouts`]).
+    pub fanouts: Vec<u32>,
+    /// Number of hot remote vertices whose features each worker caches
+    /// locally (0 = disabled). DistDGL-style static cache of the
+    /// highest-degree vertices — hubs appear in nearly every mini-batch,
+    /// so caching them converts the bulk of remote fetches into local
+    /// reads. **Extension beyond the paper's configuration.**
+    pub feature_cache_entries: u32,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl DistDglConfig {
+    /// Paper-default configuration for a given model and cluster.
+    pub fn paper(model: ModelConfig, cluster: ClusterSpec) -> Self {
+        DistDglConfig {
+            model,
+            cluster,
+            global_batch_size: 1024,
+            fanouts: crate::scaled_fanouts(model.num_layers),
+            feature_cache_entries: 0,
+            seed: 0x9d15,
+        }
+    }
+}
+
+/// Simulated time of one step / epoch, split into the phases the paper
+/// measures (Figure 19/21/22/25).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepPhases {
+    /// Mini-batch sampling (local walk + remote RPCs).
+    pub sampling: f64,
+    /// Feature loading (local copy + remote fetch).
+    pub feature_load: f64,
+    /// Forward pass.
+    pub forward: f64,
+    /// Backward pass including the gradient all-reduce.
+    pub backward: f64,
+    /// Model update.
+    pub update: f64,
+}
+
+impl StepPhases {
+    /// Total time.
+    pub fn total(&self) -> f64 {
+        self.sampling + self.feature_load + self.forward + self.backward + self.update
+    }
+
+    fn add(&mut self, other: &StepPhases) {
+        self.sampling += other.sampling;
+        self.feature_load += other.feature_load;
+        self.forward += other.forward;
+        self.backward += other.backward;
+        self.update += other.update;
+    }
+}
+
+/// Result of one simulated training step.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    /// Straggler-gated phase times.
+    pub phases: StepPhases,
+    /// Per-worker sampling+fetch+forward time (Figure 17's balance).
+    pub worker_times: Vec<f64>,
+    /// Per-worker input vertices of the step's mini-batches.
+    pub input_vertices: Vec<u64>,
+    /// Per-worker remote input vertices.
+    pub remote_vertices: Vec<u64>,
+    /// Remote inputs served from the local feature cache this step.
+    pub cache_hits: u64,
+}
+
+impl StepReport {
+    /// Input-vertex balance `max/mean` across workers (Figure 14).
+    pub fn input_balance(&self) -> f64 {
+        gp_cluster::max_mean_ratio(&self.input_vertices)
+    }
+
+    /// Training-time balance `max/mean` across workers (Figure 17).
+    pub fn time_balance(&self) -> f64 {
+        let sum: f64 = self.worker_times.iter().sum();
+        if sum <= 0.0 {
+            return 0.0;
+        }
+        let mean = sum / self.worker_times.len() as f64;
+        self.worker_times.iter().cloned().fold(0.0, f64::max) / mean
+    }
+}
+
+/// Aggregate result of one simulated epoch.
+#[derive(Debug, Clone)]
+pub struct EpochSummary {
+    /// Number of steps.
+    pub steps: usize,
+    /// Phase times summed over steps (straggler-gated per step).
+    pub phases: StepPhases,
+    /// Cluster-wide work counters.
+    pub counters: ClusterCounters,
+    /// Total input vertices over the epoch.
+    pub total_input_vertices: u64,
+    /// Total remote input vertices over the epoch.
+    pub total_remote_vertices: u64,
+    /// Remote inputs served from the local feature cache (no network).
+    pub cache_hits: u64,
+    /// Mean per-step input-vertex balance.
+    pub mean_input_balance: f64,
+    /// Mean per-step training-time balance.
+    pub mean_time_balance: f64,
+}
+
+impl EpochSummary {
+    /// Simulated seconds per epoch.
+    pub fn epoch_time(&self) -> f64 {
+        self.phases.total()
+    }
+}
+
+/// Mini-batch vertex-partitioned training engine.
+pub struct DistDglEngine<'a> {
+    graph: &'a Graph,
+    store: PartitionedStore,
+    config: DistDglConfig,
+    /// Mask of vertices whose features every worker caches (the
+    /// `feature_cache_entries` highest-degree vertices).
+    cached: Vec<bool>,
+}
+
+impl<'a> DistDglEngine<'a> {
+    /// Build an engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails if partition/cluster sizes disagree or the configuration is
+    /// inconsistent.
+    pub fn new(
+        graph: &'a Graph,
+        partition: &VertexPartition,
+        split: &VertexSplit,
+        config: DistDglConfig,
+    ) -> Result<Self, DistDglError> {
+        if partition.k() != config.cluster.machines {
+            return Err(DistDglError::ClusterMismatch {
+                partitions: partition.k(),
+                machines: config.cluster.machines,
+            });
+        }
+        if config.fanouts.len() != config.model.num_layers {
+            return Err(DistDglError::InvalidConfig(format!(
+                "{} fan-outs for {} layers",
+                config.fanouts.len(),
+                config.model.num_layers
+            )));
+        }
+        if config.global_batch_size == 0 {
+            return Err(DistDglError::InvalidConfig("global_batch_size must be > 0".into()));
+        }
+        let store = PartitionedStore::new(graph, partition, split)?;
+        let cached = hot_vertex_mask(graph, config.feature_cache_entries);
+        Ok(DistDglEngine { graph, store, config, cached })
+    }
+
+    /// The ownership store.
+    pub fn store(&self) -> &PartitionedStore {
+        &self.store
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DistDglConfig {
+        &self.config
+    }
+
+    /// Steps per epoch: the epoch ends when the worker with the most
+    /// local training vertices has cycled through them once (DistDGL
+    /// semantics — each worker iterates its *own* training set; workers
+    /// with fewer local vertices wrap around). For a train-balanced
+    /// partition this equals `ceil(|train| / global_batch_size)`.
+    pub fn steps_per_epoch(&self) -> usize {
+        let bpw = self.batch_per_worker();
+        let k = self.config.cluster.machines;
+        (0..k)
+            .map(|w| self.store.local_train_vertices(w).len().div_ceil(bpw))
+            .max()
+            .unwrap_or(1)
+            .max(1)
+    }
+
+    /// Mini-batch size per worker.
+    pub fn batch_per_worker(&self) -> usize {
+        (self.config.global_batch_size as usize / self.config.cluster.machines as usize).max(1)
+    }
+
+    /// Sample all workers' mini-batches for one step.
+    pub fn sample_step(&self, epoch: u32, step: usize) -> Vec<MiniBatch> {
+        let k = self.config.cluster.machines;
+        let bpw = self.batch_per_worker();
+        // Derive independent streams by hashing (seed, epoch, step,
+        // worker) through a mixer; shifted XOR would collide as soon as
+        // a field outgrows its bit window (e.g. step >= 256).
+        let epoch_seed = mix_seed(self.config.seed, u64::from(epoch), 0, 0);
+        (0..k)
+            .map(|w| {
+                let seeds = worker_seeds(&self.store, w, step, bpw, epoch_seed);
+                let mut rng = StdRng::seed_from_u64(mix_seed(
+                    self.config.seed,
+                    u64::from(epoch),
+                    step as u64 + 1,
+                    u64::from(w) + 1,
+                ));
+                sample_minibatch(self.graph, &self.store, w, &seeds, &self.config.fanouts, &mut rng)
+            })
+            .collect()
+    }
+
+    /// Convert one worker's sampled mini-batch into per-phase times and
+    /// record its work into `counters`.
+    fn worker_step_cost(
+        &self,
+        worker: u32,
+        batch: &MiniBatch,
+        counters: &mut ClusterCounters,
+    ) -> (StepPhases, u64) {
+        let cluster = &self.config.cluster;
+        let model = &self.config.model;
+        let stats = &batch.stats;
+
+        // --- Sampling: local walk + remote RPC wait. ---
+        let local_cpu = stats.edges_sampled as f64 * SAMPLE_SECS_PER_EDGE
+            + (stats.local_expansions + stats.remote_expansions) as f64
+                * SAMPLE_SECS_PER_EXPANSION
+            + stats.remote_expansions as f64 * SAMPLE_SECS_PER_REMOTE_EXPANSION;
+        let rpc = transfer_time(
+            &cluster.network,
+            stats.remote_sample_bytes,
+            stats.remote_sample_messages,
+        );
+        let sampling = local_cpu + rpc;
+        {
+            // Sampling RPCs are booked on both endpoints, like every
+            // other exchange: the requester sends requests and receives
+            // responses; each owner receives its requests and sends its
+            // responses.
+            let request_bytes = 16 * stats.remote_expansions;
+            let response_bytes = stats.remote_sample_bytes.saturating_sub(request_bytes);
+            let c = counters.machine_mut(worker);
+            c.bytes_sent += request_bytes;
+            c.bytes_received += response_bytes;
+            c.messages += stats.remote_sample_messages;
+            for (o, (&reqs, &resp)) in batch
+                .rpc_requests_by_owner
+                .iter()
+                .zip(batch.rpc_response_bytes_by_owner.iter())
+                .enumerate()
+            {
+                if reqs > 0 {
+                    let oc = counters.machine_mut(o as u32);
+                    oc.bytes_received += 16 * reqs;
+                    oc.bytes_sent += resp;
+                }
+            }
+        }
+
+        // --- Feature loading: local copy + remote fetch. Remote inputs
+        // present in the hot-vertex cache are served locally. ---
+        let fbytes = 4 * model.feature_dim as u64;
+        let mut cache_hits = 0u64;
+        // Remote fetch batched per owner.
+        let mut per_owner = vec![0u64; cluster.machines as usize];
+        for &v in &batch.input_vertices {
+            let o = self.store.owner(v);
+            if o != worker {
+                if self.cached[v as usize] {
+                    cache_hits += 1;
+                } else {
+                    per_owner[o as usize] += fbytes;
+                }
+            }
+        }
+        let local_inputs = stats.input_vertices - stats.remote_input_vertices + cache_hits;
+        let local_copy = (local_inputs * fbytes) as f64 / LOCAL_FEATURE_BW;
+        let remote_bytes: u64 = per_owner.iter().sum();
+        let owners_contacted = per_owner.iter().filter(|&&b| b > 0).count() as u64;
+        let feature_load =
+            local_copy + transfer_time(&cluster.network, remote_bytes, owners_contacted);
+        counters.machine_mut(worker).receive(remote_bytes);
+        for (o, &b) in per_owner.iter().enumerate() {
+            if b > 0 {
+                counters.machine_mut(o as u32).send(b);
+            }
+        }
+
+        // --- Compute. ---
+        let shapes = block_shapes(batch);
+        let train_flops = if batch.seeds.is_empty() {
+            0
+        } else {
+            model_train_flops(model, &shapes)
+        };
+        let fwd_flops = train_flops / 3;
+        let bwd_flops = train_flops - fwd_flops;
+        counters.machine_mut(worker).flops += train_flops;
+        let forward = compute_time(&cluster.machine, fwd_flops);
+        let backward = compute_time(&cluster.machine, bwd_flops);
+
+        (StepPhases { sampling, feature_load, forward, backward, update: 0.0 }, cache_hits)
+    }
+
+    /// Sample every step of an epoch (for reuse across model
+    /// configurations that share the same layer count: sampling depends
+    /// only on the fan-outs and seed, not on dimensions).
+    pub fn sample_epoch(&self, epoch: u32) -> Vec<Vec<MiniBatch>> {
+        (0..self.steps_per_epoch()).map(|step| self.sample_step(epoch, step)).collect()
+    }
+
+    /// Simulate one step, sampling it first.
+    pub fn simulate_step(
+        &self,
+        epoch: u32,
+        step: usize,
+        counters: &mut ClusterCounters,
+    ) -> StepReport {
+        let batches = self.sample_step(epoch, step);
+        self.simulate_step_from(&batches, counters)
+    }
+
+    /// Simulate one step from pre-sampled mini-batches.
+    pub fn simulate_step_from(
+        &self,
+        batches: &[MiniBatch],
+        counters: &mut ClusterCounters,
+    ) -> StepReport {
+        let cluster = &self.config.cluster;
+        let model = &self.config.model;
+        let k = cluster.machines;
+
+        let mut phases = StepPhases::default();
+        let mut worker_times = Vec::with_capacity(k as usize);
+        let mut input_vertices = Vec::with_capacity(k as usize);
+        let mut remote_vertices = Vec::with_capacity(k as usize);
+        let mut cache_hits = 0u64;
+        for (w, batch) in batches.iter().enumerate() {
+            let (wp, hits) = self.worker_step_cost(w as u32, batch, counters);
+            cache_hits += hits;
+            phases.sampling = phases.sampling.max(wp.sampling);
+            phases.feature_load = phases.feature_load.max(wp.feature_load);
+            phases.forward = phases.forward.max(wp.forward);
+            phases.backward = phases.backward.max(wp.backward);
+            worker_times.push(wp.sampling + wp.feature_load + wp.forward);
+            input_vertices.push(batch.stats.input_vertices);
+            remote_vertices.push(batch.stats.remote_input_vertices);
+        }
+
+        // Gradient all-reduce closes the backward phase (paper: the
+        // backward time includes the all-reduce). DistDGL's PyTorch DDP
+        // overlaps the bucketed all-reduce with backward compute, so the
+        // phase is gated by the slower of the two, not their sum.
+        let param_bytes = model_param_count(model) * 4;
+        phases.backward = phases
+            .backward
+            .max(gp_cluster::time::allreduce_time(&cluster.network, param_bytes, k));
+        for m in 0..k {
+            counters.machine_mut(m).send(param_bytes);
+            counters.machine_mut(m).receive(param_bytes);
+        }
+        // Optimiser update.
+        let opt_flops = model_param_count(model) * 10;
+        phases.update = compute_time(&cluster.machine, opt_flops);
+        for m in 0..k {
+            counters.machine_mut(m).flops += opt_flops;
+        }
+
+        StepReport { phases, worker_times, input_vertices, remote_vertices, cache_hits }
+    }
+
+    /// Simulate a full epoch (samples internally).
+    pub fn simulate_epoch(&self, epoch: u32) -> EpochSummary {
+        self.simulate_epoch_from(&self.sample_epoch(epoch))
+    }
+
+    /// Simulate a full epoch from pre-sampled mini-batches (one inner
+    /// `Vec` per step). Lets grid sweeps reuse sampling across model
+    /// configurations with the same layer count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sampled` is empty.
+    pub fn simulate_epoch_from(&self, sampled: &[Vec<MiniBatch>]) -> EpochSummary {
+        assert!(!sampled.is_empty(), "need at least one sampled step");
+        let k = self.config.cluster.machines;
+        let mut counters = ClusterCounters::new(k);
+        // Feature storage (plus the hot-vertex cache) is resident on
+        // every machine.
+        let fbytes = 4 * self.config.model.feature_dim as u64;
+        let cache_bytes = u64::from(self.config.feature_cache_entries) * fbytes;
+        for (m, owned) in self.store.owned_counts().iter().enumerate() {
+            counters.machine_mut(m as u32).observe_memory(owned * fbytes + cache_bytes);
+        }
+        let steps = sampled.len();
+        let mut phases = StepPhases::default();
+        let mut total_inputs = 0u64;
+        let mut total_remote = 0u64;
+        let mut cache_hits = 0u64;
+        let mut balance_acc = 0.0f64;
+        let mut time_balance_acc = 0.0f64;
+        for batches in sampled {
+            let report = self.simulate_step_from(batches, &mut counters);
+            phases.add(&report.phases);
+            total_inputs += report.input_vertices.iter().sum::<u64>();
+            total_remote += report.remote_vertices.iter().sum::<u64>();
+            cache_hits += report.cache_hits;
+            balance_acc += report.input_balance();
+            time_balance_acc += report.time_balance();
+        }
+        EpochSummary {
+            steps,
+            phases,
+            counters,
+            total_input_vertices: total_inputs,
+            total_remote_vertices: total_remote,
+            cache_hits,
+            mean_input_balance: balance_acc / steps as f64,
+            mean_time_balance: time_balance_acc / steps as f64,
+        }
+    }
+}
+
+/// SplitMix64-style mixing of a seed with up to three stream indices;
+/// collision-free in practice for distinct index tuples (unlike shifted
+/// XOR, which aliases once an index exceeds its bit window).
+fn mix_seed(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut x = seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ b.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        ^ c.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Mask of the `entries` highest-degree vertices (ties broken by id).
+fn hot_vertex_mask(graph: &Graph, entries: u32) -> Vec<bool> {
+    let n = graph.num_vertices() as usize;
+    let mut mask = vec![false; n];
+    if entries == 0 || n == 0 {
+        return mask;
+    }
+    let mut order: Vec<u32> = graph.vertices().collect();
+    order.sort_unstable_by_key(|&v| (std::cmp::Reverse(graph.degree(v)), v));
+    for &v in order.iter().take(entries as usize) {
+        mask[v as usize] = true;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::generators::{community, CommunityParams};
+    use gp_partition::prelude::*;
+    use gp_tensor::ModelKind;
+
+    fn setup(k: u32) -> (Graph, VertexPartition, VertexPartition, VertexSplit) {
+        let g = community(
+            CommunityParams {
+                n: 800,
+                m: 12_000,
+                communities: 8,
+                intra_prob: 0.75,
+                degree_exponent: 2.3,
+            },
+            5,
+        )
+        .unwrap();
+        let split = VertexSplit::paper_default(g.num_vertices(), 3).unwrap();
+        let rnd = RandomVertexPartitioner.partition_vertices(&g, k, 1).unwrap();
+        let metis = Metis::default().partition_vertices(&g, k, 1).unwrap();
+        (g, rnd, metis, split)
+    }
+
+    fn cfg(k: u32, f: usize, h: usize, layers: usize, kind: ModelKind) -> DistDglConfig {
+        DistDglConfig::paper(
+            ModelConfig {
+                kind,
+                feature_dim: f,
+                hidden_dim: h,
+                num_layers: layers,
+                num_classes: 8,
+                seed: 0,
+            },
+            ClusterSpec::paper(k),
+        )
+    }
+
+    #[test]
+    fn better_partitioner_fewer_remote_vertices() {
+        let (g, rnd, metis, split) = setup(4);
+        let c = cfg(4, 64, 64, 3, ModelKind::Sage);
+        let e_rnd = DistDglEngine::new(&g, &rnd, &split, c.clone()).unwrap().simulate_epoch(0);
+        let e_met = DistDglEngine::new(&g, &metis, &split, c).unwrap().simulate_epoch(0);
+        assert!(
+            e_met.total_remote_vertices < e_rnd.total_remote_vertices,
+            "METIS {} >= Random {}",
+            e_met.total_remote_vertices,
+            e_rnd.total_remote_vertices
+        );
+        assert!(e_met.counters.total_network_bytes() < e_rnd.counters.total_network_bytes());
+        assert!(e_met.epoch_time() < e_rnd.epoch_time());
+    }
+
+    #[test]
+    fn feature_size_inflates_feature_phase() {
+        let (g, rnd, _, split) = setup(4);
+        let small = DistDglEngine::new(&g, &rnd, &split, cfg(4, 16, 64, 3, ModelKind::Sage))
+            .unwrap()
+            .simulate_epoch(0);
+        let large = DistDglEngine::new(&g, &rnd, &split, cfg(4, 512, 64, 3, ModelKind::Sage))
+            .unwrap()
+            .simulate_epoch(0);
+        // Sampling time identical (same seed ⇒ same blocks), feature
+        // loading much larger (not 32× — the per-message latency floor
+        // does not scale with the feature size).
+        assert!((large.phases.sampling - small.phases.sampling).abs() < 1e-9);
+        assert!(
+            large.phases.feature_load > 4.0 * small.phases.feature_load,
+            "feature_load {} vs {}",
+            large.phases.feature_load,
+            small.phases.feature_load
+        );
+        assert_eq!(large.total_remote_vertices, small.total_remote_vertices);
+    }
+
+    #[test]
+    fn hidden_dim_inflates_compute_only() {
+        let (g, rnd, _, split) = setup(4);
+        let small = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 16, 3, ModelKind::Sage))
+            .unwrap()
+            .simulate_epoch(0);
+        let large = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 512, 3, ModelKind::Sage))
+            .unwrap()
+            .simulate_epoch(0);
+        assert!((large.phases.sampling - small.phases.sampling).abs() < 1e-9);
+        assert!((large.phases.feature_load - small.phases.feature_load).abs() < 1e-9);
+        assert!(large.phases.forward > 5.0 * small.phases.forward);
+    }
+
+    #[test]
+    fn gat_computes_more_than_sage() {
+        let (g, rnd, _, split) = setup(4);
+        let sage = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 3, ModelKind::Sage))
+            .unwrap()
+            .simulate_epoch(0);
+        let gat = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 3, ModelKind::Gat))
+            .unwrap()
+            .simulate_epoch(0);
+        assert!(gat.phases.forward > sage.phases.forward);
+    }
+
+    #[test]
+    fn steps_respect_batch_size() {
+        let (g, rnd, _, split) = setup(4);
+        let mut c = cfg(4, 16, 16, 2, ModelKind::Sage);
+        c.global_batch_size = 16;
+        let e = DistDglEngine::new(&g, &rnd, &split, c).unwrap();
+        assert_eq!(e.batch_per_worker(), 4);
+        // The epoch is gated by the worker with the most local training
+        // vertices, so it is at least the balanced ceil(|train| / GBS)
+        // and exactly that under a perfectly train-balanced partition.
+        let balanced = split.train.len().div_ceil(16);
+        let largest = (0..4u32)
+            .map(|w| e.store().local_train_vertices(w).len())
+            .max()
+            .unwrap();
+        assert_eq!(e.steps_per_epoch(), largest.div_ceil(4));
+        assert!(e.steps_per_epoch() >= balanced);
+    }
+
+    #[test]
+    fn config_validation() {
+        let (g, rnd, _, split) = setup(4);
+        let mut c = cfg(8, 16, 16, 2, ModelKind::Sage);
+        assert!(matches!(
+            DistDglEngine::new(&g, &rnd, &split, c.clone()),
+            Err(DistDglError::ClusterMismatch { .. })
+        ));
+        c.cluster.machines = 4;
+        c.fanouts = vec![5];
+        assert!(DistDglEngine::new(&g, &rnd, &split, c).is_err());
+    }
+
+    #[test]
+    fn feature_cache_reduces_traffic() {
+        let (g, rnd, _, split) = setup(4);
+        let mut base_cfg = cfg(4, 512, 64, 3, ModelKind::Sage);
+        base_cfg.feature_cache_entries = 0;
+        let base = DistDglEngine::new(&g, &rnd, &split, base_cfg.clone())
+            .unwrap()
+            .simulate_epoch(0);
+        let mut cached_cfg = base_cfg.clone();
+        cached_cfg.feature_cache_entries = 100;
+        let cached = DistDglEngine::new(&g, &rnd, &split, cached_cfg).unwrap().simulate_epoch(0);
+        assert_eq!(base.cache_hits, 0);
+        assert!(cached.cache_hits > 0, "hot hubs must hit the cache");
+        assert!(
+            cached.counters.total_network_bytes() < base.counters.total_network_bytes(),
+            "cache must cut traffic: {} vs {}",
+            cached.counters.total_network_bytes(),
+            base.counters.total_network_bytes()
+        );
+        assert!(cached.phases.feature_load < base.phases.feature_load);
+        // Sampling is unaffected (same seeds, same blocks).
+        assert!((cached.phases.sampling - base.phases.sampling).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_cache_never_hurts() {
+        let (g, rnd, _, split) = setup(4);
+        let traffic = |entries: u32| {
+            let mut c = cfg(4, 64, 64, 2, ModelKind::Sage);
+            c.feature_cache_entries = entries;
+            DistDglEngine::new(&g, &rnd, &split, c)
+                .unwrap()
+                .simulate_epoch(0)
+                .counters
+                .total_network_bytes()
+        };
+        let t0 = traffic(0);
+        let t50 = traffic(50);
+        let t400 = traffic(400);
+        assert!(t50 <= t0);
+        assert!(t400 <= t50);
+    }
+
+    #[test]
+    fn balances_reported() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 16, 16, 2, ModelKind::Sage))
+            .unwrap()
+            .simulate_epoch(0);
+        assert!(e.mean_input_balance >= 1.0);
+        assert!(e.mean_time_balance >= 1.0);
+        assert!(e.steps > 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for the DistDGL engine.
+
+use std::fmt;
+
+/// Errors produced while building or running the engine.
+#[derive(Debug)]
+pub enum DistDglError {
+    /// Partition `k` does not match the cluster size.
+    ClusterMismatch {
+        /// Partitions in the vertex partition.
+        partitions: u32,
+        /// Machines in the cluster spec.
+        machines: u32,
+    },
+    /// Invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DistDglError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistDglError::ClusterMismatch { partitions, machines } => write!(
+                f,
+                "partition has {partitions} parts but cluster has {machines} machines"
+            ),
+            DistDglError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistDglError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = DistDglError::ClusterMismatch { partitions: 2, machines: 4 };
+        assert!(e.to_string().contains("2 parts"));
+        assert!(DistDglError::InvalidConfig("x".into()).to_string().contains("x"));
+    }
+}

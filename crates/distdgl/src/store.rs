@@ -1,0 +1,117 @@
+//! Partitioned graph/feature store.
+//!
+//! DistDGL co-locates each vertex's adjacency list, features and label
+//! with its owning partition. The store answers two questions the
+//! sampler and feature loader need constantly: *who owns this vertex?*
+//! and *which training vertices are local to worker w?*
+
+use gp_graph::{Graph, VertexSplit};
+use gp_partition::VertexPartition;
+
+use crate::error::DistDglError;
+
+/// Ownership-aware view of a vertex-partitioned graph.
+#[derive(Debug, Clone)]
+pub struct PartitionedStore {
+    k: u32,
+    /// Owner partition per vertex.
+    owner: Vec<u32>,
+    /// Training vertices per partition (each worker trains on its own).
+    local_train: Vec<Vec<u32>>,
+}
+
+impl PartitionedStore {
+    /// Build a store from a partition and the train/val/test split.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition does not cover the graph.
+    pub fn new(
+        graph: &Graph,
+        partition: &VertexPartition,
+        split: &VertexSplit,
+    ) -> Result<Self, DistDglError> {
+        if partition.assignments().len() != graph.num_vertices() as usize {
+            return Err(DistDglError::InvalidConfig(format!(
+                "partition covers {} vertices, graph has {}",
+                partition.assignments().len(),
+                graph.num_vertices()
+            )));
+        }
+        let owner = partition.assignments().to_vec();
+        let mut local_train = vec![Vec::new(); partition.k() as usize];
+        for &v in &split.train {
+            local_train[owner[v as usize] as usize].push(v);
+        }
+        Ok(PartitionedStore { k: partition.k(), owner, local_train })
+    }
+
+    /// Number of partitions / workers.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Owner partition of vertex `v`.
+    #[inline]
+    pub fn owner(&self, v: u32) -> u32 {
+        self.owner[v as usize]
+    }
+
+    /// Whether vertex `v` is local to worker `w`.
+    #[inline]
+    pub fn is_local(&self, v: u32, w: u32) -> bool {
+        self.owner[v as usize] == w
+    }
+
+    /// Training vertices owned by worker `w`.
+    pub fn local_train_vertices(&self, w: u32) -> &[u32] {
+        &self.local_train[w as usize]
+    }
+
+    /// Number of vertices owned by each partition.
+    pub fn owned_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.k as usize];
+        for &o in &self.owner {
+            counts[o as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::Graph;
+
+    fn setup() -> (Graph, VertexPartition, VertexSplit) {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], false).unwrap();
+        let p = VertexPartition::new(&g, 2, vec![0, 0, 0, 1, 1, 1]).unwrap();
+        let s = VertexSplit::random(6, 0.5, 0.0, 1).unwrap();
+        (g, p, s)
+    }
+
+    #[test]
+    fn ownership() {
+        let (g, p, s) = setup();
+        let store = PartitionedStore::new(&g, &p, &s).unwrap();
+        assert_eq!(store.owner(0), 0);
+        assert_eq!(store.owner(5), 1);
+        assert!(store.is_local(1, 0));
+        assert!(!store.is_local(1, 1));
+        assert_eq!(store.owned_counts(), vec![3, 3]);
+    }
+
+    #[test]
+    fn train_vertices_partitioned_by_owner() {
+        let (g, p, s) = setup();
+        let store = PartitionedStore::new(&g, &p, &s).unwrap();
+        let all: usize =
+            (0..2).map(|w| store.local_train_vertices(w).len()).sum();
+        assert_eq!(all, s.train.len());
+        for w in 0..2u32 {
+            for &v in store.local_train_vertices(w) {
+                assert_eq!(store.owner(v), w);
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! The DistGNN cost-model engine.
+
+use gp_cluster::{compute_time, transfer_time, ClusterCounters, ClusterSpec};
+use gp_graph::Graph;
+use gp_partition::EdgePartition;
+use gp_tensor::flops::{layer_train_flops, model_param_count, BlockShape};
+use gp_tensor::{ModelConfig, ModelKind};
+
+use crate::error::DistGnnError;
+use crate::memory::{machine_memory, MemoryBreakdown};
+use crate::sync::{layer_sync_traffic_dims, record_sync};
+use crate::view::{assign_masters, build_views, PartitionView};
+
+/// Configuration of a full-batch training run.
+#[derive(Debug, Clone, Copy)]
+pub struct DistGnnConfig {
+    /// Model hyper-parameters (must be GraphSAGE — the only architecture
+    /// DistGNN supports, matching the paper).
+    pub model: ModelConfig,
+    /// Simulated cluster.
+    pub cluster: ClusterSpec,
+    /// Replica-sync period `r` — DistGNN's *cd-r* communication
+    /// avoidance (Md et al., SC 2021): partial aggregates of cut
+    /// vertices are synchronised only every `r`-th epoch, trading
+    /// staleness for an `r`-fold cut in sync traffic. The study paper
+    /// runs with `r = 1` (sync every epoch); other values are an
+    /// **extension** for the `ablations -- cdr` study. Convergence
+    /// effects of staleness are outside the cost model.
+    pub sync_period: u32,
+}
+
+impl DistGnnConfig {
+    /// Paper-default configuration: sync every epoch (cd-0 / 0c).
+    pub fn paper(model: ModelConfig, cluster: ClusterSpec) -> Self {
+        DistGnnConfig { model, cluster, sync_period: 1 }
+    }
+}
+
+/// Simulated wall-time of one epoch, split into the phases the paper
+/// measures.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochPhases {
+    /// Forward computation (straggler-gated, per layer).
+    pub forward: f64,
+    /// Backward computation.
+    pub backward: f64,
+    /// Replica synchronisation + gradient all-reduce.
+    pub sync: f64,
+    /// Optimiser step.
+    pub optimizer: f64,
+}
+
+impl EpochPhases {
+    /// Total epoch time.
+    pub fn total(&self) -> f64 {
+        self.forward + self.backward + self.sync + self.optimizer
+    }
+}
+
+/// Full result of one simulated epoch.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Phase breakdown (simulated seconds).
+    pub phases: EpochPhases,
+    /// Work counters per machine.
+    pub counters: ClusterCounters,
+    /// Per-machine memory breakdown.
+    pub memory: Vec<MemoryBreakdown>,
+    /// Machines whose footprint exceeds the installed memory.
+    pub oom_machines: Vec<u32>,
+}
+
+impl EpochReport {
+    /// Simulated seconds per epoch.
+    pub fn epoch_time(&self) -> f64 {
+        self.phases.total()
+    }
+
+    /// Cluster-wide peak memory (sum over machines).
+    pub fn total_memory(&self) -> u64 {
+        self.memory.iter().map(MemoryBreakdown::total).sum()
+    }
+
+    /// Cluster-wide *vertex-state* memory: the footprint minus the
+    /// per-machine model/optimiser state. At the paper's scale the model
+    /// is < 0.5% of the footprint; on the 1/200-scale analogues it can
+    /// reach 30%, so state-only numbers are the comparable quantity for
+    /// the paper's Figures 9 and 10.
+    pub fn total_state_memory(&self) -> u64 {
+        self.memory.iter().map(|m| m.total() - m.model_bytes).sum()
+    }
+
+    /// Memory-utilisation balance `max/mean` (paper Figure 5).
+    pub fn memory_balance(&self) -> f64 {
+        if self.memory.is_empty() {
+            return 0.0;
+        }
+        let total = self.total_memory();
+        let mean = total as f64 / self.memory.len() as f64;
+        let max = self.memory.iter().map(MemoryBreakdown::total).max().unwrap_or(0);
+        max as f64 / mean
+    }
+
+    /// Whether any machine ran out of memory.
+    pub fn any_oom(&self) -> bool {
+        !self.oom_machines.is_empty()
+    }
+}
+
+/// Full-batch edge-partitioned training engine.
+pub struct DistGnnEngine<'a> {
+    graph: &'a Graph,
+    partition: &'a EdgePartition,
+    views: Vec<PartitionView>,
+    masters: Vec<u32>,
+    config: DistGnnConfig,
+}
+
+impl<'a> DistGnnEngine<'a> {
+    /// Build an engine for a partitioned graph.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition size and cluster size disagree, or the
+    /// model is not GraphSAGE.
+    pub fn new(
+        graph: &'a Graph,
+        partition: &'a EdgePartition,
+        config: DistGnnConfig,
+    ) -> Result<Self, DistGnnError> {
+        if partition.k() != config.cluster.machines {
+            return Err(DistGnnError::ClusterMismatch {
+                partitions: partition.k(),
+                machines: config.cluster.machines,
+            });
+        }
+        if config.model.kind != ModelKind::Sage {
+            return Err(DistGnnError::UnsupportedModel(config.model.kind.name().into()));
+        }
+        if config.model.num_layers == 0 {
+            return Err(DistGnnError::InvalidConfig("num_layers must be > 0".into()));
+        }
+        if config.sync_period == 0 {
+            return Err(DistGnnError::InvalidConfig("sync_period must be > 0".into()));
+        }
+        let masters = assign_masters(partition);
+        let views = build_views(graph, partition, &masters);
+        Ok(DistGnnEngine { graph, partition, views, masters, config })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The edge partition.
+    pub fn partition(&self) -> &EdgePartition {
+        self.partition
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DistGnnConfig {
+        &self.config
+    }
+
+    /// Per-machine views.
+    pub fn views(&self) -> &[PartitionView] {
+        &self.views
+    }
+
+    /// Run the cost model for one epoch with the configured model.
+    pub fn simulate_epoch(&self) -> EpochReport {
+        self.simulate_epoch_for(&self.config.model)
+    }
+
+    /// Run the cost model for one epoch with an alternative model
+    /// configuration (same kind); grid sweeps reuse the engine's views
+    /// across the 27 hyper-parameter combinations this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model.kind` differs from the configured kind.
+    pub fn simulate_epoch_for(&self, model: &ModelConfig) -> EpochReport {
+        assert_eq!(model.kind, self.config.model.kind, "model kind mismatch");
+        let cluster = &self.config.cluster;
+        let k = cluster.machines;
+        let mut counters = ClusterCounters::new(k);
+        let mut phases = EpochPhases::default();
+
+        for layer in 0..model.num_layers {
+            let (in_dim, out_dim) = model.layer_dims(layer);
+            // --- Compute (forward + backward), straggler-gated. ---
+            let mut max_fwd = 0.0f64;
+            let mut max_bwd = 0.0f64;
+            for view in &self.views {
+                let shape = BlockShape {
+                    num_dst: view.num_masters(),
+                    num_src: view.num_local_vertices(),
+                    num_edges: view.num_local_edges(),
+                };
+                let train_flops =
+                    layer_train_flops(model.kind, shape, in_dim as u64, out_dim as u64);
+                let fwd_flops = train_flops / 3;
+                let bwd_flops = train_flops - fwd_flops;
+                counters.machine_mut(view.machine).flops += train_flops;
+                max_fwd = max_fwd.max(compute_time(&cluster.machine, fwd_flops));
+                max_bwd = max_bwd.max(compute_time(&cluster.machine, bwd_flops));
+            }
+            phases.forward += max_fwd;
+            phases.backward += max_bwd;
+
+            // --- Replica sync: forward gathers partial aggregates
+            // (in_dim) and scatters updated states (out_dim); the
+            // backward pass mirrors it with gradients. Under cd-r the
+            // sync runs every r-th epoch, so the per-epoch amortised
+            // cost is divided by the period. ---
+            for (gather, scatter) in [(in_dim, out_dim), (out_dim, in_dim)] {
+                let mut traffic = layer_sync_traffic_dims(
+                    self.partition,
+                    &self.masters,
+                    gather as u64,
+                    scatter as u64,
+                );
+                if self.config.sync_period > 1 {
+                    let p = u64::from(self.config.sync_period);
+                    for v in traffic
+                        .bytes_sent
+                        .iter_mut()
+                        .chain(traffic.bytes_received.iter_mut())
+                        .chain(traffic.messages.iter_mut())
+                    {
+                        *v /= p;
+                    }
+                }
+                record_sync(&mut counters, &traffic);
+                let mut max_sync = 0.0f64;
+                for m in 0..k as usize {
+                    let t = transfer_time(
+                        &cluster.network,
+                        traffic.bytes_sent[m] + traffic.bytes_received[m],
+                        traffic.messages[m],
+                    );
+                    max_sync = max_sync.max(t);
+                }
+                phases.sync += max_sync;
+            }
+        }
+
+        // --- Gradient all-reduce + optimiser step. The all-reduce is
+        // overlapped with the tail of the backward pass (standard
+        // bucketed gradient synchronisation), so only the excess over
+        // the backward compute shows up as synchronisation time. ---
+        let param_bytes = model_param_count(model) * 4;
+        let allreduce = gp_cluster::time::allreduce_time(&cluster.network, param_bytes, k);
+        phases.sync += (allreduce - phases.backward).max(0.0);
+        for m in 0..k {
+            counters.machine_mut(m).send(param_bytes);
+            counters.machine_mut(m).receive(param_bytes);
+        }
+        // Adam: ~10 FLOPs per parameter.
+        let opt_flops = model_param_count(model) * 10;
+        phases.optimizer = compute_time(&cluster.machine, opt_flops);
+        for m in 0..k {
+            counters.machine_mut(m).flops += opt_flops;
+        }
+
+        // --- Memory. ---
+        let memory: Vec<MemoryBreakdown> =
+            self.views.iter().map(|v| machine_memory(v, model)).collect();
+        let mut oom_machines = Vec::new();
+        for (view, mem) in self.views.iter().zip(memory.iter()) {
+            counters.machine_mut(view.machine).observe_memory(mem.total());
+            if mem.total() > cluster.machine.memory_bytes {
+                oom_machines.push(view.machine);
+            }
+        }
+
+        EpochReport { phases, counters, memory, oom_machines }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::generators::{rmat, RmatParams};
+    use gp_partition::prelude::*;
+
+    fn setup(k: u32) -> (Graph, EdgePartition, EdgePartition) {
+        let g = rmat(RmatParams { scale: 9, edge_factor: 8, ..RmatParams::default() }, 7).unwrap();
+        let random = RandomEdgePartitioner.partition_edges(&g, k, 1).unwrap();
+        let hep = Hep::hep100().partition_edges(&g, k, 1).unwrap();
+        (g, random, hep)
+    }
+
+    fn cfg(k: u32, f: usize, h: usize, layers: usize) -> DistGnnConfig {
+        DistGnnConfig::paper(
+            ModelConfig {
+                kind: ModelKind::Sage,
+                feature_dim: f,
+                hidden_dim: h,
+                num_layers: layers,
+                num_classes: 8,
+                seed: 0,
+            },
+            ClusterSpec::paper(k),
+        )
+    }
+
+    #[test]
+    fn better_partitioner_less_traffic_and_time() {
+        let (g, random, hep) = setup(8);
+        let c = cfg(8, 64, 64, 3);
+        let r_rand = DistGnnEngine::new(&g, &random, c).unwrap().simulate_epoch();
+        let r_hep = DistGnnEngine::new(&g, &hep, c).unwrap().simulate_epoch();
+        assert!(
+            r_hep.counters.total_network_bytes() < r_rand.counters.total_network_bytes(),
+            "HEP traffic {} >= Random {}",
+            r_hep.counters.total_network_bytes(),
+            r_rand.counters.total_network_bytes()
+        );
+        assert!(r_hep.epoch_time() < r_rand.epoch_time());
+        assert!(r_hep.total_memory() < r_rand.total_memory());
+    }
+
+    #[test]
+    fn traffic_proportional_to_state_dims() {
+        let (g, random, _) = setup(4);
+        let small = DistGnnEngine::new(&g, &random, cfg(4, 16, 16, 2)).unwrap().simulate_epoch();
+        let large = DistGnnEngine::new(&g, &random, cfg(4, 512, 512, 2)).unwrap().simulate_epoch();
+        // Sync volume scales with state size; subtract the (identical
+        // per-config) allreduce contribution before comparing? Allreduce
+        // differs too (larger params) — the large config must dominate.
+        assert!(
+            large.counters.total_network_bytes() > 10 * small.counters.total_network_bytes()
+        );
+    }
+
+    #[test]
+    fn more_layers_more_memory() {
+        let (g, random, _) = setup(4);
+        let l2 = DistGnnEngine::new(&g, &random, cfg(4, 64, 64, 2)).unwrap().simulate_epoch();
+        let l4 = DistGnnEngine::new(&g, &random, cfg(4, 64, 64, 4)).unwrap().simulate_epoch();
+        assert!(l4.total_memory() > l2.total_memory());
+    }
+
+    #[test]
+    fn cluster_mismatch_rejected() {
+        let (g, random, _) = setup(4);
+        assert!(matches!(
+            DistGnnEngine::new(&g, &random, cfg(8, 16, 16, 2)),
+            Err(DistGnnError::ClusterMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_sage_rejected() {
+        let (g, random, _) = setup(4);
+        let mut c = cfg(4, 16, 16, 2);
+        c.model.kind = ModelKind::Gat;
+        assert!(matches!(
+            DistGnnEngine::new(&g, &random, c),
+            Err(DistGnnError::UnsupportedModel(_))
+        ));
+    }
+
+    #[test]
+    fn phases_all_positive() {
+        let (g, random, _) = setup(4);
+        let r = DistGnnEngine::new(&g, &random, cfg(4, 64, 64, 2)).unwrap().simulate_epoch();
+        assert!(r.phases.forward > 0.0);
+        assert!(r.phases.backward > 0.0);
+        assert!(r.phases.sync > 0.0);
+        assert!(r.phases.optimizer > 0.0);
+        assert!(!r.any_oom());
+    }
+
+    #[test]
+    fn cdr_sync_period_amortises_traffic() {
+        let (g, random, _) = setup(8);
+        let base = cfg(8, 64, 64, 3);
+        let mut cdr = base;
+        cdr.sync_period = 4;
+        let r1 = DistGnnEngine::new(&g, &random, base).unwrap().simulate_epoch();
+        let r4 = DistGnnEngine::new(&g, &random, cdr).unwrap().simulate_epoch();
+        // Sync phase shrinks ~4x (a small allreduce-excess term does not
+        // scale with the period); compute is unchanged.
+        assert!(
+            r4.phases.sync < 0.35 * r1.phases.sync,
+            "cd-4 sync {} vs cd-1 {}",
+            r4.phases.sync,
+            r1.phases.sync
+        );
+        assert_eq!(r4.phases.forward, r1.phases.forward);
+        assert!(r4.counters.total_network_bytes() < r1.counters.total_network_bytes());
+    }
+
+    #[test]
+    fn zero_sync_period_rejected() {
+        let (g, random, _) = setup(4);
+        let mut c = cfg(4, 16, 16, 2);
+        c.sync_period = 0;
+        assert!(matches!(
+            DistGnnEngine::new(&g, &random, c),
+            Err(DistGnnError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn memory_balance_tracks_vertex_balance() {
+        let (g, _, hep) = setup(8);
+        let r = DistGnnEngine::new(&g, &hep, cfg(8, 256, 16, 2)).unwrap().simulate_epoch();
+        // HEP has a vertex imbalance; memory balance must reflect it
+        // (paper Figure 5: the two correlate). At this test scale the
+        // constant per-machine model state dilutes the correlation, so
+        // assert direction and bound rather than equality.
+        let vb = hep.vertex_balance();
+        let mb = r.memory_balance();
+        assert!(vb > 1.2, "test premise: HEP imbalanced, vb = {vb}");
+        assert!(
+            mb - 1.0 > 0.35 * (vb - 1.0),
+            "memory balance {mb} does not track vertex balance {vb}"
+        );
+        assert!(mb <= vb + 0.05, "memory balance {mb} exceeds vertex balance {vb}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for the DistGNN engine.
+
+use std::fmt;
+
+/// Errors produced while building or running the engine.
+#[derive(Debug)]
+pub enum DistGnnError {
+    /// The partition's `k` does not match the cluster size.
+    ClusterMismatch {
+        /// Partitions in the edge partition.
+        partitions: u32,
+        /// Machines in the cluster spec.
+        machines: u32,
+    },
+    /// The model configuration is unsupported (DistGNN supports
+    /// GraphSAGE only, matching the paper).
+    UnsupportedModel(String),
+    /// Invalid configuration value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DistGnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistGnnError::ClusterMismatch { partitions, machines } => write!(
+                f,
+                "partition has {partitions} parts but cluster has {machines} machines"
+            ),
+            DistGnnError::UnsupportedModel(m) => {
+                write!(f, "unsupported model for DistGNN: {m} (only GraphSage)")
+            }
+            DistGnnError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistGnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = DistGnnError::ClusterMismatch { partitions: 4, machines: 8 };
+        assert!(e.to_string().contains("4"));
+        assert!(DistGnnError::UnsupportedModel("GAT".into()).to_string().contains("GAT"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Real full-batch training.
+//!
+//! Executes the actual GraphSAGE forward/backward over the whole graph.
+//! Data-parallel full-batch training with per-epoch gradient all-reduce
+//! is mathematically identical to centralised training, so the math runs
+//! once globally — while the per-machine cost accounting (FLOPs, sync
+//! bytes, memory) is produced by [`crate::engine::DistGnnEngine::simulate_epoch`]
+//! from the same partition, keeping simulated time and real learning
+//! consistent.
+
+use gp_graph::Graph;
+use gp_tensor::init::synthetic_features;
+use gp_tensor::{Aggregation, GnnModel, Optimizer, Tensor};
+
+/// Loss/accuracy trajectory of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainStats {
+    /// Mean training loss per epoch.
+    pub losses: Vec<f32>,
+    /// Training accuracy per epoch.
+    pub accuracies: Vec<f64>,
+}
+
+impl TrainStats {
+    /// Whether the loss decreased from start to finish.
+    pub fn improved(&self) -> bool {
+        match (self.losses.first(), self.losses.last()) {
+            (Some(a), Some(b)) => b < a,
+            _ => false,
+        }
+    }
+}
+
+/// Build the full-graph aggregation block (every vertex aggregates from
+/// its message neighbours).
+pub fn full_graph_block(graph: &Graph) -> Aggregation {
+    let n = graph.num_vertices() as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u32);
+    let mut indices = Vec::new();
+    for v in graph.vertices() {
+        indices.extend_from_slice(graph.message_neighbors(v));
+        offsets.push(indices.len() as u32);
+    }
+    Aggregation::new(n, offsets, indices)
+}
+
+/// Deterministic synthetic features for every vertex.
+pub fn vertex_features(graph: &Graph, feature_dim: usize, seed: u64) -> Tensor {
+    synthetic_features(graph.num_vertices() as usize, feature_dim, seed)
+}
+
+/// Structure-correlated synthetic labels: the label of `v` is the argmax
+/// over the first `classes` feature dimensions of the mean feature of
+/// `N(v) ∪ {v}` — learnable by a 1-layer GNN, non-trivial for an MLP.
+pub fn vertex_labels(graph: &Graph, features: &Tensor, classes: usize) -> Vec<u32> {
+    assert!(classes <= features.cols(), "classes must fit in the feature dim");
+    let mut labels = Vec::with_capacity(graph.num_vertices() as usize);
+    for v in graph.vertices() {
+        let mut acc = vec![0.0f32; classes];
+        let mut count = 1.0f32;
+        for (a, &x) in acc.iter_mut().zip(features.row(v as usize).iter()) {
+            *a += x;
+        }
+        for &u in graph.message_neighbors(v) {
+            for (a, &x) in acc.iter_mut().zip(features.row(u as usize).iter()) {
+                *a += x;
+            }
+            count += 1.0;
+        }
+        let label = acc
+            .iter()
+            .map(|x| x / count)
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(i, _)| i as u32)
+            .expect("classes >= 1");
+        labels.push(label);
+    }
+    labels
+}
+
+/// Evaluate classification accuracy on a vertex subset using full-graph
+/// inference (the standard evaluation protocol: no sampling at test
+/// time).
+pub fn evaluate(
+    model: &mut GnnModel,
+    graph: &Graph,
+    features: &Tensor,
+    labels: &[u32],
+    subset: &[u32],
+) -> f64 {
+    if subset.is_empty() {
+        return 0.0;
+    }
+    let block = full_graph_block(graph);
+    let logits = model.forward_full(&block, features);
+    let subset_logits = logits.select_rows(subset);
+    let subset_labels: Vec<u32> = subset.iter().map(|&v| labels[v as usize]).collect();
+    gp_tensor::loss::accuracy(&subset_logits, &subset_labels)
+}
+
+/// Train a model full-batch for `epochs` epochs; returns the loss curve.
+pub fn train_full_batch<O: Optimizer>(
+    model: &mut GnnModel,
+    graph: &Graph,
+    features: &Tensor,
+    labels: &[u32],
+    opt: &mut O,
+    epochs: u32,
+) -> TrainStats {
+    let block = full_graph_block(graph);
+    let blocks: Vec<&Aggregation> = std::iter::repeat_n(&block, model.num_layers()).collect();
+    let mut losses = Vec::with_capacity(epochs as usize);
+    let mut accuracies = Vec::with_capacity(epochs as usize);
+    for _ in 0..epochs {
+        let (loss, acc) = model.train_step(&blocks, features, labels, opt);
+        losses.push(loss);
+        accuracies.push(acc);
+    }
+    TrainStats { losses, accuracies }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::generators::{smallworld, SmallWorldParams};
+    use gp_tensor::{Adam, ModelConfig, ModelKind};
+
+    fn small_graph() -> Graph {
+        smallworld(SmallWorldParams { n: 200, k: 3, rewire_prob: 0.1 }, 3).unwrap()
+    }
+
+    #[test]
+    fn full_graph_block_shape() {
+        let g = small_graph();
+        let b = full_graph_block(&g);
+        assert_eq!(b.num_dst(), 200);
+        assert_eq!(b.num_src(), 200);
+        assert_eq!(b.num_edges(), g.num_arcs() as usize);
+    }
+
+    #[test]
+    fn labels_in_range_and_deterministic() {
+        let g = small_graph();
+        let x = vertex_features(&g, 16, 1);
+        let l1 = vertex_labels(&g, &x, 4);
+        let l2 = vertex_labels(&g, &x, 4);
+        assert_eq!(l1, l2);
+        assert!(l1.iter().all(|&l| l < 4));
+        // All classes appear on a 200-vertex graph.
+        for c in 0..4u32 {
+            assert!(l1.contains(&c), "class {c} missing");
+        }
+    }
+
+    #[test]
+    fn full_batch_training_learns() {
+        let g = small_graph();
+        let x = vertex_features(&g, 16, 2);
+        let labels = vertex_labels(&g, &x, 4);
+        let mut model = GnnModel::new(ModelConfig {
+            kind: ModelKind::Sage,
+            feature_dim: 16,
+            hidden_dim: 32,
+            num_layers: 2,
+            num_classes: 4,
+            seed: 5,
+        });
+        let mut opt = Adam::new(0.01);
+        let stats = train_full_batch(&mut model, &g, &x, &labels, &mut opt, 60);
+        assert!(stats.improved(), "loss did not improve: {:?}", &stats.losses[..3]);
+        let final_acc = *stats.accuracies.last().unwrap();
+        assert!(final_acc > 0.6, "accuracy only {final_acc}");
+    }
+
+    #[test]
+    fn evaluate_on_held_out_split() {
+        let g = small_graph();
+        let x = vertex_features(&g, 16, 2);
+        let labels = vertex_labels(&g, &x, 4);
+        let split = gp_graph::VertexSplit::random(g.num_vertices(), 0.5, 0.2, 9).unwrap();
+        let mut model = GnnModel::new(gp_tensor::ModelConfig {
+            kind: gp_tensor::ModelKind::Sage,
+            feature_dim: 16,
+            hidden_dim: 32,
+            num_layers: 2,
+            num_classes: 4,
+            seed: 5,
+        });
+        let before = evaluate(&mut model, &g, &x, &labels, &split.val);
+        let mut opt = Adam::new(0.01);
+        let _ = train_full_batch(&mut model, &g, &x, &labels, &mut opt, 60);
+        let after = evaluate(&mut model, &g, &x, &labels, &split.val);
+        // Validation accuracy improves (the labels are derived from the
+        // graph+features, so they generalise across the split).
+        assert!(after > before, "val acc {before} -> {after}");
+        assert!(after > 0.5, "val acc {after}");
+        assert_eq!(evaluate(&mut model, &g, &x, &labels, &[]), 0.0);
+    }
+
+    #[test]
+    fn directed_graph_blocks_use_in_neighbors() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], true).unwrap();
+        let b = full_graph_block(&g);
+        assert_eq!(b.neighbors(0), &[] as &[u32]);
+        assert_eq!(b.neighbors(1), &[0]);
+        assert_eq!(b.neighbors(2), &[1]);
+    }
+}

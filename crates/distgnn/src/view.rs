@@ -1,0 +1,178 @@
+//! Per-machine view of an edge partition.
+
+use gp_graph::Graph;
+use gp_partition::EdgePartition;
+
+/// What one machine of the cluster holds under an edge partition.
+#[derive(Debug, Clone)]
+pub struct PartitionView {
+    /// Machine / partition id.
+    pub machine: u32,
+    /// Edges assigned to this machine (canonical edge ids).
+    pub local_edges: Vec<u32>,
+    /// Vertices covered by this machine (sorted global ids) — every
+    /// vertex incident to a local edge, i.e. the replica set `V(p)`.
+    pub local_vertices: Vec<u32>,
+    /// Vertices *mastered* by this machine: each replicated vertex has
+    /// exactly one master replica that combines partial aggregates and
+    /// runs the dense layer for it.
+    pub master_vertices: Vec<u32>,
+}
+
+impl PartitionView {
+    /// Number of covered vertices `|V(p)|`.
+    pub fn num_local_vertices(&self) -> u64 {
+        self.local_vertices.len() as u64
+    }
+
+    /// Number of local edges.
+    pub fn num_local_edges(&self) -> u64 {
+        self.local_edges.len() as u64
+    }
+
+    /// Number of mastered vertices.
+    pub fn num_masters(&self) -> u64 {
+        self.master_vertices.len() as u64
+    }
+}
+
+/// Sentinel master for vertices without any incident edge.
+pub const NO_MASTER: u32 = u32::MAX;
+
+/// Assign every covered vertex a *master* replica, balancing the number
+/// of masters per machine (DistGNN balances the owner role because the
+/// dense-layer compute happens at the owner). Greedy: each vertex goes
+/// to its least-loaded replica partition; deterministic by vertex order.
+pub fn assign_masters(partition: &EdgePartition) -> Vec<u32> {
+    let k = partition.k() as usize;
+    let mut load = vec![0u64; k];
+    let mut masters = vec![NO_MASTER; partition.num_vertices() as usize];
+    for v in 0..partition.num_vertices() {
+        let mask = partition.replica_mask(v);
+        if mask == 0 {
+            continue;
+        }
+        let mut best = NO_MASTER;
+        let mut best_load = u64::MAX;
+        let mut m = mask;
+        while m != 0 {
+            let p = m.trailing_zeros();
+            if load[p as usize] < best_load {
+                best_load = load[p as usize];
+                best = p;
+            }
+            m &= m - 1;
+        }
+        masters[v as usize] = best;
+        load[best as usize] += 1;
+    }
+    masters
+}
+
+/// Build all machine views for an edge partition using a master
+/// assignment from [`assign_masters`].
+pub fn build_views(graph: &Graph, partition: &EdgePartition, masters: &[u32]) -> Vec<PartitionView> {
+    let k = partition.k();
+    let mut views: Vec<PartitionView> = (0..k)
+        .map(|machine| PartitionView {
+            machine,
+            local_edges: Vec::new(),
+            local_vertices: Vec::new(),
+            master_vertices: Vec::new(),
+        })
+        .collect();
+    for e in 0..graph.num_edges() {
+        let p = partition.edge_partition(e);
+        views[p as usize].local_edges.push(e);
+    }
+    for v in graph.vertices() {
+        let mask = partition.replica_mask(v);
+        if mask == 0 {
+            continue;
+        }
+        let mut m = mask;
+        while m != 0 {
+            let p = m.trailing_zeros();
+            views[p as usize].local_vertices.push(v);
+            m &= m - 1;
+        }
+        views[masters[v as usize] as usize].master_vertices.push(v);
+    }
+    views
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::Graph;
+    use gp_partition::EdgePartition;
+
+    fn cycle() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)], false).unwrap()
+    }
+
+    fn views_of(g: &Graph, p: &EdgePartition) -> Vec<PartitionView> {
+        let masters = assign_masters(p);
+        build_views(g, p, &masters)
+    }
+
+    #[test]
+    fn views_cover_all_edges_once() {
+        let g = cycle();
+        let p = EdgePartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        let views = views_of(&g, &p);
+        let total: usize = views.iter().map(|v| v.local_edges.len()).sum();
+        assert_eq!(total, 4);
+        assert_eq!(views[0].local_edges, vec![0, 1]);
+    }
+
+    #[test]
+    fn local_vertices_match_replica_sets() {
+        let g = cycle();
+        let p = EdgePartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        let views = views_of(&g, &p);
+        assert_eq!(views[0].local_vertices, vec![0, 1, 2]);
+        assert_eq!(views[1].local_vertices, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn each_vertex_mastered_exactly_once() {
+        let g = cycle();
+        let p = EdgePartition::new(&g, 2, vec![0, 1, 0, 1]).unwrap();
+        let views = views_of(&g, &p);
+        let mut masters: Vec<u32> = views.iter().flat_map(|v| v.master_vertices.clone()).collect();
+        masters.sort_unstable();
+        assert_eq!(masters, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn master_is_a_replica() {
+        let g = cycle();
+        let p = EdgePartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        let views = views_of(&g, &p);
+        for view in &views {
+            for &v in &view.master_vertices {
+                assert!(p.has_replica(v, view.machine), "master {v} not a replica");
+            }
+        }
+    }
+
+    #[test]
+    fn masters_balanced() {
+        let g = cycle();
+        let p = EdgePartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        let masters = assign_masters(&p);
+        let c0 = masters.iter().filter(|&&m| m == 0).count();
+        let c1 = masters.iter().filter(|&&m| m == 1).count();
+        assert_eq!(c0 + c1, 4);
+        assert!(c0.abs_diff(c1) <= 1, "masters {c0} vs {c1}");
+    }
+
+    #[test]
+    fn isolated_vertex_has_no_master() {
+        let g = Graph::from_edges(3, &[(0, 1)], false).unwrap();
+        let p = EdgePartition::new(&g, 2, vec![0]).unwrap();
+        let masters = assign_masters(&p);
+        assert_eq!(masters[2], NO_MASTER);
+    }
+}

@@ -1,0 +1,13 @@
+use gp_graph::{DatasetId, GraphScale};
+fn main() {
+    for scale in [GraphScale::Tiny, GraphScale::Small] {
+        for id in DatasetId::ALL {
+            let t = std::time::Instant::now();
+            let g = id.generate(scale).unwrap();
+            println!(
+                "{:?} {}: |V|={} |E|={} ratio={:.1} gen={:?}",
+                scale, id.name(), g.num_vertices(), g.num_edges(), g.mean_degree(), t.elapsed()
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Classic graph algorithms used for dataset validation, partition
+//! diagnostics and the CLI's `stats` command.
+
+use std::collections::VecDeque;
+
+use crate::csr::Graph;
+
+/// Connected components (weakly connected for directed graphs).
+///
+/// Returns `(component_id_per_vertex, component_count)`.
+pub fn connected_components(graph: &Graph) -> (Vec<u32>, u32) {
+    const UNVISITED: u32 = u32::MAX;
+    let n = graph.num_vertices() as usize;
+    let mut component = vec![UNVISITED; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in graph.vertices() {
+        if component[start as usize] != UNVISITED {
+            continue;
+        }
+        let id = count;
+        count += 1;
+        component[start as usize] = id;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            // Weak connectivity: follow both directions.
+            for &w in graph.out_neighbors(v) {
+                if component[w as usize] == UNVISITED {
+                    component[w as usize] = id;
+                    queue.push_back(w);
+                }
+            }
+            if graph.is_directed() {
+                for &w in graph.in_neighbors(v) {
+                    if component[w as usize] == UNVISITED {
+                        component[w as usize] = id;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+    }
+    (component, count)
+}
+
+/// Size of the largest (weakly) connected component.
+pub fn largest_component_size(graph: &Graph) -> u32 {
+    let (components, count) = connected_components(graph);
+    if count == 0 {
+        return 0;
+    }
+    let mut sizes = vec![0u32; count as usize];
+    for &c in &components {
+        sizes[c as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// BFS hop distances from `source` (undirected traversal), `u32::MAX`
+/// for unreachable vertices.
+pub fn bfs_distances(graph: &Graph, source: u32) -> Vec<u32> {
+    const INF: u32 = u32::MAX;
+    let mut dist = vec![INF; graph.num_vertices() as usize];
+    dist[source as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        let visit = |w: u32, dist: &mut Vec<u32>, queue: &mut VecDeque<u32>| {
+            if dist[w as usize] == INF {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        };
+        for &w in graph.out_neighbors(v) {
+            visit(w, &mut dist, &mut queue);
+        }
+        if graph.is_directed() {
+            for &w in graph.in_neighbors(v) {
+                visit(w, &mut dist, &mut queue);
+            }
+        }
+    }
+    dist
+}
+
+/// Estimate the diameter by double-sweep BFS: the eccentricity of the
+/// farthest vertex from `seed` lower-bounds the true diameter and is
+/// exact on trees; good enough to distinguish road networks (huge
+/// diameter) from social networks (tiny diameter).
+pub fn diameter_lower_bound(graph: &Graph, seed: u32) -> u32 {
+    if graph.num_vertices() == 0 {
+        return 0;
+    }
+    let first = bfs_distances(graph, seed);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as u32)
+        .unwrap_or(seed);
+    let second = bfs_distances(graph, far);
+    second.into_iter().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+}
+
+/// Global clustering proxy: the fraction of sampled length-2 paths that
+/// close into triangles. Deterministic sampling of up to
+/// `sample_vertices` centres keeps this O(sample · deg²).
+pub fn clustering_coefficient(graph: &Graph, sample_vertices: u32) -> f64 {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let step = (n / sample_vertices.max(1)).max(1);
+    let mut wedges = 0u64;
+    let mut closed = 0u64;
+    let mut v = 0u32;
+    while v < n {
+        let nbrs = graph.out_neighbors(v);
+        // Cap hub work: quadratic in degree.
+        let lim = nbrs.len().min(64);
+        for i in 0..lim {
+            for j in (i + 1)..lim {
+                wedges += 1;
+                let (a, b) = (nbrs[i], nbrs[j]);
+                if graph.out_neighbors(a).contains(&b) || graph.in_neighbors(a).contains(&b) {
+                    closed += 1;
+                }
+            }
+        }
+        v = v.saturating_add(step);
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn two_triangles() -> Graph {
+        // Components {0,1,2} and {3,4,5}, each a triangle.
+        Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)], false).unwrap()
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = two_triangles();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn isolated_vertices_are_components() {
+        let g = Graph::from_edges(4, &[(0, 1)], false).unwrap();
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn directed_weak_connectivity() {
+        // 0 -> 1 <- 2 : weakly connected.
+        let g = Graph::from_edges(3, &[(0, 1), (2, 1)], true).unwrap();
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], false).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_inf() {
+        let g = Graph::from_edges(3, &[(0, 1)], false).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)], false).unwrap();
+        assert_eq!(diameter_lower_bound(&g, 2), 4);
+    }
+
+    #[test]
+    fn road_has_larger_diameter_than_social() {
+        use crate::{DatasetId, GraphScale};
+        let road = DatasetId::DI.generate(GraphScale::Tiny).unwrap();
+        let social = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        assert!(
+            diameter_lower_bound(&road, 0) > 4 * diameter_lower_bound(&social, 0),
+            "road {} vs social {}",
+            diameter_lower_bound(&road, 0),
+            diameter_lower_bound(&social, 0)
+        );
+    }
+
+    #[test]
+    fn clustering_high_on_cliques() {
+        let g = two_triangles();
+        assert!(clustering_coefficient(&g, 10) > 0.9);
+    }
+
+    #[test]
+    fn clustering_zero_on_star() {
+        let edges: Vec<(u32, u32)> = (1..6).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(6, &edges, false).unwrap();
+        assert_eq!(clustering_coefficient(&g, 10), 0.0);
+    }
+
+    #[test]
+    fn collaboration_graph_is_clustered() {
+        use crate::{DatasetId, GraphScale};
+        let hw = DatasetId::HW.generate(GraphScale::Tiny).unwrap();
+        let en = DatasetId::EN.generate(GraphScale::Tiny).unwrap();
+        assert!(
+            clustering_coefficient(&hw, 200) > 2.0 * clustering_coefficient(&en, 200),
+            "HW {} vs EN {}",
+            clustering_coefficient(&hw, 200),
+            clustering_coefficient(&en, 200)
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Deduplicating graph builder.
+//!
+//! Generators and loaders produce raw edge streams that may contain
+//! duplicates and self-loops; [`GraphBuilder`] normalises them into the
+//! canonical form [`Graph`] expects.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Accumulates raw edges and produces a clean [`Graph`].
+///
+/// Self-loops are always dropped. Duplicate edges are dropped (for
+/// undirected graphs, `(u, v)` and `(v, u)` are considered the same edge).
+///
+/// ```
+/// use gp_graph::GraphBuilder;
+/// let mut b = GraphBuilder::undirected(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate of (0, 1)
+/// b.add_edge(2, 2); // self-loop, dropped
+/// b.add_edge(1, 2);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    directed: bool,
+    num_vertices: u32,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// New builder for a directed graph with `num_vertices` vertices.
+    pub fn directed(num_vertices: u32) -> Self {
+        GraphBuilder { directed: true, num_vertices, edges: Vec::new() }
+    }
+
+    /// New builder for an undirected graph with `num_vertices` vertices.
+    pub fn undirected(num_vertices: u32) -> Self {
+        GraphBuilder { directed: false, num_vertices, edges: Vec::new() }
+    }
+
+    /// Pre-allocate space for `n` edges.
+    pub fn reserve(&mut self, n: usize) {
+        self.edges.reserve(n);
+    }
+
+    /// Number of raw edges added so far (before dedup).
+    pub fn raw_len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add one edge. Self-loops are silently dropped; duplicates are
+    /// removed at [`Self::build`] time.
+    #[inline]
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        if u == v {
+            return;
+        }
+        if self.directed {
+            self.edges.push((u, v));
+        } else {
+            self.edges.push((u.min(v), u.max(v)));
+        }
+    }
+
+    /// Grow the vertex-id space to at least `n` vertices.
+    pub fn ensure_vertices(&mut self, n: u32) {
+        self.num_vertices = self.num_vertices.max(n);
+    }
+
+    /// Deduplicate and produce the final [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from [`Graph::from_edges`] (out-of-range
+    /// endpoints, overflow).
+    pub fn build(mut self) -> Result<Graph, GraphError> {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        Graph::from_edges(self.num_vertices, &self.edges, self.directed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_directed_edges() {
+        let mut b = GraphBuilder::directed(3);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // distinct direction: kept
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedups_undirected_both_orientations() {
+        let mut b = GraphBuilder::undirected(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(1, 1);
+        b.add_edge(0, 1);
+        assert_eq!(b.raw_len(), 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn ensure_vertices_grows_only() {
+        let mut b = GraphBuilder::directed(5);
+        b.ensure_vertices(3);
+        b.add_edge(0, 4);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn out_of_range_edge_fails_at_build() {
+        let mut b = GraphBuilder::directed(2);
+        b.add_edge(0, 5);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::undirected(10).build().unwrap();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

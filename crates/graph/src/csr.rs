@@ -1,0 +1,352 @@
+//! Compact immutable CSR graph.
+//!
+//! [`Graph`] stores a canonical edge list plus CSR adjacency. For an
+//! undirected graph each edge `{u, v}` is stored once in the edge list
+//! (normalised so `u <= v`) and twice in the out-adjacency (as arcs
+//! `u -> v` and `v -> u`); the in-adjacency is not materialised because it
+//! equals the out-adjacency. For a directed graph both out- and
+//! in-adjacency are materialised.
+
+use crate::error::GraphError;
+
+/// Vertex identifier. The study's scaled-down graphs fit comfortably in
+/// `u32`, which halves adjacency memory compared to `usize`.
+pub type VertexId = u32;
+
+/// Immutable graph in CSR form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph {
+    directed: bool,
+    num_vertices: u32,
+    /// Canonical edge list: sources. One entry per *unique* edge.
+    src: Vec<u32>,
+    /// Canonical edge list: destinations.
+    dst: Vec<u32>,
+    /// CSR offsets for out-adjacency (`num_vertices + 1` entries).
+    out_offsets: Vec<u32>,
+    /// CSR targets for out-adjacency.
+    out_targets: Vec<u32>,
+    /// CSR offsets for in-adjacency (empty for undirected graphs).
+    in_offsets: Vec<u32>,
+    /// CSR targets for in-adjacency (empty for undirected graphs).
+    in_targets: Vec<u32>,
+}
+
+impl Graph {
+    /// Build a graph from a deduplicated edge list.
+    ///
+    /// `edges` must already be free of duplicates and self-loops (use
+    /// [`crate::GraphBuilder`] for raw input). For undirected graphs each
+    /// pair must appear exactly once (in either orientation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is
+    /// `>= num_vertices` and [`GraphError::TooLarge`] if the arc count
+    /// would overflow `u32`.
+    pub fn from_edges(
+        num_vertices: u32,
+        edges: &[(u32, u32)],
+        directed: bool,
+    ) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u >= num_vertices || v >= num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u64::from(u.max(v)),
+                    num_vertices: u64::from(num_vertices),
+                });
+            }
+        }
+        let arc_factor: u64 = if directed { 1 } else { 2 };
+        let arcs = edges.len() as u64 * arc_factor;
+        if arcs > u64::from(u32::MAX) {
+            return Err(GraphError::TooLarge { what: "edges", requested: arcs });
+        }
+
+        let n = num_vertices as usize;
+        let mut src = Vec::with_capacity(edges.len());
+        let mut dst = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if directed {
+                src.push(u);
+                dst.push(v);
+            } else {
+                // Normalise undirected edges so (src, dst) is unique.
+                src.push(u.min(v));
+                dst.push(u.max(v));
+            }
+        }
+
+        // Out-adjacency via counting sort.
+        let mut out_deg = vec![0u32; n];
+        for i in 0..src.len() {
+            out_deg[src[i] as usize] += 1;
+            if !directed {
+                out_deg[dst[i] as usize] += 1;
+            }
+        }
+        let mut out_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            out_offsets[v + 1] = out_offsets[v] + out_deg[v];
+        }
+        let mut out_targets = vec![0u32; out_offsets[n] as usize];
+        let mut cursor = out_offsets[..n].to_vec();
+        for i in 0..src.len() {
+            let (u, v) = (src[i], dst[i]);
+            out_targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            if !directed {
+                out_targets[cursor[v as usize] as usize] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+
+        // In-adjacency (directed only).
+        let (in_offsets, in_targets) = if directed {
+            let mut in_deg = vec![0u32; n];
+            for &v in &dst {
+                in_deg[v as usize] += 1;
+            }
+            let mut offs = vec![0u32; n + 1];
+            for v in 0..n {
+                offs[v + 1] = offs[v] + in_deg[v];
+            }
+            let mut tgts = vec![0u32; offs[n] as usize];
+            let mut cur = offs[..n].to_vec();
+            for i in 0..src.len() {
+                let (u, v) = (src[i], dst[i]);
+                tgts[cur[v as usize] as usize] = u;
+                cur[v as usize] += 1;
+            }
+            (offs, tgts)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        Ok(Graph {
+            directed,
+            num_vertices,
+            src,
+            dst,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        })
+    }
+
+    /// Whether the graph is directed.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Number of *unique* edges (an undirected edge counts once).
+    #[inline]
+    pub fn num_edges(&self) -> u32 {
+        self.src.len() as u32
+    }
+
+    /// Number of adjacency arcs (`2 * num_edges` for undirected graphs).
+    #[inline]
+    pub fn num_arcs(&self) -> u32 {
+        self.out_targets.len() as u32
+    }
+
+    /// Mean degree `|E| / |V|`.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            f64::from(self.num_edges()) / f64::from(self.num_vertices)
+        }
+    }
+
+    /// The `i`-th canonical edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_edges()`.
+    #[inline]
+    pub fn edge(&self, i: u32) -> (u32, u32) {
+        (self.src[i as usize], self.dst[i as usize])
+    }
+
+    /// Iterator over canonical edges `(src, dst)`.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (u32, u32)> + '_ {
+        self.src.iter().copied().zip(self.dst.iter().copied())
+    }
+
+    /// Out-neighbours of `v` (for undirected graphs: all neighbours).
+    #[inline]
+    pub fn out_neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.out_offsets[v as usize] as usize;
+        let hi = self.out_offsets[v as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbours of `v` (for undirected graphs: all neighbours).
+    #[inline]
+    pub fn in_neighbors(&self, v: u32) -> &[u32] {
+        if self.directed {
+            let lo = self.in_offsets[v as usize] as usize;
+            let hi = self.in_offsets[v as usize + 1] as usize;
+            &self.in_targets[lo..hi]
+        } else {
+            self.out_neighbors(v)
+        }
+    }
+
+    /// Neighbours a GNN layer aggregates *from* when computing `v`'s
+    /// representation: in-neighbours for directed graphs (messages flow
+    /// along edge direction), all neighbours for undirected graphs.
+    #[inline]
+    pub fn message_neighbors(&self, v: u32) -> &[u32] {
+        self.in_neighbors(v)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: u32) -> u32 {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// In-degree of `v` (equals [`Self::out_degree`] for undirected graphs).
+    #[inline]
+    pub fn in_degree(&self, v: u32) -> u32 {
+        if self.directed {
+            self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+        } else {
+            self.out_degree(v)
+        }
+    }
+
+    /// Total degree: `out + in` for directed graphs, neighbour count for
+    /// undirected graphs.
+    #[inline]
+    pub fn degree(&self, v: u32) -> u32 {
+        if self.directed {
+            self.out_degree(v) + self.in_degree(v)
+        } else {
+            self.out_degree(v)
+        }
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl ExactSizeIterator<Item = u32> {
+        0..self.num_vertices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_directed() -> Graph {
+        // 0 -> 1, 1 -> 2, 2 -> 0
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)], true).unwrap()
+    }
+
+    fn path_undirected() -> Graph {
+        // 0 - 1 - 2 - 3
+        Graph::from_edges(4, &[(0, 1), (2, 1), (2, 3)], false).unwrap()
+    }
+
+    #[test]
+    fn directed_counts() {
+        let g = triangle_directed();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 3);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn directed_adjacency() {
+        let g = triangle_directed();
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(0), &[2]);
+        assert_eq!(g.message_neighbors(1), &[0]);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.in_degree(2), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn undirected_counts_arcs_doubled() {
+        let g = path_undirected();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert!(!g.is_directed());
+    }
+
+    #[test]
+    fn undirected_adjacency_symmetric() {
+        let g = path_undirected();
+        let mut n1 = g.out_neighbors(1).to_vec();
+        n1.sort_unstable();
+        assert_eq!(n1, vec![0, 2]);
+        assert_eq!(g.in_neighbors(1), g.out_neighbors(1));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn undirected_edges_normalised() {
+        let g = path_undirected();
+        // (2, 1) was normalised to (1, 2).
+        let edges: Vec<_> = g.edges().collect();
+        assert!(edges.contains(&(1, 2)));
+        assert!(!edges.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn vertex_out_of_range_rejected() {
+        let err = Graph::from_edges(2, &[(0, 2)], true).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 2, .. }));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(5, &[], false).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_neighbors(4), &[] as &[u32]);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Graph::from_edges(0, &[], true).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn edge_accessor_matches_iterator() {
+        let g = triangle_directed();
+        for (i, e) in g.edges().enumerate() {
+            assert_eq!(g.edge(i as u32), e);
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_arcs() {
+        let g = path_undirected();
+        let total: u32 = g.vertices().map(|v| g.out_degree(v)).sum();
+        assert_eq!(total, g.num_arcs());
+    }
+
+    #[test]
+    fn directed_in_degrees_sum_to_edges() {
+        let g = triangle_directed();
+        let total: u32 = g.vertices().map(|v| g.in_degree(v)).sum();
+        assert_eq!(total, g.num_edges());
+    }
+}

@@ -1,0 +1,272 @@
+//! Dataset registry: the five scaled-down analogues of the paper's graphs.
+//!
+//! | Id | Paper graph | Category | Dir. | Generator |
+//! |----|-------------|----------|------|-----------|
+//! | HW | Hollywood-2011 | collaboration | no | [`affiliation`] |
+//! | DI | Dimacs9-USA | road | yes | [`road`] |
+//! | EN | Enwiki-2021 | wiki | yes | [`prefattach`] |
+//! | EU | Eu-2015-tpd | web | yes | [`webcopy`] |
+//! | OR | Orkut | social | no | [`community`] |
+//!
+//! The analogues preserve each category's structural signature — degree
+//! ordering HW > OR > EN ≈ EU ≫ DI, direction, skew and locality — at
+//! roughly 1/200 of the original scale so the full experiment grid runs
+//! on a single machine.
+//!
+//! [`affiliation`]: fn@crate::generators::affiliation::affiliation
+//! [`road`]: fn@crate::generators::road::road
+//! [`prefattach`]: fn@crate::generators::prefattach::prefattach
+//! [`webcopy`]: fn@crate::generators::webcopy::webcopy
+//! [`community`]: fn@crate::generators::community::community
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::generators::{
+    affiliation, community, prefattach, road, webcopy, AffiliationParams, CommunityParams,
+    PrefAttachParams, RoadParams, WebCopyParams,
+};
+
+/// Identifier of one of the five analogue datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Hollywood-2011 analogue (collaboration, undirected, densest).
+    HW,
+    /// Dimacs9-USA analogue (road, directed, sparsest).
+    DI,
+    /// Enwiki-2021 analogue (wiki, directed).
+    EN,
+    /// Eu-2015-tpd analogue (web, directed, high locality).
+    EU,
+    /// Orkut analogue (social, undirected, dense).
+    OR,
+}
+
+/// Size preset for dataset generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphScale {
+    /// ~1–3k vertices; unit/integration tests.
+    Tiny,
+    /// ~8–24k vertices; the default experiment scale.
+    Small,
+    /// ~2x Small; benchmark runs.
+    Medium,
+}
+
+impl GraphScale {
+    fn factor(self) -> f64 {
+        match self {
+            GraphScale::Tiny => 0.125,
+            GraphScale::Small => 1.0,
+            GraphScale::Medium => 2.0,
+        }
+    }
+}
+
+impl DatasetId {
+    /// All five datasets in the paper's table order.
+    pub const ALL: [DatasetId; 5] =
+        [DatasetId::HW, DatasetId::DI, DatasetId::EN, DatasetId::EU, DatasetId::OR];
+
+    /// Two-letter short name used throughout the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetId::HW => "HW",
+            DatasetId::DI => "DI",
+            DatasetId::EN => "EN",
+            DatasetId::EU => "EU",
+            DatasetId::OR => "OR",
+        }
+    }
+
+    /// Graph category as listed in Table 1.
+    pub fn category(self) -> &'static str {
+        match self {
+            DatasetId::HW => "collaboration",
+            DatasetId::DI => "road",
+            DatasetId::EN => "wiki",
+            DatasetId::EU => "web",
+            DatasetId::OR => "social",
+        }
+    }
+
+    /// Whether the graph is directed (Table 1's "Dir." column).
+    pub fn is_directed(self) -> bool {
+        matches!(self, DatasetId::DI | DatasetId::EN | DatasetId::EU)
+    }
+
+    /// Parse a short name (case-insensitive).
+    pub fn parse(s: &str) -> Option<DatasetId> {
+        match s.to_ascii_uppercase().as_str() {
+            "HW" => Some(DatasetId::HW),
+            "DI" => Some(DatasetId::DI),
+            "EN" => Some(DatasetId::EN),
+            "EU" => Some(DatasetId::EU),
+            "OR" => Some(DatasetId::OR),
+            _ => None,
+        }
+    }
+
+    /// Deterministic seed for this dataset's generator.
+    fn seed(self) -> u64 {
+        match self {
+            DatasetId::HW => 0x4857,
+            DatasetId::DI => 0x4449,
+            DatasetId::EN => 0x454e,
+            DatasetId::EU => 0x4555,
+            DatasetId::OR => 0x4f52,
+        }
+    }
+
+    /// Generate the analogue graph at the given scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator parameter errors (should not occur for the
+    /// built-in presets).
+    pub fn generate(self, scale: GraphScale) -> Result<Graph, GraphError> {
+        let f = scale.factor();
+        let seed = self.seed();
+        match self {
+            DatasetId::HW => affiliation(
+                AffiliationParams {
+                    n: scaled(8_000, f),
+                    groups: scaled(15_000, f),
+                    min_cast: 3,
+                    max_cast: 70,
+                    cast_exponent: 2.2,
+                    popularity_skew: 0.9,
+                    cast_locality: 0.75,
+                    cast_window: scaled(600, f.sqrt()),
+                },
+                seed,
+            ),
+            DatasetId::DI => {
+                // Keep the grid roughly square while scaling the area.
+                let side = (f64::from(160u32) * f.sqrt()) as u32;
+                road(
+                    RoadParams {
+                        width: side.max(8),
+                        height: (side * 15 / 16).max(8),
+                        removal_prob: 0.4,
+                        highways: scaled(200, f),
+                    },
+                    seed,
+                )
+            }
+            DatasetId::EN => prefattach(
+                PrefAttachParams {
+                    n: scaled(24_000, f),
+                    out_links: 15,
+                    uniform_prob: 0.15,
+                    locality: 0.45,
+                    locality_window: scaled(256, f.sqrt()),
+                    directed: true,
+                },
+                seed,
+            ),
+            DatasetId::EU => webcopy(
+                WebCopyParams {
+                    n: scaled(20_000, f),
+                    out_links: 14,
+                    copy_prob: 0.7,
+                    host_window: 64,
+                    locality: 0.8,
+                },
+                seed,
+            ),
+            DatasetId::OR => community(
+                CommunityParams {
+                    n: scaled(10_000, f),
+                    m: scaled(320_000, f),
+                    // Communities stay much larger than the mean degree so
+                    // hubs keep their heavy tail after deduplication.
+                    communities: scaled(24, f.sqrt()).min(scaled(10_000, f) / 64),
+                    intra_prob: 0.78,
+                    degree_exponent: 2.2,
+                },
+                seed,
+            ),
+        }
+    }
+}
+
+fn scaled(base: u32, f: f64) -> u32 {
+    ((f64::from(base) * f) as u32).max(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn all_datasets_generate_tiny() {
+        for id in DatasetId::ALL {
+            let g = id.generate(GraphScale::Tiny).unwrap();
+            assert!(g.num_vertices() > 100, "{}: n={}", id.name(), g.num_vertices());
+            assert!(g.num_edges() > 100, "{}: m={}", id.name(), g.num_edges());
+            assert_eq!(g.is_directed(), id.is_directed(), "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn direction_matches_table1() {
+        assert!(!DatasetId::HW.is_directed());
+        assert!(DatasetId::DI.is_directed());
+        assert!(DatasetId::EN.is_directed());
+        assert!(DatasetId::EU.is_directed());
+        assert!(!DatasetId::OR.is_directed());
+    }
+
+    #[test]
+    fn density_ordering_preserved() {
+        // HW and OR must be the densest, DI by far the sparsest.
+        let ratios: Vec<(DatasetId, f64)> = DatasetId::ALL
+            .iter()
+            .map(|&id| (id, id.generate(GraphScale::Tiny).unwrap().mean_degree()))
+            .collect();
+        let get = |want: DatasetId| ratios.iter().find(|(id, _)| *id == want).unwrap().1;
+        assert!(get(DatasetId::DI) < 4.0, "DI ratio {}", get(DatasetId::DI));
+        assert!(get(DatasetId::HW) > get(DatasetId::EN));
+        assert!(get(DatasetId::OR) > get(DatasetId::EN));
+        assert!(get(DatasetId::EN) > get(DatasetId::DI));
+        assert!(get(DatasetId::EU) > get(DatasetId::DI));
+    }
+
+    #[test]
+    fn road_has_no_skew_others_do() {
+        let di = DatasetId::DI.generate(GraphScale::Tiny).unwrap();
+        assert!(!DegreeStats::compute(&di).is_heavy_tailed(5.0));
+        for id in [DatasetId::HW, DatasetId::EN, DatasetId::EU, DatasetId::OR] {
+            let g = id.generate(GraphScale::Tiny).unwrap();
+            assert!(
+                DegreeStats::compute(&g).is_heavy_tailed(5.0),
+                "{} should be heavy tailed",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for id in DatasetId::ALL {
+            assert_eq!(DatasetId::parse(id.name()), Some(id));
+            assert_eq!(DatasetId::parse(&id.name().to_lowercase()), Some(id));
+        }
+        assert_eq!(DatasetId::parse("XX"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetId::EN.generate(GraphScale::Tiny).unwrap();
+        let b = DatasetId::EN.generate(GraphScale::Tiny).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let tiny = DatasetId::EU.generate(GraphScale::Tiny).unwrap();
+        let small = DatasetId::EU.generate(GraphScale::Small).unwrap();
+        assert!(small.num_vertices() > 4 * tiny.num_vertices());
+    }
+}

@@ -1,0 +1,152 @@
+//! Plain-text edge-list I/O.
+//!
+//! The format is the de-facto standard used by SNAP / KONECT dumps: one
+//! edge per line, whitespace-separated endpoint ids, `#`-prefixed comment
+//! lines. Vertex ids are used as-is (the id space is the maximum id + 1).
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Read an edge list from any reader.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines and
+/// [`GraphError::Io`] on reader failures.
+pub fn read_edge_list<R: Read>(reader: R, directed: bool) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id: u32 = 0;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u = parse_id(it.next(), idx + 1)?;
+        let v = parse_id(it.next(), idx + 1)?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() { 0 } else { max_id + 1 };
+    let mut b = if directed { GraphBuilder::directed(n) } else { GraphBuilder::undirected(n) };
+    b.reserve(edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+fn parse_id(tok: Option<&str>, line: usize) -> Result<u32, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two vertex ids".into(),
+    })?;
+    tok.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("bad vertex id {tok:?}: {e}"),
+    })
+}
+
+/// Read an edge list from a file path.
+///
+/// # Errors
+///
+/// See [`read_edge_list`]; additionally fails if the file cannot be opened.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P, directed: bool) -> Result<Graph, GraphError> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(f, directed)
+}
+
+/// Write a graph's canonical edge list to any writer.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on writer failures.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# gnnpart edge list: {} vertices, {} edges, directed={}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.is_directed()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a graph's canonical edge list to a file path.
+///
+/// # Errors
+///
+/// See [`write_edge_list`]; additionally fails if the file cannot be
+/// created.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), GraphError> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(graph, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_edge_list() {
+        let text = "# comment\n0 1\n1 2\n\n% another comment\n2 0\n";
+        let g = read_edge_list(text.as_bytes(), true).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn rejects_single_token_line() {
+        let err = read_edge_list("0\n".as_bytes(), true).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let err = read_edge_list("a b\n".as_bytes(), true).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes(), false).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = crate::Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], true).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), true).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_undirected() {
+        let g = crate::Graph::from_edges(3, &[(0, 1), (1, 2)], false).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), false).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn tab_separated_accepted() {
+        let g = read_edge_list("0\t1\n".as_bytes(), true).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a vertex id `>= num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The number of vertices in the graph.
+        num_vertices: u64,
+    },
+    /// The graph would exceed the `u32` id space.
+    TooLarge {
+        /// What overflowed ("vertices" or "edges").
+        what: &'static str,
+        /// The requested count.
+        requested: u64,
+    },
+    /// An I/O error while reading or writing an edge list.
+    Io(std::io::Error),
+    /// A malformed line in an edge-list file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A generator was given parameters it cannot satisfy.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex id {vertex} out of range (graph has {num_vertices} vertices)"
+            ),
+            GraphError::TooLarge { what, requested } => {
+                write!(f, "too many {what}: {requested} exceeds u32 id space")
+            }
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_vertex_out_of_range() {
+        let e = GraphError::VertexOutOfRange { vertex: 10, num_vertices: 5 };
+        assert!(e.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn display_too_large() {
+        let e = GraphError::TooLarge { what: "edges", requested: 1 << 40 };
+        assert!(e.to_string().contains("too many edges"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = GraphError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn parse_error_mentions_line() {
+        let e = GraphError::Parse { line: 7, message: "bad".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

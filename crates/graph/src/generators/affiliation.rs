@@ -1,0 +1,208 @@
+//! Affiliation-network generator (the Hollywood-2011 analogue `HW`).
+//!
+//! Collaboration graphs are unions of cliques: every movie contributes a
+//! clique among its cast. Cast sizes follow a truncated power law, and
+//! actor popularity is Zipf-distributed (stars appear in many casts),
+//! which yields the extreme density (|E|/|V| > 100 in the original) and
+//! heavy degree tail of Hollywood-2011.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Parameters for the affiliation generator.
+#[derive(Debug, Clone, Copy)]
+pub struct AffiliationParams {
+    /// Number of actors (vertices).
+    pub n: u32,
+    /// Number of movies (cliques).
+    pub groups: u32,
+    /// Minimum cast size.
+    pub min_cast: u32,
+    /// Maximum cast size.
+    pub max_cast: u32,
+    /// Power-law exponent for cast sizes (larger = smaller casts).
+    pub cast_exponent: f64,
+    /// Zipf skew of actor popularity (0 = uniform).
+    pub popularity_skew: f64,
+    /// Probability that a cast member is drawn from the movie's local
+    /// actor window instead of globally. Real collaboration networks are
+    /// strongly clustered by era/region/genre; without this the cliques
+    /// overlap uniformly and the graph loses all separable structure.
+    pub cast_locality: f64,
+    /// Width of the local actor window.
+    pub cast_window: u32,
+}
+
+impl Default for AffiliationParams {
+    fn default() -> Self {
+        AffiliationParams {
+            n: 10_000,
+            groups: 4_000,
+            min_cast: 3,
+            max_cast: 60,
+            cast_exponent: 2.2,
+            popularity_skew: 0.8,
+            cast_locality: 0.8,
+            cast_window: 500,
+        }
+    }
+}
+
+/// Generate an undirected collaboration graph as a union of cliques.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for degenerate parameters.
+pub fn affiliation(params: AffiliationParams, seed: u64) -> Result<Graph, GraphError> {
+    let AffiliationParams {
+        n,
+        groups,
+        min_cast,
+        max_cast,
+        cast_exponent,
+        popularity_skew,
+        cast_locality,
+        cast_window,
+    } = params;
+    if !(0.0..=1.0).contains(&cast_locality) || cast_window == 0 {
+        return Err(GraphError::InvalidParameter(format!(
+            "cast_locality={cast_locality}, cast_window={cast_window}"
+        )));
+    }
+    if n < 2 {
+        return Err(GraphError::InvalidParameter(format!("n={n} < 2")));
+    }
+    if min_cast < 2 || max_cast < min_cast {
+        return Err(GraphError::InvalidParameter(format!(
+            "cast range [{min_cast}, {max_cast}] invalid"
+        )));
+    }
+    if cast_exponent <= 1.0 {
+        return Err(GraphError::InvalidParameter("cast_exponent must be > 1".into()));
+    }
+    if popularity_skew < 0.0 {
+        return Err(GraphError::InvalidParameter("popularity_skew must be >= 0".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    let mut cast: Vec<u32> = Vec::with_capacity(max_cast as usize);
+    for _ in 0..groups {
+        let size = sample_powerlaw(min_cast, max_cast.min(n), cast_exponent, &mut rng);
+        // Each movie is anchored at a random point of the actor space;
+        // most of the cast comes from the surrounding window.
+        let center = rng.random_range(0..n);
+        cast.clear();
+        let mut attempts = 0u32;
+        while cast.len() < size as usize && attempts < 40 * size {
+            attempts += 1;
+            let actor = if rng.random_bool(cast_locality) {
+                let lo = center.saturating_sub(cast_window / 2);
+                let hi = (center + cast_window / 2).min(n - 1);
+                lo + sample_zipfish(hi - lo + 1, popularity_skew, &mut rng)
+            } else {
+                sample_zipfish(n, popularity_skew, &mut rng)
+            };
+            if !cast.contains(&actor) {
+                cast.push(actor);
+            }
+        }
+        for i in 0..cast.len() {
+            for j in (i + 1)..cast.len() {
+                b.add_edge(cast[i], cast[j]);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Sample from a truncated discrete power law on `[lo, hi]` via inverse
+/// transform of the continuous Pareto distribution.
+fn sample_powerlaw(lo: u32, hi: u32, exponent: f64, rng: &mut StdRng) -> u32 {
+    let a = 1.0 - exponent;
+    let lo_f = f64::from(lo);
+    let hi_f = f64::from(hi) + 1.0;
+    let u: f64 = rng.random();
+    let x = (lo_f.powf(a) + u * (hi_f.powf(a) - lo_f.powf(a))).powf(1.0 / a);
+    (x as u32).clamp(lo, hi)
+}
+
+/// Sample a vertex with Zipf-like popularity: vertex ids near 0 are more
+/// popular. Uses the standard `u^(1/(1-s))`-style transform, clamped.
+fn sample_zipfish(n: u32, skew: f64, rng: &mut StdRng) -> u32 {
+    if skew <= f64::EPSILON {
+        return rng.random_range(0..n);
+    }
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    // Map uniform u to a rank with density ~ rank^(-skew).
+    let x = u.powf(1.0 / (1.0 - skew.min(0.99)));
+    ((x * f64::from(n)) as u32).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AffiliationParams {
+        AffiliationParams { n: 1500, groups: 800, ..AffiliationParams::default() }
+    }
+
+    #[test]
+    fn scale_and_undirected() {
+        let g = affiliation(small(), 1).unwrap();
+        assert_eq!(g.num_vertices(), 1500);
+        assert!(!g.is_directed());
+        assert!(g.num_edges() > 3_000);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(affiliation(small(), 2).unwrap(), affiliation(small(), 2).unwrap());
+    }
+
+    #[test]
+    fn dense_relative_to_vertices() {
+        let g = affiliation(small(), 3).unwrap();
+        assert!(g.mean_degree() > 3.0, "mean degree {}", g.mean_degree());
+    }
+
+    #[test]
+    fn heavy_tail() {
+        let g = affiliation(small(), 4).unwrap();
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        let mean = 2.0 * g.mean_degree();
+        assert!(f64::from(max_deg) > 4.0 * mean, "max {max_deg} mean {mean}");
+    }
+
+    #[test]
+    fn rejects_bad_cast_range() {
+        assert!(affiliation(AffiliationParams { min_cast: 1, ..small() }, 0).is_err());
+        assert!(affiliation(AffiliationParams { max_cast: 2, min_cast: 5, ..small() }, 0).is_err());
+    }
+
+    #[test]
+    fn powerlaw_sample_in_range() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let x = sample_powerlaw(3, 60, 2.2, &mut rng);
+            assert!((3..=60).contains(&x));
+        }
+    }
+
+    #[test]
+    fn zipf_sample_in_range_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut low_half = 0;
+        for _ in 0..2000 {
+            let x = sample_zipfish(1000, 0.8, &mut rng);
+            assert!(x < 1000);
+            if x < 500 {
+                low_half += 1;
+            }
+        }
+        assert!(low_half > 1200, "skew missing: {low_half}/2000 in low half");
+    }
+}

@@ -1,0 +1,80 @@
+//! Uniform random graph G(n, m).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Generate a uniform random graph with `n` vertices and (approximately)
+/// `m` edges. Duplicates and self-loops are dropped, so the resulting
+/// edge count can be slightly below `m` for dense requests.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m` exceeds the number of
+/// possible edges.
+pub fn gnm(n: u32, m: u32, directed: bool, seed: u64) -> Result<Graph, GraphError> {
+    let possible = if directed {
+        u64::from(n) * u64::from(n.saturating_sub(1))
+    } else {
+        u64::from(n) * u64::from(n.saturating_sub(1)) / 2
+    };
+    if u64::from(m) > possible {
+        return Err(GraphError::InvalidParameter(format!(
+            "requested {m} edges but only {possible} are possible"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = if directed { GraphBuilder::directed(n) } else { GraphBuilder::undirected(n) };
+    b.reserve(m as usize);
+    // Oversample slightly to compensate for the duplicates and self-loops
+    // removed at build time.
+    let oversample = (f64::from(m) * 1.05) as u32 + 8;
+    for _ in 0..oversample {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_scale() {
+        let g = gnm(1000, 5000, false, 1).unwrap();
+        assert_eq!(g.num_vertices(), 1000);
+        // Dedup can only shrink; oversampling keeps us near the target.
+        assert!(g.num_edges() > 4500, "got {}", g.num_edges());
+        assert!(g.num_edges() <= 5300);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = gnm(200, 800, true, 7).unwrap();
+        let b = gnm(200, 800, true, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = gnm(200, 800, true, 7).unwrap();
+        let b = gnm(200, 800, true, 8).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn impossible_density_rejected() {
+        assert!(gnm(3, 100, false, 0).is_err());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = gnm(50, 200, true, 3).unwrap();
+        assert!(g.edges().all(|(u, v)| u != v));
+    }
+}

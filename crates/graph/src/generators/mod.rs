@@ -1,0 +1,37 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on five graph *categories* — collaboration, road,
+//! wiki, web, and social — whose structural differences (degree skew,
+//! mean degree, locality, direction) drive the partitioning results. Each
+//! generator here reproduces one category's structure at laptop scale:
+//!
+//! | Generator | Category | Structure |
+//! |---|---|---|
+//! | [`affiliation`](mod@affiliation) | collaboration (HW) | union of cast cliques, heavy clustering, heavy-tailed degrees |
+//! | [`road`](mod@road) | road (DI) | near-planar grid, tiny mean degree, huge diameter |
+//! | [`prefattach`](mod@prefattach) | wiki (EN) | directed preferential attachment, power-law in-degree |
+//! | [`webcopy`](mod@webcopy) | web (EU) | copying model with host locality, power-law + locality |
+//! | [`community`](mod@community) | social (OR) | degree-corrected SBM, heavy tail + communities |
+//! | [`rmat`](mod@rmat) | — (ablation) | R-MAT, skew without community structure |
+//! | [`gnm`](mod@gnm) | — (baseline) | uniform random G(n, m) |
+//! | [`smallworld`](mod@smallworld) | — (ablation) | Watts–Strogatz ring rewiring |
+//!
+//! All generators are deterministic given their seed.
+
+pub mod affiliation;
+pub mod community;
+pub mod gnm;
+pub mod prefattach;
+pub mod rmat;
+pub mod road;
+pub mod smallworld;
+pub mod webcopy;
+
+pub use affiliation::{affiliation, AffiliationParams};
+pub use community::{community, CommunityParams};
+pub use gnm::gnm;
+pub use prefattach::{prefattach, PrefAttachParams};
+pub use rmat::{rmat, RmatParams};
+pub use road::{road, RoadParams};
+pub use smallworld::{smallworld, SmallWorldParams};
+pub use webcopy::{webcopy, WebCopyParams};

@@ -1,0 +1,149 @@
+//! R-MAT recursive matrix generator (Chakrabarti et al., SDM 2004).
+//!
+//! R-MAT graphs have the skewed, community-structured degree
+//! distributions typical of social networks; we use it for the Orkut
+//! analogue (`OR`).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Parameters for the R-MAT generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// log2 of the number of vertices.
+    pub scale: u32,
+    /// Average (raw) edges per vertex; final count is lower after dedup.
+    pub edge_factor: u32,
+    /// Probability mass of the top-left quadrant.
+    pub a: f64,
+    /// Probability mass of the top-right quadrant.
+    pub b: f64,
+    /// Probability mass of the bottom-left quadrant.
+    pub c: f64,
+    /// Whether to produce a directed graph.
+    pub directed: bool,
+}
+
+impl Default for RmatParams {
+    /// Graph500 defaults: `a=0.57, b=0.19, c=0.19, d=0.05`.
+    fn default() -> Self {
+        RmatParams { scale: 14, edge_factor: 16, a: 0.57, b: 0.19, c: 0.19, directed: false }
+    }
+}
+
+/// Generate an R-MAT graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if the quadrant probabilities
+/// are not a valid distribution or `scale > 31`.
+pub fn rmat(params: RmatParams, seed: u64) -> Result<Graph, GraphError> {
+    let RmatParams { scale, edge_factor, a, b, c, directed } = params;
+    if scale > 31 {
+        return Err(GraphError::InvalidParameter(format!("scale {scale} > 31")));
+    }
+    let d = 1.0 - a - b - c;
+    if !(0.0..=1.0).contains(&a)
+        || !(0.0..=1.0).contains(&b)
+        || !(0.0..=1.0).contains(&c)
+        || d < -1e-12
+    {
+        return Err(GraphError::InvalidParameter(format!(
+            "quadrant probabilities a={a} b={b} c={c} d={d} invalid"
+        )));
+    }
+    let n: u32 = 1 << scale;
+    let m = u64::from(n) * u64::from(edge_factor);
+    if m > u64::from(u32::MAX) / 2 {
+        return Err(GraphError::TooLarge { what: "edges", requested: m });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = if directed { GraphBuilder::directed(n) } else { GraphBuilder::undirected(n) };
+    builder.reserve(m as usize);
+    for _ in 0..m {
+        let (u, v) = sample_cell(scale, a, b, c, &mut rng);
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+/// Recursively descend the adjacency matrix, picking a quadrant per level.
+/// A small per-level noise (+/- 10%) avoids the grid artefacts of pure
+/// R-MAT (as recommended by the Graph500 specification).
+fn sample_cell(scale: u32, a: f64, b: f64, c: f64, rng: &mut StdRng) -> (u32, u32) {
+    let mut u = 0u32;
+    let mut v = 0u32;
+    for level in 0..scale {
+        let bit = 1u32 << (scale - 1 - level);
+        let noise = 0.9 + 0.2 * rng.random::<f64>();
+        let a_n = a * noise;
+        let b_n = b * (2.0 - noise);
+        let c_n = c * (2.0 - noise);
+        let total = a_n + b_n + c_n + (1.0 - a - b - c) * noise;
+        let r: f64 = rng.random::<f64>() * total;
+        if r < a_n {
+            // top-left: no bits set
+        } else if r < a_n + b_n {
+            v |= bit;
+        } else if r < a_n + b_n + c_n {
+            u |= bit;
+        } else {
+            u |= bit;
+            v |= bit;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RmatParams {
+        RmatParams { scale: 10, edge_factor: 8, ..RmatParams::default() }
+    }
+
+    #[test]
+    fn generates_scale() {
+        let g = rmat(small(), 1).unwrap();
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 1024, "got {}", g.num_edges());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(rmat(small(), 5).unwrap(), rmat(small(), 5).unwrap());
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        let g = rmat(small(), 2).unwrap();
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        let mean = 2.0 * g.mean_degree();
+        // A power-law-ish graph has a hub far above the mean degree.
+        assert!(f64::from(max_deg) > 5.0 * mean, "max {max_deg} mean {mean}");
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let p = RmatParams { a: 0.9, b: 0.3, c: 0.3, ..small() };
+        assert!(rmat(p, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_huge_scale() {
+        let p = RmatParams { scale: 40, ..small() };
+        assert!(rmat(p, 0).is_err());
+    }
+
+    #[test]
+    fn directed_variant() {
+        let p = RmatParams { directed: true, ..small() };
+        let g = rmat(p, 3).unwrap();
+        assert!(g.is_directed());
+    }
+}

@@ -1,0 +1,128 @@
+//! Road-network generator (the Dimacs9-USA analogue `DI`).
+//!
+//! Road networks are near-planar: tiny mean degree (~2.4 arcs per
+//! vertex), almost no degree skew, and enormous diameter. We model them
+//! as a 2-D grid where each adjacent pair is connected by two directed
+//! arcs (roads run both ways), a fraction of segments is removed
+//! (rivers, mountains), and a few long-range highways are added.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Parameters for the road-network generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RoadParams {
+    /// Grid width.
+    pub width: u32,
+    /// Grid height.
+    pub height: u32,
+    /// Probability that a grid segment is removed.
+    pub removal_prob: f64,
+    /// Number of long-range highway segments to add.
+    pub highways: u32,
+}
+
+impl Default for RoadParams {
+    fn default() -> Self {
+        RoadParams { width: 160, height: 150, removal_prob: 0.4, highways: 200 }
+    }
+}
+
+/// Generate a directed road-like network.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for empty grids or
+/// out-of-range probabilities.
+pub fn road(params: RoadParams, seed: u64) -> Result<Graph, GraphError> {
+    let RoadParams { width, height, removal_prob, highways } = params;
+    if width == 0 || height == 0 {
+        return Err(GraphError::InvalidParameter("grid must be non-empty".into()));
+    }
+    if !(0.0..=1.0).contains(&removal_prob) {
+        return Err(GraphError::InvalidParameter(format!("removal_prob={removal_prob}")));
+    }
+    let n = u64::from(width) * u64::from(height);
+    if n > u64::from(u32::MAX) {
+        return Err(GraphError::TooLarge { what: "vertices", requested: n });
+    }
+    let n = n as u32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::directed(n);
+    let id = |x: u32, y: u32| y * width + x;
+    for y in 0..height {
+        for x in 0..width {
+            // Right neighbour.
+            if x + 1 < width && !rng.random_bool(removal_prob) {
+                b.add_edge(id(x, y), id(x + 1, y));
+                b.add_edge(id(x + 1, y), id(x, y));
+            }
+            // Down neighbour.
+            if y + 1 < height && !rng.random_bool(removal_prob) {
+                b.add_edge(id(x, y), id(x, y + 1));
+                b.add_edge(id(x, y + 1), id(x, y));
+            }
+        }
+    }
+    for _ in 0..highways {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        b.add_edge(u, v);
+        b.add_edge(v, u);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RoadParams {
+        RoadParams { width: 40, height: 30, removal_prob: 0.4, highways: 20 }
+    }
+
+    #[test]
+    fn scale_and_direction() {
+        let g = road(small(), 1).unwrap();
+        assert_eq!(g.num_vertices(), 1200);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn low_mean_degree() {
+        let g = road(small(), 1).unwrap();
+        // Full grid would have ratio ~4 arcs/vertex; 40% removal gives ~2.4.
+        let ratio = g.mean_degree();
+        assert!(ratio > 1.5 && ratio < 3.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn no_degree_skew() {
+        let g = road(small(), 2).unwrap();
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        // Max possible is 4 grid neighbours x 2 directions + highways.
+        assert!(max_deg <= 12, "max {max_deg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(road(small(), 3).unwrap(), road(small(), 3).unwrap());
+    }
+
+    #[test]
+    fn rejects_empty_grid() {
+        assert!(road(RoadParams { width: 0, ..small() }, 0).is_err());
+    }
+
+    #[test]
+    fn roads_are_bidirectional() {
+        let g = road(small(), 4).unwrap();
+        for (u, v) in g.edges().take(500) {
+            assert!(g.out_neighbors(v).contains(&u), "missing reverse arc {v}->{u}");
+        }
+    }
+}

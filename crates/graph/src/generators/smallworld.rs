@@ -1,0 +1,101 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Not one of the paper's five categories; used in ablation benches and
+//! property tests as a graph with high clustering but *no* degree skew,
+//! isolating the effect of skew on partitioner behaviour.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Parameters for the Watts–Strogatz generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SmallWorldParams {
+    /// Number of vertices on the ring.
+    pub n: u32,
+    /// Each vertex connects to `k` nearest neighbours on each side.
+    pub k: u32,
+    /// Probability of rewiring each edge to a random endpoint.
+    pub rewire_prob: f64,
+}
+
+impl Default for SmallWorldParams {
+    fn default() -> Self {
+        SmallWorldParams { n: 10_000, k: 4, rewire_prob: 0.1 }
+    }
+}
+
+/// Generate an undirected Watts–Strogatz small-world graph.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k >= n / 2` or the
+/// rewiring probability is out of range.
+pub fn smallworld(params: SmallWorldParams, seed: u64) -> Result<Graph, GraphError> {
+    let SmallWorldParams { n, k, rewire_prob } = params;
+    if n < 4 || k == 0 || 2 * k >= n {
+        return Err(GraphError::InvalidParameter(format!("n={n}, k={k} invalid (need 2k < n)")));
+    }
+    if !(0.0..=1.0).contains(&rewire_prob) {
+        return Err(GraphError::InvalidParameter(format!("rewire_prob={rewire_prob}")));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::undirected(n);
+    b.reserve(n as usize * k as usize);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut t = (v + j) % n;
+            if rng.random_bool(rewire_prob) {
+                t = rng.random_range(0..n);
+            }
+            b.add_edge(v, t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SmallWorldParams {
+        SmallWorldParams { n: 500, k: 3, rewire_prob: 0.1 }
+    }
+
+    #[test]
+    fn scale() {
+        let g = smallworld(small(), 1).unwrap();
+        assert_eq!(g.num_vertices(), 500);
+        // n*k raw edges minus a few rewiring collisions.
+        assert!(g.num_edges() > 1400);
+    }
+
+    #[test]
+    fn no_skew() {
+        let g = smallworld(small(), 2).unwrap();
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg < 20, "max degree {max_deg}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(smallworld(small(), 3).unwrap(), smallworld(small(), 3).unwrap());
+    }
+
+    #[test]
+    fn rejects_k_too_large() {
+        assert!(smallworld(SmallWorldParams { n: 10, k: 5, rewire_prob: 0.0 }, 0).is_err());
+    }
+
+    #[test]
+    fn zero_rewire_is_ring_lattice() {
+        let g = smallworld(SmallWorldParams { n: 100, k: 2, rewire_prob: 0.0 }, 0).unwrap();
+        assert_eq!(g.num_edges(), 200);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Copying-model web-graph generator (Kumar et al., FOCS 2000).
+//!
+//! Models web crawls (the Eu-2015 analogue `EU`): each new page picks a
+//! random *prototype* page and copies each of the prototype's out-links
+//! with probability `copy_prob`, otherwise linking uniformly at random.
+//! Copying creates the dense bipartite cores and strong locality of real
+//! web graphs. An optional host structure confines most uniform links to
+//! a local window of recently created pages, mimicking intra-host links.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+
+/// Parameters for the copying-model generator.
+#[derive(Debug, Clone, Copy)]
+pub struct WebCopyParams {
+    /// Total number of pages.
+    pub n: u32,
+    /// Out-links per new page.
+    pub out_links: u32,
+    /// Probability of copying a prototype link instead of a random link.
+    pub copy_prob: f64,
+    /// Size of the "host window": uniform links land within the last
+    /// `host_window` pages with probability `locality`.
+    pub host_window: u32,
+    /// Probability that a uniform link is local to the host window.
+    pub locality: f64,
+}
+
+impl Default for WebCopyParams {
+    fn default() -> Self {
+        WebCopyParams { n: 10_000, out_links: 14, copy_prob: 0.7, host_window: 64, locality: 0.8 }
+    }
+}
+
+/// Generate a directed web-like graph with the copying model.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for degenerate parameters.
+pub fn webcopy(params: WebCopyParams, seed: u64) -> Result<Graph, GraphError> {
+    let WebCopyParams { n, out_links, copy_prob, host_window, locality } = params;
+    if n < 2 {
+        return Err(GraphError::InvalidParameter(format!("n={n} < 2")));
+    }
+    if out_links == 0 {
+        return Err(GraphError::InvalidParameter("out_links must be > 0".into()));
+    }
+    if !(0.0..=1.0).contains(&copy_prob) || !(0.0..=1.0).contains(&locality) {
+        return Err(GraphError::InvalidParameter(format!(
+            "copy_prob={copy_prob} locality={locality} must be in [0,1]"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::directed(n);
+    builder.reserve(n as usize * out_links as usize);
+    // Adjacency so far, used for prototype copying.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n as usize];
+    for v in 1..n {
+        // Prototypes are picked near the new page with probability
+        // `locality` (pages copy link lists of same-host pages), which
+        // produces the strong separability of real web crawls.
+        let prototype = if rng.random_bool(locality) {
+            let lo = v.saturating_sub(host_window);
+            rng.random_range(lo..v)
+        } else {
+            rng.random_range(0..v)
+        };
+        let proto_links = adj[prototype as usize].clone();
+        let links = out_links.min(v);
+        let mut out = Vec::with_capacity(links as usize);
+        for j in 0..links {
+            let copied = (j as usize) < proto_links.len() && rng.random_bool(copy_prob);
+            let t = if copied {
+                proto_links[j as usize]
+            } else if rng.random_bool(locality) {
+                // Intra-host link: land in the recent window.
+                let lo = v.saturating_sub(host_window);
+                rng.random_range(lo..v)
+            } else {
+                rng.random_range(0..v)
+            };
+            if t != v {
+                builder.add_edge(v, t);
+                out.push(t);
+            }
+        }
+        adj[v as usize] = out;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WebCopyParams {
+        WebCopyParams { n: 2000, out_links: 8, ..WebCopyParams::default() }
+    }
+
+    #[test]
+    fn scale() {
+        let g = webcopy(small(), 1).unwrap();
+        assert_eq!(g.num_vertices(), 2000);
+        assert!(g.num_edges() as f64 > 0.7 * 2000.0 * 8.0);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(webcopy(small(), 4).unwrap(), webcopy(small(), 4).unwrap());
+    }
+
+    #[test]
+    fn skewed_in_degree() {
+        let g = webcopy(small(), 2).unwrap();
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        let mean_in = f64::from(g.num_edges()) / f64::from(g.num_vertices());
+        assert!(f64::from(max_in) > 8.0 * mean_in, "max {max_in} mean {mean_in}");
+    }
+
+    #[test]
+    fn locality_present() {
+        let g = webcopy(small(), 3).unwrap();
+        // Count edges that stay within the host window distance.
+        let local = g
+            .edges()
+            .filter(|&(u, v)| u.abs_diff(v) <= small().host_window)
+            .count();
+        assert!(local as f64 > 0.2 * g.num_edges() as f64);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(webcopy(WebCopyParams { copy_prob: 1.4, ..small() }, 0).is_err());
+        assert!(webcopy(WebCopyParams { n: 0, ..small() }, 0).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # gp-graph — graph substrate for the partitioning study
+//!
+//! This crate provides everything the study needs from a graph library:
+//!
+//! * [`Graph`] — a compact, immutable CSR graph (directed or undirected)
+//!   with `u32` vertex ids, out-/in-adjacency and a canonical edge list.
+//! * [`GraphBuilder`] — deduplicating builder used by loaders and generators.
+//! * [`generators`] — synthetic graph generators covering the five graph
+//!   *categories* of the paper (collaboration, road, wiki, web, social).
+//! * [`datasets`] — registry of the five scaled-down analogue datasets
+//!   (HW, DI, EN, EU, OR) with reproducible seeds.
+//! * [`splits`] — random train/validation/test vertex splits (10/10/80 in
+//!   the paper).
+//! * [`stats`] — degree-distribution statistics used to validate that the
+//!   generated analogues have the right structural shape.
+//! * [`edgelist`] — plain-text edge-list reading/writing.
+//! * [`algo`] — connected components, BFS, diameter and clustering
+//!   estimates used for validation and diagnostics.
+//!
+//! The whole crate is deterministic: every random operation takes an
+//! explicit seed.
+
+pub mod algo;
+pub mod builder;
+pub mod csr;
+pub mod datasets;
+pub mod edgelist;
+pub mod error;
+pub mod generators;
+pub mod splits;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, VertexId};
+pub use datasets::{DatasetId, GraphScale};
+pub use error::GraphError;
+pub use splits::VertexSplit;
+pub use stats::DegreeStats;

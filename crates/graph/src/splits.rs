@@ -1,0 +1,143 @@
+//! Train/validation/test vertex splits.
+//!
+//! The paper randomly splits every graph into 10% training, 10%
+//! validation and 80% test vertices; the training vertices are the seeds
+//! of mini-batch sampling in the DistDGL experiments.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::GraphError;
+
+/// A disjoint partition of the vertex set into train/val/test roles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexSplit {
+    /// Training vertices (sorted).
+    pub train: Vec<u32>,
+    /// Validation vertices (sorted).
+    pub val: Vec<u32>,
+    /// Test vertices (sorted).
+    pub test: Vec<u32>,
+    num_vertices: u32,
+}
+
+impl VertexSplit {
+    /// Randomly split `num_vertices` vertices with the given fractions.
+    /// The remainder (`1 - train_frac - val_frac`) becomes the test set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] if the fractions are
+    /// negative or sum to more than 1.
+    pub fn random(
+        num_vertices: u32,
+        train_frac: f64,
+        val_frac: f64,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        if train_frac < 0.0 || val_frac < 0.0 || train_frac + val_frac > 1.0 {
+            return Err(GraphError::InvalidParameter(format!(
+                "fractions train={train_frac} val={val_frac} invalid"
+            )));
+        }
+        let mut ids: Vec<u32> = (0..num_vertices).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        ids.shuffle(&mut rng);
+        let n_train = (f64::from(num_vertices) * train_frac).round() as usize;
+        let n_val = (f64::from(num_vertices) * val_frac).round() as usize;
+        let n_val_end = (n_train + n_val).min(ids.len());
+        let mut train = ids[..n_train.min(ids.len())].to_vec();
+        let mut val = ids[n_train.min(ids.len())..n_val_end].to_vec();
+        let mut test = ids[n_val_end..].to_vec();
+        train.sort_unstable();
+        val.sort_unstable();
+        test.sort_unstable();
+        Ok(VertexSplit { train, val, test, num_vertices })
+    }
+
+    /// The paper's default 10/10/80 split with a fixed seed derived from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the fixed fractions; the `Result` mirrors
+    /// [`Self::random`].
+    pub fn paper_default(num_vertices: u32, seed: u64) -> Result<Self, GraphError> {
+        Self::random(num_vertices, 0.10, 0.10, seed)
+    }
+
+    /// Number of vertices covered by the split.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Boolean mask over all vertices: `true` where the vertex is a
+    /// training vertex.
+    pub fn train_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.num_vertices as usize];
+        for &v in &self.train {
+            mask[v as usize] = true;
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_respected() {
+        let s = VertexSplit::random(1000, 0.1, 0.1, 1).unwrap();
+        assert_eq!(s.train.len(), 100);
+        assert_eq!(s.val.len(), 100);
+        assert_eq!(s.test.len(), 800);
+    }
+
+    #[test]
+    fn disjoint_and_complete() {
+        let s = VertexSplit::random(500, 0.2, 0.3, 2).unwrap();
+        let mut all: Vec<u32> =
+            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..500).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = VertexSplit::random(300, 0.1, 0.1, 7).unwrap();
+        let b = VertexSplit::random(300, 0.1, 0.1, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = VertexSplit::random(300, 0.1, 0.1, 7).unwrap();
+        let b = VertexSplit::random(300, 0.1, 0.1, 8).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_fractions() {
+        assert!(VertexSplit::random(10, 0.8, 0.5, 0).is_err());
+        assert!(VertexSplit::random(10, -0.1, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn train_mask_matches() {
+        let s = VertexSplit::random(100, 0.1, 0.1, 3).unwrap();
+        let mask = s.train_mask();
+        assert_eq!(mask.iter().filter(|&&b| b).count(), s.train.len());
+        for &v in &s.train {
+            assert!(mask[v as usize]);
+        }
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let s = VertexSplit::random(0, 0.1, 0.1, 0).unwrap();
+        assert!(s.train.is_empty() && s.val.is_empty() && s.test.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Degree-distribution statistics.
+//!
+//! Used in tests and in the dataset registry to check that each synthetic
+//! analogue reproduces the structural signature of its category (mean
+//! degree, tail skew).
+
+use crate::csr::Graph;
+
+/// Summary statistics over a graph's (total) degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: u32,
+    /// Maximum degree.
+    pub max: u32,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: u32,
+    /// 99th-percentile degree.
+    pub p99: u32,
+    /// Gini coefficient of the degree distribution in `[0, 1]`;
+    /// 0 = perfectly uniform, close to 1 = extremely skewed.
+    pub gini: f64,
+}
+
+impl DegreeStats {
+    /// Compute the statistics for `graph`.
+    pub fn compute(graph: &Graph) -> Self {
+        let mut degrees: Vec<u32> = graph.vertices().map(|v| graph.degree(v)).collect();
+        if degrees.is_empty() {
+            return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, p99: 0, gini: 0.0 };
+        }
+        degrees.sort_unstable();
+        let n = degrees.len();
+        let sum: u64 = degrees.iter().map(|&d| u64::from(d)).sum();
+        let mean = sum as f64 / n as f64;
+        let median = degrees[n / 2];
+        let p99 = degrees[((n as f64 * 0.99) as usize).min(n - 1)];
+        // Gini from the sorted degrees: G = (2 * sum(i * x_i) / (n * sum(x)))
+        // - (n + 1) / n, with 1-based ranks i.
+        let gini = if sum == 0 {
+            0.0
+        } else {
+            let weighted: f64 = degrees
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i as f64 + 1.0) * f64::from(d))
+                .sum();
+            (2.0 * weighted) / (n as f64 * sum as f64) - (n as f64 + 1.0) / n as f64
+        };
+        DegreeStats { min: degrees[0], max: degrees[n - 1], mean, median, p99, gini }
+    }
+
+    /// Whether the distribution is heavy-tailed: the maximum degree is at
+    /// least `factor` times the mean.
+    pub fn is_heavy_tailed(&self, factor: f64) -> bool {
+        f64::from(self.max) > factor * self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn uniform_ring_has_low_gini() {
+        // 0-1-2-3-0 ring: every vertex has degree 2.
+        let g =
+            Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], false).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.mean, 2.0);
+        assert!(s.gini.abs() < 1e-9, "gini {}", s.gini);
+        assert!(!s.is_heavy_tailed(2.0));
+    }
+
+    #[test]
+    fn star_is_skewed() {
+        // Star: center 0 connected to 1..=5.
+        let edges: Vec<(u32, u32)> = (1..=5).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(6, &edges, false).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.min, 1);
+        assert!(s.gini > 0.3);
+        assert!(s.is_heavy_tailed(2.0));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[], false).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.gini, 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices_counted() {
+        let g = Graph::from_edges(10, &[(0, 1)], false).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.median, 0);
+    }
+
+    #[test]
+    fn directed_degree_is_in_plus_out() {
+        let g = Graph::from_edges(2, &[(0, 1), (1, 0)], true).unwrap();
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.min, 2);
+    }
+}

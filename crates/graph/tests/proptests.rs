@@ -1,0 +1,140 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+
+use gp_graph::{Graph, GraphBuilder, VertexSplit};
+
+/// Strategy: a random raw edge list over `n` vertices.
+fn raw_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..max_m);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    /// Building any raw edge list succeeds and preserves invariants.
+    #[test]
+    fn builder_invariants((n, edges) in raw_edges(200, 400)) {
+        let mut b = GraphBuilder::undirected(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build().expect("in-range edges");
+        // No self loops, no duplicates.
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in g.edges() {
+            prop_assert!(u != v);
+            prop_assert!(u <= v, "undirected edges normalised");
+            prop_assert!(seen.insert((u, v)), "duplicate edge ({u},{v})");
+        }
+        // Degree sum equals arc count.
+        let total: u64 = g.vertices().map(|v| u64::from(g.out_degree(v))).sum();
+        prop_assert_eq!(total, u64::from(g.num_arcs()));
+        prop_assert_eq!(g.num_arcs(), 2 * g.num_edges());
+    }
+
+    /// Directed CSR: out- and in-degree sums both equal the edge count,
+    /// and adjacency round-trips the edge list.
+    #[test]
+    fn directed_adjacency_consistent((n, edges) in raw_edges(150, 300)) {
+        let mut b = GraphBuilder::directed(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build().expect("in-range edges");
+        let out_sum: u64 = g.vertices().map(|v| u64::from(g.out_degree(v))).sum();
+        let in_sum: u64 = g.vertices().map(|v| u64::from(g.in_degree(v))).sum();
+        prop_assert_eq!(out_sum, u64::from(g.num_edges()));
+        prop_assert_eq!(in_sum, u64::from(g.num_edges()));
+        for (u, v) in g.edges() {
+            prop_assert!(g.out_neighbors(u).contains(&v));
+            prop_assert!(g.in_neighbors(v).contains(&u));
+        }
+    }
+
+    /// Edge-list round trip through text preserves the graph.
+    #[test]
+    fn edgelist_roundtrip((n, edges) in raw_edges(100, 200)) {
+        let mut b = GraphBuilder::directed(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build().expect("in-range edges");
+        prop_assume!(g.num_edges() > 0);
+        let mut buf = Vec::new();
+        gp_graph::edgelist::write_edge_list(&g, &mut buf).expect("write");
+        let g2 = gp_graph::edgelist::read_edge_list(buf.as_slice(), true).expect("read");
+        // Vertex-id space may shrink to max-id+1; edges must survive.
+        let a: Vec<_> = g.edges().collect();
+        let b2: Vec<_> = g2.edges().collect();
+        prop_assert_eq!(a, b2);
+    }
+
+    /// Splits are always disjoint and complete.
+    #[test]
+    fn splits_partition_vertices(
+        n in 1u32..500,
+        train in 0.0f64..0.6,
+        val in 0.0f64..0.4,
+        seed in any::<u64>()
+    ) {
+        let s = VertexSplit::random(n, train, val, seed).expect("valid fractions");
+        let mut all: Vec<u32> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len() as u32, n, "disjoint and complete");
+    }
+
+    /// Graph construction from pre-deduplicated edges is idempotent.
+    #[test]
+    fn from_edges_deterministic((n, edges) in raw_edges(80, 150)) {
+        let mut b1 = GraphBuilder::undirected(n);
+        let mut b2 = GraphBuilder::undirected(n);
+        for &(u, v) in &edges {
+            b1.add_edge(u, v);
+            b2.add_edge(u, v);
+        }
+        prop_assert_eq!(b1.build().expect("ok"), b2.build().expect("ok"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generator produces structurally valid graphs for arbitrary
+    /// seeds.
+    #[test]
+    fn generators_always_valid(seed in any::<u64>()) {
+        use gp_graph::generators::*;
+        let graphs: Vec<Graph> = vec![
+            gnm(200, 500, false, seed).expect("gnm"),
+            rmat(RmatParams { scale: 8, edge_factor: 4, ..RmatParams::default() }, seed)
+                .expect("rmat"),
+            prefattach(PrefAttachParams { n: 300, out_links: 4, ..Default::default() }, seed)
+                .expect("pa"),
+            webcopy(WebCopyParams { n: 300, out_links: 4, ..Default::default() }, seed)
+                .expect("webcopy"),
+            road(RoadParams { width: 12, height: 12, ..Default::default() }, seed).expect("road"),
+            affiliation(
+                AffiliationParams { n: 200, groups: 80, ..Default::default() },
+                seed,
+            )
+            .expect("affiliation"),
+            community(
+                CommunityParams { n: 300, m: 2000, communities: 6, ..Default::default() },
+                seed,
+            )
+            .expect("community"),
+            smallworld(SmallWorldParams { n: 200, k: 3, rewire_prob: 0.2 }, seed)
+                .expect("smallworld"),
+        ];
+        for g in graphs {
+            prop_assert!(g.num_vertices() > 0);
+            for (u, v) in g.edges() {
+                prop_assert!(u != v, "self loop");
+                prop_assert!(u < g.num_vertices() && v < g.num_vertices());
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+use gp_graph::{DatasetId, GraphScale};
+use gp_partition::prelude::*;
+
+fn main() {
+    let scale = GraphScale::Tiny;
+    for id in DatasetId::ALL {
+        let g = id.generate(scale).unwrap();
+        print!("{} EP-RF(k=8): ", id.name());
+        let eps: Vec<(&str, Box<dyn EdgePartitioner>)> = vec![
+            ("Rnd", Box::new(RandomEdgePartitioner)),
+            ("DBH", Box::new(Dbh)),
+            ("HDRF", Box::new(Hdrf::default())),
+            ("2PS", Box::new(TwoPsL::default())),
+            ("H10", Box::new(Hep::hep10())),
+            ("H100", Box::new(Hep::hep100())),
+        ];
+        for (n, p) in &eps {
+            let t = std::time::Instant::now();
+            let part = p.partition_edges(&g, 8, 1).unwrap();
+            print!("{}={:.2}/vb{:.2}({:.0}ms) ", n, part.replication_factor(), part.vertex_balance(), t.elapsed().as_secs_f64()*1000.0);
+        }
+        println!();
+        print!("{} VP-cut(k=8): ", id.name());
+        let vps: Vec<(&str, Box<dyn VertexPartitioner>)> = vec![
+            ("Rnd", Box::new(RandomVertexPartitioner)),
+            ("LDG", Box::new(Ldg::default())),
+            ("Spin", Box::new(Spinner::default())),
+            ("METIS", Box::new(Metis::default())),
+            ("Byte", Box::new(ByteGnn::default())),
+            ("KaHIP", Box::new(Kahip::default())),
+        ];
+        for (n, p) in &vps {
+            let t = std::time::Instant::now();
+            let part = p.partition_vertices(&g, 8, 1).unwrap();
+            print!("{}={:.3}/vb{:.2}({:.0}ms) ", n, part.edge_cut_ratio(), part.vertex_balance(), t.elapsed().as_secs_f64()*1000.0);
+        }
+        println!();
+    }
+}

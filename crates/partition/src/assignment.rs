@@ -1,0 +1,481 @@
+//! Partition assignment types.
+//!
+//! [`EdgePartition`] is the result of *edge partitioning* (vertex-cut):
+//! every edge belongs to exactly one partition and vertices incident to
+//! edges in several partitions are *replicated*. [`VertexPartition`] is
+//! the result of *vertex partitioning* (edge-cut): every vertex belongs
+//! to exactly one partition and edges whose endpoints live in different
+//! partitions are *cut*.
+//!
+//! Both types eagerly compute the quality statistics of Section 2.1 at
+//! construction time so that downstream consumers (training engines,
+//! experiment harness) can read them for free.
+
+use gp_graph::Graph;
+
+use crate::error::PartitionError;
+
+/// Maximum supported number of partitions.
+///
+/// Replica sets are stored as one `u64` bitmask per vertex, which caps
+/// `k` at 64. The paper never exceeds 32 partitions.
+pub const MAX_PARTITIONS: u32 = 64;
+
+fn check_k(k: u32) -> Result<(), PartitionError> {
+    if k == 0 || k > MAX_PARTITIONS {
+        Err(PartitionError::BadPartitionCount { k })
+    } else {
+        Ok(())
+    }
+}
+
+/// Result of edge partitioning (vertex-cut).
+#[derive(Debug, Clone)]
+pub struct EdgePartition {
+    k: u32,
+    /// Partition of each canonical edge (same order as `graph.edges()`).
+    assignments: Vec<u32>,
+    /// Edges per partition.
+    edge_counts: Vec<u64>,
+    /// Bitmask of partitions each vertex is replicated to.
+    replica_masks: Vec<u64>,
+    /// |V(p_i)| — number of vertices covered by each partition.
+    covered_vertices: Vec<u64>,
+    /// Total number of vertex replicas (sum of popcounts).
+    total_replicas: u64,
+    /// Number of vertices with at least one incident edge.
+    num_covered: u64,
+    num_vertices: u32,
+}
+
+impl EdgePartition {
+    /// Build an edge partition from per-edge assignments.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` is out of range, the assignment length does not equal
+    /// `graph.num_edges()`, or an assignment is `>= k`.
+    pub fn new(graph: &Graph, k: u32, assignments: Vec<u32>) -> Result<Self, PartitionError> {
+        check_k(k)?;
+        if assignments.len() != graph.num_edges() as usize {
+            return Err(PartitionError::LengthMismatch {
+                expected: graph.num_edges() as usize,
+                actual: assignments.len(),
+            });
+        }
+        let mut edge_counts = vec![0u64; k as usize];
+        let mut replica_masks = vec![0u64; graph.num_vertices() as usize];
+        for (i, (u, v)) in graph.edges().enumerate() {
+            let p = assignments[i];
+            if p >= k {
+                return Err(PartitionError::AssignmentOutOfRange { partition: p, k });
+            }
+            edge_counts[p as usize] += 1;
+            let bit = 1u64 << p;
+            replica_masks[u as usize] |= bit;
+            replica_masks[v as usize] |= bit;
+        }
+        let mut covered_vertices = vec![0u64; k as usize];
+        let mut total_replicas = 0u64;
+        let mut num_covered = 0u64;
+        for &mask in &replica_masks {
+            if mask != 0 {
+                num_covered += 1;
+                total_replicas += u64::from(mask.count_ones());
+                let mut m = mask;
+                while m != 0 {
+                    let p = m.trailing_zeros();
+                    covered_vertices[p as usize] += 1;
+                    m &= m - 1;
+                }
+            }
+        }
+        Ok(EdgePartition {
+            k,
+            assignments,
+            edge_counts,
+            replica_masks,
+            covered_vertices,
+            total_replicas,
+            num_covered,
+            num_vertices: graph.num_vertices(),
+        })
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Partition of edge `e` (canonical edge index).
+    #[inline]
+    pub fn edge_partition(&self, e: u32) -> u32 {
+        self.assignments[e as usize]
+    }
+
+    /// Per-edge assignments, in canonical edge order.
+    #[inline]
+    pub fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+
+    /// Number of edges per partition.
+    #[inline]
+    pub fn edge_counts(&self) -> &[u64] {
+        &self.edge_counts
+    }
+
+    /// Number of covered vertices |V(p_i)| per partition.
+    #[inline]
+    pub fn covered_vertices(&self) -> &[u64] {
+        &self.covered_vertices
+    }
+
+    /// Bitmask of partitions vertex `v` is replicated to.
+    #[inline]
+    pub fn replica_mask(&self, v: u32) -> u64 {
+        self.replica_masks[v as usize]
+    }
+
+    /// Number of replicas of vertex `v` (0 for isolated vertices).
+    #[inline]
+    pub fn replica_count(&self, v: u32) -> u32 {
+        self.replica_masks[v as usize].count_ones()
+    }
+
+    /// Whether vertex `v` has a replica on partition `p`.
+    #[inline]
+    pub fn has_replica(&self, v: u32, p: u32) -> bool {
+        self.replica_masks[v as usize] & (1u64 << p) != 0
+    }
+
+    /// Total number of vertex replicas `Σ_i |V(p_i)|`.
+    #[inline]
+    pub fn total_replicas(&self) -> u64 {
+        self.total_replicas
+    }
+
+    /// Mean replication factor `RF(P) = Σ|V(p_i)| / |V_covered|`.
+    ///
+    /// Vertices without any incident edge are excluded from the
+    /// denominator (they are never replicated), matching the standard
+    /// definition.
+    pub fn replication_factor(&self) -> f64 {
+        if self.num_covered == 0 {
+            0.0
+        } else {
+            self.total_replicas as f64 / self.num_covered as f64
+        }
+    }
+
+    /// Edge balance `max(|p_i|) / mean(|p_i|)` (1.0 = perfect).
+    pub fn edge_balance(&self) -> f64 {
+        ratio_max_mean(&self.edge_counts)
+    }
+
+    /// Vertex balance `max(|V(p_i)|) / mean(|V(p_i)|)` (1.0 = perfect).
+    pub fn vertex_balance(&self) -> f64 {
+        ratio_max_mean(&self.covered_vertices)
+    }
+
+    /// Number of vertices in the original graph.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+}
+
+/// Result of vertex partitioning (edge-cut).
+#[derive(Debug, Clone)]
+pub struct VertexPartition {
+    k: u32,
+    /// Partition of each vertex.
+    assignments: Vec<u32>,
+    /// Vertices per partition.
+    vertex_counts: Vec<u64>,
+    /// Number of cut edges.
+    cut_edges: u64,
+    /// Total number of edges in the graph.
+    num_edges: u64,
+}
+
+impl VertexPartition {
+    /// Build a vertex partition from per-vertex assignments.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k` is out of range, the assignment length does not equal
+    /// `graph.num_vertices()`, or an assignment is `>= k`.
+    pub fn new(graph: &Graph, k: u32, assignments: Vec<u32>) -> Result<Self, PartitionError> {
+        check_k(k)?;
+        if assignments.len() != graph.num_vertices() as usize {
+            return Err(PartitionError::LengthMismatch {
+                expected: graph.num_vertices() as usize,
+                actual: assignments.len(),
+            });
+        }
+        let mut vertex_counts = vec![0u64; k as usize];
+        for &p in &assignments {
+            if p >= k {
+                return Err(PartitionError::AssignmentOutOfRange { partition: p, k });
+            }
+            vertex_counts[p as usize] += 1;
+        }
+        let mut cut_edges = 0u64;
+        for (u, v) in graph.edges() {
+            if assignments[u as usize] != assignments[v as usize] {
+                cut_edges += 1;
+            }
+        }
+        Ok(VertexPartition {
+            k,
+            assignments,
+            vertex_counts,
+            cut_edges,
+            num_edges: u64::from(graph.num_edges()),
+        })
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Partition of vertex `v`.
+    #[inline]
+    pub fn vertex_partition(&self, v: u32) -> u32 {
+        self.assignments[v as usize]
+    }
+
+    /// Per-vertex assignments.
+    #[inline]
+    pub fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+
+    /// Number of vertices per partition.
+    #[inline]
+    pub fn vertex_counts(&self) -> &[u64] {
+        &self.vertex_counts
+    }
+
+    /// Number of cut edges.
+    #[inline]
+    pub fn cut_edges(&self) -> u64 {
+        self.cut_edges
+    }
+
+    /// Edge-cut ratio `λ = |E_cut| / |E|`.
+    pub fn edge_cut_ratio(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.num_edges as f64
+        }
+    }
+
+    /// Vertex balance `max(|p_i|) / mean(|p_i|)` (1.0 = perfect).
+    pub fn vertex_balance(&self) -> f64 {
+        ratio_max_mean(&self.vertex_counts)
+    }
+
+    /// Balance of a vertex subset (e.g. training vertices) across
+    /// partitions: `max / mean` of the per-partition subset counts.
+    pub fn subset_balance(&self, subset: &[u32]) -> f64 {
+        let mut counts = vec![0u64; self.k as usize];
+        for &v in subset {
+            counts[self.assignments[v as usize] as usize] += 1;
+        }
+        ratio_max_mean(&counts)
+    }
+
+    /// Per-partition counts of a vertex subset (e.g. training vertices).
+    pub fn subset_counts(&self, subset: &[u32]) -> Vec<u64> {
+        let mut counts = vec![0u64; self.k as usize];
+        for &v in subset {
+            counts[self.assignments[v as usize] as usize] += 1;
+        }
+        counts
+    }
+
+    /// Communication volume: the number of `(vertex, remote partition)`
+    /// pairs — for each vertex, how many *other* partitions contain one
+    /// of its neighbours and therefore need its state.
+    ///
+    /// The paper observes that the edge-cut ratio is not a perfect
+    /// predictor of network traffic (Section 5.2: Spinner vs METIS on
+    /// OR); communication volume counts each remote partition once per
+    /// vertex, matching how state is actually shipped, and is the static
+    /// analogue of the *remote vertices* metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` does not match the partition's vertex count.
+    pub fn communication_volume(&self, graph: &Graph) -> u64 {
+        assert_eq!(
+            graph.num_vertices() as usize,
+            self.assignments.len(),
+            "graph/partition mismatch"
+        );
+        let mut touched = vec![0u64; graph.num_vertices() as usize];
+        for (u, v) in graph.edges() {
+            let (pu, pv) = (self.assignments[u as usize], self.assignments[v as usize]);
+            if pu != pv {
+                touched[u as usize] |= 1u64 << pv;
+                touched[v as usize] |= 1u64 << pu;
+            }
+        }
+        touched.iter().map(|m| u64::from(m.count_ones())).sum()
+    }
+}
+
+/// `max / mean` of a count vector; 0.0 for an all-zero vector.
+fn ratio_max_mean(counts: &[u64]) -> f64 {
+    let sum: u64 = counts.iter().sum();
+    if sum == 0 || counts.is_empty() {
+        return 0.0;
+    }
+    let mean = sum as f64 / counts.len() as f64;
+    let max = *counts.iter().max().expect("non-empty") as f64;
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-cycle: 0-1-2-3-0.
+    fn cycle() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)], false).unwrap()
+    }
+
+    #[test]
+    fn edge_partition_replication_factor() {
+        let g = cycle();
+        // Edges (0,1), (1,2) -> p0; (2,3), (0,3) -> p1.
+        let ep = EdgePartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        // Covered: p0 = {0,1,2}, p1 = {0,2,3}; replicas = 6, vertices = 4.
+        assert_eq!(ep.total_replicas(), 6);
+        assert!((ep.replication_factor() - 1.5).abs() < 1e-12);
+        assert_eq!(ep.covered_vertices(), &[3, 3]);
+        assert_eq!(ep.edge_counts(), &[2, 2]);
+        assert_eq!(ep.edge_balance(), 1.0);
+        assert_eq!(ep.vertex_balance(), 1.0);
+    }
+
+    #[test]
+    fn edge_partition_replica_queries() {
+        let g = cycle();
+        let ep = EdgePartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        assert_eq!(ep.replica_count(0), 2); // in both partitions
+        assert_eq!(ep.replica_count(1), 1);
+        assert!(ep.has_replica(3, 1));
+        assert!(!ep.has_replica(3, 0));
+        assert_eq!(ep.replica_mask(2), 0b11);
+    }
+
+    #[test]
+    fn edge_partition_single_partition_rf_one() {
+        let g = cycle();
+        let ep = EdgePartition::new(&g, 1, vec![0; 4]).unwrap();
+        assert!((ep.replication_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_partition_isolated_vertices_excluded() {
+        let g = Graph::from_edges(5, &[(0, 1)], false).unwrap();
+        let ep = EdgePartition::new(&g, 2, vec![0]).unwrap();
+        // Vertices 2..4 are isolated; RF counts only covered vertices.
+        assert!((ep.replication_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_partition_rejects_bad_input() {
+        let g = cycle();
+        assert!(matches!(
+            EdgePartition::new(&g, 0, vec![]),
+            Err(PartitionError::BadPartitionCount { .. })
+        ));
+        assert!(matches!(
+            EdgePartition::new(&g, 2, vec![0, 0]),
+            Err(PartitionError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            EdgePartition::new(&g, 2, vec![0, 0, 0, 5]),
+            Err(PartitionError::AssignmentOutOfRange { .. })
+        ));
+        assert!(matches!(
+            EdgePartition::new(&g, 65, vec![0; 4]),
+            Err(PartitionError::BadPartitionCount { .. })
+        ));
+    }
+
+    #[test]
+    fn vertex_partition_cut_and_balance() {
+        let g = cycle();
+        // {0, 1} vs {2, 3}: edges (1,2) and (0,3) are cut.
+        let vp = VertexPartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        assert_eq!(vp.cut_edges(), 2);
+        assert!((vp.edge_cut_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(vp.vertex_counts(), &[2, 2]);
+        assert_eq!(vp.vertex_balance(), 1.0);
+    }
+
+    #[test]
+    fn vertex_partition_imbalanced() {
+        let g = cycle();
+        let vp = VertexPartition::new(&g, 2, vec![0, 0, 0, 1]).unwrap();
+        // max = 3, mean = 2 -> balance 1.5.
+        assert!((vp.vertex_balance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_partition_subset_balance() {
+        let g = cycle();
+        let vp = VertexPartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        // Train vertices all on partition 0 -> max 2, mean 1 -> 2.0.
+        assert!((vp.subset_balance(&[0, 1]) - 2.0).abs() < 1e-12);
+        assert_eq!(vp.subset_counts(&[0, 1]), vec![2, 0]);
+        // Balanced subset.
+        assert!((vp.subset_balance(&[0, 2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_partition_rejects_bad_input() {
+        let g = cycle();
+        assert!(VertexPartition::new(&g, 2, vec![0, 1]).is_err());
+        assert!(VertexPartition::new(&g, 2, vec![0, 1, 2, 0]).is_err());
+    }
+
+    #[test]
+    fn communication_volume_counts_remote_partitions_once() {
+        let g = cycle();
+        // {0,1} vs {2,3}: cut edges (1,2) and (0,3); every vertex touches
+        // exactly one remote partition -> volume 4.
+        let vp = VertexPartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        assert_eq!(vp.communication_volume(&g), 4);
+        // Single partition: no communication.
+        let solo = VertexPartition::new(&g, 1, vec![0; 4]).unwrap();
+        assert_eq!(solo.communication_volume(&g), 0);
+    }
+
+    #[test]
+    fn communication_volume_dedups_multi_edges_to_same_partition() {
+        // Star: center 0 on partition 0, leaves on partition 1. The
+        // center touches partition 1 once (not three times); each leaf
+        // touches partition 0 once. Volume = 1 + 3.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], false).unwrap();
+        let vp = VertexPartition::new(&g, 2, vec![0, 1, 1, 1]).unwrap();
+        assert_eq!(vp.communication_volume(&g), 4);
+    }
+
+    #[test]
+    fn single_partition_no_cut() {
+        let g = cycle();
+        let vp = VertexPartition::new(&g, 1, vec![0; 4]).unwrap();
+        assert_eq!(vp.cut_edges(), 0);
+        assert_eq!(vp.edge_cut_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Vertex partitioners (edge-cut).
+//!
+//! Every algorithm assigns each *vertex* to exactly one partition; edges
+//! whose endpoints land on different partitions are cut. The key quality
+//! metrics are the edge-cut ratio (communication) and the vertex balance
+//! (computation / memory balance). DistDGL-style mini-batch training
+//! additionally cares about the *training-vertex* balance, which
+//! [`ByteGnn`] optimises explicitly.
+
+pub mod bytegnn;
+pub mod kahip;
+pub mod ldg;
+pub mod metis;
+pub mod multilevel;
+pub mod random_vp;
+pub mod reldg;
+pub mod spinner;
+
+pub use bytegnn::ByteGnn;
+pub use kahip::Kahip;
+pub use ldg::Ldg;
+pub use metis::Metis;
+pub use random_vp::RandomVertexPartitioner;
+pub use reldg::ReLdg;
+pub use spinner::Spinner;
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use gp_graph::generators::{rmat, RmatParams};
+    use gp_graph::Graph;
+
+    use crate::assignment::VertexPartition;
+    use crate::traits::VertexPartitioner;
+
+    /// A small skewed test graph.
+    pub fn skewed_graph() -> Graph {
+        rmat(RmatParams { scale: 9, edge_factor: 8, ..RmatParams::default() }, 7).unwrap()
+    }
+
+    /// A small community-structured social graph (heavy tail AND
+    /// clusters), the structure on which multilevel partitioners shine.
+    pub fn community_graph() -> Graph {
+        gp_graph::generators::community(
+            gp_graph::generators::CommunityParams {
+                n: 1200,
+                m: 20_000,
+                communities: 12,
+                intra_prob: 0.75,
+                degree_exponent: 2.3,
+            },
+            5,
+        )
+        .unwrap()
+    }
+
+    /// A small road-like test graph (low degree, no skew).
+    pub fn grid_graph() -> Graph {
+        gp_graph::generators::road(
+            gp_graph::generators::RoadParams {
+                width: 24,
+                height: 24,
+                removal_prob: 0.3,
+                highways: 10,
+            },
+            3,
+        )
+        .unwrap()
+    }
+
+    /// Checks every vertex partitioner must pass.
+    pub fn check_vertex_partitioner(p: &dyn VertexPartitioner) {
+        let g = skewed_graph();
+        for k in [1u32, 2, 4, 8] {
+            let part = p.partition_vertices(&g, k, 42).unwrap();
+            validate(&g, &part, k);
+        }
+        let a = p.partition_vertices(&g, 4, 1).unwrap();
+        let b = p.partition_vertices(&g, 4, 1).unwrap();
+        assert_eq!(a.assignments(), b.assignments(), "{} not deterministic", p.name());
+    }
+
+    /// Structural validity of a vertex partition.
+    pub fn validate(g: &Graph, part: &VertexPartition, k: u32) {
+        assert_eq!(part.k(), k);
+        assert_eq!(part.assignments().len(), g.num_vertices() as usize);
+        let total: u64 = part.vertex_counts().iter().sum();
+        assert_eq!(total, u64::from(g.num_vertices()), "all vertices assigned once");
+        assert!(part.edge_cut_ratio() >= 0.0 && part.edge_cut_ratio() <= 1.0);
+        if k == 1 {
+            assert_eq!(part.cut_edges(), 0);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! ReLDG — restreaming Linear Deterministic Greedy
+//! (Nishimura & Ugander, KDD 2013; the paper's reference 33).
+//!
+//! **Extension beyond the paper's Table 2**: runs LDG repeatedly over
+//! the same vertex stream, each pass seeded with the previous pass's
+//! assignment, which converges towards a much lower edge-cut than a
+//! single pass while keeping streaming-level memory. Restreaming sits
+//! between the streaming and in-memory categories: it needs the stream
+//! to be replayable but never materialises the graph-partitioning state
+//! beyond O(|V|).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use gp_graph::Graph;
+
+use crate::assignment::VertexPartition;
+use crate::error::PartitionError;
+use crate::traits::VertexPartitioner;
+
+/// Restreaming LDG vertex partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct ReLdg {
+    /// Number of restreaming passes (1 = plain LDG).
+    pub passes: u32,
+    /// Capacity slack per partition.
+    pub slack: f64,
+}
+
+impl Default for ReLdg {
+    fn default() -> Self {
+        ReLdg { passes: 10, slack: 1.1 }
+    }
+}
+
+impl VertexPartitioner for ReLdg {
+    fn name(&self) -> &'static str {
+        "ReLDG"
+    }
+
+    fn partition_vertices(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<VertexPartition, PartitionError> {
+        if k == 0 || k > crate::MAX_PARTITIONS {
+            return Err(PartitionError::BadPartitionCount { k });
+        }
+        if self.passes == 0 || self.slack < 1.0 {
+            return Err(PartitionError::InvalidParameter(
+                "passes must be > 0 and slack >= 1".into(),
+            ));
+        }
+        let n = graph.num_vertices();
+        let capacity = ((self.slack * f64::from(n) / f64::from(k)).ceil() as u64).max(1);
+        let mut order: Vec<u32> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+
+        const NONE: u32 = u32::MAX;
+        let mut assignments = vec![NONE; n as usize];
+        let mut neighbor_counts = vec![0u32; k as usize];
+        for _pass in 0..self.passes {
+            // Restreaming: vertices keep their previous assignment until
+            // revisited; sizes track the *current* labelling.
+            let mut sizes = vec![0u64; k as usize];
+            for &p in assignments.iter().filter(|&&p| p != NONE) {
+                sizes[p as usize] += 1;
+            }
+            for &v in &order {
+                // Remove v from its old partition before re-placing it.
+                let old = assignments[v as usize];
+                if old != NONE {
+                    sizes[old as usize] -= 1;
+                }
+                neighbor_counts.iter_mut().for_each(|c| *c = 0);
+                for &w in graph.out_neighbors(v) {
+                    let p = assignments[w as usize];
+                    if p != NONE {
+                        neighbor_counts[p as usize] += 1;
+                    }
+                }
+                if graph.is_directed() {
+                    for &w in graph.in_neighbors(v) {
+                        let p = assignments[w as usize];
+                        if p != NONE {
+                            neighbor_counts[p as usize] += 1;
+                        }
+                    }
+                }
+                let mut best = 0u32;
+                let mut best_score = f64::NEG_INFINITY;
+                for p in 0..k {
+                    if sizes[p as usize] >= capacity {
+                        continue;
+                    }
+                    let weight = 1.0 - sizes[p as usize] as f64 / capacity as f64;
+                    let score = f64::from(neighbor_counts[p as usize]) * weight + weight * 1e-6;
+                    if score > best_score {
+                        best_score = score;
+                        best = p;
+                    }
+                }
+                if best_score == f64::NEG_INFINITY {
+                    best = (0..k).min_by_key(|&p| sizes[p as usize]).expect("k >= 1");
+                }
+                assignments[v as usize] = best;
+                sizes[best as usize] += 1;
+            }
+        }
+        VertexPartition::new(graph, k, assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_cut::testutil::{check_vertex_partitioner, community_graph, grid_graph};
+    use crate::edge_cut::Ldg;
+
+    #[test]
+    fn passes_common_checks() {
+        check_vertex_partitioner(&ReLdg::default());
+    }
+
+    #[test]
+    fn restreaming_improves_on_single_pass() {
+        // The Nishimura–Ugander result: more passes, lower cut.
+        let g = community_graph();
+        let one = ReLdg { passes: 1, slack: 1.1 }.partition_vertices(&g, 8, 1).unwrap();
+        let ten = ReLdg { passes: 10, slack: 1.1 }.partition_vertices(&g, 8, 1).unwrap();
+        assert!(
+            ten.edge_cut_ratio() < one.edge_cut_ratio(),
+            "pass 10 cut {} >= pass 1 cut {}",
+            ten.edge_cut_ratio(),
+            one.edge_cut_ratio()
+        );
+    }
+
+    #[test]
+    fn single_pass_matches_ldg_quality_class() {
+        // One ReLDG pass and LDG are the same algorithm up to stream
+        // order; their cuts should be in the same ballpark.
+        let g = grid_graph();
+        let reldg = ReLdg { passes: 1, slack: 1.1 }.partition_vertices(&g, 4, 1).unwrap();
+        let ldg = Ldg::default().partition_vertices(&g, 4, 1).unwrap();
+        let ratio = reldg.edge_cut_ratio() / ldg.edge_cut_ratio().max(1e-9);
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn respects_capacity_after_restreaming() {
+        let g = community_graph();
+        let p = ReLdg::default().partition_vertices(&g, 8, 1).unwrap();
+        let cap = (1.1 * f64::from(g.num_vertices()) / 8.0).ceil() as u64 + 1;
+        assert!(p.vertex_counts().iter().all(|&c| c <= cap));
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let g = grid_graph();
+        assert!(ReLdg { passes: 0, slack: 1.1 }.partition_vertices(&g, 4, 0).is_err());
+        assert!(ReLdg { passes: 2, slack: 0.5 }.partition_vertices(&g, 4, 0).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for partitioning operations.
+
+use std::fmt;
+
+/// Errors produced by partitioners and assignment constructors.
+#[derive(Debug)]
+pub enum PartitionError {
+    /// `k` was zero or exceeded [`crate::MAX_PARTITIONS`].
+    BadPartitionCount {
+        /// Requested number of partitions.
+        k: u32,
+    },
+    /// The assignment vector length did not match the graph.
+    LengthMismatch {
+        /// Expected number of assignments.
+        expected: usize,
+        /// Actual number supplied.
+        actual: usize,
+    },
+    /// An assignment referenced partition id `>= k`.
+    AssignmentOutOfRange {
+        /// Offending partition id.
+        partition: u32,
+        /// Number of partitions.
+        k: u32,
+    },
+    /// The graph cannot be partitioned (e.g. no edges for an edge
+    /// partitioner).
+    EmptyGraph,
+    /// A partitioner was configured with invalid parameters.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::BadPartitionCount { k } => {
+                write!(f, "partition count {k} out of range [1, {}]", crate::MAX_PARTITIONS)
+            }
+            PartitionError::LengthMismatch { expected, actual } => {
+                write!(f, "assignment length {actual} does not match expected {expected}")
+            }
+            PartitionError::AssignmentOutOfRange { partition, k } => {
+                write!(f, "assignment to partition {partition} >= k = {k}")
+            }
+            PartitionError::EmptyGraph => write!(f, "graph has nothing to partition"),
+            PartitionError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(PartitionError::BadPartitionCount { k: 0 }.to_string().contains("0"));
+        assert!(PartitionError::LengthMismatch { expected: 3, actual: 5 }
+            .to_string()
+            .contains("5"));
+        assert!(PartitionError::AssignmentOutOfRange { partition: 9, k: 4 }
+            .to_string()
+            .contains("9"));
+        assert!(PartitionError::EmptyGraph.to_string().contains("nothing"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Partitioning quality metrics (paper Section 2.1).
+//!
+//! Most metrics are computed eagerly by [`EdgePartition`] /
+//! [`VertexPartition`]; this module bundles them into report-friendly
+//! summary structs and adds the mini-batch-aware metrics used in the
+//! DistDGL analysis (training-vertex balance).
+
+use crate::assignment::{EdgePartition, VertexPartition};
+
+/// Quality summary for an edge partitioning (vertex-cut).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgePartitionQuality {
+    /// Mean replication factor `RF(P)`.
+    pub replication_factor: f64,
+    /// Edge balance `max/mean`.
+    pub edge_balance: f64,
+    /// Vertex balance `max/mean` over covered vertices.
+    pub vertex_balance: f64,
+    /// Number of partitions.
+    pub k: u32,
+}
+
+impl EdgePartitionQuality {
+    /// Compute the summary from an assignment.
+    pub fn of(partition: &EdgePartition) -> Self {
+        EdgePartitionQuality {
+            replication_factor: partition.replication_factor(),
+            edge_balance: partition.edge_balance(),
+            vertex_balance: partition.vertex_balance(),
+            k: partition.k(),
+        }
+    }
+}
+
+/// Quality summary for a vertex partitioning (edge-cut).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VertexPartitionQuality {
+    /// Edge-cut ratio `λ`.
+    pub edge_cut_ratio: f64,
+    /// Vertex balance `max/mean`.
+    pub vertex_balance: f64,
+    /// Training-vertex balance `max/mean` (1.0 when no training set was
+    /// provided).
+    pub train_vertex_balance: f64,
+    /// Number of partitions.
+    pub k: u32,
+}
+
+impl VertexPartitionQuality {
+    /// Compute the summary; `train_vertices` may be empty.
+    pub fn of(partition: &VertexPartition, train_vertices: &[u32]) -> Self {
+        let tvb = if train_vertices.is_empty() {
+            1.0
+        } else {
+            partition.subset_balance(train_vertices)
+        };
+        VertexPartitionQuality {
+            edge_cut_ratio: partition.edge_cut_ratio(),
+            vertex_balance: partition.vertex_balance(),
+            train_vertex_balance: tvb,
+            k: partition.k(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gp_graph::Graph;
+
+    fn cycle() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)], false).unwrap()
+    }
+
+    #[test]
+    fn edge_quality_summary() {
+        let g = cycle();
+        let ep = EdgePartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        let q = EdgePartitionQuality::of(&ep);
+        assert!((q.replication_factor - 1.5).abs() < 1e-12);
+        assert_eq!(q.edge_balance, 1.0);
+        assert_eq!(q.k, 2);
+    }
+
+    #[test]
+    fn vertex_quality_summary_with_train_set() {
+        let g = cycle();
+        let vp = VertexPartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        let q = VertexPartitionQuality::of(&vp, &[0, 1]);
+        assert!((q.edge_cut_ratio - 0.5).abs() < 1e-12);
+        assert!((q.train_vertex_balance - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vertex_quality_summary_no_train_set() {
+        let g = cycle();
+        let vp = VertexPartition::new(&g, 2, vec![0, 1, 0, 1]).unwrap();
+        let q = VertexPartitionQuality::of(&vp, &[]);
+        assert_eq!(q.train_vertex_balance, 1.0);
+    }
+}

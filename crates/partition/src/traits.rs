@@ -1,0 +1,77 @@
+//! Partitioner traits.
+
+use gp_graph::Graph;
+
+use crate::assignment::{EdgePartition, VertexPartition};
+use crate::error::PartitionError;
+
+/// An edge partitioner (vertex-cut): assigns every edge to a partition.
+pub trait EdgePartitioner {
+    /// Stable name used in reports (e.g. `"HDRF"`).
+    fn name(&self) -> &'static str;
+
+    /// Partition the graph's edges into `k` parts.
+    ///
+    /// Implementations must be deterministic given `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid `k`, empty graphs, or invalid configuration.
+    fn partition_edges(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<EdgePartition, PartitionError>;
+}
+
+/// A vertex partitioner (edge-cut): assigns every vertex to a partition.
+pub trait VertexPartitioner {
+    /// Stable name used in reports (e.g. `"METIS"`).
+    fn name(&self) -> &'static str;
+
+    /// Partition the graph's vertices into `k` parts.
+    ///
+    /// Implementations must be deterministic given `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid `k` or invalid configuration.
+    fn partition_vertices(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<VertexPartition, PartitionError>;
+}
+
+/// Blanket impls so `Box<dyn …>` collections can be used ergonomically.
+impl<T: EdgePartitioner + ?Sized> EdgePartitioner for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn partition_edges(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<EdgePartition, PartitionError> {
+        (**self).partition_edges(graph, k, seed)
+    }
+}
+
+impl<T: VertexPartitioner + ?Sized> VertexPartitioner for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn partition_vertices(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<VertexPartition, PartitionError> {
+        (**self).partition_vertices(graph, k, seed)
+    }
+}

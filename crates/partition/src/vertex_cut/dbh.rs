@@ -1,0 +1,100 @@
+//! DBH — degree-based hashing (Xie et al., NeurIPS 2014).
+//!
+//! Stateless streaming vertex-cut: edge `{u, v}` is placed by hashing its
+//! *lower-degree* endpoint. Low-degree vertices therefore get all their
+//! edges on one partition (no replication), while hubs — which would be
+//! replicated anyway — absorb the cut. Requires vertex degrees, which are
+//! available after one pass over the stream.
+
+use gp_graph::Graph;
+
+use crate::assignment::EdgePartition;
+use crate::error::PartitionError;
+use crate::traits::EdgePartitioner;
+
+/// Degree-based hashing edge partitioner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dbh;
+
+/// SplitMix64 finaliser — a cheap, well-mixed integer hash, shared by
+/// hash-based partitioners and master selection.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl EdgePartitioner for Dbh {
+    fn name(&self) -> &'static str {
+        "DBH"
+    }
+
+    fn partition_edges(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<EdgePartition, PartitionError> {
+        if k == 0 || k > crate::MAX_PARTITIONS {
+            return Err(PartitionError::BadPartitionCount { k });
+        }
+        let mut assignments = Vec::with_capacity(graph.num_edges() as usize);
+        for (u, v) in graph.edges() {
+            let (du, dv) = (graph.degree(u), graph.degree(v));
+            // Hash the lower-degree endpoint; ties broken by id for
+            // determinism.
+            let key = if du < dv || (du == dv && u <= v) { u } else { v };
+            let h = mix64(u64::from(key) ^ seed);
+            assignments.push((h % u64::from(k)) as u32);
+        }
+        EdgePartition::new(graph, k, assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_cut::testutil::{check_edge_partitioner, skewed_graph};
+    use crate::vertex_cut::RandomEdgePartitioner;
+
+    #[test]
+    fn passes_common_checks() {
+        check_edge_partitioner(&Dbh);
+    }
+
+    #[test]
+    fn beats_random_on_replication() {
+        let g = skewed_graph();
+        let dbh = Dbh.partition_edges(&g, 8, 1).unwrap();
+        let rnd = RandomEdgePartitioner.partition_edges(&g, 8, 1).unwrap();
+        assert!(
+            dbh.replication_factor() < rnd.replication_factor(),
+            "DBH {} vs Random {}",
+            dbh.replication_factor(),
+            rnd.replication_factor()
+        );
+    }
+
+    #[test]
+    fn low_degree_vertices_not_replicated() {
+        let g = skewed_graph();
+        let p = Dbh.partition_edges(&g, 8, 1).unwrap();
+        // Degree-1 vertices always hash their single edge by themselves
+        // or their (hub) neighbour; either way they have exactly 1 replica.
+        for v in g.vertices() {
+            if g.degree(v) == 1 {
+                assert_eq!(p.replica_count(v), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mixer_spreads_bits() {
+        // Adjacent inputs should map to very different outputs.
+        let a = mix64(1);
+        let b = mix64(2);
+        assert!((a ^ b).count_ones() > 10);
+    }
+}

@@ -1,0 +1,117 @@
+//! 2-D grid (matrix-block) vertex-cut partitioning.
+//!
+//! **Extension beyond the paper's Table 2**: the classic communication-
+//! avoiding scheme from 2-D sparse-matrix distribution (used by
+//! Graph500 reference implementations and GraphBuilder). Partitions are
+//! arranged in an `r × c` grid; edge `{u, v}` goes to the partition at
+//! `(row(u), col(v))`. Every vertex's replicas are then confined to one
+//! grid row plus one grid column, which gives the *provable* bound
+//!
+//! ```text
+//! replication factor ≤ r + c − 1      (≈ 2√k − 1 for square grids)
+//! ```
+//!
+//! independent of the graph — a worst-case guarantee none of the
+//! adaptive streaming partitioners can offer. The trade-off: it never
+//! exploits locality, so on partitionable graphs HDRF/HEP beat it.
+
+use gp_graph::Graph;
+
+use crate::assignment::EdgePartition;
+use crate::error::PartitionError;
+use crate::traits::EdgePartitioner;
+use crate::vertex_cut::dbh::mix64;
+
+/// 2-D grid edge partitioner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Grid2d;
+
+/// Factor `k` into the most-square `r × c = k` grid (`r <= c`).
+fn grid_shape(k: u32) -> (u32, u32) {
+    let mut r = (k as f64).sqrt() as u32;
+    while r > 1 && !k.is_multiple_of(r) {
+        r -= 1;
+    }
+    (r.max(1), k / r.max(1))
+}
+
+impl EdgePartitioner for Grid2d {
+    fn name(&self) -> &'static str {
+        "Grid2D"
+    }
+
+    fn partition_edges(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<EdgePartition, PartitionError> {
+        if k == 0 || k > crate::MAX_PARTITIONS {
+            return Err(PartitionError::BadPartitionCount { k });
+        }
+        let (rows, cols) = grid_shape(k);
+        let row_of = |v: u32| (mix64(u64::from(v) ^ seed) % u64::from(rows)) as u32;
+        let col_of = |v: u32| (mix64(u64::from(v) ^ seed ^ 0xc01) % u64::from(cols)) as u32;
+        let assignments: Vec<u32> =
+            graph.edges().map(|(u, v)| row_of(u) * cols + col_of(v)).collect();
+        EdgePartition::new(graph, k, assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_cut::testutil::{check_edge_partitioner, skewed_graph};
+    use crate::vertex_cut::RandomEdgePartitioner;
+
+    #[test]
+    fn passes_common_checks() {
+        check_edge_partitioner(&Grid2d);
+    }
+
+    #[test]
+    fn grid_shapes_factor_k() {
+        assert_eq!(grid_shape(16), (4, 4));
+        assert_eq!(grid_shape(8), (2, 4));
+        assert_eq!(grid_shape(7), (1, 7));
+        assert_eq!(grid_shape(1), (1, 1));
+        assert_eq!(grid_shape(36), (6, 6));
+    }
+
+    #[test]
+    fn replication_bound_holds() {
+        // The defining property: RF of EVERY vertex <= r + c - 1.
+        let g = skewed_graph();
+        for k in [4u32, 8, 16, 36, 64] {
+            let (r, c) = grid_shape(k);
+            let p = Grid2d.partition_edges(&g, k, 7).unwrap();
+            let bound = r + c - 1;
+            for v in g.vertices() {
+                assert!(
+                    p.replica_count(v) <= bound,
+                    "k={k}: vertex {v} has {} replicas > bound {bound}",
+                    p.replica_count(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_hubs_where_random_does_not() {
+        // At k=16 the hub's replicas: Random ~ min(16, deg); Grid2D <= 7.
+        let g = skewed_graph();
+        let hub = g.vertices().max_by_key(|&v| g.degree(v)).unwrap();
+        assert!(g.degree(hub) > 50, "test premise: a real hub exists");
+        let grid = Grid2d.partition_edges(&g, 16, 1).unwrap();
+        let rnd = RandomEdgePartitioner.partition_edges(&g, 16, 1).unwrap();
+        assert!(grid.replica_count(hub) <= 7);
+        assert!(rnd.replica_count(hub) > 7);
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let g = skewed_graph();
+        let p = Grid2d.partition_edges(&g, 16, 1).unwrap();
+        assert!(p.edge_balance() < 1.6, "edge balance {}", p.edge_balance());
+    }
+}

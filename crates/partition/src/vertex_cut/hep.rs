@@ -1,0 +1,219 @@
+//! HEP — Hybrid Edge Partitioner (Mayer & Jacobsen, SIGMOD 2021).
+//!
+//! HEP splits the vertex set by degree: vertices with degree above
+//! `τ · mean_degree` are *high-degree*. Edges between two high-degree
+//! vertices are partitioned with a streaming algorithm (HDRF-style);
+//! every other edge is partitioned in memory with neighbourhood
+//! expansion ([`crate::vertex_cut::ne`]). A larger `τ` moves more of the
+//! graph into the high-quality in-memory phase: the paper uses `τ = 10`
+//! (HEP-10) and `τ = 100` (HEP-100, effectively fully in-memory) as two
+//! separate partitioners.
+
+use gp_graph::Graph;
+
+use crate::assignment::EdgePartition;
+use crate::error::PartitionError;
+use crate::traits::EdgePartitioner;
+use crate::vertex_cut::ne::{ne_partition, Incidence};
+
+/// Hybrid edge partitioner with threshold parameter `τ`.
+#[derive(Debug, Clone, Copy)]
+pub struct Hep {
+    /// Degree threshold multiplier τ (the paper evaluates 10 and 100).
+    pub tau: f64,
+    /// Balance weight of the streaming (HDRF-style) phase.
+    pub lambda: f64,
+}
+
+impl Hep {
+    /// HEP-10 configuration.
+    pub fn hep10() -> Self {
+        Hep { tau: 10.0, lambda: 1.1 }
+    }
+
+    /// HEP-100 configuration (effectively in-memory).
+    pub fn hep100() -> Self {
+        Hep { tau: 100.0, lambda: 1.1 }
+    }
+}
+
+impl Default for Hep {
+    fn default() -> Self {
+        Hep::hep10()
+    }
+}
+
+impl EdgePartitioner for Hep {
+    fn name(&self) -> &'static str {
+        // Distinguish the two paper configurations; other τ values fall
+        // back to the generic name.
+        if (self.tau - 10.0).abs() < 1e-9 {
+            "HEP-10"
+        } else if (self.tau - 100.0).abs() < 1e-9 {
+            "HEP-100"
+        } else {
+            "HEP"
+        }
+    }
+
+    fn partition_edges(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<EdgePartition, PartitionError> {
+        if k == 0 || k > crate::MAX_PARTITIONS {
+            return Err(PartitionError::BadPartitionCount { k });
+        }
+        if self.tau <= 0.0 {
+            return Err(PartitionError::InvalidParameter(format!(
+                "tau = {} must be > 0",
+                self.tau
+            )));
+        }
+        let m = graph.num_edges() as usize;
+        if m == 0 {
+            return EdgePartition::new(graph, k, Vec::new());
+        }
+        let threshold = (self.tau * 2.0 * graph.mean_degree()).max(1.0);
+        let is_high = |v: u32| f64::from(graph.degree(v)) > threshold;
+
+        // Split the edge set: low edges (≥ one low-degree endpoint) go to
+        // the in-memory NE phase, high-high edges to the streaming phase.
+        let mut eligible_ne = vec![false; m];
+        let mut any_stream = false;
+        for (e, (u, v)) in graph.edges().enumerate() {
+            if is_high(u) && is_high(v) {
+                any_stream = true;
+            } else {
+                eligible_ne[e] = true;
+            }
+        }
+
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut assignments = vec![UNASSIGNED; m];
+
+        // ---- In-memory phase: neighbourhood expansion. ----
+        let incidence = Incidence::build(graph);
+        ne_partition(graph, &incidence, &eligible_ne, &mut assignments, k);
+
+        // ---- Streaming phase: HDRF-style over the remaining edges,
+        // with the replica sets warm-started from the NE phase. ----
+        if any_stream {
+            let _ = seed; // streaming phase is deterministic
+            let n = graph.num_vertices() as usize;
+            let mut replicas = vec![0u64; n];
+            let mut load = vec![0u64; k as usize];
+            for (e, (u, v)) in graph.edges().enumerate() {
+                let p = assignments[e];
+                if p != UNASSIGNED {
+                    replicas[u as usize] |= 1u64 << p;
+                    replicas[v as usize] |= 1u64 << p;
+                    load[p as usize] += 1;
+                }
+            }
+            let mut max_load = *load.iter().max().expect("k >= 1");
+            let mut min_load = *load.iter().min().expect("k >= 1");
+            let mut partial = vec![0u32; n];
+            for (e, (u, v)) in graph.edges().enumerate() {
+                if assignments[e] != UNASSIGNED {
+                    continue;
+                }
+                let (ui, vi) = (u as usize, v as usize);
+                partial[ui] += 1;
+                partial[vi] += 1;
+                let du = f64::from(partial[ui]);
+                let dv = f64::from(partial[vi]);
+                let theta_u = du / (du + dv);
+                let theta_v = 1.0 - theta_u;
+                let denom = 1e-9 + (max_load - min_load) as f64;
+                let mut best = 0u32;
+                let mut best_score = f64::NEG_INFINITY;
+                for p in 0..k {
+                    let bit = 1u64 << p;
+                    let mut c_rep = 0.0;
+                    if replicas[ui] & bit != 0 {
+                        c_rep += 1.0 + (1.0 - theta_u);
+                    }
+                    if replicas[vi] & bit != 0 {
+                        c_rep += 1.0 + (1.0 - theta_v);
+                    }
+                    let c_bal = self.lambda * (max_load - load[p as usize]) as f64 / denom;
+                    let score = c_rep + c_bal;
+                    if score > best_score {
+                        best_score = score;
+                        best = p;
+                    }
+                }
+                assignments[e] = best;
+                replicas[ui] |= 1u64 << best;
+                replicas[vi] |= 1u64 << best;
+                load[best as usize] += 1;
+                max_load = max_load.max(load[best as usize]);
+                min_load = *load.iter().min().expect("k >= 1");
+            }
+        }
+
+        EdgePartition::new(graph, k, assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_cut::testutil::{check_edge_partitioner, skewed_graph};
+    use crate::vertex_cut::{Hdrf, RandomEdgePartitioner};
+
+    #[test]
+    fn hep10_passes_common_checks() {
+        check_edge_partitioner(&Hep::hep10());
+    }
+
+    #[test]
+    fn hep100_passes_common_checks() {
+        check_edge_partitioner(&Hep::hep100());
+    }
+
+    #[test]
+    fn names_distinguish_tau() {
+        assert_eq!(Hep::hep10().name(), "HEP-10");
+        assert_eq!(Hep::hep100().name(), "HEP-100");
+        assert_eq!(Hep { tau: 5.0, lambda: 1.1 }.name(), "HEP");
+    }
+
+    #[test]
+    fn hep_beats_streaming_partitioners() {
+        let g = skewed_graph();
+        let hep = Hep::hep100().partition_edges(&g, 8, 1).unwrap();
+        let hdrf = Hdrf::default().partition_edges(&g, 8, 1).unwrap();
+        let rnd = RandomEdgePartitioner.partition_edges(&g, 8, 1).unwrap();
+        assert!(
+            hep.replication_factor() < hdrf.replication_factor(),
+            "HEP-100 {} vs HDRF {}",
+            hep.replication_factor(),
+            hdrf.replication_factor()
+        );
+        assert!(hep.replication_factor() < 0.5 * rnd.replication_factor());
+    }
+
+    #[test]
+    fn hep100_at_least_as_good_as_hep10() {
+        let g = skewed_graph();
+        let h10 = Hep::hep10().partition_edges(&g, 8, 1).unwrap();
+        let h100 = Hep::hep100().partition_edges(&g, 8, 1).unwrap();
+        assert!(h100.replication_factor() <= h10.replication_factor() + 0.25);
+    }
+
+    #[test]
+    fn rejects_bad_tau() {
+        let g = skewed_graph();
+        assert!(Hep { tau: 0.0, lambda: 1.0 }.partition_edges(&g, 4, 0).is_err());
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = gp_graph::Graph::from_edges(3, &[], false).unwrap();
+        let p = Hep::hep10().partition_edges(&g, 2, 0).unwrap();
+        assert_eq!(p.assignments().len(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Random edge partitioning (stateless streaming).
+//!
+//! The paper's baseline: every edge goes to a uniformly random partition.
+//! Perfect edge balance in expectation, but the replication factor
+//! approaches `min(k, degree)` for every vertex — the worst case.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use gp_graph::Graph;
+
+use crate::assignment::EdgePartition;
+use crate::error::PartitionError;
+use crate::traits::EdgePartitioner;
+
+/// Uniformly random edge partitioner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RandomEdgePartitioner;
+
+impl EdgePartitioner for RandomEdgePartitioner {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn partition_edges(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<EdgePartition, PartitionError> {
+        if k == 0 || k > crate::MAX_PARTITIONS {
+            return Err(PartitionError::BadPartitionCount { k });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let assignments: Vec<u32> =
+            (0..graph.num_edges()).map(|_| rng.random_range(0..k)).collect();
+        EdgePartition::new(graph, k, assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_cut::testutil::{check_edge_partitioner, skewed_graph};
+
+    #[test]
+    fn passes_common_checks() {
+        check_edge_partitioner(&RandomEdgePartitioner);
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        let g = skewed_graph();
+        let p = RandomEdgePartitioner.partition_edges(&g, 8, 3).unwrap();
+        assert!(p.edge_balance() < 1.15, "edge balance {}", p.edge_balance());
+    }
+
+    #[test]
+    fn high_replication_factor() {
+        let g = skewed_graph();
+        let p = RandomEdgePartitioner.partition_edges(&g, 8, 3).unwrap();
+        // Random replicates aggressively on a skewed graph.
+        assert!(p.replication_factor() > 2.0, "rf {}", p.replication_factor());
+    }
+
+    #[test]
+    fn rejects_zero_k() {
+        let g = skewed_graph();
+        assert!(RandomEdgePartitioner.partition_edges(&g, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,219 @@
+//! 2PS-L — Two-Phase Streaming with Linear run-time (Mayer et al., ICDE 2022).
+//!
+//! Phase 1 streams the edges and builds volume-capped vertex *clusters*
+//! (a simplified Hollocou-style streaming clustering). Phase 2 maps the
+//! clusters onto partitions (first-fit decreasing by volume) and streams
+//! the edges again: an edge whose endpoints' clusters map to the same
+//! partition goes there; otherwise it goes to the less-loaded of the two
+//! candidate partitions, subject to an edge-balance cap.
+//!
+//! The clustering packs dense regions onto single partitions, which
+//! yields a low replication factor — but, exactly as the paper observes,
+//! a *vertex imbalance*, because cluster sizes are uneven.
+
+use gp_graph::Graph;
+
+use crate::assignment::EdgePartition;
+use crate::error::PartitionError;
+use crate::traits::EdgePartitioner;
+
+/// 2PS-L streaming edge partitioner.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoPsL {
+    /// Edge-balance slack α: no partition may exceed `α * |E| / k` edges.
+    pub alpha: f64,
+}
+
+impl Default for TwoPsL {
+    fn default() -> Self {
+        TwoPsL { alpha: 1.05 }
+    }
+}
+
+impl EdgePartitioner for TwoPsL {
+    fn name(&self) -> &'static str {
+        "2PS-L"
+    }
+
+    fn partition_edges(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<EdgePartition, PartitionError> {
+        if k == 0 || k > crate::MAX_PARTITIONS {
+            return Err(PartitionError::BadPartitionCount { k });
+        }
+        if self.alpha < 1.0 {
+            return Err(PartitionError::InvalidParameter(format!(
+                "alpha = {} must be >= 1",
+                self.alpha
+            )));
+        }
+        let _ = seed; // The algorithm is deterministic by construction.
+        let n = graph.num_vertices() as usize;
+        let m = u64::from(graph.num_edges());
+        if m == 0 {
+            return EdgePartition::new(graph, k, Vec::new());
+        }
+
+        // ---- Phase 1: streaming clustering (union by volume). ----
+        // cluster id per vertex; UNASSIGNED = u32::MAX.
+        const NONE: u32 = u32::MAX;
+        let mut cluster = vec![NONE; n];
+        // Volume (sum of degrees) per cluster, indexed by cluster id.
+        let mut volume: Vec<u64> = Vec::new();
+        // Cap a cluster's volume at 2|E| * 2 / k, i.e. the degree volume
+        // of one ideally-sized partition (each edge contributes 2).
+        let volume_cap = (2 * m).div_ceil(u64::from(k)).max(2);
+
+        for (u, v) in graph.edges() {
+            let (ui, vi) = (u as usize, v as usize);
+            let du = u64::from(graph.degree(u));
+            let dv = u64::from(graph.degree(v));
+            match (cluster[ui], cluster[vi]) {
+                (NONE, NONE) => {
+                    let id = volume.len() as u32;
+                    volume.push(du + dv);
+                    cluster[ui] = id;
+                    cluster[vi] = id;
+                }
+                (cu, NONE) => {
+                    if volume[cu as usize] + dv <= volume_cap {
+                        cluster[vi] = cu;
+                        volume[cu as usize] += dv;
+                    } else {
+                        let id = volume.len() as u32;
+                        volume.push(dv);
+                        cluster[vi] = id;
+                    }
+                }
+                (NONE, cv) => {
+                    if volume[cv as usize] + du <= volume_cap {
+                        cluster[ui] = cv;
+                        volume[cv as usize] += du;
+                    } else {
+                        let id = volume.len() as u32;
+                        volume.push(du);
+                        cluster[ui] = id;
+                    }
+                }
+                (cu, cv) if cu != cv => {
+                    // Move the endpoint in the smaller cluster over if the
+                    // larger cluster has room (2PS-L's "rescue" step, kept
+                    // O(1) per edge).
+                    let (small_v, small_c, big_c, dw) = if volume[cu as usize]
+                        <= volume[cv as usize]
+                    {
+                        (ui, cu, cv, du)
+                    } else {
+                        (vi, cv, cu, dv)
+                    };
+                    if volume[big_c as usize] + dw <= volume_cap {
+                        cluster[small_v] = big_c;
+                        volume[big_c as usize] += dw;
+                        volume[small_c as usize] = volume[small_c as usize].saturating_sub(dw);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // ---- Map clusters to partitions: first-fit decreasing. ----
+        let mut order: Vec<u32> = (0..volume.len() as u32).collect();
+        order.sort_unstable_by_key(|&c| std::cmp::Reverse(volume[c as usize]));
+        let mut part_volume = vec![0u64; k as usize];
+        let mut cluster_part = vec![0u32; volume.len()];
+        for c in order {
+            let p = (0..k).min_by_key(|&p| part_volume[p as usize]).expect("k >= 1");
+            cluster_part[c as usize] = p;
+            part_volume[p as usize] += volume[c as usize];
+        }
+
+        // ---- Phase 2: stream edges and assign. ----
+        let cap = ((self.alpha * m as f64) / f64::from(k)).ceil() as u64;
+        let mut load = vec![0u64; k as usize];
+        let mut replicas = vec![0u64; n];
+        let mut assignments = Vec::with_capacity(m as usize);
+        for (u, v) in graph.edges() {
+            let (ui, vi) = (u as usize, v as usize);
+            let pu = cluster_part[cluster[ui] as usize];
+            let pv = cluster_part[cluster[vi] as usize];
+            let mut p = if pu == pv {
+                pu
+            } else {
+                // Prefer a partition where a replica already exists, then
+                // the less-loaded of the two candidates.
+                let ru = replicas[ui] | replicas[vi];
+                let u_has = ru & (1u64 << pu) != 0;
+                let v_has = ru & (1u64 << pv) != 0;
+                match (u_has, v_has) {
+                    (true, false) => pu,
+                    (false, true) => pv,
+                    _ => {
+                        if load[pu as usize] <= load[pv as usize] {
+                            pu
+                        } else {
+                            pv
+                        }
+                    }
+                }
+            };
+            if load[p as usize] >= cap {
+                // Balance cap exceeded: spill to the least-loaded partition.
+                p = (0..k).min_by_key(|&q| load[q as usize]).expect("k >= 1");
+            }
+            assignments.push(p);
+            load[p as usize] += 1;
+            replicas[ui] |= 1u64 << p;
+            replicas[vi] |= 1u64 << p;
+        }
+        EdgePartition::new(graph, k, assignments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vertex_cut::testutil::{check_edge_partitioner, skewed_graph};
+    use crate::vertex_cut::RandomEdgePartitioner;
+
+    #[test]
+    fn passes_common_checks() {
+        check_edge_partitioner(&TwoPsL::default());
+    }
+
+    #[test]
+    fn beats_random_on_replication() {
+        let g = skewed_graph();
+        let two = TwoPsL::default().partition_edges(&g, 8, 1).unwrap();
+        let rnd = RandomEdgePartitioner.partition_edges(&g, 8, 1).unwrap();
+        assert!(
+            two.replication_factor() < 0.8 * rnd.replication_factor(),
+            "2PS-L {} vs Random {}",
+            two.replication_factor(),
+            rnd.replication_factor()
+        );
+    }
+
+    #[test]
+    fn respects_edge_balance_cap() {
+        let g = skewed_graph();
+        let p = TwoPsL::default().partition_edges(&g, 8, 1).unwrap();
+        // The cap allows alpha + 1-edge rounding slack.
+        assert!(p.edge_balance() < 1.15, "edge balance {}", p.edge_balance());
+    }
+
+    #[test]
+    fn rejects_alpha_below_one() {
+        let g = skewed_graph();
+        assert!(TwoPsL { alpha: 0.5 }.partition_edges(&g, 4, 0).is_err());
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = gp_graph::Graph::from_edges(4, &[], false).unwrap();
+        let p = TwoPsL::default().partition_edges(&g, 2, 0).unwrap();
+        assert_eq!(p.assignments().len(), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests: every partitioner (the paper's 12 plus the
+//! extensions) produces structurally valid partitions on arbitrary
+//! graphs, and the quality metrics respect their mathematical bounds.
+
+use proptest::prelude::*;
+
+use gp_graph::{Graph, GraphBuilder};
+use gp_partition::prelude::*;
+
+/// Strategy: a connected-ish random graph.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (10u32..150, 1usize..6, any::<u64>()).prop_map(|(n, density, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::undirected(n);
+        // Spanning chain keeps most vertices non-isolated.
+        for v in 1..n {
+            b.add_edge(v - 1, v);
+        }
+        for _ in 0..(n as usize * density) {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            b.add_edge(u, v);
+        }
+        b.build().expect("in-range")
+    })
+}
+
+fn all_edge_partitioners() -> Vec<Box<dyn EdgePartitioner>> {
+    vec![
+        Box::new(RandomEdgePartitioner),
+        Box::new(Dbh),
+        Box::new(Hdrf::default()),
+        Box::new(TwoPsL::default()),
+        Box::new(Hep::hep10()),
+        Box::new(Hep::hep100()),
+        Box::new(Greedy),
+        Box::new(Grid2d),
+    ]
+}
+
+fn all_vertex_partitioners() -> Vec<Box<dyn VertexPartitioner>> {
+    vec![
+        Box::new(RandomVertexPartitioner),
+        Box::new(Ldg::default()),
+        Box::new(Spinner::default()),
+        Box::new(Metis::default()),
+        Box::new(ByteGnn::default()),
+        Box::new(Kahip::default()),
+        Box::new(ReLdg { passes: 3, slack: 1.1 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Edge partitions: every edge assigned once; RF within [1, k];
+    /// balance metrics >= 1.
+    #[test]
+    fn edge_partitioners_valid(g in arb_graph(), k in 1u32..10, seed in any::<u64>()) {
+        for p in all_edge_partitioners() {
+            let part = p.partition_edges(&g, k, seed)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            let total: u64 = part.edge_counts().iter().sum();
+            prop_assert_eq!(total, u64::from(g.num_edges()), "{}", p.name());
+            let rf = part.replication_factor();
+            prop_assert!(rf >= 1.0 - 1e-9, "{}: rf {rf}", p.name());
+            prop_assert!(rf <= f64::from(k) + 1e-9, "{}: rf {rf}", p.name());
+            prop_assert!(part.edge_balance() >= 1.0 - 1e-9 || g.num_edges() == 0);
+            prop_assert!(part.vertex_balance() >= 1.0 - 1e-9 || g.num_edges() == 0);
+        }
+    }
+
+    /// Vertex partitions: every vertex assigned once; cut ratio within
+    /// [0, 1]; k = 1 has zero cut.
+    #[test]
+    fn vertex_partitioners_valid(g in arb_graph(), k in 1u32..10, seed in any::<u64>()) {
+        for p in all_vertex_partitioners() {
+            let part = p.partition_vertices(&g, k, seed)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name()));
+            let total: u64 = part.vertex_counts().iter().sum();
+            prop_assert_eq!(total, u64::from(g.num_vertices()), "{}", p.name());
+            let cut = part.edge_cut_ratio();
+            prop_assert!((0.0..=1.0).contains(&cut), "{}: cut {cut}", p.name());
+            if k == 1 {
+                prop_assert_eq!(part.cut_edges(), 0, "{}", p.name());
+            }
+        }
+    }
+
+    /// Replica masks are consistent with edge assignments.
+    #[test]
+    fn replica_masks_consistent(g in arb_graph(), k in 1u32..8, seed in any::<u64>()) {
+        let part = Hdrf::default().partition_edges(&g, k, seed).expect("valid");
+        for (e, (u, v)) in g.edges().enumerate() {
+            let p = part.edge_partition(e as u32);
+            prop_assert!(part.has_replica(u, p));
+            prop_assert!(part.has_replica(v, p));
+        }
+        // Total replicas equal the sum over partitions of covered counts.
+        let sum: u64 = part.covered_vertices().iter().sum();
+        prop_assert_eq!(sum, part.total_replicas());
+    }
+
+    /// Subset balance of the full vertex set equals the vertex balance.
+    #[test]
+    fn subset_balance_degenerates(g in arb_graph(), k in 2u32..8, seed in any::<u64>()) {
+        let part = Metis::default().partition_vertices(&g, k, seed).expect("valid");
+        let all: Vec<u32> = (0..g.num_vertices()).collect();
+        let diff = (part.subset_balance(&all) - part.vertex_balance()).abs();
+        prop_assert!(diff < 1e-9, "diff {diff}");
+    }
+
+    /// The edge-cut ratio of Random at large k approaches 1 - 1/k from
+    /// below (sanity of the statistical baseline).
+    #[test]
+    fn random_cut_bounded(g in arb_graph(), seed in any::<u64>()) {
+        let part = RandomVertexPartitioner.partition_vertices(&g, 8, seed).expect("valid");
+        prop_assert!(part.edge_cut_ratio() <= 1.0);
+    }
+
+    /// Grid2D's provable replication bound `r + c - 1` holds for every
+    /// vertex of every graph at every seed.
+    #[test]
+    fn grid2d_bound_universal(g in arb_graph(), seed in any::<u64>()) {
+        // k = 16 -> 4x4 grid -> bound 7.
+        let part = Grid2d.partition_edges(&g, 16, seed).expect("valid");
+        for v in g.vertices() {
+            prop_assert!(part.replica_count(v) <= 7, "vertex {v}: {}", part.replica_count(v));
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Aggregation blocks: the bipartite adjacency a GNN layer consumes.
+//!
+//! A block maps `num_src` *source* rows to `num_dst` *destination* rows.
+//! Convention (borrowed from DGL): the first `num_dst` source rows ARE
+//! the destination vertices, so a destination can always read its own
+//! previous-layer representation at the same index. In full-batch
+//! training `num_src == num_dst == |V|` and the block is the whole graph
+//! adjacency; in mini-batch training each layer has its own block
+//! produced by neighbourhood sampling.
+
+/// Bipartite aggregation structure (CSR over destinations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aggregation {
+    num_src: usize,
+    /// CSR offsets, one entry per destination + 1.
+    offsets: Vec<u32>,
+    /// Source indices each destination aggregates from.
+    indices: Vec<u32>,
+}
+
+impl Aggregation {
+    /// Build from CSR parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CSR is malformed (offsets not monotone, index out of
+    /// range, or fewer sources than destinations).
+    pub fn new(num_src: usize, offsets: Vec<u32>, indices: Vec<u32>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        let num_dst = offsets.len() - 1;
+        assert!(num_src >= num_dst, "sources ({num_src}) must include all destinations ({num_dst})");
+        assert_eq!(*offsets.last().expect("non-empty") as usize, indices.len());
+        for w in offsets.windows(2) {
+            assert!(w[0] <= w[1], "offsets must be monotone");
+        }
+        for &i in &indices {
+            assert!((i as usize) < num_src, "index {i} out of range {num_src}");
+        }
+        Aggregation { num_src, offsets, indices }
+    }
+
+    /// Build a block from per-destination neighbour lists.
+    pub fn from_lists(num_src: usize, lists: &[Vec<u32>]) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0u32);
+        let mut indices = Vec::new();
+        for l in lists {
+            indices.extend_from_slice(l);
+            offsets.push(indices.len() as u32);
+        }
+        Aggregation::new(num_src, offsets, indices)
+    }
+
+    /// Number of destination rows.
+    #[inline]
+    pub fn num_dst(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of source rows.
+    #[inline]
+    pub fn num_src(&self) -> usize {
+        self.num_src
+    }
+
+    /// Total number of aggregation edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Neighbours (source indices) of destination `d`.
+    #[inline]
+    pub fn neighbors(&self, d: usize) -> &[u32] {
+        &self.indices[self.offsets[d] as usize..self.offsets[d + 1] as usize]
+    }
+
+    /// In-degree of destination `d` within the block.
+    #[inline]
+    pub fn degree(&self, d: usize) -> usize {
+        (self.offsets[d + 1] - self.offsets[d]) as usize
+    }
+
+    /// Mean aggregation: `out[d] = mean_{s in N(d)} x[s]`.
+    /// Destinations without neighbours get a zero row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.rows() != num_src`.
+    pub fn mean(&self, x: &crate::Tensor) -> crate::Tensor {
+        assert_eq!(x.rows(), self.num_src, "x rows must equal num_src");
+        let mut out = crate::Tensor::zeros(self.num_dst(), x.cols());
+        for d in 0..self.num_dst() {
+            let nbrs = self.neighbors(d);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / nbrs.len() as f32;
+            let row = out.row_mut(d);
+            for &s in nbrs {
+                for (o, &v) in row.iter_mut().zip(x.row(s as usize).iter()) {
+                    *o += v;
+                }
+            }
+            for o in row.iter_mut() {
+                *o *= inv;
+            }
+        }
+        out
+    }
+
+    /// Backward of [`Self::mean`]: scatter `dy` back to the sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy.rows() != num_dst()`.
+    pub fn mean_backward(&self, dy: &crate::Tensor) -> crate::Tensor {
+        assert_eq!(dy.rows(), self.num_dst(), "dy rows must equal num_dst");
+        let mut dx = crate::Tensor::zeros(self.num_src, dy.cols());
+        for d in 0..self.num_dst() {
+            let nbrs = self.neighbors(d);
+            if nbrs.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / nbrs.len() as f32;
+            let dyr = dy.row(d);
+            for &s in nbrs {
+                let dst_row = dx.row_mut(s as usize);
+                for (o, &v) in dst_row.iter_mut().zip(dyr.iter()) {
+                    *o += v * inv;
+                }
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    /// Two destinations; dst 0 aggregates from sources {0, 2}, dst 1 from
+    /// {1}. Three sources total.
+    fn block() -> Aggregation {
+        Aggregation::from_lists(3, &[vec![0, 2], vec![1]])
+    }
+
+    #[test]
+    fn shape_queries() {
+        let b = block();
+        assert_eq!(b.num_dst(), 2);
+        assert_eq!(b.num_src(), 3);
+        assert_eq!(b.num_edges(), 3);
+        assert_eq!(b.degree(0), 2);
+        assert_eq!(b.neighbors(1), &[1]);
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let b = block();
+        let x = Tensor::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let y = b.mean(&x);
+        assert_eq!(y.row(0), &[3., 4.]); // mean of rows 0 and 2
+        assert_eq!(y.row(1), &[3., 4.]); // row 1
+    }
+
+    #[test]
+    fn mean_backward_scatters() {
+        let b = block();
+        let dy = Tensor::from_vec(2, 2, vec![2., 2., 4., 4.]);
+        let dx = b.mean_backward(&dy);
+        assert_eq!(dx.row(0), &[1., 1.]); // half of dy[0]
+        assert_eq!(dx.row(1), &[4., 4.]);
+        assert_eq!(dx.row(2), &[1., 1.]);
+    }
+
+    #[test]
+    fn mean_and_backward_are_adjoint() {
+        // <A x, y> == <x, Aᵀ y> for the mean operator.
+        let b = block();
+        let x = Tensor::from_vec(3, 1, vec![1., 2., 3.]);
+        let y = Tensor::from_vec(2, 1, vec![5., 7.]);
+        let ax = b.mean(&x);
+        let aty = b.mean_backward(&y);
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_neighbor_list_gives_zero_row() {
+        let b = Aggregation::from_lists(2, &[vec![], vec![0]]);
+        let x = Tensor::from_vec(2, 1, vec![3., 5.]);
+        let y = b.mean(&x);
+        assert_eq!(y.row(0), &[0.]);
+        assert_eq!(y.row(1), &[3.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_index() {
+        Aggregation::from_lists(2, &[vec![5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must include all destinations")]
+    fn rejects_fewer_sources_than_dsts() {
+        Aggregation::from_lists(1, &[vec![0], vec![0]]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Analytic FLOP and byte counting.
+//!
+//! The cluster cost model converts these counts into simulated time. The
+//! counts mirror exactly what the layer implementations execute, so a
+//! "simulated second" corresponds to real arithmetic the layers would
+//! perform at full scale.
+
+use crate::model::{ModelConfig, ModelKind};
+
+/// Shape of one layer's aggregation block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockShape {
+    /// Destination rows.
+    pub num_dst: u64,
+    /// Source rows.
+    pub num_src: u64,
+    /// Aggregation edges.
+    pub num_edges: u64,
+}
+
+/// Forward FLOPs of a single layer.
+pub fn layer_forward_flops(
+    kind: ModelKind,
+    shape: BlockShape,
+    in_dim: u64,
+    out_dim: u64,
+) -> u64 {
+    let BlockShape { num_dst, num_src, num_edges } = shape;
+    match kind {
+        // Two matmuls (self + neigh) plus mean aggregation.
+        ModelKind::Sage => {
+            2 * num_dst * in_dim * out_dim * 2 + num_edges * in_dim + num_dst * out_dim
+        }
+        // One matmul plus mean aggregation.
+        ModelKind::Gcn => 2 * num_dst * in_dim * out_dim + num_edges * in_dim + num_dst * out_dim,
+        // Projection of every source + per-edge attention (two dots +
+        // weighted sum) + softmax.
+        ModelKind::Gat => {
+            2 * num_src * in_dim * out_dim + num_edges * (3 * out_dim + 4) + num_dst * out_dim
+        }
+    }
+}
+
+/// Training FLOPs of one layer ≈ forward + backward ≈ 3 × forward (the
+/// standard rule of thumb: backward costs about twice the forward pass).
+pub fn layer_train_flops(kind: ModelKind, shape: BlockShape, in_dim: u64, out_dim: u64) -> u64 {
+    3 * layer_forward_flops(kind, shape, in_dim, out_dim)
+}
+
+/// Forward FLOPs of a whole model given each layer's block shape
+/// (`shapes[i]` feeds layer `i`).
+///
+/// # Panics
+///
+/// Panics if `shapes.len() != config.num_layers`.
+pub fn model_forward_flops(config: &ModelConfig, shapes: &[BlockShape]) -> u64 {
+    assert_eq!(shapes.len(), config.num_layers, "one shape per layer");
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let (input, output) = config.layer_dims(i);
+            layer_forward_flops(config.kind, s, input as u64, output as u64)
+        })
+        .sum()
+}
+
+/// Training FLOPs of a whole model (forward + backward).
+///
+/// # Panics
+///
+/// Panics if `shapes.len() != config.num_layers`.
+pub fn model_train_flops(config: &ModelConfig, shapes: &[BlockShape]) -> u64 {
+    3 * model_forward_flops(config, shapes)
+}
+
+/// Bytes of one vertex state vector of dimension `dim` (f32).
+pub fn state_bytes(dim: u64) -> u64 {
+    4 * dim
+}
+
+/// Total number of scalar parameters of a model configuration.
+pub fn model_param_count(config: &ModelConfig) -> u64 {
+    (0..config.num_layers)
+        .map(|i| {
+            let (input, output) = config.layer_dims(i);
+            let (input, output) = (input as u64, output as u64);
+            match config.kind {
+                ModelKind::Sage => 2 * input * output + output,
+                ModelKind::Gcn => input * output + output,
+                ModelKind::Gat => input * output + 3 * output,
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(kind: ModelKind) -> ModelConfig {
+        ModelConfig {
+            kind,
+            feature_dim: 16,
+            hidden_dim: 64,
+            num_layers: 2,
+            num_classes: 8,
+            seed: 0,
+        }
+    }
+
+    const SHAPE: BlockShape = BlockShape { num_dst: 100, num_src: 400, num_edges: 1000 };
+
+    #[test]
+    fn gat_costs_more_than_sage() {
+        let sage = layer_forward_flops(ModelKind::Sage, SHAPE, 64, 64);
+        let gat = layer_forward_flops(ModelKind::Gat, SHAPE, 64, 64);
+        assert!(gat > sage, "gat {gat} <= sage {sage}");
+    }
+
+    #[test]
+    fn sage_costs_more_than_gcn() {
+        let sage = layer_forward_flops(ModelKind::Sage, SHAPE, 64, 64);
+        let gcn = layer_forward_flops(ModelKind::Gcn, SHAPE, 64, 64);
+        assert!(sage > gcn);
+    }
+
+    #[test]
+    fn flops_scale_with_hidden_dim() {
+        let small = layer_forward_flops(ModelKind::Sage, SHAPE, 16, 16);
+        let large = layer_forward_flops(ModelKind::Sage, SHAPE, 512, 512);
+        assert!(large > 100 * small);
+    }
+
+    #[test]
+    fn model_flops_sum_layers() {
+        let c = cfg(ModelKind::Sage);
+        let shapes = [SHAPE, SHAPE];
+        let total = model_forward_flops(&c, &shapes);
+        let l0 = layer_forward_flops(ModelKind::Sage, SHAPE, 16, 64);
+        let l1 = layer_forward_flops(ModelKind::Sage, SHAPE, 64, 8);
+        assert_eq!(total, l0 + l1);
+        assert_eq!(model_train_flops(&c, &shapes), 3 * total);
+    }
+
+    #[test]
+    fn param_count_matches_model() {
+        for kind in [ModelKind::Sage, ModelKind::Gcn, ModelKind::Gat] {
+            let c = cfg(kind);
+            let mut m = crate::GnnModel::new(c);
+            assert_eq!(model_param_count(&c), m.num_params() as u64, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn state_bytes_is_4x() {
+        assert_eq!(state_bytes(64), 256);
+    }
+}

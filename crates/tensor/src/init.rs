@@ -1,0 +1,63 @@
+//! Parameter initialisation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialisation: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let a = (6.0 / (rows + cols) as f64).sqrt() as f32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows * cols).map(|_| (rng.random::<f32>() * 2.0 - 1.0) * a).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Deterministic feature matrix for synthetic experiments: values in
+/// `[-0.5, 0.5]`, seeded per vertex so any subset of rows is
+/// reproducible without materialising the full matrix elsewhere.
+pub fn synthetic_features(num_rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(num_rows, cols);
+    for r in 0..num_rows {
+        let mut rng = StdRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        for v in t.row_mut(r) {
+            *v = rng.random::<f32>() - 0.5;
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds() {
+        let t = xavier_uniform(64, 64, 1);
+        let a = (6.0f64 / 128.0).sqrt() as f32;
+        assert!(t.data().iter().all(|&v| v.abs() <= a));
+        // Not all zero.
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn xavier_deterministic() {
+        assert_eq!(xavier_uniform(8, 8, 3), xavier_uniform(8, 8, 3));
+        assert_ne!(xavier_uniform(8, 8, 3), xavier_uniform(8, 8, 4));
+    }
+
+    #[test]
+    fn synthetic_features_row_stable() {
+        // Row r has the same contents regardless of matrix height.
+        let a = synthetic_features(10, 4, 7);
+        let b = synthetic_features(5, 4, 7);
+        assert_eq!(a.row(3), b.row(3));
+    }
+
+    #[test]
+    fn synthetic_features_in_range() {
+        let t = synthetic_features(20, 8, 1);
+        assert!(t.data().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # gp-tensor — minimal dense tensor + GNN layers with manual backprop
+//!
+//! The NN substrate for both training engines. Everything the paper's
+//! models need, nothing more:
+//!
+//! * [`Tensor`] — dense row-major `f32` matrix with the three matmul
+//!   variants backprop needs (`A·B`, `Aᵀ·B`, `A·Bᵀ`).
+//! * [`Aggregation`] — a sampled *block* (DGL terminology): a bipartite
+//!   adjacency from `num_src` source rows to `num_dst` destination rows,
+//!   with the convention that the first `num_dst` source rows are the
+//!   destinations themselves.
+//! * [`layers`] — GraphSAGE (mean), GCN and GAT layers, each with
+//!   explicit `forward` / `backward`.
+//! * [`GnnModel`] — a stack of layers of one [`ModelKind`] with a final
+//!   linear classifier, cross-entropy loss and an analytic FLOP counter
+//!   used by the cluster cost model.
+//! * [`optim`] — SGD and Adam.
+//!
+//! Graph aggregation structure is the *engine's* responsibility (that is
+//! where communication happens and is accounted); layers only see dense
+//! matrices plus the block topology.
+
+pub mod block;
+pub mod flops;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod ops;
+pub mod optim;
+pub mod tensor;
+
+pub use block::Aggregation;
+pub use model::{GnnModel, ModelConfig, ModelKind};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;

@@ -1,0 +1,132 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Mean softmax cross-entropy over rows.
+///
+/// Returns `(loss, dlogits)` where `dlogits` is the gradient w.r.t. the
+/// logits (already divided by the batch size).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[u32]) -> (f32, Tensor) {
+    assert_eq!(labels.len(), logits.rows(), "one label per row");
+    let classes = logits.cols();
+    let batch = logits.rows().max(1) as f32;
+    let mut dlogits = Tensor::zeros(logits.rows(), classes);
+    let mut loss = 0.0f64;
+    for (r, &label) in labels.iter().enumerate() {
+        let label = label as usize;
+        assert!(label < classes, "label {label} out of range {classes}");
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let drow = dlogits.row_mut(r);
+        for (d, &x) in drow.iter_mut().zip(row.iter()) {
+            let e = (x - max).exp();
+            *d = e;
+            sum += e;
+        }
+        let log_sum = sum.ln() + max;
+        loss += f64::from(log_sum - row[label]);
+        for d in drow.iter_mut() {
+            *d /= sum * batch;
+        }
+        drow[label] -= 1.0 / batch;
+    }
+    ((loss / f64::from(batch)) as f32, dlogits)
+}
+
+/// Classification accuracy of `logits` against `labels`.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()`.
+pub fn accuracy(logits: &Tensor, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), logits.rows());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (r, &want) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty row");
+        if pred == want as usize {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let logits = Tensor::from_vec(2, 2, vec![10.0, -10.0, -10.0, 10.0]);
+        let (loss, _) = cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn uniform_prediction_log_k_loss() {
+        let logits = Tensor::zeros(1, 4);
+        let (loss, _) = cross_entropy(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_points_downhill() {
+        // Numerical gradient check on a single logit.
+        let mut logits = Tensor::from_vec(1, 3, vec![0.1, 0.2, 0.3]);
+        let labels = [1u32];
+        let (_, d) = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for c in 0..3 {
+            let orig = logits.get(0, c);
+            logits.set(0, c, orig + eps);
+            let (lp, _) = cross_entropy(&logits, &labels);
+            logits.set(0, c, orig - eps);
+            let (lm, _) = cross_entropy(&logits, &labels);
+            logits.set(0, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - d.get(0, c)).abs() < 1e-3,
+                "col {c}: numerical {num} vs analytic {}",
+                d.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let (_, d) = cross_entropy(&logits, &[0, 2]);
+        for r in 0..2 {
+            let s: f32 = d.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        let logits = Tensor::zeros(1, 2);
+        let _ = cross_entropy(&logits, &[5]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Element-wise activations with explicit backward passes.
+
+use crate::tensor::Tensor;
+
+/// ReLU forward (in place): `x = max(x, 0)`.
+pub fn relu_inplace(x: &mut Tensor) {
+    for v in x.data_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// ReLU backward: zero `dy` where the *output* `y` was zero.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn relu_backward_inplace(dy: &mut Tensor, y: &Tensor) {
+    assert_eq!(dy.rows(), y.rows());
+    assert_eq!(dy.cols(), y.cols());
+    for (d, &o) in dy.data_mut().iter_mut().zip(y.data().iter()) {
+        if o <= 0.0 {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Leaky-ReLU forward (in place) with slope `alpha` for negatives.
+pub fn leaky_relu_inplace(x: &mut Tensor, alpha: f32) {
+    for v in x.data_mut() {
+        if *v < 0.0 {
+            *v *= alpha;
+        }
+    }
+}
+
+/// Leaky-ReLU derivative w.r.t. the *input* value.
+#[inline]
+pub fn leaky_relu_grad(input: f32, alpha: f32) -> f32 {
+    if input >= 0.0 {
+        1.0
+    } else {
+        alpha
+    }
+}
+
+/// Scalar ELU-like exponential used by GAT attention softmax: numerically
+/// stable row softmax over an arbitrary slice.
+pub fn softmax_slice(values: &mut [f32]) {
+    if values.is_empty() {
+        return;
+    }
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in values.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in values.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps() {
+        let mut t = Tensor::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        relu_inplace(&mut t);
+        assert_eq!(t.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let y = Tensor::from_vec(1, 3, vec![0.0, 1.0, 0.0]);
+        let mut dy = Tensor::from_vec(1, 3, vec![5.0, 5.0, 5.0]);
+        relu_backward_inplace(&mut dy, &y);
+        assert_eq!(dy.data(), &[0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let mut t = Tensor::from_vec(1, 2, vec![-2.0, 2.0]);
+        leaky_relu_inplace(&mut t, 0.1);
+        assert_eq!(t.data(), &[-0.2, 2.0]);
+        assert_eq!(leaky_relu_grad(-1.0, 0.1), 0.1);
+        assert_eq!(leaky_relu_grad(1.0, 0.1), 1.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        softmax_slice(&mut v);
+        let sum: f32 = v.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut v = vec![1000.0, 1000.0];
+        softmax_slice(&mut v);
+        assert!((v[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_noop() {
+        let mut v: Vec<f32> = vec![];
+        softmax_slice(&mut v);
+        assert!(v.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Trainable parameters and optimisers (SGD, Adam).
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter: value, gradient accumulator and optimiser
+/// state (first/second moments, used by Adam, zero-cost for SGD).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the backward pass.
+    pub grad: Tensor,
+    /// First-moment estimate (Adam).
+    m: Tensor,
+    /// Second-moment estimate (Adam).
+    v: Tensor,
+}
+
+impl Param {
+    /// Wrap an initial value.
+    pub fn new(value: Tensor) -> Self {
+        let (r, c) = (value.rows(), value.cols());
+        Param { value, grad: Tensor::zeros(r, c), m: Tensor::zeros(r, c), v: Tensor::zeros(r, c) }
+    }
+
+    /// Reset the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.data().len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An optimiser updates parameters from their accumulated gradients.
+pub trait Optimizer {
+    /// Apply one update step to `param` (gradient already accumulated).
+    fn update(&mut self, param: &mut Param);
+
+    /// Called once per optimisation step *before* updating parameters
+    /// (Adam uses it to advance its time step).
+    fn begin_step(&mut self) {}
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn update(&mut self, param: &mut Param) {
+        let lr = self.lr;
+        for (v, &g) in param.value.data_mut().iter_mut().zip(param.grad.data().iter()) {
+            *v -= lr * g;
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015).
+#[derive(Debug, Clone, Copy)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    t: u32,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, param: &mut Param) {
+        let t = self.t.max(1) as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+        let g = param.grad.data();
+        let m = param.m.data_mut();
+        let v = param.v.data_mut();
+        for i in 0..g.len() {
+            m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+            v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+        }
+        let val = param.value.data_mut();
+        for i in 0..val.len() {
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            val[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Tensor::from_vec(1, 1, vec![x0]))
+    }
+
+    /// Minimise f(x) = x² with the given optimiser; return final |x|.
+    fn minimise<O: Optimizer>(mut opt: O, steps: u32) -> f32 {
+        let mut p = quadratic_param(5.0);
+        for _ in 0..steps {
+            opt.begin_step();
+            // df/dx = 2x
+            let x = p.value.get(0, 0);
+            p.grad.set(0, 0, 2.0 * x);
+            opt.update(&mut p);
+            p.zero_grad();
+        }
+        p.value.get(0, 0).abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(minimise(Sgd::new(0.1), 100) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        assert!(minimise(Adam::new(0.3), 200) < 1e-2);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = quadratic_param(1.0);
+        p.grad.set(0, 0, 7.0);
+        p.zero_grad();
+        assert_eq!(p.grad.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn param_len() {
+        let p = Param::new(Tensor::zeros(3, 4));
+        assert_eq!(p.len(), 12);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn sgd_step_is_linear_in_lr() {
+        let mut p = quadratic_param(1.0);
+        p.grad.set(0, 0, 1.0);
+        let mut opt = Sgd::new(0.5);
+        opt.update(&mut p);
+        assert!((p.value.get(0, 0) - 0.5).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor substrate: linear-algebra
+//! identities, aggregation adjointness, loss-gradient correctness.
+
+use proptest::prelude::*;
+
+use gp_tensor::loss::cross_entropy;
+use gp_tensor::{Aggregation, Tensor};
+
+/// Strategy: a small random tensor.
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(rows, cols, data))
+}
+
+/// Strategy: a random aggregation block with `dst` destinations over
+/// `src >= dst` sources.
+fn arb_block() -> impl Strategy<Value = Aggregation> {
+    (1usize..6, 0usize..8).prop_flat_map(|(dst, extra)| {
+        let src = dst + extra;
+        proptest::collection::vec(
+            proptest::collection::vec(0..src as u32, 0..5),
+            dst,
+        )
+        .prop_map(move |lists| Aggregation::from_lists(src, &lists))
+    })
+}
+
+fn dot(a: &Tensor, b: &Tensor) -> f32 {
+    a.data().iter().zip(b.data().iter()).map(|(x, y)| x * y).sum()
+}
+
+proptest! {
+    /// (A·B)·C == A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_associative(
+        a in arb_tensor(3, 4),
+        b in arb_tensor(4, 2),
+        c in arb_tensor(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (l, r) in left.data().iter().zip(right.data().iter()) {
+            prop_assert!((l - r).abs() < 1e-3, "{l} vs {r}");
+        }
+    }
+
+    /// matmul_at_b(a, b) equals transposing explicitly.
+    #[test]
+    fn matmul_at_b_is_transpose(a in arb_tensor(4, 3), b in arb_tensor(4, 2)) {
+        let fused = a.matmul_at_b(&b);
+        // Explicit transpose.
+        let mut at = Tensor::zeros(3, 4);
+        for r in 0..4 {
+            for c in 0..3 {
+                at.set(c, r, a.get(r, c));
+            }
+        }
+        let explicit = at.matmul(&b);
+        for (x, y) in fused.data().iter().zip(explicit.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// matmul_a_bt(a, b) equals a · bᵀ.
+    #[test]
+    fn matmul_a_bt_is_transpose(a in arb_tensor(3, 4), b in arb_tensor(2, 4)) {
+        let fused = a.matmul_a_bt(&b);
+        let mut bt = Tensor::zeros(4, 2);
+        for r in 0..2 {
+            for c in 0..4 {
+                bt.set(c, r, b.get(r, c));
+            }
+        }
+        let explicit = a.matmul(&bt);
+        for (x, y) in fused.data().iter().zip(explicit.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// The mean aggregation and its backward are adjoint:
+    /// <A x, y> == <x, Aᵀ y>.
+    #[test]
+    fn aggregation_adjoint(block in arb_block(), cols in 1usize..4) {
+        let x = gp_tensor::init::synthetic_features(block.num_src(), cols, 1);
+        let y = gp_tensor::init::synthetic_features(block.num_dst(), cols, 2);
+        let ax = block.mean(&x);
+        let aty = block.mean_backward(&y);
+        let lhs = dot(&ax, &y);
+        let rhs = dot(&x, &aty);
+        prop_assert!((lhs - rhs).abs() < 1e-4, "lhs {lhs} rhs {rhs}");
+    }
+
+    /// Cross-entropy loss is non-negative and its gradient rows sum to
+    /// zero.
+    #[test]
+    fn cross_entropy_invariants(
+        logits in arb_tensor(4, 5),
+        labels in proptest::collection::vec(0u32..5, 4),
+    ) {
+        let (loss, grad) = cross_entropy(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        for r in 0..4 {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    /// One SGD step on the cross-entropy loss decreases it (for a small
+    /// enough learning rate).
+    #[test]
+    fn gradient_descends(
+        logits in arb_tensor(3, 4),
+        labels in proptest::collection::vec(0u32..4, 3),
+    ) {
+        let (before, grad) = cross_entropy(&logits, &labels);
+        let mut stepped = logits.clone();
+        for (v, &g) in stepped.data_mut().iter_mut().zip(grad.data().iter()) {
+            *v -= 0.1 * g;
+        }
+        let (after, _) = cross_entropy(&stepped, &labels);
+        prop_assert!(after <= before + 1e-6, "{before} -> {after}");
+    }
+}

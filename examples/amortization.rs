@@ -1,0 +1,71 @@
+//! Partitioning-time amortisation analysis (paper Tables 4 and 5).
+//!
+//! ```text
+//! cargo run --release --example amortization
+//! ```
+//!
+//! Measures real partitioning wall time, simulates per-epoch training
+//! time with and without the partitioner, and reports after how many
+//! epochs the investment pays off.
+
+use gnnpart::core::amortize::{epochs_to_amortize, fmt_amortize};
+use gnnpart::core::config::PaperParams;
+use gnnpart::core::experiment::{
+    distdgl_epoch, distgnn_epoch, timed_edge_partitions, timed_vertex_partitions,
+};
+use gnnpart::prelude::*;
+
+fn main() {
+    let machines = 8;
+    let dataset = DatasetId::EN;
+    let graph = dataset.generate(GraphScale::Small).expect("preset valid");
+    let split = VertexSplit::paper_default(graph.num_vertices(), 1).expect("valid fractions");
+    let params = PaperParams::middle();
+    println!(
+        "{} — |V| = {}, |E| = {}, {machines} machines, f=h=64, 3 layers\n",
+        dataset.name(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    println!("DistGNN (full-batch):");
+    println!("{:<10} {:>12} {:>12} {:>14}", "name", "part time s", "epoch ms", "amortised after");
+    let edge = timed_edge_partitions(&graph, machines, 42);
+    let random_epoch = {
+        let random = edge.iter().find(|t| t.name == "Random").expect("baseline");
+        distgnn_epoch(&graph, &random.partition, params).epoch_time()
+    };
+    for t in &edge {
+        let epoch = distgnn_epoch(&graph, &t.partition, params).epoch_time();
+        let amortised = epochs_to_amortize(t.seconds, random_epoch, epoch);
+        println!(
+            "{:<10} {:>12.4} {:>12.2} {:>14} epochs",
+            t.name,
+            t.seconds,
+            epoch * 1e3,
+            fmt_amortize(amortised)
+        );
+    }
+
+    println!("\nDistDGL (mini-batch, GraphSage):");
+    println!("{:<10} {:>12} {:>12} {:>14}", "name", "part time s", "epoch ms", "amortised after");
+    let vertex = timed_vertex_partitions(&graph, machines, 42, &split.train);
+    let random_epoch = {
+        let random = vertex.iter().find(|t| t.name == "Random").expect("baseline");
+        distdgl_epoch(&graph, &random.partition, &split, params, ModelKind::Sage, 1024)
+            .epoch_time()
+    };
+    for t in &vertex {
+        let epoch = distdgl_epoch(&graph, &t.partition, &split, params, ModelKind::Sage, 1024)
+            .epoch_time();
+        let amortised = epochs_to_amortize(t.seconds, random_epoch, epoch);
+        println!(
+            "{:<10} {:>12.4} {:>12.2} {:>14} epochs",
+            t.name,
+            t.seconds,
+            epoch * 1e3,
+            fmt_amortize(amortised)
+        );
+    }
+    println!("\nFull-batch training runs for hundreds of epochs: partitioning pays for itself.");
+}

@@ -1,0 +1,70 @@
+//! Full-batch distributed training (DistGNN-style) with real learning.
+//!
+//! ```text
+//! cargo run --release --example full_batch_training
+//! ```
+//!
+//! Trains an actual GraphSAGE model full-batch on the Hollywood
+//! analogue, while the engine accounts the per-machine cost the
+//! equivalent distributed execution would incur under two different
+//! edge partitioners.
+
+use gnnpart::distgnn::train::{train_full_batch, vertex_features, vertex_labels};
+use gnnpart::prelude::*;
+
+fn main() {
+    let machines = 4;
+    let graph = DatasetId::HW.generate(GraphScale::Tiny).expect("preset valid");
+    println!(
+        "Hollywood analogue: |V| = {}, |E| = {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Synthetic node-classification task: labels derived from
+    // neighbourhood features (learnable by a GNN, not by a plain MLP).
+    let classes = 8;
+    let features = vertex_features(&graph, 32, 11);
+    let labels = vertex_labels(&graph, &features, classes);
+
+    let model_config = ModelConfig {
+        kind: ModelKind::Sage,
+        feature_dim: 32,
+        hidden_dim: 64,
+        num_layers: 2,
+        num_classes: classes,
+        seed: 3,
+    };
+
+    // --- Real training (identical math regardless of partitioning). ---
+    let mut model = GnnModel::new(model_config);
+    let mut opt = Adam::new(0.01);
+    let stats = train_full_batch(&mut model, &graph, &features, &labels, &mut opt, 30);
+    println!("\nTraining (30 full-batch epochs):");
+    for (i, (loss, acc)) in stats.losses.iter().zip(stats.accuracies.iter()).enumerate() {
+        if i % 5 == 0 || i + 1 == stats.losses.len() {
+            println!("  epoch {i:>3}: loss {loss:.4}  train acc {acc:.3}");
+        }
+    }
+
+    // --- What would each epoch cost on the simulated cluster? ---
+    println!("\nSimulated per-epoch cost on {machines} machines:");
+    let config = DistGnnConfig::paper(model_config, ClusterSpec::paper(machines));
+    for partitioner in [&RandomEdgePartitioner as &dyn EdgePartitioner, &Hep::hep100()] {
+        let partition = partitioner.partition_edges(&graph, machines, 9).expect("valid");
+        let report = DistGnnEngine::new(&graph, &partition, config)
+            .expect("matching cluster")
+            .simulate_epoch();
+        println!(
+            "  {:<8} rf {:>5.2}  epoch {:>7.2} ms  (fwd {:.2} / bwd {:.2} / sync {:.2} ms)  mem {:.1} MB",
+            partitioner.name(),
+            partition.replication_factor(),
+            report.epoch_time() * 1e3,
+            report.phases.forward * 1e3,
+            report.phases.backward * 1e3,
+            report.phases.sync * 1e3,
+            report.total_memory() as f64 / 1e6,
+        );
+    }
+    println!("\nSame model, same loss curve — partitioning only changes where the time goes.");
+}

@@ -1,0 +1,88 @@
+//! Mini-batch distributed training (DistDGL-style) with real learning.
+//!
+//! ```text
+//! cargo run --release --example minibatch_training
+//! ```
+//!
+//! Partitions the Orkut analogue with METIS, then trains a GraphSAGE
+//! model with distributed neighbourhood sampling: every step each
+//! worker samples a mini-batch from its local training vertices,
+//! fetches remote features, and the gradients are averaged — exactly
+//! the DistDGL workflow, with every phase accounted.
+
+use gnnpart::distdgl::train::train;
+use gnnpart::distgnn::train::{vertex_features, vertex_labels};
+use gnnpart::prelude::*;
+
+fn main() {
+    let machines = 4;
+    let graph = DatasetId::OR.generate(GraphScale::Tiny).expect("preset valid");
+    let split = VertexSplit::paper_default(graph.num_vertices(), 77).expect("valid fractions");
+    println!(
+        "Orkut analogue: |V| = {}, |E| = {}, train vertices = {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        split.train.len()
+    );
+
+    let classes = 8;
+    let model_config = ModelConfig {
+        kind: ModelKind::Sage,
+        feature_dim: 32,
+        hidden_dim: 64,
+        num_layers: 2,
+        num_classes: classes,
+        seed: 3,
+    };
+    let features = vertex_features(&graph, 32, 11);
+    let labels = vertex_labels(&graph, &features, classes);
+
+    for name in ["Random", "METIS"] {
+        let partitioner = gnnpart::core::registry::vertex_partitioner(
+            name,
+            Some(split.train.clone()),
+        )
+        .expect("registered");
+        let partition = partitioner.partition_vertices(&graph, machines, 5).expect("valid");
+        let mut config =
+            DistDglConfig::paper(model_config, ClusterSpec::paper(machines));
+        config.global_batch_size = 128;
+        let engine =
+            DistDglEngine::new(&graph, &partition, &split, config).expect("matching sizes");
+
+        // Real training over the sampled blocks.
+        let mut model = GnnModel::new(model_config);
+        let mut opt = Adam::new(0.01);
+        let stats = train(&engine, &mut model, &features, &labels, &mut opt, 8);
+
+        // Simulated phase cost of one epoch.
+        let summary = engine.simulate_epoch(0);
+        println!(
+            "\n{name}: edge-cut {:.3}, {} steps/epoch",
+            partition.edge_cut_ratio(),
+            summary.steps
+        );
+        println!(
+            "  loss {:.3} -> {:.3}, final train acc {:.3}",
+            stats.losses.first().expect("epochs > 0"),
+            stats.losses.last().expect("epochs > 0"),
+            stats.accuracies.last().expect("epochs > 0"),
+        );
+        println!(
+            "  simulated epoch: {:.2} ms  (sample {:.2} / fetch {:.2} / fwd {:.2} / bwd {:.2} ms)",
+            summary.epoch_time() * 1e3,
+            summary.phases.sampling * 1e3,
+            summary.phases.feature_load * 1e3,
+            summary.phases.forward * 1e3,
+            summary.phases.backward * 1e3,
+        );
+        println!(
+            "  remote input vertices: {} of {} ({:.1}%)",
+            summary.total_remote_vertices,
+            summary.total_input_vertices,
+            100.0 * summary.total_remote_vertices as f64
+                / summary.total_input_vertices.max(1) as f64
+        );
+    }
+    println!("\nMETIS keeps sampling local: fewer remote vertices, faster epochs, same learning.");
+}

@@ -1,0 +1,63 @@
+//! Compare all twelve partitioners on one dataset (paper Table 2 roster).
+//!
+//! ```text
+//! cargo run --release --example partitioner_comparison [-- <dataset> <k>]
+//! ```
+//!
+//! Prints the quality metrics of Section 2.1 for every edge partitioner
+//! (replication factor, balances) and every vertex partitioner
+//! (edge-cut ratio, balances), with real partitioning wall times.
+
+use gnnpart::core::experiment::{timed_edge_partitions, timed_vertex_partitions};
+use gnnpart::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dataset = args
+        .first()
+        .and_then(|s| DatasetId::parse(s))
+        .unwrap_or(DatasetId::OR);
+    let k: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let graph = dataset.generate(GraphScale::Small).expect("preset valid");
+    let split = VertexSplit::paper_default(graph.num_vertices(), 1).expect("valid fractions");
+    println!(
+        "{} ({}) — |V| = {}, |E| = {}, k = {k}\n",
+        dataset.name(),
+        dataset.category(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    println!("Edge partitioners (vertex-cut):");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10}",
+        "name", "rf", "edge bal", "vert bal", "time ms"
+    );
+    for t in timed_edge_partitions(&graph, k, 42) {
+        println!(
+            "{:<10} {:>8.2} {:>10.3} {:>10.3} {:>10.1}",
+            t.name,
+            t.partition.replication_factor(),
+            t.partition.edge_balance(),
+            t.partition.vertex_balance(),
+            t.seconds * 1e3
+        );
+    }
+
+    println!("\nVertex partitioners (edge-cut):");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10}",
+        "name", "cut", "vert bal", "train bal", "time ms"
+    );
+    for t in timed_vertex_partitions(&graph, k, 42, &split.train) {
+        println!(
+            "{:<10} {:>8.3} {:>10.3} {:>10.3} {:>10.1}",
+            t.name,
+            t.partition.edge_cut_ratio(),
+            t.partition.vertex_balance(),
+            t.partition.subset_balance(&split.train),
+            t.seconds * 1e3
+        );
+    }
+}
