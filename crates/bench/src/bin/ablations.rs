@@ -8,6 +8,8 @@
 //! * `greedy` — PowerGraph Greedy vs its descendant HDRF (extension).
 //! * `extensions` — Grid2D / Greedy / ReLDG against the paper roster.
 //! * `cdr` — DistGNN cd-r delayed aggregation (sync every r epochs).
+//! * `faults` — recovery overhead per partitioner under seeded fault
+//!   injection (crashes + stragglers + brownouts; extension).
 //!
 //! ```text
 //! cargo run -p gp-bench --release --bin ablations -- all
@@ -36,6 +38,7 @@ fn main() {
         "greedy" => greedy(&ctx),
         "extensions" => extensions(&ctx),
         "cdr" => cdr(&ctx),
+        "faults" => faults(&ctx),
         "all" => {
             hdrf_lambda(&ctx);
             hep_tau(&ctx);
@@ -45,11 +48,12 @@ fn main() {
             greedy(&ctx);
             extensions(&ctx);
             cdr(&ctx);
+            faults(&ctx);
         }
         other => {
             eprintln!(
                 "unknown ablation {other:?} \
-                 (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|all)"
+                 (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|all)"
             );
             std::process::exit(2);
         }
@@ -142,10 +146,13 @@ fn costmodel(ctx: &Ctx) {
     let parts = ctx.edge_partitions(DatasetId::OR, 16);
     let random = parts.iter().find(|p| p.name == "Random").expect("baseline");
     let hep = parts.iter().find(|p| p.name == "HEP-100").expect("registered");
+    // Built through the validating constructor: a typo'd bandwidth or
+    // latency aborts the ablation instead of silently producing zero or
+    // negative transfer times.
     let networks: [(&str, NetworkSpec); 3] = [
-        ("1 Gbit/s", NetworkSpec::one_gbit()),
-        ("10 Gbit/s", NetworkSpec::ten_gbit_scaled()),
-        ("100 Gbit/s", NetworkSpec::hundred_gbit()),
+        ("1 Gbit/s", NetworkSpec::validated(1.25e8, 50e-6).expect("positive and finite")),
+        ("10 Gbit/s", NetworkSpec::validated(1.25e9, 2e-6).expect("positive and finite")),
+        ("100 Gbit/s", NetworkSpec::validated(1.25e10, 10e-6).expect("positive and finite")),
     ];
     for (name, network) in networks {
         let mut cluster = ClusterSpec::paper(16);
@@ -264,6 +271,36 @@ fn extensions(ctx: &Ctx) {
         ]);
     }
     ctx.emit(&t);
+}
+
+/// Fault injection: per-partitioner recovery overhead under a seeded
+/// schedule of crashes, stragglers and network brownouts (extension —
+/// the paper trains on healthy clusters only). Better partitions keep
+/// their edge under faults too: recovery traffic scales with the
+/// replication factor (DistGNN) / redistributed training set (DistDGL).
+fn faults(ctx: &Ctx) {
+    use gp_core::fault_sweep::{distdgl_fault_sweep, distgnn_fault_sweep, fault_sweep_table};
+    let graph = ctx.graph(DatasetId::OR);
+    let mtbfs = [2.0, 5.0, 10.0];
+    let parts = ctx.edge_partitions(DatasetId::OR, 16);
+    let rows =
+        distgnn_fault_sweep(&graph, &parts, PaperParams::middle(), 10, &mtbfs, 2, 0xfa11);
+    ctx.emit(&fault_sweep_table("ablation_faults_distgnn", &rows));
+
+    let split = ctx.split(DatasetId::OR);
+    let vparts = ctx.vertex_partitions(DatasetId::OR, 16);
+    let rows = distdgl_fault_sweep(
+        &graph,
+        &split,
+        &vparts,
+        PaperParams::middle(),
+        ModelKind::Sage,
+        1024,
+        10,
+        &mtbfs,
+        0xfa11,
+    );
+    ctx.emit(&fault_sweep_table("ablation_faults_distdgl", &rows));
 }
 
 /// DistGNN cd-r: per-epoch sync cost vs the sync period (extension;

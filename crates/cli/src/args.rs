@@ -39,6 +39,15 @@ COMMANDS:
         --model sage|gcn|gat        (distdgl only, default sage)
         --features N --hidden N --layers N   (default 64/64/3)
         --directed                  treat input as directed
+        --faults                    inject a seeded fault schedule
+                                    (crashes + stragglers + brownouts)
+                                    and report recovery overhead
+        --mtbf N                    mean epochs between crashes
+                                    (default 5, with --faults)
+        --epochs N                  fault-run horizon (default 10)
+        --checkpoint-every N        DistGNN checkpoint period in epochs
+                                    (default 0 = no checkpoints)
+        --fault-seed N              fault-schedule seed (default 42)
     list                        list the 12 partitioners
     help                        this text
 ";
@@ -120,6 +129,16 @@ pub struct SimulateCmd {
     pub layers: usize,
     /// Whether the input is directed.
     pub directed: bool,
+    /// Whether to run under a seeded fault schedule.
+    pub faults: bool,
+    /// Mean epochs between crashes (used with `faults`).
+    pub mtbf: f64,
+    /// Fault-run horizon in epochs.
+    pub epochs: u32,
+    /// DistGNN checkpoint period in epochs (0 = no checkpoints).
+    pub checkpoint_every: u32,
+    /// Seed of the fault schedule.
+    pub fault_seed: u64,
 }
 
 /// Options of `gnnpart recommend`.
@@ -285,6 +304,11 @@ fn parse_simulate(opts: &mut Opts) -> Result<Command, ParseError> {
         hidden: 64,
         layers: 3,
         directed: false,
+        faults: false,
+        mtbf: 5.0,
+        epochs: 10,
+        checkpoint_every: 0,
+        fault_seed: 42,
     };
     while let Some(flag) = opts.next() {
         let numeric = |opts: &mut Opts, flag: &str| -> Result<usize, ParseError> {
@@ -299,6 +323,26 @@ fn parse_simulate(opts: &mut Opts) -> Result<Command, ParseError> {
             "--hidden" => cmd.hidden = numeric(opts, "--hidden")?,
             "--layers" => cmd.layers = numeric(opts, "--layers")?,
             "--directed" => cmd.directed = true,
+            "--faults" => cmd.faults = true,
+            "--mtbf" => {
+                cmd.mtbf = opts
+                    .value_for("--mtbf")?
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --mtbf: {e}")))?;
+                if cmd.mtbf.is_nan() || cmd.mtbf <= 0.0 {
+                    return err("--mtbf must be positive");
+                }
+            }
+            "--epochs" => cmd.epochs = numeric(opts, "--epochs")? as u32,
+            "--checkpoint-every" => {
+                cmd.checkpoint_every = numeric(opts, "--checkpoint-every")? as u32;
+            }
+            "--fault-seed" => {
+                cmd.fault_seed = opts
+                    .value_for("--fault-seed")?
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --fault-seed: {e}")))?;
+            }
             other => return err(format!("unknown option {other:?}")),
         }
     }
@@ -399,6 +443,36 @@ mod tests {
         assert_eq!(c.model, "gat");
         assert_eq!(c.features, 512);
         assert_eq!(c.layers, 3);
+        assert!(!c.faults, "faults off by default");
+        assert_eq!(c.mtbf, 5.0);
+        assert_eq!(c.epochs, 10);
+        assert_eq!(c.checkpoint_every, 0);
+        assert_eq!(c.fault_seed, 42);
+    }
+
+    #[test]
+    fn simulate_fault_options() {
+        let Command::Simulate(c) = parse(&[
+            "simulate", "g.el", "--faults", "--mtbf", "3.5", "--epochs", "20",
+            "--checkpoint-every", "4", "--fault-seed", "7",
+        ])
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert!(c.faults);
+        assert_eq!(c.mtbf, 3.5);
+        assert_eq!(c.epochs, 20);
+        assert_eq!(c.checkpoint_every, 4);
+        assert_eq!(c.fault_seed, 7);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_mtbf() {
+        assert!(parse(&["simulate", "g.el", "--mtbf", "0"])
+            .unwrap_err()
+            .0
+            .contains("must be positive"));
+        assert!(parse(&["simulate", "g.el", "--mtbf", "abc"]).unwrap_err().0.contains("bad --mtbf"));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::io::Write;
 use std::path::Path;
 
-use gp_cluster::ClusterSpec;
+use gp_cluster::{ClusterSpec, FaultPlan, FaultSpec, RecoveryReport};
 use gp_core::registry;
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
@@ -127,22 +127,52 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
             let p = registry::edge_partitioner(&cmd.algo)
                 .ok_or_else(|| format!("{:?} is not an edge partitioner", cmd.algo))?;
             let part = p.partition_edges(&graph, cmd.k, 42)?;
-            let config = DistGnnConfig::paper(model, ClusterSpec::paper(cmd.k));
-            let report = DistGnnEngine::new(&graph, &part, config)?.simulate_epoch();
+            let mut config = DistGnnConfig::paper(model, ClusterSpec::paper(cmd.k));
+            config.checkpoint_every = cmd.checkpoint_every;
+            let engine = DistGnnEngine::new(&graph, &part, config)?;
             println!("DistGNN (full-batch) on {} machines with {}", cmd.k, p.name());
             println!("replication factor: {:.3}", part.replication_factor());
-            println!("epoch time:         {:.3} ms", report.epoch_time() * 1e3);
-            println!("  forward:          {:.3} ms", report.phases.forward * 1e3);
-            println!("  backward:         {:.3} ms", report.phases.backward * 1e3);
-            println!("  replica sync:     {:.3} ms", report.phases.sync * 1e3);
-            println!("  optimiser:        {:.3} ms", report.phases.optimizer * 1e3);
-            println!(
-                "network traffic:    {:.2} MB",
-                report.counters.total_network_bytes() as f64 / 1e6
-            );
-            println!("cluster memory:     {:.2} MB", report.total_memory() as f64 / 1e6);
-            if report.any_oom() {
-                println!("WARNING: machines {:?} exceed installed memory", report.oom_machines);
+            if cmd.faults {
+                let plan = fault_plan(&cmd);
+                let mut recovery = RecoveryReport::default();
+                let mut total = 0.0;
+                for epoch in 0..cmd.epochs {
+                    match engine.simulate_epoch_with_faults(epoch, &plan) {
+                        Ok(r) => {
+                            total += r.report.epoch_time();
+                            recovery.merge(&r.recovery);
+                            let note = if r.crashed_machines.is_empty() {
+                                String::new()
+                            } else {
+                                format!("  (crash: machines {:?})", r.crashed_machines)
+                            };
+                            println!(
+                                "epoch {epoch:>3}: {:>10.3} ms{note}",
+                                r.report.epoch_time() * 1e3
+                            );
+                        }
+                        Err(e) => {
+                            println!("epoch {epoch:>3}: training aborted: {e}");
+                            break;
+                        }
+                    }
+                }
+                print_recovery(total, &recovery);
+            } else {
+                let report = engine.simulate_epoch();
+                println!("epoch time:         {:.3} ms", report.epoch_time() * 1e3);
+                println!("  forward:          {:.3} ms", report.phases.forward * 1e3);
+                println!("  backward:         {:.3} ms", report.phases.backward * 1e3);
+                println!("  replica sync:     {:.3} ms", report.phases.sync * 1e3);
+                println!("  optimiser:        {:.3} ms", report.phases.optimizer * 1e3);
+                println!(
+                    "network traffic:    {:.2} MB",
+                    report.counters.total_network_bytes() as f64 / 1e6
+                );
+                println!("cluster memory:     {:.2} MB", report.total_memory() as f64 / 1e6);
+                if report.any_oom() {
+                    println!("WARNING: machines {:?} exceed installed memory", report.oom_machines);
+                }
             }
         }
         "distdgl" => {
@@ -152,27 +182,78 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
             let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
             let config = DistDglConfig::paper(model, ClusterSpec::paper(cmd.k));
             let engine = DistDglEngine::new(&graph, &part, &split, config)?;
-            let summary = engine.simulate_epoch(0);
             println!("DistDGL (mini-batch) on {} machines with {}", cmd.k, p.name());
             println!("edge-cut ratio:  {:.4}", part.edge_cut_ratio());
-            println!("steps/epoch:     {}", summary.steps);
-            println!("epoch time:      {:.3} ms", summary.epoch_time() * 1e3);
-            println!("  sampling:      {:.3} ms", summary.phases.sampling * 1e3);
-            println!("  feature load:  {:.3} ms", summary.phases.feature_load * 1e3);
-            println!("  forward:       {:.3} ms", summary.phases.forward * 1e3);
-            println!("  backward:      {:.3} ms", summary.phases.backward * 1e3);
-            println!(
-                "remote vertices: {} / {}",
-                summary.total_remote_vertices, summary.total_input_vertices
-            );
-            println!(
-                "network traffic: {:.2} MB",
-                summary.counters.total_network_bytes() as f64 / 1e6
-            );
+            if cmd.faults {
+                let plan = fault_plan(&cmd);
+                let mut recovery = RecoveryReport::default();
+                let mut total = 0.0;
+                for epoch in 0..cmd.epochs {
+                    match engine.simulate_epoch_with_faults(epoch, &plan) {
+                        Ok(r) => {
+                            total += r.summary.epoch_time();
+                            recovery.merge(&r.recovery);
+                            let note = if r.failed_workers.is_empty() {
+                                String::new()
+                            } else {
+                                format!("  (workers down: {:?})", r.failed_workers)
+                            };
+                            println!(
+                                "epoch {epoch:>3}: {:>10.3} ms, {} steps{note}",
+                                r.summary.epoch_time() * 1e3,
+                                r.summary.steps
+                            );
+                        }
+                        Err(e) => {
+                            println!("epoch {epoch:>3}: training aborted: {e}");
+                            break;
+                        }
+                    }
+                }
+                print_recovery(total, &recovery);
+            } else {
+                let summary = engine.simulate_epoch(0);
+                println!("steps/epoch:     {}", summary.steps);
+                println!("epoch time:      {:.3} ms", summary.epoch_time() * 1e3);
+                println!("  sampling:      {:.3} ms", summary.phases.sampling * 1e3);
+                println!("  feature load:  {:.3} ms", summary.phases.feature_load * 1e3);
+                println!("  forward:       {:.3} ms", summary.phases.forward * 1e3);
+                println!("  backward:      {:.3} ms", summary.phases.backward * 1e3);
+                println!(
+                    "remote vertices: {} / {}",
+                    summary.total_remote_vertices, summary.total_input_vertices
+                );
+                println!(
+                    "network traffic: {:.2} MB",
+                    summary.counters.total_network_bytes() as f64 / 1e6
+                );
+            }
         }
         other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
     }
     Ok(())
+}
+
+fn fault_plan(cmd: &SimulateCmd) -> FaultPlan {
+    FaultPlan::generate(&FaultSpec::standard(cmd.k, cmd.epochs, cmd.mtbf, cmd.fault_seed))
+}
+
+fn print_recovery(total_secs: f64, r: &RecoveryReport) {
+    println!("epoch time sum:     {:.3} ms", total_secs * 1e3);
+    println!("recovery overhead:  {:.3} ms", r.total_overhead_seconds() * 1e3);
+    println!("  crashes:          {}", r.crashes);
+    println!("  retries:          {} ({:.3} ms wait)", r.retries, r.retry_seconds * 1e3);
+    println!(
+        "  re-executed:      {} steps, {:.3} epochs of lost progress",
+        r.reexecuted_steps, r.lost_progress_epochs
+    );
+    println!("  checkpoints:      {} ({:.3} ms)", r.checkpoints, r.checkpoint_seconds * 1e3);
+    println!(
+        "  restores:         {:.3} ms, {:.2} MB recovery traffic",
+        r.restore_seconds * 1e3,
+        r.recovery_bytes as f64 / 1e6
+    );
+    println!("  redistributed:    {} training vertices", r.redistributed_train_vertices);
 }
 
 /// `gnnpart recommend`.
@@ -274,6 +355,25 @@ mod tests {
         let _ = std::fs::remove_file(out);
     }
 
+    fn sim_cmd(el: &std::path::Path, algo: &str, system: &str, model: &str) -> SimulateCmd {
+        SimulateCmd {
+            input: el.to_path_buf(),
+            algo: algo.into(),
+            k: 4,
+            system: system.into(),
+            model: model.into(),
+            features: 16,
+            hidden: 16,
+            layers: 2,
+            directed: false,
+            faults: false,
+            mtbf: 5.0,
+            epochs: 10,
+            checkpoint_every: 0,
+            fault_seed: 42,
+        }
+    }
+
     #[test]
     fn simulate_both_systems() {
         let el = tmp("s.el");
@@ -283,30 +383,31 @@ mod tests {
             out: Some(el.clone()),
         })
         .unwrap();
-        simulate(SimulateCmd {
-            input: el.clone(),
-            algo: "HDRF".into(),
-            k: 4,
-            system: "distgnn".into(),
-            model: "sage".into(),
-            features: 16,
-            hidden: 16,
-            layers: 2,
-            directed: false,
+        simulate(sim_cmd(&el, "HDRF", "distgnn", "sage")).unwrap();
+        simulate(sim_cmd(&el, "METIS", "distdgl", "gcn")).unwrap();
+        let _ = std::fs::remove_file(el);
+    }
+
+    #[test]
+    fn simulate_with_faults_both_systems() {
+        let el = tmp("f.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
         })
         .unwrap();
-        simulate(SimulateCmd {
-            input: el.clone(),
-            algo: "METIS".into(),
-            k: 4,
-            system: "distdgl".into(),
-            model: "gcn".into(),
-            features: 16,
-            hidden: 16,
-            layers: 2,
-            directed: false,
-        })
-        .unwrap();
+        let mut c = sim_cmd(&el, "HDRF", "distgnn", "sage");
+        c.faults = true;
+        c.mtbf = 3.0;
+        c.epochs = 6;
+        c.checkpoint_every = 2;
+        simulate(c).unwrap();
+        let mut c = sim_cmd(&el, "METIS", "distdgl", "sage");
+        c.faults = true;
+        c.mtbf = 3.0;
+        c.epochs = 4;
+        simulate(c).unwrap();
         let _ = std::fs::remove_file(el);
     }
 
@@ -363,17 +464,9 @@ mod tests {
         })
         .unwrap();
         // METIS is a vertex partitioner; distgnn needs an edge partitioner.
-        let r = simulate(SimulateCmd {
-            input: el.clone(),
-            algo: "METIS".into(),
-            k: 4,
-            system: "distgnn".into(),
-            model: "sage".into(),
-            features: 16,
-            hidden: 16,
-            layers: 2,
-            directed: true,
-        });
+        let mut c = sim_cmd(&el, "METIS", "distgnn", "sage");
+        c.directed = true;
+        let r = simulate(c);
         assert!(r.is_err());
         let _ = std::fs::remove_file(el);
     }

@@ -1,0 +1,618 @@
+//! Seeded, fully deterministic fault injection.
+//!
+//! The paper benchmarks a *healthy* 32-machine cluster, but the systems
+//! it models are built for environments where workers crash and links
+//! degrade (DistDGL's KVStore RPC layer exists precisely because remote
+//! fetches can stall). This module supplies the failure model both
+//! training engines consume:
+//!
+//! * [`FaultSpec`] — generation parameters (crash MTBF, slowdown and
+//!   network-degradation windows) plus a seed;
+//! * [`FaultPlan`] — the concrete, reproducible schedule of
+//!   [`FaultEvent`]s derived from a spec. Same seed ⇒ bit-identical
+//!   plan, report and simulated times;
+//! * [`RecoveryReport`] — what the faults cost: retries, re-executed
+//!   work, checkpoint/restore time, recovery traffic, lost progress.
+//!
+//! An empty plan is the healthy baseline: engines short-circuit on
+//! [`FaultPlan::is_empty`] and produce bit-identical results to their
+//! fault-free paths, so existing figures and tables never drift.
+//!
+//! All randomness goes through the self-contained [`DetRng`] (SplitMix64)
+//! so this crate stays dependency-free.
+
+use crate::spec::NetworkSpec;
+
+/// Loss rates are capped below 1.0 so the expected retransmission count
+/// `p / (1 - p)` stays finite.
+const MAX_LOSS_RATE: f64 = 0.95;
+
+/// A minimal deterministic RNG (SplitMix64). Not cryptographic; used
+/// only to derive reproducible fault schedules without pulling `rand`
+/// into this dependency-free crate.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// New generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` (53-bit resolution).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)`; 0 for `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// `machine` crashes during `epoch`, a fraction `step_frac ∈ [0, 1)`
+    /// of the way through it (mini-batch engines map the fraction onto a
+    /// step index; full-batch engines onto partial epoch work).
+    Crash {
+        /// Crashing machine.
+        machine: u32,
+        /// Epoch of the crash.
+        epoch: u32,
+        /// Position within the epoch, in `[0, 1)`.
+        step_frac: f64,
+    },
+    /// `machine` computes at `factor` (< 1.0 = slower) of its nominal
+    /// rate during `[from_epoch, until_epoch)` — a transient straggler.
+    Slowdown {
+        /// Affected machine.
+        machine: u32,
+        /// First affected epoch.
+        from_epoch: u32,
+        /// First unaffected epoch.
+        until_epoch: u32,
+        /// Compute-rate multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// Cluster-wide network degradation during `[from_epoch,
+    /// until_epoch)`: bandwidth is multiplied by `bandwidth_factor` and
+    /// each message is lost (and retried) with probability `loss_rate`.
+    Degradation {
+        /// First affected epoch.
+        from_epoch: u32,
+        /// First unaffected epoch.
+        until_epoch: u32,
+        /// Bandwidth multiplier in `(0, 1]`.
+        bandwidth_factor: f64,
+        /// Per-message loss probability in `[0, 1)`.
+        loss_rate: f64,
+    },
+}
+
+/// Parameters from which a [`FaultPlan`] is generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Cluster size.
+    pub machines: u32,
+    /// Horizon (epochs) covered by the schedule.
+    pub epochs: u32,
+    /// Mean epochs between crashes *cluster-wide* (0 = no crashes).
+    /// Each machine crashes at most once.
+    pub crash_mtbf_epochs: f64,
+    /// Per-machine, per-epoch probability that a slowdown window starts.
+    pub slowdown_prob: f64,
+    /// Compute-rate multiplier of a slowdown window.
+    pub slowdown_factor: f64,
+    /// Length of a slowdown window in epochs.
+    pub slowdown_epochs: u32,
+    /// Per-epoch probability that a network-degradation window starts.
+    pub degradation_prob: f64,
+    /// Bandwidth multiplier of a degradation window.
+    pub degradation_bandwidth_factor: f64,
+    /// Per-message loss rate of a degradation window.
+    pub degradation_loss_rate: f64,
+    /// Length of a degradation window in epochs.
+    pub degradation_epochs: u32,
+    /// Abort threshold for total recovery overhead in simulated seconds
+    /// (engines return `RecoveryBudgetExceeded` beyond it).
+    pub recovery_budget_secs: f64,
+    /// Schedule seed.
+    pub seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            machines: 0,
+            epochs: 0,
+            crash_mtbf_epochs: 0.0,
+            slowdown_prob: 0.0,
+            slowdown_factor: 1.0,
+            slowdown_epochs: 0,
+            degradation_prob: 0.0,
+            degradation_bandwidth_factor: 1.0,
+            degradation_loss_rate: 0.0,
+            degradation_epochs: 0,
+            recovery_budget_secs: f64::INFINITY,
+            seed: 0,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// Crash-only spec: machines fail with the given cluster-wide MTBF,
+    /// no stragglers, no degradation.
+    pub fn crashes_only(machines: u32, epochs: u32, mtbf_epochs: f64, seed: u64) -> Self {
+        FaultSpec {
+            machines,
+            epochs,
+            crash_mtbf_epochs: mtbf_epochs,
+            seed,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// A realistic mixed workload: crashes at the given MTBF plus mild
+    /// transient stragglers (half speed, 2 epochs) and occasional
+    /// network brownouts (half bandwidth, 5% message loss, 2 epochs).
+    pub fn standard(machines: u32, epochs: u32, mtbf_epochs: f64, seed: u64) -> Self {
+        FaultSpec {
+            machines,
+            epochs,
+            crash_mtbf_epochs: mtbf_epochs,
+            slowdown_prob: 0.02,
+            slowdown_factor: 0.5,
+            slowdown_epochs: 2,
+            degradation_prob: 0.05,
+            degradation_bandwidth_factor: 0.5,
+            degradation_loss_rate: 0.05,
+            degradation_epochs: 2,
+            recovery_budget_secs: f64::INFINITY,
+            seed,
+        }
+    }
+}
+
+/// A reproducible fault schedule.
+///
+/// Event order is deterministic (crashes by epoch, then slowdowns by
+/// (machine, epoch), then degradations by epoch), so two plans generated
+/// from equal specs compare equal bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled events.
+    pub events: Vec<FaultEvent>,
+    /// Cluster size the plan was generated for.
+    pub machines: u32,
+    /// Horizon (epochs) the plan covers.
+    pub epochs: u32,
+    /// Abort threshold for total recovery overhead in simulated seconds.
+    pub recovery_budget_secs: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::empty()
+    }
+}
+
+impl FaultPlan {
+    /// The healthy baseline: no events. Engines treat it as "faults
+    /// disabled" and produce bit-identical results to their fault-free
+    /// paths.
+    pub fn empty() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            machines: 0,
+            epochs: 0,
+            recovery_budget_secs: f64::INFINITY,
+        }
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Generate the schedule for a spec. Deterministic: equal specs
+    /// produce equal plans.
+    pub fn generate(spec: &FaultSpec) -> FaultPlan {
+        let mut events = Vec::new();
+        let mut rng = DetRng::new(spec.seed);
+
+        // Crashes: a cluster-wide Bernoulli process with per-epoch rate
+        // 1 / MTBF; the victim machine and intra-epoch position are
+        // drawn uniformly. Each machine crashes at most once.
+        if spec.crash_mtbf_epochs > 0.0 && spec.machines > 0 {
+            let p = (1.0 / spec.crash_mtbf_epochs).min(1.0);
+            let mut crashed = vec![false; spec.machines as usize];
+            for epoch in 0..spec.epochs {
+                if !rng.chance(p) {
+                    continue;
+                }
+                let machine = rng.below(u64::from(spec.machines)) as u32;
+                let step_frac = rng.next_f64();
+                if !crashed[machine as usize] {
+                    crashed[machine as usize] = true;
+                    events.push(FaultEvent::Crash { machine, epoch, step_frac });
+                }
+            }
+        }
+
+        // Transient slowdowns, per machine per epoch.
+        if spec.slowdown_prob > 0.0 && spec.slowdown_factor < 1.0 && spec.slowdown_epochs > 0 {
+            for machine in 0..spec.machines {
+                for epoch in 0..spec.epochs {
+                    if rng.chance(spec.slowdown_prob) {
+                        events.push(FaultEvent::Slowdown {
+                            machine,
+                            from_epoch: epoch,
+                            until_epoch: epoch.saturating_add(spec.slowdown_epochs),
+                            factor: spec.slowdown_factor.max(1e-3),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Cluster-wide network degradation windows.
+        if spec.degradation_prob > 0.0 && spec.degradation_epochs > 0 {
+            for epoch in 0..spec.epochs {
+                if rng.chance(spec.degradation_prob) {
+                    events.push(FaultEvent::Degradation {
+                        from_epoch: epoch,
+                        until_epoch: epoch.saturating_add(spec.degradation_epochs),
+                        bandwidth_factor: spec.degradation_bandwidth_factor.clamp(1e-3, 1.0),
+                        loss_rate: spec.degradation_loss_rate.clamp(0.0, MAX_LOSS_RATE),
+                    });
+                }
+            }
+        }
+
+        FaultPlan {
+            events,
+            machines: spec.machines,
+            epochs: spec.epochs,
+            recovery_budget_secs: spec.recovery_budget_secs,
+        }
+    }
+
+    /// Crashes scheduled for `epoch`, as `(machine, step_frac)` pairs in
+    /// schedule order.
+    pub fn crashes_in_epoch(&self, epoch: u32) -> Vec<(u32, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Crash { machine, epoch: ce, step_frac } if ce == epoch => {
+                    Some((machine, step_frac))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Machines that crashed strictly before `epoch`.
+    pub fn crashed_before(&self, epoch: u32) -> Vec<u32> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Crash { machine, epoch: ce, .. } if ce < epoch => Some(machine),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Compute-rate multiplier of `machine` during `epoch` (1.0 =
+    /// nominal; the product of all active slowdown windows).
+    pub fn compute_factor(&self, machine: u32, epoch: u32) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Slowdown { machine: m, from_epoch, until_epoch, factor }
+                    if m == machine && from_epoch <= epoch && epoch < until_epoch =>
+                {
+                    Some(factor)
+                }
+                _ => None,
+            })
+            .fold(1.0, |acc, f| acc * f)
+    }
+
+    /// The network as seen during `epoch`: bandwidth scaled by every
+    /// active degradation window (latency is unaffected).
+    pub fn degraded_network(&self, base: &NetworkSpec, epoch: u32) -> NetworkSpec {
+        let factor = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Degradation { from_epoch, until_epoch, bandwidth_factor, .. }
+                    if from_epoch <= epoch && epoch < until_epoch =>
+                {
+                    Some(bandwidth_factor)
+                }
+                _ => None,
+            })
+            .fold(1.0, |acc, f| acc * f);
+        NetworkSpec {
+            bandwidth_bytes_per_sec: base.bandwidth_bytes_per_sec * factor,
+            latency_sec: base.latency_sec,
+        }
+    }
+
+    /// Per-message loss rate during `epoch`: independent losses combine
+    /// as `1 − Π (1 − pᵢ)`, capped so retries stay finite.
+    pub fn loss_rate(&self, epoch: u32) -> f64 {
+        let survive = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::Degradation { from_epoch, until_epoch, loss_rate, .. }
+                    if from_epoch <= epoch && epoch < until_epoch =>
+                {
+                    Some(1.0 - loss_rate)
+                }
+                _ => None,
+            })
+            .fold(1.0, |acc, s| acc * s);
+        (1.0 - survive).clamp(0.0, MAX_LOSS_RATE)
+    }
+}
+
+/// Deterministic expected retransmission count for `messages` messages
+/// under per-message loss rate `loss_rate`: `⌈messages · p / (1 − p)⌉`
+/// (each lost transmission is retried until it succeeds).
+pub fn expected_retries(messages: u64, loss_rate: f64) -> u64 {
+    if messages == 0 || loss_rate <= 0.0 {
+        return 0;
+    }
+    let p = loss_rate.min(MAX_LOSS_RATE);
+    (messages as f64 * p / (1.0 - p)).ceil() as u64
+}
+
+/// Wall-time overhead of `retries` retransmissions with timeout-based
+/// detection and exponential backoff: each retry waits out one RPC
+/// timeout (modelled as 2× the network latency) plus the resend latency,
+/// i.e. `3 × latency` per retry. Retries across a batched exchange
+/// overlap, so the model charges the per-retry cost once, not the full
+/// backoff ladder.
+pub fn retry_backoff_secs(retries: u64, latency_sec: f64) -> f64 {
+    retries as f64 * 3.0 * latency_sec
+}
+
+/// What a fault-injected run cost beyond the healthy baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Machine crashes handled.
+    pub crashes: u32,
+    /// Retransmitted messages (loss-induced retries).
+    pub retries: u64,
+    /// Bytes moved by retransmissions.
+    pub retry_bytes: u64,
+    /// Wall time spent on retries (transfer + timeout/backoff).
+    pub retry_seconds: f64,
+    /// Work units (steps or partial epochs) re-executed after crashes.
+    pub reexecuted_steps: u64,
+    /// Wall time of re-executed work.
+    pub reexecution_seconds: f64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Wall time spent writing checkpoints.
+    pub checkpoint_seconds: f64,
+    /// Wall time restoring crashed state (replica fetch + reload).
+    pub restore_seconds: f64,
+    /// Network bytes moved to restore crashed state.
+    pub recovery_bytes: u64,
+    /// Training progress lost to crashes, in epochs.
+    pub lost_progress_epochs: f64,
+    /// Training vertices redistributed from crashed workers to
+    /// survivors (mini-batch graceful degradation).
+    pub redistributed_train_vertices: u64,
+}
+
+impl RecoveryReport {
+    /// Total wall-time overhead attributable to faults and their
+    /// mitigation.
+    pub fn total_overhead_seconds(&self) -> f64 {
+        self.retry_seconds
+            + self.reexecution_seconds
+            + self.checkpoint_seconds
+            + self.restore_seconds
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.crashes += other.crashes;
+        self.retries += other.retries;
+        self.retry_bytes += other.retry_bytes;
+        self.retry_seconds += other.retry_seconds;
+        self.reexecuted_steps += other.reexecuted_steps;
+        self.reexecution_seconds += other.reexecution_seconds;
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_seconds += other.checkpoint_seconds;
+        self.restore_seconds += other.restore_seconds;
+        self.recovery_bytes += other.recovery_bytes;
+        self.lost_progress_epochs += other.lost_progress_epochs;
+        self.redistributed_train_vertices += other.redistributed_train_vertices;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FaultSpec {
+        FaultSpec::standard(8, 50, 5.0, 0xfa11)
+    }
+
+    #[test]
+    fn same_seed_identical_plan() {
+        let a = FaultPlan::generate(&spec());
+        let b = FaultPlan::generate(&spec());
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "standard spec over 50 epochs must inject something");
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = FaultPlan::generate(&spec());
+        let mut s = spec();
+        s.seed = 0xdead;
+        let b = FaultPlan::generate(&s);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let p = FaultPlan::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.compute_factor(0, 0), 1.0);
+        assert_eq!(p.loss_rate(3), 0.0);
+        let net = NetworkSpec::ten_gbit();
+        assert_eq!(p.degraded_network(&net, 0), net);
+        assert!(p.crashes_in_epoch(0).is_empty());
+    }
+
+    #[test]
+    fn machines_crash_at_most_once() {
+        let plan = FaultPlan::generate(&FaultSpec::crashes_only(4, 500, 1.0, 7));
+        let mut seen = [false; 4];
+        for e in &plan.events {
+            if let FaultEvent::Crash { machine, .. } = *e {
+                assert!(!seen[machine as usize], "machine {machine} crashed twice");
+                seen[machine as usize] = true;
+            }
+        }
+        assert!(seen.iter().any(|&c| c), "MTBF 1 over 500 epochs must crash someone");
+    }
+
+    #[test]
+    fn crash_queries_partition_by_epoch() {
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent::Crash { machine: 1, epoch: 3, step_frac: 0.5 },
+                FaultEvent::Crash { machine: 2, epoch: 7, step_frac: 0.0 },
+            ],
+            machines: 4,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        assert_eq!(plan.crashes_in_epoch(3), vec![(1, 0.5)]);
+        assert!(plan.crashes_in_epoch(4).is_empty());
+        assert_eq!(plan.crashed_before(7), vec![1]);
+        assert_eq!(plan.crashed_before(8), vec![1, 2]);
+    }
+
+    #[test]
+    fn slowdown_window_bounds() {
+        let plan = FaultPlan {
+            events: vec![FaultEvent::Slowdown {
+                machine: 0,
+                from_epoch: 2,
+                until_epoch: 4,
+                factor: 0.5,
+            }],
+            machines: 2,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        assert_eq!(plan.compute_factor(0, 1), 1.0);
+        assert_eq!(plan.compute_factor(0, 2), 0.5);
+        assert_eq!(plan.compute_factor(0, 3), 0.5);
+        assert_eq!(plan.compute_factor(0, 4), 1.0);
+        assert_eq!(plan.compute_factor(1, 3), 1.0, "other machines unaffected");
+    }
+
+    #[test]
+    fn degradation_scales_bandwidth_and_loss() {
+        let plan = FaultPlan {
+            events: vec![FaultEvent::Degradation {
+                from_epoch: 0,
+                until_epoch: 2,
+                bandwidth_factor: 0.5,
+                loss_rate: 0.1,
+            }],
+            machines: 2,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        let base = NetworkSpec::ten_gbit();
+        let degraded = plan.degraded_network(&base, 1);
+        assert!((degraded.bandwidth_bytes_per_sec - base.bandwidth_bytes_per_sec * 0.5).abs() < 1.0);
+        assert_eq!(degraded.latency_sec, base.latency_sec);
+        assert!((plan.loss_rate(1) - 0.1).abs() < 1e-12);
+        assert_eq!(plan.loss_rate(2), 0.0);
+    }
+
+    #[test]
+    fn retries_deterministic_and_monotone() {
+        assert_eq!(expected_retries(0, 0.5), 0);
+        assert_eq!(expected_retries(100, 0.0), 0);
+        let r5 = expected_retries(100, 0.05);
+        let r20 = expected_retries(100, 0.2);
+        assert!(r5 > 0);
+        assert!(r20 > r5);
+        assert_eq!(r5, expected_retries(100, 0.05));
+        // Extreme loss stays finite (capped).
+        assert!(expected_retries(100, 1.0) < 100 * 100);
+    }
+
+    #[test]
+    fn backoff_scales_with_retries() {
+        assert_eq!(retry_backoff_secs(0, 50e-6), 0.0);
+        let one = retry_backoff_secs(1, 50e-6);
+        assert!(one > 0.0);
+        assert!((retry_backoff_secs(10, 50e-6) - 10.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_report_merges() {
+        let mut a = RecoveryReport { crashes: 1, retries: 10, retry_seconds: 0.5, ..Default::default() };
+        let b = RecoveryReport {
+            crashes: 2,
+            recovery_bytes: 100,
+            checkpoint_seconds: 1.0,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.crashes, 3);
+        assert_eq!(a.recovery_bytes, 100);
+        assert!((a.total_overhead_seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_rng_reproducible() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::new(42);
+        for _ in 0..1000 {
+            let f = c.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            assert!(c.below(10) < 10);
+        }
+    }
+}

@@ -11,11 +11,20 @@
 //! partitioners — the paper's subject — are faithful; only the absolute
 //! scale depends on the calibration constants in [`MachineSpec`] and
 //! [`NetworkSpec`].
+//!
+//! Beyond the healthy-cluster model, [`faults`] supplies a seeded,
+//! fully deterministic fault schedule (crashes, stragglers, network
+//! degradation) and the [`RecoveryReport`] accounting that both training
+//! engines use to price retries, checkpoints and crash recovery.
 
 pub mod counters;
+pub mod faults;
 pub mod spec;
 pub mod time;
 
 pub use counters::{max_mean_ratio, ClusterCounters, MachineCounters};
-pub use spec::{ClusterSpec, MachineSpec, NetworkSpec};
+pub use faults::{
+    expected_retries, retry_backoff_secs, FaultEvent, FaultPlan, FaultSpec, RecoveryReport,
+};
+pub use spec::{ClusterSpec, MachineSpec, NetworkSpec, SpecError};
 pub use time::{compute_time, transfer_time};

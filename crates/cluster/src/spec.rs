@@ -1,5 +1,39 @@
 //! Cluster hardware specification.
 
+use std::fmt;
+
+/// A rejected hardware specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpecError {
+    /// A field that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Which field was rejected.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NonPositive { field, value } => {
+                write!(f, "{field} must be strictly positive, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn require_positive(field: &'static str, value: f64) -> Result<(), SpecError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(())
+    } else {
+        Err(SpecError::NonPositive { field, value })
+    }
+}
+
 /// One machine of the simulated cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineSpec {
@@ -25,6 +59,22 @@ impl MachineSpec {
         }
     }
 
+    /// Validating constructor: rejects zero/negative cores, clock,
+    /// FLOPs-per-cycle and memory (a machine that cannot compute or
+    /// hold state would divide by zero throughout the cost model).
+    pub fn validated(
+        cores: u32,
+        clock_ghz: f64,
+        flops_per_cycle: f64,
+        memory_bytes: u64,
+    ) -> Result<Self, SpecError> {
+        require_positive("cores", f64::from(cores))?;
+        require_positive("clock_ghz", clock_ghz)?;
+        require_positive("flops_per_cycle", flops_per_cycle)?;
+        require_positive("memory_bytes", memory_bytes as f64)?;
+        Ok(MachineSpec { cores, clock_ghz, flops_per_cycle, memory_bytes })
+    }
+
     /// Peak f32 FLOPs per second of the whole machine.
     pub fn flops_per_sec(&self) -> f64 {
         f64::from(self.cores) * self.clock_ghz * 1e9 * self.flops_per_cycle
@@ -47,6 +97,16 @@ pub struct NetworkSpec {
 }
 
 impl NetworkSpec {
+    /// Validating constructor: rejects zero/negative bandwidth and
+    /// latency ([`crate::transfer_time`] divides by bandwidth, and a
+    /// non-positive latency would let message-heavy exchanges cost
+    /// nothing or go backwards in time).
+    pub fn validated(bandwidth_bytes_per_sec: f64, latency_sec: f64) -> Result<Self, SpecError> {
+        require_positive("bandwidth_bytes_per_sec", bandwidth_bytes_per_sec)?;
+        require_positive("latency_sec", latency_sec)?;
+        Ok(NetworkSpec { bandwidth_bytes_per_sec, latency_sec })
+    }
+
     /// 10 Gbit Ethernet with 50 µs latency (commodity cluster).
     pub fn ten_gbit() -> Self {
         NetworkSpec { bandwidth_bytes_per_sec: 1.25e9, latency_sec: 50e-6 }
@@ -139,5 +199,47 @@ mod tests {
         let c = ClusterSpec::paper(32);
         assert_eq!(c.machines, 32);
         assert_eq!(c.machine.memory_bytes, 64 * (1 << 30));
+    }
+
+    #[test]
+    fn validated_accepts_presets() {
+        let m = MachineSpec::paper();
+        let v = MachineSpec::validated(m.cores, m.clock_ghz, m.flops_per_cycle, m.memory_bytes)
+            .expect("paper machine must validate");
+        assert_eq!(v, m);
+        for n in [
+            NetworkSpec::one_gbit(),
+            NetworkSpec::ten_gbit(),
+            NetworkSpec::ten_gbit_scaled(),
+            NetworkSpec::hundred_gbit(),
+        ] {
+            let v = NetworkSpec::validated(n.bandwidth_bytes_per_sec, n.latency_sec)
+                .expect("preset network must validate");
+            assert_eq!(v, n);
+        }
+    }
+
+    #[test]
+    fn validated_rejects_nonpositive() {
+        assert!(matches!(
+            NetworkSpec::validated(0.0, 50e-6),
+            Err(SpecError::NonPositive { field: "bandwidth_bytes_per_sec", .. })
+        ));
+        assert!(matches!(
+            NetworkSpec::validated(1.25e9, -1e-6),
+            Err(SpecError::NonPositive { field: "latency_sec", .. })
+        ));
+        assert!(NetworkSpec::validated(f64::NAN, 50e-6).is_err());
+        assert!(NetworkSpec::validated(f64::INFINITY, 50e-6).is_err());
+        assert!(matches!(
+            MachineSpec::validated(0, 2.4, 8.0, 1 << 30),
+            Err(SpecError::NonPositive { field: "cores", .. })
+        ));
+        assert!(matches!(
+            MachineSpec::validated(8, -2.4, 8.0, 1 << 30),
+            Err(SpecError::NonPositive { field: "clock_ghz", .. })
+        ));
+        assert!(MachineSpec::validated(8, 2.4, 0.0, 1 << 30).is_err());
+        assert!(MachineSpec::validated(8, 2.4, 8.0, 0).is_err());
     }
 }

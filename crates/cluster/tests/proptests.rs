@@ -1,0 +1,145 @@
+//! Property tests for the cost-model and fault-schedule invariants.
+//!
+//! The cost model is the lens every experiment is read through, so its
+//! basic shape — non-negativity, monotonicity, straggler ratio ≥ 1,
+//! seed-determinism of fault schedules — is pinned down here over
+//! randomised inputs rather than a handful of examples.
+
+use gp_cluster::time::allreduce_time;
+use gp_cluster::{
+    compute_time, expected_retries, max_mean_ratio, transfer_time, FaultPlan, FaultSpec,
+    MachineSpec, NetworkSpec,
+};
+use proptest::prelude::*;
+
+/// Bounded inputs keep `u64 as f64` exact-ish and avoid overflow-driven
+/// false positives; the cost model never sees anything near these caps.
+const MAX_BYTES: u64 = 1 << 50;
+const MAX_MSGS: u64 = 1 << 40;
+
+fn arb_network() -> impl Strategy<Value = NetworkSpec> {
+    (1e6..1e12f64, 1e-7..1e-2f64).prop_map(|(bw, lat)| {
+        NetworkSpec::validated(bw, lat).expect("strategy emits positive finite values")
+    })
+}
+
+proptest! {
+    #[test]
+    fn transfer_time_non_negative(net in arb_network(), bytes in 0..MAX_BYTES, msgs in 0..MAX_MSGS) {
+        prop_assert!(transfer_time(&net, bytes, msgs) >= 0.0);
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes(
+        net in arb_network(),
+        bytes in 0..MAX_BYTES,
+        extra in 0..MAX_BYTES,
+        msgs in 0..MAX_MSGS,
+    ) {
+        let base = transfer_time(&net, bytes, msgs);
+        let more = transfer_time(&net, bytes.saturating_add(extra), msgs);
+        prop_assert!(more >= base, "bytes {bytes} (+{extra}): {more} < {base}");
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_messages(
+        net in arb_network(),
+        bytes in 0..MAX_BYTES,
+        msgs in 0..MAX_MSGS,
+        extra in 0..MAX_MSGS,
+    ) {
+        let base = transfer_time(&net, bytes, msgs);
+        let more = transfer_time(&net, bytes, msgs.saturating_add(extra));
+        prop_assert!(more >= base);
+    }
+
+    #[test]
+    fn allreduce_non_negative_and_monotone(
+        net in arb_network(),
+        bytes in 0..MAX_BYTES,
+        extra in 0..MAX_BYTES,
+        machines in 0u32..4096,
+    ) {
+        let t = allreduce_time(&net, bytes, machines);
+        prop_assert!(t >= 0.0);
+        prop_assert!(allreduce_time(&net, bytes.saturating_add(extra), machines) >= t);
+        prop_assert!(allreduce_time(&net, bytes, machines.saturating_add(1)) >= t);
+    }
+
+    #[test]
+    fn compute_time_non_negative_and_monotone(flops in 0..MAX_BYTES, extra in 0..MAX_BYTES) {
+        let m = MachineSpec::paper();
+        let t = compute_time(&m, flops);
+        prop_assert!(t >= 0.0);
+        prop_assert!(compute_time(&m, flops.saturating_add(extra)) >= t);
+    }
+
+    #[test]
+    fn max_mean_ratio_at_least_one(values in proptest::collection::vec(0.0..1e12f64, 1..64)) {
+        prop_assume!(values.iter().any(|&v| v > 0.0));
+        prop_assert!(max_mean_ratio(&values) >= 1.0);
+    }
+
+    #[test]
+    fn fault_plan_deterministic_in_seed(
+        machines in 1u32..64,
+        epochs in 1u32..100,
+        mtbf in 0.5..50.0f64,
+        seed in any::<u64>(),
+    ) {
+        let spec = FaultSpec::standard(machines, epochs, mtbf, seed);
+        prop_assert_eq!(FaultPlan::generate(&spec), FaultPlan::generate(&spec));
+    }
+
+    #[test]
+    fn fault_plan_events_within_bounds(
+        machines in 1u32..64,
+        epochs in 1u32..100,
+        mtbf in 0.5..50.0f64,
+        seed in any::<u64>(),
+    ) {
+        let plan = FaultPlan::generate(&FaultSpec::standard(machines, epochs, mtbf, seed));
+        for e in &plan.events {
+            match *e {
+                gp_cluster::FaultEvent::Crash { machine, epoch, step_frac } => {
+                    prop_assert!(machine < machines);
+                    prop_assert!(epoch < epochs);
+                    prop_assert!((0.0..1.0).contains(&step_frac));
+                }
+                gp_cluster::FaultEvent::Slowdown { machine, from_epoch, until_epoch, factor } => {
+                    prop_assert!(machine < machines);
+                    prop_assert!(from_epoch < until_epoch);
+                    prop_assert!(from_epoch < epochs);
+                    prop_assert!(factor > 0.0 && factor <= 1.0);
+                }
+                gp_cluster::FaultEvent::Degradation {
+                    from_epoch, until_epoch, bandwidth_factor, loss_rate,
+                } => {
+                    prop_assert!(from_epoch < until_epoch);
+                    prop_assert!(from_epoch < epochs);
+                    prop_assert!(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0);
+                    prop_assert!((0.0..1.0).contains(&loss_rate));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retries_monotone_in_messages_and_loss(
+        msgs in 0..1_000_000u64,
+        extra in 0..1_000_000u64,
+        loss in 0.0..0.9f64,
+        more_loss in 0.0..0.09f64,
+    ) {
+        let base = expected_retries(msgs, loss);
+        prop_assert!(expected_retries(msgs + extra, loss) >= base);
+        prop_assert!(expected_retries(msgs, loss + more_loss) >= base);
+    }
+
+    #[test]
+    fn validated_specs_roundtrip(bw in 1e3..1e13f64, lat in 1e-9..1.0f64) {
+        let n = NetworkSpec::validated(bw, lat).expect("positive finite");
+        prop_assert_eq!(n.bandwidth_bytes_per_sec, bw);
+        prop_assert_eq!(n.latency_sec, lat);
+    }
+}

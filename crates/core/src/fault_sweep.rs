@@ -1,0 +1,270 @@
+//! Fault-injection sweeps: partitioner × failure-rate grid.
+//!
+//! Extends the paper's study with a robustness axis: how much does each
+//! partitioning strategy pay when the cluster misbehaves? Every grid
+//! point runs a seeded [`FaultPlan`] (crashes at a given cluster-wide
+//! MTBF plus the mild stragglers/brownouts of [`FaultSpec::standard`])
+//! through one of the engines and records the recovery overhead next to
+//! the healthy baseline. Same seed ⇒ bit-identical rows.
+
+use gp_cluster::{ClusterSpec, FaultPlan, FaultSpec, RecoveryReport};
+use gp_distdgl::{DistDglConfig, DistDglEngine};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_graph::{Graph, VertexSplit};
+use gp_tensor::ModelKind;
+
+use crate::config::PaperParams;
+use crate::experiment::{TimedEdgePartition, TimedVertexPartition};
+use crate::report::Table;
+
+/// One (partitioner, MTBF) cell of a fault sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepRow {
+    /// Partitioner name.
+    pub name: String,
+    /// Cluster-wide mean epochs between crashes for this cell.
+    pub mtbf_epochs: f64,
+    /// Epochs that completed before the run ended (equals the horizon
+    /// unless the engine reported an unrecoverable failure).
+    pub completed_epochs: u32,
+    /// Sum of healthy epoch times over the completed epochs.
+    pub healthy_secs: f64,
+    /// Sum of fault-injected epoch times over the completed epochs
+    /// (executed steps only; recovery overhead is separate).
+    pub faulty_secs: f64,
+    /// Accumulated recovery overhead (retries, re-execution,
+    /// checkpoints, restores) in simulated seconds.
+    pub overhead_secs: f64,
+    /// Crashes that actually hit the run.
+    pub crashes: u32,
+    /// Message retries caused by lossy links.
+    pub retries: u64,
+    /// Bytes moved only because of recovery (restores + re-served state).
+    pub recovery_bytes: u64,
+    /// Epochs of work lost to crashes and re-executed.
+    pub lost_progress_epochs: f64,
+}
+
+impl FaultSweepRow {
+    /// Wall-time inflation over the healthy baseline:
+    /// `(faulty + overhead) / healthy`.
+    pub fn slowdown(&self) -> f64 {
+        if self.healthy_secs <= 0.0 {
+            return 1.0;
+        }
+        (self.faulty_secs + self.overhead_secs) / self.healthy_secs
+    }
+}
+
+/// Sweep DistGNN (full-batch, edge-partitioned) over every timed
+/// partition × MTBF. `checkpoint_every = 0` disables checkpoints; with
+/// them disabled a single-machine cluster cannot recover from a crash
+/// and the row ends early at the crash epoch.
+pub fn distgnn_fault_sweep(
+    graph: &Graph,
+    timed: &[TimedEdgePartition],
+    params: PaperParams,
+    epochs: u32,
+    mtbfs: &[f64],
+    checkpoint_every: u32,
+    seed: u64,
+) -> Vec<FaultSweepRow> {
+    let mut rows = Vec::with_capacity(timed.len() * mtbfs.len());
+    for t in timed {
+        let k = t.partition.k();
+        let mut config =
+            DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
+        config.checkpoint_every = checkpoint_every;
+        let engine = DistGnnEngine::new(graph, &t.partition, config).expect("valid config");
+        let healthy_epoch = engine.simulate_epoch().epoch_time();
+        for &mtbf in mtbfs {
+            let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
+            let mut recovery = RecoveryReport::default();
+            let mut faulty_secs = 0.0;
+            let mut completed = 0u32;
+            for epoch in 0..epochs {
+                match engine.simulate_epoch_with_faults(epoch, &plan) {
+                    Ok(r) => {
+                        faulty_secs += r.report.epoch_time();
+                        recovery.merge(&r.recovery);
+                        completed += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            rows.push(FaultSweepRow {
+                name: t.name.clone(),
+                mtbf_epochs: mtbf,
+                completed_epochs: completed,
+                healthy_secs: healthy_epoch * f64::from(completed),
+                faulty_secs,
+                overhead_secs: recovery.total_overhead_seconds(),
+                crashes: recovery.crashes,
+                retries: recovery.retries,
+                recovery_bytes: recovery.recovery_bytes,
+                lost_progress_epochs: recovery.lost_progress_epochs,
+            });
+        }
+    }
+    rows
+}
+
+/// Sweep DistDGL (mini-batch, vertex-partitioned) over every timed
+/// partition × MTBF. DistDGL crashes are permanent: survivors absorb
+/// the lost training set, so a row only ends early when every worker is
+/// gone.
+pub fn distdgl_fault_sweep(
+    graph: &Graph,
+    split: &VertexSplit,
+    timed: &[TimedVertexPartition],
+    params: PaperParams,
+    kind: ModelKind,
+    global_batch_size: u32,
+    epochs: u32,
+    mtbfs: &[f64],
+    seed: u64,
+) -> Vec<FaultSweepRow> {
+    let mut rows = Vec::with_capacity(timed.len() * mtbfs.len());
+    for t in timed {
+        let k = t.partition.k();
+        let mut config = DistDglConfig::paper(params.model(kind), ClusterSpec::paper(k));
+        config.global_batch_size = global_batch_size;
+        let engine =
+            DistDglEngine::new(graph, &t.partition, split, config).expect("valid config");
+        for &mtbf in mtbfs {
+            let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
+            let mut recovery = RecoveryReport::default();
+            let mut healthy_secs = 0.0;
+            let mut faulty_secs = 0.0;
+            let mut completed = 0u32;
+            for epoch in 0..epochs {
+                match engine.simulate_epoch_with_faults(epoch, &plan) {
+                    Ok(r) => {
+                        healthy_secs += engine.simulate_epoch(epoch).epoch_time();
+                        faulty_secs += r.summary.epoch_time();
+                        recovery.merge(&r.recovery);
+                        completed += 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            rows.push(FaultSweepRow {
+                name: t.name.clone(),
+                mtbf_epochs: mtbf,
+                completed_epochs: completed,
+                healthy_secs,
+                faulty_secs,
+                overhead_secs: recovery.total_overhead_seconds(),
+                crashes: recovery.crashes,
+                retries: recovery.retries,
+                recovery_bytes: recovery.recovery_bytes,
+                lost_progress_epochs: recovery.lost_progress_epochs,
+            });
+        }
+    }
+    rows
+}
+
+/// Render sweep rows as a [`Table`] (CSV / Markdown ready).
+pub fn fault_sweep_table(name: &str, rows: &[FaultSweepRow]) -> Table {
+    let mut table = Table::new(
+        name,
+        &[
+            "partitioner",
+            "mtbf_epochs",
+            "completed_epochs",
+            "healthy_s",
+            "faulty_s",
+            "overhead_s",
+            "slowdown",
+            "crashes",
+            "retries",
+            "recovery_MB",
+            "lost_epochs",
+        ],
+    );
+    for r in rows {
+        table.push(vec![
+            r.name.clone(),
+            format!("{:.1}", r.mtbf_epochs),
+            r.completed_epochs.to_string(),
+            format!("{:.4}", r.healthy_secs),
+            format!("{:.4}", r.faulty_secs),
+            format!("{:.4}", r.overhead_secs),
+            format!("{:.3}", r.slowdown()),
+            r.crashes.to_string(),
+            r.retries.to_string(),
+            format!("{:.2}", r.recovery_bytes as f64 / 1e6),
+            format!("{:.3}", r.lost_progress_epochs),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{timed_edge_partitions, timed_vertex_partitions};
+    use gp_graph::{DatasetId, GraphScale};
+
+    #[test]
+    fn distgnn_sweep_shape_and_determinism() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let timed = timed_edge_partitions(&g, 4, 1);
+        let params = PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 };
+        let mtbfs = [4.0, 16.0];
+        let rows = distgnn_fault_sweep(&g, &timed, params, 6, &mtbfs, 2, 7);
+        assert_eq!(rows.len(), timed.len() * mtbfs.len());
+        for r in &rows {
+            assert_eq!(r.completed_epochs, 6, "checkpointed DistGNN always recovers");
+            assert!(r.faulty_secs >= r.healthy_secs * 0.999, "{}: faults never speed up", r.name);
+            assert!(r.overhead_secs >= 0.0);
+            assert!(r.slowdown() >= 1.0 - 1e-9);
+        }
+        let again = distgnn_fault_sweep(&g, &timed, params, 6, &mtbfs, 2, 7);
+        assert_eq!(rows, again, "same seed must give bit-identical rows");
+    }
+
+    #[test]
+    fn distdgl_sweep_shape_and_determinism() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let timed: Vec<_> =
+            timed_vertex_partitions(&g, 4, 1, &split.train).into_iter().take(2).collect();
+        let params = PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 };
+        let mtbfs = [8.0];
+        let rows = distdgl_fault_sweep(
+            &g, &split, &timed, params, ModelKind::Sage, 256, 4, &mtbfs, 7,
+        );
+        assert_eq!(rows.len(), timed.len());
+        for r in &rows {
+            assert!(r.completed_epochs > 0);
+            assert!(r.overhead_secs >= 0.0);
+        }
+        let again = distdgl_fault_sweep(
+            &g, &split, &timed, params, ModelKind::Sage, 256, 4, &mtbfs, 7,
+        );
+        assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![FaultSweepRow {
+            name: "Random".into(),
+            mtbf_epochs: 5.0,
+            completed_epochs: 10,
+            healthy_secs: 1.0,
+            faulty_secs: 1.2,
+            overhead_secs: 0.3,
+            crashes: 1,
+            retries: 42,
+            recovery_bytes: 2_000_000,
+            lost_progress_epochs: 0.5,
+        }];
+        let t = fault_sweep_table("fault_sweep", &rows);
+        let csv = t.to_csv();
+        assert!(csv.contains("Random"));
+        assert!(csv.contains("1.500"), "slowdown column: {csv}");
+        assert!(t.to_markdown().contains("recovery_MB"));
+    }
+}

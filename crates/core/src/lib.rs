@@ -8,6 +8,8 @@
 //!   factors.
 //! * [`experiment`] — timed partitioning runs and engine invocations.
 //! * [`sweep`] — grid sweeps producing speedup/memory distributions.
+//! * [`fault_sweep`] — partitioner × failure-rate robustness sweeps
+//!   under seeded fault injection (extension beyond the paper).
 //! * [`amortize`] — partitioning-time amortisation (Tables 4 and 5).
 //! * [`advisor`] — EASE-style partitioner recommendation (extension).
 //! * [`correlate`] — Pearson correlation / R² (Figures 3, 5).
@@ -18,6 +20,7 @@ pub mod amortize;
 pub mod config;
 pub mod correlate;
 pub mod experiment;
+pub mod fault_sweep;
 pub mod registry;
 pub mod report;
 pub mod sweep;
@@ -30,6 +33,9 @@ pub mod prelude {
     pub use crate::correlate::{pearson, r_squared};
     pub use crate::experiment::{
         timed_edge_partitions, timed_vertex_partitions, TimedEdgePartition, TimedVertexPartition,
+    };
+    pub use crate::fault_sweep::{
+        distdgl_fault_sweep, distgnn_fault_sweep, fault_sweep_table, FaultSweepRow,
     };
     pub use crate::registry::{edge_partitioner, edge_partitioner_names, vertex_partitioner, vertex_partitioner_names};
     pub use crate::report::{Distribution, Table};

@@ -103,7 +103,7 @@ impl Distribution {
             return None;
         }
         let mut v = values.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        v.sort_by(f64::total_cmp);
         let q = |p: f64| -> f64 {
             let idx = p * (v.len() - 1) as f64;
             let lo = idx.floor() as usize;

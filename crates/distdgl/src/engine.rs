@@ -6,7 +6,10 @@
 //! the paper's measurement protocol: per step, each phase is gated by
 //! the slowest worker (the straggler).
 
-use gp_cluster::{compute_time, transfer_time, ClusterCounters, ClusterSpec};
+use gp_cluster::{
+    compute_time, expected_retries, retry_backoff_secs, transfer_time, ClusterCounters,
+    ClusterSpec, FaultPlan, NetworkSpec, RecoveryReport,
+};
 use gp_graph::{Graph, VertexSplit};
 use gp_partition::VertexPartition;
 use gp_tensor::flops::{model_param_count, model_train_flops};
@@ -99,6 +102,17 @@ impl StepPhases {
     }
 }
 
+/// Per-epoch fault environment resolved from a [`FaultPlan`]: the
+/// (possibly degraded) network, per-worker compute-rate multipliers and
+/// the message-loss rate driving timeout/retry/backoff on remote
+/// expansions and feature fetches.
+struct StepFaultCtx {
+    network: NetworkSpec,
+    compute_factor: Vec<f64>,
+    min_compute_factor: f64,
+    loss_rate: f64,
+}
+
 /// Result of one simulated training step.
 #[derive(Debug, Clone)]
 pub struct StepReport {
@@ -156,6 +170,64 @@ impl EpochSummary {
     /// Simulated seconds per epoch.
     pub fn epoch_time(&self) -> f64 {
         self.phases.total()
+    }
+}
+
+/// Result of one epoch simulated under a [`FaultPlan`].
+///
+/// `summary.phases` covers the steps actually executed (including the
+/// re-execution of any step lost to a crash); the lost in-flight
+/// attempt, state restore and retry waits are accounted in `recovery`,
+/// so total wall time under faults is
+/// `summary.epoch_time() + recovery.total_overhead_seconds()` minus the
+/// retry share already inside the phases.
+#[derive(Debug, Clone)]
+pub struct FaultyEpochSummary {
+    /// The epoch summary over executed steps.
+    pub summary: EpochSummary,
+    /// What the faults cost beyond the healthy baseline.
+    pub recovery: RecoveryReport,
+    /// Workers out of service by the end of this epoch (DistDGL crashes
+    /// are permanent: survivors absorb the lost training set — graceful
+    /// degradation, in contrast to DistGNN's checkpoint/restart).
+    pub failed_workers: Vec<u32>,
+}
+
+/// Running accumulators of an epoch simulation (shared between the
+/// healthy and the fault-injected paths).
+#[derive(Default)]
+struct EpochAcc {
+    steps: usize,
+    phases: StepPhases,
+    total_inputs: u64,
+    total_remote: u64,
+    cache_hits: u64,
+    balance_acc: f64,
+    time_balance_acc: f64,
+}
+
+impl EpochAcc {
+    fn add(&mut self, report: &StepReport) {
+        self.steps += 1;
+        self.phases.add(&report.phases);
+        self.total_inputs += report.input_vertices.iter().sum::<u64>();
+        self.total_remote += report.remote_vertices.iter().sum::<u64>();
+        self.cache_hits += report.cache_hits;
+        self.balance_acc += report.input_balance();
+        self.time_balance_acc += report.time_balance();
+    }
+
+    fn into_summary(self, counters: ClusterCounters) -> EpochSummary {
+        EpochSummary {
+            steps: self.steps,
+            phases: self.phases,
+            counters,
+            total_input_vertices: self.total_inputs,
+            total_remote_vertices: self.total_remote,
+            cache_hits: self.cache_hits,
+            mean_input_balance: self.balance_acc / self.steps as f64,
+            mean_time_balance: self.time_balance_acc / self.steps as f64,
+        }
     }
 }
 
@@ -256,28 +328,56 @@ impl<'a> DistDglEngine<'a> {
     }
 
     /// Convert one worker's sampled mini-batch into per-phase times and
-    /// record its work into `counters`.
+    /// record its work into `counters`. With `faults: None` this is the
+    /// healthy baseline and performs exactly the pre-fault arithmetic
+    /// (every adjustment is behind an `if let Some(..)`), so healthy
+    /// results stay bit-identical.
     fn worker_step_cost(
         &self,
         worker: u32,
         batch: &MiniBatch,
         counters: &mut ClusterCounters,
+        faults: Option<&StepFaultCtx>,
+        recovery: &mut RecoveryReport,
     ) -> (StepPhases, u64) {
         let cluster = &self.config.cluster;
+        let network = faults.map_or(cluster.network, |f| f.network);
         let model = &self.config.model;
         let stats = &batch.stats;
 
         // --- Sampling: local walk + remote RPC wait. ---
-        let local_cpu = stats.edges_sampled as f64 * SAMPLE_SECS_PER_EDGE
+        let mut local_cpu = stats.edges_sampled as f64 * SAMPLE_SECS_PER_EDGE
             + (stats.local_expansions + stats.remote_expansions) as f64
                 * SAMPLE_SECS_PER_EXPANSION
             + stats.remote_expansions as f64 * SAMPLE_SECS_PER_REMOTE_EXPANSION;
+        if let Some(f) = faults {
+            local_cpu /= f.compute_factor[worker as usize];
+        }
         let rpc = transfer_time(
-            &cluster.network,
+            &network,
             stats.remote_sample_bytes,
             stats.remote_sample_messages,
         );
-        let sampling = local_cpu + rpc;
+        let mut sampling = local_cpu + rpc;
+        if let Some(f) = faults {
+            // Lost sampling RPCs time out and are retransmitted with
+            // backoff; the retry accounting is attributed to the
+            // requesting worker.
+            if f.loss_rate > 0.0 && stats.remote_sample_messages > 0 {
+                let retries = expected_retries(stats.remote_sample_messages, f.loss_rate);
+                let retry_bytes =
+                    stats.remote_sample_bytes / stats.remote_sample_messages * retries;
+                let extra = transfer_time(&network, retry_bytes, retries)
+                    + retry_backoff_secs(retries, network.latency_sec);
+                sampling += extra;
+                recovery.retries += retries;
+                recovery.retry_bytes += retry_bytes;
+                recovery.retry_seconds += extra;
+                let c = counters.machine_mut(worker);
+                c.bytes_received += retry_bytes;
+                c.messages += retries;
+            }
+        }
         {
             // Sampling RPCs are booked on both endpoints, like every
             // other exchange: the requester sends requests and receives
@@ -323,12 +423,27 @@ impl<'a> DistDglEngine<'a> {
         let local_copy = (local_inputs * fbytes) as f64 / LOCAL_FEATURE_BW;
         let remote_bytes: u64 = per_owner.iter().sum();
         let owners_contacted = per_owner.iter().filter(|&&b| b > 0).count() as u64;
-        let feature_load =
-            local_copy + transfer_time(&cluster.network, remote_bytes, owners_contacted);
+        let mut feature_load =
+            local_copy + transfer_time(&network, remote_bytes, owners_contacted);
         counters.machine_mut(worker).receive(remote_bytes);
         for (o, &b) in per_owner.iter().enumerate() {
             if b > 0 {
                 counters.machine_mut(o as u32).send(b);
+            }
+        }
+        if let Some(f) = faults {
+            if f.loss_rate > 0.0 && owners_contacted > 0 {
+                let retries = expected_retries(owners_contacted, f.loss_rate);
+                let retry_bytes = remote_bytes / owners_contacted * retries;
+                let extra = transfer_time(&network, retry_bytes, retries)
+                    + retry_backoff_secs(retries, network.latency_sec);
+                feature_load += extra;
+                recovery.retries += retries;
+                recovery.retry_bytes += retry_bytes;
+                recovery.retry_seconds += extra;
+                let c = counters.machine_mut(worker);
+                c.bytes_received += retry_bytes;
+                c.messages += retries;
             }
         }
 
@@ -342,8 +457,13 @@ impl<'a> DistDglEngine<'a> {
         let fwd_flops = train_flops / 3;
         let bwd_flops = train_flops - fwd_flops;
         counters.machine_mut(worker).flops += train_flops;
-        let forward = compute_time(&cluster.machine, fwd_flops);
-        let backward = compute_time(&cluster.machine, bwd_flops);
+        let mut forward = compute_time(&cluster.machine, fwd_flops);
+        let mut backward = compute_time(&cluster.machine, bwd_flops);
+        if let Some(f) = faults {
+            let cf = f.compute_factor[worker as usize];
+            forward /= cf;
+            backward /= cf;
+        }
 
         (StepPhases { sampling, feature_load, forward, backward, update: 0.0 }, cache_hits)
     }
@@ -372,7 +492,21 @@ impl<'a> DistDglEngine<'a> {
         batches: &[MiniBatch],
         counters: &mut ClusterCounters,
     ) -> StepReport {
+        let mut unused = RecoveryReport::default();
+        self.step_inner(batches, counters, None, &mut unused)
+    }
+
+    /// Shared step simulation; `faults: None` is the healthy baseline
+    /// (bit-identical to the pre-fault implementation).
+    fn step_inner(
+        &self,
+        batches: &[MiniBatch],
+        counters: &mut ClusterCounters,
+        faults: Option<&StepFaultCtx>,
+        recovery: &mut RecoveryReport,
+    ) -> StepReport {
         let cluster = &self.config.cluster;
+        let network = faults.map_or(cluster.network, |f| f.network);
         let model = &self.config.model;
         let k = cluster.machines;
 
@@ -382,7 +516,7 @@ impl<'a> DistDglEngine<'a> {
         let mut remote_vertices = Vec::with_capacity(k as usize);
         let mut cache_hits = 0u64;
         for (w, batch) in batches.iter().enumerate() {
-            let (wp, hits) = self.worker_step_cost(w as u32, batch, counters);
+            let (wp, hits) = self.worker_step_cost(w as u32, batch, counters, faults, recovery);
             cache_hits += hits;
             phases.sampling = phases.sampling.max(wp.sampling);
             phases.feature_load = phases.feature_load.max(wp.feature_load);
@@ -400,14 +534,17 @@ impl<'a> DistDglEngine<'a> {
         let param_bytes = model_param_count(model) * 4;
         phases.backward = phases
             .backward
-            .max(gp_cluster::time::allreduce_time(&cluster.network, param_bytes, k));
+            .max(gp_cluster::time::allreduce_time(&network, param_bytes, k));
         for m in 0..k {
             counters.machine_mut(m).send(param_bytes);
             counters.machine_mut(m).receive(param_bytes);
         }
-        // Optimiser update.
+        // Optimiser update (synchronous; the slowest machine gates it).
         let opt_flops = model_param_count(model) * 10;
         phases.update = compute_time(&cluster.machine, opt_flops);
+        if let Some(f) = faults {
+            phases.update /= f.min_compute_factor;
+        }
         for m in 0..k {
             counters.machine_mut(m).flops += opt_flops;
         }
@@ -431,39 +568,170 @@ impl<'a> DistDglEngine<'a> {
         assert!(!sampled.is_empty(), "need at least one sampled step");
         let k = self.config.cluster.machines;
         let mut counters = ClusterCounters::new(k);
-        // Feature storage (plus the hot-vertex cache) is resident on
-        // every machine.
+        self.observe_store_memory(&mut counters);
+        let mut acc = EpochAcc::default();
+        for batches in sampled {
+            let report = self.simulate_step_from(batches, &mut counters);
+            acc.add(&report);
+        }
+        acc.into_summary(counters)
+    }
+
+    /// Book the resident feature store (plus the hot-vertex cache) of
+    /// every machine into the counters' memory watermark.
+    fn observe_store_memory(&self, counters: &mut ClusterCounters) {
         let fbytes = 4 * self.config.model.feature_dim as u64;
         let cache_bytes = u64::from(self.config.feature_cache_entries) * fbytes;
         for (m, owned) in self.store.owned_counts().iter().enumerate() {
             counters.machine_mut(m as u32).observe_memory(owned * fbytes + cache_bytes);
         }
-        let steps = sampled.len();
-        let mut phases = StepPhases::default();
-        let mut total_inputs = 0u64;
-        let mut total_remote = 0u64;
-        let mut cache_hits = 0u64;
-        let mut balance_acc = 0.0f64;
-        let mut time_balance_acc = 0.0f64;
-        for batches in sampled {
-            let report = self.simulate_step_from(batches, &mut counters);
-            phases.add(&report.phases);
-            total_inputs += report.input_vertices.iter().sum::<u64>();
-            total_remote += report.remote_vertices.iter().sum::<u64>();
-            cache_hits += report.cache_hits;
-            balance_acc += report.input_balance();
-            time_balance_acc += report.time_balance();
+    }
+
+    /// A sibling engine over the same graph with a different ownership
+    /// store (used to model the cluster after worker crashes).
+    fn with_store(&self, store: PartitionedStore) -> DistDglEngine<'a> {
+        DistDglEngine {
+            graph: self.graph,
+            store,
+            config: self.config.clone(),
+            cached: self.cached.clone(),
         }
-        EpochSummary {
-            steps,
-            phases,
-            counters,
-            total_input_vertices: total_inputs,
-            total_remote_vertices: total_remote,
-            cache_hits,
-            mean_input_balance: balance_acc / steps as f64,
-            mean_time_balance: time_balance_acc / steps as f64,
+    }
+
+    /// Run one epoch under a fault plan.
+    ///
+    /// * **Empty plan** — returns exactly [`DistDglEngine::simulate_epoch`]
+    ///   with an all-zero [`RecoveryReport`]: bit-identical to the
+    ///   healthy baseline.
+    /// * **Slowdowns / degradation** — phase times stretch through the
+    ///   straggler rule; message loss turns into timeout/retry/backoff
+    ///   overhead on remote expansions and feature fetches, flowing
+    ///   through the cost model and [`StepPhases`] like any other RPC.
+    /// * **Crashes** — permanent: the crashed worker's owned vertices
+    ///   and training set are redistributed round-robin across the
+    ///   survivors ([`PartitionedStore::with_failed`]), the in-flight
+    ///   step is re-executed, and the remaining steps run on the
+    ///   degraded cluster (the epoch may grow longer — the straggler
+    ///   rule gates on the survivors' larger training shares).
+    ///
+    /// # Errors
+    ///
+    /// [`DistDglError::WorkerFailed`] when no survivors remain;
+    /// [`DistDglError::RecoveryBudgetExceeded`] when accumulated
+    /// overhead passes the plan's budget.
+    pub fn simulate_epoch_with_faults(
+        &self,
+        epoch: u32,
+        plan: &FaultPlan,
+    ) -> Result<FaultyEpochSummary, DistDglError> {
+        if plan.is_empty() {
+            return Ok(FaultyEpochSummary {
+                summary: self.simulate_epoch(epoch),
+                recovery: RecoveryReport::default(),
+                failed_workers: Vec::new(),
+            });
         }
+        let k = self.config.cluster.machines;
+        let cluster = &self.config.cluster;
+        let mut recovery = RecoveryReport::default();
+        let failed_prior = plan.crashed_before(epoch);
+        let crashes_now = plan.crashes_in_epoch(epoch);
+        let ctx = {
+            let compute_factor: Vec<f64> =
+                (0..k).map(|m| plan.compute_factor(m, epoch)).collect();
+            StepFaultCtx {
+                network: plan.degraded_network(&cluster.network, epoch),
+                min_compute_factor: compute_factor.iter().copied().fold(1.0, f64::min),
+                compute_factor,
+                loss_rate: plan.loss_rate(epoch),
+            }
+        };
+
+        let eng_pre = if failed_prior.is_empty() {
+            self.with_store(self.store.clone())
+        } else {
+            let store = self.store.with_failed(&failed_prior).ok_or_else(|| {
+                DistDglError::WorkerFailed { machine: *failed_prior.last().unwrap(), epoch }
+            })?;
+            self.with_store(store)
+        };
+
+        let mut counters = ClusterCounters::new(k);
+        eng_pre.observe_store_memory(&mut counters);
+        let mut acc = EpochAcc::default();
+        let fbytes = 4 * self.config.model.feature_dim as u64;
+
+        let steps_pre = eng_pre.steps_per_epoch();
+        let crash_step = crashes_now
+            .iter()
+            .map(|&(_, frac)| (frac * steps_pre as f64) as usize)
+            .min()
+            .unwrap_or(steps_pre)
+            .min(steps_pre);
+        for step in 0..crash_step {
+            let batches = eng_pre.sample_step(epoch, step);
+            let report = eng_pre.step_inner(&batches, &mut counters, Some(&ctx), &mut recovery);
+            acc.add(&report);
+        }
+
+        let mut failed_workers = failed_prior;
+        if !crashes_now.is_empty() {
+            let mut all_failed = failed_workers.clone();
+            all_failed.extend(crashes_now.iter().map(|&(m, _)| m));
+            let eng_post =
+                self.store.with_failed(&all_failed).map(|s| self.with_store(s)).ok_or(
+                    DistDglError::WorkerFailed { machine: crashes_now[0].0, epoch },
+                )?;
+
+            // The crashed workers' feature shards are re-served from
+            // persistent storage to their new owners (one bulk transfer
+            // per receiving survivor).
+            let mut restore_bytes = 0u64;
+            let mut receivers = vec![false; k as usize];
+            for v in self.graph.vertices() {
+                let new_owner = eng_post.store.owner(v);
+                if eng_pre.store.owner(v) != new_owner {
+                    restore_bytes += fbytes;
+                    receivers[new_owner as usize] = true;
+                    counters.machine_mut(new_owner).receive(fbytes);
+                }
+            }
+            let messages = receivers.iter().filter(|&&r| r).count() as u64;
+            recovery.recovery_bytes += restore_bytes;
+            recovery.restore_seconds += transfer_time(&ctx.network, restore_bytes, messages);
+            for &(m, _) in &crashes_now {
+                recovery.redistributed_train_vertices +=
+                    eng_pre.store.local_train_vertices(m).len() as u64;
+                failed_workers.push(m);
+            }
+            recovery.crashes += crashes_now.len() as u32;
+            recovery.lost_progress_epochs += 1.0 / steps_pre as f64;
+            eng_post.observe_store_memory(&mut counters);
+
+            // Re-execute the lost in-flight step, then finish the epoch
+            // on the degraded cluster.
+            let steps_post = eng_post.steps_per_epoch().max(crash_step + 1);
+            for step in crash_step..steps_post {
+                let batches = eng_post.sample_step(epoch, step);
+                let report =
+                    eng_post.step_inner(&batches, &mut counters, Some(&ctx), &mut recovery);
+                if step == crash_step {
+                    recovery.reexecuted_steps += 1;
+                    recovery.reexecution_seconds += report.phases.total();
+                }
+                acc.add(&report);
+            }
+        }
+
+        let overhead = recovery.total_overhead_seconds();
+        if overhead > plan.recovery_budget_secs {
+            return Err(DistDglError::RecoveryBudgetExceeded {
+                budget_secs: plan.recovery_budget_secs,
+                needed_secs: overhead,
+            });
+        }
+        failed_workers.sort_unstable();
+        Ok(FaultyEpochSummary { summary: acc.into_summary(counters), recovery, failed_workers })
     }
 }
 
@@ -670,6 +938,166 @@ mod tests {
         let t400 = traffic(400);
         assert!(t50 <= t0);
         assert!(t400 <= t50);
+    }
+
+    fn crash_plan(machine: u32, epoch: u32, step_frac: f64) -> FaultPlan {
+        FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Crash { machine, epoch, step_frac }],
+            machines: 4,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn empty_plan_bit_identical_to_baseline() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 2, ModelKind::Sage)).unwrap();
+        let base = e.simulate_epoch(0);
+        let faulty = e.simulate_epoch_with_faults(0, &FaultPlan::empty()).unwrap();
+        assert_eq!(faulty.summary.steps, base.steps);
+        assert_eq!(faulty.summary.phases, base.phases);
+        assert_eq!(faulty.summary.counters, base.counters);
+        assert_eq!(faulty.summary.total_input_vertices, base.total_input_vertices);
+        assert_eq!(faulty.summary.total_remote_vertices, base.total_remote_vertices);
+        assert_eq!(faulty.summary.cache_hits, base.cache_hits);
+        assert_eq!(faulty.summary.mean_input_balance, base.mean_input_balance);
+        assert_eq!(faulty.summary.mean_time_balance, base.mean_time_balance);
+        assert_eq!(faulty.recovery, RecoveryReport::default());
+        assert!(faulty.failed_workers.is_empty());
+    }
+
+    #[test]
+    fn same_plan_identical_results() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 32, 32, 2, ModelKind::Sage)).unwrap();
+        let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(4, 6, 2.0, 0xfa11));
+        for epoch in 0..6 {
+            let a = e.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            let b = e.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            assert_eq!(a.summary.phases, b.summary.phases);
+            assert_eq!(a.summary.counters, b.summary.counters);
+            assert_eq!(a.recovery, b.recovery);
+            assert_eq!(a.failed_workers, b.failed_workers);
+        }
+    }
+
+    #[test]
+    fn crash_redistributes_training_set() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 32, 32, 2, ModelKind::Sage)).unwrap();
+        let plan = crash_plan(2, 1, 0.5);
+        let crashed_train = e.store().local_train_vertices(2).len() as u64;
+        assert!(crashed_train > 0, "test premise: worker 2 owns training vertices");
+
+        let at_crash = e.simulate_epoch_with_faults(1, &plan).unwrap();
+        assert_eq!(at_crash.failed_workers, vec![2]);
+        assert_eq!(at_crash.recovery.crashes, 1);
+        assert_eq!(at_crash.recovery.redistributed_train_vertices, crashed_train);
+        assert_eq!(at_crash.recovery.reexecuted_steps, 1);
+        assert!(at_crash.recovery.reexecution_seconds > 0.0);
+        assert!(at_crash.recovery.recovery_bytes > 0, "feature shard must be re-served");
+
+        // The epoch after the crash runs on survivors only; the epoch is
+        // no shorter (the straggler rule gates on the survivors' larger
+        // shares) and every training vertex is still covered.
+        let after = e.simulate_epoch_with_faults(2, &plan).unwrap();
+        assert_eq!(after.failed_workers, vec![2]);
+        assert_eq!(after.recovery.crashes, 0, "no new crash in epoch 2");
+        let healthy = e.simulate_epoch(2);
+        assert!(after.summary.steps >= healthy.steps);
+        let degraded = e.store().with_failed(&[2]).unwrap();
+        let total: usize = (0..4).map(|w| degraded.local_train_vertices(w).len()).sum();
+        assert_eq!(total, split.train.len());
+    }
+
+    #[test]
+    fn degradation_adds_retries_and_time() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 2, ModelKind::Sage)).unwrap();
+        let plan = FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Degradation {
+                from_epoch: 0,
+                until_epoch: 1,
+                bandwidth_factor: 0.25,
+                loss_rate: 0.1,
+            }],
+            machines: 4,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        let base = e.simulate_epoch(0);
+        let faulty = e.simulate_epoch_with_faults(0, &plan).unwrap();
+        assert!(faulty.recovery.retries > 0);
+        assert!(faulty.recovery.retry_seconds > 0.0);
+        assert!(faulty.summary.phases.sampling > base.phases.sampling);
+        assert!(faulty.summary.phases.feature_load > base.phases.feature_load);
+        // Same blocks sampled — the degradation changes time, not work.
+        assert_eq!(faulty.summary.total_input_vertices, base.total_input_vertices);
+        // Out of the window: identical to baseline.
+        let healthy = e.simulate_epoch_with_faults(3, &plan).unwrap();
+        assert_eq!(healthy.summary.phases, e.simulate_epoch(3).phases);
+    }
+
+    #[test]
+    fn slowdown_stretches_straggler_phases() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 32, 64, 2, ModelKind::Sage)).unwrap();
+        let plan = FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Slowdown {
+                machine: 1,
+                from_epoch: 0,
+                until_epoch: 2,
+                factor: 0.25,
+            }],
+            machines: 4,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        let base = e.simulate_epoch(0);
+        let faulty = e.simulate_epoch_with_faults(0, &plan).unwrap();
+        assert!(faulty.summary.phases.forward > base.phases.forward);
+        assert!(faulty.summary.mean_time_balance > base.mean_time_balance);
+        assert!(faulty.recovery.retries == 0, "slowdown alone causes no retries");
+    }
+
+    #[test]
+    fn all_workers_crashed_is_worker_failed() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 16, 16, 2, ModelKind::Sage)).unwrap();
+        let plan = FaultPlan {
+            events: (0..4)
+                .map(|m| gp_cluster::FaultEvent::Crash {
+                    machine: m,
+                    epoch: 1,
+                    step_frac: 0.1 * f64::from(m),
+                })
+                .collect(),
+            machines: 4,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        assert!(matches!(
+            e.simulate_epoch_with_faults(1, &plan),
+            Err(DistDglError::WorkerFailed { .. })
+        ));
+        // Later epochs see all workers dead from the start.
+        assert!(matches!(
+            e.simulate_epoch_with_faults(2, &plan),
+            Err(DistDglError::WorkerFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_budget_enforced() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 16, 16, 2, ModelKind::Sage)).unwrap();
+        let mut plan = crash_plan(1, 0, 0.5);
+        plan.recovery_budget_secs = 1e-12;
+        assert!(matches!(
+            e.simulate_epoch_with_faults(0, &plan),
+            Err(DistDglError::RecoveryBudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -14,6 +14,21 @@ pub enum DistDglError {
     },
     /// Invalid configuration value.
     InvalidConfig(String),
+    /// A worker crashed and no survivors remain to absorb its training
+    /// set.
+    WorkerFailed {
+        /// The crashed worker.
+        machine: u32,
+        /// Epoch of the crash.
+        epoch: u32,
+    },
+    /// Cumulative recovery overhead exceeded the plan's budget.
+    RecoveryBudgetExceeded {
+        /// The configured budget in simulated seconds.
+        budget_secs: f64,
+        /// The overhead actually accumulated.
+        needed_secs: f64,
+    },
 }
 
 impl fmt::Display for DistDglError {
@@ -24,6 +39,13 @@ impl fmt::Display for DistDglError {
                 "partition has {partitions} parts but cluster has {machines} machines"
             ),
             DistDglError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            DistDglError::WorkerFailed { machine, epoch } => {
+                write!(f, "worker {machine} failed at epoch {epoch} with no survivors left")
+            }
+            DistDglError::RecoveryBudgetExceeded { budget_secs, needed_secs } => write!(
+                f,
+                "recovery overhead {needed_secs:.3}s exceeds budget {budget_secs:.3}s"
+            ),
         }
     }
 }

@@ -20,6 +20,13 @@
 //! the real NN math over the sampled blocks, exploiting that synchronous
 //! data-parallel SGD equals sequential gradient accumulation over the
 //! per-worker batches.
+//!
+//! [`DistDglEngine::simulate_epoch_with_faults`] runs an epoch under a
+//! seeded `gp_cluster::FaultPlan`: remote expansions and feature fetches
+//! get timeout/retry/backoff under lossy links, and worker crashes are
+//! permanent — the crashed worker's training set is redistributed across
+//! the survivors (graceful degradation). An empty plan reproduces the
+//! healthy baseline bit-for-bit.
 
 pub mod engine;
 pub mod error;
@@ -27,7 +34,9 @@ pub mod sampler;
 pub mod store;
 pub mod train;
 
-pub use engine::{DistDglConfig, DistDglEngine, EpochSummary, StepPhases, StepReport};
+pub use engine::{
+    DistDglConfig, DistDglEngine, EpochSummary, FaultyEpochSummary, StepPhases, StepReport,
+};
 pub use error::DistDglError;
 pub use sampler::{MiniBatch, SampleStats};
 pub use store::PartitionedStore;

@@ -76,6 +76,50 @@ impl PartitionedStore {
         }
         counts
     }
+
+    /// Graceful degradation after worker crashes: reassign every vertex
+    /// (and training vertex) owned by a machine in `failed` round-robin
+    /// across the survivors, deterministically by vertex id. The number
+    /// of partitions stays `k` — crashed workers simply own nothing and
+    /// sit idle. Returns `None` when no survivors remain.
+    pub fn with_failed(&self, failed: &[u32]) -> Option<PartitionedStore> {
+        let mut is_failed = vec![false; self.k as usize];
+        for &m in failed {
+            if m < self.k {
+                is_failed[m as usize] = true;
+            }
+        }
+        let survivors: Vec<u32> =
+            (0..self.k).filter(|&m| !is_failed[m as usize]).collect();
+        if survivors.is_empty() {
+            return None;
+        }
+        let mut owner = self.owner.clone();
+        let mut rr = 0usize;
+        for o in owner.iter_mut() {
+            if is_failed[*o as usize] {
+                *o = survivors[rr % survivors.len()];
+                rr += 1;
+            }
+        }
+        // Survivors keep their own lists first; redistributed vertices
+        // are appended afterwards (appending before a survivor's clone
+        // would silently drop them).
+        let mut local_train = vec![Vec::new(); self.k as usize];
+        for (w, train) in self.local_train.iter().enumerate() {
+            if !is_failed[w] {
+                local_train[w] = train.clone();
+            }
+        }
+        for (w, train) in self.local_train.iter().enumerate() {
+            if is_failed[w] {
+                for &v in train {
+                    local_train[owner[v as usize] as usize].push(v);
+                }
+            }
+        }
+        Some(PartitionedStore { k: self.k, owner, local_train })
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +143,36 @@ mod tests {
         assert!(store.is_local(1, 0));
         assert!(!store.is_local(1, 1));
         assert_eq!(store.owned_counts(), vec![3, 3]);
+    }
+
+    #[test]
+    fn with_failed_redistributes_to_survivors() {
+        let (g, p, s) = setup();
+        let store = PartitionedStore::new(&g, &p, &s).unwrap();
+        let degraded = store.with_failed(&[1]).unwrap();
+        assert_eq!(degraded.k(), 2, "k is preserved; crashed workers idle");
+        assert_eq!(degraded.owned_counts(), vec![6, 0]);
+        assert!(degraded.local_train_vertices(1).is_empty());
+        // Every training vertex survives the redistribution.
+        let total: usize = (0..2).map(|w| degraded.local_train_vertices(w).len()).sum();
+        assert_eq!(total, s.train.len());
+        for w in 0..2u32 {
+            for &v in degraded.local_train_vertices(w) {
+                assert_eq!(degraded.owner(v), w);
+            }
+        }
+        // Deterministic.
+        let again = store.with_failed(&[1]).unwrap();
+        assert_eq!(again.owned_counts(), degraded.owned_counts());
+        // Failing a worker with a LOWER id than a survivor must not
+        // drop the redistributed vertices when the survivor's own list
+        // is filled in.
+        let degraded = store.with_failed(&[0]).unwrap();
+        assert_eq!(degraded.owned_counts(), vec![0, 6]);
+        let total: usize = (0..2).map(|w| degraded.local_train_vertices(w).len()).sum();
+        assert_eq!(total, s.train.len());
+        // No survivors ⇒ None.
+        assert!(store.with_failed(&[0, 1]).is_none());
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The DistGNN cost-model engine.
 
-use gp_cluster::{compute_time, transfer_time, ClusterCounters, ClusterSpec};
+use gp_cluster::{
+    compute_time, expected_retries, retry_backoff_secs, transfer_time, ClusterCounters,
+    ClusterSpec, FaultPlan, NetworkSpec, RecoveryReport,
+};
 use gp_graph::Graph;
 use gp_partition::EdgePartition;
 use gp_tensor::flops::{layer_train_flops, model_param_count, BlockShape};
@@ -27,13 +30,42 @@ pub struct DistGnnConfig {
     /// **extension** for the `ablations -- cdr` study. Convergence
     /// effects of staleness are outside the cost model.
     pub sync_period: u32,
+    /// Checkpoint period in epochs (0 = checkpointing disabled, the
+    /// paper's healthy-cluster setting). A checkpoint writes the model
+    /// (parameters + optimiser moments) and every machine's replica
+    /// state to local storage; its cost only appears in
+    /// [`DistGnnEngine::simulate_epoch_with_faults`], so healthy runs
+    /// are unaffected.
+    pub checkpoint_every: u32,
 }
 
 impl DistGnnConfig {
-    /// Paper-default configuration: sync every epoch (cd-0 / 0c).
+    /// Paper-default configuration: sync every epoch (cd-0 / 0c), no
+    /// checkpointing.
     pub fn paper(model: ModelConfig, cluster: ClusterSpec) -> Self {
-        DistGnnConfig { model, cluster, sync_period: 1 }
+        DistGnnConfig { model, cluster, sync_period: 1, checkpoint_every: 0 }
     }
+}
+
+/// Sustained local-storage bandwidth for checkpoint writes and restores
+/// (bytes/second) — a commodity SATA SSD, matching the paper's testbed
+/// era.
+const CHECKPOINT_BW: f64 = 5e8;
+
+/// Resident training state per covered vertex: input features plus one
+/// intermediate representation per layer, in bytes. This is what replica
+/// recovery fetches over the network and what checkpoints persist.
+fn per_vertex_state_bytes(model: &ModelConfig) -> u64 {
+    let dims: u64 = (0..model.num_layers).map(|i| model.layer_dims(i).1 as u64).sum();
+    (model.feature_dim as u64 + dims) * 4
+}
+
+/// Per-epoch fault environment resolved from a [`FaultPlan`].
+struct EpochFaultCtx {
+    network: NetworkSpec,
+    compute_factor: Vec<f64>,
+    min_compute_factor: f64,
+    loss_rate: f64,
 }
 
 /// Simulated wall-time of one epoch, split into the phases the paper
@@ -105,6 +137,21 @@ impl EpochReport {
     pub fn any_oom(&self) -> bool {
         !self.oom_machines.is_empty()
     }
+}
+
+/// Result of one epoch simulated under a [`FaultPlan`]: the epoch
+/// report (fault-adjusted phase times and counters, including recovery
+/// traffic) plus the recovery accounting.
+#[derive(Debug, Clone)]
+pub struct FaultyEpochReport {
+    /// The epoch report, with fault-adjusted times and counters.
+    pub report: EpochReport,
+    /// What the faults cost beyond the healthy baseline.
+    pub recovery: RecoveryReport,
+    /// Machines that crashed during this epoch (each is restored onto a
+    /// replacement before the next epoch — checkpoint/restart
+    /// semantics, in contrast to DistDGL's graceful degradation).
+    pub crashed_machines: Vec<u32>,
 }
 
 /// Full-batch edge-partitioned training engine.
@@ -181,8 +228,23 @@ impl<'a> DistGnnEngine<'a> {
     ///
     /// Panics if `model.kind` differs from the configured kind.
     pub fn simulate_epoch_for(&self, model: &ModelConfig) -> EpochReport {
+        let mut unused = RecoveryReport::default();
+        self.simulate_epoch_inner(model, None, &mut unused)
+    }
+
+    /// Shared epoch simulation. With `faults: None` this is the healthy
+    /// baseline and performs *exactly* the same arithmetic as before the
+    /// fault subsystem existed (every fault adjustment is behind an
+    /// `if let Some(..)`), so healthy results stay bit-identical.
+    fn simulate_epoch_inner(
+        &self,
+        model: &ModelConfig,
+        faults: Option<&EpochFaultCtx>,
+        recovery: &mut RecoveryReport,
+    ) -> EpochReport {
         assert_eq!(model.kind, self.config.model.kind, "model kind mismatch");
         let cluster = &self.config.cluster;
+        let network = faults.map_or(cluster.network, |f| f.network);
         let k = cluster.machines;
         let mut counters = ClusterCounters::new(k);
         let mut phases = EpochPhases::default();
@@ -203,8 +265,15 @@ impl<'a> DistGnnEngine<'a> {
                 let fwd_flops = train_flops / 3;
                 let bwd_flops = train_flops - fwd_flops;
                 counters.machine_mut(view.machine).flops += train_flops;
-                max_fwd = max_fwd.max(compute_time(&cluster.machine, fwd_flops));
-                max_bwd = max_bwd.max(compute_time(&cluster.machine, bwd_flops));
+                let mut fwd = compute_time(&cluster.machine, fwd_flops);
+                let mut bwd = compute_time(&cluster.machine, bwd_flops);
+                if let Some(f) = faults {
+                    let cf = f.compute_factor[view.machine as usize];
+                    fwd /= cf;
+                    bwd /= cf;
+                }
+                max_fwd = max_fwd.max(fwd);
+                max_bwd = max_bwd.max(bwd);
             }
             phases.forward += max_fwd;
             phases.backward += max_bwd;
@@ -234,15 +303,31 @@ impl<'a> DistGnnEngine<'a> {
                 }
                 record_sync(&mut counters, &traffic);
                 let mut max_sync = 0.0f64;
+                let mut max_sync_lossless = 0.0f64;
                 for m in 0..k as usize {
-                    let t = transfer_time(
-                        &cluster.network,
-                        traffic.bytes_sent[m] + traffic.bytes_received[m],
-                        traffic.messages[m],
-                    );
+                    let bytes = traffic.bytes_sent[m] + traffic.bytes_received[m];
+                    let msgs = traffic.messages[m];
+                    let mut t = transfer_time(&network, bytes, msgs);
+                    if let Some(f) = faults {
+                        max_sync_lossless = max_sync_lossless.max(t);
+                        if f.loss_rate > 0.0 && msgs > 0 {
+                            let retries = expected_retries(msgs, f.loss_rate);
+                            let retry_bytes = bytes / msgs * retries;
+                            t += transfer_time(&network, retry_bytes, retries)
+                                + retry_backoff_secs(retries, network.latency_sec);
+                            recovery.retries += retries;
+                            recovery.retry_bytes += retry_bytes;
+                        }
+                    }
                     max_sync = max_sync.max(t);
                 }
                 phases.sync += max_sync;
+                // Wall-time cost of message loss = how much the
+                // straggler-gated sync grew over the lossless exchange
+                // (on the same, possibly degraded, network).
+                if faults.is_some() {
+                    recovery.retry_seconds += max_sync - max_sync_lossless;
+                }
             }
         }
 
@@ -251,15 +336,19 @@ impl<'a> DistGnnEngine<'a> {
         // bucketed gradient synchronisation), so only the excess over
         // the backward compute shows up as synchronisation time. ---
         let param_bytes = model_param_count(model) * 4;
-        let allreduce = gp_cluster::time::allreduce_time(&cluster.network, param_bytes, k);
+        let allreduce = gp_cluster::time::allreduce_time(&network, param_bytes, k);
         phases.sync += (allreduce - phases.backward).max(0.0);
         for m in 0..k {
             counters.machine_mut(m).send(param_bytes);
             counters.machine_mut(m).receive(param_bytes);
         }
-        // Adam: ~10 FLOPs per parameter.
+        // Adam: ~10 FLOPs per parameter. The step is synchronous, so the
+        // slowest (possibly degraded) machine gates it.
         let opt_flops = model_param_count(model) * 10;
         phases.optimizer = compute_time(&cluster.machine, opt_flops);
+        if let Some(f) = faults {
+            phases.optimizer /= f.min_compute_factor;
+        }
         for m in 0..k {
             counters.machine_mut(m).flops += opt_flops;
         }
@@ -276,6 +365,134 @@ impl<'a> DistGnnEngine<'a> {
         }
 
         EpochReport { phases, counters, memory, oom_machines }
+    }
+
+    /// Simulated wall time of one checkpoint: every machine persists the
+    /// model (parameters + optimiser moments) and its replica state to
+    /// local storage in parallel; the barrier waits for the largest
+    /// replica set.
+    pub fn checkpoint_seconds(&self, model: &ModelConfig) -> f64 {
+        let model_bytes = model_param_count(model) * 4 * 3;
+        let state = per_vertex_state_bytes(model);
+        self.views
+            .iter()
+            .map(|v| (model_bytes + v.num_local_vertices() * state) as f64 / CHECKPOINT_BW)
+            .fold(0.0, f64::max)
+    }
+
+    /// Run one epoch under a fault plan.
+    ///
+    /// * **Empty plan** — returns exactly [`DistGnnEngine::simulate_epoch`]
+    ///   with an all-zero [`RecoveryReport`]: bit-identical to the healthy
+    ///   baseline.
+    /// * **Slowdowns / degradation** — scale the phase times through the
+    ///   straggler rule; message loss shows up as retries.
+    /// * **Crashes** — the crashed partition is restored onto a
+    ///   replacement machine before the next epoch: vertices with
+    ///   surviving replicas are fetched over the network (recovery
+    ///   traffic ∝ replication factor — partitioning quality becomes
+    ///   fault-tolerance quality), the rest reload from the last
+    ///   checkpoint and the epochs since it are re-executed.
+    /// * **Checkpoints** — written every `checkpoint_every` epochs
+    ///   (config), priced by [`DistGnnEngine::checkpoint_seconds`].
+    ///
+    /// # Errors
+    ///
+    /// [`DistGnnError::WorkerFailed`] if a crash is unrecoverable (single
+    /// machine, no checkpointing); [`DistGnnError::RecoveryBudgetExceeded`]
+    /// if the accumulated overhead passes the plan's budget.
+    pub fn simulate_epoch_with_faults(
+        &self,
+        epoch: u32,
+        plan: &FaultPlan,
+    ) -> Result<FaultyEpochReport, DistGnnError> {
+        if plan.is_empty() {
+            return Ok(FaultyEpochReport {
+                report: self.simulate_epoch(),
+                recovery: RecoveryReport::default(),
+                crashed_machines: Vec::new(),
+            });
+        }
+        let model = self.config.model;
+        let cluster = &self.config.cluster;
+        let k = cluster.machines;
+        let mut recovery = RecoveryReport::default();
+        let compute_factor: Vec<f64> = (0..k).map(|m| plan.compute_factor(m, epoch)).collect();
+        let ctx = EpochFaultCtx {
+            network: plan.degraded_network(&cluster.network, epoch),
+            min_compute_factor: compute_factor.iter().copied().fold(1.0, f64::min),
+            compute_factor,
+            loss_rate: plan.loss_rate(epoch),
+        };
+        let mut report = self.simulate_epoch_inner(&model, Some(&ctx), &mut recovery);
+
+        if self.config.checkpoint_every > 0 && (epoch + 1) % self.config.checkpoint_every == 0 {
+            recovery.checkpoints += 1;
+            recovery.checkpoint_seconds += self.checkpoint_seconds(&model);
+        }
+
+        let state = per_vertex_state_bytes(&model);
+        let mut crashed_machines = Vec::new();
+        for (machine, step_frac) in plan.crashes_in_epoch(epoch) {
+            if machine >= k {
+                continue;
+            }
+            if k == 1 && self.config.checkpoint_every == 0 {
+                return Err(DistGnnError::WorkerFailed { machine, epoch });
+            }
+            recovery.crashes += 1;
+            crashed_machines.push(machine);
+
+            // Replicated vertices: fetch current state from one surviving
+            // replica each (lowest machine id — deterministic).
+            let view = &self.views[machine as usize];
+            let mut replica_bytes = 0u64;
+            let mut sources = 0u64;
+            let mut unreplicated = 0u64;
+            for &v in &view.local_vertices {
+                let mask = self.partition.replica_mask(v) & !(1u64 << machine);
+                if mask != 0 {
+                    let src = mask.trailing_zeros();
+                    replica_bytes += state;
+                    report.counters.machine_mut(src).send(state);
+                    report.counters.machine_mut(machine).receive(state);
+                    sources |= 1u64 << src;
+                } else {
+                    unreplicated += 1;
+                }
+            }
+            recovery.recovery_bytes += replica_bytes;
+            recovery.restore_seconds +=
+                transfer_time(&ctx.network, replica_bytes, u64::from(sources.count_ones()))
+                    + (unreplicated * state) as f64 / CHECKPOINT_BW;
+
+            // Unreplicated state only exists in the last checkpoint, so
+            // everything since it (plus the partial epoch in flight) is
+            // re-executed; with full replica coverage only the partial
+            // epoch is lost.
+            let lost = if unreplicated > 0 {
+                let since_ckpt = if self.config.checkpoint_every > 0 {
+                    epoch % self.config.checkpoint_every
+                } else {
+                    epoch
+                };
+                f64::from(since_ckpt) + step_frac
+            } else {
+                step_frac
+            };
+            recovery.lost_progress_epochs += lost;
+            recovery.reexecuted_steps += lost.ceil() as u64;
+            recovery.reexecution_seconds += lost * report.epoch_time();
+        }
+
+        let overhead = recovery.total_overhead_seconds();
+        if overhead > plan.recovery_budget_secs {
+            return Err(DistGnnError::RecoveryBudgetExceeded {
+                budget_secs: plan.recovery_budget_secs,
+                needed_secs: overhead,
+            });
+        }
+        Ok(FaultyEpochReport { report, recovery, crashed_machines })
     }
 }
 
@@ -402,6 +619,164 @@ mod tests {
         assert!(matches!(
             DistGnnEngine::new(&g, &random, c),
             Err(DistGnnError::InvalidConfig(_))
+        ));
+    }
+
+    fn crash_plan(machine: u32, epoch: u32, step_frac: f64) -> FaultPlan {
+        FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Crash { machine, epoch, step_frac }],
+            machines: 8,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn empty_plan_bit_identical_to_baseline() {
+        let (g, random, _) = setup(8);
+        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 3)).unwrap();
+        let base = engine.simulate_epoch();
+        let faulty = engine.simulate_epoch_with_faults(0, &FaultPlan::empty()).unwrap();
+        assert_eq!(faulty.report.phases, base.phases);
+        assert_eq!(faulty.report.counters, base.counters);
+        assert_eq!(faulty.report.memory, base.memory);
+        assert_eq!(faulty.report.oom_machines, base.oom_machines);
+        assert_eq!(faulty.recovery, RecoveryReport::default());
+        assert!(faulty.crashed_machines.is_empty());
+    }
+
+    #[test]
+    fn same_plan_identical_results() {
+        let (g, random, _) = setup(8);
+        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let plan =
+            FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 10, 3.0, 0xfa11));
+        for epoch in 0..10 {
+            let a = engine.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            let b = engine.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            assert_eq!(a.report.phases, b.report.phases);
+            assert_eq!(a.report.counters, b.report.counters);
+            assert_eq!(a.recovery, b.recovery);
+        }
+    }
+
+    #[test]
+    fn recovery_traffic_ordered_by_replication_factor() {
+        // The acceptance criterion: lower RF ⇒ fewer replicated vertices
+        // on the crashed machine ⇒ less replica-restore traffic. Sum over
+        // crashing every machine once so the ordering does not hinge on
+        // one partition's layout.
+        let (g, random, hep) = setup(8);
+        let c = cfg(8, 64, 64, 3);
+        let e_rand = DistGnnEngine::new(&g, &random, c).unwrap();
+        let e_hep = DistGnnEngine::new(&g, &hep, c).unwrap();
+        assert!(
+            hep.replication_factor() < random.replication_factor(),
+            "test premise: HEP replicates less than Random"
+        );
+        let total = |e: &DistGnnEngine| -> u64 {
+            (0..8u32)
+                .map(|m| {
+                    e.simulate_epoch_with_faults(1, &crash_plan(m, 1, 0.5))
+                        .unwrap()
+                        .recovery
+                        .recovery_bytes
+                })
+                .sum()
+        };
+        let rand_bytes = total(&e_rand);
+        let hep_bytes = total(&e_hep);
+        assert!(
+            hep_bytes < rand_bytes,
+            "HEP (lower RF) recovery {hep_bytes} >= Random {rand_bytes}"
+        );
+    }
+
+    #[test]
+    fn checkpointing_bounds_lost_progress() {
+        let (g, random, _) = setup(8);
+        let mut c = cfg(8, 64, 64, 2);
+        let no_ckpt =
+            DistGnnEngine::new(&g, &random, c).unwrap();
+        c.checkpoint_every = 2;
+        let with_ckpt = DistGnnEngine::new(&g, &random, c).unwrap();
+        let plan = crash_plan(3, 7, 0.25);
+        let lost_none = no_ckpt.simulate_epoch_with_faults(7, &plan).unwrap().recovery;
+        let lost_ckpt = with_ckpt.simulate_epoch_with_faults(7, &plan).unwrap().recovery;
+        // Without checkpoints a crash at epoch 7 replays from scratch;
+        // with a period of 2 at most ~2 epochs replay.
+        assert!(lost_none.lost_progress_epochs > 7.0);
+        assert!(lost_ckpt.lost_progress_epochs <= 2.0);
+        assert!(lost_ckpt.reexecution_seconds < lost_none.reexecution_seconds);
+        // The checkpointing run pays for checkpoints instead.
+        let healthy = with_ckpt
+            .simulate_epoch_with_faults(1, &crash_plan(3, 7, 0.25))
+            .unwrap()
+            .recovery;
+        assert_eq!(healthy.checkpoints, 1, "epoch 1 ends a period-2 window");
+        assert!(healthy.checkpoint_seconds > 0.0);
+    }
+
+    #[test]
+    fn slowdown_and_degradation_stretch_phases() {
+        let (g, random, _) = setup(8);
+        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let base = engine.simulate_epoch();
+        let plan = FaultPlan {
+            events: vec![
+                gp_cluster::FaultEvent::Slowdown {
+                    machine: 0,
+                    from_epoch: 0,
+                    until_epoch: 1,
+                    factor: 0.5,
+                },
+                gp_cluster::FaultEvent::Degradation {
+                    from_epoch: 0,
+                    until_epoch: 1,
+                    bandwidth_factor: 0.5,
+                    loss_rate: 0.1,
+                },
+            ],
+            machines: 8,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        let faulty = engine.simulate_epoch_with_faults(0, &plan).unwrap();
+        assert!(faulty.report.phases.forward > base.phases.forward);
+        assert!(faulty.report.phases.sync > base.phases.sync);
+        assert!(faulty.recovery.retries > 0);
+        assert!(faulty.recovery.retry_seconds > 0.0);
+        // Out of the window the same plan costs nothing extra.
+        let healthy = engine.simulate_epoch_with_faults(5, &plan).unwrap();
+        assert_eq!(healthy.report.phases, base.phases);
+    }
+
+    #[test]
+    fn recovery_budget_enforced() {
+        let (g, random, _) = setup(8);
+        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let mut plan = crash_plan(0, 4, 0.5);
+        plan.recovery_budget_secs = 1e-12;
+        assert!(matches!(
+            engine.simulate_epoch_with_faults(4, &plan),
+            Err(DistGnnError::RecoveryBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn single_machine_crash_unrecoverable_without_checkpoints() {
+        let (g, _, _) = setup(8);
+        let random = RandomEdgePartitioner.partition_edges(&g, 1, 1).unwrap();
+        let engine = DistGnnEngine::new(&g, &random, cfg(1, 16, 16, 2)).unwrap();
+        let plan = FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Crash { machine: 0, epoch: 2, step_frac: 0.5 }],
+            machines: 1,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        assert!(matches!(
+            engine.simulate_epoch_with_faults(2, &plan),
+            Err(DistGnnError::WorkerFailed { machine: 0, epoch: 2 })
         ));
     }
 

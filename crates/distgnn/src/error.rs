@@ -17,6 +17,21 @@ pub enum DistGnnError {
     UnsupportedModel(String),
     /// Invalid configuration value.
     InvalidConfig(String),
+    /// A machine crashed and its state cannot be recovered (no
+    /// surviving replicas and checkpointing disabled).
+    WorkerFailed {
+        /// The crashed machine.
+        machine: u32,
+        /// Epoch of the crash.
+        epoch: u32,
+    },
+    /// Cumulative recovery overhead exceeded the plan's budget.
+    RecoveryBudgetExceeded {
+        /// The configured budget in simulated seconds.
+        budget_secs: f64,
+        /// The overhead actually accumulated.
+        needed_secs: f64,
+    },
 }
 
 impl fmt::Display for DistGnnError {
@@ -30,6 +45,13 @@ impl fmt::Display for DistGnnError {
                 write!(f, "unsupported model for DistGNN: {m} (only GraphSage)")
             }
             DistGnnError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            DistGnnError::WorkerFailed { machine, epoch } => {
+                write!(f, "machine {machine} failed at epoch {epoch} and cannot be recovered")
+            }
+            DistGnnError::RecoveryBudgetExceeded { budget_secs, needed_secs } => write!(
+                f,
+                "recovery overhead {needed_secs:.3}s exceeds budget {budget_secs:.3}s"
+            ),
         }
     }
 }

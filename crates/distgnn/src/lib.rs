@@ -18,6 +18,12 @@
 //!   same quantities analytically without touching floats, fast enough
 //!   to sweep the paper's full hyper-parameter grid at `hidden = 512`.
 //!
+//! [`DistGnnEngine::simulate_epoch_with_faults`] runs the cost model
+//! under a seeded `gp_cluster::FaultPlan`: periodic checkpointing,
+//! replica-based crash recovery (recovery traffic ∝ replication factor),
+//! transient stragglers and lossy links. An empty plan reproduces the
+//! healthy baseline bit-for-bit.
+//!
 //! Work attribution per machine `m`, per layer:
 //!
 //! * aggregation FLOPs ∝ edges assigned to `m`,
@@ -37,7 +43,7 @@ pub mod sync;
 pub mod train;
 pub mod view;
 
-pub use engine::{DistGnnConfig, DistGnnEngine, EpochPhases, EpochReport};
+pub use engine::{DistGnnConfig, DistGnnEngine, EpochPhases, EpochReport, FaultyEpochReport};
 pub use error::DistGnnError;
 pub use memory::MemoryBreakdown;
 pub use train::TrainStats;
