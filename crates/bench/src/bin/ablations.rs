@@ -10,10 +10,16 @@
 //! * `cdr` — DistGNN cd-r delayed aggregation (sync every r epochs).
 //! * `faults` — recovery overhead per partitioner under seeded fault
 //!   injection (crashes + stragglers + brownouts; extension).
+//! * `mitigation` — mitigated vs unmitigated epoch time per partitioner
+//!   under a crash-free straggler/brownout stress schedule (extension).
 //!
 //! ```text
 //! cargo run -p gp-bench --release --bin ablations -- all
 //! ```
+//!
+//! `--quick` shrinks the fault/mitigation ablations to a tiny-scale
+//! smoke configuration (CSVs land in `results/ablations-quick` so the
+//! committed full-scale results stay untouched).
 
 use gp_bench::Ctx;
 use gp_cluster::{ClusterSpec, NetworkSpec};
@@ -26,9 +32,16 @@ use gp_partition::prelude::*;
 use gp_tensor::ModelKind;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
     let which = args.first().map(String::as_str).unwrap_or("all");
-    let ctx = Ctx::new(GraphScale::Small, "results/ablations".into());
+    let (scale, out_dir) = if quick {
+        (GraphScale::Tiny, "results/ablations-quick")
+    } else {
+        (GraphScale::Small, "results/ablations")
+    };
+    let ctx = Ctx::new(scale, out_dir.into());
     match which {
         "hdrf-lambda" => hdrf_lambda(&ctx),
         "hep-tau" => hep_tau(&ctx),
@@ -38,7 +51,8 @@ fn main() {
         "greedy" => greedy(&ctx),
         "extensions" => extensions(&ctx),
         "cdr" => cdr(&ctx),
-        "faults" => faults(&ctx),
+        "faults" => faults(&ctx, quick),
+        "mitigation" => mitigation(&ctx, quick),
         "all" => {
             hdrf_lambda(&ctx);
             hep_tau(&ctx);
@@ -48,12 +62,14 @@ fn main() {
             greedy(&ctx);
             extensions(&ctx);
             cdr(&ctx);
-            faults(&ctx);
+            faults(&ctx, quick);
+            mitigation(&ctx, quick);
         }
         other => {
             eprintln!(
                 "unknown ablation {other:?} \
-                 (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|all)"
+                 (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|\
+                 mitigation|all) [--quick]"
             );
             std::process::exit(2);
         }
@@ -278,17 +294,18 @@ fn extensions(ctx: &Ctx) {
 /// the paper trains on healthy clusters only). Better partitions keep
 /// their edge under faults too: recovery traffic scales with the
 /// replication factor (DistGNN) / redistributed training set (DistDGL).
-fn faults(ctx: &Ctx) {
+fn faults(ctx: &Ctx, quick: bool) {
     use gp_core::fault_sweep::{distdgl_fault_sweep, distgnn_fault_sweep, fault_sweep_table};
     let graph = ctx.graph(DatasetId::OR);
-    let mtbfs = [2.0, 5.0, 10.0];
-    let parts = ctx.edge_partitions(DatasetId::OR, 16);
+    let mtbfs: &[f64] = if quick { &[2.0] } else { &[2.0, 5.0, 10.0] };
+    let (k, epochs) = if quick { (8, 4) } else { (16, 10) };
+    let parts = ctx.edge_partitions(DatasetId::OR, k);
     let rows =
-        distgnn_fault_sweep(&graph, &parts, PaperParams::middle(), 10, &mtbfs, 2, 0xfa11);
+        distgnn_fault_sweep(&graph, &parts, PaperParams::middle(), epochs, mtbfs, 2, 0xfa11);
     ctx.emit(&fault_sweep_table("ablation_faults_distgnn", &rows));
 
     let split = ctx.split(DatasetId::OR);
-    let vparts = ctx.vertex_partitions(DatasetId::OR, 16);
+    let vparts = ctx.vertex_partitions(DatasetId::OR, k);
     let rows = distdgl_fault_sweep(
         &graph,
         &split,
@@ -296,11 +313,58 @@ fn faults(ctx: &Ctx) {
         PaperParams::middle(),
         ModelKind::Sage,
         1024,
-        10,
-        &mtbfs,
+        epochs,
+        mtbfs,
         0xfa11,
     );
     ctx.emit(&fault_sweep_table("ablation_faults_distdgl", &rows));
+}
+
+/// Straggler mitigation: mitigated vs unmitigated simulated epoch time
+/// per partitioner under a crash-free stress schedule of deep slowdowns
+/// (4× for three epochs) and network brownouts (extension). DistGNN
+/// runs the adaptive cd-r + master-rebalancing policy; DistDGL compares
+/// work stealing, speculative re-execution, and both combined. Both
+/// runs of each cell replay the identical seeded `FaultPlan`, so the
+/// difference is exactly the mitigation layer's effect.
+fn mitigation(ctx: &Ctx, quick: bool) {
+    use gp_cluster::MitigationPolicy;
+    use gp_core::fault_sweep::{
+        distdgl_mitigation_sweep, distgnn_mitigation_sweep, mitigation_stress_spec,
+        mitigation_sweep_table,
+    };
+    let (k, epochs) = if quick { (8, 6) } else { (16, 12) };
+    let graph = ctx.graph(DatasetId::OR);
+    let spec = mitigation_stress_spec(k, epochs, 0x517a11);
+    let parts = ctx.edge_partitions(DatasetId::OR, k);
+    let rows = distgnn_mitigation_sweep(
+        &graph,
+        &parts,
+        PaperParams::middle(),
+        &spec,
+        2,
+        MitigationPolicy::adaptive(),
+    );
+    ctx.emit(&mitigation_sweep_table("ablation_mitigation_distgnn", &rows));
+
+    let split = ctx.split(DatasetId::OR);
+    let vparts = ctx.vertex_partitions(DatasetId::OR, k);
+    let mut rows = Vec::new();
+    for policy in
+        [MitigationPolicy::steal(), MitigationPolicy::speculate(), MitigationPolicy::all()]
+    {
+        rows.extend(distdgl_mitigation_sweep(
+            &graph,
+            &split,
+            &vparts,
+            PaperParams::middle(),
+            ModelKind::Sage,
+            1024,
+            &spec,
+            policy,
+        ));
+    }
+    ctx.emit(&mitigation_sweep_table("ablation_mitigation_distdgl", &rows));
 }
 
 /// DistGNN cd-r: per-epoch sync cost vs the sync period (extension;

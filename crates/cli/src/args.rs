@@ -48,6 +48,10 @@ COMMANDS:
         --checkpoint-every N        DistGNN checkpoint period in epochs
                                     (default 0 = no checkpoints)
         --fault-seed N              fault-schedule seed (default 42)
+        --mitigate MODE             straggler mitigation, with --faults:
+                                    none|steal|speculate|adaptive|all
+                                    (default none; steal/speculate are
+                                    DistDGL, adaptive cd-r is DistGNN)
     list                        list the 12 partitioners
     help                        this text
 ";
@@ -139,6 +143,9 @@ pub struct SimulateCmd {
     pub checkpoint_every: u32,
     /// Seed of the fault schedule.
     pub fault_seed: u64,
+    /// Mitigation mode (`none|steal|speculate|adaptive|all`), validated
+    /// at parse time against [`gp_cluster::MitigationPolicy::parse`].
+    pub mitigate: String,
 }
 
 /// Options of `gnnpart recommend`.
@@ -309,6 +316,7 @@ fn parse_simulate(opts: &mut Opts) -> Result<Command, ParseError> {
         epochs: 10,
         checkpoint_every: 0,
         fault_seed: 42,
+        mitigate: "none".into(),
     };
     while let Some(flag) = opts.next() {
         let numeric = |opts: &mut Opts, flag: &str| -> Result<usize, ParseError> {
@@ -342,6 +350,16 @@ fn parse_simulate(opts: &mut Opts) -> Result<Command, ParseError> {
                     .value_for("--fault-seed")?
                     .parse()
                     .map_err(|e| ParseError(format!("bad --fault-seed: {e}")))?;
+            }
+            "--mitigate" => {
+                let mode = opts.value_for("--mitigate")?;
+                if gp_cluster::MitigationPolicy::parse(&mode).is_none() {
+                    return err(format!(
+                        "unknown mitigation mode {mode:?} \
+                         (none|steal|speculate|adaptive|all)"
+                    ));
+                }
+                cmd.mitigate = mode;
             }
             other => return err(format!("unknown option {other:?}")),
         }
@@ -448,13 +466,14 @@ mod tests {
         assert_eq!(c.epochs, 10);
         assert_eq!(c.checkpoint_every, 0);
         assert_eq!(c.fault_seed, 42);
+        assert_eq!(c.mitigate, "none", "mitigation off by default");
     }
 
     #[test]
     fn simulate_fault_options() {
         let Command::Simulate(c) = parse(&[
             "simulate", "g.el", "--faults", "--mtbf", "3.5", "--epochs", "20",
-            "--checkpoint-every", "4", "--fault-seed", "7",
+            "--checkpoint-every", "4", "--fault-seed", "7", "--mitigate", "all",
         ])
         .unwrap() else {
             panic!("wrong command");
@@ -464,6 +483,31 @@ mod tests {
         assert_eq!(c.epochs, 20);
         assert_eq!(c.checkpoint_every, 4);
         assert_eq!(c.fault_seed, 7);
+        assert_eq!(c.mitigate, "all");
+    }
+
+    #[test]
+    fn simulate_accepts_every_mitigation_mode() {
+        for mode in ["none", "steal", "speculate", "adaptive", "all"] {
+            let Command::Simulate(c) =
+                parse(&["simulate", "g.el", "--faults", "--mitigate", mode]).unwrap()
+            else {
+                panic!("wrong command");
+            };
+            assert_eq!(c.mitigate, mode);
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_bad_mitigation_mode() {
+        assert!(parse(&["simulate", "g.el", "--mitigate", "wishful"])
+            .unwrap_err()
+            .0
+            .contains("unknown mitigation mode"));
+        assert!(parse(&["simulate", "g.el", "--mitigate"])
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
     }
 
     #[test]

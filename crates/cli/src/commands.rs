@@ -4,7 +4,9 @@ use std::error::Error;
 use std::io::Write;
 use std::path::Path;
 
-use gp_cluster::{ClusterSpec, FaultPlan, FaultSpec, RecoveryReport};
+use gp_cluster::{
+    ClusterSpec, FaultPlan, FaultSpec, MitigationPolicy, MitigationReport, RecoveryReport,
+};
 use gp_core::registry;
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
@@ -57,7 +59,11 @@ pub fn stats(cmd: StatsCmd) -> CmdResult {
         let (_, components) = algo::connected_components(&graph);
         println!("components:    {components}");
         println!("largest comp:  {}", algo::largest_component_size(&graph));
-        println!("diameter >=:   {}", algo::diameter_lower_bound(&graph, 0));
+        // Seed the double sweep inside the largest component: vertex 0
+        // may be isolated, whose eccentricity says nothing about the
+        // graph's diameter.
+        let seed = algo::largest_component_vertex(&graph).unwrap_or(0);
+        println!("diameter >=:   {}", algo::diameter_lower_bound(&graph, seed));
         println!("clustering:    {:.4}", algo::clustering_coefficient(&graph, 500));
     }
     Ok(())
@@ -114,6 +120,12 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
     let graph = load(&cmd.input, cmd.directed)?;
     let kind = ModelKind::parse(&cmd.model)
         .ok_or_else(|| format!("unknown model {:?} (sage|gcn|gat)", cmd.model))?;
+    let policy = MitigationPolicy::parse(&cmd.mitigate).ok_or_else(|| {
+        format!(
+            "unknown mitigation mode {:?} (none|steal|speculate|adaptive|all)",
+            cmd.mitigate
+        )
+    })?;
     let model = ModelConfig {
         kind,
         feature_dim: cmd.features,
@@ -135,12 +147,26 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
             if cmd.faults {
                 let plan = fault_plan(&cmd);
                 let mut recovery = RecoveryReport::default();
+                let mut mitigation = MitigationReport::default();
+                let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
                 let mut total = 0.0;
                 for epoch in 0..cmd.epochs {
-                    match engine.simulate_epoch_with_faults(epoch, &plan) {
+                    let result = match session.as_mut() {
+                        Some(s) => engine.simulate_epoch_mitigated(epoch, &plan, s),
+                        None => engine.simulate_epoch_with_faults(epoch, &plan).map(|r| {
+                            gp_distgnn::MitigatedEpochReport {
+                                report: r.report,
+                                recovery: r.recovery,
+                                crashed_machines: r.crashed_machines,
+                                mitigation: MitigationReport::default(),
+                            }
+                        }),
+                    };
+                    match result {
                         Ok(r) => {
                             total += r.report.epoch_time();
                             recovery.merge(&r.recovery);
+                            mitigation.merge(&r.mitigation);
                             let note = if r.crashed_machines.is_empty() {
                                 String::new()
                             } else {
@@ -158,6 +184,9 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
                     }
                 }
                 print_recovery(total, &recovery);
+                if session.is_some() {
+                    print_mitigation(&cmd.mitigate, &mitigation);
+                }
             } else {
                 let report = engine.simulate_epoch();
                 println!("epoch time:         {:.3} ms", report.epoch_time() * 1e3);
@@ -187,12 +216,26 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
             if cmd.faults {
                 let plan = fault_plan(&cmd);
                 let mut recovery = RecoveryReport::default();
+                let mut mitigation = MitigationReport::default();
+                let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
                 let mut total = 0.0;
                 for epoch in 0..cmd.epochs {
-                    match engine.simulate_epoch_with_faults(epoch, &plan) {
+                    let result = match session.as_mut() {
+                        Some(s) => engine.simulate_epoch_mitigated(epoch, &plan, s),
+                        None => engine.simulate_epoch_with_faults(epoch, &plan).map(|r| {
+                            gp_distdgl::MitigatedEpochSummary {
+                                summary: r.summary,
+                                recovery: r.recovery,
+                                mitigation: MitigationReport::default(),
+                                failed_workers: r.failed_workers,
+                            }
+                        }),
+                    };
+                    match result {
                         Ok(r) => {
                             total += r.summary.epoch_time();
                             recovery.merge(&r.recovery);
+                            mitigation.merge(&r.mitigation);
                             let note = if r.failed_workers.is_empty() {
                                 String::new()
                             } else {
@@ -211,6 +254,9 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
                     }
                 }
                 print_recovery(total, &recovery);
+                if session.is_some() {
+                    print_mitigation(&cmd.mitigate, &mitigation);
+                }
             } else {
                 let summary = engine.simulate_epoch(0);
                 println!("steps/epoch:     {}", summary.steps);
@@ -254,6 +300,28 @@ fn print_recovery(total_secs: f64, r: &RecoveryReport) {
         r.recovery_bytes as f64 / 1e6
     );
     println!("  redistributed:    {} training vertices", r.redistributed_train_vertices);
+}
+
+fn print_mitigation(mode: &str, m: &MitigationReport) {
+    println!("mitigation ({mode}):  {:.3} ms saved", m.time_saved_secs * 1e3);
+    println!(
+        "  stolen:           {} steps, {:.2} MB re-fetched",
+        m.stolen_steps,
+        m.stolen_bytes as f64 / 1e6
+    );
+    println!(
+        "  speculated:       {} steps ({} won, {:.3} ms wasted)",
+        m.speculated_steps,
+        m.speculation_wins,
+        m.speculation_wasted_secs * 1e3
+    );
+    println!("  sync changes:     {}", m.sync_period_changes);
+    println!(
+        "  masters moved:    {} ({:.2} MB, {:.3} ms)",
+        m.masters_migrated,
+        m.migration_bytes as f64 / 1e6,
+        m.migration_seconds * 1e3
+    );
 }
 
 /// `gnnpart recommend`.
@@ -371,6 +439,7 @@ mod tests {
             epochs: 10,
             checkpoint_every: 0,
             fault_seed: 42,
+            mitigate: "none".into(),
         }
     }
 
@@ -408,6 +477,36 @@ mod tests {
         c.mtbf = 3.0;
         c.epochs = 4;
         simulate(c).unwrap();
+        let _ = std::fs::remove_file(el);
+    }
+
+    #[test]
+    fn simulate_mitigated_both_systems() {
+        let el = tmp("m.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        let mut c = sim_cmd(&el, "HDRF", "distgnn", "sage");
+        c.faults = true;
+        c.mtbf = 4.0;
+        c.epochs = 6;
+        c.checkpoint_every = 2;
+        c.mitigate = "adaptive".into();
+        simulate(c).unwrap();
+        let mut c = sim_cmd(&el, "METIS", "distdgl", "sage");
+        c.faults = true;
+        c.mtbf = 4.0;
+        c.epochs = 4;
+        c.mitigate = "all".into();
+        simulate(c).unwrap();
+        // An unknown mode survives parsing only via direct construction;
+        // the command layer still rejects it.
+        let mut c = sim_cmd(&el, "METIS", "distdgl", "sage");
+        c.mitigate = "wishful".into();
+        assert!(simulate(c).is_err());
         let _ = std::fs::remove_file(el);
     }
 

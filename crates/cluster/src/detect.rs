@@ -1,0 +1,591 @@
+//! Online straggler / network-degradation detection.
+//!
+//! The mitigation layer needs to *notice* misbehaviour before it can
+//! react: a flagged straggler lets DistDGL steal its remaining
+//! mini-batch work and DistGNN migrate its master replicas; a flagged
+//! network brownout lets DistGNN lengthen its cd-r sync period. Both
+//! engines already compute per-phase times per machine — this module
+//! turns those streams into flags, deterministically.
+//!
+//! Detection rule (per observation round):
+//!
+//! 1. **EWMA baseline per machine** — each machine's own smoothed
+//!    history. Comparing a machine against *itself* means a machine
+//!    that is persistently slow because its partition is larger (the
+//!    paper's balance axis) is *not* a straggler; only departures from
+//!    its own baseline count.
+//! 2. **Median-of-workers outlier rule** — a machine is *hot* when its
+//!    elevation over its own baseline exceeds `outlier_ratio` times the
+//!    median elevation across workers. Normalising by the median makes
+//!    cluster-wide shifts (a bigger model, a global slowdown) invisible;
+//!    only *relative* outliers fire.
+//! 3. **Hysteresis** — `trigger_after` consecutive hot rounds raise the
+//!    flag, `clear_after` consecutive cool rounds lower it, so a single
+//!    noisy round never triggers (or cancels) mitigation.
+//!
+//! The baseline is frozen while a machine is hot so the anomaly is not
+//! absorbed into it (a straggler would otherwise "become the new
+//! normal" and unflag itself).
+//!
+//! Everything here is pure arithmetic over the observed streams: same
+//! observations ⇒ same flags, bit for bit. With an empty fault plan the
+//! engines never even construct a detector, so healthy runs stay
+//! bit-identical to the pre-mitigation baseline.
+
+/// Tuning knobs of a [`StragglerDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// EWMA smoothing factor in `(0, 1]` (weight of the newest sample).
+    pub ewma_alpha: f64,
+    /// A machine is hot when its elevation exceeds this multiple of the
+    /// median elevation across workers.
+    pub outlier_ratio: f64,
+    /// Consecutive hot rounds before a machine is flagged.
+    pub trigger_after: u32,
+    /// Consecutive cool rounds before a flag clears.
+    pub clear_after: u32,
+    /// The network is hot when the communication-time elevation over
+    /// its own baseline exceeds this ratio.
+    pub degraded_ratio: f64,
+    /// Flagged rounds after which a straggler counts as *persistent*
+    /// (DistGNN migrates masters away only then — migration is paid
+    /// once, so it must not chase transients).
+    pub persist_rounds: u32,
+}
+
+impl DetectorConfig {
+    /// Defaults for per-step observation streams (DistDGL: hundreds of
+    /// rounds per epoch, so hysteresis is cheap and blips are frequent).
+    pub fn per_step() -> Self {
+        DetectorConfig {
+            ewma_alpha: 0.2,
+            outlier_ratio: 1.4,
+            trigger_after: 3,
+            clear_after: 3,
+            degraded_ratio: 1.4,
+            persist_rounds: 40,
+        }
+    }
+
+    /// Defaults for per-epoch observation streams (DistGNN: one round
+    /// per epoch, already integrated over the full graph, so a single
+    /// elevated round is meaningful and reaction must be fast).
+    pub fn per_epoch() -> Self {
+        DetectorConfig {
+            ewma_alpha: 0.4,
+            outlier_ratio: 1.3,
+            trigger_after: 1,
+            clear_after: 1,
+            degraded_ratio: 1.2,
+            persist_rounds: 2,
+        }
+    }
+}
+
+/// Online straggler / degradation detector. See the module docs for the
+/// rule; construct one per training run and feed it every round.
+#[derive(Debug, Clone)]
+pub struct StragglerDetector {
+    cfg: DetectorConfig,
+    /// Per-machine EWMA baseline of observed times (None until first
+    /// observation).
+    ewma: Vec<Option<f64>>,
+    /// Last observed elevation over the baseline (1.0 = nominal).
+    elevation: Vec<f64>,
+    hot_streak: Vec<u32>,
+    cold_streak: Vec<u32>,
+    flagged: Vec<bool>,
+    /// Rounds the machine has spent flagged (0 when clear).
+    flagged_rounds: Vec<u32>,
+    net_ewma: Option<f64>,
+    net_hot: u32,
+    net_cold: u32,
+    net_flagged: bool,
+}
+
+impl StragglerDetector {
+    /// A fresh detector for `machines` machines.
+    pub fn new(machines: u32, cfg: DetectorConfig) -> Self {
+        let n = machines as usize;
+        StragglerDetector {
+            cfg,
+            ewma: vec![None; n],
+            elevation: vec![1.0; n],
+            hot_streak: vec![0; n],
+            cold_streak: vec![0; n],
+            flagged: vec![false; n],
+            flagged_rounds: vec![0; n],
+            net_ewma: None,
+            net_hot: 0,
+            net_cold: 0,
+            net_flagged: false,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.cfg
+    }
+
+    /// Feed one round of per-machine times (all machines active).
+    pub fn observe_compute(&mut self, times: &[f64]) {
+        let active = vec![true; times.len()];
+        self.observe_compute_active(times, &active);
+    }
+
+    /// Feed one round of per-machine times; inactive machines (crashed
+    /// workers with nothing to do) are excluded from the median and
+    /// their state cools down, so their near-zero times cannot skew the
+    /// outlier rule against the survivors.
+    pub fn observe_compute_active(&mut self, times: &[f64], active: &[bool]) {
+        assert_eq!(times.len(), self.ewma.len(), "machine count mismatch");
+        assert_eq!(active.len(), self.ewma.len(), "machine count mismatch");
+        let mut elevations = Vec::with_capacity(times.len());
+        for m in 0..times.len() {
+            let e = match self.ewma[m] {
+                Some(base) if base > 0.0 && active[m] => times[m] / base,
+                _ => 1.0,
+            };
+            self.elevation[m] = if active[m] { e } else { 1.0 };
+            if active[m] {
+                elevations.push(e);
+            }
+        }
+        let med = median(&mut elevations).max(1e-12);
+        for m in 0..times.len() {
+            let hot = active[m] && self.elevation[m] > self.cfg.outlier_ratio * med.max(1.0);
+            self.step_machine(m, hot);
+            // The baseline absorbs only normal rounds: a hot round left
+            // in the EWMA would make the straggler its own new normal.
+            if active[m] && !hot {
+                self.ewma[m] = Some(match self.ewma[m] {
+                    Some(base) => {
+                        self.cfg.ewma_alpha * times[m] + (1.0 - self.cfg.ewma_alpha) * base
+                    }
+                    None => times[m],
+                });
+            }
+        }
+    }
+
+    fn step_machine(&mut self, m: usize, hot: bool) {
+        if hot {
+            self.hot_streak[m] += 1;
+            self.cold_streak[m] = 0;
+            if self.hot_streak[m] >= self.cfg.trigger_after {
+                self.flagged[m] = true;
+            }
+        } else {
+            self.cold_streak[m] += 1;
+            self.hot_streak[m] = 0;
+            if self.cold_streak[m] >= self.cfg.clear_after {
+                self.flagged[m] = false;
+            }
+        }
+        if self.flagged[m] {
+            self.flagged_rounds[m] += 1;
+        } else {
+            self.flagged_rounds[m] = 0;
+        }
+    }
+
+    /// Feed one round of cluster-wide communication time (e.g. the sync
+    /// phase): the network-degradation stream.
+    pub fn observe_network(&mut self, comm_secs: f64) {
+        let e = match self.net_ewma {
+            Some(base) if base > 0.0 => comm_secs / base,
+            _ => 1.0,
+        };
+        let hot = e > self.cfg.degraded_ratio;
+        if hot {
+            self.net_hot += 1;
+            self.net_cold = 0;
+            if self.net_hot >= self.cfg.trigger_after {
+                self.net_flagged = true;
+            }
+        } else {
+            self.net_cold += 1;
+            self.net_hot = 0;
+            if self.net_cold >= self.cfg.clear_after {
+                self.net_flagged = false;
+            }
+            self.net_ewma = Some(match self.net_ewma {
+                Some(base) => self.cfg.ewma_alpha * comm_secs + (1.0 - self.cfg.ewma_alpha) * base,
+                None => comm_secs,
+            });
+        }
+    }
+
+    /// Whether `machine` is currently flagged as a straggler.
+    pub fn is_straggler(&self, machine: u32) -> bool {
+        self.flagged[machine as usize]
+    }
+
+    /// All currently flagged machines, ascending.
+    pub fn stragglers(&self) -> Vec<u32> {
+        (0..self.flagged.len() as u32).filter(|&m| self.flagged[m as usize]).collect()
+    }
+
+    /// How long `machine` has been flagged, in rounds (0 when clear).
+    pub fn flagged_rounds(&self, machine: u32) -> u32 {
+        self.flagged_rounds[machine as usize]
+    }
+
+    /// Last observed elevation of `machine` over its own baseline
+    /// (≈ the inverse of its compute factor; 1.0 = nominal). Mitigation
+    /// uses this as the detector's *estimate* of how slow a straggler
+    /// is — it never peeks at the fault plan.
+    pub fn elevation(&self, machine: u32) -> f64 {
+        self.elevation[machine as usize]
+    }
+
+    /// Whether the network is currently flagged as degraded.
+    pub fn network_degraded(&self) -> bool {
+        self.net_flagged
+    }
+
+    /// Detector-derived deadline for one round: `outlier_ratio` times
+    /// the median per-machine baseline. A worker whose sampled duration
+    /// exceeds this is a candidate for speculative re-execution. `None`
+    /// until at least one baseline exists.
+    pub fn deadline(&self) -> Option<f64> {
+        let mut bases: Vec<f64> = self.ewma.iter().filter_map(|b| *b).collect();
+        if bases.is_empty() {
+            return None;
+        }
+        Some(self.cfg.outlier_ratio * median(&mut bases))
+    }
+}
+
+/// Median of a mutable sample buffer (sorted in place); 1.0 for empty
+/// input. Even-length samples average the two central values.
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        0.5 * (xs[n / 2 - 1] + xs[n / 2])
+    }
+}
+
+/// Which mitigations a run applies. The CLI's `--mitigate` modes map
+/// one-to-one: `none`, `steal`, `speculate`, `adaptive`, `all`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationPolicy {
+    /// DistDGL: idle workers steal a flagged straggler's remaining
+    /// mini-batch work (stolen inputs pay extra remote-fetch bytes).
+    pub work_stealing: bool,
+    /// DistDGL: re-execute a step whose sampled duration exceeds the
+    /// detector-derived deadline on the fastest worker; the earlier
+    /// finisher wins.
+    pub speculation: bool,
+    /// DistGNN: lengthen the cd-r sync period while the network is
+    /// degraded (shorten back on recovery) and migrate master replicas
+    /// away from persistently slow machines.
+    pub adaptive_sync: bool,
+    /// Detector tuning shared by whatever the engine observes.
+    pub detector: DetectorConfig,
+}
+
+impl MitigationPolicy {
+    /// No mitigation (engines fall through to the plain fault path).
+    pub fn none() -> Self {
+        MitigationPolicy {
+            work_stealing: false,
+            speculation: false,
+            adaptive_sync: false,
+            detector: DetectorConfig::per_step(),
+        }
+    }
+
+    /// Work stealing only.
+    pub fn steal() -> Self {
+        MitigationPolicy { work_stealing: true, ..MitigationPolicy::none() }
+    }
+
+    /// Speculative re-execution only.
+    pub fn speculate() -> Self {
+        MitigationPolicy { speculation: true, ..MitigationPolicy::none() }
+    }
+
+    /// Adaptive cd-r + master rebalancing only.
+    pub fn adaptive() -> Self {
+        MitigationPolicy { adaptive_sync: true, ..MitigationPolicy::none() }
+    }
+
+    /// Everything on.
+    pub fn all() -> Self {
+        MitigationPolicy {
+            work_stealing: true,
+            speculation: true,
+            adaptive_sync: true,
+            detector: DetectorConfig::per_step(),
+        }
+    }
+
+    /// Parse a CLI mode name.
+    pub fn parse(mode: &str) -> Option<Self> {
+        match mode {
+            "none" => Some(MitigationPolicy::none()),
+            "steal" => Some(MitigationPolicy::steal()),
+            "speculate" => Some(MitigationPolicy::speculate()),
+            "adaptive" => Some(MitigationPolicy::adaptive()),
+            "all" => Some(MitigationPolicy::all()),
+            _ => None,
+        }
+    }
+
+    /// The canonical mode name.
+    pub fn name(&self) -> &'static str {
+        match (self.work_stealing, self.speculation, self.adaptive_sync) {
+            (false, false, false) => "none",
+            (true, false, false) => "steal",
+            (false, true, false) => "speculate",
+            (false, false, true) => "adaptive",
+            (true, true, true) => "all",
+            _ => "custom",
+        }
+    }
+
+    /// Whether every mitigation is off.
+    pub fn is_none(&self) -> bool {
+        !self.work_stealing && !self.speculation && !self.adaptive_sync
+    }
+}
+
+/// What the mitigation layer did (and what it cost) during a run.
+/// Complements [`crate::RecoveryReport`]: recovery pays for faults,
+/// mitigation pays to *reduce* that bill.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MitigationReport {
+    /// Steps in which work was stolen from a straggler.
+    pub stolen_steps: u64,
+    /// Extra remote-fetch bytes paid because stolen inputs were local
+    /// to the straggler, not the helpers.
+    pub stolen_bytes: u64,
+    /// Steps speculatively re-executed.
+    pub speculated_steps: u64,
+    /// Speculative re-executions whose backup finished first.
+    pub speculation_wins: u64,
+    /// Extra bytes fetched by speculative backups.
+    pub speculation_bytes: u64,
+    /// Duplicated wall time burnt by speculative backups (runs on
+    /// otherwise-idle workers, so it wastes energy, not the critical
+    /// path).
+    pub speculation_wasted_secs: f64,
+    /// Times the cd-r sync period was changed by the adaptive policy.
+    pub sync_period_changes: u32,
+    /// Master replicas migrated away from persistent stragglers.
+    pub masters_migrated: u64,
+    /// Bytes moved by master migration.
+    pub migration_bytes: u64,
+    /// Wall time of master migration (one-off, charged when it runs).
+    pub migration_seconds: f64,
+    /// Simulated wall time saved vs the unmitigated fault path
+    /// (non-negative: mitigations that would not help are not applied).
+    pub time_saved_secs: f64,
+}
+
+impl MitigationReport {
+    /// All extra traffic the mitigation layer caused.
+    pub fn total_extra_bytes(&self) -> u64 {
+        self.stolen_bytes + self.speculation_bytes + self.migration_bytes
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: &MitigationReport) {
+        self.stolen_steps += other.stolen_steps;
+        self.stolen_bytes += other.stolen_bytes;
+        self.speculated_steps += other.speculated_steps;
+        self.speculation_wins += other.speculation_wins;
+        self.speculation_bytes += other.speculation_bytes;
+        self.speculation_wasted_secs += other.speculation_wasted_secs;
+        self.sync_period_changes += other.sync_period_changes;
+        self.masters_migrated += other.masters_migrated;
+        self.migration_bytes += other.migration_bytes;
+        self.migration_seconds += other.migration_seconds;
+        self.time_saved_secs += other.time_saved_secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig { trigger_after: 2, clear_after: 2, ..DetectorConfig::per_step() }
+    }
+
+    #[test]
+    fn healthy_streams_never_fire() {
+        // Persistent imbalance (machine 3 is always 2x slower) is NOT a
+        // straggler: each machine is compared against its own baseline.
+        let mut d = StragglerDetector::new(4, cfg());
+        for _ in 0..50 {
+            d.observe_compute(&[1.0, 1.1, 0.9, 2.0]);
+            d.observe_network(0.5);
+        }
+        assert!(d.stragglers().is_empty());
+        assert!(!d.network_degraded());
+        for m in 0..4 {
+            assert!((d.elevation(m) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sustained_outlier_flagged_and_cleared_with_hysteresis() {
+        let mut d = StragglerDetector::new(4, cfg());
+        for _ in 0..5 {
+            d.observe_compute(&[1.0, 1.0, 1.0, 1.0]);
+        }
+        // One blip: hot but below trigger_after = 2.
+        d.observe_compute(&[1.0, 1.0, 1.0, 3.0]);
+        assert!(!d.is_straggler(3), "a single blip must not trigger");
+        d.observe_compute(&[1.0, 1.0, 1.0, 1.0]);
+        // Sustained slowdown: flags on the second hot round.
+        d.observe_compute(&[1.0, 1.0, 1.0, 3.0]);
+        assert!(!d.is_straggler(3));
+        d.observe_compute(&[1.0, 1.0, 1.0, 3.0]);
+        assert!(d.is_straggler(3));
+        assert!(d.elevation(3) > 2.0, "elevation estimates the slowdown");
+        assert_eq!(d.stragglers(), vec![3]);
+        // One cool round does not clear; two do.
+        d.observe_compute(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(d.is_straggler(3));
+        d.observe_compute(&[1.0, 1.0, 1.0, 1.0]);
+        assert!(!d.is_straggler(3));
+        assert_eq!(d.flagged_rounds(3), 0);
+    }
+
+    #[test]
+    fn baseline_frozen_while_hot() {
+        // A straggler that stays slow forever must stay flagged: the
+        // anomaly must not leak into its baseline.
+        let mut d = StragglerDetector::new(2, cfg());
+        for _ in 0..5 {
+            d.observe_compute(&[1.0, 1.0]);
+        }
+        for _ in 0..100 {
+            d.observe_compute(&[1.0, 4.0]);
+        }
+        assert!(d.is_straggler(1));
+        assert!(d.flagged_rounds(1) > 90);
+    }
+
+    #[test]
+    fn global_shift_is_not_an_outlier() {
+        // Everyone slows down 3x (e.g. a bigger model): the median
+        // normalisation keeps every machine cool.
+        let mut d = StragglerDetector::new(4, cfg());
+        for _ in 0..5 {
+            d.observe_compute(&[1.0, 1.0, 1.0, 1.0]);
+        }
+        for _ in 0..10 {
+            d.observe_compute(&[3.0, 3.0, 3.0, 3.0]);
+        }
+        assert!(d.stragglers().is_empty());
+    }
+
+    #[test]
+    fn network_degradation_flagged_and_recovers() {
+        let mut d = StragglerDetector::new(2, cfg());
+        for _ in 0..5 {
+            d.observe_network(1.0);
+        }
+        d.observe_network(2.0);
+        assert!(!d.network_degraded(), "hysteresis holds the first hot round");
+        d.observe_network(2.0);
+        assert!(d.network_degraded());
+        d.observe_network(1.0);
+        d.observe_network(1.0);
+        assert!(!d.network_degraded());
+    }
+
+    #[test]
+    fn inactive_machines_do_not_skew_the_median()
+    {
+        // Two crashed workers report ~0: with them in the median the
+        // healthy pair would look hot.
+        let mut d = StragglerDetector::new(4, cfg());
+        let active = [true, true, false, false];
+        for _ in 0..20 {
+            d.observe_compute_active(&[1.0, 1.0, 0.0, 0.0], &active);
+        }
+        assert!(d.stragglers().is_empty());
+    }
+
+    #[test]
+    fn deterministic_same_observations_same_flags() {
+        let mk = || {
+            let mut d = StragglerDetector::new(3, cfg());
+            let mut x = 0x9e37u64;
+            for round in 0..200 {
+                let mut times = [0.0f64; 3];
+                for t in times.iter_mut() {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    *t = 1.0 + (x >> 40) as f64 / (1u64 << 24) as f64;
+                }
+                if (50..80).contains(&round) {
+                    times[1] *= 3.0;
+                }
+                d.observe_compute(&times);
+                d.observe_network(times[0]);
+            }
+            d
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.stragglers(), b.stragglers());
+        assert_eq!(a.network_degraded(), b.network_degraded());
+        for m in 0..3 {
+            assert_eq!(a.elevation(m), b.elevation(m));
+            assert_eq!(a.flagged_rounds(m), b.flagged_rounds(m));
+        }
+        assert_eq!(a.deadline(), b.deadline());
+    }
+
+    #[test]
+    fn deadline_tracks_baselines() {
+        let mut d = StragglerDetector::new(3, cfg());
+        assert!(d.deadline().is_none(), "no baseline yet");
+        for _ in 0..10 {
+            d.observe_compute(&[2.0, 2.0, 2.0]);
+        }
+        let dl = d.deadline().unwrap();
+        assert!((dl - 2.0 * d.config().outlier_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_parse_roundtrip() {
+        for mode in ["none", "steal", "speculate", "adaptive", "all"] {
+            let p = MitigationPolicy::parse(mode).unwrap();
+            assert_eq!(p.name(), mode);
+        }
+        assert!(MitigationPolicy::parse("bogus").is_none());
+        assert!(MitigationPolicy::none().is_none());
+        assert!(!MitigationPolicy::all().is_none());
+        assert!(MitigationPolicy::steal().work_stealing);
+        assert!(MitigationPolicy::speculate().speculation);
+        assert!(MitigationPolicy::adaptive().adaptive_sync);
+    }
+
+    #[test]
+    fn mitigation_report_merges() {
+        let mut a = MitigationReport { stolen_steps: 2, stolen_bytes: 100, ..Default::default() };
+        let b = MitigationReport {
+            stolen_steps: 1,
+            speculation_bytes: 50,
+            migration_bytes: 7,
+            time_saved_secs: 1.5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.stolen_steps, 3);
+        assert_eq!(a.total_extra_bytes(), 157);
+        assert!((a.time_saved_secs - 1.5).abs() < 1e-12);
+    }
+}

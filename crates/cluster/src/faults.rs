@@ -109,6 +109,16 @@ pub enum FaultEvent {
         /// Per-message loss probability in `[0, 1)`.
         loss_rate: f64,
     },
+    /// The checkpoint `machine` wrote at the end of `epoch` is corrupt
+    /// (bit rot / torn write). Engines verify a checksum on restore:
+    /// corruption is *detected* and recovery falls back to the previous
+    /// checkpoint instead of silently restoring garbage.
+    CheckpointCorruption {
+        /// Machine whose checkpoint shard is corrupt.
+        machine: u32,
+        /// Epoch at whose end the corrupt checkpoint was written.
+        epoch: u32,
+    },
 }
 
 /// Parameters from which a [`FaultPlan`] is generated.
@@ -135,6 +145,9 @@ pub struct FaultSpec {
     pub degradation_loss_rate: f64,
     /// Length of a degradation window in epochs.
     pub degradation_epochs: u32,
+    /// Per-machine, per-epoch probability that the checkpoint written at
+    /// that epoch's end (if any) is corrupt on disk.
+    pub checkpoint_corruption_prob: f64,
     /// Abort threshold for total recovery overhead in simulated seconds
     /// (engines return `RecoveryBudgetExceeded` beyond it).
     pub recovery_budget_secs: f64,
@@ -155,6 +168,7 @@ impl Default for FaultSpec {
             degradation_bandwidth_factor: 1.0,
             degradation_loss_rate: 0.0,
             degradation_epochs: 0,
+            checkpoint_corruption_prob: 0.0,
             recovery_budget_secs: f64::INFINITY,
             seed: 0,
         }
@@ -189,6 +203,7 @@ impl FaultSpec {
             degradation_bandwidth_factor: 0.5,
             degradation_loss_rate: 0.05,
             degradation_epochs: 2,
+            checkpoint_corruption_prob: 0.0,
             recovery_budget_secs: f64::INFINITY,
             seed,
         }
@@ -291,6 +306,21 @@ impl FaultPlan {
             }
         }
 
+        // Checkpoint corruption, per machine per epoch. Whether an
+        // engine actually wrote a checkpoint at that epoch depends on
+        // its `checkpoint_every`; events for epochs without one are
+        // simply inert. Generated last so enabling corruption never
+        // perturbs the crash/slowdown/degradation streams above.
+        if spec.checkpoint_corruption_prob > 0.0 {
+            for machine in 0..spec.machines {
+                for epoch in 0..spec.epochs {
+                    if rng.chance(spec.checkpoint_corruption_prob) {
+                        events.push(FaultEvent::CheckpointCorruption { machine, epoch });
+                    }
+                }
+            }
+        }
+
         FaultPlan {
             events,
             machines: spec.machines,
@@ -361,6 +391,15 @@ impl FaultPlan {
         }
     }
 
+    /// Whether the checkpoint `machine` wrote at the end of `epoch` is
+    /// corrupt (its checksum will fail verification on restore).
+    pub fn corrupted_checkpoint(&self, machine: u32, epoch: u32) -> bool {
+        self.events.iter().any(|e| {
+            matches!(*e, FaultEvent::CheckpointCorruption { machine: m, epoch: ce }
+                if m == machine && ce == epoch)
+        })
+    }
+
     /// Per-message loss rate during `epoch`: independent losses combine
     /// as `1 − Π (1 − pᵢ)`, capped so retries stay finite.
     pub fn loss_rate(&self, epoch: u32) -> f64 {
@@ -429,6 +468,9 @@ pub struct RecoveryReport {
     /// Training vertices redistributed from crashed workers to
     /// survivors (mini-batch graceful degradation).
     pub redistributed_train_vertices: u64,
+    /// Checkpoints whose checksum failed verification on restore
+    /// (recovery fell back to the previous checkpoint).
+    pub corrupted_checkpoints: u64,
 }
 
 impl RecoveryReport {
@@ -455,6 +497,7 @@ impl RecoveryReport {
         self.recovery_bytes += other.recovery_bytes;
         self.lost_progress_epochs += other.lost_progress_epochs;
         self.redistributed_train_vertices += other.redistributed_train_vertices;
+        self.corrupted_checkpoints += other.corrupted_checkpoints;
     }
 }
 
@@ -599,6 +642,37 @@ mod tests {
         assert_eq!(a.crashes, 3);
         assert_eq!(a.recovery_bytes, 100);
         assert!((a.total_overhead_seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_corruption_generated_and_queryable() {
+        // Enabling corruption must not perturb the other streams.
+        let base = FaultPlan::generate(&spec());
+        let mut s = spec();
+        s.checkpoint_corruption_prob = 0.1;
+        let plan = FaultPlan::generate(&s);
+        let prefix: Vec<_> = plan
+            .events
+            .iter()
+            .filter(|e| !matches!(e, FaultEvent::CheckpointCorruption { .. }))
+            .cloned()
+            .collect();
+        assert_eq!(prefix, base.events, "corruption must extend, not reshuffle");
+        let corrupt: Vec<_> = plan
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::CheckpointCorruption { machine, epoch } => Some((machine, epoch)),
+                _ => None,
+            })
+            .collect();
+        assert!(!corrupt.is_empty(), "p=0.1 over 8x50 cells must corrupt something");
+        for &(m, e) in &corrupt {
+            assert!(plan.corrupted_checkpoint(m, e));
+        }
+        assert!(!FaultPlan::empty().corrupted_checkpoint(0, 0));
+        // Determinism.
+        assert_eq!(plan, FaultPlan::generate(&s));
     }
 
     #[test]

@@ -15,14 +15,19 @@
 //! Beyond the healthy-cluster model, [`faults`] supplies a seeded,
 //! fully deterministic fault schedule (crashes, stragglers, network
 //! degradation) and the [`RecoveryReport`] accounting that both training
-//! engines use to price retries, checkpoints and crash recovery.
+//! engines use to price retries, checkpoints and crash recovery, while
+//! [`detect`] supplies the online straggler/degradation detector and
+//! [`MitigationPolicy`]/[`MitigationReport`] types behind the engines'
+//! mitigation layers (work stealing, speculation, adaptive cd-r).
 
 pub mod counters;
+pub mod detect;
 pub mod faults;
 pub mod spec;
 pub mod time;
 
 pub use counters::{max_mean_ratio, ClusterCounters, MachineCounters};
+pub use detect::{DetectorConfig, MitigationPolicy, MitigationReport, StragglerDetector};
 pub use faults::{
     expected_retries, retry_backoff_secs, FaultEvent, FaultPlan, FaultSpec, RecoveryReport,
 };

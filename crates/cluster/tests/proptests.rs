@@ -120,8 +120,64 @@ proptest! {
                     prop_assert!(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0);
                     prop_assert!((0.0..1.0).contains(&loss_rate));
                 }
+                gp_cluster::FaultEvent::CheckpointCorruption { machine, epoch } => {
+                    prop_assert!(machine < machines);
+                    prop_assert!(epoch < epochs);
+                }
             }
         }
+    }
+
+    /// Detector determinism (mitigation acceptance): the same observed
+    /// streams — however the fault seed shaped them — produce the same
+    /// flags, elevations and deadline, bit for bit.
+    #[test]
+    fn detector_deterministic_over_random_streams(
+        machines in 1u32..16,
+        rounds in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        use gp_cluster::faults::DetRng;
+        use gp_cluster::{DetectorConfig, StragglerDetector};
+        let run = || {
+            let mut d = StragglerDetector::new(machines, DetectorConfig::per_step());
+            let mut rng = DetRng::new(seed);
+            for _ in 0..rounds {
+                let times: Vec<f64> =
+                    (0..machines).map(|_| 0.5 + 4.0 * rng.next_f64()).collect();
+                d.observe_compute(&times);
+                d.observe_network(0.1 + rng.next_f64());
+            }
+            d
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.stragglers(), b.stragglers());
+        prop_assert_eq!(a.network_degraded(), b.network_degraded());
+        prop_assert_eq!(a.deadline(), b.deadline());
+        for m in 0..machines {
+            prop_assert_eq!(a.elevation(m), b.elevation(m));
+            prop_assert_eq!(a.is_straggler(m), b.is_straggler(m));
+            prop_assert_eq!(a.flagged_rounds(m), b.flagged_rounds(m));
+        }
+    }
+
+    /// Healthy streams — any constant per-machine profile, however
+    /// imbalanced — never raise a flag: each machine is measured against
+    /// its own baseline, so static imbalance is not stragglerhood.
+    #[test]
+    fn detector_never_fires_on_constant_streams(
+        profile in proptest::collection::vec(0.1..100.0f64, 1..16),
+        rounds in 1usize..100,
+    ) {
+        use gp_cluster::{DetectorConfig, StragglerDetector};
+        let mut d = StragglerDetector::new(profile.len() as u32, DetectorConfig::per_step());
+        for _ in 0..rounds {
+            d.observe_compute(&profile);
+            d.observe_network(profile[0]);
+        }
+        prop_assert!(d.stragglers().is_empty());
+        prop_assert!(!d.network_degraded());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! through one of the engines and records the recovery overhead next to
 //! the healthy baseline. Same seed ⇒ bit-identical rows.
 
-use gp_cluster::{ClusterSpec, FaultPlan, FaultSpec, RecoveryReport};
+use gp_cluster::{ClusterSpec, FaultPlan, FaultSpec, MitigationPolicy, MitigationReport, RecoveryReport};
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
 use gp_graph::{Graph, VertexSplit};
@@ -165,6 +165,226 @@ pub fn distdgl_fault_sweep(
     rows
 }
 
+/// One (partitioner, policy) cell of a mitigation sweep: the *same*
+/// seeded fault plan run through an engine twice — plain fault path vs
+/// mitigated — so the two totals differ only by what the mitigation
+/// layer did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MitigationSweepRow {
+    /// Partitioner name.
+    pub name: String,
+    /// Mitigation policy mode (`none|steal|speculate|adaptive|all`).
+    pub policy: String,
+    /// Cluster-wide mean epochs between crashes of the shared plan.
+    pub mtbf_epochs: f64,
+    /// Epochs both runs completed.
+    pub completed_epochs: u32,
+    /// Total simulated seconds of the unmitigated run (epoch time plus
+    /// recovery overhead).
+    pub unmitigated_secs: f64,
+    /// Total simulated seconds of the mitigated run (epoch time plus
+    /// recovery overhead plus one-off migration time).
+    pub mitigated_secs: f64,
+    /// Steps in which straggler work was stolen (DistDGL).
+    pub stolen_steps: u64,
+    /// Steps speculatively re-executed (DistDGL).
+    pub speculated_steps: u64,
+    /// cd-r sync-period changes (DistGNN).
+    pub sync_period_changes: u32,
+    /// Master replicas migrated off persistent stragglers (DistGNN).
+    pub masters_migrated: u64,
+    /// Extra traffic the mitigation layer paid for its wins.
+    pub extra_bytes: u64,
+}
+
+impl MitigationSweepRow {
+    /// Percentage of the unmitigated wall time saved by mitigation
+    /// (non-negative by the engines' per-decision guards).
+    pub fn improvement_pct(&self) -> f64 {
+        if self.unmitigated_secs <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.unmitigated_secs - self.mitigated_secs) / self.unmitigated_secs
+    }
+}
+
+/// A fault environment tuned to exercise the mitigation layer: no
+/// crashes (so both runs execute the very same steps and the totals
+/// differ only by mitigation), but long deep stragglers and brownouts —
+/// the conditions stealing, speculation and adaptive cd-r react to.
+pub fn mitigation_stress_spec(machines: u32, epochs: u32, seed: u64) -> FaultSpec {
+    FaultSpec {
+        machines,
+        epochs,
+        slowdown_prob: 0.06,
+        slowdown_factor: 0.25,
+        slowdown_epochs: 3,
+        degradation_prob: 0.12,
+        degradation_bandwidth_factor: 0.25,
+        degradation_loss_rate: 0.02,
+        degradation_epochs: 3,
+        seed,
+        ..FaultSpec::default()
+    }
+}
+
+/// Run DistGNN over every timed partition under `spec`'s fault plan,
+/// unmitigated and mitigated with `policy`, and report both totals. The
+/// plan is generated once and shared by every partitioner (and both
+/// runs), so rows are comparable cell-to-cell; same spec ⇒ bit-identical
+/// rows.
+pub fn distgnn_mitigation_sweep(
+    graph: &Graph,
+    timed: &[TimedEdgePartition],
+    params: PaperParams,
+    spec: &FaultSpec,
+    checkpoint_every: u32,
+    policy: MitigationPolicy,
+) -> Vec<MitigationSweepRow> {
+    let plan = FaultPlan::generate(spec);
+    let mut rows = Vec::with_capacity(timed.len());
+    for t in timed {
+        let k = t.partition.k();
+        let mut config =
+            DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
+        config.checkpoint_every = checkpoint_every;
+        let engine = DistGnnEngine::new(graph, &t.partition, config).expect("valid config");
+        let mut session = engine.mitigation(policy);
+        let mut unmitigated_secs = 0.0;
+        let mut mitigated_secs = 0.0;
+        let mut mitigation = MitigationReport::default();
+        let mut completed = 0u32;
+        for epoch in 0..spec.epochs {
+            let unmit = engine.simulate_epoch_with_faults(epoch, &plan);
+            let mit = engine.simulate_epoch_mitigated(epoch, &plan, &mut session);
+            match (unmit, mit) {
+                (Ok(u), Ok(m)) => {
+                    unmitigated_secs +=
+                        u.report.epoch_time() + u.recovery.total_overhead_seconds();
+                    mitigated_secs +=
+                        m.report.epoch_time() + m.recovery.total_overhead_seconds();
+                    mitigation.merge(&m.mitigation);
+                    completed += 1;
+                }
+                _ => break,
+            }
+        }
+        // Master migration is a one-off cost outside the epoch phases.
+        mitigated_secs += mitigation.migration_seconds;
+        rows.push(MitigationSweepRow {
+            name: t.name.clone(),
+            policy: policy.name().to_string(),
+            mtbf_epochs: spec.crash_mtbf_epochs,
+            completed_epochs: completed,
+            unmitigated_secs,
+            mitigated_secs,
+            stolen_steps: mitigation.stolen_steps,
+            speculated_steps: mitigation.speculated_steps,
+            sync_period_changes: mitigation.sync_period_changes,
+            masters_migrated: mitigation.masters_migrated,
+            extra_bytes: mitigation.total_extra_bytes(),
+        });
+    }
+    rows
+}
+
+/// Run DistDGL over every timed partition under `spec`'s fault plan,
+/// unmitigated and mitigated with `policy` (see
+/// [`distgnn_mitigation_sweep`] for the shared-plan semantics).
+#[allow(clippy::too_many_arguments)]
+pub fn distdgl_mitigation_sweep(
+    graph: &Graph,
+    split: &VertexSplit,
+    timed: &[TimedVertexPartition],
+    params: PaperParams,
+    kind: ModelKind,
+    global_batch_size: u32,
+    spec: &FaultSpec,
+    policy: MitigationPolicy,
+) -> Vec<MitigationSweepRow> {
+    let plan = FaultPlan::generate(spec);
+    let mut rows = Vec::with_capacity(timed.len());
+    for t in timed {
+        let k = t.partition.k();
+        let mut config = DistDglConfig::paper(params.model(kind), ClusterSpec::paper(k));
+        config.global_batch_size = global_batch_size;
+        let engine =
+            DistDglEngine::new(graph, &t.partition, split, config).expect("valid config");
+        let mut session = engine.mitigation(policy);
+        let mut unmitigated_secs = 0.0;
+        let mut mitigated_secs = 0.0;
+        let mut mitigation = MitigationReport::default();
+        let mut completed = 0u32;
+        for epoch in 0..spec.epochs {
+            let unmit = engine.simulate_epoch_with_faults(epoch, &plan);
+            let mit = engine.simulate_epoch_mitigated(epoch, &plan, &mut session);
+            match (unmit, mit) {
+                (Ok(u), Ok(m)) => {
+                    unmitigated_secs +=
+                        u.summary.epoch_time() + u.recovery.total_overhead_seconds();
+                    mitigated_secs +=
+                        m.summary.epoch_time() + m.recovery.total_overhead_seconds();
+                    mitigation.merge(&m.mitigation);
+                    completed += 1;
+                }
+                _ => break,
+            }
+        }
+        rows.push(MitigationSweepRow {
+            name: t.name.clone(),
+            policy: policy.name().to_string(),
+            mtbf_epochs: spec.crash_mtbf_epochs,
+            completed_epochs: completed,
+            unmitigated_secs,
+            mitigated_secs,
+            stolen_steps: mitigation.stolen_steps,
+            speculated_steps: mitigation.speculated_steps,
+            sync_period_changes: mitigation.sync_period_changes,
+            masters_migrated: mitigation.masters_migrated,
+            extra_bytes: mitigation.total_extra_bytes(),
+        });
+    }
+    rows
+}
+
+/// Render mitigation-sweep rows as a [`Table`] (CSV / Markdown ready).
+pub fn mitigation_sweep_table(name: &str, rows: &[MitigationSweepRow]) -> Table {
+    let mut table = Table::new(
+        name,
+        &[
+            "partitioner",
+            "policy",
+            "mtbf_epochs",
+            "completed_epochs",
+            "unmitigated_s",
+            "mitigated_s",
+            "improvement_pct",
+            "stolen_steps",
+            "speculated_steps",
+            "sync_changes",
+            "masters_migrated",
+            "extra_MB",
+        ],
+    );
+    for r in rows {
+        table.push(vec![
+            r.name.clone(),
+            r.policy.clone(),
+            format!("{:.1}", r.mtbf_epochs),
+            r.completed_epochs.to_string(),
+            format!("{:.4}", r.unmitigated_secs),
+            format!("{:.4}", r.mitigated_secs),
+            format!("{:.2}", r.improvement_pct()),
+            r.stolen_steps.to_string(),
+            r.speculated_steps.to_string(),
+            r.sync_period_changes.to_string(),
+            r.masters_migrated.to_string(),
+            format!("{:.3}", r.extra_bytes as f64 / 1e6),
+        ]);
+    }
+    table
+}
+
 /// Render sweep rows as a [`Table`] (CSV / Markdown ready).
 pub fn fault_sweep_table(name: &str, rows: &[FaultSweepRow]) -> Table {
     let mut table = Table::new(
@@ -245,6 +465,105 @@ mod tests {
             &g, &split, &timed, params, ModelKind::Sage, 256, 4, &mtbfs, 7,
         );
         assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn distgnn_mitigation_sweep_never_worse_and_deterministic() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let timed = timed_edge_partitions(&g, 4, 1);
+        let params = PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 };
+        let spec = mitigation_stress_spec(4, 8, 0xad_a97);
+        let rows = distgnn_mitigation_sweep(
+            &g,
+            &timed,
+            params,
+            &spec,
+            2,
+            MitigationPolicy::adaptive(),
+        );
+        assert_eq!(rows.len(), timed.len());
+        for r in &rows {
+            assert_eq!(r.policy, "adaptive");
+            assert_eq!(r.completed_epochs, 8);
+            assert!(
+                r.mitigated_secs <= r.unmitigated_secs + 1e-9,
+                "{}: mitigation must never make it worse",
+                r.name
+            );
+            assert!(r.improvement_pct() >= -1e-9);
+        }
+        let again = distgnn_mitigation_sweep(
+            &g,
+            &timed,
+            params,
+            &spec,
+            2,
+            MitigationPolicy::adaptive(),
+        );
+        assert_eq!(rows, again, "same spec must give bit-identical rows");
+    }
+
+    #[test]
+    fn distdgl_mitigation_sweep_never_worse_and_deterministic() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let timed: Vec<_> =
+            timed_vertex_partitions(&g, 4, 1, &split.train).into_iter().take(2).collect();
+        let params = PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 };
+        let spec = mitigation_stress_spec(4, 6, 0xad_a97);
+        let rows = distdgl_mitigation_sweep(
+            &g,
+            &split,
+            &timed,
+            params,
+            ModelKind::Sage,
+            64,
+            &spec,
+            MitigationPolicy::all(),
+        );
+        assert_eq!(rows.len(), timed.len());
+        for r in &rows {
+            assert_eq!(r.policy, "all");
+            assert!(r.completed_epochs > 0);
+            assert!(
+                r.mitigated_secs <= r.unmitigated_secs + 1e-9,
+                "{}: mitigation must never make it worse",
+                r.name
+            );
+        }
+        let again = distdgl_mitigation_sweep(
+            &g,
+            &split,
+            &timed,
+            params,
+            ModelKind::Sage,
+            64,
+            &spec,
+            MitigationPolicy::all(),
+        );
+        assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn mitigation_table_renders_all_rows() {
+        let rows = vec![MitigationSweepRow {
+            name: "Metis".into(),
+            policy: "steal".into(),
+            mtbf_epochs: 0.0,
+            completed_epochs: 12,
+            unmitigated_secs: 2.0,
+            mitigated_secs: 1.5,
+            stolen_steps: 9,
+            speculated_steps: 0,
+            sync_period_changes: 0,
+            masters_migrated: 0,
+            extra_bytes: 4_000_000,
+        }];
+        let t = mitigation_sweep_table("ablation_mitigation", &rows);
+        let csv = t.to_csv();
+        assert!(csv.contains("Metis"));
+        assert!(csv.contains("25.00"), "improvement column: {csv}");
+        assert!(t.to_markdown().contains("sync_changes"));
     }
 
     #[test]

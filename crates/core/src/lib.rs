@@ -9,7 +9,9 @@
 //! * [`experiment`] — timed partitioning runs and engine invocations.
 //! * [`sweep`] — grid sweeps producing speedup/memory distributions.
 //! * [`fault_sweep`] — partitioner × failure-rate robustness sweeps
-//!   under seeded fault injection (extension beyond the paper).
+//!   under seeded fault injection, plus mitigated-vs-unmitigated
+//!   comparisons of the straggler-mitigation layer (extension beyond
+//!   the paper).
 //! * [`amortize`] — partitioning-time amortisation (Tables 4 and 5).
 //! * [`advisor`] — EASE-style partitioner recommendation (extension).
 //! * [`correlate`] — Pearson correlation / R² (Figures 3, 5).
@@ -35,7 +37,9 @@ pub mod prelude {
         timed_edge_partitions, timed_vertex_partitions, TimedEdgePartition, TimedVertexPartition,
     };
     pub use crate::fault_sweep::{
-        distdgl_fault_sweep, distgnn_fault_sweep, fault_sweep_table, FaultSweepRow,
+        distdgl_fault_sweep, distdgl_mitigation_sweep, distgnn_fault_sweep,
+        distgnn_mitigation_sweep, fault_sweep_table, mitigation_stress_spec,
+        mitigation_sweep_table, FaultSweepRow, MitigationSweepRow,
     };
     pub use crate::registry::{edge_partitioner, edge_partitioner_names, vertex_partitioner, vertex_partitioner_names};
     pub use crate::report::{Distribution, Table};

@@ -8,7 +8,8 @@
 
 use gp_cluster::{
     compute_time, expected_retries, retry_backoff_secs, transfer_time, ClusterCounters,
-    ClusterSpec, FaultPlan, NetworkSpec, RecoveryReport,
+    ClusterSpec, FaultPlan, MitigationPolicy, MitigationReport, NetworkSpec, RecoveryReport,
+    StragglerDetector,
 };
 use gp_graph::{Graph, VertexSplit};
 use gp_partition::VertexPartition;
@@ -191,6 +192,39 @@ pub struct FaultyEpochSummary {
     /// are permanent: survivors absorb the lost training set — graceful
     /// degradation, in contrast to DistGNN's checkpoint/restart).
     pub failed_workers: Vec<u32>,
+}
+
+/// Result of one epoch simulated under a [`FaultPlan`] with the
+/// mitigation layer active. `summary.phases` are the *mitigated* phase
+/// times; `mitigation` itemises what the layer did and what it paid.
+#[derive(Debug, Clone)]
+pub struct MitigatedEpochSummary {
+    /// The epoch summary over executed steps (mitigated phase times).
+    pub summary: EpochSummary,
+    /// What the faults cost beyond the healthy baseline.
+    pub recovery: RecoveryReport,
+    /// What the mitigation layer did this epoch and what it paid.
+    pub mitigation: MitigationReport,
+    /// Workers out of service by the end of this epoch.
+    pub failed_workers: Vec<u32>,
+}
+
+/// Persistent mitigation state for a DistDGL training run: the policy
+/// and the online detector it drives. Create one via
+/// [`DistDglEngine::mitigation`] and thread it through every epoch of
+/// the run — the detector's baselines build up during healthy epochs
+/// and carry across epoch boundaries, exactly like a real monitor.
+#[derive(Debug, Clone)]
+pub struct DistDglMitigation {
+    policy: MitigationPolicy,
+    detector: StragglerDetector,
+}
+
+impl DistDglMitigation {
+    /// The online detector (inspectable for reporting and tests).
+    pub fn detector(&self) -> &StragglerDetector {
+        &self.detector
+    }
 }
 
 /// Running accumulators of an epoch simulation (shared between the
@@ -624,6 +658,31 @@ impl<'a> DistDglEngine<'a> {
         epoch: u32,
         plan: &FaultPlan,
     ) -> Result<FaultyEpochSummary, DistDglError> {
+        self.simulate_epoch_faulty_with(epoch, plan, |eng, batches, counters, ctx, recovery| {
+            eng.step_inner(batches, counters, Some(ctx), recovery)
+        })
+    }
+
+    /// Shared fault-epoch skeleton (crash handling, restore accounting,
+    /// budget check); `step` runs each step — the plain path passes
+    /// [`DistDglEngine::step_inner`], the mitigated path
+    /// [`DistDglEngine::step_mitigated`]. The engine handed to `step` is
+    /// the current (possibly degraded, post-crash) cluster.
+    fn simulate_epoch_faulty_with<F>(
+        &self,
+        epoch: u32,
+        plan: &FaultPlan,
+        mut step_fn: F,
+    ) -> Result<FaultyEpochSummary, DistDglError>
+    where
+        F: FnMut(
+            &DistDglEngine<'a>,
+            &[MiniBatch],
+            &mut ClusterCounters,
+            &StepFaultCtx,
+            &mut RecoveryReport,
+        ) -> StepReport,
+    {
         if plan.is_empty() {
             return Ok(FaultyEpochSummary {
                 summary: self.simulate_epoch(epoch),
@@ -670,7 +729,7 @@ impl<'a> DistDglEngine<'a> {
             .min(steps_pre);
         for step in 0..crash_step {
             let batches = eng_pre.sample_step(epoch, step);
-            let report = eng_pre.step_inner(&batches, &mut counters, Some(&ctx), &mut recovery);
+            let report = step_fn(&eng_pre, &batches, &mut counters, &ctx, &mut recovery);
             acc.add(&report);
         }
 
@@ -714,7 +773,7 @@ impl<'a> DistDglEngine<'a> {
             for step in crash_step..steps_post {
                 let batches = eng_post.sample_step(epoch, step);
                 let report =
-                    eng_post.step_inner(&batches, &mut counters, Some(&ctx), &mut recovery);
+                    step_fn(&eng_post, &batches, &mut counters, &ctx, &mut recovery);
                 if step == crash_step {
                     recovery.reexecuted_steps += 1;
                     recovery.reexecution_seconds += report.phases.total();
@@ -733,6 +792,277 @@ impl<'a> DistDglEngine<'a> {
         failed_workers.sort_unstable();
         Ok(FaultyEpochSummary { summary: acc.into_summary(counters), recovery, failed_workers })
     }
+
+    /// A fresh mitigation session for this cluster under `policy`. The
+    /// detector observes per-step worker times (`policy.detector` is
+    /// tuned for that granularity by default).
+    pub fn mitigation(&self, policy: MitigationPolicy) -> DistDglMitigation {
+        DistDglMitigation {
+            detector: StragglerDetector::new(self.config.cluster.machines, policy.detector),
+            policy,
+        }
+    }
+
+    /// Run one epoch under a fault plan with straggler mitigation.
+    ///
+    /// DistDGL's mitigations are **work stealing** (workers that finish
+    /// their mini-batch early absorb a flagged straggler's remaining
+    /// work, paying extra remote fetches for stolen inputs that were
+    /// local to the straggler) and **speculative re-execution** (a
+    /// worker blowing past the detector-derived deadline has its step
+    /// re-launched on the fastest idle worker; the earlier finisher
+    /// wins, the loser's work is wasted). Every per-step decision is
+    /// guarded: the mitigated step is adopted only when strictly faster
+    /// than the unmitigated one, so a mitigated epoch is never slower
+    /// than the plain fault path. The detector only ever sees the
+    /// *pre-mitigation* worker times — mitigation must not mask the
+    /// fault from its own monitor.
+    ///
+    /// With an empty plan, or a policy enabling neither mechanism, this
+    /// is exactly [`DistDglEngine::simulate_epoch_with_faults`],
+    /// bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DistDglEngine::simulate_epoch_with_faults`].
+    pub fn simulate_epoch_mitigated(
+        &self,
+        epoch: u32,
+        plan: &FaultPlan,
+        session: &mut DistDglMitigation,
+    ) -> Result<MitigatedEpochSummary, DistDglError> {
+        if plan.is_empty() || (!session.policy.work_stealing && !session.policy.speculation) {
+            let base = self.simulate_epoch_with_faults(epoch, plan)?;
+            return Ok(MitigatedEpochSummary {
+                summary: base.summary,
+                recovery: base.recovery,
+                mitigation: MitigationReport::default(),
+                failed_workers: base.failed_workers,
+            });
+        }
+        let mut mitigation = MitigationReport::default();
+        let base =
+            self.simulate_epoch_faulty_with(epoch, plan, |eng, batches, counters, ctx, recovery| {
+                eng.step_mitigated(batches, counters, ctx, recovery, session, &mut mitigation)
+            })?;
+        Ok(MitigatedEpochSummary {
+            summary: base.summary,
+            recovery: base.recovery,
+            mitigation,
+            failed_workers: base.failed_workers,
+        })
+    }
+
+    /// One mitigated step: computes every worker's cost exactly as
+    /// [`DistDglEngine::step_inner`] would (same counter bookings, same
+    /// fold order), builds a steal/speculation candidate from the
+    /// detector state, and adopts it only if strictly faster.
+    fn step_mitigated(
+        &self,
+        batches: &[MiniBatch],
+        counters: &mut ClusterCounters,
+        ctx: &StepFaultCtx,
+        recovery: &mut RecoveryReport,
+        session: &mut DistDglMitigation,
+        mitigation: &mut MitigationReport,
+    ) -> StepReport {
+        let cluster = &self.config.cluster;
+        let network = ctx.network;
+        let model = &self.config.model;
+        let k = cluster.machines;
+        let fbytes = 4 * model.feature_dim as u64;
+
+        let mut wps: Vec<StepPhases> = Vec::with_capacity(batches.len());
+        let mut cache_hits = 0u64;
+        for (w, batch) in batches.iter().enumerate() {
+            let (wp, hits) = self.worker_step_cost(w as u32, batch, counters, Some(ctx), recovery);
+            cache_hits += hits;
+            wps.push(wp);
+        }
+        let active: Vec<bool> = batches.iter().map(|b| !b.seeds.is_empty()).collect();
+        let pre_times: Vec<f64> = wps.iter().map(StepPhases::total).collect();
+        // Input features local to worker `w` — the bytes that turn into
+        // remote fetches when its work runs somewhere else.
+        let local_input_bytes = |w: usize| {
+            (batches[w].stats.input_vertices - batches[w].stats.remote_input_vertices) * fbytes
+        };
+
+        // Build the mitigation candidate on a copy of the per-worker
+        // phases; counter bookings are deferred until adoption.
+        let mut mit_wps = wps.clone();
+        let mut candidate = MitigationReport::default();
+        let mut extra_traffic: Vec<(u32, u64, u64)> = Vec::new(); // (machine, sent, received)
+
+        let mut steal_target = None;
+        if session.policy.work_stealing {
+            let target = (0..batches.len())
+                .filter(|&w| active[w] && session.detector.is_straggler(w as u32))
+                .max_by(|&a, &b| pre_times[a].total_cmp(&pre_times[b]));
+            if let Some(s) = target {
+                let t_s = pre_times[s];
+                let elev = session.detector.elevation(s as u32).max(1.0);
+                let mut helpers: Vec<(usize, f64)> = (0..batches.len())
+                    .filter(|&w| {
+                        w != s
+                            && active[w]
+                            && !session.detector.is_straggler(w as u32)
+                            && pre_times[w] < t_s
+                    })
+                    .map(|w| (w, pre_times[w]))
+                    .collect();
+                helpers.sort_by(|a, b| a.1.total_cmp(&b.1));
+                let helper_times: Vec<f64> = helpers.iter().map(|&(_, t)| t).collect();
+                if t_s > 0.0 {
+                    if let Some((t_eq, m)) = steal_equalized_time(t_s, &helper_times, elev) {
+                        let stolen_frac = 1.0 - t_eq / t_s;
+                        let stolen_bytes = (stolen_frac * local_input_bytes(s) as f64) as u64;
+                        // Each helper fetches its share of the stolen
+                        // inputs before it can work on them.
+                        let fetch = transfer_time(&network, stolen_bytes / m as u64, 1);
+                        let finish = t_eq + fetch;
+                        if stolen_frac > 0.0 && finish < t_s {
+                            scale_phases(&mut mit_wps[s], finish / t_s);
+                            candidate.stolen_steps += 1;
+                            candidate.stolen_bytes += stolen_bytes;
+                            extra_traffic.push((s as u32, stolen_bytes, 0));
+                            for &(h, _) in helpers.iter().take(m) {
+                                extra_traffic.push((h as u32, 0, stolen_bytes / m as u64));
+                            }
+                            steal_target = Some(s);
+                        }
+                    }
+                }
+            }
+        }
+
+        if session.policy.speculation {
+            if let Some(deadline) = session.detector.deadline() {
+                let offender = (0..batches.len())
+                    .filter(|&w| active[w] && steal_target != Some(w) && pre_times[w] > deadline)
+                    .max_by(|&a, &b| pre_times[a].total_cmp(&pre_times[b]));
+                let backup = offender.and_then(|w| {
+                    (0..batches.len())
+                        .filter(|&b| b != w && active[b])
+                        .min_by(|&a, &b| pre_times[a].total_cmp(&pre_times[b]))
+                });
+                if let (Some(w), Some(backup)) = (offender, backup) {
+                    let t_w = pre_times[w];
+                    // The backup re-runs the step at (estimated) nominal
+                    // speed, launching when the deadline passes; it must
+                    // first fetch the inputs local to the offender.
+                    let est = t_w / session.detector.elevation(w as u32).max(1.0);
+                    let spec_bytes = local_input_bytes(w);
+                    let backup_exec = est + transfer_time(&network, spec_bytes, 1);
+                    let t_backup = deadline + backup_exec;
+                    if t_backup < t_w {
+                        scale_phases(&mut mit_wps[w], t_backup / t_w);
+                        candidate.speculated_steps += 1;
+                        candidate.speculation_wins += 1;
+                        candidate.speculation_bytes += spec_bytes;
+                        candidate.speculation_wasted_secs += backup_exec;
+                        extra_traffic.push((w as u32, spec_bytes, 0));
+                        extra_traffic.push((backup as u32, 0, spec_bytes));
+                    }
+                }
+            }
+        }
+
+        // Gate both variants with step_inner's exact fold order, then
+        // adopt the candidate only if strictly faster.
+        let gate = |wps: &[StepPhases]| {
+            let mut phases = StepPhases::default();
+            for wp in wps {
+                phases.sampling = phases.sampling.max(wp.sampling);
+                phases.feature_load = phases.feature_load.max(wp.feature_load);
+                phases.forward = phases.forward.max(wp.forward);
+                phases.backward = phases.backward.max(wp.backward);
+            }
+            let param_bytes = model_param_count(model) * 4;
+            phases.backward = phases
+                .backward
+                .max(gp_cluster::time::allreduce_time(&network, param_bytes, k));
+            phases.update = compute_time(&cluster.machine, model_param_count(model) * 10);
+            phases.update /= ctx.min_compute_factor;
+            phases
+        };
+        let unmit = gate(&wps);
+        let mit = gate(&mit_wps);
+        let adopted = !extra_traffic.is_empty() && mit.total() < unmit.total();
+        let (phases, chosen) = if adopted {
+            candidate.time_saved_secs = unmit.total() - mit.total();
+            mitigation.merge(&candidate);
+            for (m, sent, received) in extra_traffic {
+                let c = counters.machine_mut(m);
+                if sent > 0 {
+                    c.send(sent);
+                }
+                if received > 0 {
+                    c.receive(received);
+                }
+            }
+            (mit, &mit_wps)
+        } else {
+            (unmit, &wps)
+        };
+
+        // Epoch-level bookings identical to step_inner.
+        let param_bytes = model_param_count(model) * 4;
+        for m in 0..k {
+            counters.machine_mut(m).send(param_bytes);
+            counters.machine_mut(m).receive(param_bytes);
+        }
+        let opt_flops = model_param_count(model) * 10;
+        for m in 0..k {
+            counters.machine_mut(m).flops += opt_flops;
+        }
+
+        let mut worker_times = Vec::with_capacity(batches.len());
+        let mut input_vertices = Vec::with_capacity(batches.len());
+        let mut remote_vertices = Vec::with_capacity(batches.len());
+        for (w, batch) in batches.iter().enumerate() {
+            worker_times.push(chosen[w].sampling + chosen[w].feature_load + chosen[w].forward);
+            input_vertices.push(batch.stats.input_vertices);
+            remote_vertices.push(batch.stats.remote_input_vertices);
+        }
+
+        // The detector sees the *pre-mitigation* signals, after the
+        // decision: flags drive the following steps, one observation
+        // behind, and mitigation never masks the fault from its own
+        // monitor.
+        session.detector.observe_compute_active(&pre_times, &active);
+
+        StepReport { phases, worker_times, input_vertices, remote_vertices, cache_hits }
+    }
+}
+
+/// Fluid work-stealing equalisation. The flagged straggler has `t_s`
+/// seconds of work left at its degraded rate; helper `j` goes idle at
+/// `t_j` (ascending) and then chews through the straggler's backlog at
+/// `elev` straggler-seconds per wall-second (the detector's estimate of
+/// how much faster a healthy worker is). With the `m` earliest helpers
+/// participating everyone finishes together at
+/// `T_m = (t_s + elev·Σ_{j<m} t_j) / (1 + elev·m)`; the physical
+/// solution is the `m` where helper `m−1` is idle before `T_m` and
+/// helper `m` (if any) is not. Returns `(T, m)`.
+fn steal_equalized_time(t_s: f64, helper_times: &[f64], elev: f64) -> Option<(f64, usize)> {
+    let mut sum = 0.0;
+    for m in 1..=helper_times.len() {
+        sum += helper_times[m - 1];
+        let t_eq = (t_s + elev * sum) / (1.0 + elev * m as f64);
+        if t_eq >= helper_times[m - 1] && (m == helper_times.len() || t_eq <= helper_times[m]) {
+            return Some((t_eq, m));
+        }
+    }
+    None
+}
+
+/// Uniformly shrink a worker's per-step phases (its `update` share is
+/// zero — the optimiser is booked at step level).
+fn scale_phases(p: &mut StepPhases, scale: f64) {
+    p.sampling *= scale;
+    p.feature_load *= scale;
+    p.forward *= scale;
+    p.backward *= scale;
 }
 
 /// SplitMix64-style mixing of a seed with up to three stream indices;
@@ -1098,6 +1428,170 @@ mod tests {
             e.simulate_epoch_with_faults(0, &plan),
             Err(DistDglError::RecoveryBudgetExceeded { .. })
         ));
+    }
+
+    fn slowdown_plan(machine: u32, factor: f64, from: u32, until: u32) -> FaultPlan {
+        FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Slowdown {
+                machine,
+                from_epoch: from,
+                until_epoch: until,
+                factor,
+            }],
+            machines: 4,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn steal_equalisation_solves_the_fluid_model() {
+        // One helper idle at t=1, straggler with 4s of backlog, helper
+        // 2x faster: T = (4 + 2*1)/(1 + 2) = 2.
+        let (t, m) = steal_equalized_time(4.0, &[1.0], 2.0).unwrap();
+        assert_eq!(m, 1);
+        assert!((t - 2.0).abs() < 1e-12);
+        // A helper that would only go idle after the equalised finish
+        // time stays out of the solution.
+        let (t, m) = steal_equalized_time(4.0, &[1.0, 3.0], 2.0).unwrap();
+        assert_eq!(m, 1, "late helper must not join");
+        assert!((t - 2.0).abs() < 1e-12);
+        // Two early helpers both join.
+        let (t2, m2) = steal_equalized_time(4.0, &[0.5, 1.0], 2.0).unwrap();
+        assert_eq!(m2, 2);
+        assert!((t2 - (4.0 + 2.0 * 1.5) / 5.0).abs() < 1e-12);
+        assert!(steal_equalized_time(4.0, &[], 2.0).is_none());
+    }
+
+    #[test]
+    fn mitigation_with_empty_plan_bit_identical() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 2, ModelKind::Sage)).unwrap();
+        let base = e.simulate_epoch(0);
+        let mut session = e.mitigation(MitigationPolicy::all());
+        let mit = e.simulate_epoch_mitigated(0, &FaultPlan::empty(), &mut session).unwrap();
+        assert_eq!(mit.summary.phases, base.phases);
+        assert_eq!(mit.summary.counters, base.counters);
+        assert_eq!(mit.mitigation, MitigationReport::default());
+        assert_eq!(mit.recovery, RecoveryReport::default());
+        assert!(mit.failed_workers.is_empty());
+    }
+
+    #[test]
+    fn mitigation_policy_none_matches_plain_fault_path() {
+        let (g, rnd, _, split) = setup(4);
+        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 32, 32, 2, ModelKind::Sage)).unwrap();
+        let plan = slowdown_plan(1, 0.25, 0, 3);
+        let mut session = e.mitigation(MitigationPolicy::none());
+        for epoch in 0..4 {
+            let plain = e.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            let mit = e.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            assert_eq!(mit.summary.phases, plain.summary.phases);
+            assert_eq!(mit.summary.counters, plain.summary.counters);
+            assert_eq!(mit.mitigation, MitigationReport::default());
+        }
+        // DistDGL has no adaptive cd-r: the adaptive-only policy also
+        // falls through to the plain path.
+        let mut adaptive = e.mitigation(MitigationPolicy::adaptive());
+        let plain = e.simulate_epoch_with_faults(1, &plan).unwrap();
+        let mit = e.simulate_epoch_mitigated(1, &plan, &mut adaptive).unwrap();
+        assert_eq!(mit.summary.phases, plain.summary.phases);
+    }
+
+    #[test]
+    fn work_stealing_rescues_straggler_epochs() {
+        let (g, rnd, _, split) = setup(4);
+        let mut c = cfg(4, 64, 128, 2, ModelKind::Sage);
+        c.global_batch_size = 32; // many steps per epoch: room to detect and react
+        let e = DistDglEngine::new(&g, &rnd, &split, c).unwrap();
+        let plan = slowdown_plan(1, 0.25, 1, 6);
+        let mut session = e.mitigation(MitigationPolicy::steal());
+        let mut unmit_total = 0.0;
+        let mut mit_total = 0.0;
+        let mut report = MitigationReport::default();
+        for epoch in 0..6 {
+            unmit_total +=
+                e.simulate_epoch_with_faults(epoch, &plan).unwrap().summary.epoch_time();
+            let mit = e.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            mit_total += mit.summary.epoch_time();
+            report.merge(&mit.mitigation);
+        }
+        assert!(report.stolen_steps > 0, "flagged straggler must be stolen from");
+        assert!(report.stolen_bytes > 0, "stolen inputs pay remote fetches");
+        assert!(
+            mit_total < unmit_total,
+            "stealing must cut epoch time: {mit_total} vs {unmit_total}"
+        );
+        // Slowdown-only plans execute the same steps in both runs, so
+        // the bookkept savings equal the epoch-time difference exactly.
+        assert!((unmit_total - mit_total - report.time_saved_secs).abs() < 1e-9);
+        assert_eq!(session.detector().stragglers(), vec![1], "detector tracks the slow worker");
+    }
+
+    #[test]
+    fn speculation_beats_the_deadline() {
+        let (g, rnd, _, split) = setup(4);
+        let mut c = cfg(4, 64, 128, 2, ModelKind::Sage);
+        c.global_batch_size = 32;
+        let e = DistDglEngine::new(&g, &rnd, &split, c).unwrap();
+        let plan = slowdown_plan(1, 0.25, 1, 6);
+        let mut session = e.mitigation(MitigationPolicy::speculate());
+        let mut unmit_total = 0.0;
+        let mut mit_total = 0.0;
+        let mut report = MitigationReport::default();
+        for epoch in 0..6 {
+            unmit_total +=
+                e.simulate_epoch_with_faults(epoch, &plan).unwrap().summary.epoch_time();
+            let mit = e.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            mit_total += mit.summary.epoch_time();
+            report.merge(&mit.mitigation);
+        }
+        assert!(report.speculated_steps > 0, "deadline violations must trigger backups");
+        assert_eq!(
+            report.speculation_wins, report.speculated_steps,
+            "backups are only launched when the model predicts a win"
+        );
+        assert!(report.speculation_bytes > 0);
+        assert!(report.speculation_wasted_secs > 0.0, "the loser's work is wasted");
+        assert!(
+            mit_total < unmit_total,
+            "speculation must cut epoch time: {mit_total} vs {unmit_total}"
+        );
+        assert_eq!(report.stolen_steps, 0, "stealing is off under this policy");
+    }
+
+    #[test]
+    fn mitigated_never_worse_and_deterministic() {
+        let (g, rnd, _, split) = setup(4);
+        let mut c = cfg(4, 32, 64, 2, ModelKind::Sage);
+        c.global_batch_size = 64;
+        let e = DistDglEngine::new(&g, &rnd, &split, c).unwrap();
+        let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(4, 8, 4.0, 0xfa11));
+        let mut s1 = e.mitigation(MitigationPolicy::all());
+        let mut s2 = e.mitigation(MitigationPolicy::all());
+        for epoch in 0..8 {
+            let unmit = e.simulate_epoch_with_faults(epoch, &plan);
+            let a = e.simulate_epoch_mitigated(epoch, &plan, &mut s1);
+            let b = e.simulate_epoch_mitigated(epoch, &plan, &mut s2);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.summary.phases, b.summary.phases);
+                    assert_eq!(a.summary.counters, b.summary.counters);
+                    assert_eq!(a.mitigation, b.mitigation);
+                    assert_eq!(a.failed_workers, b.failed_workers);
+                    if let Ok(u) = unmit {
+                        assert!(
+                            a.summary.epoch_time() <= u.summary.epoch_time() + 1e-9,
+                            "epoch {epoch}: mitigated {} > unmitigated {}",
+                            a.summary.epoch_time(),
+                            u.summary.epoch_time()
+                        );
+                    }
+                }
+                (Err(a), Err(b)) => assert_eq!(format!("{a:?}"), format!("{b:?}")),
+                _ => panic!("mitigated runs must agree on success"),
+            }
+        }
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! permanent — the crashed worker's training set is redistributed across
 //! the survivors (graceful degradation). An empty plan reproduces the
 //! healthy baseline bit-for-bit.
+//! [`DistDglEngine::simulate_epoch_mitigated`] layers the mitigation
+//! subsystem on top: an online detector (`gp_cluster::detect`) drives
+//! intra-epoch work stealing from flagged stragglers and speculative
+//! re-execution of deadline-violating steps, each applied per step only
+//! when strictly faster than the unmitigated step.
 
 pub mod engine;
 pub mod error;
@@ -35,7 +40,8 @@ pub mod store;
 pub mod train;
 
 pub use engine::{
-    DistDglConfig, DistDglEngine, EpochSummary, FaultyEpochSummary, StepPhases, StepReport,
+    DistDglConfig, DistDglEngine, DistDglMitigation, EpochSummary, FaultyEpochSummary,
+    MitigatedEpochSummary, StepPhases, StepReport,
 };
 pub use error::DistDglError;
 pub use sampler::{MiniBatch, SampleStats};

@@ -1,0 +1,130 @@
+//! Engine-level property tests for the DistDGL mitigation layer.
+//!
+//! The per-step adoption guard promises that mitigation (work stealing
+//! and speculative re-execution) never makes an epoch slower than the
+//! unmitigated fault path, that an empty fault plan is bit-identical to
+//! the healthy baseline, and that the whole pipeline is deterministic.
+//! Unit tests pin those properties on hand-picked slowdowns; here they
+//! are checked over randomised slowdown schedules and policies.
+
+use gp_cluster::{
+    ClusterSpec, FaultEvent, FaultPlan, MitigationPolicy, MitigationReport,
+};
+use gp_distdgl::{DistDglConfig, DistDglEngine};
+use gp_graph::generators::{community, CommunityParams};
+use gp_graph::{Graph, VertexSplit};
+use gp_partition::prelude::*;
+use gp_tensor::{ModelConfig, ModelKind};
+use proptest::prelude::*;
+
+const K: u32 = 4;
+const EPOCHS: u32 = 6;
+
+fn setup() -> (Graph, VertexPartition, VertexSplit) {
+    let g = community(
+        CommunityParams {
+            n: 400,
+            m: 4_000,
+            communities: 4,
+            intra_prob: 0.75,
+            degree_exponent: 2.3,
+        },
+        5,
+    )
+    .unwrap();
+    let split = VertexSplit::paper_default(g.num_vertices(), 3).unwrap();
+    let part = Metis::default().partition_vertices(&g, K, 1).unwrap();
+    (g, part, split)
+}
+
+fn config() -> DistDglConfig {
+    DistDglConfig::paper(
+        ModelConfig {
+            kind: ModelKind::Sage,
+            feature_dim: 32,
+            hidden_dim: 32,
+            num_layers: 2,
+            num_classes: 8,
+            seed: 0,
+        },
+        ClusterSpec::paper(K),
+    )
+}
+
+fn slowdown_plan(slowdowns: &[(u32, f64, u32, u32)]) -> FaultPlan {
+    FaultPlan {
+        events: slowdowns
+            .iter()
+            .map(|&(machine, factor, from, until)| FaultEvent::Slowdown {
+                machine,
+                from_epoch: from,
+                until_epoch: until,
+                factor,
+            })
+            .collect(),
+        machines: K,
+        epochs: EPOCHS,
+        recovery_budget_secs: f64::INFINITY,
+    }
+}
+
+fn policy(ix: u8) -> MitigationPolicy {
+    match ix % 3 {
+        0 => MitigationPolicy::steal(),
+        1 => MitigationPolicy::speculate(),
+        _ => MitigationPolicy::all(),
+    }
+}
+
+proptest! {
+    // Each case simulates 2 × EPOCHS epochs; a handful of cases keeps
+    // the suite fast while still exploring the schedule space.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn mitigated_never_worse_and_deterministic_under_slowdowns(
+        slowdowns in proptest::collection::vec(
+            (0..K, 0.1f64..0.9, 0u32..3, 1u32..4),
+            1..3,
+        ),
+        pol in 0u8..3,
+    ) {
+        let spec: Vec<(u32, f64, u32, u32)> = slowdowns
+            .into_iter()
+            .map(|(m, f, from, len)| (m, f, from, from + len))
+            .collect();
+        let (g, part, split) = setup();
+        let engine = DistDglEngine::new(&g, &part, &split, config()).unwrap();
+        let plan = slowdown_plan(&spec);
+        let mut s1 = engine.mitigation(policy(pol));
+        let mut s2 = engine.mitigation(policy(pol));
+        for epoch in 0..EPOCHS {
+            let unmit = engine.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            let a = engine.simulate_epoch_mitigated(epoch, &plan, &mut s1).unwrap();
+            let b = engine.simulate_epoch_mitigated(epoch, &plan, &mut s2).unwrap();
+            prop_assert!(
+                a.summary.epoch_time() <= unmit.summary.epoch_time() + 1e-9,
+                "epoch {epoch}: mitigated {} > unmitigated {}",
+                a.summary.epoch_time(),
+                unmit.summary.epoch_time()
+            );
+            prop_assert_eq!(a.summary.phases, b.summary.phases);
+            prop_assert_eq!(&a.summary.counters, &b.summary.counters);
+            prop_assert_eq!(a.mitigation, b.mitigation);
+        }
+    }
+
+    #[test]
+    fn empty_plan_mitigated_is_bit_identical(pol in 0u8..3, epoch in 0u32..3) {
+        let (g, part, split) = setup();
+        let engine = DistDglEngine::new(&g, &part, &split, config()).unwrap();
+        let mut session = engine.mitigation(policy(pol));
+        let base = engine.simulate_epoch(epoch);
+        let mit = engine
+            .simulate_epoch_mitigated(epoch, &FaultPlan::empty(), &mut session)
+            .unwrap();
+        prop_assert_eq!(mit.summary.phases, base.phases);
+        prop_assert_eq!(&mit.summary.counters, &base.counters);
+        prop_assert_eq!(mit.mitigation, MitigationReport::default());
+    }
+}

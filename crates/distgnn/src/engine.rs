@@ -2,7 +2,8 @@
 
 use gp_cluster::{
     compute_time, expected_retries, retry_backoff_secs, transfer_time, ClusterCounters,
-    ClusterSpec, FaultPlan, NetworkSpec, RecoveryReport,
+    ClusterSpec, DetectorConfig, FaultPlan, MitigationPolicy, MitigationReport, NetworkSpec,
+    RecoveryReport, StragglerDetector,
 };
 use gp_graph::Graph;
 use gp_partition::EdgePartition;
@@ -12,7 +13,7 @@ use gp_tensor::{ModelConfig, ModelKind};
 use crate::error::DistGnnError;
 use crate::memory::{machine_memory, MemoryBreakdown};
 use crate::sync::{layer_sync_traffic_dims, record_sync};
-use crate::view::{assign_masters, build_views, PartitionView};
+use crate::view::{assign_masters, assign_masters_avoiding, build_views, PartitionView};
 
 /// Configuration of a full-batch training run.
 #[derive(Debug, Clone, Copy)]
@@ -154,6 +155,61 @@ pub struct FaultyEpochReport {
     pub crashed_machines: Vec<u32>,
 }
 
+/// Result of one epoch simulated under a [`FaultPlan`] with a
+/// [`MitigationPolicy`] applied: the adopted epoch (mitigated when it
+/// was cheaper, unmitigated otherwise — mitigation never makes an epoch
+/// worse) plus the mitigation accounting for this epoch.
+#[derive(Debug, Clone)]
+pub struct MitigatedEpochReport {
+    /// The adopted epoch report.
+    pub report: EpochReport,
+    /// Fault-recovery accounting of the adopted epoch.
+    pub recovery: RecoveryReport,
+    /// Machines that crashed during this epoch.
+    pub crashed_machines: Vec<u32>,
+    /// What mitigation did (and cost) this epoch.
+    pub mitigation: MitigationReport,
+}
+
+/// Cross-epoch state of DistGNN's mitigation layer: the per-epoch
+/// straggler/degradation detector plus the adaptations it has enacted
+/// (current cd-r period, machines the master role has been migrated away
+/// from). Create one per training run with [`DistGnnEngine::mitigation`]
+/// and pass it to every [`DistGnnEngine::simulate_epoch_mitigated`] call
+/// in epoch order.
+#[derive(Debug, Clone)]
+pub struct DistGnnMitigation {
+    policy: MitigationPolicy,
+    detector: StragglerDetector,
+    base_sync_period: u32,
+    sync_period: u32,
+    /// Machines currently banned from the master role (bitmask).
+    banned: u64,
+    /// Rebalanced master assignment + views while `banned != 0`.
+    rebalanced: Option<(Vec<u32>, Vec<PartitionView>)>,
+}
+
+impl DistGnnMitigation {
+    /// The detector (flags lag one epoch behind the signal they react to).
+    pub fn detector(&self) -> &StragglerDetector {
+        &self.detector
+    }
+
+    /// The cd-r sync period the adaptive policy currently runs with.
+    pub fn sync_period(&self) -> u32 {
+        self.sync_period
+    }
+
+    /// Bitmask of machines the master role is currently migrated off.
+    pub fn banned_machines(&self) -> u64 {
+        self.banned
+    }
+
+    fn at_base_state(&self) -> bool {
+        self.sync_period == self.base_sync_period && self.rebalanced.is_none()
+    }
+}
+
 /// Full-batch edge-partitioned training engine.
 pub struct DistGnnEngine<'a> {
     graph: &'a Graph,
@@ -229,16 +285,31 @@ impl<'a> DistGnnEngine<'a> {
     /// Panics if `model.kind` differs from the configured kind.
     pub fn simulate_epoch_for(&self, model: &ModelConfig) -> EpochReport {
         let mut unused = RecoveryReport::default();
-        self.simulate_epoch_inner(model, None, &mut unused)
+        self.simulate_epoch_inner(
+            model,
+            &self.views,
+            &self.masters,
+            self.config.sync_period,
+            None,
+            &mut unused,
+        )
     }
 
     /// Shared epoch simulation. With `faults: None` this is the healthy
     /// baseline and performs *exactly* the same arithmetic as before the
     /// fault subsystem existed (every fault adjustment is behind an
     /// `if let Some(..)`), so healthy results stay bit-identical.
+    ///
+    /// `views`/`masters`/`sync_period` are parameters (rather than read
+    /// from `self`) so the mitigation layer can re-run an epoch with a
+    /// rebalanced master assignment or an adapted cd-r period; every
+    /// plain caller passes the engine's own state verbatim.
     fn simulate_epoch_inner(
         &self,
         model: &ModelConfig,
+        views: &[PartitionView],
+        masters: &[u32],
+        sync_period: u32,
         faults: Option<&EpochFaultCtx>,
         recovery: &mut RecoveryReport,
     ) -> EpochReport {
@@ -254,7 +325,7 @@ impl<'a> DistGnnEngine<'a> {
             // --- Compute (forward + backward), straggler-gated. ---
             let mut max_fwd = 0.0f64;
             let mut max_bwd = 0.0f64;
-            for view in &self.views {
+            for view in views {
                 let shape = BlockShape {
                     num_dst: view.num_masters(),
                     num_src: view.num_local_vertices(),
@@ -286,12 +357,12 @@ impl<'a> DistGnnEngine<'a> {
             for (gather, scatter) in [(in_dim, out_dim), (out_dim, in_dim)] {
                 let mut traffic = layer_sync_traffic_dims(
                     self.partition,
-                    &self.masters,
+                    masters,
                     gather as u64,
                     scatter as u64,
                 );
-                if self.config.sync_period > 1 {
-                    let p = u64::from(self.config.sync_period);
+                if sync_period > 1 {
+                    let p = u64::from(sync_period);
                     for v in traffic
                         .bytes_sent
                         .iter_mut()
@@ -355,9 +426,9 @@ impl<'a> DistGnnEngine<'a> {
 
         // --- Memory. ---
         let memory: Vec<MemoryBreakdown> =
-            self.views.iter().map(|v| machine_memory(v, model)).collect();
+            views.iter().map(|v| machine_memory(v, model)).collect();
         let mut oom_machines = Vec::new();
-        for (view, mem) in self.views.iter().zip(memory.iter()) {
+        for (view, mem) in views.iter().zip(memory.iter()) {
             counters.machine_mut(view.machine).observe_memory(mem.total());
             if mem.total() > cluster.machine.memory_bytes {
                 oom_machines.push(view.machine);
@@ -406,9 +477,39 @@ impl<'a> DistGnnEngine<'a> {
         epoch: u32,
         plan: &FaultPlan,
     ) -> Result<FaultyEpochReport, DistGnnError> {
+        self.simulate_epoch_with_faults_using(
+            epoch,
+            plan,
+            &self.views,
+            &self.masters,
+            self.config.sync_period,
+        )
+    }
+
+    /// [`DistGnnEngine::simulate_epoch_with_faults`] parameterised over
+    /// the master assignment and cd-r period, so the mitigation layer can
+    /// price an epoch under its adapted state. Crash recovery is keyed on
+    /// `views[..].local_vertices` — the replica sets — which are fixed by
+    /// the edge partition and identical under any master reassignment.
+    fn simulate_epoch_with_faults_using(
+        &self,
+        epoch: u32,
+        plan: &FaultPlan,
+        views: &[PartitionView],
+        masters: &[u32],
+        sync_period: u32,
+    ) -> Result<FaultyEpochReport, DistGnnError> {
         if plan.is_empty() {
+            let mut unused = RecoveryReport::default();
             return Ok(FaultyEpochReport {
-                report: self.simulate_epoch(),
+                report: self.simulate_epoch_inner(
+                    &self.config.model,
+                    views,
+                    masters,
+                    sync_period,
+                    None,
+                    &mut unused,
+                ),
                 recovery: RecoveryReport::default(),
                 crashed_machines: Vec::new(),
             });
@@ -424,7 +525,8 @@ impl<'a> DistGnnEngine<'a> {
             compute_factor,
             loss_rate: plan.loss_rate(epoch),
         };
-        let mut report = self.simulate_epoch_inner(&model, Some(&ctx), &mut recovery);
+        let mut report =
+            self.simulate_epoch_inner(&model, views, masters, sync_period, Some(&ctx), &mut recovery);
 
         if self.config.checkpoint_every > 0 && (epoch + 1) % self.config.checkpoint_every == 0 {
             recovery.checkpoints += 1;
@@ -445,7 +547,7 @@ impl<'a> DistGnnEngine<'a> {
 
             // Replicated vertices: fetch current state from one surviving
             // replica each (lowest machine id — deterministic).
-            let view = &self.views[machine as usize];
+            let view = &views[machine as usize];
             let mut replica_bytes = 0u64;
             let mut sources = 0u64;
             let mut unreplicated = 0u64;
@@ -469,10 +571,27 @@ impl<'a> DistGnnEngine<'a> {
             // Unreplicated state only exists in the last checkpoint, so
             // everything since it (plus the partial epoch in flight) is
             // re-executed; with full replica coverage only the partial
-            // epoch is lost.
+            // epoch is lost. Checkpoints carry a checksum that restore
+            // verifies before trusting the contents: a corrupt file is
+            // detected (never silently restored), its read is wasted,
+            // and recovery walks back one checkpoint period at a time —
+            // to scratch if no intact checkpoint remains.
             let lost = if unreplicated > 0 {
-                let since_ckpt = if self.config.checkpoint_every > 0 {
-                    epoch % self.config.checkpoint_every
+                let ce = self.config.checkpoint_every;
+                let since_ckpt = if ce > 0 {
+                    let mut since = epoch % ce;
+                    let mut ckpt = i64::from(epoch) - 1 - i64::from(since);
+                    while ckpt >= 0 && plan.corrupted_checkpoint(machine, ckpt as u32) {
+                        recovery.corrupted_checkpoints += 1;
+                        recovery.restore_seconds += (unreplicated * state) as f64 / CHECKPOINT_BW;
+                        since += ce;
+                        ckpt -= i64::from(ce);
+                    }
+                    if ckpt < 0 {
+                        epoch
+                    } else {
+                        since
+                    }
                 } else {
                     epoch
                 };
@@ -493,6 +612,227 @@ impl<'a> DistGnnEngine<'a> {
             });
         }
         Ok(FaultyEpochReport { report, recovery, crashed_machines })
+    }
+
+    /// Start a mitigation session for this engine. DistGNN observes one
+    /// round per epoch, so the detector runs with the fast-reacting
+    /// [`DetectorConfig::per_epoch`] tuning (the policy's `detector`
+    /// field tunes per-step engines like DistDGL).
+    pub fn mitigation(&self, policy: MitigationPolicy) -> DistGnnMitigation {
+        DistGnnMitigation {
+            policy,
+            detector: StragglerDetector::new(
+                self.config.cluster.machines,
+                DetectorConfig::per_epoch(),
+            ),
+            base_sync_period: self.config.sync_period,
+            sync_period: self.config.sync_period,
+            banned: 0,
+            rebalanced: None,
+        }
+    }
+
+    /// Per-machine compute seconds of one epoch under the given slowdown
+    /// factors — the detector's observation stream. Uses the engine's
+    /// *base* views so the signal (and therefore the flag sequence) does
+    /// not depend on what mitigation has already done.
+    fn per_machine_compute_secs(&self, model: &ModelConfig, compute_factor: &[f64]) -> Vec<f64> {
+        let cluster = &self.config.cluster;
+        let mut secs = vec![0.0f64; cluster.machines as usize];
+        for layer in 0..model.num_layers {
+            let (in_dim, out_dim) = model.layer_dims(layer);
+            for view in &self.views {
+                let shape = BlockShape {
+                    num_dst: view.num_masters(),
+                    num_src: view.num_local_vertices(),
+                    num_edges: view.num_local_edges(),
+                };
+                let flops = layer_train_flops(model.kind, shape, in_dim as u64, out_dim as u64);
+                secs[view.machine as usize] +=
+                    compute_time(&cluster.machine, flops) / compute_factor[view.machine as usize];
+            }
+        }
+        secs
+    }
+
+    /// Run one epoch under a fault plan with the session's
+    /// [`MitigationPolicy`] applied (DistGNN implements the
+    /// `adaptive_sync` axis: adaptive cd-r + master rebalancing).
+    ///
+    /// Per epoch: the unmitigated fault path is priced, and — when
+    /// earlier epochs left the session with adapted state — the epoch is
+    /// priced again under that state; the cheaper run (epoch time plus
+    /// recovery overhead) is adopted, so mitigation can never make an
+    /// epoch worse. The detector then observes the *unmitigated* signals
+    /// (detection is independent of mitigation — the flag sequence
+    /// depends only on the fault plan) and the session adapts for the
+    /// next epoch: the cd-r period is quadrupled while the network is
+    /// flagged degraded and restored on recovery (staleness hurts
+    /// convergence, which the cost model does not price, so the long
+    /// period is reserved for brownouts), and the master role is
+    /// migrated away from machines flagged persistently slow (back when
+    /// they recover), paying the migration traffic up front in the
+    /// epoch that commits the move.
+    ///
+    /// With an empty plan or a policy without `adaptive_sync` this is
+    /// exactly [`DistGnnEngine::simulate_epoch_with_faults`].
+    ///
+    /// Contract: the adopted epoch's cost (wall time plus recovery
+    /// overhead) plus any migration charged this epoch (reported in
+    /// `mitigation.migration_seconds`) never exceeds the unmitigated
+    /// epoch's cost. A migration commits migrate-then-run — the epoch
+    /// executes on the rebalanced assignment and must beat the run
+    /// adopted so far by more than the migration itself — so mitigated
+    /// totals are never worse by construction.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistGnnEngine::simulate_epoch_with_faults`].
+    pub fn simulate_epoch_mitigated(
+        &self,
+        epoch: u32,
+        plan: &FaultPlan,
+        session: &mut DistGnnMitigation,
+    ) -> Result<MitigatedEpochReport, DistGnnError> {
+        if plan.is_empty() || !session.policy.adaptive_sync {
+            let base = self.simulate_epoch_with_faults(epoch, plan)?;
+            return Ok(MitigatedEpochReport {
+                report: base.report,
+                recovery: base.recovery,
+                crashed_machines: base.crashed_machines,
+                mitigation: MitigationReport::default(),
+            });
+        }
+
+        let model = self.config.model;
+        let k = self.config.cluster.machines;
+        let mut mitigation = MitigationReport::default();
+
+        let unmit = self.simulate_epoch_with_faults(epoch, plan)?;
+        let unmit_cost = unmit.report.epoch_time() + unmit.recovery.total_overhead_seconds();
+        let unmit_sync = unmit.report.phases.sync;
+        let candidate = if session.at_base_state() {
+            None
+        } else {
+            let (masters, views) = session
+                .rebalanced
+                .as_ref()
+                .map_or((&self.masters[..], &self.views[..]), |(m, v)| (&m[..], &v[..]));
+            self.simulate_epoch_with_faults_using(epoch, plan, views, masters, session.sync_period)
+                .ok()
+        };
+        let mut chosen = match candidate {
+            Some(c) => {
+                let cost = c.report.epoch_time() + c.recovery.total_overhead_seconds();
+                if cost < unmit_cost {
+                    mitigation.time_saved_secs = unmit_cost - cost;
+                    c
+                } else {
+                    unmit
+                }
+            }
+            None => unmit,
+        };
+
+        let compute_factor: Vec<f64> = (0..k).map(|m| plan.compute_factor(m, epoch)).collect();
+        let times = self.per_machine_compute_secs(&model, &compute_factor);
+        session.detector.observe_compute(&times);
+        session.detector.observe_network(unmit_sync);
+
+        let target = if session.detector.network_degraded() {
+            session.base_sync_period.saturating_mul(4)
+        } else {
+            session.base_sync_period
+        };
+        if target != session.sync_period {
+            session.sync_period = target;
+            mitigation.sync_period_changes += 1;
+        }
+
+        // Ban set the detector would like: persistent stragglers out
+        // (never all machines), recovered machines back in.
+        let persist = session.detector.config().persist_rounds;
+        let mut desired = session.banned;
+        for m in 0..k {
+            let bit = 1u64 << m;
+            if session.detector.is_straggler(m)
+                && session.detector.flagged_rounds(m) >= persist
+                && desired & bit == 0
+                && (desired | bit).count_ones() < k
+            {
+                desired |= bit;
+            } else if desired & bit != 0 && !session.detector.is_straggler(m) {
+                desired &= !bit;
+            }
+        }
+        if desired != session.banned {
+            let new_masters = if desired == 0 {
+                self.masters.clone()
+            } else {
+                assign_masters_avoiding(self.partition, desired)
+            };
+            let old_masters =
+                session.rebalanced.as_ref().map_or(&self.masters[..], |(m, _)| &m[..]);
+            let moved = old_masters
+                .iter()
+                .zip(new_masters.iter())
+                .filter(|(a, b)| a != b)
+                .count() as u64;
+            if moved == 0 {
+                session.banned = desired;
+                if desired == 0 {
+                    session.rebalanced = None;
+                }
+            } else {
+                // The owner role moves with its aggregate state: one
+                // batched stream per machine on the (possibly degraded)
+                // network of the epoch the migration runs in. The move
+                // commits migrate-then-run: the migration is paid up
+                // front and the epoch then executes on the rebalanced
+                // assignment, so it is adopted only when migration plus
+                // the rebalanced epoch beat the run adopted so far — a
+                // single-epoch payback rule. Unprofitable moves
+                // (network-bound configs, where sync dominates and
+                // masters barely matter) are never charged, and a
+                // rejected move is proposed again next epoch while the
+                // straggler persists.
+                let bytes = moved * per_vertex_state_bytes(&model);
+                let net = plan.degraded_network(&self.config.cluster.network, epoch);
+                let migration_secs = transfer_time(&net, bytes, u64::from(k));
+                let views = build_views(self.graph, self.partition, &new_masters);
+                let cand = self
+                    .simulate_epoch_with_faults_using(
+                        epoch,
+                        plan,
+                        &views,
+                        &new_masters,
+                        session.sync_period,
+                    )
+                    .ok();
+                let chosen_cost =
+                    chosen.report.epoch_time() + chosen.recovery.total_overhead_seconds();
+                if let Some(c) = cand {
+                    let cost = c.report.epoch_time() + c.recovery.total_overhead_seconds();
+                    if cost + migration_secs < chosen_cost {
+                        mitigation.masters_migrated += moved;
+                        mitigation.migration_bytes += bytes;
+                        mitigation.migration_seconds += migration_secs;
+                        mitigation.time_saved_secs = unmit_cost - cost - migration_secs;
+                        session.banned = desired;
+                        session.rebalanced =
+                            if desired == 0 { None } else { Some((new_masters, views)) };
+                        chosen = c;
+                    }
+                }
+            }
+        }
+
+        Ok(MitigatedEpochReport {
+            report: chosen.report,
+            recovery: chosen.recovery,
+            crashed_machines: chosen.crashed_machines,
+            mitigation,
+        })
     }
 }
 
@@ -778,6 +1118,185 @@ mod tests {
             engine.simulate_epoch_with_faults(2, &plan),
             Err(DistGnnError::WorkerFailed { machine: 0, epoch: 2 })
         ));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_detected_and_falls_back() {
+        let (g, random, _) = setup(8);
+        let mut c = cfg(8, 64, 64, 2);
+        c.checkpoint_every = 2;
+        let engine = DistGnnEngine::new(&g, &random, c).unwrap();
+        let crash = gp_cluster::FaultEvent::Crash { machine: 3, epoch: 7, step_frac: 0.25 };
+        let plan = |extra: &[(u32, u32)]| FaultPlan {
+            events: std::iter::once(crash)
+                .chain(extra.iter().map(|&(machine, epoch)| {
+                    gp_cluster::FaultEvent::CheckpointCorruption { machine, epoch }
+                }))
+                .collect(),
+            machines: 8,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        // Checkpoints land at the end of epochs 1, 3, 5; the crash at
+        // epoch 7 restores from epoch 5's.
+        let a = engine.simulate_epoch_with_faults(7, &plan(&[])).unwrap().recovery;
+        assert_eq!(a.corrupted_checkpoints, 0);
+        assert!(
+            (a.lost_progress_epochs - 1.25).abs() < 1e-9,
+            "premise: machine 3 holds unreplicated vertices, lost = {}",
+            a.lost_progress_epochs
+        );
+        // Epoch 5's checkpoint corrupt: detected, recovery walks back to
+        // epoch 3's and pays the wasted read.
+        let b = engine.simulate_epoch_with_faults(7, &plan(&[(3, 5)])).unwrap().recovery;
+        assert_eq!(b.corrupted_checkpoints, 1);
+        assert!((b.lost_progress_epochs - 3.25).abs() < 1e-9);
+        assert!(b.restore_seconds > a.restore_seconds);
+        // All checkpoints corrupt: replay from scratch.
+        let c = engine
+            .simulate_epoch_with_faults(7, &plan(&[(3, 5), (3, 3), (3, 1)]))
+            .unwrap()
+            .recovery;
+        assert_eq!(c.corrupted_checkpoints, 3);
+        assert!((c.lost_progress_epochs - 7.25).abs() < 1e-9);
+        // Corruption of a checkpoint never read (other machine, or an
+        // epoch that is not the restore point) changes nothing.
+        let d = engine.simulate_epoch_with_faults(7, &plan(&[(2, 5), (3, 4)])).unwrap().recovery;
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn mitigation_with_empty_plan_bit_identical() {
+        let (g, random, _) = setup(8);
+        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let base = engine.simulate_epoch();
+        let mut session = engine.mitigation(MitigationPolicy::all());
+        for epoch in 0..3 {
+            let r = engine.simulate_epoch_mitigated(epoch, &FaultPlan::empty(), &mut session).unwrap();
+            assert_eq!(r.report.phases, base.phases);
+            assert_eq!(r.report.counters, base.counters);
+            assert_eq!(r.mitigation, gp_cluster::MitigationReport::default());
+        }
+    }
+
+    #[test]
+    fn mitigation_policy_none_matches_plain_fault_path() {
+        let (g, random, _) = setup(8);
+        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 10, 3.0, 0xfa11));
+        let mut session = engine.mitigation(MitigationPolicy::none());
+        for epoch in 0..10 {
+            let plain = engine.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            let r = engine.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            assert_eq!(r.report.phases, plain.report.phases);
+            assert_eq!(r.recovery, plain.recovery);
+        }
+    }
+
+    fn brownout_plan() -> FaultPlan {
+        FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Degradation {
+                from_epoch: 1,
+                until_epoch: 6,
+                bandwidth_factor: 0.25,
+                loss_rate: 0.0,
+            }],
+            machines: 8,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn adaptive_cdr_saves_time_under_brownout() {
+        let (g, random, _) = setup(8);
+        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 3)).unwrap();
+        let plan = brownout_plan();
+        let mut session = engine.mitigation(MitigationPolicy::adaptive());
+        let mut unmit_total = 0.0;
+        let mut mit_total = 0.0;
+        let mut mitigation = gp_cluster::MitigationReport::default();
+        for epoch in 0..8 {
+            unmit_total += engine.simulate_epoch_with_faults(epoch, &plan).unwrap().report.epoch_time();
+            let r = engine.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            mit_total += r.report.epoch_time();
+            mitigation.merge(&r.mitigation);
+        }
+        assert!(
+            mit_total < unmit_total,
+            "adaptive cd-r must save time: {mit_total} vs {unmit_total}"
+        );
+        // Lengthened when the brownout was detected, restored after it
+        // cleared.
+        assert!(mitigation.sync_period_changes >= 2, "{:?}", mitigation);
+        assert_eq!(session.sync_period(), engine.config().sync_period);
+        assert!(mitigation.time_saved_secs > 0.0);
+    }
+
+    #[test]
+    fn master_rebalance_migrates_off_persistent_straggler() {
+        // Master rebalancing moves *compute* (the dense layers run at
+        // the owner), so it pays off in compute-bound configurations —
+        // hidden = 512, the top of the paper's grid. In network-bound
+        // ones the per-epoch guard keeps the unmitigated path instead.
+        let (g, random, _) = setup(8);
+        let engine = DistGnnEngine::new(&g, &random, cfg(8, 512, 512, 3)).unwrap();
+        let plan = FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Slowdown {
+                machine: 2,
+                from_epoch: 1,
+                until_epoch: 10,
+                factor: 0.25,
+            }],
+            machines: 8,
+            epochs: 12,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        let mut session = engine.mitigation(MitigationPolicy::adaptive());
+        let mut unmit_total = 0.0;
+        let mut mit_total = 0.0;
+        let mut mitigation = gp_cluster::MitigationReport::default();
+        for epoch in 0..10 {
+            unmit_total += engine.simulate_epoch_with_faults(epoch, &plan).unwrap().report.epoch_time();
+            let r = engine.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            mit_total += r.report.epoch_time();
+            mitigation.merge(&r.mitigation);
+        }
+        assert!(mitigation.masters_migrated > 0, "persistent straggler must trigger migration");
+        assert!(mitigation.migration_bytes > 0);
+        assert!(mitigation.migration_seconds > 0.0);
+        assert!(
+            mit_total + mitigation.migration_seconds < unmit_total,
+            "rebalancing must pay for itself: {mit_total} + {} vs {unmit_total}",
+            mitigation.migration_seconds
+        );
+        assert_ne!(session.banned_machines() & (1 << 2), 0, "machine 2 stays banned while slow");
+    }
+
+    #[test]
+    fn mitigated_never_worse_and_deterministic() {
+        let (g, random, _) = setup(8);
+        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 12, 4.0, 0xfa11));
+        let run = || {
+            let mut session = engine.mitigation(MitigationPolicy::all());
+            (0..12)
+                .map(|e| engine.simulate_epoch_mitigated(e, &plan, &mut session).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        for (epoch, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(ra.report.phases, rb.report.phases, "epoch {epoch}");
+            assert_eq!(ra.mitigation, rb.mitigation, "epoch {epoch}");
+            let unmit = engine.simulate_epoch_with_faults(epoch as u32, &plan).unwrap();
+            let unmit_cost = unmit.report.epoch_time() + unmit.recovery.total_overhead_seconds();
+            let mit_cost = ra.report.epoch_time() + ra.recovery.total_overhead_seconds();
+            assert!(
+                mit_cost <= unmit_cost + 1e-9,
+                "epoch {epoch}: mitigated {mit_cost} worse than unmitigated {unmit_cost}"
+            );
+        }
     }
 
     #[test]

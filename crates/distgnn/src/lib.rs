@@ -23,6 +23,11 @@
 //! replica-based crash recovery (recovery traffic ∝ replication factor),
 //! transient stragglers and lossy links. An empty plan reproduces the
 //! healthy baseline bit-for-bit.
+//! [`DistGnnEngine::simulate_epoch_mitigated`] layers the mitigation
+//! subsystem on top: an online detector (`gp_cluster::detect`) drives
+//! adaptive cd-r (longer sync period during network brownouts) and
+//! master rebalancing away from persistently slow machines, never making
+//! an epoch worse than the unmitigated fault path.
 //!
 //! Work attribution per machine `m`, per layer:
 //!
@@ -43,7 +48,10 @@ pub mod sync;
 pub mod train;
 pub mod view;
 
-pub use engine::{DistGnnConfig, DistGnnEngine, EpochPhases, EpochReport, FaultyEpochReport};
+pub use engine::{
+    DistGnnConfig, DistGnnEngine, DistGnnMitigation, EpochPhases, EpochReport, FaultyEpochReport,
+    MitigatedEpochReport,
+};
 pub use error::DistGnnError;
 pub use memory::MemoryBreakdown;
 pub use train::TrainStats;

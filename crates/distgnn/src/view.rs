@@ -44,6 +44,16 @@ pub const NO_MASTER: u32 = u32::MAX;
 /// dense-layer compute happens at the owner). Greedy: each vertex goes
 /// to its least-loaded replica partition; deterministic by vertex order.
 pub fn assign_masters(partition: &EdgePartition) -> Vec<u32> {
+    assign_masters_avoiding(partition, 0)
+}
+
+/// [`assign_masters`] with a bitmask of machines to avoid: the mitigation
+/// layer migrates the master role away from a persistently slow machine
+/// by reassigning with that machine banned. A vertex replicated *only* on
+/// banned machines keeps a banned master (the replica sets themselves
+/// are fixed by the edge partition — only the owner role moves).
+/// `banned = 0` reproduces [`assign_masters`] exactly.
+pub fn assign_masters_avoiding(partition: &EdgePartition, banned: u64) -> Vec<u32> {
     let k = partition.k() as usize;
     let mut load = vec![0u64; k];
     let mut masters = vec![NO_MASTER; partition.num_vertices() as usize];
@@ -52,9 +62,10 @@ pub fn assign_masters(partition: &EdgePartition) -> Vec<u32> {
         if mask == 0 {
             continue;
         }
+        let candidates = if mask & !banned != 0 { mask & !banned } else { mask };
         let mut best = NO_MASTER;
         let mut best_load = u64::MAX;
-        let mut m = mask;
+        let mut m = candidates;
         while m != 0 {
             let p = m.trailing_zeros();
             if load[p as usize] < best_load {
@@ -166,6 +177,22 @@ mod tests {
         let c1 = masters.iter().filter(|&&m| m == 1).count();
         assert_eq!(c0 + c1, 4);
         assert!(c0.abs_diff(c1) <= 1, "masters {c0} vs {c1}");
+    }
+
+    #[test]
+    fn avoiding_moves_masters_off_banned_machine() {
+        let g = cycle();
+        let p = EdgePartition::new(&g, 2, vec![0, 0, 1, 1]).unwrap();
+        let base = assign_masters(&p);
+        assert_eq!(assign_masters_avoiding(&p, 0), base, "banned = 0 is the identity");
+        let avoided = assign_masters_avoiding(&p, 1 << 0);
+        for v in 0..4u32 {
+            if p.replica_mask(v) & !1 != 0 {
+                assert_ne!(avoided[v as usize], 0, "vertex {v} mastered on banned machine");
+            } else {
+                assert_eq!(avoided[v as usize], 0, "only-banned vertex keeps its master");
+            }
+        }
     }
 
     #[test]

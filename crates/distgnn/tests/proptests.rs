@@ -1,0 +1,137 @@
+//! Engine-level property tests for the DistGNN mitigation layer.
+//!
+//! Adaptive cd-r and master rebalancing are adopted per epoch only when
+//! they beat the unmitigated epoch (and a migration must pay for itself
+//! within the epoch that commits it), so mitigation can never make an
+//! epoch more expensive. Unit tests pin this on hand-picked schedules;
+//! here it is checked over randomised slowdown/brownout schedules,
+//! together with empty-plan bit-identity and determinism.
+
+use gp_cluster::{
+    ClusterSpec, FaultEvent, FaultPlan, MitigationPolicy, MitigationReport,
+};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_graph::generators::{community, CommunityParams};
+use gp_graph::Graph;
+use gp_partition::prelude::*;
+use gp_tensor::{ModelConfig, ModelKind};
+use proptest::prelude::*;
+
+const K: u32 = 4;
+const EPOCHS: u32 = 6;
+
+fn setup() -> (Graph, EdgePartition) {
+    let g = community(
+        CommunityParams {
+            n: 400,
+            m: 4_000,
+            communities: 4,
+            intra_prob: 0.75,
+            degree_exponent: 2.3,
+        },
+        5,
+    )
+    .unwrap();
+    let part = Hdrf::default().partition_edges(&g, K, 1).unwrap();
+    (g, part)
+}
+
+fn config() -> DistGnnConfig {
+    DistGnnConfig::paper(
+        ModelConfig {
+            kind: ModelKind::Sage,
+            feature_dim: 32,
+            hidden_dim: 32,
+            num_layers: 2,
+            num_classes: 8,
+            seed: 0,
+        },
+        ClusterSpec::paper(K),
+    )
+}
+
+/// Crash-free plan: transient stragglers plus an optional brownout —
+/// the fault classes the adaptive policy reacts to.
+fn stress_plan(
+    slowdowns: &[(u32, f64, u32, u32)],
+    brownout: Option<(u32, u32, f64)>,
+) -> FaultPlan {
+    let mut events: Vec<FaultEvent> = slowdowns
+        .iter()
+        .map(|&(machine, factor, from, until)| FaultEvent::Slowdown {
+            machine,
+            from_epoch: from,
+            until_epoch: until,
+            factor,
+        })
+        .collect();
+    if let Some((from, until, bandwidth_factor)) = brownout {
+        events.push(FaultEvent::Degradation {
+            from_epoch: from,
+            until_epoch: until,
+            bandwidth_factor,
+            loss_rate: 0.02,
+        });
+    }
+    FaultPlan { events, machines: K, epochs: EPOCHS, recovery_budget_secs: f64::INFINITY }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn mitigated_never_worse_and_deterministic(
+        slowdowns in proptest::collection::vec(
+            (0..K, 0.1f64..0.9, 0u32..3, 1u32..4),
+            1..3,
+        ),
+        brownout in proptest::option::of((0u32..3, 1u32..4, 0.2f64..0.9)),
+    ) {
+        let spec: Vec<(u32, f64, u32, u32)> = slowdowns
+            .into_iter()
+            .map(|(m, f, from, len)| (m, f, from, from + len))
+            .collect();
+        let plan = stress_plan(
+            &spec,
+            brownout.map(|(from, len, bw)| (from, from + len, bw)),
+        );
+        let (g, part) = setup();
+        let engine = DistGnnEngine::new(&g, &part, config()).unwrap();
+        let mut s1 = engine.mitigation(MitigationPolicy::adaptive());
+        let mut s2 = engine.mitigation(MitigationPolicy::adaptive());
+        for epoch in 0..EPOCHS {
+            let unmit = engine.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            let a = engine.simulate_epoch_mitigated(epoch, &plan, &mut s1).unwrap();
+            let b = engine.simulate_epoch_mitigated(epoch, &plan, &mut s2).unwrap();
+            // The engine's contract: the adopted epoch plus any
+            // migration charged in it (migrate-then-run) never costs
+            // more than the unmitigated epoch.
+            let mit_cost = a.report.epoch_time()
+                + a.recovery.total_overhead_seconds()
+                + a.mitigation.migration_seconds;
+            let unmit_cost =
+                unmit.report.epoch_time() + unmit.recovery.total_overhead_seconds();
+            prop_assert!(
+                mit_cost <= unmit_cost + 1e-9,
+                "epoch {epoch}: mitigated {mit_cost} > unmitigated {unmit_cost}"
+            );
+            prop_assert_eq!(a.report.phases, b.report.phases);
+            prop_assert_eq!(&a.report.counters, &b.report.counters);
+            prop_assert_eq!(a.mitigation, b.mitigation);
+        }
+    }
+
+    #[test]
+    fn empty_plan_mitigated_is_bit_identical(_seed in 0u8..4) {
+        let (g, part) = setup();
+        let engine = DistGnnEngine::new(&g, &part, config()).unwrap();
+        let mut session = engine.mitigation(MitigationPolicy::adaptive());
+        let base = engine.simulate_epoch();
+        let mit = engine
+            .simulate_epoch_mitigated(0, &FaultPlan::empty(), &mut session)
+            .unwrap();
+        prop_assert_eq!(mit.report.phases, base.phases);
+        prop_assert_eq!(&mit.report.counters, &base.counters);
+        prop_assert_eq!(mit.mitigation, MitigationReport::default());
+    }
+}
