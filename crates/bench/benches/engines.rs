@@ -16,7 +16,7 @@ fn bench_distgnn_simulation(c: &mut Criterion) {
     let graph = DatasetId::OR.generate(GraphScale::Tiny).expect("preset valid");
     let partition = Hdrf::default().partition_edges(&graph, 8, 1).expect("valid");
     let config = DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), ClusterSpec::paper(8));
-    let engine = DistGnnEngine::new(&graph, &partition, config).expect("valid");
+    let engine = DistGnnEngine::builder(&graph, &partition).config(config).build().expect("valid");
     c.bench_function("distgnn_simulate_epoch", |b| {
         b.iter(|| black_box(engine.simulate_epoch()));
     });
@@ -31,7 +31,7 @@ fn bench_distdgl_sampling(c: &mut Criterion) {
         ClusterSpec::paper(8),
     );
     config.global_batch_size = 256;
-    let engine = DistDglEngine::new(&graph, &partition, &split, config).expect("valid");
+    let engine = DistDglEngine::builder(&graph, &partition, &split).config(config).build().expect("valid");
     c.bench_function("distdgl_sample_epoch", |b| {
         b.iter(|| black_box(engine.sample_epoch(0)));
     });
@@ -45,7 +45,7 @@ fn bench_engine_setup(c: &mut Criterion) {
     let partition = Hep::hep100().partition_edges(&graph, 8, 1).expect("valid");
     let config = DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), ClusterSpec::paper(8));
     c.bench_function("distgnn_engine_build", |b| {
-        b.iter(|| black_box(DistGnnEngine::new(&graph, &partition, config).expect("valid")));
+        b.iter(|| black_box(DistGnnEngine::builder(&graph, &partition).config(config).build().expect("valid")));
     });
 }
 

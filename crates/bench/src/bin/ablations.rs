@@ -12,6 +12,9 @@
 //!   injection (crashes + stragglers + brownouts; extension).
 //! * `mitigation` — mitigated vs unmitigated epoch time per partitioner
 //!   under a crash-free straggler/brownout stress schedule (extension).
+//! * `phases` — per-(worker, phase) breakdown of traced engine runs via
+//!   the span recorder (extension; the aggregate `gnnpart trace
+//!   --phase-csv` emits).
 //!
 //! ```text
 //! cargo run -p gp-bench --release --bin ablations -- all
@@ -53,6 +56,7 @@ fn main() {
         "cdr" => cdr(&ctx),
         "faults" => faults(&ctx, quick),
         "mitigation" => mitigation(&ctx, quick),
+        "phases" => phases(&ctx, quick),
         "all" => {
             hdrf_lambda(&ctx);
             hep_tau(&ctx);
@@ -64,12 +68,13 @@ fn main() {
             cdr(&ctx);
             faults(&ctx, quick);
             mitigation(&ctx, quick);
+            phases(&ctx, quick);
         }
         other => {
             eprintln!(
                 "unknown ablation {other:?} \
                  (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|\
-                 mitigation|all) [--quick]"
+                 mitigation|phases|all) [--quick]"
             );
             std::process::exit(2);
         }
@@ -138,7 +143,7 @@ fn fanout(ctx: &Ctx) {
         );
         config.fanouts = fanouts;
         let engine =
-            DistDglEngine::new(&graph, &partition, &split, config).expect("valid");
+            DistDglEngine::builder(&graph, &partition, &split).config(config).build().expect("valid");
         let summary = engine.simulate_epoch(0);
         t.push(vec![
             name.to_string(),
@@ -175,10 +180,10 @@ fn costmodel(ctx: &Ctx) {
         cluster.network = network;
         let config =
             DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), cluster);
-        let base = DistGnnEngine::new(&graph, &random.partition, config)
+        let base = DistGnnEngine::builder(&graph, &random.partition).config(config).build()
             .expect("valid")
             .simulate_epoch();
-        let own = DistGnnEngine::new(&graph, &hep.partition, config)
+        let own = DistGnnEngine::builder(&graph, &hep.partition).config(config).build()
             .expect("valid")
             .simulate_epoch();
         t.push(vec![name.to_string(), fmt(base.epoch_time() / own.epoch_time())]);
@@ -203,7 +208,7 @@ fn cache(ctx: &Ctx) {
             ClusterSpec::paper(8),
         );
         config.feature_cache_entries = entries;
-        let engine = DistDglEngine::new(&graph, &partition, &split, config).expect("valid");
+        let engine = DistDglEngine::builder(&graph, &partition, &split).config(config).build().expect("valid");
         let s = engine.simulate_epoch(0);
         let hit_rate = s.cache_hits as f64 / s.total_remote_vertices.max(1) as f64;
         t.push(vec![
@@ -367,6 +372,39 @@ fn mitigation(ctx: &Ctx, quick: bool) {
     ctx.emit(&mitigation_sweep_table("ablation_mitigation_distdgl", &rows));
 }
 
+/// Traced phase breakdown: run both engines with the span recorder
+/// attached and emit the per-(worker, phase) aggregates — where a
+/// simulated epoch's time, bytes and flops actually go (extension).
+/// The span-accounting invariant (engine test suites) guarantees these
+/// rows sum exactly to the engines' reported phase totals, and tracing
+/// never perturbs the simulation itself.
+fn phases(ctx: &Ctx, quick: bool) {
+    use gp_core::trace_run::{distdgl_trace_run, distgnn_trace_run, phase_table};
+    let (k, epochs) = if quick { (4, 2) } else { (8, 4) };
+    let graph = ctx.graph(DatasetId::OR);
+    let parts = ctx.edge_partitions(DatasetId::OR, k);
+    let hdrf = parts.iter().find(|p| p.name == "HDRF").expect("registered");
+    let config = DistGnnConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(k),
+    );
+    let sink = distgnn_trace_run(&graph, &hdrf.partition, config, epochs, None, false)
+        .expect("healthy traced run");
+    ctx.emit(&phase_table("ablation_phase_breakdown_distgnn", &sink));
+
+    let split = ctx.split(DatasetId::OR);
+    let vparts = ctx.vertex_partitions(DatasetId::OR, k);
+    let metis = vparts.iter().find(|p| p.name == "METIS").expect("registered");
+    let config = DistDglConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(k),
+    );
+    let sink =
+        distdgl_trace_run(&graph, &metis.partition, &split, config, epochs, None, false)
+            .expect("healthy traced run");
+    ctx.emit(&phase_table("ablation_phase_breakdown_distdgl", &sink));
+}
+
 /// DistGNN cd-r: per-epoch sync cost vs the sync period (extension;
 /// staleness/convergence effects are outside the cost model — the
 /// DistGNN paper shows accuracy degrades gracefully up to r ≈ 4).
@@ -384,7 +422,7 @@ fn cdr(ctx: &Ctx) {
             ClusterSpec::paper(16),
         );
         config.sync_period = period;
-        let report = DistGnnEngine::new(&graph, &random.partition, config)
+        let report = DistGnnEngine::builder(&graph, &random.partition).config(config).build()
             .expect("valid")
             .simulate_epoch();
         t.push(vec![

@@ -1,5 +1,5 @@
-//! Hand-rolled argument parsing (no external dependency needed for five
-//! subcommands).
+//! Hand-rolled argument parsing (no external dependency needed for a
+//! handful of subcommands).
 
 use std::path::PathBuf;
 
@@ -52,6 +52,12 @@ COMMANDS:
                                     none|steal|speculate|adaptive|all
                                     (default none; steal/speculate are
                                     DistDGL, adaptive cd-r is DistGNN)
+    trace <edge-list>           simulate epochs and record a span trace
+                                (accepts every simulate option, incl.
+                                --faults and --mitigate, plus:)
+        --trace-out FILE            Chrome-tracing JSON output (default
+                                    trace.json; open in chrome://tracing)
+        --phase-csv FILE            per-(worker, phase) aggregate CSV
     list                        list the 12 partitioners
     help                        this text
 ";
@@ -67,6 +73,8 @@ pub enum Command {
     Partition(PartitionCmd),
     /// `gnnpart simulate`.
     Simulate(SimulateCmd),
+    /// `gnnpart trace`.
+    Trace(TraceCmd),
     /// `gnnpart recommend`.
     Recommend(RecommendCmd),
     /// `gnnpart list`.
@@ -148,6 +156,19 @@ pub struct SimulateCmd {
     pub mitigate: String,
 }
 
+/// Options of `gnnpart trace`: a full simulation plus trace-export
+/// destinations. Every `simulate` option (including `--faults` and
+/// `--mitigate`) composes with the trace flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCmd {
+    /// The simulation to run (same options as `gnnpart simulate`).
+    pub sim: SimulateCmd,
+    /// Chrome-tracing JSON output path.
+    pub trace_out: PathBuf,
+    /// Optional per-(worker, phase) aggregate CSV output path.
+    pub phase_csv: Option<PathBuf>,
+}
+
 /// Options of `gnnpart recommend`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecommendCmd {
@@ -216,6 +237,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "stats" => parse_stats(&mut opts),
         "partition" => parse_partition(&mut opts),
         "simulate" => parse_simulate(&mut opts),
+        "trace" => parse_trace(&mut opts),
         "recommend" => parse_recommend(&mut opts),
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -297,12 +319,9 @@ fn parse_partition(opts: &mut Opts) -> Result<Command, ParseError> {
     Ok(Command::Partition(cmd))
 }
 
-fn parse_simulate(opts: &mut Opts) -> Result<Command, ParseError> {
-    let Some(input) = opts.next() else {
-        return err("simulate requires an edge-list path");
-    };
-    let mut cmd = SimulateCmd {
-        input: PathBuf::from(input),
+fn default_simulate(input: PathBuf) -> SimulateCmd {
+    SimulateCmd {
+        input,
         algo: "HDRF".into(),
         k: 8,
         system: "distgnn".into(),
@@ -317,54 +336,100 @@ fn parse_simulate(opts: &mut Opts) -> Result<Command, ParseError> {
         checkpoint_every: 0,
         fault_seed: 42,
         mitigate: "none".into(),
+    }
+}
+
+/// Apply one simulation flag shared between `simulate` and `trace`.
+/// Returns `Ok(false)` when the flag is not a simulation option (the
+/// caller decides whether that is an error or one of its own flags).
+fn apply_simulate_flag(
+    cmd: &mut SimulateCmd,
+    flag: &str,
+    opts: &mut Opts,
+) -> Result<bool, ParseError> {
+    let numeric = |opts: &mut Opts, flag: &str| -> Result<usize, ParseError> {
+        opts.value_for(flag)?.parse().map_err(|e| ParseError(format!("bad {flag}: {e}")))
     };
+    match flag {
+        "--algo" => cmd.algo = opts.value_for("--algo")?,
+        "-k" => cmd.k = numeric(opts, "-k")? as u32,
+        "--system" => cmd.system = opts.value_for("--system")?,
+        "--model" => cmd.model = opts.value_for("--model")?,
+        "--features" => cmd.features = numeric(opts, "--features")?,
+        "--hidden" => cmd.hidden = numeric(opts, "--hidden")?,
+        "--layers" => cmd.layers = numeric(opts, "--layers")?,
+        "--directed" => cmd.directed = true,
+        "--faults" => cmd.faults = true,
+        "--mtbf" => {
+            cmd.mtbf = opts
+                .value_for("--mtbf")?
+                .parse()
+                .map_err(|e| ParseError(format!("bad --mtbf: {e}")))?;
+            if cmd.mtbf.is_nan() || cmd.mtbf <= 0.0 {
+                return err("--mtbf must be positive");
+            }
+        }
+        "--epochs" => cmd.epochs = numeric(opts, "--epochs")? as u32,
+        "--checkpoint-every" => {
+            cmd.checkpoint_every = numeric(opts, "--checkpoint-every")? as u32;
+        }
+        "--fault-seed" => {
+            cmd.fault_seed = opts
+                .value_for("--fault-seed")?
+                .parse()
+                .map_err(|e| ParseError(format!("bad --fault-seed: {e}")))?;
+        }
+        "--mitigate" => {
+            let mode = opts.value_for("--mitigate")?;
+            if gp_cluster::MitigationPolicy::parse(&mode).is_none() {
+                return err(format!(
+                    "unknown mitigation mode {mode:?} \
+                     (none|steal|speculate|adaptive|all)"
+                ));
+            }
+            cmd.mitigate = mode;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_simulate(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("simulate requires an edge-list path");
+    };
+    let mut cmd = default_simulate(PathBuf::from(input));
     while let Some(flag) = opts.next() {
-        let numeric = |opts: &mut Opts, flag: &str| -> Result<usize, ParseError> {
-            opts.value_for(flag)?.parse().map_err(|e| ParseError(format!("bad {flag}: {e}")))
-        };
-        match flag.as_str() {
-            "--algo" => cmd.algo = opts.value_for("--algo")?,
-            "-k" => cmd.k = numeric(opts, "-k")? as u32,
-            "--system" => cmd.system = opts.value_for("--system")?,
-            "--model" => cmd.model = opts.value_for("--model")?,
-            "--features" => cmd.features = numeric(opts, "--features")?,
-            "--hidden" => cmd.hidden = numeric(opts, "--hidden")?,
-            "--layers" => cmd.layers = numeric(opts, "--layers")?,
-            "--directed" => cmd.directed = true,
-            "--faults" => cmd.faults = true,
-            "--mtbf" => {
-                cmd.mtbf = opts
-                    .value_for("--mtbf")?
-                    .parse()
-                    .map_err(|e| ParseError(format!("bad --mtbf: {e}")))?;
-                if cmd.mtbf.is_nan() || cmd.mtbf <= 0.0 {
-                    return err("--mtbf must be positive");
-                }
-            }
-            "--epochs" => cmd.epochs = numeric(opts, "--epochs")? as u32,
-            "--checkpoint-every" => {
-                cmd.checkpoint_every = numeric(opts, "--checkpoint-every")? as u32;
-            }
-            "--fault-seed" => {
-                cmd.fault_seed = opts
-                    .value_for("--fault-seed")?
-                    .parse()
-                    .map_err(|e| ParseError(format!("bad --fault-seed: {e}")))?;
-            }
-            "--mitigate" => {
-                let mode = opts.value_for("--mitigate")?;
-                if gp_cluster::MitigationPolicy::parse(&mode).is_none() {
-                    return err(format!(
-                        "unknown mitigation mode {mode:?} \
-                         (none|steal|speculate|adaptive|all)"
-                    ));
-                }
-                cmd.mitigate = mode;
-            }
-            other => return err(format!("unknown option {other:?}")),
+        if !apply_simulate_flag(&mut cmd, &flag, opts)? {
+            return err(format!("unknown option {flag:?}"));
         }
     }
     Ok(Command::Simulate(cmd))
+}
+
+fn parse_trace(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("trace requires an edge-list path");
+    };
+    let mut cmd = TraceCmd {
+        sim: default_simulate(PathBuf::from(input)),
+        trace_out: PathBuf::from("trace.json"),
+        phase_csv: None,
+    };
+    while let Some(flag) = opts.next() {
+        match flag.as_str() {
+            "--trace-out" => cmd.trace_out = PathBuf::from(opts.value_for("--trace-out")?),
+            "--phase-csv" => {
+                cmd.phase_csv = Some(PathBuf::from(opts.value_for("--phase-csv")?));
+            }
+            other => {
+                if !apply_simulate_flag(&mut cmd.sim, other, opts)? {
+                    return err(format!("unknown option {other:?}"));
+                }
+            }
+        }
+    }
+    Ok(Command::Trace(cmd))
 }
 
 fn parse_recommend(opts: &mut Opts) -> Result<Command, ParseError> {
@@ -517,6 +582,40 @@ mod tests {
             .0
             .contains("must be positive"));
         assert!(parse(&["simulate", "g.el", "--mtbf", "abc"]).unwrap_err().0.contains("bad --mtbf"));
+    }
+
+    #[test]
+    fn trace_defaults() {
+        let Command::Trace(c) = parse(&["trace", "g.el"]).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.trace_out, PathBuf::from("trace.json"));
+        assert_eq!(c.phase_csv, None);
+        assert_eq!(c.sim.algo, "HDRF");
+        assert!(!c.sim.faults);
+    }
+
+    #[test]
+    fn trace_composes_simulate_and_trace_flags() {
+        let Command::Trace(c) = parse(&[
+            "trace", "g.el", "--system", "distdgl", "--faults", "--mitigate", "all",
+            "--epochs", "4", "--trace-out", "t.json", "--phase-csv", "p.csv",
+        ])
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.sim.system, "distdgl");
+        assert!(c.sim.faults);
+        assert_eq!(c.sim.mitigate, "all");
+        assert_eq!(c.sim.epochs, 4);
+        assert_eq!(c.trace_out, PathBuf::from("t.json"));
+        assert_eq!(c.phase_csv, Some(PathBuf::from("p.csv")));
+    }
+
+    #[test]
+    fn trace_rejects_unknown_options() {
+        assert!(parse(&["trace", "g.el", "--bogus"]).unwrap_err().0.contains("unknown option"));
+        assert!(parse(&["trace"]).unwrap_err().0.contains("edge-list path"));
     }
 
     #[test]

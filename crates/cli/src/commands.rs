@@ -6,6 +6,7 @@ use std::path::Path;
 
 use gp_cluster::{
     ClusterSpec, FaultPlan, FaultSpec, MitigationPolicy, MitigationReport, RecoveryReport,
+    TraceSink,
 };
 use gp_core::registry;
 use gp_distdgl::{DistDglConfig, DistDglEngine};
@@ -13,7 +14,7 @@ use gp_distgnn::{DistGnnConfig, DistGnnEngine};
 use gp_graph::{edgelist, DatasetId, DegreeStats, Graph, VertexSplit};
 use gp_tensor::{ModelConfig, ModelKind};
 
-use crate::args::{GenerateCmd, PartitionCmd, RecommendCmd, SimulateCmd, StatsCmd};
+use crate::args::{GenerateCmd, PartitionCmd, RecommendCmd, SimulateCmd, StatsCmd, TraceCmd};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -141,7 +142,7 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
             let part = p.partition_edges(&graph, cmd.k, 42)?;
             let mut config = DistGnnConfig::paper(model, ClusterSpec::paper(cmd.k));
             config.checkpoint_every = cmd.checkpoint_every;
-            let engine = DistGnnEngine::new(&graph, &part, config)?;
+            let engine = DistGnnEngine::builder(&graph, &part).config(config).build()?;
             println!("DistGNN (full-batch) on {} machines with {}", cmd.k, p.name());
             println!("replication factor: {:.3}", part.replication_factor());
             if cmd.faults {
@@ -210,7 +211,8 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
             let part = p.partition_vertices(&graph, cmd.k, 42)?;
             let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
             let config = DistDglConfig::paper(model, ClusterSpec::paper(cmd.k));
-            let engine = DistDglEngine::new(&graph, &part, &split, config)?;
+            let engine =
+                DistDglEngine::builder(&graph, &part, &split).config(config).build()?;
             println!("DistDGL (mini-batch) on {} machines with {}", cmd.k, p.name());
             println!("edge-cut ratio:  {:.4}", part.edge_cut_ratio());
             if cmd.faults {
@@ -276,6 +278,99 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
             }
         }
         other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
+    }
+    Ok(())
+}
+
+/// `gnnpart trace`.
+///
+/// Runs the same simulation as `gnnpart simulate` — including the
+/// `--faults` / `--mitigate` paths — but with an *enabled* span sink
+/// attached to the engine, then exports the recorded trace as Chrome
+/// `chrome://tracing` JSON (and optionally a per-phase CSV). Tracing is
+/// purely observational, so the traced run is bit-identical to the
+/// untraced one.
+pub fn trace(cmd: &TraceCmd) -> CmdResult {
+    let sim = &cmd.sim;
+    let graph = load(&sim.input, sim.directed)?;
+    let kind = ModelKind::parse(&sim.model)
+        .ok_or_else(|| format!("unknown model {:?} (sage|gcn|gat)", sim.model))?;
+    let policy = MitigationPolicy::parse(&sim.mitigate).ok_or_else(|| {
+        format!(
+            "unknown mitigation mode {:?} (none|steal|speculate|adaptive|all)",
+            sim.mitigate
+        )
+    })?;
+    let model = ModelConfig {
+        kind,
+        feature_dim: sim.features,
+        hidden_dim: sim.hidden,
+        num_layers: sim.layers,
+        num_classes: 16,
+        seed: 0,
+    };
+    let plan = if sim.faults { fault_plan(sim) } else { FaultPlan::empty() };
+    let sink = TraceSink::enabled();
+    match sim.system.as_str() {
+        "distgnn" => {
+            let p = registry::edge_partitioner(&sim.algo)
+                .ok_or_else(|| format!("{:?} is not an edge partitioner", sim.algo))?;
+            let part = p.partition_edges(&graph, sim.k, 42)?;
+            let mut config = DistGnnConfig::paper(model, ClusterSpec::paper(sim.k));
+            config.checkpoint_every = sim.checkpoint_every;
+            let engine = DistGnnEngine::builder(&graph, &part)
+                .config(config)
+                .trace(sink.clone())
+                .build()?;
+            println!("tracing DistGNN on {} machines with {}", sim.k, p.name());
+            let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
+            for epoch in 0..sim.epochs {
+                let result = match session.as_mut() {
+                    Some(s) => engine.simulate_epoch_mitigated(epoch, &plan, s).map(|_| ()),
+                    None => engine.simulate_epoch_with_faults(epoch, &plan).map(|_| ()),
+                };
+                if let Err(e) = result {
+                    println!("epoch {epoch:>3}: training aborted: {e}");
+                    break;
+                }
+            }
+        }
+        "distdgl" => {
+            let p = registry::vertex_partitioner(&sim.algo, None)
+                .ok_or_else(|| format!("{:?} is not a vertex partitioner", sim.algo))?;
+            let part = p.partition_vertices(&graph, sim.k, 42)?;
+            let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
+            let config = DistDglConfig::paper(model, ClusterSpec::paper(sim.k));
+            let engine = DistDglEngine::builder(&graph, &part, &split)
+                .config(config)
+                .trace(sink.clone())
+                .build()?;
+            println!("tracing DistDGL on {} machines with {}", sim.k, p.name());
+            let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
+            for epoch in 0..sim.epochs {
+                let result = match session.as_mut() {
+                    Some(s) => engine.simulate_epoch_mitigated(epoch, &plan, s).map(|_| ()),
+                    None => engine.simulate_epoch_with_faults(epoch, &plan).map(|_| ()),
+                };
+                if let Err(e) = result {
+                    println!("epoch {epoch:>3}: training aborted: {e}");
+                    break;
+                }
+            }
+        }
+        other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
+    }
+    std::fs::write(&cmd.trace_out, sink.to_chrome_json())?;
+    println!(
+        "trace: {} spans, {} counter samples over {:.3} simulated ms",
+        sink.spans().len(),
+        sink.counters().len(),
+        sink.now() * 1e3
+    );
+    println!("chrome trace -> {} (load in chrome://tracing)", cmd.trace_out.display());
+    if let Some(csv) = &cmd.phase_csv {
+        std::fs::write(csv, sink.phase_csv())?;
+        println!("phase CSV    -> {}", csv.display());
     }
     Ok(())
 }
@@ -508,6 +603,45 @@ mod tests {
         c.mitigate = "wishful".into();
         assert!(simulate(c).is_err());
         let _ = std::fs::remove_file(el);
+    }
+
+    #[test]
+    fn trace_writes_chrome_json_and_phase_csv() {
+        let el = tmp("t.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        // DistGNN with faults + mitigation, both export formats.
+        let json = tmp("t.json");
+        let csv = tmp("t.csv");
+        let mut sim = sim_cmd(&el, "HDRF", "distgnn", "sage");
+        sim.faults = true;
+        sim.mtbf = 4.0;
+        sim.epochs = 4;
+        sim.checkpoint_every = 2;
+        sim.mitigate = "all".into();
+        trace(&TraceCmd { sim, trace_out: json.clone(), phase_csv: Some(csv.clone()) })
+            .unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        let stats = crate::jsonlint::validate_json(&text).expect("well-formed trace JSON");
+        assert!(stats.top_level_array_len > 0, "trace has events");
+        let rows = std::fs::read_to_string(&csv).unwrap();
+        assert!(rows.starts_with("worker,phase,"));
+        assert!(rows.lines().count() > 1, "phase CSV has data rows");
+
+        // DistDGL, healthy path, JSON only.
+        let json2 = tmp("t2.json");
+        let mut sim = sim_cmd(&el, "METIS", "distdgl", "sage");
+        sim.epochs = 2;
+        trace(&TraceCmd { sim, trace_out: json2.clone(), phase_csv: None }).unwrap();
+        let text = std::fs::read_to_string(&json2).unwrap();
+        assert!(crate::jsonlint::validate_json(&text).unwrap().top_level_array_len > 0);
+        for f in [el, json, csv, json2] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Minimal hand-rolled JSON well-formedness checker.
+//!
+//! The trace layer *emits* Chrome-trace JSON by hand (the workspace
+//! deliberately carries no serialisation dependency); this is the
+//! matching hand-rolled *reader*. It validates the full JSON grammar —
+//! strings with escapes, numbers, nesting, literals — without building
+//! a document tree, and reports a few counts so tests can assert a
+//! trace is not just parseable but non-trivial. Used by the `gnnpart
+//! trace` unit and end-to-end tests.
+
+/// Counts gathered while validating; all zero only for trivial inputs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct JsonStats {
+    /// Number of elements in the top-level array (0 if the top-level
+    /// value is not an array). For a Chrome trace this is the event
+    /// count, metadata records included.
+    pub top_level_array_len: usize,
+    /// Total number of objects at any depth.
+    pub objects: usize,
+    /// Total number of strings at any depth, object keys included.
+    pub strings: usize,
+}
+
+/// Validate that `text` is exactly one well-formed JSON document.
+///
+/// # Errors
+///
+/// A human-readable message naming the problem and the byte offset.
+pub fn validate_json(text: &str) -> Result<JsonStats, String> {
+    let mut p = Parser { s: text.as_bytes(), i: 0, objects: 0, strings: 0 };
+    p.ws();
+    let top_level_array_len = if p.peek() == Some(b'[') {
+        p.array()?
+    } else {
+        p.value()?;
+        0
+    };
+    p.ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(JsonStats { top_level_array_len, objects: p.objects, strings: p.strings })
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+    objects: usize,
+    strings: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array().map(|_| ()),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("bad literal, expected {lit}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.i += 1;
+        }
+        // f64 syntax is a superset of JSON number syntax with the same
+        // character set, so a parse failure means a malformed number
+        // ("1.2.3", lone "-", ...). NaN/inf never appear: the emitter
+        // guards them and they start with characters value() rejects.
+        let text = std::str::from_utf8(&self.s[start..self.i]).expect("ascii slice");
+        text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    self.strings += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.i += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("raw control character in string"));
+                }
+                Some(_) => self.i += 1,
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<usize, String> {
+        self.expect(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(0);
+        }
+        let mut n = 0;
+        loop {
+            self.value()?;
+            n += 1;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(n);
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.objects += 1;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        assert_eq!(validate_json("[]").unwrap().top_level_array_len, 0);
+        assert_eq!(validate_json("{}").unwrap().objects, 1);
+        let stats = validate_json(
+            r#"[1, -2.5e3, "x\nA", true, false, null, {"a": [1, {"b": 2}]}]"#,
+        )
+        .unwrap();
+        assert_eq!(stats.top_level_array_len, 7);
+        assert_eq!(stats.objects, 2);
+        assert_eq!(stats.strings, 3);
+        assert_eq!(validate_json("  42 ").unwrap(), JsonStats::default());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "[1,]", "[1 2]", "{\"a\"}", "{\"a\":}", "\"unterminated", "[] []", "nul",
+            "1.2.3", "-", "{1: 2}", "[\"\u{0009}\"]",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_export_is_well_formed() {
+        use gp_cluster::{TracePhase, TraceSink};
+        let sink = TraceSink::enabled();
+        sink.span(0, 0, TracePhase::Forward, 0.0, 1.5e-3, 128, 1 << 20);
+        sink.span(1, 0, TracePhase::Sync, 1.5e-3, 2.5e-4, 4096, 0);
+        sink.counter(0, "bytes_sent", 4096.0);
+        let stats = validate_json(&sink.to_chrome_json()).expect("well-formed export");
+        // 2 process-name metadata records + 2 spans + 1 counter sample.
+        assert_eq!(stats.top_level_array_len, 5);
+        assert!(stats.objects >= 5, "events plus args objects");
+    }
+}

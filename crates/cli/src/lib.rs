@@ -7,6 +7,7 @@
 //! gnnpart stats or.el                                  # degree statistics
 //! gnnpart partition or.el --algo HDRF -k 8 --out p.txt # partition an edge list
 //! gnnpart simulate or.el --algo METIS -k 8 --system distdgl
+//! gnnpart trace or.el --algo HDRF -k 8 --trace-out trace.json
 //! gnnpart recommend or.el -k 8 --epochs 200               # best partitioner
 //! gnnpart list                                         # available partitioners
 //! ```
@@ -16,6 +17,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod jsonlint;
 
 pub use args::{parse_args, Command, ParseError};
 
@@ -26,6 +28,7 @@ pub fn run(command: Command) -> i32 {
         Command::Stats(c) => commands::stats(c),
         Command::Partition(c) => commands::partition(c),
         Command::Simulate(c) => commands::simulate(c),
+        Command::Trace(c) => commands::trace(&c),
         Command::Recommend(c) => commands::recommend(c),
         Command::List => {
             commands::list();

@@ -31,7 +31,7 @@ fn help_lists_all_commands() {
     let out = gnnpart(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["generate", "stats", "partition", "simulate", "recommend", "list"] {
+    for cmd in ["generate", "stats", "partition", "simulate", "trace", "recommend", "list"] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -84,6 +84,50 @@ fn full_pipeline_generate_stats_partition_simulate() {
     assert!(stdout(&out).contains("Best partitioner"));
 
     let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn trace_emits_wellformed_chrome_json() {
+    let dir = workdir();
+    let el = dir.join("trace.el");
+    let el_str = el.to_str().expect("utf8 path");
+    let out = gnnpart(&["generate", "OR", "--scale", "tiny", "--out", el_str]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    // DistGNN under faults with full mitigation, both export formats.
+    let json = dir.join("trace.json");
+    let csv = dir.join("phases.csv");
+    let out = gnnpart(&[
+        "trace", el_str, "--algo", "HDRF", "-k", "4", "--epochs", "4", "--faults", "--mtbf",
+        "4.0", "--checkpoint-every", "2", "--mitigate", "all", "--trace-out",
+        json.to_str().expect("utf8"), "--phase-csv", csv.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "trace failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("spans"));
+    let text = std::fs::read_to_string(&json).expect("trace written");
+    let stats = gp_cli::jsonlint::validate_json(&text).expect("well-formed Chrome JSON");
+    assert!(stats.top_level_array_len > 0, "trace has events");
+    assert!(stats.objects > stats.top_level_array_len, "events carry args objects");
+    let rows = std::fs::read_to_string(&csv).expect("phase CSV written");
+    assert!(rows.starts_with("worker,phase,spans,seconds,bytes,flops"));
+    assert!(rows.lines().count() > 1, "phase CSV has data rows");
+
+    // DistDGL healthy baseline.
+    let json2 = dir.join("trace_dgl.json");
+    let out = gnnpart(&[
+        "trace", el_str, "--algo", "METIS", "-k", "4", "--system", "distdgl", "--epochs", "2",
+        "--trace-out", json2.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "distdgl trace failed: {}", stderr(&out));
+    let text = std::fs::read_to_string(&json2).expect("trace written");
+    let stats = gp_cli::jsonlint::validate_json(&text).expect("well-formed Chrome JSON");
+    assert!(stats.top_level_array_len > 0);
+
+    // Clean up only this test's files: the work dir is shared by
+    // concurrently running tests.
+    for f in [el, json, csv, json2] {
+        let _ = std::fs::remove_file(f);
+    }
 }
 
 #[test]

@@ -19,17 +19,27 @@
 //! [`detect`] supplies the online straggler/degradation detector and
 //! [`MitigationPolicy`]/[`MitigationReport`] types behind the engines'
 //! mitigation layers (work stealing, speculation, adaptive cd-r).
+//!
+//! [`trace`] adds a zero-cost-when-disabled span recorder over
+//! simulated time ([`TraceSink`]): engines emit per-worker, per-phase
+//! [`Span`]s whose sums reproduce the reported phase totals exactly,
+//! exportable as `chrome://tracing` JSON or per-phase CSV, and
+//! [`EpochOutcome`] unifies the engines' per-epoch report accessors.
 
 pub mod counters;
 pub mod detect;
 pub mod faults;
+pub mod outcome;
 pub mod spec;
 pub mod time;
+pub mod trace;
 
 pub use counters::{max_mean_ratio, ClusterCounters, MachineCounters};
 pub use detect::{DetectorConfig, MitigationPolicy, MitigationReport, StragglerDetector};
 pub use faults::{
     expected_retries, retry_backoff_secs, FaultEvent, FaultPlan, FaultSpec, RecoveryReport,
 };
+pub use outcome::EpochOutcome;
 pub use spec::{ClusterSpec, MachineSpec, NetworkSpec, SpecError};
 pub use time::{compute_time, transfer_time};
+pub use trace::{CounterEvent, PhaseRow, Span, TracePhase, TraceSink};

@@ -1,0 +1,21 @@
+//! Engine-agnostic view of one simulated training epoch.
+//!
+//! `gp-distgnn` reports an `EpochReport` (four phases, full-batch) and
+//! `gp-distdgl` an `EpochSummary` (five phases, mini-batch). Consumers
+//! that only care about *where the time and traffic went* — sweeps,
+//! tables, the trace layer — can take `impl EpochOutcome` instead of
+//! matching on the engine.
+
+/// Common accessors over the per-epoch reports of both engines.
+pub trait EpochOutcome {
+    /// Simulated wall-clock seconds of the epoch (sum of phase times).
+    fn epoch_time(&self) -> f64;
+
+    /// Total network bytes of the epoch (sent + received, cluster-wide —
+    /// [`crate::ClusterCounters::total_network_bytes`]).
+    fn total_bytes(&self) -> u64;
+
+    /// `(phase name, seconds)` in the engine's canonical phase order.
+    /// Phase names match `trace::TracePhase::name`.
+    fn phase_breakdown(&self) -> Vec<(&'static str, f64)>;
+}

@@ -1,0 +1,481 @@
+//! Deterministic span recorder over **simulated time**.
+//!
+//! The engines in `gp-distgnn` / `gp-distdgl` are cost models: they add
+//! up straggler-gated phase windows into scalar reports. This module
+//! lets them *also* emit the per-worker, per-phase structure as
+//! [`Span`]s on a shared [`TraceSink`], without perturbing the reports:
+//!
+//! * **Zero-cost when disabled.** A disabled sink (the default) stores
+//!   nothing; every recording call is a no-op behind an `Option` check,
+//!   and engines only assemble per-worker attribution when
+//!   [`TraceSink::is_enabled`] is true.
+//! * **Purely observational.** Tracing must never change a report:
+//!   a run with tracing enabled is bit-identical to one without
+//!   (enforced by tests in both engines).
+//! * **Exact span accounting.** Every span's [`Span::dur`] is the very
+//!   `f64` the engine added to its phase total, recorded in the same
+//!   order — so the per-worker, per-phase span sums reproduce the
+//!   reported phase totals *exactly* (`==`, not approximately). This is
+//!   why [`Span`] stores `dur` rather than `t_end`: `(t + d) - t != d`
+//!   in floating point.
+//!
+//! Exports: [`TraceSink::to_chrome_json`] emits `chrome://tracing` JSON
+//! (one "process" per logical worker), [`TraceSink::phase_csv`] the
+//! per-phase aggregate table used by the ablations.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Phase taxonomy across both engines. DistGNN uses
+/// Forward/Backward/Sync/Optimizer plus Checkpoint/Recovery/Migration;
+/// DistDGL uses Sampling/FeatureLoad/Forward/Backward/Update plus
+/// Recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TracePhase {
+    Forward,
+    Backward,
+    Sync,
+    Optimizer,
+    Sampling,
+    FeatureLoad,
+    Update,
+    Checkpoint,
+    Recovery,
+    Migration,
+}
+
+impl TracePhase {
+    /// Stable lower-snake name, used in Chrome JSON and the phase CSV.
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePhase::Forward => "forward",
+            TracePhase::Backward => "backward",
+            TracePhase::Sync => "sync",
+            TracePhase::Optimizer => "optimizer",
+            TracePhase::Sampling => "sampling",
+            TracePhase::FeatureLoad => "feature_load",
+            TracePhase::Update => "update",
+            TracePhase::Checkpoint => "checkpoint",
+            TracePhase::Recovery => "recovery",
+            TracePhase::Migration => "migration",
+        }
+    }
+}
+
+/// One phase occurrence on one logical worker, in simulated seconds.
+///
+/// `dur` is stored explicitly (not derived from an end timestamp) so
+/// that span-duration sums are bit-identical to the engine's phase
+/// totals; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span {
+    pub worker: u32,
+    pub epoch: u32,
+    /// DistGNN: GNN layer index (or `num_layers` for epoch-level sync /
+    /// optimizer). DistDGL: mini-batch step index.
+    pub step: u32,
+    pub phase: TracePhase,
+    /// Simulated start time, seconds since the sink was created.
+    pub t_start: f64,
+    /// Simulated duration in seconds — the exact `f64` the engine added
+    /// to its phase total for this window.
+    pub dur: f64,
+    /// Network bytes attributed to this worker in this window.
+    pub bytes: u64,
+    /// FLOPs attributed to this worker in this window.
+    pub flops: u64,
+}
+
+impl Span {
+    /// Simulated end time. Derived; do not sum `t_end - t_start` when
+    /// exactness matters — sum [`Span::dur`].
+    pub fn t_end(&self) -> f64 {
+        self.t_start + self.dur
+    }
+}
+
+/// A named counter sample at a simulated time (Chrome `ph:"C"` event).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterEvent {
+    pub t: f64,
+    pub worker: u32,
+    pub name: &'static str,
+    pub value: f64,
+}
+
+/// One aggregate row of [`TraceSink::phase_csv`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    pub worker: u32,
+    pub phase: TracePhase,
+    pub spans: usize,
+    pub seconds: f64,
+    pub bytes: u64,
+    pub flops: u64,
+}
+
+#[derive(Debug, Default)]
+struct TraceData {
+    spans: Vec<Span>,
+    counters: Vec<CounterEvent>,
+    clock: f64,
+    epoch: u32,
+}
+
+/// Shared handle to a trace buffer, or a disabled no-op.
+///
+/// Cloning shares the underlying buffer (`Rc`), so the sink handed to
+/// an engine and the one kept by the caller observe the same spans.
+/// `Default` is the disabled sink.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink(Option<Rc<RefCell<TraceData>>>);
+
+impl TraceSink {
+    /// A recording sink with an empty buffer and clock at 0.
+    pub fn enabled() -> Self {
+        TraceSink(Some(Rc::new(RefCell::new(TraceData::default()))))
+    }
+
+    /// The no-op sink: records nothing, costs nothing.
+    pub fn disabled() -> Self {
+        TraceSink(None)
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Current simulated time in seconds (0 when disabled).
+    pub fn now(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |d| d.borrow().clock)
+    }
+
+    /// Advance the simulated clock. No-op when disabled.
+    pub fn advance(&self, secs: f64) {
+        if let Some(d) = &self.0 {
+            d.borrow_mut().clock += secs;
+        }
+    }
+
+    /// Set the epoch stamped onto subsequently recorded spans.
+    pub fn set_epoch(&self, epoch: u32) {
+        if let Some(d) = &self.0 {
+            d.borrow_mut().epoch = epoch;
+        }
+    }
+
+    pub fn current_epoch(&self) -> u32 {
+        self.0.as_ref().map_or(0, |d| d.borrow().epoch)
+    }
+
+    /// Record one span (no-op when disabled). The epoch is the one last
+    /// given to [`TraceSink::set_epoch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &self,
+        worker: u32,
+        step: u32,
+        phase: TracePhase,
+        t_start: f64,
+        dur: f64,
+        bytes: u64,
+        flops: u64,
+    ) {
+        if let Some(d) = &self.0 {
+            let mut d = d.borrow_mut();
+            let epoch = d.epoch;
+            d.spans.push(Span { worker, epoch, step, phase, t_start, dur, bytes, flops });
+        }
+    }
+
+    /// Record a counter sample at the current simulated time.
+    pub fn counter(&self, worker: u32, name: &'static str, value: f64) {
+        if let Some(d) = &self.0 {
+            let mut d = d.borrow_mut();
+            let t = d.clock;
+            d.counters.push(CounterEvent { t, worker, name, value });
+        }
+    }
+
+    /// Snapshot of all recorded spans, in recording order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.0.as_ref().map_or_else(Vec::new, |d| d.borrow().spans.clone())
+    }
+
+    /// Snapshot of all recorded counter events, in recording order.
+    pub fn counters(&self) -> Vec<CounterEvent> {
+        self.0.as_ref().map_or_else(Vec::new, |d| d.borrow().counters.clone())
+    }
+
+    /// Drop all recorded events and reset the clock and epoch.
+    pub fn clear(&self) {
+        if let Some(d) = &self.0 {
+            *d.borrow_mut() = TraceData::default();
+        }
+    }
+
+    /// Sum of span durations for one worker and phase, added in
+    /// recording order — the quantity the span-accounting invariant
+    /// compares against the engine's reported phase total.
+    pub fn worker_phase_seconds(&self, worker: u32, phase: TracePhase) -> f64 {
+        let Some(d) = &self.0 else { return 0.0 };
+        d.borrow()
+            .spans
+            .iter()
+            .filter(|s| s.worker == worker && s.phase == phase)
+            .fold(0.0, |acc, s| acc + s.dur)
+    }
+
+    /// Per-(worker, phase) aggregates, sorted by worker then phase.
+    pub fn phase_rows(&self) -> Vec<PhaseRow> {
+        let spans = match &self.0 {
+            Some(d) => d.borrow().spans.clone(),
+            None => return Vec::new(),
+        };
+        let mut keys: Vec<(u32, TracePhase)> =
+            spans.iter().map(|s| (s.worker, s.phase)).collect();
+        keys.sort();
+        keys.dedup();
+        keys.into_iter()
+            .map(|(worker, phase)| {
+                let mut row =
+                    PhaseRow { worker, phase, spans: 0, seconds: 0.0, bytes: 0, flops: 0 };
+                for s in spans.iter().filter(|s| s.worker == worker && s.phase == phase) {
+                    row.spans += 1;
+                    row.seconds += s.dur;
+                    row.bytes += s.bytes;
+                    row.flops += s.flops;
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// Per-phase aggregate CSV: `worker,phase,spans,seconds,bytes,flops`.
+    pub fn phase_csv(&self) -> String {
+        let mut out = String::from("worker,phase,spans,seconds,bytes,flops\n");
+        for r in self.phase_rows() {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.worker,
+                r.phase.name(),
+                r.spans,
+                r.seconds,
+                r.bytes,
+                r.flops
+            ));
+        }
+        out
+    }
+
+    /// Chrome `chrome://tracing` / Perfetto JSON: one "process" per
+    /// logical worker, complete (`ph:"X"`) events with microsecond
+    /// timestamps, plus `ph:"C"` counter tracks.
+    pub fn to_chrome_json(&self) -> String {
+        let (spans, counters) = match &self.0 {
+            Some(d) => {
+                let d = d.borrow();
+                (d.spans.clone(), d.counters.clone())
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let mut workers: Vec<u32> = spans
+            .iter()
+            .map(|s| s.worker)
+            .chain(counters.iter().map(|c| c.worker))
+            .collect();
+        workers.sort_unstable();
+        workers.dedup();
+        let mut events = Vec::new();
+        for w in &workers {
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{w},\"tid\":0,\
+                 \"args\":{{\"name\":\"worker {w}\"}}}}"
+            ));
+        }
+        for s in &spans {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{},\"tid\":0,\"args\":{{\"epoch\":{},\"step\":{},\"bytes\":{},\
+                 \"flops\":{}}}}}",
+                s.phase.name(),
+                json_f64(s.t_start * 1e6),
+                json_f64(s.dur * 1e6),
+                s.worker,
+                s.epoch,
+                s.step,
+                s.bytes,
+                s.flops
+            ));
+        }
+        for c in &counters {
+            events.push(format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"{}\":{}}}}}",
+                c.name,
+                json_f64(c.t * 1e6),
+                c.worker,
+                c.name,
+                json_f64(c.value)
+            ));
+        }
+        format!("[{}]", events.join(",\n"))
+    }
+}
+
+/// JSON-safe float formatting: finite shortest-roundtrip, with a
+/// decimal point so strict parsers see a number, never `NaN`/`inf`.
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.span(0, 0, TracePhase::Forward, 0.0, 1.0, 10, 20);
+        sink.counter(0, "bytes_sent", 1.0);
+        sink.advance(5.0);
+        sink.set_epoch(3);
+        assert_eq!(sink.now(), 0.0);
+        assert_eq!(sink.current_epoch(), 0);
+        assert!(sink.spans().is_empty());
+        assert!(sink.counters().is_empty());
+        assert_eq!(sink.to_chrome_json(), "[]");
+        assert!(sink.phase_rows().is_empty());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!TraceSink::default().is_enabled());
+    }
+
+    #[test]
+    fn clock_advances_and_spans_record() {
+        let sink = TraceSink::enabled();
+        assert!(sink.is_enabled());
+        sink.set_epoch(2);
+        sink.span(1, 0, TracePhase::Forward, sink.now(), 0.5, 100, 200);
+        sink.advance(0.5);
+        sink.span(1, 0, TracePhase::Backward, sink.now(), 0.25, 0, 400);
+        sink.advance(0.25);
+        assert_eq!(sink.now(), 0.75);
+        let spans = sink.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].epoch, 2);
+        assert_eq!(spans[0].phase, TracePhase::Forward);
+        assert_eq!(spans[0].t_start, 0.0);
+        assert_eq!(spans[0].dur, 0.5);
+        assert_eq!(spans[0].t_end(), 0.5);
+        assert_eq!(spans[1].t_start, 0.5);
+        assert_eq!(spans[1].flops, 400);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let sink = TraceSink::enabled();
+        let handle = sink.clone();
+        handle.span(0, 0, TracePhase::Sync, 0.0, 1.0, 8, 0);
+        assert_eq!(sink.spans().len(), 1);
+        handle.advance(1.0);
+        assert_eq!(sink.now(), 1.0);
+    }
+
+    #[test]
+    fn worker_phase_seconds_sums_in_order() {
+        let sink = TraceSink::enabled();
+        // Sums must reproduce sequential += accumulation exactly.
+        let parts = [0.1, 0.2, 0.3, 0.7, 1e-9];
+        let mut expect = 0.0;
+        for (i, p) in parts.iter().enumerate() {
+            sink.span(3, i as u32, TracePhase::Sync, 0.0, *p, 0, 0);
+            expect += *p;
+        }
+        sink.span(2, 0, TracePhase::Sync, 0.0, 99.0, 0, 0);
+        sink.span(3, 0, TracePhase::Forward, 0.0, 42.0, 0, 0);
+        assert_eq!(sink.worker_phase_seconds(3, TracePhase::Sync), expect);
+    }
+
+    #[test]
+    fn phase_rows_aggregate_and_sort() {
+        let sink = TraceSink::enabled();
+        sink.span(1, 0, TracePhase::Backward, 0.0, 2.0, 10, 100);
+        sink.span(0, 0, TracePhase::Forward, 0.0, 1.0, 0, 50);
+        sink.span(1, 1, TracePhase::Backward, 2.0, 3.0, 20, 200);
+        let rows = sink.phase_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].worker, 0);
+        assert_eq!(rows[0].phase, TracePhase::Forward);
+        assert_eq!(rows[1].worker, 1);
+        assert_eq!(rows[1].spans, 2);
+        assert_eq!(rows[1].seconds, 5.0);
+        assert_eq!(rows[1].bytes, 30);
+        assert_eq!(rows[1].flops, 300);
+        let csv = sink.phase_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("worker,phase,spans,seconds,bytes,flops"));
+        assert_eq!(lines.next(), Some("0,forward,1,1,0,50"));
+        assert_eq!(lines.next(), Some("1,backward,2,5,30,300"));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let sink = TraceSink::enabled();
+        sink.set_epoch(1);
+        sink.span(0, 2, TracePhase::Sampling, 0.0, 0.001, 64, 0);
+        sink.advance(0.001);
+        sink.counter(0, "bytes_sent", 64.0);
+        let json = sink.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"worker 0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"sampling\""));
+        assert!(json.contains("\"dur\":1000.0")); // 0.001 s = 1000 µs
+        assert!(json.contains("\"epoch\":1"));
+        assert!(json.contains("\"step\":2"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"bytes_sent\""));
+        // No NaN/inf can reach the JSON.
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn json_floats_are_strict() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let sink = TraceSink::enabled();
+        sink.set_epoch(7);
+        sink.span(0, 0, TracePhase::Forward, 0.0, 1.0, 0, 0);
+        sink.advance(1.0);
+        sink.clear();
+        assert!(sink.spans().is_empty());
+        assert_eq!(sink.now(), 0.0);
+        assert_eq!(sink.current_epoch(), 0);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        assert_eq!(TracePhase::FeatureLoad.name(), "feature_load");
+        assert_eq!(TracePhase::Checkpoint.name(), "checkpoint");
+        assert_eq!(TracePhase::Migration.name(), "migration");
+    }
+}

@@ -92,7 +92,7 @@ pub fn timed_vertex_partitions(
 /// Panics on configuration mismatch (callers control both sides).
 pub fn distgnn_epoch(graph: &Graph, partition: &EdgePartition, params: PaperParams) -> EpochReport {
     let config = DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(partition.k()));
-    DistGnnEngine::new(graph, partition, config).expect("valid config").simulate_epoch()
+    DistGnnEngine::builder(graph, partition).config(config).build().expect("valid config").simulate_epoch()
 }
 
 /// Simulate one DistDGL epoch with the paper's defaults.
@@ -111,7 +111,7 @@ pub fn distdgl_epoch(
     let mut config =
         DistDglConfig::paper(params.model(kind), ClusterSpec::paper(partition.k()));
     config.global_batch_size = global_batch_size;
-    DistDglEngine::new(graph, partition, split, config)
+    DistDglEngine::builder(graph, partition, split).config(config).build()
         .expect("valid config")
         .simulate_epoch(0)
 }

@@ -75,7 +75,7 @@ pub fn distgnn_fault_sweep(
         let mut config =
             DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
         config.checkpoint_every = checkpoint_every;
-        let engine = DistGnnEngine::new(graph, &t.partition, config).expect("valid config");
+        let engine = DistGnnEngine::builder(graph, &t.partition).config(config).build().expect("valid config");
         let healthy_epoch = engine.simulate_epoch().epoch_time();
         for &mtbf in mtbfs {
             let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
@@ -130,7 +130,7 @@ pub fn distdgl_fault_sweep(
         let mut config = DistDglConfig::paper(params.model(kind), ClusterSpec::paper(k));
         config.global_batch_size = global_batch_size;
         let engine =
-            DistDglEngine::new(graph, &t.partition, split, config).expect("valid config");
+            DistDglEngine::builder(graph, &t.partition, split).config(config).build().expect("valid config");
         for &mtbf in mtbfs {
             let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
             let mut recovery = RecoveryReport::default();
@@ -248,7 +248,7 @@ pub fn distgnn_mitigation_sweep(
         let mut config =
             DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
         config.checkpoint_every = checkpoint_every;
-        let engine = DistGnnEngine::new(graph, &t.partition, config).expect("valid config");
+        let engine = DistGnnEngine::builder(graph, &t.partition).config(config).build().expect("valid config");
         let mut session = engine.mitigation(policy);
         let mut unmitigated_secs = 0.0;
         let mut mitigated_secs = 0.0;
@@ -309,7 +309,7 @@ pub fn distdgl_mitigation_sweep(
         let mut config = DistDglConfig::paper(params.model(kind), ClusterSpec::paper(k));
         config.global_batch_size = global_batch_size;
         let engine =
-            DistDglEngine::new(graph, &t.partition, split, config).expect("valid config");
+            DistDglEngine::builder(graph, &t.partition, split).config(config).build().expect("valid config");
         let mut session = engine.mitigation(policy);
         let mut unmitigated_secs = 0.0;
         let mut mitigated_secs = 0.0;

@@ -12,6 +12,8 @@
 //!   under seeded fault injection, plus mitigated-vs-unmitigated
 //!   comparisons of the straggler-mitigation layer (extension beyond
 //!   the paper).
+//! * [`trace_run`] — traced engine runs feeding the Chrome-JSON /
+//!   phase-CSV exports of the `gnnpart trace` subcommand (extension).
 //! * [`amortize`] — partitioning-time amortisation (Tables 4 and 5).
 //! * [`advisor`] — EASE-style partitioner recommendation (extension).
 //! * [`correlate`] — Pearson correlation / R² (Figures 3, 5).
@@ -26,6 +28,7 @@ pub mod fault_sweep;
 pub mod registry;
 pub mod report;
 pub mod sweep;
+pub mod trace_run;
 
 /// Convenience prelude.
 pub mod prelude {
@@ -43,4 +46,5 @@ pub mod prelude {
     };
     pub use crate::registry::{edge_partitioner, edge_partitioner_names, vertex_partitioner, vertex_partitioner_names};
     pub use crate::report::{Distribution, Table};
+    pub use crate::trace_run::{distdgl_trace_run, distgnn_trace_run, phase_table};
 }

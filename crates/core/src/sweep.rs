@@ -60,7 +60,7 @@ pub fn distgnn_grid(
     ) -> DistGnnEngine<'g> {
         let config =
             DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), cluster);
-        DistGnnEngine::new(graph, &t.partition, config).expect("valid config")
+        DistGnnEngine::builder(graph, &t.partition).config(config).build().expect("valid config")
     }
     // Baseline reports per grid point.
     let random_engine = mk_engine(graph, random, cluster);
@@ -126,6 +126,11 @@ impl DistDglGridOutcome {
     pub fn mean_speedup(&self) -> f64 {
         mean(&self.speedups)
     }
+
+    /// Mean epoch time over the grid.
+    pub fn mean_epoch_time(&self) -> f64 {
+        mean(&self.epoch_times)
+    }
 }
 
 /// Sweep the grid for every timed vertex partition with one model kind.
@@ -162,12 +167,12 @@ pub fn distdgl_grid(
             let mut config = DistDglConfig::paper(probe.model(kind), cluster);
             config.global_batch_size = global_batch_size;
             let engine =
-                DistDglEngine::new(graph, &t.partition, split, config).expect("valid config");
+                DistDglEngine::builder(graph, &t.partition, split).config(config).build().expect("valid config");
             let sampled = engine.sample_epoch(0);
             for params in grid.iter().filter(|p| p.num_layers == layers) {
                 let mut config = DistDglConfig::paper(params.model(kind), cluster);
                 config.global_batch_size = global_batch_size;
-                let engine = DistDglEngine::new(graph, &t.partition, split, config)
+                let engine = DistDglEngine::builder(graph, &t.partition, split).config(config).build()
                     .expect("valid config");
                 summaries.push((params, engine.simulate_epoch_from(&sampled)));
             }
@@ -284,5 +289,29 @@ mod tests {
         }
         // METIS reduces remote vertices vs Random.
         assert!(get("METIS").remote_pct.iter().all(|&p| p < 100.0));
+    }
+
+    #[test]
+    fn empty_grid_means_are_zero_not_nan() {
+        let o = DistGnnGridOutcome {
+            name: "x".into(),
+            speedups: Vec::new(),
+            memory_pct: Vec::new(),
+            traffic_pct: Vec::new(),
+            epoch_times: Vec::new(),
+            random_times: Vec::new(),
+        };
+        assert_eq!(o.mean_speedup(), 0.0);
+        assert_eq!(o.mean_epoch_time(), 0.0);
+        let d = DistDglGridOutcome {
+            name: "x".into(),
+            speedups: Vec::new(),
+            remote_pct: Vec::new(),
+            traffic_pct: Vec::new(),
+            epoch_times: Vec::new(),
+            random_times: Vec::new(),
+        };
+        assert_eq!(d.mean_speedup(), 0.0);
+        assert_eq!(d.mean_epoch_time(), 0.0);
     }
 }

@@ -1,0 +1,176 @@
+//! Traced engine runs.
+//!
+//! Builds an engine with an *enabled* span sink, runs a handful of
+//! epochs — optionally under a fault plan and/or with the mitigation
+//! layer active — and hands back the recorded [`TraceSink`], ready for
+//! Chrome-JSON (`chrome://tracing`) or per-phase CSV export. These are
+//! the helpers behind the `gnnpart trace` subcommand and the `phases`
+//! ablation.
+//!
+//! Tracing is purely observational: the engines produce bit-identical
+//! reports with and without a sink attached (asserted by the engine
+//! test suites), so a traced run is also a faithful run.
+
+use gp_cluster::{FaultPlan, MitigationPolicy, TraceSink};
+use gp_distdgl::{DistDglConfig, DistDglEngine};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_graph::{Graph, VertexSplit};
+use gp_partition::{EdgePartition, VertexPartition};
+
+use crate::report::Table;
+
+/// Run `epochs` traced DistGNN epochs over `partition`.
+///
+/// `plan: None` (or an empty plan) is the healthy baseline; with
+/// `mitigate` the full mitigation policy rides on top of the fault
+/// path, exactly as in the robustness sweeps.
+///
+/// # Errors
+///
+/// Construction errors ([`gp_distgnn::DistGnnError::InvalidConfig`],
+/// cluster mismatch) and fault-path errors (crash of the last replica
+/// holder, recovery budget).
+pub fn distgnn_trace_run(
+    graph: &Graph,
+    partition: &EdgePartition,
+    config: DistGnnConfig,
+    epochs: u32,
+    plan: Option<&FaultPlan>,
+    mitigate: bool,
+) -> Result<TraceSink, gp_distgnn::DistGnnError> {
+    let sink = TraceSink::enabled();
+    let engine =
+        DistGnnEngine::builder(graph, partition).config(config).trace(sink.clone()).build()?;
+    let empty = FaultPlan::empty();
+    let plan = plan.unwrap_or(&empty);
+    if mitigate {
+        let mut session = engine.mitigation(MitigationPolicy::all());
+        for epoch in 0..epochs {
+            engine.simulate_epoch_mitigated(epoch, plan, &mut session)?;
+        }
+    } else {
+        for epoch in 0..epochs {
+            engine.simulate_epoch_with_faults(epoch, plan)?;
+        }
+    }
+    Ok(sink)
+}
+
+/// Run `epochs` traced DistDGL epochs over `partition` / `split`.
+///
+/// Mirrors [`distgnn_trace_run`]; see there for the `plan` / `mitigate`
+/// semantics.
+///
+/// # Errors
+///
+/// Construction and fault-path errors of
+/// [`gp_distdgl::DistDglEngine`].
+pub fn distdgl_trace_run(
+    graph: &Graph,
+    partition: &VertexPartition,
+    split: &VertexSplit,
+    config: DistDglConfig,
+    epochs: u32,
+    plan: Option<&FaultPlan>,
+    mitigate: bool,
+) -> Result<TraceSink, gp_distdgl::DistDglError> {
+    let sink = TraceSink::enabled();
+    let engine = DistDglEngine::builder(graph, partition, split)
+        .config(config)
+        .trace(sink.clone())
+        .build()?;
+    let empty = FaultPlan::empty();
+    let plan = plan.unwrap_or(&empty);
+    if mitigate {
+        let mut session = engine.mitigation(MitigationPolicy::all());
+        for epoch in 0..epochs {
+            engine.simulate_epoch_mitigated(epoch, plan, &mut session)?;
+        }
+    } else {
+        for epoch in 0..epochs {
+            engine.simulate_epoch_with_faults(epoch, plan)?;
+        }
+    }
+    Ok(sink)
+}
+
+/// Per-(worker, phase) aggregate of a recorded trace as a results
+/// [`Table`] (the same rows as [`TraceSink::phase_csv`], routed through
+/// the report layer so sweeps and ablations can emit it like any other
+/// artifact).
+pub fn phase_table(name: &str, sink: &TraceSink) -> Table {
+    let mut table =
+        Table::new(name, &["worker", "phase", "spans", "seconds", "bytes", "flops"]);
+    for row in sink.phase_rows() {
+        table.push(vec![
+            row.worker.to_string(),
+            row.phase.name().to_string(),
+            row.spans.to_string(),
+            format!("{:.9}", row.seconds),
+            row.bytes.to_string(),
+            row.flops.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PaperParams;
+    use crate::experiment::{timed_edge_partitions, timed_vertex_partitions};
+    use gp_cluster::ClusterSpec;
+    use gp_graph::{DatasetId, GraphScale};
+    use gp_tensor::ModelKind;
+
+    fn slowdown_plan() -> FaultPlan {
+        FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Slowdown {
+                machine: 1,
+                from_epoch: 0,
+                until_epoch: 3,
+                factor: 0.25,
+            }],
+            machines: 4,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn distgnn_trace_run_records_spans() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let timed = timed_edge_partitions(&g, 4, 1);
+        let config = DistGnnConfig::paper(
+            PaperParams::middle().model(ModelKind::Sage),
+            ClusterSpec::paper(4),
+        );
+        let sink = distgnn_trace_run(&g, &timed[0].partition, config, 2, None, false).unwrap();
+        assert!(!sink.spans().is_empty());
+        assert!(sink.spans().iter().any(|s| s.epoch == 1), "both epochs recorded");
+        let json = sink.to_chrome_json();
+        assert!(json.starts_with('['));
+        let table = phase_table("phase_breakdown", &sink);
+        assert_eq!(table.headers.len(), 6);
+        assert!(!table.rows.is_empty());
+    }
+
+    #[test]
+    fn distdgl_trace_run_composes_faults_and_mitigation() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let timed = timed_vertex_partitions(&g, 4, 1, &split.train);
+        let mut config = DistDglConfig::paper(
+            PaperParams::middle().model(ModelKind::Sage),
+            ClusterSpec::paper(4),
+        );
+        config.global_batch_size = 256;
+        let plan = slowdown_plan();
+        let sink =
+            distdgl_trace_run(&g, &timed[0].partition, &split, config, 3, Some(&plan), true)
+                .unwrap();
+        assert!(!sink.spans().is_empty());
+        assert!(sink.spans().iter().any(|s| s.epoch == 2), "all epochs recorded");
+        assert!(!sink.phase_csv().is_empty());
+    }
+}

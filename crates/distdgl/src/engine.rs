@@ -8,8 +8,8 @@
 
 use gp_cluster::{
     compute_time, expected_retries, retry_backoff_secs, transfer_time, ClusterCounters,
-    ClusterSpec, FaultPlan, MitigationPolicy, MitigationReport, NetworkSpec, RecoveryReport,
-    StragglerDetector,
+    ClusterSpec, EpochOutcome, FaultPlan, MitigationPolicy, MitigationReport, NetworkSpec,
+    RecoveryReport, StragglerDetector, TracePhase, TraceSink,
 };
 use gp_graph::{Graph, VertexSplit};
 use gp_partition::VertexPartition;
@@ -114,6 +114,20 @@ struct StepFaultCtx {
     loss_rate: f64,
 }
 
+/// One worker's share of a step: its (pre-gating) phase times plus the
+/// attribution the trace layer rides on — bytes moved and FLOPs burned
+/// by *this* worker, regardless of which worker gates each phase.
+struct WorkerCost {
+    phases: StepPhases,
+    cache_hits: u64,
+    /// Remote sampling-RPC bytes the worker waited on.
+    sample_bytes: u64,
+    /// Remote feature-fetch bytes the worker received.
+    feature_bytes: u64,
+    fwd_flops: u64,
+    bwd_flops: u64,
+}
+
 /// Result of one simulated training step.
 #[derive(Debug, Clone)]
 pub struct StepReport {
@@ -171,6 +185,26 @@ impl EpochSummary {
     /// Simulated seconds per epoch.
     pub fn epoch_time(&self) -> f64 {
         self.phases.total()
+    }
+}
+
+impl EpochOutcome for EpochSummary {
+    fn epoch_time(&self) -> f64 {
+        self.phases.total()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.counters.total_network_bytes()
+    }
+
+    fn phase_breakdown(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            (TracePhase::Sampling.name(), self.phases.sampling),
+            (TracePhase::FeatureLoad.name(), self.phases.feature_load),
+            (TracePhase::Forward.name(), self.phases.forward),
+            (TracePhase::Backward.name(), self.phases.backward),
+            (TracePhase::Update.name(), self.phases.update),
+        ]
     }
 }
 
@@ -259,38 +293,126 @@ impl EpochAcc {
             total_input_vertices: self.total_inputs,
             total_remote_vertices: self.total_remote,
             cache_hits: self.cache_hits,
-            mean_input_balance: self.balance_acc / self.steps as f64,
-            mean_time_balance: self.time_balance_acc / self.steps as f64,
+            mean_input_balance: if self.steps == 0 {
+                0.0
+            } else {
+                self.balance_acc / self.steps as f64
+            },
+            mean_time_balance: if self.steps == 0 {
+                0.0
+            } else {
+                self.time_balance_acc / self.steps as f64
+            },
         }
     }
 }
 
-/// Mini-batch vertex-partitioned training engine.
-pub struct DistDglEngine<'a> {
+/// Validated builder for [`DistDglEngine`] — the only construction
+/// path. Positional arguments carry the data the engine borrows (graph,
+/// partition, train/val/test split); everything else is set through
+/// chained setters, either wholesale via [`DistDglEngineBuilder::config`]
+/// or field by field. `model` and `cluster` are mandatory; `fanouts`
+/// defaults to [`crate::scaled_fanouts`] for the model's layer count,
+/// the remaining fields to the paper defaults of
+/// [`DistDglConfig::paper`].
+#[derive(Debug, Clone)]
+pub struct DistDglEngineBuilder<'a, 'b> {
     graph: &'a Graph,
-    store: PartitionedStore,
-    config: DistDglConfig,
-    /// Mask of vertices whose features every worker caches (the
-    /// `feature_cache_entries` highest-degree vertices).
-    cached: Vec<bool>,
+    partition: &'b VertexPartition,
+    split: &'b VertexSplit,
+    model: Option<ModelConfig>,
+    cluster: Option<ClusterSpec>,
+    global_batch_size: u32,
+    fanouts: Option<Vec<u32>>,
+    feature_cache_entries: u32,
+    seed: u64,
+    trace: TraceSink,
 }
 
-impl<'a> DistDglEngine<'a> {
-    /// Build an engine.
+impl<'a, 'b> DistDglEngineBuilder<'a, 'b> {
+    /// Model hyper-parameters (mandatory).
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Simulated cluster (mandatory).
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Adopt a complete [`DistDglConfig`] (sets every config field).
+    pub fn config(mut self, config: DistDglConfig) -> Self {
+        self.model = Some(config.model);
+        self.cluster = Some(config.cluster);
+        self.global_batch_size = config.global_batch_size;
+        self.fanouts = Some(config.fanouts);
+        self.feature_cache_entries = config.feature_cache_entries;
+        self.seed = config.seed;
+        self
+    }
+
+    /// Global batch size (split evenly across workers).
+    pub fn global_batch_size(mut self, global_batch_size: u32) -> Self {
+        self.global_batch_size = global_batch_size;
+        self
+    }
+
+    /// Per-layer fan-outs (defaults to
+    /// [`crate::scaled_fanouts`]`(model.num_layers)`).
+    pub fn fanouts(mut self, fanouts: Vec<u32>) -> Self {
+        self.fanouts = Some(fanouts);
+        self
+    }
+
+    /// Hot-vertex feature-cache size (0 = disabled).
+    pub fn feature_cache_entries(mut self, entries: u32) -> Self {
+        self.feature_cache_entries = entries;
+        self
+    }
+
+    /// Sampling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach a trace sink; every simulated epoch records per-worker,
+    /// per-step phase spans into it. Defaults to
+    /// [`TraceSink::disabled`] (zero cost).
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Validate and build the engine.
     ///
     /// # Errors
     ///
-    /// Fails if partition/cluster sizes disagree or the configuration is
-    /// inconsistent.
-    pub fn new(
-        graph: &'a Graph,
-        partition: &VertexPartition,
-        split: &VertexSplit,
-        config: DistDglConfig,
-    ) -> Result<Self, DistDglError> {
-        if partition.k() != config.cluster.machines {
+    /// [`DistDglError::InvalidConfig`] when `model` or `cluster` was
+    /// never set, plus every validation [`DistDglEngine::new`] used to
+    /// perform (partition/cluster mismatch, fan-out arity, batch size).
+    pub fn build(self) -> Result<DistDglEngine<'a>, DistDglError> {
+        let model = self
+            .model
+            .ok_or_else(|| DistDglError::InvalidConfig("model not set (builder .model())".into()))?;
+        let cluster = self.cluster.ok_or_else(|| {
+            DistDglError::InvalidConfig("cluster not set (builder .cluster())".into())
+        })?;
+        let fanouts =
+            self.fanouts.unwrap_or_else(|| crate::scaled_fanouts(model.num_layers));
+        let config = DistDglConfig {
+            model,
+            cluster,
+            global_batch_size: self.global_batch_size,
+            fanouts,
+            feature_cache_entries: self.feature_cache_entries,
+            seed: self.seed,
+        };
+        if self.partition.k() != config.cluster.machines {
             return Err(DistDglError::ClusterMismatch {
-                partitions: partition.k(),
+                partitions: self.partition.k(),
                 machines: config.cluster.machines,
             });
         }
@@ -304,14 +426,74 @@ impl<'a> DistDglEngine<'a> {
         if config.global_batch_size == 0 {
             return Err(DistDglError::InvalidConfig("global_batch_size must be > 0".into()));
         }
-        let store = PartitionedStore::new(graph, partition, split)?;
-        let cached = hot_vertex_mask(graph, config.feature_cache_entries);
-        Ok(DistDglEngine { graph, store, config, cached })
+        let store = PartitionedStore::new(self.graph, self.partition, self.split)?;
+        let cached = hot_vertex_mask(self.graph, config.feature_cache_entries);
+        Ok(DistDglEngine { graph: self.graph, store, config, cached, trace: self.trace })
+    }
+}
+
+/// Mini-batch vertex-partitioned training engine.
+pub struct DistDglEngine<'a> {
+    graph: &'a Graph,
+    store: PartitionedStore,
+    config: DistDglConfig,
+    /// Mask of vertices whose features every worker caches (the
+    /// `feature_cache_entries` highest-degree vertices).
+    cached: Vec<bool>,
+    /// Span recorder (disabled by default; see
+    /// [`DistDglEngineBuilder::trace`]).
+    trace: TraceSink,
+}
+
+impl<'a> DistDglEngine<'a> {
+    /// Start building an engine over `graph`, vertex-partitioned by
+    /// `partition`, with train/val/test roles from `split`.
+    pub fn builder<'b>(
+        graph: &'a Graph,
+        partition: &'b VertexPartition,
+        split: &'b VertexSplit,
+    ) -> DistDglEngineBuilder<'a, 'b> {
+        DistDglEngineBuilder {
+            graph,
+            partition,
+            split,
+            model: None,
+            cluster: None,
+            global_batch_size: 1024,
+            fanouts: None,
+            feature_cache_entries: 0,
+            seed: 0x9d15,
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Build an engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails if partition/cluster sizes disagree or the configuration is
+    /// inconsistent.
+    #[deprecated(
+        note = "use `DistDglEngine::builder(graph, partition, split).config(config).build()`"
+    )]
+    pub fn new(
+        graph: &'a Graph,
+        partition: &VertexPartition,
+        split: &VertexSplit,
+        config: DistDglConfig,
+    ) -> Result<Self, DistDglError> {
+        Self::builder(graph, partition, split).config(config).build()
     }
 
     /// The ownership store.
     pub fn store(&self) -> &PartitionedStore {
         &self.store
+    }
+
+    /// The attached trace sink (disabled unless one was supplied via
+    /// [`DistDglEngineBuilder::trace`]).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The configuration.
@@ -373,7 +555,7 @@ impl<'a> DistDglEngine<'a> {
         counters: &mut ClusterCounters,
         faults: Option<&StepFaultCtx>,
         recovery: &mut RecoveryReport,
-    ) -> (StepPhases, u64) {
+    ) -> WorkerCost {
         let cluster = &self.config.cluster;
         let network = faults.map_or(cluster.network, |f| f.network);
         let model = &self.config.model;
@@ -499,7 +681,14 @@ impl<'a> DistDglEngine<'a> {
             backward /= cf;
         }
 
-        (StepPhases { sampling, feature_load, forward, backward, update: 0.0 }, cache_hits)
+        WorkerCost {
+            phases: StepPhases { sampling, feature_load, forward, backward, update: 0.0 },
+            cache_hits,
+            sample_bytes: stats.remote_sample_bytes,
+            feature_bytes: remote_bytes,
+            fwd_flops,
+            bwd_flops,
+        }
     }
 
     /// Sample every step of an epoch (for reuse across model
@@ -517,17 +706,21 @@ impl<'a> DistDglEngine<'a> {
         counters: &mut ClusterCounters,
     ) -> StepReport {
         let batches = self.sample_step(epoch, step);
-        self.simulate_step_from(&batches, counters)
+        let mut unused = RecoveryReport::default();
+        self.step_inner(&batches, counters, None, &mut unused, step as u32)
     }
 
-    /// Simulate one step from pre-sampled mini-batches.
+    /// Simulate one step from pre-sampled mini-batches. Spans recorded
+    /// through this entry point carry step index 0 (the caller holds the
+    /// real index; use [`DistDglEngine::simulate_step`] or the epoch
+    /// paths for stepped traces).
     pub fn simulate_step_from(
         &self,
         batches: &[MiniBatch],
         counters: &mut ClusterCounters,
     ) -> StepReport {
         let mut unused = RecoveryReport::default();
-        self.step_inner(batches, counters, None, &mut unused)
+        self.step_inner(batches, counters, None, &mut unused, 0)
     }
 
     /// Shared step simulation; `faults: None` is the healthy baseline
@@ -538,6 +731,7 @@ impl<'a> DistDglEngine<'a> {
         counters: &mut ClusterCounters,
         faults: Option<&StepFaultCtx>,
         recovery: &mut RecoveryReport,
+        step: u32,
     ) -> StepReport {
         let cluster = &self.config.cluster;
         let network = faults.map_or(cluster.network, |f| f.network);
@@ -549,16 +743,18 @@ impl<'a> DistDglEngine<'a> {
         let mut input_vertices = Vec::with_capacity(k as usize);
         let mut remote_vertices = Vec::with_capacity(k as usize);
         let mut cache_hits = 0u64;
+        let mut costs = Vec::with_capacity(batches.len());
         for (w, batch) in batches.iter().enumerate() {
-            let (wp, hits) = self.worker_step_cost(w as u32, batch, counters, faults, recovery);
-            cache_hits += hits;
-            phases.sampling = phases.sampling.max(wp.sampling);
-            phases.feature_load = phases.feature_load.max(wp.feature_load);
-            phases.forward = phases.forward.max(wp.forward);
-            phases.backward = phases.backward.max(wp.backward);
-            worker_times.push(wp.sampling + wp.feature_load + wp.forward);
+            let wc = self.worker_step_cost(w as u32, batch, counters, faults, recovery);
+            cache_hits += wc.cache_hits;
+            phases.sampling = phases.sampling.max(wc.phases.sampling);
+            phases.feature_load = phases.feature_load.max(wc.phases.feature_load);
+            phases.forward = phases.forward.max(wc.phases.forward);
+            phases.backward = phases.backward.max(wc.phases.backward);
+            worker_times.push(wc.phases.sampling + wc.phases.feature_load + wc.phases.forward);
             input_vertices.push(batch.stats.input_vertices);
             remote_vertices.push(batch.stats.remote_input_vertices);
+            costs.push(wc);
         }
 
         // Gradient all-reduce closes the backward phase (paper: the
@@ -583,11 +779,79 @@ impl<'a> DistDglEngine<'a> {
             counters.machine_mut(m).flops += opt_flops;
         }
 
+        self.emit_step_spans(step, &phases, &costs, param_bytes, opt_flops);
+        self.emit_traffic_counters(counters);
+
         StepReport { phases, worker_times, input_vertices, remote_vertices, cache_hits }
+    }
+
+    /// Record one step's spans: every worker gets one span per phase
+    /// window, `dur` being the straggler-gated phase time (BSP
+    /// semantics — the whole cluster occupies the window), while bytes
+    /// and FLOPs carry that worker's own attribution. The durations are
+    /// the exact `f64`s summed into [`StepPhases`] by the epoch
+    /// accumulator, in the same order, so per-worker span sums equal the
+    /// epoch phase totals bit for bit.
+    fn emit_step_spans(
+        &self,
+        step: u32,
+        phases: &StepPhases,
+        costs: &[WorkerCost],
+        param_bytes: u64,
+        opt_flops: u64,
+    ) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let t0 = self.trace.now();
+        for (w, wc) in costs.iter().enumerate() {
+            let w = w as u32;
+            let mut t = t0;
+            self.trace.span(w, step, TracePhase::Sampling, t, phases.sampling, wc.sample_bytes, 0);
+            t += phases.sampling;
+            self.trace.span(
+                w,
+                step,
+                TracePhase::FeatureLoad,
+                t,
+                phases.feature_load,
+                wc.feature_bytes,
+                0,
+            );
+            t += phases.feature_load;
+            self.trace.span(w, step, TracePhase::Forward, t, phases.forward, 0, wc.fwd_flops);
+            t += phases.forward;
+            self.trace.span(
+                w,
+                step,
+                TracePhase::Backward,
+                t,
+                phases.backward,
+                2 * param_bytes,
+                wc.bwd_flops,
+            );
+            t += phases.backward;
+            self.trace.span(w, step, TracePhase::Update, t, phases.update, 0, opt_flops);
+        }
+        self.trace.advance(phases.total());
+    }
+
+    /// Emit cumulative per-worker traffic counter tracks (no-op when
+    /// tracing is disabled).
+    fn emit_traffic_counters(&self, counters: &ClusterCounters) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        for m in 0..self.config.cluster.machines {
+            let c = counters.machine(m);
+            self.trace.counter(m, "bytes_sent", c.bytes_sent as f64);
+            self.trace.counter(m, "bytes_received", c.bytes_received as f64);
+        }
     }
 
     /// Simulate a full epoch (samples internally).
     pub fn simulate_epoch(&self, epoch: u32) -> EpochSummary {
+        self.trace.set_epoch(epoch);
         self.simulate_epoch_from(&self.sample_epoch(epoch))
     }
 
@@ -604,8 +868,9 @@ impl<'a> DistDglEngine<'a> {
         let mut counters = ClusterCounters::new(k);
         self.observe_store_memory(&mut counters);
         let mut acc = EpochAcc::default();
-        for batches in sampled {
-            let report = self.simulate_step_from(batches, &mut counters);
+        let mut unused = RecoveryReport::default();
+        for (step, batches) in sampled.iter().enumerate() {
+            let report = self.step_inner(batches, &mut counters, None, &mut unused, step as u32);
             acc.add(&report);
         }
         acc.into_summary(counters)
@@ -629,6 +894,9 @@ impl<'a> DistDglEngine<'a> {
             store,
             config: self.config.clone(),
             cached: self.cached.clone(),
+            // Clones share the recording buffer: spans emitted by the
+            // sibling (post-crash) engine land in the same trace.
+            trace: self.trace.clone(),
         }
     }
 
@@ -658,9 +926,13 @@ impl<'a> DistDglEngine<'a> {
         epoch: u32,
         plan: &FaultPlan,
     ) -> Result<FaultyEpochSummary, DistDglError> {
-        self.simulate_epoch_faulty_with(epoch, plan, |eng, batches, counters, ctx, recovery| {
-            eng.step_inner(batches, counters, Some(ctx), recovery)
-        })
+        self.simulate_epoch_faulty_with(
+            epoch,
+            plan,
+            |eng, batches, counters, ctx, recovery, step| {
+                eng.step_inner(batches, counters, Some(ctx), recovery, step as u32)
+            },
+        )
     }
 
     /// Shared fault-epoch skeleton (crash handling, restore accounting,
@@ -681,8 +953,10 @@ impl<'a> DistDglEngine<'a> {
             &mut ClusterCounters,
             &StepFaultCtx,
             &mut RecoveryReport,
+            usize,
         ) -> StepReport,
     {
+        self.trace.set_epoch(epoch);
         if plan.is_empty() {
             return Ok(FaultyEpochSummary {
                 summary: self.simulate_epoch(epoch),
@@ -729,7 +1003,7 @@ impl<'a> DistDglEngine<'a> {
             .min(steps_pre);
         for step in 0..crash_step {
             let batches = eng_pre.sample_step(epoch, step);
-            let report = step_fn(&eng_pre, &batches, &mut counters, &ctx, &mut recovery);
+            let report = step_fn(&eng_pre, &batches, &mut counters, &ctx, &mut recovery, step);
             acc.add(&report);
         }
 
@@ -746,18 +1020,39 @@ impl<'a> DistDglEngine<'a> {
             // persistent storage to their new owners (one bulk transfer
             // per receiving survivor).
             let mut restore_bytes = 0u64;
-            let mut receivers = vec![false; k as usize];
+            let mut recv_bytes = vec![0u64; k as usize];
             for v in self.graph.vertices() {
                 let new_owner = eng_post.store.owner(v);
                 if eng_pre.store.owner(v) != new_owner {
                     restore_bytes += fbytes;
-                    receivers[new_owner as usize] = true;
+                    recv_bytes[new_owner as usize] += fbytes;
                     counters.machine_mut(new_owner).receive(fbytes);
                 }
             }
-            let messages = receivers.iter().filter(|&&r| r).count() as u64;
+            let messages = recv_bytes.iter().filter(|&&b| b > 0).count() as u64;
+            let restore_secs = transfer_time(&ctx.network, restore_bytes, messages);
             recovery.recovery_bytes += restore_bytes;
-            recovery.restore_seconds += transfer_time(&ctx.network, restore_bytes, messages);
+            recovery.restore_seconds += restore_secs;
+            if self.trace.is_enabled() {
+                // One Recovery span per receiving survivor: the restore
+                // transfer occupies the whole window (bulk transfers run
+                // concurrently); bytes carry each receiver's share.
+                let t = self.trace.now();
+                for (m, &b) in recv_bytes.iter().enumerate() {
+                    if b > 0 {
+                        self.trace.span(
+                            m as u32,
+                            crash_step as u32,
+                            TracePhase::Recovery,
+                            t,
+                            restore_secs,
+                            b,
+                            0,
+                        );
+                    }
+                }
+                self.trace.advance(restore_secs);
+            }
             for &(m, _) in &crashes_now {
                 recovery.redistributed_train_vertices +=
                     eng_pre.store.local_train_vertices(m).len() as u64;
@@ -773,7 +1068,7 @@ impl<'a> DistDglEngine<'a> {
             for step in crash_step..steps_post {
                 let batches = eng_post.sample_step(epoch, step);
                 let report =
-                    step_fn(&eng_post, &batches, &mut counters, &ctx, &mut recovery);
+                    step_fn(&eng_post, &batches, &mut counters, &ctx, &mut recovery, step);
                 if step == crash_step {
                     recovery.reexecuted_steps += 1;
                     recovery.reexecution_seconds += report.phases.total();
@@ -841,10 +1136,21 @@ impl<'a> DistDglEngine<'a> {
             });
         }
         let mut mitigation = MitigationReport::default();
-        let base =
-            self.simulate_epoch_faulty_with(epoch, plan, |eng, batches, counters, ctx, recovery| {
-                eng.step_mitigated(batches, counters, ctx, recovery, session, &mut mitigation)
-            })?;
+        let base = self.simulate_epoch_faulty_with(
+            epoch,
+            plan,
+            |eng, batches, counters, ctx, recovery, step| {
+                eng.step_mitigated(
+                    batches,
+                    counters,
+                    ctx,
+                    recovery,
+                    session,
+                    &mut mitigation,
+                    step as u32,
+                )
+            },
+        )?;
         Ok(MitigatedEpochSummary {
             summary: base.summary,
             recovery: base.recovery,
@@ -857,6 +1163,7 @@ impl<'a> DistDglEngine<'a> {
     /// [`DistDglEngine::step_inner`] would (same counter bookings, same
     /// fold order), builds a steal/speculation candidate from the
     /// detector state, and adopts it only if strictly faster.
+    #[allow(clippy::too_many_arguments)]
     fn step_mitigated(
         &self,
         batches: &[MiniBatch],
@@ -865,6 +1172,7 @@ impl<'a> DistDglEngine<'a> {
         recovery: &mut RecoveryReport,
         session: &mut DistDglMitigation,
         mitigation: &mut MitigationReport,
+        step: u32,
     ) -> StepReport {
         let cluster = &self.config.cluster;
         let network = ctx.network;
@@ -872,13 +1180,14 @@ impl<'a> DistDglEngine<'a> {
         let k = cluster.machines;
         let fbytes = 4 * model.feature_dim as u64;
 
-        let mut wps: Vec<StepPhases> = Vec::with_capacity(batches.len());
+        let mut costs: Vec<WorkerCost> = Vec::with_capacity(batches.len());
         let mut cache_hits = 0u64;
         for (w, batch) in batches.iter().enumerate() {
-            let (wp, hits) = self.worker_step_cost(w as u32, batch, counters, Some(ctx), recovery);
-            cache_hits += hits;
-            wps.push(wp);
+            let wc = self.worker_step_cost(w as u32, batch, counters, Some(ctx), recovery);
+            cache_hits += wc.cache_hits;
+            costs.push(wc);
         }
+        let wps: Vec<StepPhases> = costs.iter().map(|c| c.phases).collect();
         let active: Vec<bool> = batches.iter().map(|b| !b.seeds.is_empty()).collect();
         let pre_times: Vec<f64> = wps.iter().map(StepPhases::total).collect();
         // Input features local to worker `w` — the bytes that turn into
@@ -991,13 +1300,27 @@ impl<'a> DistDglEngine<'a> {
         let (phases, chosen) = if adopted {
             candidate.time_saved_secs = unmit.total() - mit.total();
             mitigation.merge(&candidate);
-            for (m, sent, received) in extra_traffic {
+            for &(m, sent, received) in &extra_traffic {
                 let c = counters.machine_mut(m);
                 if sent > 0 {
                     c.send(sent);
                 }
                 if received > 0 {
                     c.receive(received);
+                }
+            }
+            if self.trace.is_enabled() {
+                // Cluster-wide mitigation counters (attributed to worker
+                // 0, like DistGNN's migration span).
+                if candidate.stolen_steps > 0 {
+                    self.trace.counter(0, "stolen_bytes", candidate.stolen_bytes as f64);
+                }
+                if candidate.speculated_steps > 0 {
+                    self.trace.counter(
+                        0,
+                        "speculation_bytes",
+                        candidate.speculation_bytes as f64,
+                    );
                 }
             }
             (mit, &mit_wps)
@@ -1030,6 +1353,9 @@ impl<'a> DistDglEngine<'a> {
         // behind, and mitigation never masks the fault from its own
         // monitor.
         session.detector.observe_compute_active(&pre_times, &active);
+
+        self.emit_step_spans(step, &phases, &costs, param_bytes, opt_flops);
+        self.emit_traffic_counters(counters);
 
         StepReport { phases, worker_times, input_vertices, remote_vertices, cache_hits }
     }
@@ -1095,6 +1421,7 @@ fn hot_vertex_mask(graph: &Graph, entries: u32) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gp_cluster::Span;
     use gp_graph::generators::{community, CommunityParams};
     use gp_partition::prelude::*;
     use gp_tensor::ModelKind;
@@ -1135,8 +1462,8 @@ mod tests {
     fn better_partitioner_fewer_remote_vertices() {
         let (g, rnd, metis, split) = setup(4);
         let c = cfg(4, 64, 64, 3, ModelKind::Sage);
-        let e_rnd = DistDglEngine::new(&g, &rnd, &split, c.clone()).unwrap().simulate_epoch(0);
-        let e_met = DistDglEngine::new(&g, &metis, &split, c).unwrap().simulate_epoch(0);
+        let e_rnd = DistDglEngine::builder(&g, &rnd, &split).config(c.clone()).build().unwrap().simulate_epoch(0);
+        let e_met = DistDglEngine::builder(&g, &metis, &split).config(c).build().unwrap().simulate_epoch(0);
         assert!(
             e_met.total_remote_vertices < e_rnd.total_remote_vertices,
             "METIS {} >= Random {}",
@@ -1150,10 +1477,10 @@ mod tests {
     #[test]
     fn feature_size_inflates_feature_phase() {
         let (g, rnd, _, split) = setup(4);
-        let small = DistDglEngine::new(&g, &rnd, &split, cfg(4, 16, 64, 3, ModelKind::Sage))
+        let small = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 16, 64, 3, ModelKind::Sage)).build()
             .unwrap()
             .simulate_epoch(0);
-        let large = DistDglEngine::new(&g, &rnd, &split, cfg(4, 512, 64, 3, ModelKind::Sage))
+        let large = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 512, 64, 3, ModelKind::Sage)).build()
             .unwrap()
             .simulate_epoch(0);
         // Sampling time identical (same seed ⇒ same blocks), feature
@@ -1172,10 +1499,10 @@ mod tests {
     #[test]
     fn hidden_dim_inflates_compute_only() {
         let (g, rnd, _, split) = setup(4);
-        let small = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 16, 3, ModelKind::Sage))
+        let small = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 64, 16, 3, ModelKind::Sage)).build()
             .unwrap()
             .simulate_epoch(0);
-        let large = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 512, 3, ModelKind::Sage))
+        let large = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 64, 512, 3, ModelKind::Sage)).build()
             .unwrap()
             .simulate_epoch(0);
         assert!((large.phases.sampling - small.phases.sampling).abs() < 1e-9);
@@ -1186,10 +1513,10 @@ mod tests {
     #[test]
     fn gat_computes_more_than_sage() {
         let (g, rnd, _, split) = setup(4);
-        let sage = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 3, ModelKind::Sage))
+        let sage = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 64, 64, 3, ModelKind::Sage)).build()
             .unwrap()
             .simulate_epoch(0);
-        let gat = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 3, ModelKind::Gat))
+        let gat = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 64, 64, 3, ModelKind::Gat)).build()
             .unwrap()
             .simulate_epoch(0);
         assert!(gat.phases.forward > sage.phases.forward);
@@ -1200,7 +1527,7 @@ mod tests {
         let (g, rnd, _, split) = setup(4);
         let mut c = cfg(4, 16, 16, 2, ModelKind::Sage);
         c.global_batch_size = 16;
-        let e = DistDglEngine::new(&g, &rnd, &split, c).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(c).build().unwrap();
         assert_eq!(e.batch_per_worker(), 4);
         // The epoch is gated by the worker with the most local training
         // vertices, so it is at least the balanced ceil(|train| / GBS)
@@ -1219,12 +1546,12 @@ mod tests {
         let (g, rnd, _, split) = setup(4);
         let mut c = cfg(8, 16, 16, 2, ModelKind::Sage);
         assert!(matches!(
-            DistDglEngine::new(&g, &rnd, &split, c.clone()),
+            DistDglEngine::builder(&g, &rnd, &split).config(c.clone()).build(),
             Err(DistDglError::ClusterMismatch { .. })
         ));
         c.cluster.machines = 4;
         c.fanouts = vec![5];
-        assert!(DistDglEngine::new(&g, &rnd, &split, c).is_err());
+        assert!(DistDglEngine::builder(&g, &rnd, &split).config(c).build().is_err());
     }
 
     #[test]
@@ -1232,12 +1559,12 @@ mod tests {
         let (g, rnd, _, split) = setup(4);
         let mut base_cfg = cfg(4, 512, 64, 3, ModelKind::Sage);
         base_cfg.feature_cache_entries = 0;
-        let base = DistDglEngine::new(&g, &rnd, &split, base_cfg.clone())
+        let base = DistDglEngine::builder(&g, &rnd, &split).config(base_cfg.clone()).build()
             .unwrap()
             .simulate_epoch(0);
         let mut cached_cfg = base_cfg.clone();
         cached_cfg.feature_cache_entries = 100;
-        let cached = DistDglEngine::new(&g, &rnd, &split, cached_cfg).unwrap().simulate_epoch(0);
+        let cached = DistDglEngine::builder(&g, &rnd, &split).config(cached_cfg).build().unwrap().simulate_epoch(0);
         assert_eq!(base.cache_hits, 0);
         assert!(cached.cache_hits > 0, "hot hubs must hit the cache");
         assert!(
@@ -1257,7 +1584,7 @@ mod tests {
         let traffic = |entries: u32| {
             let mut c = cfg(4, 64, 64, 2, ModelKind::Sage);
             c.feature_cache_entries = entries;
-            DistDglEngine::new(&g, &rnd, &split, c)
+            DistDglEngine::builder(&g, &rnd, &split).config(c).build()
                 .unwrap()
                 .simulate_epoch(0)
                 .counters
@@ -1282,7 +1609,7 @@ mod tests {
     #[test]
     fn empty_plan_bit_identical_to_baseline() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 2, ModelKind::Sage)).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 64, 64, 2, ModelKind::Sage)).build().unwrap();
         let base = e.simulate_epoch(0);
         let faulty = e.simulate_epoch_with_faults(0, &FaultPlan::empty()).unwrap();
         assert_eq!(faulty.summary.steps, base.steps);
@@ -1300,7 +1627,7 @@ mod tests {
     #[test]
     fn same_plan_identical_results() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 32, 32, 2, ModelKind::Sage)).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 32, 32, 2, ModelKind::Sage)).build().unwrap();
         let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(4, 6, 2.0, 0xfa11));
         for epoch in 0..6 {
             let a = e.simulate_epoch_with_faults(epoch, &plan).unwrap();
@@ -1315,7 +1642,7 @@ mod tests {
     #[test]
     fn crash_redistributes_training_set() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 32, 32, 2, ModelKind::Sage)).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 32, 32, 2, ModelKind::Sage)).build().unwrap();
         let plan = crash_plan(2, 1, 0.5);
         let crashed_train = e.store().local_train_vertices(2).len() as u64;
         assert!(crashed_train > 0, "test premise: worker 2 owns training vertices");
@@ -1344,7 +1671,7 @@ mod tests {
     #[test]
     fn degradation_adds_retries_and_time() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 2, ModelKind::Sage)).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 64, 64, 2, ModelKind::Sage)).build().unwrap();
         let plan = FaultPlan {
             events: vec![gp_cluster::FaultEvent::Degradation {
                 from_epoch: 0,
@@ -1372,7 +1699,7 @@ mod tests {
     #[test]
     fn slowdown_stretches_straggler_phases() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 32, 64, 2, ModelKind::Sage)).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 32, 64, 2, ModelKind::Sage)).build().unwrap();
         let plan = FaultPlan {
             events: vec![gp_cluster::FaultEvent::Slowdown {
                 machine: 1,
@@ -1394,7 +1721,7 @@ mod tests {
     #[test]
     fn all_workers_crashed_is_worker_failed() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 16, 16, 2, ModelKind::Sage)).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 16, 16, 2, ModelKind::Sage)).build().unwrap();
         let plan = FaultPlan {
             events: (0..4)
                 .map(|m| gp_cluster::FaultEvent::Crash {
@@ -1421,7 +1748,7 @@ mod tests {
     #[test]
     fn recovery_budget_enforced() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 16, 16, 2, ModelKind::Sage)).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 16, 16, 2, ModelKind::Sage)).build().unwrap();
         let mut plan = crash_plan(1, 0, 0.5);
         plan.recovery_budget_secs = 1e-12;
         assert!(matches!(
@@ -1466,7 +1793,7 @@ mod tests {
     #[test]
     fn mitigation_with_empty_plan_bit_identical() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 64, 64, 2, ModelKind::Sage)).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 64, 64, 2, ModelKind::Sage)).build().unwrap();
         let base = e.simulate_epoch(0);
         let mut session = e.mitigation(MitigationPolicy::all());
         let mit = e.simulate_epoch_mitigated(0, &FaultPlan::empty(), &mut session).unwrap();
@@ -1480,7 +1807,7 @@ mod tests {
     #[test]
     fn mitigation_policy_none_matches_plain_fault_path() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 32, 32, 2, ModelKind::Sage)).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 32, 32, 2, ModelKind::Sage)).build().unwrap();
         let plan = slowdown_plan(1, 0.25, 0, 3);
         let mut session = e.mitigation(MitigationPolicy::none());
         for epoch in 0..4 {
@@ -1503,7 +1830,7 @@ mod tests {
         let (g, rnd, _, split) = setup(4);
         let mut c = cfg(4, 64, 128, 2, ModelKind::Sage);
         c.global_batch_size = 32; // many steps per epoch: room to detect and react
-        let e = DistDglEngine::new(&g, &rnd, &split, c).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(c).build().unwrap();
         let plan = slowdown_plan(1, 0.25, 1, 6);
         let mut session = e.mitigation(MitigationPolicy::steal());
         let mut unmit_total = 0.0;
@@ -1533,7 +1860,7 @@ mod tests {
         let (g, rnd, _, split) = setup(4);
         let mut c = cfg(4, 64, 128, 2, ModelKind::Sage);
         c.global_batch_size = 32;
-        let e = DistDglEngine::new(&g, &rnd, &split, c).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(c).build().unwrap();
         let plan = slowdown_plan(1, 0.25, 1, 6);
         let mut session = e.mitigation(MitigationPolicy::speculate());
         let mut unmit_total = 0.0;
@@ -1565,7 +1892,7 @@ mod tests {
         let (g, rnd, _, split) = setup(4);
         let mut c = cfg(4, 32, 64, 2, ModelKind::Sage);
         c.global_batch_size = 64;
-        let e = DistDglEngine::new(&g, &rnd, &split, c).unwrap();
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(c).build().unwrap();
         let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(4, 8, 4.0, 0xfa11));
         let mut s1 = e.mitigation(MitigationPolicy::all());
         let mut s2 = e.mitigation(MitigationPolicy::all());
@@ -1597,11 +1924,259 @@ mod tests {
     #[test]
     fn balances_reported() {
         let (g, rnd, _, split) = setup(4);
-        let e = DistDglEngine::new(&g, &rnd, &split, cfg(4, 16, 16, 2, ModelKind::Sage))
+        let e = DistDglEngine::builder(&g, &rnd, &split).config(cfg(4, 16, 16, 2, ModelKind::Sage)).build()
             .unwrap()
             .simulate_epoch(0);
         assert!(e.mean_input_balance >= 1.0);
         assert!(e.mean_time_balance >= 1.0);
         assert!(e.steps > 0);
+    }
+
+    #[test]
+    fn builder_requires_model_and_cluster() {
+        let (g, rnd, _, split) = setup(4);
+        assert!(matches!(
+            DistDglEngine::builder(&g, &rnd, &split).build(),
+            Err(DistDglError::InvalidConfig(_))
+        ));
+        let c = cfg(4, 16, 16, 2, ModelKind::Sage);
+        assert!(matches!(
+            DistDglEngine::builder(&g, &rnd, &split).model(c.model).build(),
+            Err(DistDglError::InvalidConfig(_))
+        ));
+        // With model and cluster set, fan-outs default to the scaled
+        // paper fan-outs for the layer count.
+        let e = DistDglEngine::builder(&g, &rnd, &split)
+            .model(c.model)
+            .cluster(c.cluster)
+            .build()
+            .unwrap();
+        assert_eq!(e.config().fanouts, crate::scaled_fanouts(2));
+    }
+
+    #[test]
+    fn builder_field_setters_match_config() {
+        let (g, rnd, _, split) = setup(4);
+        let mut c = cfg(4, 16, 16, 2, ModelKind::Sage);
+        c.global_batch_size = 64;
+        c.feature_cache_entries = 50;
+        c.seed = 42;
+        let via_config = DistDglEngine::builder(&g, &rnd, &split)
+            .config(c.clone())
+            .build()
+            .unwrap()
+            .simulate_epoch(0);
+        let via_setters = DistDglEngine::builder(&g, &rnd, &split)
+            .model(c.model)
+            .cluster(c.cluster)
+            .global_batch_size(64)
+            .fanouts(c.fanouts.clone())
+            .feature_cache_entries(50)
+            .seed(42)
+            .build()
+            .unwrap()
+            .simulate_epoch(0);
+        assert_eq!(via_config.phases, via_setters.phases);
+        assert_eq!(via_config.counters, via_setters.counters);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_still_works() {
+        let (g, rnd, _, split) = setup(4);
+        let c = cfg(4, 16, 16, 2, ModelKind::Sage);
+        let shim = DistDglEngine::new(&g, &rnd, &split, c.clone()).unwrap().simulate_epoch(0);
+        let built = DistDglEngine::builder(&g, &rnd, &split)
+            .config(c)
+            .build()
+            .unwrap()
+            .simulate_epoch(0);
+        assert_eq!(shim.phases, built.phases);
+    }
+
+    /// The load-bearing invariant: per-worker, per-phase span-duration
+    /// sums equal the epoch's reported phase totals *exactly* (`==` on
+    /// f64) — the spans record the same gated window values the epoch
+    /// accumulator sums, in the same order.
+    fn assert_span_accounting(sink: &TraceSink, k: u32, phases: &StepPhases) {
+        for w in 0..k {
+            assert_eq!(
+                sink.worker_phase_seconds(w, TracePhase::Sampling),
+                phases.sampling,
+                "worker {w} sampling"
+            );
+            assert_eq!(
+                sink.worker_phase_seconds(w, TracePhase::FeatureLoad),
+                phases.feature_load,
+                "worker {w} feature_load"
+            );
+            assert_eq!(
+                sink.worker_phase_seconds(w, TracePhase::Forward),
+                phases.forward,
+                "worker {w} forward"
+            );
+            assert_eq!(
+                sink.worker_phase_seconds(w, TracePhase::Backward),
+                phases.backward,
+                "worker {w} backward"
+            );
+            assert_eq!(
+                sink.worker_phase_seconds(w, TracePhase::Update),
+                phases.update,
+                "worker {w} update"
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_span_sums_equal_phase_totals() {
+        let (g, rnd, _, split) = setup(4);
+        let sink = TraceSink::enabled();
+        let e = DistDglEngine::builder(&g, &rnd, &split)
+            .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let summary = e.simulate_epoch(0);
+        assert_span_accounting(&sink, 4, &summary.phases);
+        // Five phase spans per worker per step, and the traffic counter
+        // tracks alongside.
+        assert_eq!(sink.spans().len(), summary.steps * 4 * 5);
+        assert!(sink.spans().iter().all(|s| s.epoch == 0));
+        assert!(!sink.counters().is_empty());
+    }
+
+    #[test]
+    fn tracing_leaves_summaries_bit_identical() {
+        let (g, rnd, _, split) = setup(4);
+        let c = cfg(4, 32, 32, 2, ModelKind::Sage);
+        let plain = DistDglEngine::builder(&g, &rnd, &split).config(c.clone()).build().unwrap();
+        let traced = DistDglEngine::builder(&g, &rnd, &split)
+            .config(c)
+            .trace(TraceSink::enabled())
+            .build()
+            .unwrap();
+        let a = plain.simulate_epoch(0);
+        let b = traced.simulate_epoch(0);
+        assert_eq!(a.phases, b.phases);
+        assert_eq!(a.counters, b.counters);
+        let plan = crash_plan(2, 1, 0.5);
+        for epoch in 0..3 {
+            let fa = plain.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            let fb = traced.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            assert_eq!(fa.summary.phases, fb.summary.phases);
+            assert_eq!(fa.summary.counters, fb.summary.counters);
+            assert_eq!(fa.recovery, fb.recovery);
+        }
+        let slow = slowdown_plan(1, 0.25, 0, 4);
+        let mut s1 = plain.mitigation(MitigationPolicy::all());
+        let mut s2 = traced.mitigation(MitigationPolicy::all());
+        for epoch in 0..4 {
+            let ma = plain.simulate_epoch_mitigated(epoch, &slow, &mut s1).unwrap();
+            let mb = traced.simulate_epoch_mitigated(epoch, &slow, &mut s2).unwrap();
+            assert_eq!(ma.summary.phases, mb.summary.phases);
+            assert_eq!(ma.summary.counters, mb.summary.counters);
+            assert_eq!(ma.mitigation, mb.mitigation);
+        }
+    }
+
+    #[test]
+    fn faulty_span_sums_equal_phase_totals() {
+        let (g, rnd, _, split) = setup(4);
+        let sink = TraceSink::enabled();
+        let e = DistDglEngine::builder(&g, &rnd, &split)
+            .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let plan = crash_plan(2, 1, 0.5);
+        for epoch in 0..3 {
+            sink.clear();
+            let faulty = e.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            assert_span_accounting(&sink, 4, &faulty.summary.phases);
+            let recovery_spans: Vec<Span> = sink
+                .spans()
+                .into_iter()
+                .filter(|s| s.phase == TracePhase::Recovery)
+                .collect();
+            if epoch == 1 {
+                assert!(!recovery_spans.is_empty(), "crash must record recovery spans");
+                for s in &recovery_spans {
+                    // The single restore transfer occupies the whole
+                    // window on every receiving survivor.
+                    assert_eq!(s.dur, faulty.recovery.restore_seconds);
+                    assert_eq!(s.epoch, 1);
+                    assert!(s.bytes > 0);
+                }
+                let moved: u64 = recovery_spans.iter().map(|s| s.bytes).sum();
+                assert_eq!(moved, faulty.recovery.recovery_bytes);
+            } else {
+                assert!(recovery_spans.is_empty(), "no crash in epoch {epoch}");
+            }
+        }
+    }
+
+    #[test]
+    fn mitigated_span_sums_equal_phase_totals() {
+        let (g, rnd, _, split) = setup(4);
+        let sink = TraceSink::enabled();
+        let mut c = cfg(4, 64, 128, 2, ModelKind::Sage);
+        c.global_batch_size = 32;
+        let e = DistDglEngine::builder(&g, &rnd, &split)
+            .config(c)
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let plan = slowdown_plan(1, 0.25, 1, 6);
+        let mut session = e.mitigation(MitigationPolicy::steal());
+        let mut stolen = 0;
+        for epoch in 0..6 {
+            sink.clear();
+            let mit = e.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            assert_span_accounting(&sink, 4, &mit.summary.phases);
+            if mit.mitigation.stolen_steps > 0 {
+                assert!(
+                    sink.counters().iter().any(|ev| ev.name == "stolen_bytes"),
+                    "adopted steals must leave a counter event"
+                );
+            }
+            stolen += mit.mitigation.stolen_steps;
+        }
+        assert!(stolen > 0, "test premise: stealing must trigger");
+    }
+
+    #[test]
+    fn same_seed_traces_are_identical() {
+        let (g, rnd, _, split) = setup(4);
+        let run = || {
+            let sink = TraceSink::enabled();
+            let e = DistDglEngine::builder(&g, &rnd, &split)
+                .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+                .trace(sink.clone())
+                .build()
+                .unwrap();
+            e.simulate_epoch(0);
+            sink.spans()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn epoch_outcome_trait_unifies_summary() {
+        let (g, rnd, _, split) = setup(4);
+        let summary = DistDglEngine::builder(&g, &rnd, &split)
+            .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+            .build()
+            .unwrap()
+            .simulate_epoch(0);
+        let outcome: &dyn EpochOutcome = &summary;
+        assert_eq!(outcome.epoch_time(), summary.phases.total());
+        assert_eq!(outcome.total_bytes(), summary.counters.total_network_bytes());
+        let breakdown = outcome.phase_breakdown();
+        assert_eq!(breakdown.len(), 5);
+        assert_eq!(breakdown[0], ("sampling", summary.phases.sampling));
+        assert_eq!(breakdown[1], ("feature_load", summary.phases.feature_load));
+        let total: f64 = breakdown.iter().map(|(_, s)| s).sum();
+        assert!((total - summary.epoch_time()).abs() < 1e-12);
     }
 }

@@ -40,8 +40,8 @@ pub mod store;
 pub mod train;
 
 pub use engine::{
-    DistDglConfig, DistDglEngine, DistDglMitigation, EpochSummary, FaultyEpochSummary,
-    MitigatedEpochSummary, StepPhases, StepReport,
+    DistDglConfig, DistDglEngine, DistDglEngineBuilder, DistDglMitigation, EpochSummary,
+    FaultyEpochSummary, MitigatedEpochSummary, StepPhases, StepReport,
 };
 pub use error::DistDglError;
 pub use sampler::{MiniBatch, SampleStats};

@@ -132,7 +132,7 @@ mod tests {
         };
         let mut config = DistDglConfig::paper(model_cfg, ClusterSpec::paper(4));
         config.global_batch_size = 64;
-        let engine = crate::DistDglEngine::new(&g, &part, &split, config).unwrap();
+        let engine = crate::DistDglEngine::builder(&g, &part, &split).config(config).build().unwrap();
 
         let features = synthetic_features(g.num_vertices() as usize, 16, 3);
         // Labels learnable from the vertex's own neighbourhood features.

@@ -94,7 +94,7 @@ proptest! {
             .map(|(m, f, from, len)| (m, f, from, from + len))
             .collect();
         let (g, part, split) = setup();
-        let engine = DistDglEngine::new(&g, &part, &split, config()).unwrap();
+        let engine = DistDglEngine::builder(&g, &part, &split).config(config()).build().unwrap();
         let plan = slowdown_plan(&spec);
         let mut s1 = engine.mitigation(policy(pol));
         let mut s2 = engine.mitigation(policy(pol));
@@ -117,7 +117,7 @@ proptest! {
     #[test]
     fn empty_plan_mitigated_is_bit_identical(pol in 0u8..3, epoch in 0u32..3) {
         let (g, part, split) = setup();
-        let engine = DistDglEngine::new(&g, &part, &split, config()).unwrap();
+        let engine = DistDglEngine::builder(&g, &part, &split).config(config()).build().unwrap();
         let mut session = engine.mitigation(policy(pol));
         let base = engine.simulate_epoch(epoch);
         let mit = engine

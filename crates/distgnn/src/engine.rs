@@ -2,8 +2,8 @@
 
 use gp_cluster::{
     compute_time, expected_retries, retry_backoff_secs, transfer_time, ClusterCounters,
-    ClusterSpec, DetectorConfig, FaultPlan, MitigationPolicy, MitigationReport, NetworkSpec,
-    RecoveryReport, StragglerDetector,
+    ClusterSpec, DetectorConfig, EpochOutcome, FaultPlan, MitigationPolicy, MitigationReport,
+    NetworkSpec, RecoveryReport, StragglerDetector, TracePhase, TraceSink,
 };
 use gp_graph::Graph;
 use gp_partition::EdgePartition;
@@ -140,6 +140,25 @@ impl EpochReport {
     }
 }
 
+impl EpochOutcome for EpochReport {
+    fn epoch_time(&self) -> f64 {
+        self.phases.total()
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.counters.total_network_bytes()
+    }
+
+    fn phase_breakdown(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            (TracePhase::Forward.name(), self.phases.forward),
+            (TracePhase::Backward.name(), self.phases.backward),
+            (TracePhase::Sync.name(), self.phases.sync),
+            (TracePhase::Optimizer.name(), self.phases.optimizer),
+        ]
+    }
+}
+
 /// Result of one epoch simulated under a [`FaultPlan`]: the epoch
 /// report (fault-adjusted phase times and counters, including recovery
 /// traffic) plus the recovery accounting.
@@ -210,30 +229,91 @@ impl DistGnnMitigation {
     }
 }
 
-/// Full-batch edge-partitioned training engine.
-pub struct DistGnnEngine<'a> {
+/// Validated builder for [`DistGnnEngine`] — the single construction
+/// path every consumer (sweeps, ablations, CLI, examples) goes through.
+/// Obtain one with [`DistGnnEngine::builder`]; `model` and `cluster`
+/// are mandatory (set individually or together via
+/// [`DistGnnEngineBuilder::config`]), everything else has the paper
+/// defaults.
+#[derive(Debug, Clone)]
+pub struct DistGnnEngineBuilder<'a> {
     graph: &'a Graph,
     partition: &'a EdgePartition,
-    views: Vec<PartitionView>,
-    masters: Vec<u32>,
-    config: DistGnnConfig,
+    model: Option<ModelConfig>,
+    cluster: Option<ClusterSpec>,
+    sync_period: u32,
+    checkpoint_every: u32,
+    trace: TraceSink,
 }
 
-impl<'a> DistGnnEngine<'a> {
-    /// Build an engine for a partitioned graph.
+impl<'a> DistGnnEngineBuilder<'a> {
+    /// Model hyper-parameters (mandatory; must be GraphSAGE).
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Simulated cluster (mandatory).
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Adopt a whole [`DistGnnConfig`] (model, cluster, sync period,
+    /// checkpoint period) at once.
+    pub fn config(mut self, config: DistGnnConfig) -> Self {
+        self.model = Some(config.model);
+        self.cluster = Some(config.cluster);
+        self.sync_period = config.sync_period;
+        self.checkpoint_every = config.checkpoint_every;
+        self
+    }
+
+    /// cd-r replica-sync period (default 1 — sync every epoch).
+    pub fn sync_period(mut self, period: u32) -> Self {
+        self.sync_period = period;
+        self
+    }
+
+    /// Checkpoint period in epochs (default 0 — disabled).
+    pub fn checkpoint_every(mut self, every: u32) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Trace sink the engine records spans to (default: disabled).
+    /// Tracing is purely observational — reports are bit-identical with
+    /// or without it.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Validate and build the engine.
     ///
     /// # Errors
     ///
-    /// Fails if the partition size and cluster size disagree, or the
+    /// [`DistGnnError::InvalidConfig`] if `model`/`cluster` are unset,
+    /// the model has no layers, or the sync period is 0;
+    /// [`DistGnnError::ClusterMismatch`] if the partition size and
+    /// cluster size disagree; [`DistGnnError::UnsupportedModel`] if the
     /// model is not GraphSAGE.
-    pub fn new(
-        graph: &'a Graph,
-        partition: &'a EdgePartition,
-        config: DistGnnConfig,
-    ) -> Result<Self, DistGnnError> {
-        if partition.k() != config.cluster.machines {
+    pub fn build(self) -> Result<DistGnnEngine<'a>, DistGnnError> {
+        let model = self
+            .model
+            .ok_or_else(|| DistGnnError::InvalidConfig("model not set (builder .model())".into()))?;
+        let cluster = self.cluster.ok_or_else(|| {
+            DistGnnError::InvalidConfig("cluster not set (builder .cluster())".into())
+        })?;
+        let config = DistGnnConfig {
+            model,
+            cluster,
+            sync_period: self.sync_period,
+            checkpoint_every: self.checkpoint_every,
+        };
+        if self.partition.k() != config.cluster.machines {
             return Err(DistGnnError::ClusterMismatch {
-                partitions: partition.k(),
+                partitions: self.partition.k(),
                 machines: config.cluster.machines,
             });
         }
@@ -246,9 +326,57 @@ impl<'a> DistGnnEngine<'a> {
         if config.sync_period == 0 {
             return Err(DistGnnError::InvalidConfig("sync_period must be > 0".into()));
         }
-        let masters = assign_masters(partition);
-        let views = build_views(graph, partition, &masters);
-        Ok(DistGnnEngine { graph, partition, views, masters, config })
+        let masters = assign_masters(self.partition);
+        let views = build_views(self.graph, self.partition, &masters);
+        Ok(DistGnnEngine {
+            graph: self.graph,
+            partition: self.partition,
+            views,
+            masters,
+            config,
+            trace: self.trace,
+        })
+    }
+}
+
+/// Full-batch edge-partitioned training engine.
+pub struct DistGnnEngine<'a> {
+    graph: &'a Graph,
+    partition: &'a EdgePartition,
+    views: Vec<PartitionView>,
+    masters: Vec<u32>,
+    config: DistGnnConfig,
+    trace: TraceSink,
+}
+
+impl<'a> DistGnnEngine<'a> {
+    /// Start building an engine for a partitioned graph; see
+    /// [`DistGnnEngineBuilder`].
+    pub fn builder(graph: &'a Graph, partition: &'a EdgePartition) -> DistGnnEngineBuilder<'a> {
+        DistGnnEngineBuilder {
+            graph,
+            partition,
+            model: None,
+            cluster: None,
+            sync_period: 1,
+            checkpoint_every: 0,
+            trace: TraceSink::disabled(),
+        }
+    }
+
+    /// Build an engine for a partitioned graph.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the partition size and cluster size disagree, or the
+    /// model is not GraphSAGE.
+    #[deprecated(note = "use `DistGnnEngine::builder(graph, partition).config(config).build()`")]
+    pub fn new(
+        graph: &'a Graph,
+        partition: &'a EdgePartition,
+        config: DistGnnConfig,
+    ) -> Result<Self, DistGnnError> {
+        DistGnnEngine::builder(graph, partition).config(config).build()
     }
 
     /// The underlying graph.
@@ -269,6 +397,12 @@ impl<'a> DistGnnEngine<'a> {
     /// Per-machine views.
     pub fn views(&self) -> &[PartitionView] {
         &self.views
+    }
+
+    /// The trace sink this engine records spans to (disabled unless one
+    /// was supplied via [`DistGnnEngineBuilder::trace`]).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// Run the cost model for one epoch with the configured model.
@@ -292,6 +426,7 @@ impl<'a> DistGnnEngine<'a> {
             self.config.sync_period,
             None,
             &mut unused,
+            &self.trace,
         )
     }
 
@@ -303,7 +438,18 @@ impl<'a> DistGnnEngine<'a> {
     /// `views`/`masters`/`sync_period` are parameters (rather than read
     /// from `self`) so the mitigation layer can re-run an epoch with a
     /// rebalanced master assignment or an adapted cd-r period; every
-    /// plain caller passes the engine's own state verbatim.
+    /// plain caller passes the engine's own state verbatim. `sink` is a
+    /// parameter for the same reason: the mitigation layer prices
+    /// throwaway candidate epochs with a disabled sink and records only
+    /// the adopted one.
+    ///
+    /// Span accounting: each phase window emits one span per machine
+    /// whose `dur` is the *exact* straggler-gated `f64` added to the
+    /// phase total, in the same order — so per-worker, per-phase span
+    /// sums reproduce [`EpochPhases`] bit-for-bit. Tracing never feeds
+    /// back into the report (spans are emitted from already-computed
+    /// values), keeping traced and untraced runs bit-identical.
+    #[allow(clippy::too_many_arguments)]
     fn simulate_epoch_inner(
         &self,
         model: &ModelConfig,
@@ -312,6 +458,7 @@ impl<'a> DistGnnEngine<'a> {
         sync_period: u32,
         faults: Option<&EpochFaultCtx>,
         recovery: &mut RecoveryReport,
+        sink: &TraceSink,
     ) -> EpochReport {
         assert_eq!(model.kind, self.config.model.kind, "model kind mismatch");
         let cluster = &self.config.cluster;
@@ -319,12 +466,14 @@ impl<'a> DistGnnEngine<'a> {
         let k = cluster.machines;
         let mut counters = ClusterCounters::new(k);
         let mut phases = EpochPhases::default();
+        let tracing = sink.is_enabled();
 
         for layer in 0..model.num_layers {
             let (in_dim, out_dim) = model.layer_dims(layer);
             // --- Compute (forward + backward), straggler-gated. ---
             let mut max_fwd = 0.0f64;
             let mut max_bwd = 0.0f64;
+            let mut view_flops: Vec<(u32, u64, u64)> = Vec::new();
             for view in views {
                 let shape = BlockShape {
                     num_dst: view.num_masters(),
@@ -345,9 +494,24 @@ impl<'a> DistGnnEngine<'a> {
                 }
                 max_fwd = max_fwd.max(fwd);
                 max_bwd = max_bwd.max(bwd);
+                if tracing {
+                    view_flops.push((view.machine, fwd_flops, bwd_flops));
+                }
             }
             phases.forward += max_fwd;
             phases.backward += max_bwd;
+            if tracing {
+                let t = sink.now();
+                for &(m, fwd_flops, _) in &view_flops {
+                    sink.span(m, layer as u32, TracePhase::Forward, t, max_fwd, 0, fwd_flops);
+                }
+                sink.advance(max_fwd);
+                let t = sink.now();
+                for &(m, _, bwd_flops) in &view_flops {
+                    sink.span(m, layer as u32, TracePhase::Backward, t, max_bwd, 0, bwd_flops);
+                }
+                sink.advance(max_bwd);
+            }
 
             // --- Replica sync: forward gathers partial aggregates
             // (in_dim) and scatters updated states (out_dim); the
@@ -399,6 +563,14 @@ impl<'a> DistGnnEngine<'a> {
                 if faults.is_some() {
                     recovery.retry_seconds += max_sync - max_sync_lossless;
                 }
+                if tracing {
+                    let t = sink.now();
+                    for m in 0..k as usize {
+                        let bytes = traffic.bytes_sent[m] + traffic.bytes_received[m];
+                        sink.span(m as u32, layer as u32, TracePhase::Sync, t, max_sync, bytes, 0);
+                    }
+                    sink.advance(max_sync);
+                }
             }
         }
 
@@ -408,10 +580,26 @@ impl<'a> DistGnnEngine<'a> {
         // the backward compute shows up as synchronisation time. ---
         let param_bytes = model_param_count(model) * 4;
         let allreduce = gp_cluster::time::allreduce_time(&network, param_bytes, k);
-        phases.sync += (allreduce - phases.backward).max(0.0);
+        let allreduce_excess = (allreduce - phases.backward).max(0.0);
+        phases.sync += allreduce_excess;
         for m in 0..k {
             counters.machine_mut(m).send(param_bytes);
             counters.machine_mut(m).receive(param_bytes);
+        }
+        if tracing {
+            let t = sink.now();
+            for m in 0..k {
+                sink.span(
+                    m,
+                    model.num_layers as u32,
+                    TracePhase::Sync,
+                    t,
+                    allreduce_excess,
+                    2 * param_bytes,
+                    0,
+                );
+            }
+            sink.advance(allreduce_excess);
         }
         // Adam: ~10 FLOPs per parameter. The step is synchronous, so the
         // slowest (possibly degraded) machine gates it.
@@ -423,6 +611,21 @@ impl<'a> DistGnnEngine<'a> {
         for m in 0..k {
             counters.machine_mut(m).flops += opt_flops;
         }
+        if tracing {
+            let t = sink.now();
+            for m in 0..k {
+                sink.span(
+                    m,
+                    model.num_layers as u32,
+                    TracePhase::Optimizer,
+                    t,
+                    phases.optimizer,
+                    0,
+                    opt_flops,
+                );
+            }
+            sink.advance(phases.optimizer);
+        }
 
         // --- Memory. ---
         let memory: Vec<MemoryBreakdown> =
@@ -432,6 +635,14 @@ impl<'a> DistGnnEngine<'a> {
             counters.machine_mut(view.machine).observe_memory(mem.total());
             if mem.total() > cluster.machine.memory_bytes {
                 oom_machines.push(view.machine);
+            }
+        }
+
+        if tracing {
+            for m in 0..k {
+                let c = counters.machine(m);
+                sink.counter(m, "bytes_sent", c.bytes_sent as f64);
+                sink.counter(m, "bytes_received", c.bytes_received as f64);
             }
         }
 
@@ -477,12 +688,14 @@ impl<'a> DistGnnEngine<'a> {
         epoch: u32,
         plan: &FaultPlan,
     ) -> Result<FaultyEpochReport, DistGnnError> {
+        self.trace.set_epoch(epoch);
         self.simulate_epoch_with_faults_using(
             epoch,
             plan,
             &self.views,
             &self.masters,
             self.config.sync_period,
+            &self.trace,
         )
     }
 
@@ -498,6 +711,7 @@ impl<'a> DistGnnEngine<'a> {
         views: &[PartitionView],
         masters: &[u32],
         sync_period: u32,
+        sink: &TraceSink,
     ) -> Result<FaultyEpochReport, DistGnnError> {
         if plan.is_empty() {
             let mut unused = RecoveryReport::default();
@@ -509,6 +723,7 @@ impl<'a> DistGnnEngine<'a> {
                     sync_period,
                     None,
                     &mut unused,
+                    sink,
                 ),
                 recovery: RecoveryReport::default(),
                 crashed_machines: Vec::new(),
@@ -525,12 +740,27 @@ impl<'a> DistGnnEngine<'a> {
             compute_factor,
             loss_rate: plan.loss_rate(epoch),
         };
-        let mut report =
-            self.simulate_epoch_inner(&model, views, masters, sync_period, Some(&ctx), &mut recovery);
+        let mut report = self.simulate_epoch_inner(
+            &model,
+            views,
+            masters,
+            sync_period,
+            Some(&ctx),
+            &mut recovery,
+            sink,
+        );
 
         if self.config.checkpoint_every > 0 && (epoch + 1) % self.config.checkpoint_every == 0 {
             recovery.checkpoints += 1;
-            recovery.checkpoint_seconds += self.checkpoint_seconds(&model);
+            let ckpt_secs = self.checkpoint_seconds(&model);
+            recovery.checkpoint_seconds += ckpt_secs;
+            if sink.is_enabled() {
+                let t = sink.now();
+                for m in 0..k {
+                    sink.span(m, 0, TracePhase::Checkpoint, t, ckpt_secs, 0, 0);
+                }
+                sink.advance(ckpt_secs);
+            }
         }
 
         let state = per_vertex_state_bytes(&model);
@@ -564,9 +794,13 @@ impl<'a> DistGnnEngine<'a> {
                 }
             }
             recovery.recovery_bytes += replica_bytes;
-            recovery.restore_seconds +=
+            // `crash_secs` mirrors every wall-time term this crash adds
+            // to the recovery report, so the Recovery span's duration is
+            // the exact sum of those terms.
+            let mut crash_secs =
                 transfer_time(&ctx.network, replica_bytes, u64::from(sources.count_ones()))
                     + (unreplicated * state) as f64 / CHECKPOINT_BW;
+            recovery.restore_seconds += crash_secs;
 
             // Unreplicated state only exists in the last checkpoint, so
             // everything since it (plus the partial epoch in flight) is
@@ -583,7 +817,9 @@ impl<'a> DistGnnEngine<'a> {
                     let mut ckpt = i64::from(epoch) - 1 - i64::from(since);
                     while ckpt >= 0 && plan.corrupted_checkpoint(machine, ckpt as u32) {
                         recovery.corrupted_checkpoints += 1;
-                        recovery.restore_seconds += (unreplicated * state) as f64 / CHECKPOINT_BW;
+                        let wasted = (unreplicated * state) as f64 / CHECKPOINT_BW;
+                        recovery.restore_seconds += wasted;
+                        crash_secs += wasted;
                         since += ce;
                         ckpt -= i64::from(ce);
                     }
@@ -601,7 +837,20 @@ impl<'a> DistGnnEngine<'a> {
             };
             recovery.lost_progress_epochs += lost;
             recovery.reexecuted_steps += lost.ceil() as u64;
-            recovery.reexecution_seconds += lost * report.epoch_time();
+            let reexec_secs = lost * report.epoch_time();
+            recovery.reexecution_seconds += reexec_secs;
+            if sink.is_enabled() {
+                sink.span(
+                    machine,
+                    0,
+                    TracePhase::Recovery,
+                    sink.now(),
+                    crash_secs + reexec_secs,
+                    replica_bytes,
+                    0,
+                );
+                sink.advance(crash_secs + reexec_secs);
+            }
         }
 
         let overhead = recovery.total_overhead_seconds();
@@ -708,7 +957,32 @@ impl<'a> DistGnnEngine<'a> {
         let k = self.config.cluster.machines;
         let mut mitigation = MitigationReport::default();
 
-        let unmit = self.simulate_epoch_with_faults(epoch, plan)?;
+        // Candidate pricing runs with a disabled sink: only the adopted
+        // configuration is re-run on the engine's real sink at the end,
+        // so discarded probes leave no spans and the returned report is
+        // identical to an untraced run by construction.
+        self.trace.set_epoch(epoch);
+        let probe = TraceSink::disabled();
+        // Which configuration the epoch was adopted under — replayed
+        // for the trace commit run.
+        enum Adopted {
+            Base,
+            Session,
+            Migrated,
+        }
+        let mut adopted = Adopted::Base;
+        // The sync period the session candidate was priced with (the
+        // detector may change `session.sync_period` further down).
+        let session_sp = session.sync_period;
+
+        let unmit = self.simulate_epoch_with_faults_using(
+            epoch,
+            plan,
+            &self.views,
+            &self.masters,
+            self.config.sync_period,
+            &probe,
+        )?;
         let unmit_cost = unmit.report.epoch_time() + unmit.recovery.total_overhead_seconds();
         let unmit_sync = unmit.report.phases.sync;
         let candidate = if session.at_base_state() {
@@ -718,14 +992,22 @@ impl<'a> DistGnnEngine<'a> {
                 .rebalanced
                 .as_ref()
                 .map_or((&self.masters[..], &self.views[..]), |(m, v)| (&m[..], &v[..]));
-            self.simulate_epoch_with_faults_using(epoch, plan, views, masters, session.sync_period)
-                .ok()
+            self.simulate_epoch_with_faults_using(
+                epoch,
+                plan,
+                views,
+                masters,
+                session.sync_period,
+                &probe,
+            )
+            .ok()
         };
         let mut chosen = match candidate {
             Some(c) => {
                 let cost = c.report.epoch_time() + c.recovery.total_overhead_seconds();
                 if cost < unmit_cost {
                     mitigation.time_saved_secs = unmit_cost - cost;
+                    adopted = Adopted::Session;
                     c
                 } else {
                     unmit
@@ -807,6 +1089,7 @@ impl<'a> DistGnnEngine<'a> {
                         &views,
                         &new_masters,
                         session.sync_period,
+                        &probe,
                     )
                     .ok();
                 let chosen_cost =
@@ -822,9 +1105,45 @@ impl<'a> DistGnnEngine<'a> {
                         session.rebalanced =
                             if desired == 0 { None } else { Some((new_masters, views)) };
                         chosen = c;
+                        adopted = Adopted::Migrated;
+                        if self.trace.is_enabled() {
+                            let t = self.trace.now();
+                            self.trace.span(
+                                0,
+                                0,
+                                TracePhase::Migration,
+                                t,
+                                migration_secs,
+                                bytes,
+                                0,
+                            );
+                            self.trace.advance(migration_secs);
+                        }
                     }
                 }
             }
+        }
+
+        // Commit run: replay the adopted configuration once on the real
+        // sink. The engine is deterministic, so the replay performs the
+        // exact arithmetic of `chosen` — the trace matches the returned
+        // report and the report itself never touches a traced run.
+        if self.trace.is_enabled() {
+            let base = (&self.masters[..], &self.views[..]);
+            let ((masters, views), sp) = match adopted {
+                Adopted::Base => (base, self.config.sync_period),
+                Adopted::Session => (
+                    session.rebalanced.as_ref().map_or(base, |(m, v)| (&m[..], &v[..])),
+                    session_sp,
+                ),
+                Adopted::Migrated => (
+                    session.rebalanced.as_ref().map_or(base, |(m, v)| (&m[..], &v[..])),
+                    session.sync_period,
+                ),
+            };
+            let replay =
+                self.simulate_epoch_with_faults_using(epoch, plan, views, masters, sp, &self.trace);
+            debug_assert!(replay.is_ok(), "replay of an adopted epoch cannot fail");
         }
 
         Ok(MitigatedEpochReport {
@@ -867,8 +1186,8 @@ mod tests {
     fn better_partitioner_less_traffic_and_time() {
         let (g, random, hep) = setup(8);
         let c = cfg(8, 64, 64, 3);
-        let r_rand = DistGnnEngine::new(&g, &random, c).unwrap().simulate_epoch();
-        let r_hep = DistGnnEngine::new(&g, &hep, c).unwrap().simulate_epoch();
+        let r_rand = DistGnnEngine::builder(&g, &random).config(c).build().unwrap().simulate_epoch();
+        let r_hep = DistGnnEngine::builder(&g, &hep).config(c).build().unwrap().simulate_epoch();
         assert!(
             r_hep.counters.total_network_bytes() < r_rand.counters.total_network_bytes(),
             "HEP traffic {} >= Random {}",
@@ -882,8 +1201,8 @@ mod tests {
     #[test]
     fn traffic_proportional_to_state_dims() {
         let (g, random, _) = setup(4);
-        let small = DistGnnEngine::new(&g, &random, cfg(4, 16, 16, 2)).unwrap().simulate_epoch();
-        let large = DistGnnEngine::new(&g, &random, cfg(4, 512, 512, 2)).unwrap().simulate_epoch();
+        let small = DistGnnEngine::builder(&g, &random).config(cfg(4, 16, 16, 2)).build().unwrap().simulate_epoch();
+        let large = DistGnnEngine::builder(&g, &random).config(cfg(4, 512, 512, 2)).build().unwrap().simulate_epoch();
         // Sync volume scales with state size; subtract the (identical
         // per-config) allreduce contribution before comparing? Allreduce
         // differs too (larger params) — the large config must dominate.
@@ -895,8 +1214,8 @@ mod tests {
     #[test]
     fn more_layers_more_memory() {
         let (g, random, _) = setup(4);
-        let l2 = DistGnnEngine::new(&g, &random, cfg(4, 64, 64, 2)).unwrap().simulate_epoch();
-        let l4 = DistGnnEngine::new(&g, &random, cfg(4, 64, 64, 4)).unwrap().simulate_epoch();
+        let l2 = DistGnnEngine::builder(&g, &random).config(cfg(4, 64, 64, 2)).build().unwrap().simulate_epoch();
+        let l4 = DistGnnEngine::builder(&g, &random).config(cfg(4, 64, 64, 4)).build().unwrap().simulate_epoch();
         assert!(l4.total_memory() > l2.total_memory());
     }
 
@@ -904,7 +1223,7 @@ mod tests {
     fn cluster_mismatch_rejected() {
         let (g, random, _) = setup(4);
         assert!(matches!(
-            DistGnnEngine::new(&g, &random, cfg(8, 16, 16, 2)),
+            DistGnnEngine::builder(&g, &random).config(cfg(8, 16, 16, 2)).build(),
             Err(DistGnnError::ClusterMismatch { .. })
         ));
     }
@@ -915,7 +1234,7 @@ mod tests {
         let mut c = cfg(4, 16, 16, 2);
         c.model.kind = ModelKind::Gat;
         assert!(matches!(
-            DistGnnEngine::new(&g, &random, c),
+            DistGnnEngine::builder(&g, &random).config(c).build(),
             Err(DistGnnError::UnsupportedModel(_))
         ));
     }
@@ -923,7 +1242,7 @@ mod tests {
     #[test]
     fn phases_all_positive() {
         let (g, random, _) = setup(4);
-        let r = DistGnnEngine::new(&g, &random, cfg(4, 64, 64, 2)).unwrap().simulate_epoch();
+        let r = DistGnnEngine::builder(&g, &random).config(cfg(4, 64, 64, 2)).build().unwrap().simulate_epoch();
         assert!(r.phases.forward > 0.0);
         assert!(r.phases.backward > 0.0);
         assert!(r.phases.sync > 0.0);
@@ -937,8 +1256,8 @@ mod tests {
         let base = cfg(8, 64, 64, 3);
         let mut cdr = base;
         cdr.sync_period = 4;
-        let r1 = DistGnnEngine::new(&g, &random, base).unwrap().simulate_epoch();
-        let r4 = DistGnnEngine::new(&g, &random, cdr).unwrap().simulate_epoch();
+        let r1 = DistGnnEngine::builder(&g, &random).config(base).build().unwrap().simulate_epoch();
+        let r4 = DistGnnEngine::builder(&g, &random).config(cdr).build().unwrap().simulate_epoch();
         // Sync phase shrinks ~4x (a small allreduce-excess term does not
         // scale with the period); compute is unchanged.
         assert!(
@@ -957,7 +1276,7 @@ mod tests {
         let mut c = cfg(4, 16, 16, 2);
         c.sync_period = 0;
         assert!(matches!(
-            DistGnnEngine::new(&g, &random, c),
+            DistGnnEngine::builder(&g, &random).config(c).build(),
             Err(DistGnnError::InvalidConfig(_))
         ));
     }
@@ -974,7 +1293,7 @@ mod tests {
     #[test]
     fn empty_plan_bit_identical_to_baseline() {
         let (g, random, _) = setup(8);
-        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 3)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(8, 64, 64, 3)).build().unwrap();
         let base = engine.simulate_epoch();
         let faulty = engine.simulate_epoch_with_faults(0, &FaultPlan::empty()).unwrap();
         assert_eq!(faulty.report.phases, base.phases);
@@ -988,7 +1307,7 @@ mod tests {
     #[test]
     fn same_plan_identical_results() {
         let (g, random, _) = setup(8);
-        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(8, 64, 64, 2)).build().unwrap();
         let plan =
             FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 10, 3.0, 0xfa11));
         for epoch in 0..10 {
@@ -1008,8 +1327,8 @@ mod tests {
         // one partition's layout.
         let (g, random, hep) = setup(8);
         let c = cfg(8, 64, 64, 3);
-        let e_rand = DistGnnEngine::new(&g, &random, c).unwrap();
-        let e_hep = DistGnnEngine::new(&g, &hep, c).unwrap();
+        let e_rand = DistGnnEngine::builder(&g, &random).config(c).build().unwrap();
+        let e_hep = DistGnnEngine::builder(&g, &hep).config(c).build().unwrap();
         assert!(
             hep.replication_factor() < random.replication_factor(),
             "test premise: HEP replicates less than Random"
@@ -1037,9 +1356,9 @@ mod tests {
         let (g, random, _) = setup(8);
         let mut c = cfg(8, 64, 64, 2);
         let no_ckpt =
-            DistGnnEngine::new(&g, &random, c).unwrap();
+            DistGnnEngine::builder(&g, &random).config(c).build().unwrap();
         c.checkpoint_every = 2;
-        let with_ckpt = DistGnnEngine::new(&g, &random, c).unwrap();
+        let with_ckpt = DistGnnEngine::builder(&g, &random).config(c).build().unwrap();
         let plan = crash_plan(3, 7, 0.25);
         let lost_none = no_ckpt.simulate_epoch_with_faults(7, &plan).unwrap().recovery;
         let lost_ckpt = with_ckpt.simulate_epoch_with_faults(7, &plan).unwrap().recovery;
@@ -1060,7 +1379,7 @@ mod tests {
     #[test]
     fn slowdown_and_degradation_stretch_phases() {
         let (g, random, _) = setup(8);
-        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(8, 64, 64, 2)).build().unwrap();
         let base = engine.simulate_epoch();
         let plan = FaultPlan {
             events: vec![
@@ -1094,7 +1413,7 @@ mod tests {
     #[test]
     fn recovery_budget_enforced() {
         let (g, random, _) = setup(8);
-        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(8, 64, 64, 2)).build().unwrap();
         let mut plan = crash_plan(0, 4, 0.5);
         plan.recovery_budget_secs = 1e-12;
         assert!(matches!(
@@ -1107,7 +1426,7 @@ mod tests {
     fn single_machine_crash_unrecoverable_without_checkpoints() {
         let (g, _, _) = setup(8);
         let random = RandomEdgePartitioner.partition_edges(&g, 1, 1).unwrap();
-        let engine = DistGnnEngine::new(&g, &random, cfg(1, 16, 16, 2)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(1, 16, 16, 2)).build().unwrap();
         let plan = FaultPlan {
             events: vec![gp_cluster::FaultEvent::Crash { machine: 0, epoch: 2, step_frac: 0.5 }],
             machines: 1,
@@ -1125,7 +1444,7 @@ mod tests {
         let (g, random, _) = setup(8);
         let mut c = cfg(8, 64, 64, 2);
         c.checkpoint_every = 2;
-        let engine = DistGnnEngine::new(&g, &random, c).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(c).build().unwrap();
         let crash = gp_cluster::FaultEvent::Crash { machine: 3, epoch: 7, step_frac: 0.25 };
         let plan = |extra: &[(u32, u32)]| FaultPlan {
             events: std::iter::once(crash)
@@ -1168,7 +1487,7 @@ mod tests {
     #[test]
     fn mitigation_with_empty_plan_bit_identical() {
         let (g, random, _) = setup(8);
-        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(8, 64, 64, 2)).build().unwrap();
         let base = engine.simulate_epoch();
         let mut session = engine.mitigation(MitigationPolicy::all());
         for epoch in 0..3 {
@@ -1182,7 +1501,7 @@ mod tests {
     #[test]
     fn mitigation_policy_none_matches_plain_fault_path() {
         let (g, random, _) = setup(8);
-        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(8, 64, 64, 2)).build().unwrap();
         let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 10, 3.0, 0xfa11));
         let mut session = engine.mitigation(MitigationPolicy::none());
         for epoch in 0..10 {
@@ -1210,7 +1529,7 @@ mod tests {
     #[test]
     fn adaptive_cdr_saves_time_under_brownout() {
         let (g, random, _) = setup(8);
-        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 3)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(8, 64, 64, 3)).build().unwrap();
         let plan = brownout_plan();
         let mut session = engine.mitigation(MitigationPolicy::adaptive());
         let mut unmit_total = 0.0;
@@ -1240,7 +1559,7 @@ mod tests {
         // hidden = 512, the top of the paper's grid. In network-bound
         // ones the per-epoch guard keeps the unmitigated path instead.
         let (g, random, _) = setup(8);
-        let engine = DistGnnEngine::new(&g, &random, cfg(8, 512, 512, 3)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(8, 512, 512, 3)).build().unwrap();
         let plan = FaultPlan {
             events: vec![gp_cluster::FaultEvent::Slowdown {
                 machine: 2,
@@ -1276,7 +1595,7 @@ mod tests {
     #[test]
     fn mitigated_never_worse_and_deterministic() {
         let (g, random, _) = setup(8);
-        let engine = DistGnnEngine::new(&g, &random, cfg(8, 64, 64, 2)).unwrap();
+        let engine = DistGnnEngine::builder(&g, &random).config(cfg(8, 64, 64, 2)).build().unwrap();
         let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 12, 4.0, 0xfa11));
         let run = || {
             let mut session = engine.mitigation(MitigationPolicy::all());
@@ -1300,9 +1619,237 @@ mod tests {
     }
 
     #[test]
+    fn builder_requires_model_and_cluster() {
+        let (g, random, _) = setup(4);
+        assert!(matches!(
+            DistGnnEngine::builder(&g, &random).build(),
+            Err(DistGnnError::InvalidConfig(_))
+        ));
+        let c = cfg(4, 16, 16, 2);
+        assert!(matches!(
+            DistGnnEngine::builder(&g, &random).model(c.model).build(),
+            Err(DistGnnError::InvalidConfig(_))
+        ));
+        assert!(DistGnnEngine::builder(&g, &random)
+            .model(c.model)
+            .cluster(c.cluster)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_field_setters_match_config() {
+        let (g, random, _) = setup(4);
+        let mut c = cfg(4, 16, 16, 2);
+        c.sync_period = 4;
+        c.checkpoint_every = 3;
+        let via_config =
+            DistGnnEngine::builder(&g, &random).config(c).build().unwrap().simulate_epoch();
+        let via_setters = DistGnnEngine::builder(&g, &random)
+            .model(c.model)
+            .cluster(c.cluster)
+            .sync_period(4)
+            .checkpoint_every(3)
+            .build()
+            .unwrap()
+            .simulate_epoch();
+        assert_eq!(via_config.phases, via_setters.phases);
+        assert_eq!(via_config.counters, via_setters.counters);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_shim_still_works() {
+        let (g, random, _) = setup(4);
+        let c = cfg(4, 16, 16, 2);
+        let shim = DistGnnEngine::new(&g, &random, c).unwrap().simulate_epoch();
+        let built =
+            DistGnnEngine::builder(&g, &random).config(c).build().unwrap().simulate_epoch();
+        assert_eq!(shim.phases, built.phases);
+    }
+
+    /// The load-bearing invariant: per-worker, per-phase span-duration
+    /// sums equal the reported phase totals *exactly* (`==` on f64).
+    fn assert_span_accounting(sink: &TraceSink, k: u32, phases: &EpochPhases) {
+        for m in 0..k {
+            assert_eq!(
+                sink.worker_phase_seconds(m, TracePhase::Forward),
+                phases.forward,
+                "worker {m} forward"
+            );
+            assert_eq!(
+                sink.worker_phase_seconds(m, TracePhase::Backward),
+                phases.backward,
+                "worker {m} backward"
+            );
+            assert_eq!(
+                sink.worker_phase_seconds(m, TracePhase::Sync),
+                phases.sync,
+                "worker {m} sync"
+            );
+            assert_eq!(
+                sink.worker_phase_seconds(m, TracePhase::Optimizer),
+                phases.optimizer,
+                "worker {m} optimizer"
+            );
+        }
+    }
+
+    #[test]
+    fn healthy_span_sums_equal_phase_totals() {
+        let (g, random, _) = setup(8);
+        let sink = TraceSink::enabled();
+        let engine = DistGnnEngine::builder(&g, &random)
+            .config(cfg(8, 64, 64, 3))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let report = engine.simulate_epoch();
+        assert_span_accounting(&sink, 8, &report.phases);
+        // The simulated clock advanced by exactly the epoch time.
+        assert_eq!(sink.now(), report.epoch_time());
+        assert!(!sink.counters().is_empty());
+    }
+
+    #[test]
+    fn tracing_leaves_reports_bit_identical() {
+        let (g, random, _) = setup(8);
+        let c = cfg(8, 64, 64, 3);
+        let plain = DistGnnEngine::builder(&g, &random).config(c).build().unwrap();
+        let traced = DistGnnEngine::builder(&g, &random)
+            .config(c)
+            .trace(TraceSink::enabled())
+            .build()
+            .unwrap();
+        let a = plain.simulate_epoch();
+        let b = traced.simulate_epoch();
+        assert_eq!(a.phases, b.phases);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.memory, b.memory);
+        let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 6, 2.0, 0xfa11));
+        for epoch in 0..6 {
+            let fa = plain.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            let fb = traced.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            assert_eq!(fa.report.phases, fb.report.phases, "epoch {epoch}");
+            assert_eq!(fa.report.counters, fb.report.counters, "epoch {epoch}");
+            assert_eq!(fa.recovery, fb.recovery, "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn faulty_span_sums_equal_phase_totals() {
+        let (g, random, _) = setup(8);
+        let mut c = cfg(8, 64, 64, 2);
+        c.checkpoint_every = 2;
+        let sink = TraceSink::enabled();
+        let engine = DistGnnEngine::builder(&g, &random)
+            .config(c)
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let plan = FaultPlan {
+            events: vec![
+                gp_cluster::FaultEvent::Crash { machine: 3, epoch: 5, step_frac: 0.5 },
+                gp_cluster::FaultEvent::Slowdown {
+                    machine: 0,
+                    from_epoch: 0,
+                    until_epoch: 8,
+                    factor: 0.5,
+                },
+                gp_cluster::FaultEvent::Degradation {
+                    from_epoch: 2,
+                    until_epoch: 6,
+                    bandwidth_factor: 0.5,
+                    loss_rate: 0.05,
+                },
+            ],
+            machines: 8,
+            epochs: 10,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        for epoch in 0..8 {
+            sink.clear();
+            let r = engine.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            assert_span_accounting(&sink, 8, &r.report.phases);
+            // Checkpoint and recovery wall time is accounted by the
+            // overhead spans (one checkpoint span per machine — the
+            // write is a cluster barrier; recovery on the crashed one).
+            let ckpt: f64 = (0..8)
+                .map(|m| sink.worker_phase_seconds(m, TracePhase::Checkpoint))
+                .fold(0.0, f64::max);
+            assert_eq!(ckpt, r.recovery.checkpoint_seconds, "epoch {epoch}");
+            let rec: f64 =
+                (0..8).map(|m| sink.worker_phase_seconds(m, TracePhase::Recovery)).sum();
+            let expect = r.recovery.restore_seconds + r.recovery.reexecution_seconds;
+            assert!((rec - expect).abs() <= 1e-12 * expect.max(1.0), "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn mitigated_span_sums_equal_adopted_report() {
+        let (g, random, _) = setup(8);
+        let sink = TraceSink::enabled();
+        let engine = DistGnnEngine::builder(&g, &random)
+            .config(cfg(8, 64, 64, 3))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let plan = brownout_plan();
+        let mut session = engine.mitigation(MitigationPolicy::adaptive());
+        for epoch in 0..8 {
+            sink.clear();
+            let r = engine.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            assert_span_accounting(&sink, 8, &r.report.phases);
+            for s in sink.spans() {
+                assert_eq!(s.epoch, epoch, "spans carry the simulated epoch");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_traces_are_identical() {
+        let (g, random, _) = setup(8);
+        let plan = FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 4, 2.0, 0xfa11));
+        let run = || {
+            let sink = TraceSink::enabled();
+            let engine = DistGnnEngine::builder(&g, &random)
+                .config(cfg(8, 64, 64, 2))
+                .trace(sink.clone())
+                .build()
+                .unwrap();
+            let mut session = engine.mitigation(MitigationPolicy::adaptive());
+            for epoch in 0..4 {
+                engine.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            }
+            (sink.spans(), sink.counters())
+        };
+        let (spans_a, counters_a) = run();
+        let (spans_b, counters_b) = run();
+        assert!(!spans_a.is_empty());
+        assert_eq!(spans_a, spans_b);
+        assert_eq!(counters_a, counters_b);
+    }
+
+    #[test]
+    fn epoch_outcome_trait_unifies_report() {
+        let (g, random, _) = setup(4);
+        let engine =
+            DistGnnEngine::builder(&g, &random).config(cfg(4, 64, 64, 2)).build().unwrap();
+        let report = engine.simulate_epoch();
+        let outcome: &dyn EpochOutcome = &report;
+        assert_eq!(outcome.epoch_time(), report.phases.total());
+        assert_eq!(outcome.total_bytes(), report.counters.total_network_bytes());
+        let breakdown = outcome.phase_breakdown();
+        assert_eq!(breakdown.len(), 4);
+        assert_eq!(breakdown[0], ("forward", report.phases.forward));
+        let total: f64 = breakdown.iter().map(|(_, s)| s).sum();
+        assert!((total - report.epoch_time()).abs() < 1e-12);
+    }
+
+    #[test]
     fn memory_balance_tracks_vertex_balance() {
         let (g, _, hep) = setup(8);
-        let r = DistGnnEngine::new(&g, &hep, cfg(8, 256, 16, 2)).unwrap().simulate_epoch();
+        let r = DistGnnEngine::builder(&g, &hep).config(cfg(8, 256, 16, 2)).build().unwrap().simulate_epoch();
         // HEP has a vertex imbalance; memory balance must reflect it
         // (paper Figure 5: the two correlate). At this test scale the
         // constant per-machine model state dilutes the correlation, so

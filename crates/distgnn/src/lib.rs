@@ -49,8 +49,8 @@ pub mod train;
 pub mod view;
 
 pub use engine::{
-    DistGnnConfig, DistGnnEngine, DistGnnMitigation, EpochPhases, EpochReport, FaultyEpochReport,
-    MitigatedEpochReport,
+    DistGnnConfig, DistGnnEngine, DistGnnEngineBuilder, DistGnnMitigation, EpochPhases,
+    EpochReport, FaultyEpochReport, MitigatedEpochReport,
 };
 pub use error::DistGnnError;
 pub use memory::MemoryBreakdown;

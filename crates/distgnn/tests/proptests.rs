@@ -96,7 +96,7 @@ proptest! {
             brownout.map(|(from, len, bw)| (from, from + len, bw)),
         );
         let (g, part) = setup();
-        let engine = DistGnnEngine::new(&g, &part, config()).unwrap();
+        let engine = DistGnnEngine::builder(&g, &part).config(config()).build().unwrap();
         let mut s1 = engine.mitigation(MitigationPolicy::adaptive());
         let mut s2 = engine.mitigation(MitigationPolicy::adaptive());
         for epoch in 0..EPOCHS {
@@ -124,7 +124,7 @@ proptest! {
     #[test]
     fn empty_plan_mitigated_is_bit_identical(_seed in 0u8..4) {
         let (g, part) = setup();
-        let engine = DistGnnEngine::new(&g, &part, config()).unwrap();
+        let engine = DistGnnEngine::builder(&g, &part).config(config()).build().unwrap();
         let mut session = engine.mitigation(MitigationPolicy::adaptive());
         let base = engine.simulate_epoch();
         let mit = engine

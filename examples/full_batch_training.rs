@@ -52,7 +52,7 @@ fn main() {
     let config = DistGnnConfig::paper(model_config, ClusterSpec::paper(machines));
     for partitioner in [&RandomEdgePartitioner as &dyn EdgePartitioner, &Hep::hep100()] {
         let partition = partitioner.partition_edges(&graph, machines, 9).expect("valid");
-        let report = DistGnnEngine::new(&graph, &partition, config)
+        let report = DistGnnEngine::builder(&graph, &partition).config(config).build()
             .expect("matching cluster")
             .simulate_epoch();
         println!(

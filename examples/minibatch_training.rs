@@ -48,7 +48,7 @@ fn main() {
             DistDglConfig::paper(model_config, ClusterSpec::paper(machines));
         config.global_batch_size = 128;
         let engine =
-            DistDglEngine::new(&graph, &partition, &split, config).expect("matching sizes");
+            DistDglEngine::builder(&graph, &partition, &split).config(config).build().expect("matching sizes");
 
         // Real training over the sampled blocks.
         let mut model = GnnModel::new(model_config);

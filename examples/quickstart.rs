@@ -46,7 +46,7 @@ fn main() {
     let mut random_time = None;
     for p in &partitioners {
         let partition = p.partition_edges(&graph, machines, 42).expect("valid k");
-        let report = DistGnnEngine::new(&graph, &partition, config)
+        let report = DistGnnEngine::builder(&graph, &partition).config(config).build()
             .expect("matching cluster")
             .simulate_epoch();
         if p.name() == "Random" {

@@ -31,10 +31,23 @@
 //!     },
 //!     ClusterSpec::paper(4),
 //! );
-//! let report = DistGnnEngine::new(&graph, &partition, config)
+//! let report = DistGnnEngine::builder(&graph, &partition)
+//!     .config(config)
+//!     .build()
 //!     .unwrap()
 //!     .simulate_epoch();
 //! assert!(report.epoch_time() > 0.0);
+//!
+//! // Record the same epoch as a span trace (zero-cost when disabled).
+//! let sink = TraceSink::enabled();
+//! let traced = DistGnnEngine::builder(&graph, &partition)
+//!     .config(config)
+//!     .trace(sink.clone())
+//!     .build()
+//!     .unwrap();
+//! let traced_report = traced.simulate_epoch();
+//! assert_eq!(traced_report.epoch_time(), report.epoch_time(), "tracing is observational");
+//! assert!(!sink.spans().is_empty());
 //! ```
 
 pub use gp_cluster as cluster;
@@ -47,10 +60,15 @@ pub use gp_tensor as tensor;
 
 /// Convenience prelude with the most common types.
 pub mod prelude {
-    pub use gp_cluster::{ClusterSpec, MachineSpec, NetworkSpec};
+    pub use gp_cluster::{
+        ClusterSpec, CounterEvent, EpochOutcome, MachineSpec, NetworkSpec, PhaseRow, Span,
+        TracePhase, TraceSink,
+    };
     pub use gp_core::prelude::*;
-    pub use gp_distdgl::{scaled_fanouts, DistDglConfig, DistDglEngine};
-    pub use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+    pub use gp_distdgl::{
+        scaled_fanouts, DistDglConfig, DistDglEngine, DistDglEngineBuilder, EpochSummary,
+    };
+    pub use gp_distgnn::{DistGnnConfig, DistGnnEngine, DistGnnEngineBuilder, EpochReport};
     pub use gp_graph::{DatasetId, Graph, GraphBuilder, GraphScale, VertexSplit};
     pub use gp_partition::prelude::*;
     pub use gp_tensor::{Adam, GnnModel, ModelConfig, ModelKind, Sgd, Tensor};

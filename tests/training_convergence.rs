@@ -46,7 +46,7 @@ fn minibatch_training_learns_with_all_architectures() {
         let config = model_config(kind, 4);
         let mut dgl_config = DistDglConfig::paper(config, ClusterSpec::paper(4));
         dgl_config.global_batch_size = 128;
-        let engine = DistDglEngine::new(&graph, &partition, &split, dgl_config).unwrap();
+        let engine = DistDglEngine::builder(&graph, &partition, &split).config(dgl_config).build().unwrap();
         let mut model = GnnModel::new(config);
         let mut opt = Adam::new(0.01);
         let stats = minibatch_train(&engine, &mut model, &features, &labels, &mut opt, 10);
