@@ -18,11 +18,15 @@
 //!
 //! ```text
 //! cargo run -p gp-bench --release --bin ablations -- all
+//! cargo run -p gp-bench --release --bin ablations -- phases --quick --threads 4
 //! ```
 //!
 //! `--quick` shrinks the fault/mitigation ablations to a tiny-scale
 //! smoke configuration (CSVs land in `results/ablations-quick` so the
-//! committed full-scale results stay untouched).
+//! committed full-scale results stay untouched). `--threads N|auto`
+//! sets the `gp-exec` pool width; the emitted CSVs are bit-identical
+//! for every choice (`--threads 1` is the serial reference oracle) —
+//! only the wall-clock speedup printed to stdout changes.
 
 use gp_bench::Ctx;
 use gp_cluster::{ClusterSpec, NetworkSpec};
@@ -38,13 +42,20 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
+    let threads = match gp_bench::take_threads_flag(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let which = args.first().map(String::as_str).unwrap_or("all");
     let (scale, out_dir) = if quick {
         (GraphScale::Tiny, "results/ablations-quick")
     } else {
         (GraphScale::Small, "results/ablations")
     };
-    let ctx = Ctx::new(scale, out_dir.into());
+    let ctx = Ctx::with_threads(scale, out_dir.into(), threads);
     match which {
         "hdrf-lambda" => hdrf_lambda(&ctx),
         "hep-tau" => hep_tau(&ctx),
@@ -74,7 +85,7 @@ fn main() {
             eprintln!(
                 "unknown ablation {other:?} \
                  (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|\
-                 mitigation|phases|all) [--quick]"
+                 mitigation|phases|all) [--quick] [--threads N|auto]"
             );
             std::process::exit(2);
         }
@@ -372,37 +383,71 @@ fn mitigation(ctx: &Ctx, quick: bool) {
     ctx.emit(&mitigation_sweep_table("ablation_mitigation_distdgl", &rows));
 }
 
-/// Traced phase breakdown: run both engines with the span recorder
-/// attached and emit the per-(worker, phase) aggregates — where a
-/// simulated epoch's time, bytes and flops actually go (extension).
-/// The span-accounting invariant (engine test suites) guarantees these
-/// rows sum exactly to the engines' reported phase totals, and tracing
-/// never perturbs the simulation itself.
+/// Traced phase breakdown: run both engines — every partitioner of the
+/// roster — with the span recorder attached and emit the per-(worker,
+/// phase) aggregates — where a simulated epoch's time, bytes and flops
+/// actually go (extension). The span-accounting invariant (engine test
+/// suites) guarantees these rows sum exactly to the engines' reported
+/// phase totals, and tracing never perturbs the simulation itself.
+///
+/// The traced runs execute as cells on the `gp-exec` pool; the runner's
+/// own sequential-vs-parallel speedup goes to **stdout only** (wall
+/// clock is nondeterministic — keeping it out of the CSVs keeps them
+/// byte-identical across `--threads`).
 fn phases(ctx: &Ctx, quick: bool) {
-    use gp_core::trace_run::{distdgl_trace_run, distgnn_trace_run, phase_table};
+    use gp_core::trace_run::{distdgl_trace_runs, distgnn_trace_runs, phase_table};
     let (k, epochs) = if quick { (4, 2) } else { (8, 4) };
     let graph = ctx.graph(DatasetId::OR);
     let parts = ctx.edge_partitions(DatasetId::OR, k);
-    let hdrf = parts.iter().find(|p| p.name == "HDRF").expect("registered");
     let config = DistGnnConfig::paper(
         PaperParams::middle().model(ModelKind::Sage),
         ClusterSpec::paper(k),
     );
-    let sink = distgnn_trace_run(&graph, &hdrf.partition, config, epochs, None, false)
-        .expect("healthy traced run");
-    ctx.emit(&phase_table("ablation_phase_breakdown_distgnn", &sink));
+    let (sinks, timing) =
+        distgnn_trace_runs(&graph, &parts, config, epochs, None, false, ctx.threads)
+            .expect("healthy traced runs");
+    for (name, sink) in &sinks {
+        let table_name = format!("ablation_phase_breakdown_distgnn_{}", slug(name));
+        ctx.emit(&phase_table(&table_name, sink));
+    }
+    report_runner(&timing, "distgnn");
 
     let split = ctx.split(DatasetId::OR);
     let vparts = ctx.vertex_partitions(DatasetId::OR, k);
-    let metis = vparts.iter().find(|p| p.name == "METIS").expect("registered");
     let config = DistDglConfig::paper(
         PaperParams::middle().model(ModelKind::Sage),
         ClusterSpec::paper(k),
     );
-    let sink =
-        distdgl_trace_run(&graph, &metis.partition, &split, config, epochs, None, false)
-            .expect("healthy traced run");
-    ctx.emit(&phase_table("ablation_phase_breakdown_distdgl", &sink));
+    let (sinks, timing) =
+        distdgl_trace_runs(&graph, &split, &vparts, config, epochs, None, false, ctx.threads)
+            .expect("healthy traced runs");
+    for (name, sink) in &sinks {
+        let table_name = format!("ablation_phase_breakdown_distdgl_{}", slug(name));
+        ctx.emit(&phase_table(&table_name, sink));
+    }
+    report_runner(&timing, "distdgl");
+}
+
+/// Partitioner name → filesystem/CSV-safe lowercase slug
+/// (`HEP-100` → `hep_100`).
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect()
+}
+
+/// Print the pool's wall-clock numbers to stdout (never into CSVs).
+fn report_runner(timing: &gp_exec::ExecTiming, label: &str) {
+    println!(
+        "runner[{label}]: {} cells on {} thread(s) in {:.3}s \
+         (sum of cells {:.3}s, speedup {:.2}x, {} steals)",
+        timing.cell_seconds.len(),
+        timing.threads,
+        timing.wall_seconds,
+        timing.serial_seconds(),
+        timing.speedup(),
+        timing.steals,
+    );
 }
 
 /// DistGNN cd-r: per-epoch sync cost vs the sync period (extension;

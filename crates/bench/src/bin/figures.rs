@@ -5,15 +5,23 @@
 //! figures fig7 table4              # selected artifacts
 //! figures all --scale tiny         # quick smoke run
 //! figures all --out results/       # output directory
+//! figures all --threads 4          # gp-exec pool width (CSVs identical)
 //! ```
 
 use std::path::PathBuf;
 
-use gp_bench::{run_artifact, Ctx, ALL_ARTIFACTS};
+use gp_bench::{run_artifact, take_threads_flag, Ctx, ALL_ARTIFACTS};
 use gp_graph::GraphScale;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match take_threads_flag(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let mut scale = GraphScale::Small;
     let mut out_dir = PathBuf::from("results");
     let mut ids: Vec<String> = Vec::new();
@@ -58,7 +66,7 @@ fn main() {
         ids = ALL_ARTIFACTS.iter().map(|s| s.to_string()).collect();
     }
 
-    let ctx = Ctx::new(scale, out_dir);
+    let ctx = Ctx::with_threads(scale, out_dir, threads);
     let total = ids.len();
     for (n, id) in ids.iter().enumerate() {
         let start = std::time::Instant::now();
@@ -72,6 +80,9 @@ fn main() {
 }
 
 fn print_usage() {
-    eprintln!("usage: figures <artifact>... [--scale tiny|small|medium] [--out DIR]");
+    eprintln!(
+        "usage: figures <artifact>... [--scale tiny|small|medium] [--out DIR] \
+         [--threads N|auto]"
+    );
     eprintln!("artifacts: all {}", ALL_ARTIFACTS.join(" "));
 }

@@ -4,7 +4,7 @@ use gp_core::amortize::{epochs_to_amortize, fmt_amortize};
 use gp_core::config::{PaperParams, ParamGrid};
 use gp_core::experiment::distdgl_epoch;
 use gp_core::report::{fmt, Distribution, Table};
-use gp_core::sweep::distdgl_grid;
+use gp_core::sweep::distdgl_grid_threaded;
 use gp_graph::DatasetId;
 use gp_tensor::ModelKind;
 
@@ -122,7 +122,7 @@ pub fn fig16(ctx: &Ctx) {
             let parts = ctx.vertex_partitions(id, k);
             let split = ctx.split(id);
             for outcome in
-                distdgl_grid(&ctx.graph(id), &split, &parts, &grid, ModelKind::Sage, DEFAULT_GBS)
+                distdgl_grid_threaded(&ctx.graph(id), &split, &parts, &grid, ModelKind::Sage, DEFAULT_GBS, ctx.threads)
             {
                 let d = Distribution::of(&outcome.speedups).expect("non-empty grid");
                 let mut row = vec![id.name().to_string(), k.to_string(), outcome.name.clone()];
@@ -167,7 +167,7 @@ fn speedup_axis(ctx: &Ctx, name: &str, grids: &[(usize, PaperParams)]) {
             let parts = ctx.vertex_partitions(id, k);
             let split = ctx.split(id);
             for outcome in
-                distdgl_grid(&ctx.graph(id), &split, &parts, &grid, ModelKind::Sage, DEFAULT_GBS)
+                distdgl_grid_threaded(&ctx.graph(id), &split, &parts, &grid, ModelKind::Sage, DEFAULT_GBS, ctx.threads)
             {
                 for (&(value, _), &s) in grids.iter().zip(outcome.speedups.iter()) {
                     t.push(vec![
@@ -312,7 +312,7 @@ pub fn fig24(ctx: &Ctx) {
                 .partition
                 .edge_cut_ratio();
             for outcome in
-                distdgl_grid(&ctx.graph(id), &split, &parts, &grid, ModelKind::Sage, DEFAULT_GBS)
+                distdgl_grid_threaded(&ctx.graph(id), &split, &parts, &grid, ModelKind::Sage, DEFAULT_GBS, ctx.threads)
             {
                 let tp = parts.iter().find(|p| p.name == outcome.name).expect("same set");
                 t.push(vec![
@@ -379,13 +379,14 @@ pub fn fig26(ctx: &Ctx) {
             &["batch_size", "partitioner", "speedup", "traffic_pct", "remote_pct"],
         );
         for &gbs in &BATCH_SWEEP {
-            for outcome in distdgl_grid(
+            for outcome in distdgl_grid_threaded(
                 &ctx.graph(id),
                 &split,
                 &parts,
                 &[params],
                 ModelKind::Sage,
                 gbs,
+                ctx.threads,
             ) {
                 t.push(vec![
                     gbs.to_string(),

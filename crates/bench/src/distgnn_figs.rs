@@ -5,7 +5,7 @@ use gp_core::config::{PaperParams, ParamGrid};
 use gp_core::correlate::r_squared;
 use gp_core::experiment::distgnn_epoch;
 use gp_core::report::{fmt, Distribution, Table};
-use gp_core::sweep::distgnn_grid;
+use gp_core::sweep::distgnn_grid_threaded;
 use gp_graph::DatasetId;
 
 use crate::{scale_out_factors, Ctx};
@@ -158,7 +158,7 @@ pub fn fig7(ctx: &Ctx) {
     for id in DatasetId::ALL {
         for &k in &scale_out_factors(ctx.scale) {
             let parts = ctx.edge_partitions(id, k);
-            for outcome in distgnn_grid(&ctx.graph(id), &parts, &grid) {
+            for outcome in distgnn_grid_threaded(&ctx.graph(id), &parts, &grid, ctx.threads) {
                 let d = Distribution::of(&outcome.speedups).expect("non-empty grid");
                 let mut row = vec![id.name().to_string(), k.to_string(), outcome.name.clone()];
                 row.extend(dist_cells(&d));
@@ -180,7 +180,7 @@ pub fn fig8(ctx: &Ctx) {
         "fig8_rf_vs_speedup_en",
         &["partitioner", "rf", "vertex_balance", "mean_speedup"],
     );
-    for outcome in distgnn_grid(&ctx.graph(id), &parts, &grid) {
+    for outcome in distgnn_grid_threaded(&ctx.graph(id), &parts, &grid, ctx.threads) {
         let tp = parts.iter().find(|p| p.name == outcome.name).expect("same set");
         t.push(vec![
             outcome.name.clone(),
@@ -204,7 +204,7 @@ pub fn fig9(ctx: &Ctx) {
     for id in DatasetId::ALL {
         for k in [factors[0], *factors.last().expect("non-empty")] {
             let parts = ctx.edge_partitions(id, k);
-            for outcome in distgnn_grid(&ctx.graph(id), &parts, &grid) {
+            for outcome in distgnn_grid_threaded(&ctx.graph(id), &parts, &grid, ctx.threads) {
                 let d = Distribution::of(&outcome.memory_pct).expect("non-empty grid");
                 let mut row = vec![id.name().to_string(), k.to_string(), outcome.name.clone()];
                 row.extend(dist_cells(&d));
@@ -300,7 +300,7 @@ pub fn fig11(ctx: &Ctx) {
                 .expect("baseline")
                 .partition
                 .replication_factor();
-            for outcome in distgnn_grid(&ctx.graph(id), &parts, &grid) {
+            for outcome in distgnn_grid_threaded(&ctx.graph(id), &parts, &grid, ctx.threads) {
                 let tp = parts.iter().find(|p| p.name == outcome.name).expect("same set");
                 let entry = acc.entry(outcome.name.clone()).or_default();
                 entry.0.extend_from_slice(&outcome.speedups);

@@ -22,19 +22,26 @@ use std::path::PathBuf;
 use std::rc::Rc;
 
 use gp_core::experiment::{
-    timed_edge_partitions, timed_vertex_partitions, TimedEdgePartition, TimedVertexPartition,
+    timed_edge_partitions_threaded, timed_vertex_partitions_threaded, TimedEdgePartition,
+    TimedVertexPartition,
 };
+use gp_exec::Threads;
 use gp_graph::{DatasetId, Graph, GraphScale, VertexSplit};
 
 /// Memoisation table keyed by `(dataset, k)`.
 type PartCache<T> = RefCell<HashMap<(DatasetId, u32), Rc<Vec<T>>>>;
 
 /// Shared, memoising experiment context.
+///
+/// The context itself is single-threaded (`Rc`-memoised); parallelism
+/// lives inside the `gp_core` sweeps it calls, steered by [`Ctx::threads`].
 pub struct Ctx {
     /// Dataset scale for every experiment.
     pub scale: GraphScale,
     /// Output directory for CSV files.
     pub out_dir: PathBuf,
+    /// Worker-count policy handed to every `*_threaded` sweep.
+    pub threads: Threads,
     graphs: RefCell<HashMap<DatasetId, Rc<Graph>>>,
     splits: RefCell<HashMap<DatasetId, Rc<VertexSplit>>>,
     edge_parts: PartCache<TimedEdgePartition>,
@@ -42,11 +49,20 @@ pub struct Ctx {
 }
 
 impl Ctx {
-    /// New context writing CSVs to `out_dir`.
+    /// New context writing CSVs to `out_dir`, sweeping with
+    /// [`Threads::auto`] workers.
     pub fn new(scale: GraphScale, out_dir: PathBuf) -> Self {
+        Ctx::with_threads(scale, out_dir, Threads::auto())
+    }
+
+    /// New context with an explicit worker-count policy
+    /// (`Threads::serial()` reproduces the historical sequential runs
+    /// bit-for-bit).
+    pub fn with_threads(scale: GraphScale, out_dir: PathBuf, threads: Threads) -> Self {
         Ctx {
             scale,
             out_dir,
+            threads,
             graphs: RefCell::new(HashMap::new()),
             splits: RefCell::new(HashMap::new()),
             edge_parts: RefCell::new(HashMap::new()),
@@ -84,7 +100,7 @@ impl Ctx {
             return p.clone();
         }
         let graph = self.graph(id);
-        let parts = Rc::new(timed_edge_partitions(&graph, k, 0x9a9a));
+        let parts = Rc::new(timed_edge_partitions_threaded(&graph, k, 0x9a9a, self.threads));
         self.edge_parts.borrow_mut().insert((id, k), parts.clone());
         parts
     }
@@ -96,7 +112,13 @@ impl Ctx {
         }
         let graph = self.graph(id);
         let split = self.split(id);
-        let parts = Rc::new(timed_vertex_partitions(&graph, k, 0x9a9a, &split.train));
+        let parts = Rc::new(timed_vertex_partitions_threaded(
+            &graph,
+            k,
+            0x9a9a,
+            &split.train,
+            self.threads,
+        ));
         self.vertex_parts.borrow_mut().insert((id, k), parts.clone());
         parts
     }
@@ -154,6 +176,37 @@ pub fn run_artifact(ctx: &Ctx, id: &str) -> bool {
     true
 }
 
+/// Pop a `--threads N|auto` (or `--threads=N`) flag out of `args`;
+/// absent means [`Threads::auto`]. Shared by the `figures` and
+/// `ablations` binaries.
+///
+/// # Errors
+///
+/// A usage message when the value is missing or unparsable.
+pub fn take_threads_flag(args: &mut Vec<String>) -> Result<Threads, String> {
+    let mut threads = Threads::auto();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(value) = args[i].strip_prefix("--threads=") {
+            let value = value.to_string();
+            threads = Threads::parse(&value)
+                .ok_or_else(|| format!("--threads expects a count or \"auto\", got {value:?}"))?;
+            args.remove(i);
+        } else if args[i] == "--threads" {
+            if i + 1 >= args.len() {
+                return Err("--threads expects a count or \"auto\"".into());
+            }
+            let value = args.remove(i + 1);
+            threads = Threads::parse(&value)
+                .ok_or_else(|| format!("--threads expects a count or \"auto\", got {value:?}"))?;
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(threads)
+}
+
 /// Cluster sizes used throughout (paper's scale-out factors), trimmed at
 /// tiny scale where 32 partitions of a 1k-vertex graph are degenerate.
 pub fn scale_out_factors(scale: GraphScale) -> Vec<u32> {
@@ -188,6 +241,49 @@ mod tests {
         assert_eq!(a.len(), 6);
         let v = ctx.vertex_partitions(DatasetId::DI, 4);
         assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn ctx_threads_do_not_change_partitions() {
+        let serial = Ctx::with_threads(
+            GraphScale::Tiny,
+            std::env::temp_dir().join("gp_bench_test"),
+            Threads::serial(),
+        );
+        let par = Ctx::with_threads(
+            GraphScale::Tiny,
+            std::env::temp_dir().join("gp_bench_test"),
+            Threads::new(4),
+        );
+        let a = serial.edge_partitions(DatasetId::DI, 4);
+        let b = par.edge_partitions(DatasetId::DI, 4);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.partition, y.partition);
+        }
+    }
+
+    #[test]
+    fn threads_flag_is_popped_and_parsed() {
+        let mut args: Vec<String> =
+            ["phases", "--threads", "4", "--quick"].iter().map(|s| s.to_string()).collect();
+        let t = take_threads_flag(&mut args).unwrap();
+        assert_eq!(t.count(), 4);
+        assert_eq!(args, ["phases", "--quick"]);
+
+        let mut args: Vec<String> = ["--threads=auto"].iter().map(|s| s.to_string()).collect();
+        let t = take_threads_flag(&mut args).unwrap();
+        assert!(t.count() >= 1);
+        assert!(args.is_empty());
+
+        let mut args: Vec<String> = ["all"].iter().map(|s| s.to_string()).collect();
+        assert!(take_threads_flag(&mut args).is_ok());
+
+        let mut args: Vec<String> = ["--threads"].iter().map(|s| s.to_string()).collect();
+        assert!(take_threads_flag(&mut args).is_err());
+        let mut args: Vec<String> =
+            ["--threads", "lots"].iter().map(|s| s.to_string()).collect();
+        assert!(take_threads_flag(&mut args).is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use std::path::PathBuf;
 
+use gp_exec::Threads;
 use gp_graph::GraphScale;
 
 /// Usage text shown by `gnnpart help`.
@@ -32,6 +33,9 @@ COMMANDS:
         --epochs N                  training budget (default 100)
         --features N --hidden N --layers N   (default 64/64/3)
         --directed                  treat input as directed
+        --threads N|auto            gp-exec pool width for candidate
+                                    runs (default auto; 1 = serial,
+                                    the ranking is identical either way)
     simulate <edge-list>        simulate one training epoch
         --algo NAME                 partitioner (see `gnnpart list`)
         -k N                        machines (default 8)
@@ -188,6 +192,9 @@ pub struct RecommendCmd {
     pub layers: usize,
     /// Whether the input is directed.
     pub directed: bool,
+    /// `gp-exec` pool width for the candidate runs (ranking identical
+    /// for every choice).
+    pub threads: Threads,
 }
 
 /// Parse failure with a user-facing message.
@@ -445,6 +452,7 @@ fn parse_recommend(opts: &mut Opts) -> Result<Command, ParseError> {
         hidden: 64,
         layers: 3,
         directed: false,
+        threads: Threads::auto(),
     };
     while let Some(flag) = opts.next() {
         let numeric = |opts: &mut Opts, flag: &str| -> Result<usize, ParseError> {
@@ -458,6 +466,14 @@ fn parse_recommend(opts: &mut Opts) -> Result<Command, ParseError> {
             "--hidden" => cmd.hidden = numeric(opts, "--hidden")?,
             "--layers" => cmd.layers = numeric(opts, "--layers")?,
             "--directed" => cmd.directed = true,
+            "--threads" => {
+                let value = opts.value_for("--threads")?;
+                cmd.threads = Threads::parse(&value).ok_or_else(|| {
+                    ParseError(format!(
+                        "--threads expects a count or \"auto\", got {value:?}"
+                    ))
+                })?;
+            }
             other => return err(format!("unknown option {other:?}")),
         }
     }
@@ -628,6 +644,31 @@ mod tests {
         assert_eq!(c.epochs, 50);
         assert_eq!(c.system, "distdgl");
         assert_eq!(c.k, 8);
+        assert_eq!(c.threads, Threads::auto(), "auto pool width by default");
+    }
+
+    #[test]
+    fn recommend_threads_flag() {
+        let Command::Recommend(c) =
+            parse(&["recommend", "g.el", "--threads", "4"]).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.threads, Threads::new(4));
+        let Command::Recommend(c) =
+            parse(&["recommend", "g.el", "--threads", "auto"]).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.threads, Threads::auto());
+        assert!(parse(&["recommend", "g.el", "--threads", "many"])
+            .unwrap_err()
+            .0
+            .contains("--threads expects"));
+        assert!(parse(&["recommend", "g.el", "--threads"])
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
     }
 
     #[test]

@@ -430,10 +430,16 @@ pub fn recommend(cmd: RecommendCmd) -> CmdResult {
         num_layers: cmd.layers,
     };
     let rec = match cmd.system.as_str() {
-        "distgnn" => advisor::recommend_edge_partitioner(&graph, cmd.k, params, cmd.epochs),
+        "distgnn" => advisor::recommend_edge_partitioner_threaded(
+            &graph,
+            cmd.k,
+            params,
+            cmd.epochs,
+            cmd.threads,
+        ),
         "distdgl" => {
             let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
-            advisor::recommend_vertex_partitioner(
+            advisor::recommend_vertex_partitioner_threaded(
                 &graph,
                 &split,
                 cmd.k,
@@ -441,6 +447,7 @@ pub fn recommend(cmd: RecommendCmd) -> CmdResult {
                 ModelKind::Sage,
                 1024,
                 cmd.epochs,
+                cmd.threads,
             )
         }
         other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
@@ -662,6 +669,7 @@ mod tests {
             hidden: 16,
             layers: 2,
             directed: false,
+            threads: gp_exec::Threads::new(2),
         })
         .unwrap();
         let _ = std::fs::remove_file(el);

@@ -23,8 +23,7 @@
 //! (one "process" per logical worker), [`TraceSink::phase_csv`] the
 //! per-phase aggregate table used by the ablations.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Phase taxonomy across both engines. DistGNN uses
 /// Forward/Backward/Sync/Optimizer plus Checkpoint/Recovery/Migration;
@@ -124,16 +123,19 @@ struct TraceData {
 
 /// Shared handle to a trace buffer, or a disabled no-op.
 ///
-/// Cloning shares the underlying buffer (`Rc`), so the sink handed to
+/// Cloning shares the underlying buffer (`Arc`), so the sink handed to
 /// an engine and the one kept by the caller observe the same spans.
-/// `Default` is the disabled sink.
+/// The buffer is `Mutex`-guarded, so a sink can be moved into a sweep
+/// cell running on the `gp-exec` pool (the engines themselves record
+/// single-threaded; the lock is uncontended there). `Default` is the
+/// disabled sink.
 #[derive(Debug, Clone, Default)]
-pub struct TraceSink(Option<Rc<RefCell<TraceData>>>);
+pub struct TraceSink(Option<Arc<Mutex<TraceData>>>);
 
 impl TraceSink {
     /// A recording sink with an empty buffer and clock at 0.
     pub fn enabled() -> Self {
-        TraceSink(Some(Rc::new(RefCell::new(TraceData::default()))))
+        TraceSink(Some(Arc::new(Mutex::new(TraceData::default()))))
     }
 
     /// The no-op sink: records nothing, costs nothing.
@@ -147,25 +149,25 @@ impl TraceSink {
 
     /// Current simulated time in seconds (0 when disabled).
     pub fn now(&self) -> f64 {
-        self.0.as_ref().map_or(0.0, |d| d.borrow().clock)
+        self.0.as_ref().map_or(0.0, |d| d.lock().expect("trace lock").clock)
     }
 
     /// Advance the simulated clock. No-op when disabled.
     pub fn advance(&self, secs: f64) {
         if let Some(d) = &self.0 {
-            d.borrow_mut().clock += secs;
+            d.lock().expect("trace lock").clock += secs;
         }
     }
 
     /// Set the epoch stamped onto subsequently recorded spans.
     pub fn set_epoch(&self, epoch: u32) {
         if let Some(d) = &self.0 {
-            d.borrow_mut().epoch = epoch;
+            d.lock().expect("trace lock").epoch = epoch;
         }
     }
 
     pub fn current_epoch(&self) -> u32 {
-        self.0.as_ref().map_or(0, |d| d.borrow().epoch)
+        self.0.as_ref().map_or(0, |d| d.lock().expect("trace lock").epoch)
     }
 
     /// Record one span (no-op when disabled). The epoch is the one last
@@ -182,7 +184,7 @@ impl TraceSink {
         flops: u64,
     ) {
         if let Some(d) = &self.0 {
-            let mut d = d.borrow_mut();
+            let mut d = d.lock().expect("trace lock");
             let epoch = d.epoch;
             d.spans.push(Span { worker, epoch, step, phase, t_start, dur, bytes, flops });
         }
@@ -191,7 +193,7 @@ impl TraceSink {
     /// Record a counter sample at the current simulated time.
     pub fn counter(&self, worker: u32, name: &'static str, value: f64) {
         if let Some(d) = &self.0 {
-            let mut d = d.borrow_mut();
+            let mut d = d.lock().expect("trace lock");
             let t = d.clock;
             d.counters.push(CounterEvent { t, worker, name, value });
         }
@@ -199,18 +201,18 @@ impl TraceSink {
 
     /// Snapshot of all recorded spans, in recording order.
     pub fn spans(&self) -> Vec<Span> {
-        self.0.as_ref().map_or_else(Vec::new, |d| d.borrow().spans.clone())
+        self.0.as_ref().map_or_else(Vec::new, |d| d.lock().expect("trace lock").spans.clone())
     }
 
     /// Snapshot of all recorded counter events, in recording order.
     pub fn counters(&self) -> Vec<CounterEvent> {
-        self.0.as_ref().map_or_else(Vec::new, |d| d.borrow().counters.clone())
+        self.0.as_ref().map_or_else(Vec::new, |d| d.lock().expect("trace lock").counters.clone())
     }
 
     /// Drop all recorded events and reset the clock and epoch.
     pub fn clear(&self) {
         if let Some(d) = &self.0 {
-            *d.borrow_mut() = TraceData::default();
+            *d.lock().expect("trace lock") = TraceData::default();
         }
     }
 
@@ -219,7 +221,7 @@ impl TraceSink {
     /// compares against the engine's reported phase total.
     pub fn worker_phase_seconds(&self, worker: u32, phase: TracePhase) -> f64 {
         let Some(d) = &self.0 else { return 0.0 };
-        d.borrow()
+        d.lock().expect("trace lock")
             .spans
             .iter()
             .filter(|s| s.worker == worker && s.phase == phase)
@@ -229,7 +231,7 @@ impl TraceSink {
     /// Per-(worker, phase) aggregates, sorted by worker then phase.
     pub fn phase_rows(&self) -> Vec<PhaseRow> {
         let spans = match &self.0 {
-            Some(d) => d.borrow().spans.clone(),
+            Some(d) => d.lock().expect("trace lock").spans.clone(),
             None => return Vec::new(),
         };
         let mut keys: Vec<(u32, TracePhase)> =
@@ -274,7 +276,7 @@ impl TraceSink {
     pub fn to_chrome_json(&self) -> String {
         let (spans, counters) = match &self.0 {
             Some(d) => {
-                let d = d.borrow();
+                let d = d.lock().expect("trace lock");
                 (d.spans.clone(), d.counters.clone())
             }
             None => (Vec::new(), Vec::new()),

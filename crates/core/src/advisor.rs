@@ -17,12 +17,14 @@
 //! than the budget is ranked below cheaper ones even if it is faster per
 //! epoch.
 
+use gp_exec::{par_map, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_tensor::ModelKind;
 
 use crate::config::PaperParams;
 use crate::experiment::{
-    distdgl_epoch, distgnn_epoch, timed_edge_partitions, timed_vertex_partitions,
+    distdgl_epoch, distgnn_epoch, timed_edge_partitions_threaded,
+    timed_vertex_partitions_threaded,
 };
 
 /// One ranked candidate.
@@ -74,17 +76,35 @@ pub fn recommend_edge_partitioner(
     params: PaperParams,
     epochs: u32,
 ) -> Recommendation {
-    let timed = timed_edge_partitions(graph, k, 0xad71);
-    let base_epoch = {
-        let random = timed.iter().find(|t| t.name == "Random").expect("baseline");
-        distgnn_epoch(graph, &random.partition, params).epoch_time()
-    };
+    recommend_edge_partitioner_threaded(graph, k, params, epochs, Threads::serial())
+}
+
+/// [`recommend_edge_partitioner`] on the `gp-exec` pool: partitioning
+/// runs and per-candidate epoch simulations are parallel cells. The
+/// simulated epoch times (and thus speedups and the ranking for a fixed
+/// set of wall-clock partition times) are bit-identical for every
+/// thread count; the measured `partition_seconds` are wall clock and
+/// vary run to run exactly as they do serially.
+pub fn recommend_edge_partitioner_threaded(
+    graph: &Graph,
+    k: u32,
+    params: PaperParams,
+    epochs: u32,
+    threads: Threads,
+) -> Recommendation {
+    let timed = timed_edge_partitions_threaded(graph, k, 0xad71, threads);
+    let epoch_jobs: Vec<_> = timed
+        .iter()
+        .map(|t| move || distgnn_epoch(graph, &t.partition, params).epoch_time())
+        .collect();
+    let epoch_times = par_map(threads, epoch_jobs);
+    let random_idx =
+        timed.iter().position(|t| t.name == "Random").expect("baseline");
+    let base_epoch = epoch_times[random_idx];
     let candidates = timed
         .iter()
-        .map(|t| {
-            let epoch = distgnn_epoch(graph, &t.partition, params).epoch_time();
-            candidate(&t.name, t.seconds, base_epoch, epoch, epochs)
-        })
+        .zip(epoch_times.iter())
+        .map(|(t, &epoch)| candidate(&t.name, t.seconds, base_epoch, epoch, epochs))
         .collect();
     rank(candidates, epochs)
 }
@@ -113,20 +133,50 @@ pub fn recommend_vertex_partitioner(
     global_batch_size: u32,
     epochs: u32,
 ) -> Recommendation {
-    let timed = timed_vertex_partitions(graph, k, 0xad71, &split.train);
-    let base_epoch = {
-        let random = timed.iter().find(|t| t.name == "Random").expect("baseline");
-        distdgl_epoch(graph, &random.partition, split, params, kind, global_batch_size)
-            .epoch_time()
-    };
-    let candidates = timed
+    recommend_vertex_partitioner_threaded(
+        graph,
+        split,
+        k,
+        params,
+        kind,
+        global_batch_size,
+        epochs,
+        Threads::serial(),
+    )
+}
+
+/// [`recommend_vertex_partitioner`] on the `gp-exec` pool; see
+/// [`recommend_edge_partitioner_threaded`] for the determinism
+/// contract.
+#[allow(clippy::too_many_arguments)]
+pub fn recommend_vertex_partitioner_threaded(
+    graph: &Graph,
+    split: &VertexSplit,
+    k: u32,
+    params: PaperParams,
+    kind: ModelKind,
+    global_batch_size: u32,
+    epochs: u32,
+    threads: Threads,
+) -> Recommendation {
+    let timed = timed_vertex_partitions_threaded(graph, k, 0xad71, &split.train, threads);
+    let epoch_jobs: Vec<_> = timed
         .iter()
         .map(|t| {
-            let epoch =
+            move || {
                 distdgl_epoch(graph, &t.partition, split, params, kind, global_batch_size)
-                    .epoch_time();
-            candidate(&t.name, t.seconds, base_epoch, epoch, epochs)
+                    .epoch_time()
+            }
         })
+        .collect();
+    let epoch_times = par_map(threads, epoch_jobs);
+    let random_idx =
+        timed.iter().position(|t| t.name == "Random").expect("baseline");
+    let base_epoch = epoch_times[random_idx];
+    let candidates = timed
+        .iter()
+        .zip(epoch_times.iter())
+        .map(|(t, &epoch)| candidate(&t.name, t.seconds, base_epoch, epoch, epochs))
         .collect();
     rank(candidates, epochs)
 }

@@ -5,6 +5,7 @@ use std::time::Instant;
 use gp_cluster::ClusterSpec;
 use gp_distdgl::{DistDglConfig, DistDglEngine, EpochSummary};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine, EpochReport};
+use gp_exec::{par_map, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_partition::{EdgePartition, VertexPartition};
 use gp_tensor::ModelKind;
@@ -41,20 +42,42 @@ pub struct TimedVertexPartition {
 /// Panics if a registered partitioner fails (presets are valid for all
 /// dataset graphs).
 pub fn timed_edge_partitions(graph: &Graph, k: u32, seed: u64) -> Vec<TimedEdgePartition> {
-    registry::edge_partitioner_names()
+    timed_edge_partitions_threaded(graph, k, seed, Threads::serial())
+}
+
+/// [`timed_edge_partitions`] on the `gp-exec` pool: one job per
+/// partitioner, results in registry order. The partitions themselves
+/// are bit-identical for every thread count; only the wall-clock
+/// `seconds` fields vary run to run (they time real work, threaded or
+/// not).
+///
+/// # Panics
+///
+/// Panics if a registered partitioner fails (presets are valid for all
+/// dataset graphs).
+pub fn timed_edge_partitions_threaded(
+    graph: &Graph,
+    k: u32,
+    seed: u64,
+    threads: Threads,
+) -> Vec<TimedEdgePartition> {
+    let jobs: Vec<_> = registry::edge_partitioner_names()
         .iter()
         .map(|&name| {
-            let p = registry::edge_partitioner(name).expect("registered");
-            let start = Instant::now();
-            let partition =
-                p.partition_edges(graph, k, seed).unwrap_or_else(|e| panic!("{name}: {e}"));
-            TimedEdgePartition {
-                name: name.to_string(),
-                partition,
-                seconds: start.elapsed().as_secs_f64(),
+            move || {
+                let p = registry::edge_partitioner(name).expect("registered");
+                let start = Instant::now();
+                let partition =
+                    p.partition_edges(graph, k, seed).unwrap_or_else(|e| panic!("{name}: {e}"));
+                TimedEdgePartition {
+                    name: name.to_string(),
+                    partition,
+                    seconds: start.elapsed().as_secs_f64(),
+                }
             }
         })
-        .collect()
+        .collect();
+    par_map(threads, jobs)
 }
 
 /// Run all six vertex partitioners on `graph` with `k` parts, timing
@@ -69,20 +92,41 @@ pub fn timed_vertex_partitions(
     seed: u64,
     train: &[u32],
 ) -> Vec<TimedVertexPartition> {
-    registry::vertex_partitioner_names()
+    timed_vertex_partitions_threaded(graph, k, seed, train, Threads::serial())
+}
+
+/// [`timed_vertex_partitions`] on the `gp-exec` pool: one job per
+/// partitioner, results in registry order; see
+/// [`timed_edge_partitions_threaded`] for the determinism contract.
+///
+/// # Panics
+///
+/// Panics if a registered partitioner fails.
+pub fn timed_vertex_partitions_threaded(
+    graph: &Graph,
+    k: u32,
+    seed: u64,
+    train: &[u32],
+    threads: Threads,
+) -> Vec<TimedVertexPartition> {
+    let jobs: Vec<_> = registry::vertex_partitioner_names()
         .iter()
         .map(|&name| {
-            let p = registry::vertex_partitioner(name, Some(train.to_vec())).expect("registered");
-            let start = Instant::now();
-            let partition =
-                p.partition_vertices(graph, k, seed).unwrap_or_else(|e| panic!("{name}: {e}"));
-            TimedVertexPartition {
-                name: name.to_string(),
-                partition,
-                seconds: start.elapsed().as_secs_f64(),
+            move || {
+                let p = registry::vertex_partitioner(name, Some(train.to_vec()))
+                    .expect("registered");
+                let start = Instant::now();
+                let partition =
+                    p.partition_vertices(graph, k, seed).unwrap_or_else(|e| panic!("{name}: {e}"));
+                TimedVertexPartition {
+                    name: name.to_string(),
+                    partition,
+                    seconds: start.elapsed().as_secs_f64(),
+                }
             }
         })
-        .collect()
+        .collect();
+    par_map(threads, jobs)
 }
 
 /// Simulate one DistGNN (full-batch GraphSAGE) epoch.
@@ -147,6 +191,29 @@ mod tests {
             timed.iter().find(|t| t.name == name).unwrap().partition.edge_cut_ratio()
         };
         assert!(cut("METIS") < cut("Random"));
+    }
+
+    #[test]
+    fn threaded_partitions_match_serial_except_wall_clock() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let serial = timed_edge_partitions(&g, 4, 1);
+        for threads in [2usize, 4] {
+            let par = timed_edge_partitions_threaded(&g, 4, 1, gp_exec::Threads::new(threads));
+            assert_eq!(par.len(), serial.len());
+            for (p, s) in par.iter().zip(serial.iter()) {
+                assert_eq!(p.name, s.name, "registry order preserved");
+                assert_eq!(p.partition, s.partition, "partitions are bit-identical");
+                assert!(p.seconds >= 0.0);
+            }
+        }
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let vserial = timed_vertex_partitions(&g, 4, 1, &split.train);
+        let vpar =
+            timed_vertex_partitions_threaded(&g, 4, 1, &split.train, gp_exec::Threads::new(4));
+        for (p, s) in vpar.iter().zip(vserial.iter()) {
+            assert_eq!(p.name, s.name);
+            assert_eq!(p.partition, s.partition);
+        }
     }
 
     #[test]

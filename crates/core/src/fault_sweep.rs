@@ -10,6 +10,7 @@
 use gp_cluster::{ClusterSpec, FaultPlan, FaultSpec, MitigationPolicy, MitigationReport, RecoveryReport};
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_exec::{par_map, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_tensor::ModelKind;
 
@@ -69,50 +70,84 @@ pub fn distgnn_fault_sweep(
     checkpoint_every: u32,
     seed: u64,
 ) -> Vec<FaultSweepRow> {
-    let mut rows = Vec::with_capacity(timed.len() * mtbfs.len());
+    distgnn_fault_sweep_threaded(
+        graph,
+        timed,
+        params,
+        epochs,
+        mtbfs,
+        checkpoint_every,
+        seed,
+        Threads::serial(),
+    )
+}
+
+/// [`distgnn_fault_sweep`] on the `gp-exec` pool: one job per
+/// (partitioner, MTBF) cell, rows in the serial loop's order
+/// (partitioner-major), bit-identical for every thread count. Each cell
+/// rebuilds its engine and healthy baseline — both are pure, so the
+/// recomputation changes no `f64`.
+#[allow(clippy::too_many_arguments)]
+pub fn distgnn_fault_sweep_threaded(
+    graph: &Graph,
+    timed: &[TimedEdgePartition],
+    params: PaperParams,
+    epochs: u32,
+    mtbfs: &[f64],
+    checkpoint_every: u32,
+    seed: u64,
+    threads: Threads,
+) -> Vec<FaultSweepRow> {
+    let mut jobs = Vec::with_capacity(timed.len() * mtbfs.len());
     for t in timed {
-        let k = t.partition.k();
-        let mut config =
-            DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
-        config.checkpoint_every = checkpoint_every;
-        let engine = DistGnnEngine::builder(graph, &t.partition).config(config).build().expect("valid config");
-        let healthy_epoch = engine.simulate_epoch().epoch_time();
         for &mtbf in mtbfs {
-            let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
-            let mut recovery = RecoveryReport::default();
-            let mut faulty_secs = 0.0;
-            let mut completed = 0u32;
-            for epoch in 0..epochs {
-                match engine.simulate_epoch_with_faults(epoch, &plan) {
-                    Ok(r) => {
-                        faulty_secs += r.report.epoch_time();
-                        recovery.merge(&r.recovery);
-                        completed += 1;
+            jobs.push(move || {
+                let k = t.partition.k();
+                let mut config =
+                    DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
+                config.checkpoint_every = checkpoint_every;
+                let engine = DistGnnEngine::builder(graph, &t.partition)
+                    .config(config)
+                    .build()
+                    .expect("valid config");
+                let healthy_epoch = engine.simulate_epoch().epoch_time();
+                let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
+                let mut recovery = RecoveryReport::default();
+                let mut faulty_secs = 0.0;
+                let mut completed = 0u32;
+                for epoch in 0..epochs {
+                    match engine.simulate_epoch_with_faults(epoch, &plan) {
+                        Ok(r) => {
+                            faulty_secs += r.report.epoch_time();
+                            recovery.merge(&r.recovery);
+                            completed += 1;
+                        }
+                        Err(_) => break,
                     }
-                    Err(_) => break,
                 }
-            }
-            rows.push(FaultSweepRow {
-                name: t.name.clone(),
-                mtbf_epochs: mtbf,
-                completed_epochs: completed,
-                healthy_secs: healthy_epoch * f64::from(completed),
-                faulty_secs,
-                overhead_secs: recovery.total_overhead_seconds(),
-                crashes: recovery.crashes,
-                retries: recovery.retries,
-                recovery_bytes: recovery.recovery_bytes,
-                lost_progress_epochs: recovery.lost_progress_epochs,
+                FaultSweepRow {
+                    name: t.name.clone(),
+                    mtbf_epochs: mtbf,
+                    completed_epochs: completed,
+                    healthy_secs: healthy_epoch * f64::from(completed),
+                    faulty_secs,
+                    overhead_secs: recovery.total_overhead_seconds(),
+                    crashes: recovery.crashes,
+                    retries: recovery.retries,
+                    recovery_bytes: recovery.recovery_bytes,
+                    lost_progress_epochs: recovery.lost_progress_epochs,
+                }
             });
         }
     }
-    rows
+    par_map(threads, jobs)
 }
 
 /// Sweep DistDGL (mini-batch, vertex-partitioned) over every timed
 /// partition × MTBF. DistDGL crashes are permanent: survivors absorb
 /// the lost training set, so a row only ends early when every worker is
 /// gone.
+#[allow(clippy::too_many_arguments)]
 pub fn distdgl_fault_sweep(
     graph: &Graph,
     split: &VertexSplit,
@@ -124,45 +159,79 @@ pub fn distdgl_fault_sweep(
     mtbfs: &[f64],
     seed: u64,
 ) -> Vec<FaultSweepRow> {
-    let mut rows = Vec::with_capacity(timed.len() * mtbfs.len());
+    distdgl_fault_sweep_threaded(
+        graph,
+        split,
+        timed,
+        params,
+        kind,
+        global_batch_size,
+        epochs,
+        mtbfs,
+        seed,
+        Threads::serial(),
+    )
+}
+
+/// [`distdgl_fault_sweep`] on the `gp-exec` pool: one job per
+/// (partitioner, MTBF) cell, rows in the serial loop's order,
+/// bit-identical for every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn distdgl_fault_sweep_threaded(
+    graph: &Graph,
+    split: &VertexSplit,
+    timed: &[TimedVertexPartition],
+    params: PaperParams,
+    kind: ModelKind,
+    global_batch_size: u32,
+    epochs: u32,
+    mtbfs: &[f64],
+    seed: u64,
+    threads: Threads,
+) -> Vec<FaultSweepRow> {
+    let mut jobs = Vec::with_capacity(timed.len() * mtbfs.len());
     for t in timed {
-        let k = t.partition.k();
-        let mut config = DistDglConfig::paper(params.model(kind), ClusterSpec::paper(k));
-        config.global_batch_size = global_batch_size;
-        let engine =
-            DistDglEngine::builder(graph, &t.partition, split).config(config).build().expect("valid config");
         for &mtbf in mtbfs {
-            let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
-            let mut recovery = RecoveryReport::default();
-            let mut healthy_secs = 0.0;
-            let mut faulty_secs = 0.0;
-            let mut completed = 0u32;
-            for epoch in 0..epochs {
-                match engine.simulate_epoch_with_faults(epoch, &plan) {
-                    Ok(r) => {
-                        healthy_secs += engine.simulate_epoch(epoch).epoch_time();
-                        faulty_secs += r.summary.epoch_time();
-                        recovery.merge(&r.recovery);
-                        completed += 1;
+            jobs.push(move || {
+                let k = t.partition.k();
+                let mut config = DistDglConfig::paper(params.model(kind), ClusterSpec::paper(k));
+                config.global_batch_size = global_batch_size;
+                let engine = DistDglEngine::builder(graph, &t.partition, split)
+                    .config(config)
+                    .build()
+                    .expect("valid config");
+                let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
+                let mut recovery = RecoveryReport::default();
+                let mut healthy_secs = 0.0;
+                let mut faulty_secs = 0.0;
+                let mut completed = 0u32;
+                for epoch in 0..epochs {
+                    match engine.simulate_epoch_with_faults(epoch, &plan) {
+                        Ok(r) => {
+                            healthy_secs += engine.simulate_epoch(epoch).epoch_time();
+                            faulty_secs += r.summary.epoch_time();
+                            recovery.merge(&r.recovery);
+                            completed += 1;
+                        }
+                        Err(_) => break,
                     }
-                    Err(_) => break,
                 }
-            }
-            rows.push(FaultSweepRow {
-                name: t.name.clone(),
-                mtbf_epochs: mtbf,
-                completed_epochs: completed,
-                healthy_secs,
-                faulty_secs,
-                overhead_secs: recovery.total_overhead_seconds(),
-                crashes: recovery.crashes,
-                retries: recovery.retries,
-                recovery_bytes: recovery.recovery_bytes,
-                lost_progress_epochs: recovery.lost_progress_epochs,
+                FaultSweepRow {
+                    name: t.name.clone(),
+                    mtbf_epochs: mtbf,
+                    completed_epochs: completed,
+                    healthy_secs,
+                    faulty_secs,
+                    overhead_secs: recovery.total_overhead_seconds(),
+                    crashes: recovery.crashes,
+                    retries: recovery.retries,
+                    recovery_bytes: recovery.recovery_bytes,
+                    lost_progress_epochs: recovery.lost_progress_epochs,
+                }
             });
         }
     }
-    rows
+    par_map(threads, jobs)
 }
 
 /// One (partitioner, policy) cell of a mitigation sweep: the *same*
@@ -241,51 +310,83 @@ pub fn distgnn_mitigation_sweep(
     checkpoint_every: u32,
     policy: MitigationPolicy,
 ) -> Vec<MitigationSweepRow> {
+    distgnn_mitigation_sweep_threaded(
+        graph,
+        timed,
+        params,
+        spec,
+        checkpoint_every,
+        policy,
+        Threads::serial(),
+    )
+}
+
+/// [`distgnn_mitigation_sweep`] on the `gp-exec` pool: one job per
+/// partitioner (the mitigation session is stateful across that
+/// partitioner's epochs, so a cell is the whole epoch loop), rows in
+/// `timed` order, bit-identical for every thread count.
+pub fn distgnn_mitigation_sweep_threaded(
+    graph: &Graph,
+    timed: &[TimedEdgePartition],
+    params: PaperParams,
+    spec: &FaultSpec,
+    checkpoint_every: u32,
+    policy: MitigationPolicy,
+    threads: Threads,
+) -> Vec<MitigationSweepRow> {
     let plan = FaultPlan::generate(spec);
-    let mut rows = Vec::with_capacity(timed.len());
-    for t in timed {
-        let k = t.partition.k();
-        let mut config =
-            DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
-        config.checkpoint_every = checkpoint_every;
-        let engine = DistGnnEngine::builder(graph, &t.partition).config(config).build().expect("valid config");
-        let mut session = engine.mitigation(policy);
-        let mut unmitigated_secs = 0.0;
-        let mut mitigated_secs = 0.0;
-        let mut mitigation = MitigationReport::default();
-        let mut completed = 0u32;
-        for epoch in 0..spec.epochs {
-            let unmit = engine.simulate_epoch_with_faults(epoch, &plan);
-            let mit = engine.simulate_epoch_mitigated(epoch, &plan, &mut session);
-            match (unmit, mit) {
-                (Ok(u), Ok(m)) => {
-                    unmitigated_secs +=
-                        u.report.epoch_time() + u.recovery.total_overhead_seconds();
-                    mitigated_secs +=
-                        m.report.epoch_time() + m.recovery.total_overhead_seconds();
-                    mitigation.merge(&m.mitigation);
-                    completed += 1;
+    let jobs: Vec<_> = timed
+        .iter()
+        .map(|t| {
+            let plan = &plan;
+            move || {
+                let k = t.partition.k();
+                let mut config =
+                    DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
+                config.checkpoint_every = checkpoint_every;
+                let engine = DistGnnEngine::builder(graph, &t.partition)
+                    .config(config)
+                    .build()
+                    .expect("valid config");
+                let mut session = engine.mitigation(policy);
+                let mut unmitigated_secs = 0.0;
+                let mut mitigated_secs = 0.0;
+                let mut mitigation = MitigationReport::default();
+                let mut completed = 0u32;
+                for epoch in 0..spec.epochs {
+                    let unmit = engine.simulate_epoch_with_faults(epoch, plan);
+                    let mit = engine.simulate_epoch_mitigated(epoch, plan, &mut session);
+                    match (unmit, mit) {
+                        (Ok(u), Ok(m)) => {
+                            unmitigated_secs +=
+                                u.report.epoch_time() + u.recovery.total_overhead_seconds();
+                            mitigated_secs +=
+                                m.report.epoch_time() + m.recovery.total_overhead_seconds();
+                            mitigation.merge(&m.mitigation);
+                            completed += 1;
+                        }
+                        _ => break,
+                    }
                 }
-                _ => break,
+                // Master migration is a one-off cost outside the epoch phases.
+                mitigated_secs += mitigation.migration_seconds;
+                MitigationSweepRow {
+                    name: t.name.clone(),
+                    policy: policy.name().to_string(),
+                    mtbf_epochs: spec.crash_mtbf_epochs,
+                    completed_epochs: completed,
+                    unmitigated_secs,
+                    mitigated_secs,
+                    stolen_steps: mitigation.stolen_steps,
+                    speculated_steps: mitigation.speculated_steps,
+                    sync_period_changes: mitigation.sync_period_changes,
+                    masters_migrated: mitigation.masters_migrated,
+                    extra_bytes: mitigation.total_extra_bytes(),
+                }
             }
-        }
-        // Master migration is a one-off cost outside the epoch phases.
-        mitigated_secs += mitigation.migration_seconds;
-        rows.push(MitigationSweepRow {
-            name: t.name.clone(),
-            policy: policy.name().to_string(),
-            mtbf_epochs: spec.crash_mtbf_epochs,
-            completed_epochs: completed,
-            unmitigated_secs,
-            mitigated_secs,
-            stolen_steps: mitigation.stolen_steps,
-            speculated_steps: mitigation.speculated_steps,
-            sync_period_changes: mitigation.sync_period_changes,
-            masters_migrated: mitigation.masters_migrated,
-            extra_bytes: mitigation.total_extra_bytes(),
-        });
-    }
-    rows
+        })
+        .collect();
+    par_map(threads, jobs)
 }
 
 /// Run DistDGL over every timed partition under `spec`'s fault plan,
@@ -302,49 +403,84 @@ pub fn distdgl_mitigation_sweep(
     spec: &FaultSpec,
     policy: MitigationPolicy,
 ) -> Vec<MitigationSweepRow> {
+    distdgl_mitigation_sweep_threaded(
+        graph,
+        split,
+        timed,
+        params,
+        kind,
+        global_batch_size,
+        spec,
+        policy,
+        Threads::serial(),
+    )
+}
+
+/// [`distdgl_mitigation_sweep`] on the `gp-exec` pool: one job per
+/// partitioner, rows in `timed` order, bit-identical for every thread
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub fn distdgl_mitigation_sweep_threaded(
+    graph: &Graph,
+    split: &VertexSplit,
+    timed: &[TimedVertexPartition],
+    params: PaperParams,
+    kind: ModelKind,
+    global_batch_size: u32,
+    spec: &FaultSpec,
+    policy: MitigationPolicy,
+    threads: Threads,
+) -> Vec<MitigationSweepRow> {
     let plan = FaultPlan::generate(spec);
-    let mut rows = Vec::with_capacity(timed.len());
-    for t in timed {
-        let k = t.partition.k();
-        let mut config = DistDglConfig::paper(params.model(kind), ClusterSpec::paper(k));
-        config.global_batch_size = global_batch_size;
-        let engine =
-            DistDglEngine::builder(graph, &t.partition, split).config(config).build().expect("valid config");
-        let mut session = engine.mitigation(policy);
-        let mut unmitigated_secs = 0.0;
-        let mut mitigated_secs = 0.0;
-        let mut mitigation = MitigationReport::default();
-        let mut completed = 0u32;
-        for epoch in 0..spec.epochs {
-            let unmit = engine.simulate_epoch_with_faults(epoch, &plan);
-            let mit = engine.simulate_epoch_mitigated(epoch, &plan, &mut session);
-            match (unmit, mit) {
-                (Ok(u), Ok(m)) => {
-                    unmitigated_secs +=
-                        u.summary.epoch_time() + u.recovery.total_overhead_seconds();
-                    mitigated_secs +=
-                        m.summary.epoch_time() + m.recovery.total_overhead_seconds();
-                    mitigation.merge(&m.mitigation);
-                    completed += 1;
+    let jobs: Vec<_> = timed
+        .iter()
+        .map(|t| {
+            let plan = &plan;
+            move || {
+                let k = t.partition.k();
+                let mut config = DistDglConfig::paper(params.model(kind), ClusterSpec::paper(k));
+                config.global_batch_size = global_batch_size;
+                let engine = DistDglEngine::builder(graph, &t.partition, split)
+                    .config(config)
+                    .build()
+                    .expect("valid config");
+                let mut session = engine.mitigation(policy);
+                let mut unmitigated_secs = 0.0;
+                let mut mitigated_secs = 0.0;
+                let mut mitigation = MitigationReport::default();
+                let mut completed = 0u32;
+                for epoch in 0..spec.epochs {
+                    let unmit = engine.simulate_epoch_with_faults(epoch, plan);
+                    let mit = engine.simulate_epoch_mitigated(epoch, plan, &mut session);
+                    match (unmit, mit) {
+                        (Ok(u), Ok(m)) => {
+                            unmitigated_secs +=
+                                u.summary.epoch_time() + u.recovery.total_overhead_seconds();
+                            mitigated_secs +=
+                                m.summary.epoch_time() + m.recovery.total_overhead_seconds();
+                            mitigation.merge(&m.mitigation);
+                            completed += 1;
+                        }
+                        _ => break,
+                    }
                 }
-                _ => break,
+                MitigationSweepRow {
+                    name: t.name.clone(),
+                    policy: policy.name().to_string(),
+                    mtbf_epochs: spec.crash_mtbf_epochs,
+                    completed_epochs: completed,
+                    unmitigated_secs,
+                    mitigated_secs,
+                    stolen_steps: mitigation.stolen_steps,
+                    speculated_steps: mitigation.speculated_steps,
+                    sync_period_changes: mitigation.sync_period_changes,
+                    masters_migrated: mitigation.masters_migrated,
+                    extra_bytes: mitigation.total_extra_bytes(),
+                }
             }
-        }
-        rows.push(MitigationSweepRow {
-            name: t.name.clone(),
-            policy: policy.name().to_string(),
-            mtbf_epochs: spec.crash_mtbf_epochs,
-            completed_epochs: completed,
-            unmitigated_secs,
-            mitigated_secs,
-            stolen_steps: mitigation.stolen_steps,
-            speculated_steps: mitigation.speculated_steps,
-            sync_period_changes: mitigation.sync_period_changes,
-            masters_migrated: mitigation.masters_migrated,
-            extra_bytes: mitigation.total_extra_bytes(),
-        });
-    }
-    rows
+        })
+        .collect();
+    par_map(threads, jobs)
 }
 
 /// Render mitigation-sweep rows as a [`Table`] (CSV / Markdown ready).
@@ -542,6 +678,61 @@ mod tests {
             MitigationPolicy::all(),
         );
         assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn fault_sweeps_threaded_are_bit_identical_to_serial() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let params = PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 };
+        let timed = timed_edge_partitions(&g, 4, 1);
+        let mtbfs = [4.0, 16.0];
+        let serial = distgnn_fault_sweep(&g, &timed, params, 4, &mtbfs, 2, 7);
+        for threads in [2usize, 4, 8] {
+            let par = distgnn_fault_sweep_threaded(
+                &g, &timed, params, 4, &mtbfs, 2, 7,
+                gp_exec::Threads::new(threads),
+            );
+            assert_eq!(par, serial, "distgnn threads = {threads}");
+        }
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let vtimed: Vec<_> =
+            timed_vertex_partitions(&g, 4, 1, &split.train).into_iter().take(2).collect();
+        let vserial = distdgl_fault_sweep(
+            &g, &split, &vtimed, params, ModelKind::Sage, 256, 3, &[8.0], 7,
+        );
+        let vpar = distdgl_fault_sweep_threaded(
+            &g, &split, &vtimed, params, ModelKind::Sage, 256, 3, &[8.0], 7,
+            gp_exec::Threads::new(4),
+        );
+        assert_eq!(vpar, vserial);
+    }
+
+    #[test]
+    fn mitigation_sweeps_threaded_are_bit_identical_to_serial() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let params = PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 };
+        let timed: Vec<_> = timed_edge_partitions(&g, 4, 1).into_iter().take(3).collect();
+        let spec = mitigation_stress_spec(4, 5, 0xad_a97);
+        let serial = distgnn_mitigation_sweep(
+            &g, &timed, params, &spec, 2, MitigationPolicy::adaptive(),
+        );
+        let par = distgnn_mitigation_sweep_threaded(
+            &g, &timed, params, &spec, 2, MitigationPolicy::adaptive(),
+            gp_exec::Threads::new(4),
+        );
+        assert_eq!(par, serial);
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let vtimed: Vec<_> =
+            timed_vertex_partitions(&g, 4, 1, &split.train).into_iter().take(2).collect();
+        let vspec = mitigation_stress_spec(4, 4, 0xad_a97);
+        let vserial = distdgl_mitigation_sweep(
+            &g, &split, &vtimed, params, ModelKind::Sage, 64, &vspec, MitigationPolicy::all(),
+        );
+        let vpar = distdgl_mitigation_sweep_threaded(
+            &g, &split, &vtimed, params, ModelKind::Sage, 64, &vspec, MitigationPolicy::all(),
+            gp_exec::Threads::new(2),
+        );
+        assert_eq!(vpar, vserial);
     }
 
     #[test]

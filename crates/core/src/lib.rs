@@ -8,6 +8,10 @@
 //!   factors.
 //! * [`experiment`] — timed partitioning runs and engine invocations.
 //! * [`sweep`] — grid sweeps producing speedup/memory distributions.
+//!   Every sweep (and the fault/mitigation/trace runners below) has a
+//!   `*_threaded` variant running its cells on the `gp-exec`
+//!   work-stealing pool with bit-identical output for every thread
+//!   count; the plain names are the `Threads::serial()` oracle.
 //! * [`fault_sweep`] — partitioner × failure-rate robustness sweeps
 //!   under seeded fault injection, plus mitigated-vs-unmitigated
 //!   comparisons of the straggler-mitigation layer (extension beyond
@@ -32,19 +36,31 @@ pub mod trace_run;
 
 /// Convenience prelude.
 pub mod prelude {
-    pub use crate::advisor::{recommend_edge_partitioner, recommend_vertex_partitioner};
+    pub use crate::advisor::{
+        recommend_edge_partitioner, recommend_edge_partitioner_threaded,
+        recommend_vertex_partitioner, recommend_vertex_partitioner_threaded,
+    };
     pub use crate::amortize::epochs_to_amortize;
     pub use crate::config::{ParamGrid, PaperParams, SCALE_OUT_FACTORS};
     pub use crate::correlate::{pearson, r_squared};
     pub use crate::experiment::{
-        timed_edge_partitions, timed_vertex_partitions, TimedEdgePartition, TimedVertexPartition,
+        timed_edge_partitions, timed_edge_partitions_threaded, timed_vertex_partitions,
+        timed_vertex_partitions_threaded, TimedEdgePartition, TimedVertexPartition,
     };
     pub use crate::fault_sweep::{
-        distdgl_fault_sweep, distdgl_mitigation_sweep, distgnn_fault_sweep,
-        distgnn_mitigation_sweep, fault_sweep_table, mitigation_stress_spec,
-        mitigation_sweep_table, FaultSweepRow, MitigationSweepRow,
+        distdgl_fault_sweep, distdgl_fault_sweep_threaded, distdgl_mitigation_sweep,
+        distdgl_mitigation_sweep_threaded, distgnn_fault_sweep, distgnn_fault_sweep_threaded,
+        distgnn_mitigation_sweep, distgnn_mitigation_sweep_threaded, fault_sweep_table,
+        mitigation_stress_spec, mitigation_sweep_table, FaultSweepRow, MitigationSweepRow,
     };
     pub use crate::registry::{edge_partitioner, edge_partitioner_names, vertex_partitioner, vertex_partitioner_names};
     pub use crate::report::{Distribution, Table};
-    pub use crate::trace_run::{distdgl_trace_run, distgnn_trace_run, phase_table};
+    pub use crate::sweep::{
+        distdgl_grid, distdgl_grid_threaded, distgnn_grid, distgnn_grid_threaded,
+        DistDglGridOutcome, DistGnnGridOutcome,
+    };
+    pub use crate::trace_run::{
+        distdgl_trace_run, distdgl_trace_runs, distgnn_trace_run, distgnn_trace_runs, phase_table,
+    };
+    pub use gp_exec::{par_map, par_map_indexed, CellPanic, ExecTiming, ParReport, Threads};
 }

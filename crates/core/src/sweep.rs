@@ -1,8 +1,16 @@
 //! Hyper-parameter grid sweeps producing the paper's distributions.
+//!
+//! Every sweep has a `*_threaded` variant that runs one job per
+//! partitioner on the `gp-exec` work-stealing pool. Each job is a pure
+//! function of its inputs and writes into an index-addressed slot, so
+//! the outcome vector is **bit-identical for every thread count**
+//! (`Threads::serial()` is the old sequential path, kept as the
+//! conformance oracle).
 
 use gp_cluster::ClusterSpec;
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_exec::{par_map, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_tensor::ModelKind;
 
@@ -12,7 +20,7 @@ use crate::experiment::{TimedEdgePartition, TimedVertexPartition};
 /// Per-partitioner outcome of a DistGNN grid sweep, aligned with the
 /// grid order. All `*_pct` / speedup values are relative to `Random` at
 /// the same grid point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistGnnGridOutcome {
     /// Partitioner name.
     pub name: String,
@@ -51,6 +59,21 @@ pub fn distgnn_grid(
     timed: &[TimedEdgePartition],
     grid: &[PaperParams],
 ) -> Vec<DistGnnGridOutcome> {
+    distgnn_grid_threaded(graph, timed, grid, Threads::serial())
+}
+
+/// [`distgnn_grid`] on the `gp-exec` pool: one job per partitioner,
+/// outcomes in `timed` order, bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `Random` is missing from `timed`.
+pub fn distgnn_grid_threaded(
+    graph: &Graph,
+    timed: &[TimedEdgePartition],
+    grid: &[PaperParams],
+    threads: Threads,
+) -> Vec<DistGnnGridOutcome> {
     let random = timed.iter().find(|t| t.name == "Random").expect("Random baseline required");
     let cluster = ClusterSpec::paper(random.partition.k());
     fn mk_engine<'g>(
@@ -62,50 +85,55 @@ pub fn distgnn_grid(
             DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), cluster);
         DistGnnEngine::builder(graph, &t.partition).config(config).build().expect("valid config")
     }
-    // Baseline reports per grid point.
+    // Baseline reports per grid point, computed once up front.
     let random_engine = mk_engine(graph, random, cluster);
     let base: Vec<_> = grid
         .iter()
         .map(|p| random_engine.simulate_epoch_for(&p.model(ModelKind::Sage)))
         .collect();
 
-    timed
+    let jobs: Vec<_> = timed
         .iter()
         .map(|t| {
-            let engine = mk_engine(graph, t, cluster);
-            let mut speedups = Vec::with_capacity(grid.len());
-            let mut memory_pct = Vec::with_capacity(grid.len());
-            let mut traffic_pct = Vec::with_capacity(grid.len());
-            let mut epoch_times = Vec::with_capacity(grid.len());
-            let mut random_times = Vec::with_capacity(grid.len());
-            for (params, base_report) in grid.iter().zip(base.iter()) {
-                let report = engine.simulate_epoch_for(&params.model(ModelKind::Sage));
-                let own = report.epoch_time();
-                let base_time = base_report.epoch_time();
-                speedups.push(base_time / own);
-                memory_pct
-                    .push(100.0 * report.total_memory() as f64 / base_report.total_memory() as f64);
-                traffic_pct.push(
-                    100.0 * report.counters.total_network_bytes() as f64
-                        / base_report.counters.total_network_bytes() as f64,
-                );
-                epoch_times.push(own);
-                random_times.push(base_time);
-            }
-            DistGnnGridOutcome {
-                name: t.name.clone(),
-                speedups,
-                memory_pct,
-                traffic_pct,
-                epoch_times,
-                random_times,
+            let base = &base;
+            move || {
+                let engine = mk_engine(graph, t, cluster);
+                let mut speedups = Vec::with_capacity(grid.len());
+                let mut memory_pct = Vec::with_capacity(grid.len());
+                let mut traffic_pct = Vec::with_capacity(grid.len());
+                let mut epoch_times = Vec::with_capacity(grid.len());
+                let mut random_times = Vec::with_capacity(grid.len());
+                for (params, base_report) in grid.iter().zip(base.iter()) {
+                    let report = engine.simulate_epoch_for(&params.model(ModelKind::Sage));
+                    let own = report.epoch_time();
+                    let base_time = base_report.epoch_time();
+                    speedups.push(base_time / own);
+                    memory_pct.push(
+                        100.0 * report.total_memory() as f64 / base_report.total_memory() as f64,
+                    );
+                    traffic_pct.push(
+                        100.0 * report.counters.total_network_bytes() as f64
+                            / base_report.counters.total_network_bytes() as f64,
+                    );
+                    epoch_times.push(own);
+                    random_times.push(base_time);
+                }
+                DistGnnGridOutcome {
+                    name: t.name.clone(),
+                    speedups,
+                    memory_pct,
+                    traffic_pct,
+                    epoch_times,
+                    random_times,
+                }
             }
         })
-        .collect()
+        .collect();
+    par_map(threads, jobs)
 }
 
 /// Per-partitioner outcome of a DistDGL grid sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistDglGridOutcome {
     /// Partitioner name.
     pub name: String,
@@ -147,6 +175,24 @@ pub fn distdgl_grid(
     grid: &[PaperParams],
     kind: ModelKind,
     global_batch_size: u32,
+) -> Vec<DistDglGridOutcome> {
+    distdgl_grid_threaded(graph, split, timed, grid, kind, global_batch_size, Threads::serial())
+}
+
+/// [`distdgl_grid`] on the `gp-exec` pool: one job per partitioner,
+/// outcomes in `timed` order, bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `Random` is missing from `timed`.
+pub fn distdgl_grid_threaded(
+    graph: &Graph,
+    split: &VertexSplit,
+    timed: &[TimedVertexPartition],
+    grid: &[PaperParams],
+    kind: ModelKind,
+    global_batch_size: u32,
+    threads: Threads,
 ) -> Vec<DistDglGridOutcome> {
     let random = timed.iter().find(|t| t.name == "Random").expect("Random baseline required");
     let k = random.partition.k();
@@ -190,35 +236,40 @@ pub fn distdgl_grid(
     };
 
     let base = simulate(random);
-    timed
+    let jobs: Vec<_> = timed
         .iter()
         .map(|t| {
-            let own = simulate(t);
-            let mut speedups = Vec::with_capacity(grid.len());
-            let mut remote_pct = Vec::with_capacity(grid.len());
-            let mut traffic_pct = Vec::with_capacity(grid.len());
-            let mut epoch_times = Vec::with_capacity(grid.len());
-            let mut random_times = Vec::with_capacity(grid.len());
-            for (o, b) in own.iter().zip(base.iter()) {
-                speedups.push(b.epoch_time() / o.epoch_time());
-                remote_pct.push(pct(o.total_remote_vertices, b.total_remote_vertices));
-                traffic_pct.push(pct(
-                    o.counters.total_network_bytes(),
-                    b.counters.total_network_bytes(),
-                ));
-                epoch_times.push(o.epoch_time());
-                random_times.push(b.epoch_time());
-            }
-            DistDglGridOutcome {
-                name: t.name.clone(),
-                speedups,
-                remote_pct,
-                traffic_pct,
-                epoch_times,
-                random_times,
+            let simulate = &simulate;
+            let base = &base;
+            move || {
+                let own = simulate(t);
+                let mut speedups = Vec::with_capacity(grid.len());
+                let mut remote_pct = Vec::with_capacity(grid.len());
+                let mut traffic_pct = Vec::with_capacity(grid.len());
+                let mut epoch_times = Vec::with_capacity(grid.len());
+                let mut random_times = Vec::with_capacity(grid.len());
+                for (o, b) in own.iter().zip(base.iter()) {
+                    speedups.push(b.epoch_time() / o.epoch_time());
+                    remote_pct.push(pct(o.total_remote_vertices, b.total_remote_vertices));
+                    traffic_pct.push(pct(
+                        o.counters.total_network_bytes(),
+                        b.counters.total_network_bytes(),
+                    ));
+                    epoch_times.push(o.epoch_time());
+                    random_times.push(b.epoch_time());
+                }
+                DistDglGridOutcome {
+                    name: t.name.clone(),
+                    speedups,
+                    remote_pct,
+                    traffic_pct,
+                    epoch_times,
+                    random_times,
+                }
             }
         })
-        .collect()
+        .collect();
+    par_map(threads, jobs)
 }
 
 fn pct(own: u64, base: u64) -> f64 {
@@ -289,6 +340,70 @@ mod tests {
         }
         // METIS reduces remote vertices vs Random.
         assert!(get("METIS").remote_pct.iter().all(|&p| p < 100.0));
+    }
+
+    #[test]
+    fn distgnn_grid_threaded_is_bit_identical_to_serial() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let timed = timed_edge_partitions(&g, 4, 1);
+        let grid = tiny_grid();
+        let serial = distgnn_grid(&g, &timed, &grid);
+        for threads in [2usize, 4, 8] {
+            let par = distgnn_grid_threaded(&g, &timed, &grid, gp_exec::Threads::new(threads));
+            assert_eq!(par, serial, "threads = {threads}: f64 == on every field");
+        }
+    }
+
+    #[test]
+    fn distdgl_grid_threaded_is_bit_identical_to_serial() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let timed = timed_vertex_partitions(&g, 4, 1, &split.train);
+        let grid = tiny_grid();
+        let serial = distdgl_grid(&g, &split, &timed, &grid, ModelKind::Sage, 256);
+        for threads in [2usize, 4] {
+            let par = distdgl_grid_threaded(
+                &g,
+                &split,
+                &timed,
+                &grid,
+                ModelKind::Sage,
+                256,
+                gp_exec::Threads::new(threads),
+            );
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn mean_speedup_folds_in_index_order() {
+        // Order-sensitive values: summing in any order other than
+        // 0,1,2,3 yields different f64 bits, so this pins the
+        // aggregation order the parallel path must reproduce.
+        let values = vec![1.0, 1e16, -1e16, 0.0];
+        let expect = (((1.0 + 1e16) + -1e16) + 0.0) / 4.0;
+        let reversed: f64 = values.iter().rev().sum::<f64>() / 4.0;
+        assert!(expect != reversed, "values must actually be order-sensitive");
+        let o = DistGnnGridOutcome {
+            name: "x".into(),
+            speedups: values.clone(),
+            memory_pct: Vec::new(),
+            traffic_pct: Vec::new(),
+            epoch_times: values.clone(),
+            random_times: Vec::new(),
+        };
+        assert_eq!(o.mean_speedup(), expect);
+        assert_eq!(o.mean_epoch_time(), expect);
+        let d = DistDglGridOutcome {
+            name: "x".into(),
+            speedups: values.clone(),
+            remote_pct: Vec::new(),
+            traffic_pct: Vec::new(),
+            epoch_times: values,
+            random_times: Vec::new(),
+        };
+        assert_eq!(d.mean_speedup(), expect);
+        assert_eq!(d.mean_epoch_time(), expect);
     }
 
     #[test]

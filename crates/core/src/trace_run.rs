@@ -14,9 +14,11 @@
 use gp_cluster::{FaultPlan, MitigationPolicy, TraceSink};
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_exec::{par_map_indexed, ExecTiming, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_partition::{EdgePartition, VertexPartition};
 
+use crate::experiment::{TimedEdgePartition, TimedVertexPartition};
 use crate::report::Table;
 
 /// Run `epochs` traced DistGNN epochs over `partition`.
@@ -94,6 +96,76 @@ pub fn distdgl_trace_run(
     Ok(sink)
 }
 
+/// One traced run per timed edge partition, on the `gp-exec` pool.
+///
+/// Every partitioner gets its own [`TraceSink`] (sinks are `Send` since
+/// the buffer is `Arc<Mutex>`-shared), so cells never contend on one
+/// buffer and the recorded spans per partitioner are bit-identical for
+/// every thread count. Returns `(name, sink)` pairs in `timed` order
+/// together with the pool's [`ExecTiming`] — the `phases` ablation uses
+/// [`ExecTiming::speedup`] to print the runner's own
+/// sequential-vs-parallel speedup.
+///
+/// # Errors
+///
+/// The first failing cell's error, in index order.
+pub fn distgnn_trace_runs(
+    graph: &Graph,
+    timed: &[TimedEdgePartition],
+    config: DistGnnConfig,
+    epochs: u32,
+    plan: Option<&FaultPlan>,
+    mitigate: bool,
+    threads: Threads,
+) -> Result<(Vec<(String, TraceSink)>, ExecTiming), gp_distgnn::DistGnnError> {
+    let jobs: Vec<_> = timed
+        .iter()
+        .map(|t| move || distgnn_trace_run(graph, &t.partition, config, epochs, plan, mitigate))
+        .collect();
+    let report = par_map_indexed(threads, jobs);
+    let timing = report.timing();
+    let mut sinks = Vec::with_capacity(timed.len());
+    for (t, r) in timed.iter().zip(report.into_results()) {
+        let sink = r.unwrap_or_else(|p| panic!("{p}"))?;
+        sinks.push((t.name.clone(), sink));
+    }
+    Ok((sinks, timing))
+}
+
+/// One traced run per timed vertex partition; mirrors
+/// [`distgnn_trace_runs`].
+///
+/// # Errors
+///
+/// The first failing cell's error, in index order.
+#[allow(clippy::too_many_arguments)]
+pub fn distdgl_trace_runs(
+    graph: &Graph,
+    split: &VertexSplit,
+    timed: &[TimedVertexPartition],
+    config: DistDglConfig,
+    epochs: u32,
+    plan: Option<&FaultPlan>,
+    mitigate: bool,
+    threads: Threads,
+) -> Result<(Vec<(String, TraceSink)>, ExecTiming), gp_distdgl::DistDglError> {
+    let jobs: Vec<_> = timed
+        .iter()
+        .map(|t| {
+            let config = config.clone();
+            move || distdgl_trace_run(graph, &t.partition, split, config, epochs, plan, mitigate)
+        })
+        .collect();
+    let report = par_map_indexed(threads, jobs);
+    let timing = report.timing();
+    let mut sinks = Vec::with_capacity(timed.len());
+    for (t, r) in timed.iter().zip(report.into_results()) {
+        let sink = r.unwrap_or_else(|p| panic!("{p}"))?;
+        sinks.push((t.name.clone(), sink));
+    }
+    Ok((sinks, timing))
+}
+
 /// Per-(worker, phase) aggregate of a recorded trace as a results
 /// [`Table`] (the same rows as [`TraceSink::phase_csv`], routed through
 /// the report layer so sweeps and ablations can emit it like any other
@@ -153,6 +225,34 @@ mod tests {
         let table = phase_table("phase_breakdown", &sink);
         assert_eq!(table.headers.len(), 6);
         assert!(!table.rows.is_empty());
+    }
+
+    #[test]
+    fn trace_runs_are_bit_identical_across_thread_counts() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let timed = timed_edge_partitions(&g, 4, 1);
+        let config = DistGnnConfig::paper(
+            PaperParams::middle().model(ModelKind::Sage),
+            ClusterSpec::paper(4),
+        );
+        let (serial, serial_timing) =
+            distgnn_trace_runs(&g, &timed, config, 2, None, false, gp_exec::Threads::serial())
+                .unwrap();
+        assert_eq!(serial_timing.threads, 1);
+        assert_eq!(serial_timing.steals, 0);
+        for threads in [2usize, 4] {
+            let (par, _) = distgnn_trace_runs(
+                &g, &timed, config, 2, None, false,
+                gp_exec::Threads::new(threads),
+            )
+            .unwrap();
+            assert_eq!(par.len(), serial.len());
+            for ((pn, ps), (sn, ss)) in par.iter().zip(serial.iter()) {
+                assert_eq!(pn, sn, "partitioner order preserved");
+                assert_eq!(ps.spans(), ss.spans(), "threads = {threads}: spans bit-identical");
+                assert_eq!(ps.phase_csv(), ss.phase_csv(), "CSV byte-identical");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,631 @@
+//! # gp-exec — deterministic parallel sweep executor
+//!
+//! The experiment grids of this workspace (partitioner × k × model ×
+//! fanout, fault sweeps, mitigation sweeps, traced runs) are
+//! embarrassingly parallel: every cell is a pure function of its
+//! inputs. This crate runs such cells on a std-only work-stealing
+//! thread pool while keeping the output **bit-identical to the
+//! sequential path**, so the simulator's determinism guarantees survive
+//! parallel execution:
+//!
+//! * **Index-addressed slots.** [`par_map_indexed`] takes `jobs` as a
+//!   vector of closures; job `i`'s result is written into slot `i` of
+//!   the output vector regardless of which worker ran it or when it
+//!   finished. Aggregation downstream therefore always folds in index
+//!   order — the same order the serial loop used — and `f64` sums come
+//!   out `==`-equal, not merely approximately equal.
+//! * **Serial oracle.** With [`Threads::serial`] (one thread) the jobs
+//!   run in index order on the calling thread with no pool at all —
+//!   this is the old sequential path, kept as the reference the
+//!   conformance suite compares every thread count against.
+//! * **Work stealing.** Jobs are dealt round-robin onto per-worker
+//!   deques. An owner pops from the back of its own deque (LIFO, cache
+//!   warm); an idle worker steals from the front of a victim's deque
+//!   (FIFO, chase-steal style), so ragged cell costs balance without a
+//!   central queue. Steals are counted ([`ParReport::steals`]).
+//! * **Panic isolation.** A panicking cell poisons only its own slot
+//!   ([`CellPanic`] with the captured message); every other cell still
+//!   completes and the caller decides whether to propagate.
+//! * **Per-cell timing.** [`ParReport::cell_seconds`] holds each cell's
+//!   wall time and [`ParReport::wall_seconds`] the whole map's, so
+//!   front ends can report the sweep runner's own sequential-vs-parallel
+//!   speedup ([`ParReport::speedup`]).
+//!
+//! No external dependencies: scoped threads, `Mutex<VecDeque>` deques
+//! and atomics from `std` only.
+//!
+//! ```
+//! use gp_exec::{par_map_indexed, Threads};
+//!
+//! let jobs: Vec<_> = (0..32u64).map(|i| move || i * i).collect();
+//! let par = par_map_indexed(Threads::new(4), jobs);
+//! let jobs: Vec<_> = (0..32u64).map(|i| move || i * i).collect();
+//! let serial = par_map_indexed(Threads::serial(), jobs);
+//! assert_eq!(par.into_values(), serial.into_values());
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Worker-count policy for [`par_map_indexed`].
+///
+/// `Threads::auto()` (the `Default`) resolves to the machine's available
+/// parallelism at call time; `Threads::serial()` is the sequential
+/// reference path; `Threads::new(n)` pins an explicit count. The pool
+/// never spawns more workers than there are jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Threads(usize);
+
+impl Threads {
+    /// Use the machine's available parallelism (resolved at call time).
+    pub const fn auto() -> Self {
+        Threads(0)
+    }
+
+    /// One worker: run jobs in index order on the calling thread. This
+    /// is the old serial path and the conformance oracle.
+    pub const fn serial() -> Self {
+        Threads(1)
+    }
+
+    /// An explicit worker count; `0` means [`Threads::auto`].
+    pub const fn new(n: usize) -> Self {
+        Threads(n)
+    }
+
+    /// Parse a `--threads` value: a positive integer, `0` or `auto` for
+    /// [`Threads::auto`].
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "auto" {
+            return Some(Threads::auto());
+        }
+        s.parse::<usize>().ok().map(Threads)
+    }
+
+    /// The resolved worker count (>= 1).
+    pub fn count(self) -> usize {
+        if self.0 == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.0
+        }
+    }
+
+    /// Whether this policy resolves to the serial reference path.
+    pub fn is_serial(self) -> bool {
+        self.count() == 1
+    }
+}
+
+impl Default for Threads {
+    fn default() -> Self {
+        Threads::auto()
+    }
+}
+
+impl fmt::Display for Threads {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            write!(f, "auto({})", self.count())
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// A cell that panicked: its job index and the captured panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellPanic {
+    /// Index of the poisoned slot.
+    pub index: usize,
+    /// The panic payload, stringified (`&str` / `String` payloads are
+    /// preserved verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for CellPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell {} panicked: {}", self.index, self.message)
+    }
+}
+
+/// The outcome of one [`par_map_indexed`] call: index-addressed results
+/// plus the pool's own accounting.
+#[derive(Debug)]
+pub struct ParReport<T> {
+    /// Slot `i` holds job `i`'s value, or the panic that poisoned it.
+    results: Vec<Result<T, CellPanic>>,
+    /// Wall time of each cell, index-addressed (seconds).
+    pub cell_seconds: Vec<f64>,
+    /// Wall time of the whole map call (seconds).
+    pub wall_seconds: f64,
+    /// Number of jobs a worker took from another worker's deque.
+    pub steals: u64,
+    /// Resolved worker count actually used.
+    pub threads: usize,
+}
+
+/// The pool-accounting part of a [`ParReport`], detached from the
+/// results so callers can hand the results on and still report timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecTiming {
+    /// Wall time of each cell, index-addressed (seconds).
+    pub cell_seconds: Vec<f64>,
+    /// Wall time of the whole map call (seconds).
+    pub wall_seconds: f64,
+    /// Number of jobs a worker took from another worker's deque.
+    pub steals: u64,
+    /// Resolved worker count actually used.
+    pub threads: usize,
+}
+
+impl ExecTiming {
+    /// Sum of per-cell wall times in index order — an estimate of what
+    /// the serial path would have taken.
+    pub fn serial_seconds(&self) -> f64 {
+        self.cell_seconds.iter().sum()
+    }
+
+    /// `serial_seconds / wall_seconds` (1.0 for a zero-length wall).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 1.0;
+        }
+        self.serial_seconds() / self.wall_seconds
+    }
+}
+
+impl<T> ParReport<T> {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Snapshot of the pool accounting, detached from the results.
+    pub fn timing(&self) -> ExecTiming {
+        ExecTiming {
+            cell_seconds: self.cell_seconds.clone(),
+            wall_seconds: self.wall_seconds,
+            steals: self.steals,
+            threads: self.threads,
+        }
+    }
+
+    /// Whether the map ran zero jobs.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The poisoned slots, in index order.
+    pub fn panics(&self) -> Vec<&CellPanic> {
+        self.results.iter().filter_map(|r| r.as_ref().err()).collect()
+    }
+
+    /// The index-addressed slot vector.
+    pub fn into_results(self) -> Vec<Result<T, CellPanic>> {
+        self.results
+    }
+
+    /// All values in index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the first poisoned cell's message if any cell
+    /// panicked — the parallel analogue of the serial loop's abort,
+    /// deferred until every healthy cell has completed.
+    pub fn into_values(self) -> Vec<T> {
+        self.results
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => panic!("{p}"),
+            })
+            .collect()
+    }
+
+    /// Sum of per-cell wall times in index order — an estimate of what
+    /// the serial path would have taken.
+    pub fn serial_seconds(&self) -> f64 {
+        self.cell_seconds.iter().sum()
+    }
+
+    /// `serial_seconds / wall_seconds`: the sweep runner's own
+    /// wall-clock speedup (1.0 for the serial path, modulo noise).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 1.0;
+        }
+        self.serial_seconds() / self.wall_seconds
+    }
+}
+
+/// Message stringification for a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one job under panic isolation, timing it.
+fn run_cell<T, F: FnOnce() -> T>(index: usize, job: F) -> (Result<T, CellPanic>, f64) {
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(job))
+        .map_err(|payload| CellPanic { index, message: panic_message(payload) });
+    (result, start.elapsed().as_secs_f64())
+}
+
+/// Map `jobs` to an index-addressed result vector on a work-stealing
+/// pool of `threads` workers.
+///
+/// Job `i`'s result lands in slot `i` no matter which worker ran it, so
+/// for pure jobs the output is **bit-identical for every thread count**
+/// — including `Threads::serial()`, which runs the jobs in index order
+/// on the calling thread (the reference oracle). A panicking job
+/// poisons only its own slot; see [`ParReport::into_values`] for the
+/// propagating accessor.
+pub fn par_map_indexed<T, F>(threads: Threads, jobs: Vec<F>) -> ParReport<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let wall = Instant::now();
+    let n_jobs = jobs.len();
+    let workers = threads.count().min(n_jobs).max(1);
+
+    if workers <= 1 {
+        // Serial reference path: index order, no pool.
+        let mut results = Vec::with_capacity(n_jobs);
+        let mut cell_seconds = Vec::with_capacity(n_jobs);
+        for (i, job) in jobs.into_iter().enumerate() {
+            let (r, secs) = run_cell(i, job);
+            results.push(r);
+            cell_seconds.push(secs);
+        }
+        return ParReport {
+            results,
+            cell_seconds,
+            wall_seconds: wall.elapsed().as_secs_f64(),
+            steals: 0,
+            threads: 1,
+        };
+    }
+
+    // Deal jobs round-robin onto per-worker deques.
+    let mut deques: Vec<Mutex<VecDeque<(usize, F)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        deques[i % workers].get_mut().expect("fresh mutex").push_back((i, job));
+    }
+    let deques = &deques;
+    let steals = AtomicU64::new(0);
+    let steals_ref = &steals;
+
+    let mut per_worker: Vec<Vec<(usize, Result<T, CellPanic>, f64)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            // Own deque first: pop the back (LIFO).
+                            let own = deques[me].lock().expect("deque lock").pop_back();
+                            let job = match own {
+                                Some(j) => Some(j),
+                                None => {
+                                    // Steal from a victim's front (FIFO).
+                                    let mut stolen = None;
+                                    for v in (me + 1..workers).chain(0..me) {
+                                        if let Some(j) =
+                                            deques[v].lock().expect("deque lock").pop_front()
+                                        {
+                                            steals_ref.fetch_add(1, Ordering::Relaxed);
+                                            stolen = Some(j);
+                                            break;
+                                        }
+                                    }
+                                    stolen
+                                }
+                            };
+                            // No job anywhere: the set is fixed up
+                            // front (cells never spawn cells), so all
+                            // deques empty means the sweep is drained.
+                            let Some((index, job)) = job else { break };
+                            let (r, secs) = run_cell(index, job);
+                            done.push((index, r, secs));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker never panics")).collect()
+        });
+
+    // Write results into the index-addressed slot vector. Every index
+    // appears exactly once across workers.
+    let mut results: Vec<Option<Result<T, CellPanic>>> = (0..n_jobs).map(|_| None).collect();
+    let mut cell_seconds = vec![0.0; n_jobs];
+    for worker_done in per_worker.iter_mut() {
+        for (index, r, secs) in worker_done.drain(..) {
+            cell_seconds[index] = secs;
+            let slot = &mut results[index];
+            debug_assert!(slot.is_none(), "slot {index} filled twice");
+            *slot = Some(r);
+        }
+    }
+    ParReport {
+        results: results
+            .into_iter()
+            .map(|s| s.expect("every job ran exactly once"))
+            .collect(),
+        cell_seconds,
+        wall_seconds: wall.elapsed().as_secs_f64(),
+        steals: steals.load(Ordering::Relaxed),
+        threads: workers,
+    }
+}
+
+/// [`par_map_indexed`] for the common case: values in index order,
+/// propagating the first cell panic (after all healthy cells finished).
+pub fn par_map<T, F>(threads: Threads, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    par_map_indexed(threads, jobs).into_values()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn threads_resolution() {
+        assert_eq!(Threads::serial().count(), 1);
+        assert!(Threads::serial().is_serial());
+        assert_eq!(Threads::new(6).count(), 6);
+        assert!(Threads::auto().count() >= 1);
+        assert_eq!(Threads::new(0), Threads::auto());
+        assert_eq!(Threads::default(), Threads::auto());
+    }
+
+    #[test]
+    fn threads_parse() {
+        assert_eq!(Threads::parse("4"), Some(Threads::new(4)));
+        assert_eq!(Threads::parse("auto"), Some(Threads::auto()));
+        assert_eq!(Threads::parse("0"), Some(Threads::auto()));
+        assert_eq!(Threads::parse("-1"), None);
+        assert_eq!(Threads::parse("many"), None);
+        assert_eq!(Threads::new(8).to_string(), "8");
+        assert!(Threads::auto().to_string().starts_with("auto("));
+    }
+
+    #[test]
+    fn zero_jobs_is_empty_report() {
+        let report = par_map_indexed(Threads::new(4), Vec::<fn() -> u32>::new());
+        assert!(report.is_empty());
+        assert_eq!(report.len(), 0);
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.threads, 1, "no pool spun up for zero jobs");
+        assert!(report.panics().is_empty());
+        assert!(report.into_values().is_empty());
+    }
+
+    #[test]
+    fn single_job_runs_on_caller() {
+        let report = par_map_indexed(Threads::new(8), vec![|| 41 + 1]);
+        assert_eq!(report.threads, 1, "one job never needs a pool");
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.cell_seconds.len(), 1);
+        assert_eq!(report.into_values(), vec![42]);
+    }
+
+    #[test]
+    fn results_are_index_addressed_for_every_thread_count() {
+        let expect: Vec<u64> = (0..97).map(|i| i * 31 + 7).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let jobs: Vec<_> = (0..97u64).map(|i| move || i * 31 + 7).collect();
+            let got = par_map(Threads::new(threads), jobs);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn stress_many_tiny_jobs() {
+        let n = 5_000u64;
+        let jobs: Vec<_> = (0..n).map(|i| move || i.wrapping_mul(0x9e3779b9)).collect();
+        let report = par_map_indexed(Threads::new(8), jobs);
+        assert_eq!(report.len(), n as usize);
+        assert_eq!(report.cell_seconds.len(), n as usize);
+        let values = report.into_values();
+        for (i, v) in values.iter().enumerate() {
+            assert_eq!(*v, (i as u64).wrapping_mul(0x9e3779b9));
+        }
+    }
+
+    #[test]
+    fn ragged_job_sizes_balance() {
+        // Job 0 is much heavier than the rest; with 4 workers the light
+        // jobs must not wait behind it, and the output order still
+        // matches the serial map.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..40usize)
+            .map(|i| {
+                let job: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    i * i
+                });
+                job
+            })
+            .collect();
+        let report = par_map_indexed(Threads::new(4), jobs);
+        let expect: Vec<usize> = (0..40).map(|i| i * i).collect();
+        assert_eq!(report.into_values(), expect);
+    }
+
+    #[test]
+    fn steals_happen_and_are_counted() {
+        // Worker 1 owns the odd indices (round-robin deal) and pops its
+        // own deque from the back, so job 15 — which blocks for a long
+        // while — is the first thing it runs. Worker 0 drains its own
+        // eight quick jobs and must then steal worker 1's remaining
+        // seven from the front of its deque.
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| {
+                let job: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                    if i == 15 {
+                        std::thread::sleep(Duration::from_millis(40));
+                    } else {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    i
+                });
+                job
+            })
+            .collect();
+        let report = par_map_indexed(Threads::new(2), jobs);
+        assert!(report.steals > 0, "expected steals, got {}", report.steals);
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.into_values(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_reports_no_steals() {
+        let jobs: Vec<_> = (0..8u32).map(|i| move || i).collect();
+        let report = par_map_indexed(Threads::serial(), jobs);
+        assert_eq!(report.steals, 0);
+        assert_eq!(report.threads, 1);
+    }
+
+    #[test]
+    fn panic_poisons_only_its_slot() {
+        for threads in [1usize, 4] {
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..10u32)
+                .map(|i| {
+                    let job: Box<dyn FnOnce() -> u32 + Send> = Box::new(move || {
+                        assert!(i != 3, "cell three is cursed");
+                        i * 10
+                    });
+                    job
+                })
+                .collect();
+            let report = par_map_indexed(Threads::new(threads), jobs);
+            let panics = report.panics();
+            assert_eq!(panics.len(), 1, "threads = {threads}");
+            assert_eq!(panics[0].index, 3);
+            assert!(panics[0].message.contains("cursed"), "message: {}", panics[0].message);
+            let results = report.into_results();
+            for (i, r) in results.iter().enumerate() {
+                if i == 3 {
+                    assert!(r.is_err());
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 10, "healthy cells complete");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 3 panicked")]
+    fn into_values_propagates_the_poisoned_cell() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..5u32)
+            .map(|i| {
+                let job: Box<dyn FnOnce() -> u32 + Send> = Box::new(move || {
+                    assert!(i != 3, "boom");
+                    i
+                });
+                job
+            })
+            .collect();
+        let _ = par_map_indexed(Threads::new(2), jobs).into_values();
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<_> = (0..500)
+            .map(|i| {
+                let counter = &counter;
+                move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    i
+                }
+            })
+            .collect();
+        let values = par_map(Threads::new(7), jobs);
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+        assert_eq!(values, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timing_and_speedup_accounting() {
+        let jobs: Vec<_> = (0..8)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(Duration::from_millis(5));
+                    i
+                }
+            })
+            .collect();
+        let report = par_map_indexed(Threads::new(4), jobs);
+        assert_eq!(report.cell_seconds.len(), 8);
+        assert!(report.cell_seconds.iter().all(|&s| s >= 0.004), "cells were timed");
+        assert!(report.serial_seconds() >= 0.03);
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.speedup() > 1.0, "4 workers on 8 sleeping cells overlap");
+    }
+
+    #[test]
+    fn borrowed_inputs_work_across_the_pool() {
+        // The jobs borrow non-'static data, as the sweep fronts do with
+        // &Graph / &Partition — scoped threads make this sound.
+        let data: Vec<u64> = (0..64).collect();
+        let jobs: Vec<_> = (0..64usize)
+            .map(|i| {
+                let data = &data;
+                move || data[i] * 2
+            })
+            .collect();
+        let values = par_map(Threads::new(4), jobs);
+        assert_eq!(values[10], 20);
+        assert_eq!(values.len(), 64);
+    }
+
+    #[test]
+    fn bit_identical_f64_results_across_thread_counts() {
+        // Each cell does an order-sensitive f64 accumulation internally;
+        // slots keep cells independent, so any thread count reproduces
+        // the serial bits exactly (==, no epsilon).
+        let make_jobs = || -> Vec<_> {
+            (0..24u32)
+                .map(|i| {
+                    move || {
+                        let mut acc = 0.0f64;
+                        for j in 0..1_000 {
+                            acc += 1.0 / f64::from(i * 1_000 + j + 1);
+                        }
+                        acc
+                    }
+                })
+                .collect()
+        };
+        let oracle = par_map(Threads::serial(), make_jobs());
+        for threads in [2, 4, 8, 16] {
+            let got = par_map(Threads::new(threads), make_jobs());
+            assert_eq!(got.len(), oracle.len());
+            for (a, b) in got.iter().zip(oracle.iter()) {
+                assert!(a == b, "threads = {threads}: {a} != {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the work-stealing executor.
+//!
+//! Compile-gated in `tests/` (like the PR 1 suites): the offline
+//! bare-rustc harness skips integration tests that need the real
+//! `proptest` crate, while `cargo test` exercises them fully.
+
+use gp_exec::{par_map_indexed, Threads};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Serial oracle: the jobs in index order on one thread.
+fn serial_map(durations: &[u64]) -> Vec<u64> {
+    run_map(durations, Threads::serial())
+}
+
+/// Build one job per duration: sleep `d` microseconds, then return a
+/// value derived from index and duration (order-sensitive if slots were
+/// ever misplaced).
+fn run_map(durations: &[u64], threads: Threads) -> Vec<u64> {
+    let jobs: Vec<_> = durations
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, d)| {
+            move || {
+                if d > 0 {
+                    std::thread::sleep(Duration::from_micros(d));
+                }
+                (i as u64).wrapping_mul(0x9e37_79b9) ^ d
+            }
+        })
+        .collect();
+    par_map_indexed(threads, jobs).into_values()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random job-duration vectors: the parallel result vector equals
+    /// the serial map for arbitrary thread counts 1..=16.
+    #[test]
+    fn parallel_equals_serial_for_any_thread_count(
+        durations in proptest::collection::vec(0u64..400, 0..48),
+        threads in 1usize..=16,
+    ) {
+        let oracle = serial_map(&durations);
+        let got = run_map(&durations, Threads::new(threads));
+        prop_assert_eq!(got, oracle);
+    }
+
+    /// Repeated runs at the same thread count are identical too.
+    #[test]
+    fn repeated_runs_are_stable(
+        durations in proptest::collection::vec(0u64..200, 1..32),
+        threads in 2usize..=8,
+    ) {
+        let first = run_map(&durations, Threads::new(threads));
+        let second = run_map(&durations, Threads::new(threads));
+        prop_assert_eq!(first, second);
+    }
+}

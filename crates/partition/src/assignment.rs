@@ -30,7 +30,7 @@ fn check_k(k: u32) -> Result<(), PartitionError> {
 }
 
 /// Result of edge partitioning (vertex-cut).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgePartition {
     k: u32,
     /// Partition of each canonical edge (same order as `graph.edges()`).
@@ -187,7 +187,7 @@ impl EdgePartition {
 }
 
 /// Result of vertex partitioning (edge-cut).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VertexPartition {
     k: u32,
     /// Partition of each vertex.

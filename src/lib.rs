@@ -54,6 +54,7 @@ pub use gp_cluster as cluster;
 pub use gp_core as core;
 pub use gp_distdgl as distdgl;
 pub use gp_distgnn as distgnn;
+pub use gp_exec as exec;
 pub use gp_graph as graph;
 pub use gp_partition as partition;
 pub use gp_tensor as tensor;

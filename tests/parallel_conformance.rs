@@ -1,0 +1,244 @@
+//! Cross-thread-count conformance: every sweep front end must produce
+//! **bit-identical** output (`f64 ==`, byte-equal CSVs) no matter how
+//! many workers the `gp-exec` pool runs — `--threads 1` is the old
+//! serial path and serves as the reference oracle. Each suite also
+//! re-runs one parallel width to catch run-to-run nondeterminism
+//! (racy accumulation, HashMap iteration, ...).
+//!
+//! Wall-clock fields (`TimedEdgePartition::seconds`, pool timing) are
+//! the one sanctioned exception: they measure the host machine, not the
+//! simulation, and are excluded from every comparison here.
+
+use gnnpart::cluster::MitigationPolicy;
+use gnnpart::core::config::PaperParams;
+use gnnpart::core::trace_run::{distdgl_trace_runs, distgnn_trace_runs};
+use gnnpart::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn graph() -> Graph {
+    DatasetId::OR.generate(GraphScale::Tiny).unwrap()
+}
+
+fn small_grid() -> Vec<PaperParams> {
+    vec![
+        PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 },
+        PaperParams { feature_size: 32, hidden_dim: 16, num_layers: 3 },
+    ]
+}
+
+#[test]
+fn timed_partitions_agree_across_thread_counts() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let serial_e = timed_edge_partitions(&g, 4, 7);
+    let serial_v = timed_vertex_partitions(&g, 4, 7, &split.train);
+    for threads in THREAD_COUNTS {
+        let par_e = timed_edge_partitions_threaded(&g, 4, 7, Threads::new(threads));
+        let par_v =
+            timed_vertex_partitions_threaded(&g, 4, 7, &split.train, Threads::new(threads));
+        assert_eq!(par_e.len(), serial_e.len());
+        for (p, s) in par_e.iter().zip(serial_e.iter()) {
+            assert_eq!(p.name, s.name, "threads = {threads}: registry order preserved");
+            assert_eq!(p.partition, s.partition, "threads = {threads}: {}", s.name);
+        }
+        for (p, s) in par_v.iter().zip(serial_v.iter()) {
+            assert_eq!(p.name, s.name, "threads = {threads}: registry order preserved");
+            assert_eq!(p.partition, s.partition, "threads = {threads}: {}", s.name);
+        }
+    }
+}
+
+#[test]
+fn distgnn_grid_is_bit_identical_across_thread_counts() {
+    let g = graph();
+    let timed = timed_edge_partitions(&g, 4, 1);
+    let grid = small_grid();
+    let serial = distgnn_grid(&g, &timed, &grid);
+    for threads in THREAD_COUNTS {
+        let par = distgnn_grid_threaded(&g, &timed, &grid, Threads::new(threads));
+        assert_eq!(par, serial, "threads = {threads}");
+    }
+    // Run-to-run stability at a fixed parallel width.
+    let a = distgnn_grid_threaded(&g, &timed, &grid, Threads::new(4));
+    let b = distgnn_grid_threaded(&g, &timed, &grid, Threads::new(4));
+    assert_eq!(a, b, "repeated 4-thread runs");
+}
+
+#[test]
+fn distdgl_grid_is_bit_identical_across_thread_counts() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed = timed_vertex_partitions(&g, 4, 1, &split.train);
+    let grid = small_grid();
+    let serial = distdgl_grid(&g, &split, &timed, &grid, ModelKind::Sage, 256);
+    for threads in THREAD_COUNTS {
+        let par = distdgl_grid_threaded(
+            &g,
+            &split,
+            &timed,
+            &grid,
+            ModelKind::Sage,
+            256,
+            Threads::new(threads),
+        );
+        assert_eq!(par, serial, "threads = {threads}");
+    }
+    let a = distdgl_grid_threaded(&g, &split, &timed, &grid, ModelKind::Sage, 256, Threads::new(4));
+    let b = distdgl_grid_threaded(&g, &split, &timed, &grid, ModelKind::Sage, 256, Threads::new(4));
+    assert_eq!(a, b, "repeated 4-thread runs");
+}
+
+#[test]
+fn fault_sweeps_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed_e = timed_edge_partitions(&g, 4, 1);
+    let timed_v = timed_vertex_partitions(&g, 4, 1, &split.train);
+    let params = PaperParams::middle();
+    let mtbfs = [2.0, 5.0];
+
+    let serial_e = distgnn_fault_sweep(&g, &timed_e, params, 4, &mtbfs, 2, 0xfa11);
+    let serial_v = distdgl_fault_sweep(
+        &g, &split, &timed_v, params, ModelKind::Sage, 256, 4, &mtbfs, 0xfa11,
+    );
+    for threads in THREAD_COUNTS {
+        let par_e = distgnn_fault_sweep_threaded(
+            &g, &timed_e, params, 4, &mtbfs, 2, 0xfa11,
+            Threads::new(threads),
+        );
+        assert_eq!(par_e, serial_e, "distgnn threads = {threads}");
+        let par_v = distdgl_fault_sweep_threaded(
+            &g, &split, &timed_v, params, ModelKind::Sage, 256, 4, &mtbfs, 0xfa11,
+            Threads::new(threads),
+        );
+        assert_eq!(par_v, serial_v, "distdgl threads = {threads}");
+    }
+    // The emitted CSV artifact is byte-identical too, not just f64-equal.
+    let par_e =
+        distgnn_fault_sweep_threaded(&g, &timed_e, params, 4, &mtbfs, 2, 0xfa11, Threads::new(4));
+    assert_eq!(
+        fault_sweep_table("conformance", &par_e).to_csv(),
+        fault_sweep_table("conformance", &serial_e).to_csv(),
+        "CSV bytes"
+    );
+}
+
+#[test]
+fn mitigation_sweeps_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed_e = timed_edge_partitions(&g, 4, 1);
+    let timed_v = timed_vertex_partitions(&g, 4, 1, &split.train);
+    let params = PaperParams::middle();
+    let spec = mitigation_stress_spec(4, 4, 0x517a11);
+
+    let serial_e =
+        distgnn_mitigation_sweep(&g, &timed_e, params, &spec, 2, MitigationPolicy::adaptive());
+    let serial_v = distdgl_mitigation_sweep(
+        &g, &split, &timed_v, params, ModelKind::Sage, 256, &spec,
+        MitigationPolicy::all(),
+    );
+    for threads in THREAD_COUNTS {
+        let par_e = distgnn_mitigation_sweep_threaded(
+            &g, &timed_e, params, &spec, 2, MitigationPolicy::adaptive(),
+            Threads::new(threads),
+        );
+        assert_eq!(par_e, serial_e, "distgnn threads = {threads}");
+        let par_v = distdgl_mitigation_sweep_threaded(
+            &g, &split, &timed_v, params, ModelKind::Sage, 256, &spec,
+            MitigationPolicy::all(),
+            Threads::new(threads),
+        );
+        assert_eq!(par_v, serial_v, "distdgl threads = {threads}");
+    }
+    let par_e = distgnn_mitigation_sweep_threaded(
+        &g, &timed_e, params, &spec, 2, MitigationPolicy::adaptive(), Threads::new(4),
+    );
+    assert_eq!(
+        mitigation_sweep_table("conformance", &par_e).to_csv(),
+        mitigation_sweep_table("conformance", &serial_e).to_csv(),
+        "CSV bytes"
+    );
+}
+
+#[test]
+fn trace_runs_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed_e = timed_edge_partitions(&g, 4, 1);
+    let timed_v = timed_vertex_partitions(&g, 4, 1, &split.train);
+    let gnn_config = DistGnnConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(4),
+    );
+    let mut dgl_config = DistDglConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(4),
+    );
+    dgl_config.global_batch_size = 256;
+
+    let (serial_e, timing) =
+        distgnn_trace_runs(&g, &timed_e, gnn_config, 2, None, false, Threads::serial()).unwrap();
+    assert_eq!(timing.threads, 1, "serial oracle runs one worker");
+    let (serial_v, _) = distdgl_trace_runs(
+        &g, &split, &timed_v, dgl_config.clone(), 2, None, false,
+        Threads::serial(),
+    )
+    .unwrap();
+    for threads in THREAD_COUNTS {
+        let (par_e, _) = distgnn_trace_runs(
+            &g, &timed_e, gnn_config, 2, None, false,
+            Threads::new(threads),
+        )
+        .unwrap();
+        for ((pn, ps), (sn, ss)) in par_e.iter().zip(serial_e.iter()) {
+            assert_eq!(pn, sn, "threads = {threads}: partitioner order");
+            assert_eq!(ps.spans(), ss.spans(), "threads = {threads}: {pn} spans");
+            assert_eq!(ps.phase_csv(), ss.phase_csv(), "threads = {threads}: {pn} CSV bytes");
+            assert_eq!(
+                ps.to_chrome_json(),
+                ss.to_chrome_json(),
+                "threads = {threads}: {pn} chrome JSON bytes"
+            );
+        }
+        let (par_v, _) = distdgl_trace_runs(
+            &g, &split, &timed_v, dgl_config.clone(), 2, None, false,
+            Threads::new(threads),
+        )
+        .unwrap();
+        for ((pn, ps), (sn, ss)) in par_v.iter().zip(serial_v.iter()) {
+            assert_eq!(pn, sn, "threads = {threads}: partitioner order");
+            assert_eq!(ps.spans(), ss.spans(), "threads = {threads}: {pn} spans");
+            assert_eq!(ps.phase_csv(), ss.phase_csv(), "threads = {threads}: {pn} CSV bytes");
+        }
+    }
+}
+
+#[test]
+fn advisor_ranking_is_identical_across_thread_counts() {
+    let g = graph();
+    let serial = recommend_edge_partitioner(&g, 4, PaperParams::middle(), 100);
+    for threads in THREAD_COUNTS {
+        let par = recommend_edge_partitioner_threaded(
+            &g,
+            4,
+            PaperParams::middle(),
+            100,
+            Threads::new(threads),
+        );
+        // partition_seconds (and the net_saving rank built on it) is
+        // wall clock; the simulated quantities must match exactly,
+        // candidate by candidate.
+        assert_eq!(par.ranked.len(), serial.ranked.len());
+        for s in &serial.ranked {
+            let p = par
+                .ranked
+                .iter()
+                .find(|c| c.name == s.name)
+                .expect("same candidate set");
+            assert_eq!(p.epoch_seconds, s.epoch_seconds, "threads = {threads}: {}", s.name);
+            assert_eq!(p.speedup, s.speedup, "threads = {threads}: {}", s.name);
+        }
+    }
+}
