@@ -15,6 +15,10 @@
 //! * `phases` — per-(worker, phase) breakdown of traced engine runs via
 //!   the span recorder (extension; the aggregate `gnnpart trace
 //!   --phase-csv` emits).
+//! * `diagnose` — per-partitioner skew/summary CSVs, Prometheus text,
+//!   markdown run reports and `BENCH_diagnose.json` from the metrics
+//!   aggregation layer, exactness-cross-checked against the engine
+//!   reports (extension; the aggregates behind `gnnpart diagnose`).
 //!
 //! ```text
 //! cargo run -p gp-bench --release --bin ablations -- all
@@ -68,6 +72,7 @@ fn main() {
         "faults" => faults(&ctx, quick),
         "mitigation" => mitigation(&ctx, quick),
         "phases" => phases(&ctx, quick),
+        "diagnose" => diagnose(&ctx, quick),
         "all" => {
             hdrf_lambda(&ctx);
             hep_tau(&ctx);
@@ -80,12 +85,13 @@ fn main() {
             faults(&ctx, quick);
             mitigation(&ctx, quick);
             phases(&ctx, quick);
+            diagnose(&ctx, quick);
         }
         other => {
             eprintln!(
                 "unknown ablation {other:?} \
                  (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|\
-                 mitigation|phases|all) [--quick] [--threads N|auto]"
+                 mitigation|phases|diagnose|all) [--quick] [--threads N|auto]"
             );
             std::process::exit(2);
         }
@@ -426,6 +432,96 @@ fn phases(ctx: &Ctx, quick: bool) {
         ctx.emit(&phase_table(&table_name, sink));
     }
     report_runner(&timing, "distdgl");
+}
+
+/// Metrics aggregation + automated run diagnosis: both engines, every
+/// partitioner of the roster, through the `gp_core::diagnose` layer
+/// (extension). Emits per-partitioner skew and summary CSVs, the merged
+/// Prometheus text exposition, the markdown run reports, and
+/// `BENCH_diagnose.json` (per-partitioner imbalance index + p99 phase
+/// times). Every run cross-checks its aggregated per-worker phase
+/// totals against the engine report exactly (f64 `==`) — a mismatch
+/// aborts the ablation. All artifacts are deterministic: bit-identical
+/// across `--threads` choices and repeated runs.
+fn diagnose(ctx: &Ctx, quick: bool) {
+    use gp_cluster::MitigationPolicy;
+    use gp_core::diagnose::{
+        bench_json, diagnose_distdgl_runs, diagnose_distgnn_runs, diagnose_prometheus,
+        diagnose_report, skew_table, summary_table,
+    };
+    let (k, epochs) = if quick { (4, 2) } else { (8, 4) };
+    let graph = ctx.graph(DatasetId::OR);
+    let parts = ctx.edge_partitions(DatasetId::OR, k);
+    let config = DistGnnConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(k),
+    );
+    let (gnn_runs, timing) = diagnose_distgnn_runs(
+        &graph,
+        &parts,
+        config,
+        epochs,
+        None,
+        MitigationPolicy::none(),
+        ctx.threads,
+    )
+    .expect("healthy diagnosed runs");
+    ctx.emit(&skew_table("ablation_diagnose_skew_distgnn", &gnn_runs));
+    ctx.emit(&summary_table("ablation_diagnose_summary_distgnn", &gnn_runs));
+    report_runner(&timing, "distgnn");
+
+    let split = ctx.split(DatasetId::OR);
+    let vparts = ctx.vertex_partitions(DatasetId::OR, k);
+    let config = DistDglConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(k),
+    );
+    let (dgl_runs, timing) = diagnose_distdgl_runs(
+        &graph,
+        &split,
+        &vparts,
+        config,
+        epochs,
+        None,
+        MitigationPolicy::none(),
+        ctx.threads,
+    )
+    .expect("healthy diagnosed runs");
+    ctx.emit(&skew_table("ablation_diagnose_skew_distdgl", &dgl_runs));
+    ctx.emit(&summary_table("ablation_diagnose_summary_distdgl", &dgl_runs));
+    report_runner(&timing, "distdgl");
+
+    write_artifact(ctx, "ablation_diagnose_distgnn.prom", &diagnose_prometheus(&gnn_runs));
+    write_artifact(ctx, "ablation_diagnose_distdgl.prom", &diagnose_prometheus(&dgl_runs));
+    write_artifact(ctx, "ablation_diagnose_distgnn.md", &diagnose_report("distgnn", &gnn_runs));
+    write_artifact(ctx, "ablation_diagnose_distdgl.md", &diagnose_report("distdgl", &dgl_runs));
+
+    // One benchmark snapshot over both engines; engine-prefixed names
+    // keep partitioners that appear in both rosters distinct.
+    let mut all = Vec::new();
+    for mut r in gnn_runs {
+        r.name = format!("distgnn/{}", r.name);
+        all.push(r);
+    }
+    for mut r in dgl_runs {
+        r.name = format!("distdgl/{}", r.name);
+        all.push(r);
+    }
+    write_artifact(ctx, "BENCH_diagnose.json", &bench_json(&all));
+}
+
+/// Write a non-CSV diagnose artifact (Prometheus text, markdown report,
+/// benchmark JSON) into the context's output directory.
+fn write_artifact(ctx: &Ctx, name: &str, contents: &str) {
+    if let Err(e) = std::fs::create_dir_all(&ctx.out_dir) {
+        eprintln!("warning: could not create {}: {e}", ctx.out_dir.display());
+        return;
+    }
+    let path = ctx.out_dir.join(name);
+    match std::fs::write(&path, contents) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
 }
 
 /// Partitioner name → filesystem/CSV-safe lowercase slug

@@ -62,6 +62,18 @@ COMMANDS:
         --trace-out FILE            Chrome-tracing JSON output (default
                                     trace.json; open in chrome://tracing)
         --phase-csv FILE            per-(worker, phase) aggregate CSV
+    diagnose <edge-list>        simulate epochs, aggregate metrics and
+                                diagnose the run: phase percentiles,
+                                load-imbalance indices, straggler
+                                attribution and ranked causes of epoch
+                                time, cross-checked exactly against the
+                                engine report (accepts every simulate
+                                option, incl. --faults and --mitigate,
+                                plus:)
+        --prom-out FILE             Prometheus text exposition output
+                                    (default metrics.prom)
+        --report-out FILE           markdown run-report output
+                                    (default report.md)
     list                        list the 12 partitioners
     help                        this text
 ";
@@ -79,6 +91,8 @@ pub enum Command {
     Simulate(SimulateCmd),
     /// `gnnpart trace`.
     Trace(TraceCmd),
+    /// `gnnpart diagnose`.
+    Diagnose(DiagnoseCmd),
     /// `gnnpart recommend`.
     Recommend(RecommendCmd),
     /// `gnnpart list`.
@@ -173,6 +187,19 @@ pub struct TraceCmd {
     pub phase_csv: Option<PathBuf>,
 }
 
+/// Options of `gnnpart diagnose`: a full simulation plus metrics /
+/// diagnosis export destinations. Every `simulate` option (including
+/// `--faults` and `--mitigate`) composes with the diagnose flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnoseCmd {
+    /// The simulation to run (same options as `gnnpart simulate`).
+    pub sim: SimulateCmd,
+    /// Prometheus text exposition output path.
+    pub prom_out: PathBuf,
+    /// Markdown run-report output path.
+    pub report_out: PathBuf,
+}
+
 /// Options of `gnnpart recommend`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecommendCmd {
@@ -245,6 +272,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "partition" => parse_partition(&mut opts),
         "simulate" => parse_simulate(&mut opts),
         "trace" => parse_trace(&mut opts),
+        "diagnose" => parse_diagnose(&mut opts),
         "recommend" => parse_recommend(&mut opts),
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -437,6 +465,31 @@ fn parse_trace(opts: &mut Opts) -> Result<Command, ParseError> {
         }
     }
     Ok(Command::Trace(cmd))
+}
+
+fn parse_diagnose(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("diagnose requires an edge-list path");
+    };
+    let mut cmd = DiagnoseCmd {
+        sim: default_simulate(PathBuf::from(input)),
+        prom_out: PathBuf::from("metrics.prom"),
+        report_out: PathBuf::from("report.md"),
+    };
+    while let Some(flag) = opts.next() {
+        match flag.as_str() {
+            "--prom-out" => cmd.prom_out = PathBuf::from(opts.value_for("--prom-out")?),
+            "--report-out" => {
+                cmd.report_out = PathBuf::from(opts.value_for("--report-out")?);
+            }
+            other => {
+                if !apply_simulate_flag(&mut cmd.sim, other, opts)? {
+                    return err(format!("unknown option {other:?}"));
+                }
+            }
+        }
+    }
+    Ok(Command::Diagnose(cmd))
 }
 
 fn parse_recommend(opts: &mut Opts) -> Result<Command, ParseError> {
@@ -632,6 +685,48 @@ mod tests {
     fn trace_rejects_unknown_options() {
         assert!(parse(&["trace", "g.el", "--bogus"]).unwrap_err().0.contains("unknown option"));
         assert!(parse(&["trace"]).unwrap_err().0.contains("edge-list path"));
+    }
+
+    #[test]
+    fn diagnose_defaults() {
+        let Command::Diagnose(c) = parse(&["diagnose", "g.el"]).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.prom_out, PathBuf::from("metrics.prom"));
+        assert_eq!(c.report_out, PathBuf::from("report.md"));
+        assert_eq!(c.sim.algo, "HDRF");
+        assert!(!c.sim.faults);
+    }
+
+    #[test]
+    fn diagnose_composes_simulate_and_diagnose_flags() {
+        let Command::Diagnose(c) = parse(&[
+            "diagnose", "g.el", "--system", "distdgl", "--faults", "--mtbf", "3.0",
+            "--mitigate", "steal", "--epochs", "5", "--checkpoint-every", "2",
+            "--fault-seed", "9", "--prom-out", "m.prom", "--report-out", "r.md",
+        ])
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.sim.system, "distdgl");
+        assert!(c.sim.faults);
+        assert_eq!(c.sim.mtbf, 3.0);
+        assert_eq!(c.sim.mitigate, "steal");
+        assert_eq!(c.sim.epochs, 5);
+        assert_eq!(c.sim.checkpoint_every, 2);
+        assert_eq!(c.sim.fault_seed, 9);
+        assert_eq!(c.prom_out, PathBuf::from("m.prom"));
+        assert_eq!(c.report_out, PathBuf::from("r.md"));
+    }
+
+    #[test]
+    fn diagnose_rejects_unknown_options() {
+        assert!(parse(&["diagnose", "g.el", "--bogus"]).unwrap_err().0.contains("unknown option"));
+        assert!(parse(&["diagnose"]).unwrap_err().0.contains("edge-list path"));
+        assert!(parse(&["diagnose", "g.el", "--prom-out"])
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
     }
 
     #[test]

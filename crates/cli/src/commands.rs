@@ -14,7 +14,9 @@ use gp_distgnn::{DistGnnConfig, DistGnnEngine};
 use gp_graph::{edgelist, DatasetId, DegreeStats, Graph, VertexSplit};
 use gp_tensor::{ModelConfig, ModelKind};
 
-use crate::args::{GenerateCmd, PartitionCmd, RecommendCmd, SimulateCmd, StatsCmd, TraceCmd};
+use crate::args::{
+    DiagnoseCmd, GenerateCmd, PartitionCmd, RecommendCmd, SimulateCmd, StatsCmd, TraceCmd,
+};
 
 type CmdResult = Result<(), Box<dyn Error>>;
 
@@ -375,6 +377,99 @@ pub fn trace(cmd: &TraceCmd) -> CmdResult {
     Ok(())
 }
 
+/// `gnnpart diagnose`.
+///
+/// Runs the same simulation as `gnnpart simulate` — including the
+/// `--faults` / `--mitigate` paths — through the metrics-aggregation
+/// layer: every per-worker, per-phase histogram total is cross-checked
+/// against the engine's own report exactly (f64 `==`), then the
+/// Prometheus text exposition and the markdown run report (phase
+/// percentiles, skew indices, straggler attribution, ranked causes of
+/// epoch time) are written out. Both artifacts are deterministic:
+/// repeated runs produce identical bytes.
+pub fn diagnose(cmd: &DiagnoseCmd) -> CmdResult {
+    use gp_core::diagnose::{diagnose_distdgl, diagnose_distgnn, diagnose_prometheus, diagnose_report};
+    let sim = &cmd.sim;
+    let graph = load(&sim.input, sim.directed)?;
+    let kind = ModelKind::parse(&sim.model)
+        .ok_or_else(|| format!("unknown model {:?} (sage|gcn|gat)", sim.model))?;
+    let policy = MitigationPolicy::parse(&sim.mitigate).ok_or_else(|| {
+        format!(
+            "unknown mitigation mode {:?} (none|steal|speculate|adaptive|all)",
+            sim.mitigate
+        )
+    })?;
+    let model = ModelConfig {
+        kind,
+        feature_dim: sim.features,
+        hidden_dim: sim.hidden,
+        num_layers: sim.layers,
+        num_classes: 16,
+        seed: 0,
+    };
+    let plan = sim.faults.then(|| fault_plan(sim));
+    let diagnosis = match sim.system.as_str() {
+        "distgnn" => {
+            let p = registry::edge_partitioner(&sim.algo)
+                .ok_or_else(|| format!("{:?} is not an edge partitioner", sim.algo))?;
+            let part = p.partition_edges(&graph, sim.k, 42)?;
+            let mut config = DistGnnConfig::paper(model, ClusterSpec::paper(sim.k));
+            config.checkpoint_every = sim.checkpoint_every;
+            println!("diagnosing DistGNN on {} machines with {}", sim.k, p.name());
+            diagnose_distgnn(&graph, &part, p.name(), config, sim.epochs, plan.as_ref(), policy)?
+        }
+        "distdgl" => {
+            let p = registry::vertex_partitioner(&sim.algo, None)
+                .ok_or_else(|| format!("{:?} is not a vertex partitioner", sim.algo))?;
+            let part = p.partition_vertices(&graph, sim.k, 42)?;
+            let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
+            let config = DistDglConfig::paper(model, ClusterSpec::paper(sim.k));
+            println!("diagnosing DistDGL on {} machines with {}", sim.k, p.name());
+            diagnose_distdgl(
+                &graph,
+                &part,
+                &split,
+                p.name(),
+                config,
+                sim.epochs,
+                plan.as_ref(),
+                policy,
+            )?
+        }
+        other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
+    };
+    let runs = [diagnosis];
+    let run = &runs[0];
+    println!(
+        "epoch time sum:     {:.3} ms over {} epochs",
+        run.epoch_seconds * 1e3,
+        run.epochs
+    );
+    println!("compute skew:       {:.3}", run.snapshot.compute_skew());
+    println!("comm skew:          {:.3}", run.snapshot.communication_skew());
+    match run.snapshot.load_straggler() {
+        Some(s) => println!(
+            "straggler:          worker {} in {} (+{:.3} ms critical path)",
+            s.worker,
+            s.phase.name(),
+            s.excess_seconds * 1e3
+        ),
+        None => println!("straggler:          none"),
+    }
+    for c in &run.causes {
+        println!("  cause: {:<28} {:.3} ms", c.label, c.seconds * 1e3);
+    }
+    println!(
+        "exactness:          {} per-worker phase totals equal the engine report (f64 ==)",
+        run.cross_checks
+    );
+    std::fs::write(&cmd.prom_out, diagnose_prometheus(&runs))?;
+    println!("prometheus  -> {}", cmd.prom_out.display());
+    std::fs::write(&cmd.report_out, diagnose_report(&sim.system, &runs))?;
+    println!("run report  -> {}", cmd.report_out.display());
+    Ok(())
+}
+
 fn fault_plan(cmd: &SimulateCmd) -> FaultPlan {
     FaultPlan::generate(&FaultSpec::standard(cmd.k, cmd.epochs, cmd.mtbf, cmd.fault_seed))
 }
@@ -647,6 +742,55 @@ mod tests {
         let text = std::fs::read_to_string(&json2).unwrap();
         assert!(crate::jsonlint::validate_json(&text).unwrap().top_level_array_len > 0);
         for f in [el, json, csv, json2] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn diagnose_writes_deterministic_prom_and_report() {
+        let el = tmp("d.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        // DistGNN with faults + mitigation, both artifacts; repeated
+        // runs must produce identical bytes.
+        let prom = tmp("d.prom");
+        let report = tmp("d.md");
+        let mut sim = sim_cmd(&el, "HDRF", "distgnn", "sage");
+        sim.faults = true;
+        sim.mtbf = 4.0;
+        sim.epochs = 4;
+        sim.checkpoint_every = 2;
+        sim.mitigate = "adaptive".into();
+        let cmd =
+            DiagnoseCmd { sim, prom_out: prom.clone(), report_out: report.clone() };
+        diagnose(&cmd).unwrap();
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        let report_text = std::fs::read_to_string(&report).unwrap();
+        assert_eq!(
+            prom_text.matches("# TYPE gnnpart_phase_duration_seconds histogram").count(),
+            1
+        );
+        assert!(prom_text.contains("le=\"+Inf\""));
+        assert!(report_text.contains("# Run diagnosis: distgnn"));
+        assert!(report_text.contains("### Ranked causes of epoch time"));
+        diagnose(&cmd).unwrap();
+        assert_eq!(std::fs::read_to_string(&prom).unwrap(), prom_text, "prom deterministic");
+        assert_eq!(std::fs::read_to_string(&report).unwrap(), report_text, "report deterministic");
+
+        // DistDGL, healthy path.
+        let prom2 = tmp("d2.prom");
+        let report2 = tmp("d2.md");
+        let mut sim = sim_cmd(&el, "METIS", "distdgl", "sage");
+        sim.epochs = 2;
+        diagnose(&DiagnoseCmd { sim, prom_out: prom2.clone(), report_out: report2.clone() })
+            .unwrap();
+        let report_text = std::fs::read_to_string(&report2).unwrap();
+        assert!(report_text.contains("| sampling |"), "distdgl phases in report");
+        for f in [el, prom, report, prom2, report2] {
             let _ = std::fs::remove_file(f);
         }
     }

@@ -97,23 +97,51 @@ impl Parser<'_> {
         }
     }
 
-    fn number(&mut self) -> Result<(), String> {
+    fn digits(&mut self) -> usize {
         let start = self.i;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        self.i - start
+    }
+
+    // The exact JSON number grammar,
+    // `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`, rather than a
+    // delegated f64 parse: f64 syntax is a strict superset that also
+    // accepts `01`, `1.`, `.5`, `inf` — none of which are JSON.
+    // Exponent forms with an explicit sign (`1e+9`) are valid JSON and
+    // accepted.
+    fn number(&mut self) -> Result<(), String> {
         if self.peek() == Some(b'-') {
             self.i += 1;
         }
-        while matches!(
-            self.peek(),
-            Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.i += 1;
+        match self.peek() {
+            Some(b'0') => {
+                self.i += 1;
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.err("leading zero in number"));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                self.digits();
+            }
+            _ => return Err(self.err("missing digits in number")),
         }
-        // f64 syntax is a superset of JSON number syntax with the same
-        // character set, so a parse failure means a malformed number
-        // ("1.2.3", lone "-", ...). NaN/inf never appear: the emitter
-        // guards them and they start with characters value() rejects.
-        let text = std::str::from_utf8(&self.s[start..self.i]).expect("ascii slice");
-        text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if self.digits() == 0 {
+                return Err(self.err("missing digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.err("missing digits in exponent"));
+            }
+        }
         Ok(())
     }
 
@@ -226,6 +254,26 @@ mod tests {
         for bad in [
             "", "[1,]", "[1 2]", "{\"a\"}", "{\"a\":}", "\"unterminated", "[] []", "nul",
             "1.2.3", "-", "{1: 2}", "[\"\u{0009}\"]",
+        ] {
+            assert!(validate_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_exact_json_numbers_including_signed_exponents() {
+        for good in [
+            "0", "-0", "10", "0.001", "1e9", "1e+9", "1E+10", "1e-9", "2.5e3", "-2.5E-3",
+            "[1e+9, -0.5E-2, 0e0]",
+        ] {
+            assert!(validate_json(good).is_ok(), "rejected {good:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_f64_superset_number_forms() {
+        for bad in [
+            "01", "-01", "1.", "1.e3", ".5", "+1", "1e", "1e+", "1E-", "--1", "1e1.5",
+            "0x10", "NaN", "inf", "1..2", "[01]", "{\"a\": 1.}", "[1e+]",
         ] {
             assert!(validate_json(bad).is_err(), "accepted {bad:?}");
         }

@@ -8,6 +8,7 @@
 //! gnnpart partition or.el --algo HDRF -k 8 --out p.txt # partition an edge list
 //! gnnpart simulate or.el --algo METIS -k 8 --system distdgl
 //! gnnpart trace or.el --algo HDRF -k 8 --trace-out trace.json
+//! gnnpart diagnose or.el --algo HDRF -k 8 --prom-out m.prom --report-out r.md
 //! gnnpart recommend or.el -k 8 --epochs 200               # best partitioner
 //! gnnpart list                                         # available partitioners
 //! ```
@@ -29,6 +30,7 @@ pub fn run(command: Command) -> i32 {
         Command::Partition(c) => commands::partition(c),
         Command::Simulate(c) => commands::simulate(c),
         Command::Trace(c) => commands::trace(&c),
+        Command::Diagnose(c) => commands::diagnose(&c),
         Command::Recommend(c) => commands::recommend(c),
         Command::List => {
             commands::list();

@@ -25,16 +25,27 @@
 //! [`Span`]s whose sums reproduce the reported phase totals exactly,
 //! exportable as `chrome://tracing` JSON or per-phase CSV, and
 //! [`EpochOutcome`] unifies the engines' per-epoch report accessors.
+//!
+//! [`metrics`] aggregates those spans and counter events (or, on the
+//! non-traced fast path, plain epoch outcomes) into fixed-bucket
+//! histograms and mergeable per-worker/per-phase snapshots with derived
+//! skew statistics and a Prometheus text exporter — the substrate of
+//! the `gnnpart diagnose` run-diagnosis layer.
 
 pub mod counters;
 pub mod detect;
 pub mod faults;
+pub mod metrics;
 pub mod outcome;
 pub mod spec;
 pub mod time;
 pub mod trace;
 
 pub use counters::{max_mean_ratio, ClusterCounters, MachineCounters};
+pub use metrics::{
+    fold_exact, CounterStat, MetricsRegistry, MetricsSnapshot, PhaseStat, StragglerAttribution,
+    AGGREGATE_WORKER, DURATION_BUCKETS,
+};
 pub use detect::{DetectorConfig, MitigationPolicy, MitigationReport, StragglerDetector};
 pub use faults::{
     expected_retries, retry_backoff_secs, FaultEvent, FaultPlan, FaultSpec, RecoveryReport,

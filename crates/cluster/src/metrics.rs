@@ -1,0 +1,979 @@
+//! Metrics aggregation over recorded traces and engine outcomes.
+//!
+//! [`MetricsRegistry`] turns the raw [`Span`]/[`CounterEvent`] streams
+//! of a [`TraceSink`] (or, on the non-traced fast path, the phase
+//! breakdown of an [`EpochOutcome`]) into fixed-bucket histograms and
+//! per-worker, per-phase aggregates. [`MetricsRegistry::snapshot`]
+//! freezes them into a [`MetricsSnapshot`] — the mergeable, comparable,
+//! exportable artifact behind `gnnpart diagnose` and the `diagnose`
+//! ablation.
+//!
+//! Two invariants shape the design:
+//!
+//! * **Exact per-epoch mass.** Phase mass is accumulated *sequentially
+//!   in recording order within each epoch*, exactly like the engines'
+//!   own `+=` phase accumulators, so per-worker, per-phase mass equals
+//!   the engine's reported phase total bit-for-bit (`f64 ==`) — the
+//!   same discipline as [`TraceSink::worker_phase_seconds`].
+//! * **Order-insensitive merge.** A snapshot keeps one *sum part* per
+//!   epoch (per run) and canonicalises the part list by sorting with
+//!   [`f64::total_cmp`]. Merging concatenates part multisets and
+//!   re-canonicalises, so `merge` is associative and commutative and
+//!   the folded totals are bit-identical no matter how per-cell
+//!   snapshots from a parallel sweep are grouped or ordered. Totals
+//!   compare exactly against engine totals folded through
+//!   [`fold_exact`] (the same sorted fold over the same per-epoch
+//!   values).
+//!
+//! Derived statistics (bucket-quantiles, imbalance indices, straggler
+//! attribution) are deterministic but *approximate* — the histogram
+//! buckets quantise durations; only the sums are exact. See DESIGN.md
+//! ("metrics model") for the boundary.
+
+use std::collections::BTreeMap;
+
+use crate::counters::{max_mean_ratio, ClusterCounters};
+use crate::outcome::EpochOutcome;
+use crate::trace::{counter_names, CounterEvent, Span, TracePhase, TraceSink};
+
+/// Pseudo-worker id for aggregate observations made on the non-traced
+/// fast path (an [`EpochOutcome`] has no per-worker attribution).
+pub const AGGREGATE_WORKER: u32 = u32::MAX;
+
+/// Histogram bucket upper bounds for phase durations, in simulated
+/// seconds: a 1–2–5 ladder per decade from 1 µs to 1000 s. Observations
+/// beyond the last bound land in the implicit `+Inf` bucket.
+pub const DURATION_BUCKETS: [f64; 28] = [
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2,
+    1e-1, 2e-1, 5e-1, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+];
+
+/// Fold `values` into a total after sorting by [`f64::total_cmp`] — the
+/// canonical order-insensitive sum used by snapshots. Two multisets of
+/// identical values fold to the identical `f64` regardless of how they
+/// were produced or merged.
+pub fn fold_exact(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    v.iter().fold(0.0, |acc, x| acc + x)
+}
+
+/// Frozen per-(worker, phase) aggregate: a fixed-bucket histogram of
+/// span durations plus exact byte/flop totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseStat {
+    /// Per-bucket observation counts; the last slot is the `+Inf`
+    /// overflow bucket.
+    pub bucket_counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// One exact sequential sum per epoch, sorted by `total_cmp`
+    /// (canonical form; see the module docs).
+    pub sum_parts: Vec<f64>,
+    /// Largest single observation (exact).
+    pub max: f64,
+    /// Network bytes attributed to this worker and phase.
+    pub bytes: u64,
+    /// FLOPs attributed to this worker and phase.
+    pub flops: u64,
+}
+
+impl Default for PhaseStat {
+    fn default() -> Self {
+        PhaseStat {
+            bucket_counts: vec![0; DURATION_BUCKETS.len() + 1],
+            count: 0,
+            sum_parts: Vec::new(),
+            max: 0.0,
+            bytes: 0,
+            flops: 0,
+        }
+    }
+}
+
+impl PhaseStat {
+    /// Total seconds: the canonical sorted fold of the per-epoch parts.
+    pub fn seconds(&self) -> f64 {
+        fold_exact(&self.sum_parts)
+    }
+
+    /// Deterministic bucket-quantile (`q` in `[0, 1]`): the upper bound
+    /// of the bucket containing the `⌈q·count⌉`-th observation, clamped
+    /// to the exact maximum. 0.0 for an empty stat.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.bucket_counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < DURATION_BUCKETS.len() {
+                    DURATION_BUCKETS[i].min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Merge another stat into this one (associative, commutative,
+    /// canonical — see the module docs).
+    pub fn merge(&mut self, other: &PhaseStat) {
+        for (a, b) in self.bucket_counts.iter_mut().zip(other.bucket_counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_parts.extend_from_slice(&other.sum_parts);
+        self.sum_parts.sort_by(f64::total_cmp);
+        if other.max.total_cmp(&self.max).is_gt() {
+            self.max = other.max;
+        }
+        self.bytes += other.bytes;
+        self.flops += other.flops;
+    }
+}
+
+/// Frozen per-(worker, name) counter aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterStat {
+    /// Number of samples recorded.
+    pub samples: u64,
+    /// Largest sampled value (for the cumulative traffic counters the
+    /// engines emit, this is the final running total).
+    pub peak: f64,
+}
+
+impl CounterStat {
+    fn observe(&mut self, value: f64) {
+        self.samples += 1;
+        if value.total_cmp(&self.peak).is_gt() {
+            self.peak = value;
+        }
+    }
+
+    fn merge(&mut self, other: &CounterStat) {
+        self.samples += other.samples;
+        if other.peak.total_cmp(&self.peak).is_gt() {
+            self.peak = other.peak;
+        }
+    }
+}
+
+impl Default for CounterStat {
+    fn default() -> Self {
+        CounterStat { samples: 0, peak: f64::NEG_INFINITY }
+    }
+}
+
+/// Which worker a straggler diagnosis points at, and why.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerAttribution {
+    /// The worker with the largest total phase mass.
+    pub worker: u32,
+    /// The phase contributing the largest excess over the mean.
+    pub phase: TracePhase,
+    /// Seconds of critical path the straggler adds in that phase
+    /// (its mass minus the cross-worker mean).
+    pub excess_seconds: f64,
+}
+
+#[derive(Debug, Default)]
+struct OpenStat {
+    bucket_counts: Vec<u64>,
+    count: u64,
+    closed_parts: Vec<f64>,
+    /// `(epoch, running sum)` of the part currently being accumulated.
+    open: Option<(u32, f64)>,
+    max: f64,
+    bytes: u64,
+    flops: u64,
+}
+
+impl OpenStat {
+    fn observe(&mut self, epoch: u32, dur: f64, bytes: u64, flops: u64) {
+        if self.bucket_counts.is_empty() {
+            self.bucket_counts = vec![0; DURATION_BUCKETS.len() + 1];
+        }
+        let bucket = DURATION_BUCKETS
+            .iter()
+            .position(|&b| dur <= b)
+            .unwrap_or(DURATION_BUCKETS.len());
+        self.bucket_counts[bucket] += 1;
+        self.count += 1;
+        match &mut self.open {
+            Some((e, sum)) if *e == epoch => *sum += dur,
+            Some((_, sum)) => {
+                let done = *sum;
+                self.closed_parts.push(done);
+                self.open = Some((epoch, dur));
+            }
+            None => self.open = Some((epoch, dur)),
+        }
+        if dur.total_cmp(&self.max).is_gt() {
+            self.max = dur;
+        }
+        self.bytes += bytes;
+        self.flops += flops;
+    }
+
+    fn freeze(&self) -> PhaseStat {
+        let mut sum_parts = self.closed_parts.clone();
+        if let Some((_, sum)) = self.open {
+            sum_parts.push(sum);
+        }
+        sum_parts.sort_by(f64::total_cmp);
+        PhaseStat {
+            bucket_counts: if self.bucket_counts.is_empty() {
+                vec![0; DURATION_BUCKETS.len() + 1]
+            } else {
+                self.bucket_counts.clone()
+            },
+            count: self.count,
+            sum_parts,
+            max: self.max,
+            bytes: self.bytes,
+            flops: self.flops,
+        }
+    }
+}
+
+/// Accumulating registry: feed it spans, counter events, whole sinks or
+/// plain epoch outcomes, then [`MetricsRegistry::snapshot`] the result.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    phases: BTreeMap<(u32, TracePhase), OpenStat>,
+    counters: BTreeMap<(u32, &'static str), CounterStat>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Observe one span: a histogram observation plus phase-mass
+    /// accumulation under the span's epoch (see the module docs).
+    pub fn observe_span(&mut self, span: &Span) {
+        self.observe_phase(span.worker, span.phase, span.epoch, span.dur, span.bytes, span.flops);
+    }
+
+    /// Observe one phase window directly (the engine hook used by both
+    /// the trace path and the non-traced fast path).
+    pub fn observe_phase(
+        &mut self,
+        worker: u32,
+        phase: TracePhase,
+        epoch: u32,
+        dur: f64,
+        bytes: u64,
+        flops: u64,
+    ) {
+        self.phases.entry((worker, phase)).or_default().observe(epoch, dur, bytes, flops);
+    }
+
+    /// Observe one counter sample.
+    pub fn observe_counter(&mut self, ev: &CounterEvent) {
+        self.counters.entry((ev.worker, ev.name)).or_default().observe(ev.value);
+    }
+
+    /// Ingest everything a sink recorded, in recording order.
+    pub fn ingest_sink(&mut self, sink: &TraceSink) {
+        for span in sink.spans() {
+            self.observe_span(&span);
+        }
+        for ev in sink.counters() {
+            self.observe_counter(&ev);
+        }
+    }
+
+    /// Non-traced fast path: ingest a cluster's cumulative per-machine
+    /// traffic counters under the canonical counter names (the same
+    /// samples [`TraceSink`] records when tracing is enabled).
+    pub fn ingest_cluster_counters(&mut self, counters: &ClusterCounters) {
+        for (m, c) in counters.iter().enumerate() {
+            let w = m as u32;
+            self.counters
+                .entry((w, counter_names::BYTES_SENT))
+                .or_default()
+                .observe(c.bytes_sent as f64);
+            self.counters
+                .entry((w, counter_names::BYTES_RECEIVED))
+                .or_default()
+                .observe(c.bytes_received as f64);
+        }
+    }
+
+    /// Non-traced fast path: ingest an epoch outcome's phase breakdown
+    /// as one observation per phase under [`AGGREGATE_WORKER`].
+    pub fn ingest_outcome(&mut self, epoch: u32, outcome: &dyn EpochOutcome) {
+        for (name, seconds) in outcome.phase_breakdown() {
+            let phase = TracePhase::from_name(name)
+                .expect("EpochOutcome phase names match TracePhase::name");
+            self.observe_phase(AGGREGATE_WORKER, phase, epoch, seconds, 0, 0);
+        }
+    }
+
+    /// Freeze the registry into a canonical, mergeable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            phases: self.phases.iter().map(|(k, v)| (*k, v.freeze())).collect(),
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+/// Frozen, canonical metrics: per-(worker, phase) histograms and
+/// per-(worker, name) counter aggregates, plus the derived statistics
+/// the diagnosis layer reports.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    phases: BTreeMap<(u32, TracePhase), PhaseStat>,
+    counters: BTreeMap<(u32, &'static str), CounterStat>,
+}
+
+impl MetricsSnapshot {
+    /// Snapshot of everything `sink` recorded.
+    pub fn from_sink(sink: &TraceSink) -> Self {
+        let mut reg = MetricsRegistry::new();
+        reg.ingest_sink(sink);
+        reg.snapshot()
+    }
+
+    /// Merge another snapshot into this one. Associative, commutative
+    /// and canonical: any merge order or grouping of the same snapshot
+    /// multiset produces a bit-identical result.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, stat) in &other.phases {
+            self.phases.entry(*k).or_default().merge(stat);
+        }
+        for (k, c) in &other.counters {
+            self.counters.entry(*k).or_default().merge(c);
+        }
+    }
+
+    /// The frozen stat for `(worker, phase)`, if any observation landed
+    /// there.
+    pub fn phase_stat(&self, worker: u32, phase: TracePhase) -> Option<&PhaseStat> {
+        self.phases.get(&(worker, phase))
+    }
+
+    /// Exact total seconds for `(worker, phase)` (0.0 when absent).
+    pub fn phase_seconds(&self, worker: u32, phase: TracePhase) -> f64 {
+        self.phases.get(&(worker, phase)).map_or(0.0, PhaseStat::seconds)
+    }
+
+    /// Counter aggregate for `(worker, name)`.
+    pub fn counter(&self, worker: u32, name: &str) -> Option<&CounterStat> {
+        self.counters.iter().find(|((w, n), _)| *w == worker && *n == name).map(|(_, c)| c)
+    }
+
+    /// Distinct counter names present, sorted.
+    pub fn counter_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.counters.keys().map(|(_, n)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Real workers observed (excludes [`AGGREGATE_WORKER`]), sorted.
+    pub fn workers(&self) -> Vec<u32> {
+        let mut w: Vec<u32> = self
+            .phases
+            .keys()
+            .map(|(w, _)| *w)
+            .chain(self.counters.keys().map(|(w, _)| *w))
+            .filter(|&w| w != AGGREGATE_WORKER)
+            .collect();
+        w.sort_unstable();
+        w.dedup();
+        w
+    }
+
+    /// Phases with at least one observation, in [`TracePhase::ALL`]
+    /// order.
+    pub fn phases_present(&self) -> Vec<TracePhase> {
+        TracePhase::ALL
+            .into_iter()
+            .filter(|p| self.phases.keys().any(|(_, q)| q == p))
+            .collect()
+    }
+
+    /// Per-worker load-imbalance index for one phase: `max / mean` of
+    /// the per-worker exact phase mass (1.0 = perfectly balanced, 0.0
+    /// when the phase carries no mass).
+    pub fn imbalance_index(&self, phase: TracePhase) -> f64 {
+        let workers = self.workers();
+        let masses: Vec<f64> = workers.iter().map(|&w| self.phase_seconds(w, phase)).collect();
+        if masses.is_empty() {
+            return 0.0;
+        }
+        let sum = fold_exact(&masses);
+        if sum <= 0.0 {
+            return 0.0;
+        }
+        let mean = sum / masses.len() as f64;
+        let max = masses.iter().copied().fold(0.0, f64::max);
+        max / mean
+    }
+
+    /// Total exact mass of one worker across every phase.
+    pub fn worker_seconds(&self, worker: u32) -> f64 {
+        let masses: Vec<f64> =
+            TracePhase::ALL.iter().map(|&p| self.phase_seconds(worker, p)).collect();
+        fold_exact(&masses)
+    }
+
+    /// Communication skew: `max / mean` of per-worker network bytes
+    /// across all phases (1.0 = balanced, 0.0 = no traffic).
+    pub fn communication_skew(&self) -> f64 {
+        max_mean_ratio(&self.per_worker(|s| s.bytes))
+    }
+
+    /// Compute skew: `max / mean` of per-worker FLOPs across all phases.
+    /// In the straggler-gated engines every worker's *duration* mass is
+    /// the shared critical path, so load imbalance shows up here (and in
+    /// [`MetricsSnapshot::communication_skew`]), not in durations.
+    pub fn compute_skew(&self) -> f64 {
+        max_mean_ratio(&self.per_worker(|s| s.flops))
+    }
+
+    /// Per-phase `max / mean` of per-worker FLOPs (0.0 if no work).
+    pub fn phase_flops_imbalance(&self, phase: TracePhase) -> f64 {
+        let v: Vec<u64> = self
+            .workers()
+            .iter()
+            .map(|&w| self.phase_stat(w, phase).map_or(0, |s| s.flops))
+            .collect();
+        max_mean_ratio(&v)
+    }
+
+    /// Per-phase `max / mean` of per-worker bytes (0.0 if no traffic).
+    pub fn phase_bytes_imbalance(&self, phase: TracePhase) -> f64 {
+        let v: Vec<u64> = self
+            .workers()
+            .iter()
+            .map(|&w| self.phase_stat(w, phase).map_or(0, |s| s.bytes))
+            .collect();
+        max_mean_ratio(&v)
+    }
+
+    /// The per-worker, all-phase total stat merged across workers (for
+    /// cluster-wide quantiles); [`None`] when nothing was observed for
+    /// `phase`.
+    pub fn cluster_phase_stat(&self, phase: TracePhase) -> Option<PhaseStat> {
+        let mut merged: Option<PhaseStat> = None;
+        for ((_, p), stat) in &self.phases {
+            if *p == phase {
+                match &mut merged {
+                    Some(m) => m.merge(stat),
+                    None => merged = Some(stat.clone()),
+                }
+            }
+        }
+        merged
+    }
+
+    fn per_worker(&self, f: impl Fn(&PhaseStat) -> u64) -> Vec<u64> {
+        self.workers()
+            .iter()
+            .map(|&w| {
+                TracePhase::ALL.iter().filter_map(|&p| self.phase_stat(w, p)).map(&f).sum()
+            })
+            .collect()
+    }
+
+    /// Straggler attribution: the worker with the largest total mass
+    /// (ties broken toward the lowest id), the phase where it exceeds
+    /// the cross-worker mean the most, and by how many seconds. `None`
+    /// without at least two workers.
+    pub fn straggler(&self) -> Option<StragglerAttribution> {
+        let workers = self.workers();
+        if workers.len() < 2 {
+            return None;
+        }
+        let totals: Vec<f64> = workers.iter().map(|&w| self.worker_seconds(w)).collect();
+        let mut straggler = 0usize;
+        for (i, t) in totals.iter().enumerate() {
+            if t.total_cmp(&totals[straggler]).is_gt() {
+                straggler = i;
+            }
+        }
+        let worker = workers[straggler];
+        let n = workers.len() as f64;
+        let mut best: Option<(TracePhase, f64)> = None;
+        for phase in TracePhase::ALL {
+            let masses: Vec<f64> =
+                workers.iter().map(|&w| self.phase_seconds(w, phase)).collect();
+            let mean = fold_exact(&masses) / n;
+            let excess = self.phase_seconds(worker, phase) - mean;
+            if best.is_none() || excess.total_cmp(&best.expect("set").1).is_gt() {
+                best = Some((phase, excess));
+            }
+        }
+        let (phase, excess_seconds) = best.expect("ALL is non-empty");
+        Some(StragglerAttribution { worker, phase, excess_seconds })
+    }
+
+    /// Load-based straggler attribution: the worker carrying the most
+    /// FLOPs, the phase where its load excess costs the most critical
+    /// path, and that cost in seconds. In the straggler-gated engines a
+    /// phase's time scales with the maximum per-worker load, so a
+    /// balanced phase would take `observed · mean/max` — the excess is
+    /// `observed · (load − mean)/max`. `None` without two workers or
+    /// any recorded FLOPs.
+    pub fn load_straggler(&self) -> Option<StragglerAttribution> {
+        let workers = self.workers();
+        if workers.len() < 2 {
+            return None;
+        }
+        let loads = self.per_worker(|s| s.flops);
+        if loads.iter().all(|&l| l == 0) {
+            return None;
+        }
+        let mut si = 0usize;
+        for (i, l) in loads.iter().enumerate() {
+            if *l > loads[si] {
+                si = i;
+            }
+        }
+        let worker = workers[si];
+        let mut best: Option<(TracePhase, f64)> = None;
+        for phase in TracePhase::ALL {
+            let v: Vec<u64> = workers
+                .iter()
+                .map(|&w| self.phase_stat(w, phase).map_or(0, |s| s.flops))
+                .collect();
+            let max = *v.iter().max().expect("workers non-empty");
+            if max == 0 {
+                continue;
+            }
+            let mean = v.iter().sum::<u64>() as f64 / v.len() as f64;
+            let excess = self.phase_seconds(worker, phase) * (v[si] as f64 - mean).max(0.0)
+                / max as f64;
+            if best.is_none() || excess.total_cmp(&best.expect("set").1).is_gt() {
+                best = Some((phase, excess));
+            }
+        }
+        best.map(|(phase, excess_seconds)| StragglerAttribution { worker, phase, excess_seconds })
+    }
+
+    /// Prometheus text exposition: one `# HELP`/`# TYPE` pair per
+    /// metric family, cumulative (monotone) histogram buckets, label
+    /// order and float formatting fully deterministic.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# HELP gnnpart_phase_duration_seconds Simulated per-span phase durations.\n\
+             # TYPE gnnpart_phase_duration_seconds histogram\n",
+        );
+        for ((worker, phase), stat) in &self.phases {
+            let labels = format!("worker=\"{}\",phase=\"{}\"", worker_label(*worker), phase.name());
+            let mut cumulative = 0u64;
+            for (i, &c) in stat.bucket_counts.iter().enumerate() {
+                cumulative += c;
+                let le = if i < DURATION_BUCKETS.len() {
+                    prom_f64(DURATION_BUCKETS[i])
+                } else {
+                    "+Inf".to_string()
+                };
+                out.push_str(&format!(
+                    "gnnpart_phase_duration_seconds_bucket{{{labels},le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "gnnpart_phase_duration_seconds_sum{{{labels}}} {}\n",
+                prom_f64(stat.seconds())
+            ));
+            out.push_str(&format!(
+                "gnnpart_phase_duration_seconds_count{{{labels}}} {}\n",
+                stat.count
+            ));
+        }
+        out.push_str(
+            "# HELP gnnpart_phase_bytes_total Network bytes attributed per worker and phase.\n\
+             # TYPE gnnpart_phase_bytes_total counter\n",
+        );
+        for ((worker, phase), stat) in &self.phases {
+            out.push_str(&format!(
+                "gnnpart_phase_bytes_total{{worker=\"{}\",phase=\"{}\"}} {}\n",
+                worker_label(*worker),
+                phase.name(),
+                stat.bytes
+            ));
+        }
+        out.push_str(
+            "# HELP gnnpart_phase_flops_total FLOPs attributed per worker and phase.\n\
+             # TYPE gnnpart_phase_flops_total counter\n",
+        );
+        for ((worker, phase), stat) in &self.phases {
+            out.push_str(&format!(
+                "gnnpart_phase_flops_total{{worker=\"{}\",phase=\"{}\"}} {}\n",
+                worker_label(*worker),
+                phase.name(),
+                stat.flops
+            ));
+        }
+        out.push_str(
+            "# HELP gnnpart_counter_peak Peak sampled value of each engine counter.\n\
+             # TYPE gnnpart_counter_peak gauge\n",
+        );
+        for ((worker, name), c) in &self.counters {
+            out.push_str(&format!(
+                "gnnpart_counter_peak{{worker=\"{}\",name=\"{name}\"}} {}\n",
+                worker_label(*worker),
+                prom_f64(c.peak)
+            ));
+        }
+        out
+    }
+}
+
+fn worker_label(worker: u32) -> String {
+    if worker == AGGREGATE_WORKER {
+        "aggregate".to_string()
+    } else {
+        worker.to_string()
+    }
+}
+
+/// Deterministic Prometheus float formatting (shortest round-trip; no
+/// NaN/inf can reach an export — peaks start at -inf only when a
+/// counter family is empty, which never serialises).
+fn prom_f64(v: f64) -> String {
+    if v == f64::NEG_INFINITY {
+        "0".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::DetRng;
+
+    fn span(worker: u32, epoch: u32, phase: TracePhase, dur: f64, bytes: u64) -> Span {
+        Span { worker, epoch, step: 0, phase, t_start: 0.0, dur, bytes, flops: bytes * 2 }
+    }
+
+    #[test]
+    fn per_epoch_mass_matches_sequential_accumulation() {
+        let mut reg = MetricsRegistry::new();
+        let durs = [0.1, 0.2, 0.3, 1e-9, 0.7];
+        let mut expect_e0 = 0.0;
+        for d in durs {
+            reg.observe_span(&span(1, 0, TracePhase::Forward, d, 0));
+            expect_e0 += d;
+        }
+        let mut expect_e1 = 0.0;
+        for d in [0.5, 1e-12] {
+            reg.observe_span(&span(1, 1, TracePhase::Forward, d, 0));
+            expect_e1 += d;
+        }
+        let snap = reg.snapshot();
+        let stat = snap.phase_stat(1, TracePhase::Forward).unwrap();
+        assert_eq!(stat.count, 7);
+        assert_eq!(stat.sum_parts.len(), 2, "one part per epoch");
+        // The canonical fold reproduces the sorted per-epoch sums.
+        assert_eq!(snap.phase_seconds(1, TracePhase::Forward), fold_exact(&[expect_e0, expect_e1]));
+        assert_eq!(stat.max, 0.7);
+    }
+
+    #[test]
+    fn bucket_counts_and_quantiles() {
+        let mut reg = MetricsRegistry::new();
+        // 90 fast observations, 10 slow ones.
+        for i in 0..90 {
+            reg.observe_span(&span(0, 0, TracePhase::Sync, 1.5e-4, i));
+        }
+        for _ in 0..10 {
+            reg.observe_span(&span(0, 0, TracePhase::Sync, 3.0, 0));
+        }
+        let snap = reg.snapshot();
+        let stat = snap.phase_stat(0, TracePhase::Sync).unwrap();
+        assert_eq!(stat.count, 100);
+        assert_eq!(stat.bucket_counts.iter().sum::<u64>(), 100);
+        // p50 and p90 land in the 2e-4 bucket, p95/p99 in the 5.0 one.
+        assert_eq!(stat.quantile(0.5), 2e-4);
+        assert_eq!(stat.quantile(0.9), 2e-4);
+        assert_eq!(stat.quantile(0.95), 3.0, "clamped to the exact max");
+        assert_eq!(stat.quantile(0.99), 3.0);
+        assert_eq!(stat.quantile(1.0), 3.0);
+        assert_eq!(stat.bytes, (0..90).sum::<u64>());
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_returns_max() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe_span(&span(0, 0, TracePhase::Forward, 5000.0, 0));
+        let snap = reg.snapshot();
+        let stat = snap.phase_stat(0, TracePhase::Forward).unwrap();
+        assert_eq!(*stat.bucket_counts.last().unwrap(), 1, "beyond the ladder = +Inf bucket");
+        assert_eq!(stat.quantile(0.5), 5000.0);
+        assert_eq!(stat.quantile(0.0), 5000.0, "rank clamps to 1");
+    }
+
+    #[test]
+    fn empty_stat_is_zero() {
+        let stat = PhaseStat::default();
+        assert_eq!(stat.quantile(0.99), 0.0);
+        assert_eq!(stat.seconds(), 0.0);
+        let snap = MetricsSnapshot::default();
+        assert_eq!(snap.phase_seconds(0, TracePhase::Forward), 0.0);
+        assert_eq!(snap.imbalance_index(TracePhase::Forward), 0.0);
+        assert_eq!(snap.communication_skew(), 0.0);
+        assert!(snap.straggler().is_none());
+        assert!(snap.workers().is_empty());
+    }
+
+    #[test]
+    fn imbalance_and_skew() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe_span(&span(0, 0, TracePhase::Forward, 1.0, 100));
+        reg.observe_span(&span(1, 0, TracePhase::Forward, 3.0, 300));
+        let snap = reg.snapshot();
+        // max 3 / mean 2 = 1.5.
+        assert!((snap.imbalance_index(TracePhase::Forward) - 1.5).abs() < 1e-12);
+        assert!((snap.communication_skew() - 1.5).abs() < 1e-12);
+        assert_eq!(snap.workers(), vec![0, 1]);
+    }
+
+    #[test]
+    fn straggler_attribution_points_at_worst_phase() {
+        let mut reg = MetricsRegistry::new();
+        for w in 0..4u32 {
+            reg.observe_span(&span(w, 0, TracePhase::Forward, 1.0, 0));
+            reg.observe_span(&span(w, 0, TracePhase::Sync, 0.5, 0));
+        }
+        // Worker 2 drags sync.
+        reg.observe_span(&span(2, 0, TracePhase::Sync, 4.0, 0));
+        let snap = reg.snapshot();
+        let s = snap.straggler().unwrap();
+        assert_eq!(s.worker, 2);
+        assert_eq!(s.phase, TracePhase::Sync);
+        // Its sync mass 4.5 vs mean (0.5*3 + 4.5)/4 = 1.5 → excess 3.0.
+        assert!((s.excess_seconds - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_skew_and_straggler_from_flops() {
+        let mut reg = MetricsRegistry::new();
+        // Equal gated durations (as the engines emit), skewed loads.
+        for w in 0..4u32 {
+            let flops = if w == 3 { 700 } else { 100 };
+            reg.observe_phase(w, TracePhase::Forward, 0, 2.0, 50, flops);
+            reg.observe_phase(w, TracePhase::Sync, 0, 1.0, if w == 3 { 400 } else { 200 }, 0);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.imbalance_index(TracePhase::Forward), 1.0, "durations are gated");
+        // flops: max 700 / mean 250 = 2.8.
+        assert!((snap.phase_flops_imbalance(TracePhase::Forward) - 2.8).abs() < 1e-12);
+        assert!((snap.compute_skew() - 2.8).abs() < 1e-12);
+        // bytes: per-worker totals 250,250,250,450 → max/mean = 1.5.
+        assert!((snap.communication_skew() - 1.5).abs() < 1e-12);
+        assert!(snap.phase_bytes_imbalance(TracePhase::Sync) > 1.0);
+        let s = snap.load_straggler().unwrap();
+        assert_eq!(s.worker, 3);
+        assert_eq!(s.phase, TracePhase::Forward);
+        // 2.0 s · (700 − 250)/700 ≈ 1.2857 s of critical path.
+        assert!((s.excess_seconds - 2.0 * 450.0 / 700.0).abs() < 1e-12);
+        // Cluster-wide stat merges all four workers' observations.
+        let cs = snap.cluster_phase_stat(TracePhase::Forward).unwrap();
+        assert_eq!(cs.count, 4);
+        assert_eq!(cs.flops, 1000);
+        assert!(snap.cluster_phase_stat(TracePhase::Migration).is_none());
+    }
+
+    #[test]
+    fn counters_track_peak_and_samples() {
+        let mut reg = MetricsRegistry::new();
+        for (t, v) in [(0.0, 10.0), (1.0, 25.0), (2.0, 15.0)] {
+            reg.observe_counter(&CounterEvent { t, worker: 1, name: "bytes_sent", value: v });
+        }
+        let snap = reg.snapshot();
+        let c = snap.counter(1, "bytes_sent").unwrap();
+        assert_eq!(c.samples, 3);
+        assert_eq!(c.peak, 25.0);
+        assert_eq!(snap.counter_names(), vec!["bytes_sent"]);
+    }
+
+    #[test]
+    fn ingest_cluster_counters_mirrors_trace_samples() {
+        let mut counters = ClusterCounters::new(2);
+        counters.machine_mut(0).send(100);
+        counters.machine_mut(1).receive(40);
+        let mut reg = MetricsRegistry::new();
+        reg.ingest_cluster_counters(&counters);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(0, counter_names::BYTES_SENT).unwrap().peak, 100.0);
+        assert_eq!(snap.counter(1, counter_names::BYTES_RECEIVED).unwrap().peak, 40.0);
+        assert_eq!(snap.counter_names(), vec!["bytes_received", "bytes_sent"]);
+    }
+
+    #[test]
+    fn ingest_outcome_records_aggregate_phases() {
+        struct Fake;
+        impl EpochOutcome for Fake {
+            fn epoch_time(&self) -> f64 {
+                0.6
+            }
+            fn total_bytes(&self) -> u64 {
+                0
+            }
+            fn phase_breakdown(&self) -> Vec<(&'static str, f64)> {
+                vec![("forward", 0.4), ("sync", 0.2)]
+            }
+        }
+        let mut reg = MetricsRegistry::new();
+        reg.ingest_outcome(0, &Fake);
+        reg.ingest_outcome(1, &Fake);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.phase_seconds(AGGREGATE_WORKER, TracePhase::Forward),
+            fold_exact(&[0.4, 0.4])
+        );
+        assert!(snap.workers().is_empty(), "aggregate worker is not a real worker");
+    }
+
+    /// Random snapshots via the deterministic RNG: merge must be
+    /// associative and order-insensitive bit-for-bit (the property the
+    /// threaded sweeps rely on).
+    #[test]
+    fn merge_is_associative_and_order_insensitive() {
+        let mut rng = DetRng::new(0x5eed_beef);
+        let mut random_snapshot = |salt: u32| {
+            let mut reg = MetricsRegistry::new();
+            for _ in 0..(1 + rng.below(20)) {
+                let worker = rng.below(3) as u32;
+                let phase = TracePhase::ALL[rng.below(10) as usize];
+                let epoch = rng.below(4) as u32;
+                let dur = rng.next_f64() * 10f64.powi(rng.below(8) as i32 - 6);
+                reg.observe_phase(worker, phase, epoch, dur, rng.below(1000), salt as u64);
+            }
+            for _ in 0..rng.below(5) {
+                reg.observe_counter(&CounterEvent {
+                    t: 0.0,
+                    worker: rng.below(3) as u32,
+                    name: "bytes_sent",
+                    value: rng.next_f64() * 1e6,
+                });
+            }
+            reg.snapshot()
+        };
+        for round in 0..50u32 {
+            let a = random_snapshot(round);
+            let b = random_snapshot(round + 1000);
+            let c = random_snapshot(round + 2000);
+            // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "round {round}: associativity");
+            // Any permutation agrees.
+            let mut cba = c.clone();
+            cba.merge(&b);
+            cba.merge(&a);
+            assert_eq!(left, cba, "round {round}: order-insensitivity");
+            // Identity element.
+            let mut with_empty = left.clone();
+            with_empty.merge(&MetricsSnapshot::default());
+            assert_eq!(with_empty, left, "round {round}: empty is identity");
+        }
+    }
+
+    #[test]
+    fn merged_totals_are_exact_folds() {
+        // Two runs of the same cell merged must fold their per-epoch
+        // parts exactly like fold_exact over the union.
+        let mut r1 = MetricsRegistry::new();
+        r1.observe_phase(0, TracePhase::Forward, 0, 0.1, 0, 0);
+        r1.observe_phase(0, TracePhase::Forward, 1, 0.2, 0, 0);
+        let mut r2 = MetricsRegistry::new();
+        r2.observe_phase(0, TracePhase::Forward, 0, 1e16, 0, 0);
+        r2.observe_phase(0, TracePhase::Forward, 1, 1.0, 0, 0);
+        let mut m = r1.snapshot();
+        m.merge(&r2.snapshot());
+        assert_eq!(
+            m.phase_seconds(0, TracePhase::Forward),
+            fold_exact(&[0.1, 0.2, 1e16, 1.0])
+        );
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe_span(&span(0, 0, TracePhase::Forward, 1.5e-4, 64));
+        reg.observe_span(&span(1, 0, TracePhase::Sync, 2.0, 32));
+        reg.observe_counter(&CounterEvent { t: 0.0, worker: 0, name: "bytes_sent", value: 64.0 });
+        let text = reg.snapshot().to_prometheus();
+        // One # TYPE per family.
+        assert_eq!(text.matches("# TYPE gnnpart_phase_duration_seconds histogram").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_phase_bytes_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_phase_flops_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_counter_peak gauge").count(), 1);
+        // Monotone cumulative buckets ending in +Inf == count.
+        assert!(text.contains("le=\"+Inf\"} 1"));
+        assert!(text.contains(
+            "gnnpart_phase_duration_seconds_count{worker=\"0\",phase=\"forward\"} 1"
+        ));
+        assert!(text.contains("gnnpart_phase_bytes_total{worker=\"1\",phase=\"sync\"} 32"));
+        assert!(text.contains("gnnpart_counter_peak{worker=\"0\",name=\"bytes_sent\"} 64"));
+        // Deterministic: identical rebuild, identical bytes.
+        let mut reg2 = MetricsRegistry::new();
+        reg2.observe_span(&span(0, 0, TracePhase::Forward, 1.5e-4, 64));
+        reg2.observe_span(&span(1, 0, TracePhase::Sync, 2.0, 32));
+        reg2.observe_counter(&CounterEvent { t: 0.0, worker: 0, name: "bytes_sent", value: 64.0 });
+        assert_eq!(text, reg2.snapshot().to_prometheus());
+    }
+
+    #[test]
+    fn prometheus_buckets_are_monotone() {
+        let mut reg = MetricsRegistry::new();
+        let mut rng = DetRng::new(7);
+        for i in 0..200 {
+            let dur = rng.next_f64() * 10f64.powi((i % 9) as i32 - 6);
+            reg.observe_phase(0, TracePhase::Backward, 0, dur, 0, 0);
+        }
+        let text = reg.snapshot().to_prometheus();
+        let mut last = 0u64;
+        let mut seen_bucket_lines = 0;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("gnnpart_phase_duration_seconds_bucket") {
+                let v: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(v >= last, "cumulative buckets must be monotone: {line}");
+                last = v;
+                seen_bucket_lines += 1;
+            }
+        }
+        assert_eq!(seen_bucket_lines, DURATION_BUCKETS.len() + 1);
+        assert_eq!(last, 200, "+Inf bucket equals the observation count");
+    }
+
+    #[test]
+    fn snapshot_from_sink_matches_worker_phase_seconds() {
+        let sink = TraceSink::enabled();
+        sink.set_epoch(0);
+        for d in [0.125, 0.25, 1e-10] {
+            sink.span(2, 0, TracePhase::Optimizer, 0.0, d, 5, 7);
+        }
+        sink.set_epoch(1);
+        sink.span(2, 0, TracePhase::Optimizer, 0.0, 0.5, 0, 0);
+        sink.counter(2, "bytes_sent", 10.0);
+        let snap = MetricsSnapshot::from_sink(&sink);
+        // Single-run snapshots reproduce the sink's own exact sums: the
+        // per-epoch parts fold to the same values the sink accumulated.
+        let expect = fold_exact(&[0.125 + 0.25 + 1e-10, 0.5]);
+        assert_eq!(snap.phase_seconds(2, TracePhase::Optimizer), expect);
+        assert_eq!(sink.worker_phase_seconds(2, TracePhase::Optimizer), 0.125 + 0.25 + 1e-10 + 0.5);
+        assert_eq!(snap.phase_stat(2, TracePhase::Optimizer).unwrap().bytes, 15);
+        assert_eq!(snap.counter(2, "bytes_sent").unwrap().peak, 10.0);
+        assert_eq!(snap.phases_present(), vec![TracePhase::Optimizer]);
+    }
+}

@@ -44,6 +44,27 @@ pub enum TracePhase {
 }
 
 impl TracePhase {
+    /// Every phase, in the stable order used by exports and the metrics
+    /// registry (matches the declaration order above).
+    pub const ALL: [TracePhase; 10] = [
+        TracePhase::Forward,
+        TracePhase::Backward,
+        TracePhase::Sync,
+        TracePhase::Optimizer,
+        TracePhase::Sampling,
+        TracePhase::FeatureLoad,
+        TracePhase::Update,
+        TracePhase::Checkpoint,
+        TracePhase::Recovery,
+        TracePhase::Migration,
+    ];
+
+    /// Inverse of [`TracePhase::name`]: parse a stable snake_case name
+    /// (as emitted by [`crate::EpochOutcome::phase_breakdown`]).
+    pub fn from_name(name: &str) -> Option<TracePhase> {
+        TracePhase::ALL.iter().copied().find(|p| p.name() == name)
+    }
+
     /// Stable lower-snake name, used in Chrome JSON and the phase CSV.
     pub fn name(self) -> &'static str {
         match self {
@@ -91,6 +112,27 @@ impl Span {
     pub fn t_end(&self) -> f64 {
         self.t_start + self.dur
     }
+}
+
+/// Canonical [`CounterEvent::name`] strings. Engines must emit counter
+/// events under these names so the per-path event sets stay pinned (see
+/// the engine test suites) and the metrics registry can aggregate them
+/// without string drift.
+pub mod counter_names {
+    /// Cumulative bytes sent by a worker (healthy traffic).
+    pub const BYTES_SENT: &str = "bytes_sent";
+    /// Cumulative bytes received by a worker (healthy traffic).
+    pub const BYTES_RECEIVED: &str = "bytes_received";
+    /// Bytes written into a checkpoint shard (fault path).
+    pub const CHECKPOINT_BYTES: &str = "checkpoint_bytes";
+    /// Bytes moved to restore crashed state (fault path).
+    pub const RECOVERY_BYTES: &str = "recovery_bytes";
+    /// Bytes moved by an adopted master migration (mitigation path).
+    pub const MIGRATION_BYTES: &str = "migration_bytes";
+    /// Bytes fetched by work-stealing helpers (mitigation path).
+    pub const STOLEN_BYTES: &str = "stolen_bytes";
+    /// Bytes fetched by speculative backup executions (mitigation path).
+    pub const SPECULATION_BYTES: &str = "speculation_bytes";
 }
 
 /// A named counter sample at a simulated time (Chrome `ph:"C"` event).
@@ -479,5 +521,16 @@ mod tests {
         assert_eq!(TracePhase::FeatureLoad.name(), "feature_load");
         assert_eq!(TracePhase::Checkpoint.name(), "checkpoint");
         assert_eq!(TracePhase::Migration.name(), "migration");
+    }
+
+    #[test]
+    fn phase_name_roundtrip() {
+        for p in TracePhase::ALL {
+            assert_eq!(TracePhase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(TracePhase::from_name("no_such_phase"), None);
+        let mut all = TracePhase::ALL.to_vec();
+        all.dedup();
+        assert_eq!(all.len(), 10, "ALL lists every variant once");
     }
 }

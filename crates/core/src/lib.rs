@@ -18,6 +18,11 @@
 //!   the paper).
 //! * [`trace_run`] — traced engine runs feeding the Chrome-JSON /
 //!   phase-CSV exports of the `gnnpart trace` subcommand (extension).
+//! * [`diagnose`] — metrics aggregation and automated run diagnosis
+//!   over traced runs: exact histogram-vs-report cross-checks, skew
+//!   indices, straggler attribution, ranked causes of epoch time, and
+//!   the Prometheus / markdown-report / skew-CSV artifacts behind
+//!   `gnnpart diagnose` and the `diagnose` ablation (extension).
 //! * [`amortize`] — partitioning-time amortisation (Tables 4 and 5).
 //! * [`advisor`] — EASE-style partitioner recommendation (extension).
 //! * [`correlate`] — Pearson correlation / R² (Figures 3, 5).
@@ -27,6 +32,7 @@ pub mod advisor;
 pub mod amortize;
 pub mod config;
 pub mod correlate;
+pub mod diagnose;
 pub mod experiment;
 pub mod fault_sweep;
 pub mod registry;
@@ -43,6 +49,11 @@ pub mod prelude {
     pub use crate::amortize::epochs_to_amortize;
     pub use crate::config::{ParamGrid, PaperParams, SCALE_OUT_FACTORS};
     pub use crate::correlate::{pearson, r_squared};
+    pub use crate::diagnose::{
+        bench_json, diagnose_distdgl, diagnose_distdgl_runs, diagnose_distgnn,
+        diagnose_distgnn_runs, diagnose_prometheus, diagnose_report, merged_snapshot, rank_causes,
+        skew_table, summary_table, Cause, RunDiagnosis,
+    };
     pub use crate::experiment::{
         timed_edge_partitions, timed_edge_partitions_threaded, timed_vertex_partitions,
         timed_vertex_partitions_threaded, TimedEdgePartition, TimedVertexPartition,

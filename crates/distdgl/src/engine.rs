@@ -6,6 +6,7 @@
 //! the paper's measurement protocol: per step, each phase is gated by
 //! the slowest worker (the straggler).
 
+use gp_cluster::trace::counter_names;
 use gp_cluster::{
     compute_time, expected_retries, retry_backoff_secs, transfer_time, ClusterCounters,
     ClusterSpec, EpochOutcome, FaultPlan, MitigationPolicy, MitigationReport, NetworkSpec,
@@ -844,8 +845,8 @@ impl<'a> DistDglEngine<'a> {
         }
         for m in 0..self.config.cluster.machines {
             let c = counters.machine(m);
-            self.trace.counter(m, "bytes_sent", c.bytes_sent as f64);
-            self.trace.counter(m, "bytes_received", c.bytes_received as f64);
+            self.trace.counter(m, counter_names::BYTES_SENT, c.bytes_sent as f64);
+            self.trace.counter(m, counter_names::BYTES_RECEIVED, c.bytes_received as f64);
         }
     }
 
@@ -1048,6 +1049,11 @@ impl<'a> DistDglEngine<'a> {
                             restore_secs,
                             b,
                             0,
+                        );
+                        self.trace.counter(
+                            m as u32,
+                            counter_names::RECOVERY_BYTES,
+                            b as f64,
                         );
                     }
                 }
@@ -1313,12 +1319,16 @@ impl<'a> DistDglEngine<'a> {
                 // Cluster-wide mitigation counters (attributed to worker
                 // 0, like DistGNN's migration span).
                 if candidate.stolen_steps > 0 {
-                    self.trace.counter(0, "stolen_bytes", candidate.stolen_bytes as f64);
+                    self.trace.counter(
+                        0,
+                        counter_names::STOLEN_BYTES,
+                        candidate.stolen_bytes as f64,
+                    );
                 }
                 if candidate.speculated_steps > 0 {
                     self.trace.counter(
                         0,
-                        "speculation_bytes",
+                        counter_names::SPECULATION_BYTES,
                         candidate.speculation_bytes as f64,
                     );
                 }
@@ -2141,6 +2151,130 @@ mod tests {
                 );
             }
             stolen += mit.mitigation.stolen_steps;
+        }
+        assert!(stolen > 0, "test premise: stealing must trigger");
+    }
+
+    /// The metrics-registry analogue of `assert_span_accounting`: the
+    /// per-worker, per-phase histogram mass of a single-epoch snapshot
+    /// must equal the engine's reported phase totals exactly.
+    fn assert_metrics_accounting(sink: &TraceSink, k: u32, phases: &StepPhases) {
+        let snap = gp_cluster::MetricsSnapshot::from_sink(sink);
+        for w in 0..k {
+            assert_eq!(
+                snap.phase_seconds(w, TracePhase::Sampling),
+                phases.sampling,
+                "worker {w} sampling mass"
+            );
+            assert_eq!(
+                snap.phase_seconds(w, TracePhase::FeatureLoad),
+                phases.feature_load,
+                "worker {w} feature_load mass"
+            );
+            assert_eq!(
+                snap.phase_seconds(w, TracePhase::Forward),
+                phases.forward,
+                "worker {w} forward mass"
+            );
+            assert_eq!(
+                snap.phase_seconds(w, TracePhase::Backward),
+                phases.backward,
+                "worker {w} backward mass"
+            );
+            assert_eq!(
+                snap.phase_seconds(w, TracePhase::Update),
+                phases.update,
+                "worker {w} update mass"
+            );
+        }
+    }
+
+    fn counter_name_set(sink: &TraceSink) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = sink.counters().iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    #[test]
+    fn metrics_mass_equals_phase_totals_healthy() {
+        let (g, rnd, _, split) = setup(4);
+        let sink = TraceSink::enabled();
+        let e = DistDglEngine::builder(&g, &rnd, &split)
+            .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let summary = e.simulate_epoch(0);
+        assert_metrics_accounting(&sink, 4, &summary.phases);
+        // Healthy path pins exactly the cumulative traffic counters.
+        assert_eq!(
+            counter_name_set(&sink),
+            vec![counter_names::BYTES_RECEIVED, counter_names::BYTES_SENT]
+        );
+    }
+
+    #[test]
+    fn metrics_mass_equals_phase_totals_faulty() {
+        let (g, rnd, _, split) = setup(4);
+        let sink = TraceSink::enabled();
+        let e = DistDglEngine::builder(&g, &rnd, &split)
+            .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let plan = crash_plan(2, 1, 0.5);
+        for epoch in 0..3 {
+            sink.clear();
+            let faulty = e.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            assert_metrics_accounting(&sink, 4, &faulty.summary.phases);
+            // Per-path counter pinning: the crash epoch adds exactly the
+            // recovery counter (one sample per receiving survivor).
+            let mut expect = vec![counter_names::BYTES_RECEIVED, counter_names::BYTES_SENT];
+            if epoch == 1 {
+                expect.push(counter_names::RECOVERY_BYTES);
+            }
+            expect.sort_unstable();
+            assert_eq!(counter_name_set(&sink), expect, "epoch {epoch}");
+            if epoch == 1 {
+                let rec: f64 = sink
+                    .counters()
+                    .iter()
+                    .filter(|ev| ev.name == counter_names::RECOVERY_BYTES)
+                    .map(|ev| ev.value)
+                    .sum();
+                assert_eq!(rec, faulty.recovery.recovery_bytes as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_mass_equals_phase_totals_mitigated() {
+        let (g, rnd, _, split) = setup(4);
+        let sink = TraceSink::enabled();
+        let mut c = cfg(4, 64, 128, 2, ModelKind::Sage);
+        c.global_batch_size = 32;
+        let e = DistDglEngine::builder(&g, &rnd, &split)
+            .config(c)
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let plan = slowdown_plan(1, 0.25, 1, 6);
+        let mut session = e.mitigation(MitigationPolicy::steal());
+        let mut stolen = 0;
+        for epoch in 0..6 {
+            sink.clear();
+            let mit = e.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            assert_metrics_accounting(&sink, 4, &mit.summary.phases);
+            // Per-path counter pinning: the steal policy adds exactly
+            // the stolen-bytes counter on adopting epochs.
+            let mut expect = vec![counter_names::BYTES_RECEIVED, counter_names::BYTES_SENT];
+            if mit.mitigation.stolen_steps > 0 {
+                expect.push(counter_names::STOLEN_BYTES);
+                stolen += mit.mitigation.stolen_steps;
+            }
+            expect.sort_unstable();
+            assert_eq!(counter_name_set(&sink), expect, "epoch {epoch}");
         }
         assert!(stolen > 0, "test premise: stealing must trigger");
     }

@@ -1,5 +1,6 @@
 //! The DistGNN cost-model engine.
 
+use gp_cluster::trace::counter_names;
 use gp_cluster::{
     compute_time, expected_retries, retry_backoff_secs, transfer_time, ClusterCounters,
     ClusterSpec, DetectorConfig, EpochOutcome, FaultPlan, MitigationPolicy, MitigationReport,
@@ -641,8 +642,8 @@ impl<'a> DistGnnEngine<'a> {
         if tracing {
             for m in 0..k {
                 let c = counters.machine(m);
-                sink.counter(m, "bytes_sent", c.bytes_sent as f64);
-                sink.counter(m, "bytes_received", c.bytes_received as f64);
+                sink.counter(m, counter_names::BYTES_SENT, c.bytes_sent as f64);
+                sink.counter(m, counter_names::BYTES_RECEIVED, c.bytes_received as f64);
             }
         }
 
@@ -756,8 +757,12 @@ impl<'a> DistGnnEngine<'a> {
             recovery.checkpoint_seconds += ckpt_secs;
             if sink.is_enabled() {
                 let t = sink.now();
-                for m in 0..k {
-                    sink.span(m, 0, TracePhase::Checkpoint, t, ckpt_secs, 0, 0);
+                let model_bytes = model_param_count(&model) * 4 * 3;
+                let vstate = per_vertex_state_bytes(&model);
+                for v in views {
+                    let shard = model_bytes + v.num_local_vertices() * vstate;
+                    sink.span(v.machine, 0, TracePhase::Checkpoint, t, ckpt_secs, 0, 0);
+                    sink.counter(v.machine, counter_names::CHECKPOINT_BYTES, shard as f64);
                 }
                 sink.advance(ckpt_secs);
             }
@@ -849,6 +854,7 @@ impl<'a> DistGnnEngine<'a> {
                     replica_bytes,
                     0,
                 );
+                sink.counter(machine, counter_names::RECOVERY_BYTES, replica_bytes as f64);
                 sink.advance(crash_secs + reexec_secs);
             }
         }
@@ -1116,6 +1122,11 @@ impl<'a> DistGnnEngine<'a> {
                                 migration_secs,
                                 bytes,
                                 0,
+                            );
+                            self.trace.counter(
+                                0,
+                                counter_names::MIGRATION_BYTES,
+                                bytes as f64,
                             );
                             self.trace.advance(migration_secs);
                         }
@@ -1844,6 +1855,163 @@ mod tests {
         assert_eq!(breakdown[0], ("forward", report.phases.forward));
         let total: f64 = breakdown.iter().map(|(_, s)| s).sum();
         assert!((total - report.epoch_time()).abs() < 1e-12);
+    }
+
+    /// The metrics-registry analogue of `assert_span_accounting`: the
+    /// per-worker, per-phase histogram mass of a single-epoch snapshot
+    /// must equal the engine's reported phase totals exactly.
+    fn assert_metrics_accounting(sink: &TraceSink, k: u32, phases: &EpochPhases) {
+        let snap = gp_cluster::MetricsSnapshot::from_sink(sink);
+        for m in 0..k {
+            assert_eq!(
+                snap.phase_seconds(m, TracePhase::Forward),
+                phases.forward,
+                "worker {m} forward mass"
+            );
+            assert_eq!(
+                snap.phase_seconds(m, TracePhase::Backward),
+                phases.backward,
+                "worker {m} backward mass"
+            );
+            assert_eq!(snap.phase_seconds(m, TracePhase::Sync), phases.sync, "worker {m} sync mass");
+            assert_eq!(
+                snap.phase_seconds(m, TracePhase::Optimizer),
+                phases.optimizer,
+                "worker {m} optimizer mass"
+            );
+        }
+    }
+
+    fn counter_name_set(sink: &TraceSink) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = sink.counters().iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    #[test]
+    fn metrics_mass_equals_phase_totals_healthy() {
+        let (g, random, _) = setup(8);
+        let sink = TraceSink::enabled();
+        let engine = DistGnnEngine::builder(&g, &random)
+            .config(cfg(8, 64, 64, 3))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let report = engine.simulate_epoch();
+        assert_metrics_accounting(&sink, 8, &report.phases);
+        // Healthy path pins exactly the cumulative traffic counters.
+        assert_eq!(
+            counter_name_set(&sink),
+            vec![counter_names::BYTES_RECEIVED, counter_names::BYTES_SENT]
+        );
+    }
+
+    #[test]
+    fn metrics_mass_equals_phase_totals_faulty() {
+        let (g, random, _) = setup(8);
+        let mut c = cfg(8, 64, 64, 2);
+        c.checkpoint_every = 2;
+        let sink = TraceSink::enabled();
+        let engine =
+            DistGnnEngine::builder(&g, &random).config(c).trace(sink.clone()).build().unwrap();
+        let plan = crash_plan(3, 5, 0.5);
+        for epoch in 0..8 {
+            sink.clear();
+            let r = engine.simulate_epoch_with_faults(epoch, &plan).unwrap();
+            assert_metrics_accounting(&sink, 8, &r.report.phases);
+            // Per-path counter pinning: the fault path adds exactly the
+            // checkpoint shard counters on checkpoint epochs and the
+            // recovery counter on crash epochs.
+            let mut expect = vec![counter_names::BYTES_RECEIVED, counter_names::BYTES_SENT];
+            if (epoch + 1) % 2 == 0 {
+                expect.push(counter_names::CHECKPOINT_BYTES);
+            }
+            if epoch == 5 {
+                expect.push(counter_names::RECOVERY_BYTES);
+            }
+            expect.sort_unstable();
+            assert_eq!(counter_name_set(&sink), expect, "epoch {epoch}");
+            if epoch == 5 {
+                let rec: f64 = sink
+                    .counters()
+                    .iter()
+                    .filter(|ev| ev.name == counter_names::RECOVERY_BYTES)
+                    .map(|ev| ev.value)
+                    .sum();
+                assert_eq!(rec, r.recovery.recovery_bytes as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_mass_equals_phase_totals_mitigated() {
+        let (g, random, _) = setup(8);
+        let sink = TraceSink::enabled();
+        let engine = DistGnnEngine::builder(&g, &random)
+            .config(cfg(8, 64, 64, 3))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let plan = brownout_plan();
+        let mut session = engine.mitigation(MitigationPolicy::adaptive());
+        for epoch in 0..8 {
+            sink.clear();
+            let r = engine.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            assert_metrics_accounting(&sink, 8, &r.report.phases);
+        }
+    }
+
+    #[test]
+    fn migration_adoption_emits_pinned_counter() {
+        // Same compute-bound setup as
+        // `master_rebalance_migrates_off_persistent_straggler`, traced:
+        // an adopted migration must surface as a `migration_bytes`
+        // counter event matching the mitigation report.
+        let (g, random, _) = setup(8);
+        let sink = TraceSink::enabled();
+        let engine = DistGnnEngine::builder(&g, &random)
+            .config(cfg(8, 512, 512, 3))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let plan = FaultPlan {
+            events: vec![gp_cluster::FaultEvent::Slowdown {
+                machine: 2,
+                from_epoch: 1,
+                until_epoch: 10,
+                factor: 0.25,
+            }],
+            machines: 8,
+            epochs: 12,
+            recovery_budget_secs: f64::INFINITY,
+        };
+        let mut session = engine.mitigation(MitigationPolicy::adaptive());
+        let mut migrated = 0u64;
+        let mut migration_bytes = 0u64;
+        for epoch in 0..10 {
+            let r = engine.simulate_epoch_mitigated(epoch, &plan, &mut session).unwrap();
+            migrated += r.mitigation.masters_migrated;
+            migration_bytes += r.mitigation.migration_bytes;
+        }
+        assert!(migrated > 0, "test premise: the straggler triggers migration");
+        let events: Vec<f64> = sink
+            .counters()
+            .iter()
+            .filter(|ev| ev.name == counter_names::MIGRATION_BYTES)
+            .map(|ev| ev.value)
+            .collect();
+        assert!(!events.is_empty(), "adopted migrations must emit the counter");
+        assert_eq!(events.iter().sum::<f64>(), migration_bytes as f64);
+        // Mitigation path pins exactly the healthy set plus migration.
+        assert_eq!(
+            counter_name_set(&sink),
+            vec![
+                counter_names::BYTES_RECEIVED,
+                counter_names::BYTES_SENT,
+                counter_names::MIGRATION_BYTES
+            ]
+        );
     }
 
     #[test]

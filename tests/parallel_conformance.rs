@@ -216,6 +216,138 @@ fn trace_runs_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn diagnose_artifacts_are_byte_identical_across_thread_counts() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed_e = timed_edge_partitions(&g, 4, 1);
+    let timed_v = timed_vertex_partitions(&g, 4, 1, &split.train);
+    let gnn_config = DistGnnConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(4),
+    );
+    let mut dgl_config = DistDglConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(4),
+    );
+    dgl_config.global_batch_size = 256;
+
+    let (serial_e, timing) = diagnose_distgnn_runs(
+        &g, &timed_e, gnn_config, 2, None, MitigationPolicy::none(),
+        Threads::serial(),
+    )
+    .unwrap();
+    assert_eq!(timing.threads, 1, "serial oracle runs one worker");
+    let (serial_v, _) = diagnose_distdgl_runs(
+        &g, &split, &timed_v, dgl_config.clone(), 2, None, MitigationPolicy::none(),
+        Threads::serial(),
+    )
+    .unwrap();
+    // Every artifact the diagnose layer exports, as bytes.
+    let artifacts = |e: &[RunDiagnosis], v: &[RunDiagnosis]| -> Vec<String> {
+        vec![
+            diagnose_report("distgnn", e),
+            diagnose_report("distdgl", v),
+            diagnose_prometheus(e),
+            diagnose_prometheus(v),
+            skew_table("conformance_skew", e).to_csv(),
+            skew_table("conformance_skew", v).to_csv(),
+            summary_table("conformance_summary", e).to_csv(),
+            summary_table("conformance_summary", v).to_csv(),
+            bench_json(e),
+            bench_json(v),
+        ]
+    };
+    let oracle = artifacts(&serial_e, &serial_v);
+    for threads in THREAD_COUNTS {
+        let (par_e, _) = diagnose_distgnn_runs(
+            &g, &timed_e, gnn_config, 2, None, MitigationPolicy::none(),
+            Threads::new(threads),
+        )
+        .unwrap();
+        let (par_v, _) = diagnose_distdgl_runs(
+            &g, &split, &timed_v, dgl_config.clone(), 2, None, MitigationPolicy::none(),
+            Threads::new(threads),
+        )
+        .unwrap();
+        assert_eq!(artifacts(&par_e, &par_v), oracle, "threads = {threads}");
+    }
+    // Run-to-run stability at a fixed parallel width.
+    let (a_e, _) = diagnose_distgnn_runs(
+        &g, &timed_e, gnn_config, 2, None, MitigationPolicy::none(), Threads::new(4),
+    )
+    .unwrap();
+    let (a_v, _) = diagnose_distdgl_runs(
+        &g, &split, &timed_v, dgl_config, 2, None, MitigationPolicy::none(), Threads::new(4),
+    )
+    .unwrap();
+    assert_eq!(artifacts(&a_e, &a_v), oracle, "repeated 4-thread runs");
+}
+
+#[test]
+fn merged_metric_snapshots_are_associative_and_order_insensitive() {
+    use gnnpart::cluster::faults::DetRng;
+    use gnnpart::cluster::MetricsSnapshot;
+
+    let g = graph();
+    let timed = timed_edge_partitions(&g, 4, 1);
+    let config = DistGnnConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(4),
+    );
+    let (serial, _) = diagnose_distgnn_runs(
+        &g, &timed, config, 2, None, MitigationPolicy::none(), Threads::serial(),
+    )
+    .unwrap();
+    let oracle = merged_snapshot(&serial);
+    let mut rng = DetRng::new(0xd1a6);
+    for threads in [1usize, 2, 4, 8] {
+        let (runs, _) = diagnose_distgnn_runs(
+            &g, &timed, config, 2, None, MitigationPolicy::none(), Threads::new(threads),
+        )
+        .unwrap();
+        let snaps: Vec<MetricsSnapshot> =
+            runs.iter().map(|r| r.snapshot.clone()).collect();
+        // Order insensitivity: random permutations all merge to the oracle.
+        for _ in 0..5 {
+            let mut order: Vec<usize> = (0..snaps.len()).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.below(i as u64 + 1) as usize);
+            }
+            let mut merged = MetricsSnapshot::default();
+            for &i in &order {
+                merged.merge(&snaps[i]);
+            }
+            assert_eq!(merged, oracle, "threads = {threads}, order = {order:?}");
+        }
+        // Associativity: left fold == right fold == split-in-half.
+        let mut right = MetricsSnapshot::default();
+        for s in snaps.iter().rev() {
+            let mut acc = s.clone();
+            acc.merge(&right);
+            right = acc;
+        }
+        assert_eq!(right, oracle, "threads = {threads}: right fold");
+        let mid = snaps.len() / 2;
+        let mut left = MetricsSnapshot::default();
+        for s in &snaps[..mid] {
+            left.merge(s);
+        }
+        let mut tail = MetricsSnapshot::default();
+        for s in &snaps[mid..] {
+            tail.merge(s);
+        }
+        left.merge(&tail);
+        assert_eq!(left, oracle, "threads = {threads}: split grouping");
+        // Identity: merging the empty snapshot changes nothing.
+        let mut with_empty = oracle.clone();
+        with_empty.merge(&MetricsSnapshot::default());
+        assert_eq!(with_empty, oracle, "threads = {threads}: identity");
+        // The Prometheus rendering of equal snapshots is byte-equal.
+        assert_eq!(right.to_prometheus(), oracle.to_prometheus(), "threads = {threads}");
+    }
+}
+
+#[test]
 fn advisor_ranking_is_identical_across_thread_counts() {
     let g = graph();
     let serial = recommend_edge_partitioner(&g, 4, PaperParams::middle(), 100);
