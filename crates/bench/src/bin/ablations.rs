@@ -19,6 +19,13 @@
 //!   markdown run reports and `BENCH_diagnose.json` from the metrics
 //!   aggregation layer, exactness-cross-checked against the engine
 //!   reports (extension; the aggregates behind `gnnpart diagnose`).
+//! * `chaos` — elastic-membership soak per partitioner: seeded churn
+//!   (leaves + rejoins) and faults with periodic checkpoints through
+//!   both engines' `simulate_run_elastic`, the elastic contract
+//!   (bit-identical reruns, traced == untraced, never worse than
+//!   crash-only recovery, exact span sums) verified per row, plus
+//!   `BENCH_chaos.json` with the recovery-overhead and lost-progress
+//!   trajectory (extension; the soak behind `gnnpart chaos`).
 //!
 //! ```text
 //! cargo run -p gp-bench --release --bin ablations -- all
@@ -73,6 +80,7 @@ fn main() {
         "mitigation" => mitigation(&ctx, quick),
         "phases" => phases(&ctx, quick),
         "diagnose" => diagnose(&ctx, quick),
+        "chaos" => chaos(&ctx, quick),
         "all" => {
             hdrf_lambda(&ctx);
             hep_tau(&ctx);
@@ -86,12 +94,13 @@ fn main() {
             mitigation(&ctx, quick);
             phases(&ctx, quick);
             diagnose(&ctx, quick);
+            chaos(&ctx, quick);
         }
         other => {
             eprintln!(
                 "unknown ablation {other:?} \
                  (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|\
-                 mitigation|phases|diagnose|all) [--quick] [--threads N|auto]"
+                 mitigation|phases|diagnose|chaos|all) [--quick] [--threads N|auto]"
             );
             std::process::exit(2);
         }
@@ -508,6 +517,73 @@ fn diagnose(ctx: &Ctx, quick: bool) {
         all.push(r);
     }
     write_artifact(ctx, "BENCH_diagnose.json", &bench_json(&all));
+}
+
+/// Elastic-membership chaos soak: every partitioner of both rosters
+/// runs a multi-epoch schedule of seeded churn (leaves + rejoins) and
+/// faults with periodic checkpoints through `simulate_run_elastic`,
+/// and the elastic contract is checked per row — the rerun is
+/// bit-identical, the traced run equals the untraced one, the elastic
+/// run is never worse than the crash-without-handoff baseline, and
+/// per-worker span sums equal the engines' phase totals exactly
+/// (extension; the soak behind `gnnpart chaos`). A red invariant
+/// aborts the ablation. Emits per-engine CSVs plus `BENCH_chaos.json`
+/// with the recovery-overhead and lost-progress metrics per
+/// partitioner; all three artifacts are deterministic — bit-identical
+/// across `--threads` choices and repeated runs (no wall-clock
+/// fields).
+fn chaos(ctx: &Ctx, quick: bool) {
+    use gp_core::chaos::{
+        chaos_bench_json, chaos_table, distdgl_chaos_soak_threaded, distgnn_chaos_soak_threaded,
+    };
+    let (k, epochs, mtbf, every) = if quick { (8, 10, 4.0, 2) } else { (16, 40, 6.0, 4) };
+    let seed = 0xc4a05;
+    let graph = ctx.graph(DatasetId::OR);
+    let parts = ctx.edge_partitions(DatasetId::OR, k);
+    let gnn_rows = distgnn_chaos_soak_threaded(
+        &graph,
+        &parts,
+        PaperParams::middle(),
+        epochs,
+        mtbf,
+        every,
+        seed,
+        ctx.threads,
+    );
+    ctx.emit(&chaos_table("ablation_chaos_distgnn", &gnn_rows));
+
+    let split = ctx.split(DatasetId::OR);
+    let vparts = ctx.vertex_partitions(DatasetId::OR, k);
+    let dgl_rows = distdgl_chaos_soak_threaded(
+        &graph,
+        &split,
+        &vparts,
+        PaperParams::middle(),
+        ModelKind::Sage,
+        1024,
+        epochs,
+        mtbf,
+        every,
+        seed,
+        ctx.threads,
+    );
+    ctx.emit(&chaos_table("ablation_chaos_distdgl", &dgl_rows));
+
+    for r in gnn_rows.iter().chain(&dgl_rows) {
+        assert!(
+            r.holds(),
+            "{}: elastic contract violated (completed {}/{}, deterministic={}, \
+             trace_transparent={}, elastic_never_worse={}, spans_exact={})",
+            r.name,
+            r.completed_epochs,
+            r.epochs,
+            r.deterministic,
+            r.trace_transparent,
+            r.elastic_never_worse,
+            r.spans_exact,
+        );
+    }
+    write_artifact(ctx, "BENCH_chaos.json", &chaos_bench_json(&gnn_rows, &dgl_rows));
 }
 
 /// Write a non-CSV diagnose artifact (Prometheus text, markdown report,

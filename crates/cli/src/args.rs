@@ -48,9 +48,11 @@ COMMANDS:
                                     and report recovery overhead
         --mtbf N                    mean epochs between crashes
                                     (default 5, with --faults)
-        --epochs N                  fault-run horizon (default 10)
+        --epochs N                  fault-run horizon (default 10,
+                                    must be at least 1)
         --checkpoint-every N        DistGNN checkpoint period in epochs
-                                    (default 0 = no checkpoints)
+                                    (at least 1; omit the flag to run
+                                    without checkpoints)
         --fault-seed N              fault-schedule seed (default 42)
         --mitigate MODE             straggler mitigation, with --faults:
                                     none|steal|speculate|adaptive|all
@@ -74,6 +76,26 @@ COMMANDS:
                                     (default metrics.prom)
         --report-out FILE           markdown run-report output
                                     (default report.md)
+    chaos <edge-list>           elastic-membership soak: every
+                                partitioner of the chosen system runs
+                                a multi-epoch churn + fault +
+                                checkpoint schedule through the
+                                elastic engine path, and the elastic
+                                contract is verified per partitioner:
+                                bit-identical reruns, traced ==
+                                untraced, handoffs never worse than
+                                crash-only recovery, exact span sums.
+                                Exits non-zero if any invariant fails.
+                                (accepts every simulate option except
+                                --faults/--mitigate — faults are
+                                always on; --algo narrows the roster,
+                                --fault-seed seeds faults AND churn,
+                                --epochs defaults to 20 and
+                                --checkpoint-every to 4, plus:)
+        --threads N|auto            gp-exec pool width (default auto;
+                                    rows identical for every width)
+        --bench-out FILE            machine-readable JSON verdict
+        --csv-out FILE              per-partitioner CSV table
     list                        list the 12 partitioners
     help                        this text
 ";
@@ -93,6 +115,8 @@ pub enum Command {
     Trace(TraceCmd),
     /// `gnnpart diagnose`.
     Diagnose(DiagnoseCmd),
+    /// `gnnpart chaos`.
+    Chaos(ChaosCmd),
     /// `gnnpart recommend`.
     Recommend(RecommendCmd),
     /// `gnnpart list`.
@@ -200,6 +224,26 @@ pub struct DiagnoseCmd {
     pub report_out: PathBuf,
 }
 
+/// Options of `gnnpart chaos`: an elastic-membership soak over the
+/// partitioner roster, with the elastic contract (determinism, trace
+/// transparency, never-worse handoffs, exact span sums) checked per
+/// row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCmd {
+    /// The simulation environment (same options as `gnnpart simulate`).
+    /// `algo` narrows the roster (`"all"` soaks every partitioner of
+    /// the chosen system); `fault_seed` seeds both the fault and the
+    /// churn schedules; `faults` is always true.
+    pub sim: SimulateCmd,
+    /// `gp-exec` pool width for the per-partitioner cells (rows are
+    /// bit-identical for every width).
+    pub threads: Threads,
+    /// Optional machine-readable JSON verdict output path.
+    pub bench_out: Option<PathBuf>,
+    /// Optional per-partitioner CSV table output path.
+    pub csv_out: Option<PathBuf>,
+}
+
 /// Options of `gnnpart recommend`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecommendCmd {
@@ -273,6 +317,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "simulate" => parse_simulate(&mut opts),
         "trace" => parse_trace(&mut opts),
         "diagnose" => parse_diagnose(&mut opts),
+        "chaos" => parse_chaos(&mut opts),
         "recommend" => parse_recommend(&mut opts),
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -404,9 +449,20 @@ fn apply_simulate_flag(
                 return err("--mtbf must be positive");
             }
         }
-        "--epochs" => cmd.epochs = numeric(opts, "--epochs")? as u32,
+        "--epochs" => {
+            cmd.epochs = numeric(opts, "--epochs")? as u32;
+            if cmd.epochs == 0 {
+                return err("--epochs must be at least 1");
+            }
+        }
         "--checkpoint-every" => {
             cmd.checkpoint_every = numeric(opts, "--checkpoint-every")? as u32;
+            if cmd.checkpoint_every == 0 {
+                return err(
+                    "--checkpoint-every must be at least 1 \
+                     (omit the flag to run without checkpoints)",
+                );
+            }
         }
         "--fault-seed" => {
             cmd.fault_seed = opts
@@ -490,6 +546,50 @@ fn parse_diagnose(opts: &mut Opts) -> Result<Command, ParseError> {
         }
     }
     Ok(Command::Diagnose(cmd))
+}
+
+fn parse_chaos(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("chaos requires an edge-list path");
+    };
+    let mut sim = default_simulate(PathBuf::from(input));
+    // A soak without churn-and-crash pressure proves nothing: faults
+    // are always on, the horizon is longer than `simulate`'s, and
+    // checkpoints are mandatory (the restore path is under test).
+    sim.algo = "all".into();
+    sim.faults = true;
+    sim.epochs = 20;
+    sim.checkpoint_every = 4;
+    let mut cmd =
+        ChaosCmd { sim, threads: Threads::auto(), bench_out: None, csv_out: None };
+    while let Some(flag) = opts.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let value = opts.value_for("--threads")?;
+                cmd.threads = Threads::parse(&value).ok_or_else(|| {
+                    ParseError(format!(
+                        "--threads expects a count or \"auto\", got {value:?}"
+                    ))
+                })?;
+            }
+            "--bench-out" => {
+                cmd.bench_out = Some(PathBuf::from(opts.value_for("--bench-out")?));
+            }
+            "--csv-out" => cmd.csv_out = Some(PathBuf::from(opts.value_for("--csv-out")?)),
+            // Silently accepting these would suggest the soak can run
+            // fault-free or mitigated; it can't.
+            "--faults" => return err("chaos always injects faults; drop --faults"),
+            "--mitigate" => {
+                return err("chaos runs unmitigated; `gnnpart simulate` takes --mitigate");
+            }
+            other => {
+                if !apply_simulate_flag(&mut cmd.sim, other, opts)? {
+                    return err(format!("unknown option {other:?}"));
+                }
+            }
+        }
+    }
+    Ok(Command::Chaos(cmd))
 }
 
 fn parse_recommend(opts: &mut Opts) -> Result<Command, ParseError> {
@@ -654,6 +754,37 @@ mod tests {
     }
 
     #[test]
+    fn simulate_rejects_zero_epochs() {
+        // The validation lives in the shared flag handler, so every
+        // command that composes simulate options inherits it.
+        for cmd in ["simulate", "trace", "diagnose", "chaos"] {
+            assert!(parse(&[cmd, "g.el", "--epochs", "0"])
+                .unwrap_err()
+                .0
+                .contains("--epochs must be at least 1"));
+        }
+        assert!(parse(&["simulate", "g.el", "--epochs", "abc"])
+            .unwrap_err()
+            .0
+            .contains("bad --epochs"));
+    }
+
+    #[test]
+    fn simulate_rejects_zero_checkpoint_every() {
+        for cmd in ["simulate", "trace", "diagnose", "chaos"] {
+            assert!(parse(&[cmd, "g.el", "--checkpoint-every", "0"])
+                .unwrap_err()
+                .0
+                .contains("--checkpoint-every must be at least 1"));
+        }
+        // Omitting the flag still means "no checkpoints" for simulate.
+        let Command::Simulate(c) = parse(&["simulate", "g.el"]).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.checkpoint_every, 0);
+    }
+
+    #[test]
     fn trace_defaults() {
         let Command::Trace(c) = parse(&["trace", "g.el"]).unwrap() else {
             panic!("wrong command");
@@ -724,6 +855,67 @@ mod tests {
         assert!(parse(&["diagnose", "g.el", "--bogus"]).unwrap_err().0.contains("unknown option"));
         assert!(parse(&["diagnose"]).unwrap_err().0.contains("edge-list path"));
         assert!(parse(&["diagnose", "g.el", "--prom-out"])
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
+    }
+
+    #[test]
+    fn chaos_defaults() {
+        let Command::Chaos(c) = parse(&["chaos", "g.el"]).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.sim.algo, "all", "whole roster by default");
+        assert!(c.sim.faults, "faults always on");
+        assert_eq!(c.sim.epochs, 20);
+        assert_eq!(c.sim.checkpoint_every, 4, "checkpoints mandatory");
+        assert_eq!(c.sim.system, "distgnn");
+        assert_eq!(c.sim.fault_seed, 42);
+        assert_eq!(c.threads, Threads::auto());
+        assert_eq!(c.bench_out, None);
+        assert_eq!(c.csv_out, None);
+    }
+
+    #[test]
+    fn chaos_composes_simulate_and_chaos_flags() {
+        let Command::Chaos(c) = parse(&[
+            "chaos", "g.el", "--system", "distdgl", "--algo", "METIS", "-k", "6",
+            "--epochs", "12", "--checkpoint-every", "3", "--mtbf", "2.5",
+            "--fault-seed", "7", "--threads", "2", "--bench-out", "b.json",
+            "--csv-out", "c.csv",
+        ])
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.sim.system, "distdgl");
+        assert_eq!(c.sim.algo, "METIS");
+        assert_eq!(c.sim.k, 6);
+        assert_eq!(c.sim.epochs, 12);
+        assert_eq!(c.sim.checkpoint_every, 3);
+        assert_eq!(c.sim.mtbf, 2.5);
+        assert_eq!(c.sim.fault_seed, 7);
+        assert_eq!(c.threads, Threads::new(2));
+        assert_eq!(c.bench_out, Some(PathBuf::from("b.json")));
+        assert_eq!(c.csv_out, Some(PathBuf::from("c.csv")));
+    }
+
+    #[test]
+    fn chaos_rejects_fault_toggles_and_unknowns() {
+        assert!(parse(&["chaos"]).unwrap_err().0.contains("edge-list path"));
+        assert!(parse(&["chaos", "g.el", "--faults"])
+            .unwrap_err()
+            .0
+            .contains("always injects faults"));
+        assert!(parse(&["chaos", "g.el", "--mitigate", "all"])
+            .unwrap_err()
+            .0
+            .contains("runs unmitigated"));
+        assert!(parse(&["chaos", "g.el", "--bogus"]).unwrap_err().0.contains("unknown option"));
+        assert!(parse(&["chaos", "g.el", "--threads", "many"])
+            .unwrap_err()
+            .0
+            .contains("--threads expects"));
+        assert!(parse(&["chaos", "g.el", "--bench-out"])
             .unwrap_err()
             .0
             .contains("requires a value"));

@@ -15,7 +15,8 @@ use gp_graph::{edgelist, DatasetId, DegreeStats, Graph, VertexSplit};
 use gp_tensor::{ModelConfig, ModelKind};
 
 use crate::args::{
-    DiagnoseCmd, GenerateCmd, PartitionCmd, RecommendCmd, SimulateCmd, StatsCmd, TraceCmd,
+    ChaosCmd, DiagnoseCmd, GenerateCmd, PartitionCmd, RecommendCmd, SimulateCmd, StatsCmd,
+    TraceCmd,
 };
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -470,6 +471,144 @@ pub fn diagnose(cmd: &DiagnoseCmd) -> CmdResult {
     Ok(())
 }
 
+/// `gnnpart chaos`.
+///
+/// Elastic-membership soak: every partitioner of the chosen system
+/// (or the single `--algo`) runs `--epochs` epochs of seeded churn,
+/// crashes and periodic checkpoints through the engines'
+/// `simulate_run_elastic` path, and the elastic contract is verified
+/// per row — the rerun is bit-identical, the traced run equals the
+/// untraced one, the elastic run is never worse than the
+/// crash-without-handoff baseline, and per-worker span sums equal the
+/// engine's phase totals exactly (f64 `==`). Any red invariant makes
+/// the command return an error (exit 1), so a CI step can gate on it
+/// directly.
+pub fn chaos(cmd: &ChaosCmd) -> CmdResult {
+    use gp_core::chaos::{
+        chaos_bench_json, chaos_table, distdgl_chaos_soak_threaded, distgnn_chaos_soak_threaded,
+    };
+    use gp_core::config::PaperParams;
+    use gp_core::experiment::{
+        timed_edge_partitions_threaded, timed_vertex_partitions_threaded,
+    };
+    let sim = &cmd.sim;
+    let graph = load(&sim.input, sim.directed)?;
+    let kind = ModelKind::parse(&sim.model)
+        .ok_or_else(|| format!("unknown model {:?} (sage|gcn|gat)", sim.model))?;
+    let params = PaperParams {
+        feature_size: sim.features,
+        hidden_dim: sim.hidden,
+        num_layers: sim.layers,
+    };
+    let rows = match sim.system.as_str() {
+        "distgnn" => {
+            let mut timed = timed_edge_partitions_threaded(&graph, sim.k, 42, cmd.threads);
+            if sim.algo != "all" {
+                timed.retain(|t| t.name == sim.algo);
+                if timed.is_empty() {
+                    return Err(format!("{:?} is not an edge partitioner", sim.algo).into());
+                }
+            }
+            println!(
+                "chaos: DistGNN, {} machines, {} partitioner(s), {} epochs \
+                 (mtbf {}, checkpoint every {}, seed {})",
+                sim.k,
+                timed.len(),
+                sim.epochs,
+                sim.mtbf,
+                sim.checkpoint_every,
+                sim.fault_seed
+            );
+            distgnn_chaos_soak_threaded(
+                &graph,
+                &timed,
+                params,
+                sim.epochs,
+                sim.mtbf,
+                sim.checkpoint_every,
+                sim.fault_seed,
+                cmd.threads,
+            )
+        }
+        "distdgl" => {
+            let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
+            let mut timed =
+                timed_vertex_partitions_threaded(&graph, sim.k, 42, &split.train, cmd.threads);
+            if sim.algo != "all" {
+                timed.retain(|t| t.name == sim.algo);
+                if timed.is_empty() {
+                    return Err(format!("{:?} is not a vertex partitioner", sim.algo).into());
+                }
+            }
+            println!(
+                "chaos: DistDGL, {} machines, {} partitioner(s), {} epochs \
+                 (mtbf {}, checkpoint every {}, seed {})",
+                sim.k,
+                timed.len(),
+                sim.epochs,
+                sim.mtbf,
+                sim.checkpoint_every,
+                sim.fault_seed
+            );
+            distdgl_chaos_soak_threaded(
+                &graph,
+                &split,
+                &timed,
+                params,
+                kind,
+                1024,
+                sim.epochs,
+                sim.mtbf,
+                sim.checkpoint_every,
+                sim.fault_seed,
+                cmd.threads,
+            )
+        }
+        other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
+    };
+    let table = chaos_table(&format!("chaos_{}", sim.system), &rows);
+    print!("{}", table.to_markdown());
+    for r in rows.iter().filter(|r| !r.holds()) {
+        println!(
+            "FAIL {}: completed {}/{}, deterministic={}, trace_transparent={}, \
+             elastic_never_worse={}, spans_exact={}",
+            r.name,
+            r.completed_epochs,
+            r.epochs,
+            r.deterministic,
+            r.trace_transparent,
+            r.elastic_never_worse,
+            r.spans_exact
+        );
+    }
+    if let Some(csv) = &cmd.csv_out {
+        std::fs::write(csv, table.to_csv())?;
+        println!("chaos CSV  -> {}", csv.display());
+    }
+    if let Some(bench) = &cmd.bench_out {
+        let json = match sim.system.as_str() {
+            "distgnn" => chaos_bench_json(&rows, &[]),
+            _ => chaos_bench_json(&[], &rows),
+        };
+        std::fs::write(bench, json)?;
+        println!("chaos JSON -> {}", bench.display());
+    }
+    let failed = rows.iter().filter(|r| !r.holds()).count();
+    if failed > 0 {
+        return Err(format!(
+            "{failed} of {} chaos rows violated the elastic contract",
+            rows.len()
+        )
+        .into());
+    }
+    println!(
+        "all {} rows green: bit-identical reruns, exact span sums, \
+         elastic never worse than crash-only recovery",
+        rows.len()
+    );
+    Ok(())
+}
+
 fn fault_plan(cmd: &SimulateCmd) -> FaultPlan {
     FaultPlan::generate(&FaultSpec::standard(cmd.k, cmd.epochs, cmd.mtbf, cmd.fault_seed))
 }
@@ -793,6 +932,84 @@ mod tests {
         for f in [el, prom, report, prom2, report2] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn chaos_single_partitioner_writes_artifacts_and_holds() {
+        let el = tmp("c.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        let bench = tmp("c.json");
+        let csv = tmp("c.csv");
+        let mut sim = sim_cmd(&el, "HDRF", "distgnn", "sage");
+        sim.faults = true;
+        sim.epochs = 8;
+        sim.mtbf = 4.0;
+        sim.checkpoint_every = 2;
+        let cmd = ChaosCmd {
+            sim,
+            threads: gp_exec::Threads::new(2),
+            bench_out: Some(bench.clone()),
+            csv_out: Some(csv.clone()),
+        };
+        chaos(&cmd).unwrap();
+        let json = std::fs::read_to_string(&bench).unwrap();
+        crate::jsonlint::validate_json(&json).expect("well-formed chaos JSON");
+        assert!(json.contains("\"bench\":\"chaos\""));
+        assert!(json.contains("\"invariants_hold\":true"));
+        assert!(!json.contains("\"invariants_hold\":false"));
+        let rows = std::fs::read_to_string(&csv).unwrap();
+        assert!(rows.starts_with("partitioner,"));
+        assert_eq!(rows.lines().count(), 2, "header + the one HDRF row");
+        assert!(rows.contains("HDRF"));
+        // Repeated soaks produce identical artifacts (only the bench
+        // JSON is compared: the CSV carries no wall-clock fields either,
+        // but the JSON is the committed trajectory format).
+        chaos(&cmd).unwrap();
+        assert_eq!(std::fs::read_to_string(&bench).unwrap(), json, "soak deterministic");
+        for f in [el, bench, csv] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn chaos_distdgl_and_wrong_algo_kind() {
+        let el = tmp("cd.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        let mut sim = sim_cmd(&el, "METIS", "distdgl", "sage");
+        sim.faults = true;
+        sim.epochs = 6;
+        sim.mtbf = 3.0;
+        sim.checkpoint_every = 2;
+        chaos(&ChaosCmd {
+            sim,
+            threads: gp_exec::Threads::new(2),
+            bench_out: None,
+            csv_out: None,
+        })
+        .unwrap();
+        // HDRF is an edge partitioner; the distdgl roster has no such row.
+        let mut sim = sim_cmd(&el, "HDRF", "distdgl", "sage");
+        sim.faults = true;
+        sim.epochs = 4;
+        sim.checkpoint_every = 2;
+        let r = chaos(&ChaosCmd {
+            sim,
+            threads: gp_exec::Threads::new(1),
+            bench_out: None,
+            csv_out: None,
+        });
+        assert!(r.unwrap_err().to_string().contains("not a vertex partitioner"));
+        let _ = std::fs::remove_file(el);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! gnnpart simulate or.el --algo METIS -k 8 --system distdgl
 //! gnnpart trace or.el --algo HDRF -k 8 --trace-out trace.json
 //! gnnpart diagnose or.el --algo HDRF -k 8 --prom-out m.prom --report-out r.md
+//! gnnpart chaos or.el -k 8 --epochs 20                 # elastic-membership soak
 //! gnnpart recommend or.el -k 8 --epochs 200               # best partitioner
 //! gnnpart list                                         # available partitioners
 //! ```
@@ -31,6 +32,7 @@ pub fn run(command: Command) -> i32 {
         Command::Simulate(c) => commands::simulate(c),
         Command::Trace(c) => commands::trace(&c),
         Command::Diagnose(c) => commands::diagnose(&c),
+        Command::Chaos(c) => commands::chaos(&c),
         Command::Recommend(c) => commands::recommend(c),
         Command::List => {
             commands::list();

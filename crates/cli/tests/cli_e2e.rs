@@ -21,7 +21,11 @@ fn stderr(o: &Output) -> String {
 }
 
 fn workdir() -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("gnnpart_e2e_{}", std::process::id()));
+    // Unique per call: tests run concurrently and some remove their
+    // directory when done, so sharing one pid-keyed directory races.
+    static NEXT: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gnnpart_e2e_{}_{n}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
     dir
 }
@@ -31,7 +35,10 @@ fn help_lists_all_commands() {
     let out = gnnpart(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["generate", "stats", "partition", "simulate", "trace", "recommend", "list"] {
+    for cmd in
+        ["generate", "stats", "partition", "simulate", "trace", "diagnose", "chaos",
+         "recommend", "list"]
+    {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -128,6 +135,38 @@ fn trace_emits_wellformed_chrome_json() {
     for f in [el, json, csv, json2] {
         let _ = std::fs::remove_file(f);
     }
+}
+
+#[test]
+fn chaos_soak_holds_and_rejects_degenerate_flags() {
+    let dir = workdir();
+    let el = dir.join("chaos.el");
+    let el_str = el.to_str().expect("utf8 path");
+    let out = gnnpart(&["generate", "OR", "--scale", "tiny", "--out", el_str]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    let bench = dir.join("chaos.json");
+    let out = gnnpart(&[
+        "chaos", el_str, "--algo", "HDRF", "-k", "4", "--epochs", "6", "--mtbf", "4.0",
+        "--checkpoint-every", "2", "--threads", "2", "--bench-out",
+        bench.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "chaos failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("rows green"), "verdict line missing: {text}");
+    let json = std::fs::read_to_string(&bench).expect("bench written");
+    gp_cli::jsonlint::validate_json(&json).expect("well-formed chaos JSON");
+    assert!(json.contains("\"invariants_hold\":true"));
+
+    // Degenerate soak parameters are usage errors (exit 2), not runs.
+    let out = gnnpart(&["chaos", el_str, "--epochs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--epochs must be at least 1"));
+    let out = gnnpart(&["chaos", el_str, "--checkpoint-every", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--checkpoint-every must be at least 1"));
+
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]

@@ -430,14 +430,28 @@ pub fn expected_retries(messages: u64, loss_rate: f64) -> u64 {
     (messages as f64 * p / (1.0 - p)).ceil() as u64
 }
 
+/// Ceiling of the total backoff wait charged to one exchange, in
+/// simulated seconds. Without a cap the linear-in-retries model grows
+/// unbounded for pathological loss rates / message counts; real RPC
+/// stacks clamp the ladder at a maximum cumulative wait and fail over.
+/// 30 s is far above anything a sane exchange accrues (at the paper's
+/// 50 µs latency the cap only binds beyond 200 000 retries), so every
+/// previously published number is unchanged.
+pub const MAX_RETRY_BACKOFF_SECS: f64 = 30.0;
+
 /// Wall-time overhead of `retries` retransmissions with timeout-based
 /// detection and exponential backoff: each retry waits out one RPC
 /// timeout (modelled as 2× the network latency) plus the resend latency,
 /// i.e. `3 × latency` per retry. Retries across a batched exchange
 /// overlap, so the model charges the per-retry cost once, not the full
-/// backoff ladder.
+/// backoff ladder — clamped at [`MAX_RETRY_BACKOFF_SECS`].
 pub fn retry_backoff_secs(retries: u64, latency_sec: f64) -> f64 {
-    retries as f64 * 3.0 * latency_sec
+    retry_backoff_secs_capped(retries, latency_sec, MAX_RETRY_BACKOFF_SECS)
+}
+
+/// [`retry_backoff_secs`] with a caller-chosen cap (clamped to it).
+pub fn retry_backoff_secs_capped(retries: u64, latency_sec: f64, max_secs: f64) -> f64 {
+    (retries as f64 * 3.0 * latency_sec).min(max_secs)
 }
 
 /// What a fault-injected run cost beyond the healthy baseline.
@@ -498,6 +512,34 @@ impl RecoveryReport {
         self.lost_progress_epochs += other.lost_progress_epochs;
         self.redistributed_train_vertices += other.redistributed_train_vertices;
         self.corrupted_checkpoints += other.corrupted_checkpoints;
+    }
+
+    /// Merge many reports into one canonical aggregate. Integer fields
+    /// sum exactly under any grouping; the `f64` fields go through
+    /// [`crate::metrics::fold_exact`], so the result is bit-identical
+    /// for every permutation and association of `reports` — the same
+    /// canonical-form trick [`crate::MetricsSnapshot::merge`] uses.
+    pub fn merge_all(reports: &[RecoveryReport]) -> RecoveryReport {
+        let field = |f: fn(&RecoveryReport) -> f64| {
+            crate::metrics::fold_exact(&reports.iter().map(f).collect::<Vec<f64>>())
+        };
+        let mut out = RecoveryReport::default();
+        for r in reports {
+            out.crashes += r.crashes;
+            out.retries += r.retries;
+            out.retry_bytes += r.retry_bytes;
+            out.reexecuted_steps += r.reexecuted_steps;
+            out.checkpoints += r.checkpoints;
+            out.recovery_bytes += r.recovery_bytes;
+            out.redistributed_train_vertices += r.redistributed_train_vertices;
+            out.corrupted_checkpoints += r.corrupted_checkpoints;
+        }
+        out.retry_seconds = field(|r| r.retry_seconds);
+        out.reexecution_seconds = field(|r| r.reexecution_seconds);
+        out.checkpoint_seconds = field(|r| r.checkpoint_seconds);
+        out.restore_seconds = field(|r| r.restore_seconds);
+        out.lost_progress_epochs = field(|r| r.lost_progress_epochs);
+        out
     }
 }
 
@@ -688,5 +730,146 @@ mod tests {
             assert!((0.0..1.0).contains(&f));
             assert!(c.below(10) < 10);
         }
+    }
+
+    #[test]
+    fn backoff_is_capped_for_large_retry_counts() {
+        // Regression: before the clamp, 10^12 retries at 50 µs latency
+        // charged 1.5e8 simulated seconds (~5 simulated years) to one
+        // exchange.
+        let latency = 50e-6;
+        assert_eq!(retry_backoff_secs(1_000_000_000_000, latency), MAX_RETRY_BACKOFF_SECS);
+        assert_eq!(retry_backoff_secs(u64::MAX, latency), MAX_RETRY_BACKOFF_SECS);
+        // The clamp never binds in the regime published results live in.
+        let uncapped = 10.0 * 3.0 * latency;
+        assert_eq!(retry_backoff_secs(10, latency), uncapped);
+        // Exactly at the knee the two sides agree.
+        let knee = (MAX_RETRY_BACKOFF_SECS / (3.0 * latency)) as u64;
+        assert!(retry_backoff_secs(knee, latency) <= MAX_RETRY_BACKOFF_SECS);
+        assert_eq!(retry_backoff_secs(knee + 1, latency), MAX_RETRY_BACKOFF_SECS);
+        // Custom caps are honoured.
+        assert_eq!(retry_backoff_secs_capped(1_000_000, latency, 1.0), 1.0);
+    }
+
+    /// Deterministic, irregular-valued reports for merge-property tests
+    /// (f64 values that actually expose rounding-order sensitivity).
+    fn arbitrary_reports(n: usize, seed: u64) -> Vec<RecoveryReport> {
+        let mut rng = DetRng::new(seed);
+        (0..n)
+            .map(|_| RecoveryReport {
+                crashes: rng.below(5) as u32,
+                retries: rng.below(1000),
+                retry_bytes: rng.below(1 << 30),
+                retry_seconds: rng.next_f64() * 13.7,
+                reexecuted_steps: rng.below(40),
+                reexecution_seconds: rng.next_f64() * 101.3,
+                checkpoints: rng.below(10),
+                checkpoint_seconds: rng.next_f64() * 3.1,
+                restore_seconds: rng.next_f64() * 7.9,
+                recovery_bytes: rng.below(1 << 32),
+                lost_progress_epochs: rng.next_f64() * 5.0,
+                redistributed_train_vertices: rng.below(10_000),
+                corrupted_checkpoints: rng.below(3),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_is_commutative_bit_exactly() {
+        let reports = arbitrary_reports(2, 0x517e);
+        let mut ab = reports[0];
+        ab.merge(&reports[1]);
+        let mut ba = reports[1];
+        ba.merge(&reports[0]);
+        assert_eq!(ab, ba, "f64 addition commutes, so pairwise merge must too");
+    }
+
+    #[test]
+    fn merge_identity_is_the_default_report() {
+        let reports = arbitrary_reports(1, 0x1d);
+        let mut merged = reports[0];
+        merged.merge(&RecoveryReport::default());
+        assert_eq!(merged, reports[0]);
+        assert_eq!(RecoveryReport::merge_all(&[]), RecoveryReport::default());
+        assert_eq!(RecoveryReport::merge_all(&reports), reports[0]);
+    }
+
+    #[test]
+    fn merge_all_is_order_insensitive_bit_exactly() {
+        let reports = arbitrary_reports(9, 0xacc);
+        let oracle = RecoveryReport::merge_all(&reports);
+        let mut rng = DetRng::new(0x0dd);
+        let mut perm = reports.clone();
+        for _ in 0..20 {
+            // Fisher–Yates on the report list itself.
+            for i in (1..perm.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                perm.swap(i, j);
+            }
+            assert_eq!(RecoveryReport::merge_all(&perm), oracle);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        // Pairwise merge under every split of an 8-report sequence:
+        // (r0..ri) merged with (ri..r8) must agree with the left fold.
+        // Integer fields are exact under any grouping; the f64 fields
+        // are compared at a tight relative tolerance (FP addition is
+        // not bit-associative — `merge_all` is the canonical form when
+        // grouping-independent bit equality is required, exactly like
+        // MetricsSnapshot's sorted `sum_parts`).
+        let reports = arbitrary_reports(8, 0xa550);
+        let mut left_fold = RecoveryReport::default();
+        for r in &reports {
+            left_fold.merge(r);
+        }
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0);
+        for split in 1..reports.len() {
+            let mut left = RecoveryReport::default();
+            for r in &reports[..split] {
+                left.merge(r);
+            }
+            let mut right = RecoveryReport::default();
+            for r in &reports[split..] {
+                right.merge(r);
+            }
+            left.merge(&right);
+            assert_eq!(left.crashes, left_fold.crashes, "split at {split}");
+            assert_eq!(left.retries, left_fold.retries, "split at {split}");
+            assert_eq!(left.retry_bytes, left_fold.retry_bytes, "split at {split}");
+            assert_eq!(left.reexecuted_steps, left_fold.reexecuted_steps, "split at {split}");
+            assert_eq!(left.checkpoints, left_fold.checkpoints, "split at {split}");
+            assert_eq!(left.recovery_bytes, left_fold.recovery_bytes, "split at {split}");
+            assert_eq!(
+                left.redistributed_train_vertices,
+                left_fold.redistributed_train_vertices,
+                "split at {split}"
+            );
+            assert_eq!(
+                left.corrupted_checkpoints, left_fold.corrupted_checkpoints,
+                "split at {split}"
+            );
+            assert!(close(left.retry_seconds, left_fold.retry_seconds), "split at {split}");
+            assert!(
+                close(left.reexecution_seconds, left_fold.reexecution_seconds),
+                "split at {split}"
+            );
+            assert!(
+                close(left.checkpoint_seconds, left_fold.checkpoint_seconds),
+                "split at {split}"
+            );
+            assert!(close(left.restore_seconds, left_fold.restore_seconds), "split at {split}");
+            assert!(
+                close(left.lost_progress_epochs, left_fold.lost_progress_epochs),
+                "split at {split}"
+            );
+        }
+        // And merge_all agrees with the left fold at the same tolerance
+        // (exactly on the integer fields).
+        let canonical = RecoveryReport::merge_all(&reports);
+        assert_eq!(canonical.crashes, left_fold.crashes);
+        assert_eq!(canonical.retries, left_fold.retries);
+        assert!(close(canonical.total_overhead_seconds(), left_fold.total_overhead_seconds()));
     }
 }

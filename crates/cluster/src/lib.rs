@@ -31,24 +31,41 @@
 //! histograms and mergeable per-worker/per-phase snapshots with derived
 //! skew statistics and a Prometheus text exporter — the substrate of
 //! the `gnnpart diagnose` run-diagnosis layer.
+//!
+//! [`membership`] and [`checkpoint`] extend the fault model across
+//! epochs: seeded leave/join/rejoin schedules ([`ChurnPlan`]) over a
+//! fixed-slot [`Fleet`], and a crash-consistent snapshot store whose
+//! restores are checksum-validated against the fault plan's corruption
+//! schedule — the substrate of the engines' `simulate_run_elastic`
+//! paths and the `gnnpart chaos` soak harness.
 
+pub mod checkpoint;
 pub mod counters;
 pub mod detect;
 pub mod faults;
+pub mod membership;
 pub mod metrics;
 pub mod outcome;
 pub mod spec;
 pub mod time;
 pub mod trace;
 
+pub use checkpoint::{
+    CheckpointConfig, CheckpointStore, RestoreOutcome, SnapshotMeta, WriteOutcome,
+    DEFAULT_CHECKPOINT_BW,
+};
 pub use counters::{max_mean_ratio, ClusterCounters, MachineCounters};
+pub use membership::{
+    ChurnEvent, ChurnPlan, ChurnSpec, ElasticOptions, ElasticRunReport, Fleet,
+};
 pub use metrics::{
     fold_exact, CounterStat, MetricsRegistry, MetricsSnapshot, PhaseStat, StragglerAttribution,
     AGGREGATE_WORKER, DURATION_BUCKETS,
 };
 pub use detect::{DetectorConfig, MitigationPolicy, MitigationReport, StragglerDetector};
 pub use faults::{
-    expected_retries, retry_backoff_secs, FaultEvent, FaultPlan, FaultSpec, RecoveryReport,
+    expected_retries, retry_backoff_secs, retry_backoff_secs_capped, FaultEvent, FaultPlan,
+    FaultSpec, RecoveryReport, MAX_RETRY_BACKOFF_SECS,
 };
 pub use outcome::EpochOutcome;
 pub use spec::{ClusterSpec, MachineSpec, NetworkSpec, SpecError};

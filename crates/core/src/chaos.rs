@@ -1,0 +1,660 @@
+//! Chaos soak harness: elastic membership + faults + checkpoints.
+//!
+//! Extends the robustness axis of [`crate::fault_sweep`] to full
+//! cluster churn: every partitioner runs a multi-epoch soak through its
+//! engine's `simulate_run_elastic` path under a seeded [`ChurnPlan`]
+//! (leaves, rejoins) *and* a seeded [`FaultPlan`] (crashes, stragglers,
+//! brownouts, checkpoint corruption), with a crash-consistent
+//! [`CheckpointConfig`] snapshot policy. Each cell also *checks* the
+//! elastic contract and records the verdicts in its row:
+//!
+//! 1. **Deterministic** — the same seeds give a bit-identical
+//!    [`ElasticRunReport`] on a rerun.
+//! 2. **Trace-transparent** — attaching an enabled [`TraceSink`]
+//!    changes no `f64` of the report.
+//! 3. **Never worse** — the full elastic run (graceful handoffs,
+//!    migrate-then-commit rebalances) costs at most the
+//!    crash-without-handoff baseline ([`ElasticOptions::no_handoff`]).
+//! 4. **Spans exact** — every worker's recorded per-phase span sums
+//!    reproduce the phase totals of exactly the epochs it was live for
+//!    ([`fold_exact`], no tolerance).
+//!
+//! A row whose run errors out (fleet drained, recovery budget) reports
+//! zero completed epochs and fails [`ChaosRow::holds`]; the harness
+//! never panics on a survivable schedule.
+
+use gp_cluster::{
+    fold_exact, CheckpointConfig, ChurnPlan, ChurnSpec, ClusterSpec, ElasticOptions,
+    ElasticRunReport, FaultPlan, FaultSpec, MetricsSnapshot, TracePhase, TraceSink,
+};
+use gp_distdgl::{DistDglConfig, DistDglEngine};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_exec::{par_map, Threads};
+use gp_graph::{Graph, VertexSplit};
+use gp_tensor::ModelKind;
+
+use crate::config::PaperParams;
+use crate::experiment::{TimedEdgePartition, TimedVertexPartition};
+use crate::report::Table;
+
+/// Phase order of the DistGNN engine's `phase_breakdown`.
+const DISTGNN_PHASES: [TracePhase; 4] =
+    [TracePhase::Forward, TracePhase::Backward, TracePhase::Sync, TracePhase::Optimizer];
+
+/// Phase order of the DistDGL engine's `phase_breakdown`.
+const DISTDGL_PHASES: [TracePhase; 5] = [
+    TracePhase::Sampling,
+    TracePhase::FeatureLoad,
+    TracePhase::Forward,
+    TracePhase::Backward,
+    TracePhase::Update,
+];
+
+/// A churn environment tuned for soaks: roughly one leave per worker
+/// every ~12 epochs and quick rejoins, so even a short smoke run
+/// exercises leaves, joins, handoffs and rebalances. The `min_live`
+/// floor of [`ChurnSpec::standard`] (half the fleet, rounded up) is
+/// kept, so the schedule alone can never drain the cluster.
+pub fn chaos_churn_spec(machines: u32, epochs: u32, seed: u64) -> ChurnSpec {
+    ChurnSpec { leave_prob: 0.08, rejoin_prob: 0.3, ..ChurnSpec::standard(machines, epochs, seed) }
+}
+
+/// One partitioner's soak outcome plus its invariant verdicts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ChaosRow {
+    /// Partitioner name.
+    pub name: String,
+    /// Requested soak horizon in epochs.
+    pub epochs: u32,
+    /// Epochs the elastic run completed (equals `epochs` unless the
+    /// engine reported an unrecoverable failure).
+    pub completed_epochs: u32,
+    /// Scheduled leaves applied.
+    pub leaves: u32,
+    /// Scheduled joins admitted.
+    pub joins: u32,
+    /// Graceful leave handoffs performed.
+    pub handoffs: u32,
+    /// Join rebalances committed under migrate-then-commit.
+    pub rebalances: u32,
+    /// Join rebalances deferred (migration would not pay this epoch).
+    pub rejected_rebalances: u32,
+    /// Crashes repaired during the soak (fault plan).
+    pub crashes: u32,
+    /// Loss-induced message retries.
+    pub retries: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Snapshot shards that failed checksum validation on restore.
+    pub corrupted_checkpoints: u64,
+    /// Healthy baseline: no-churn, no-fault seconds over the completed
+    /// epochs.
+    pub healthy_secs: f64,
+    /// Total simulated seconds of the full elastic run (epochs +
+    /// recovery + handoffs).
+    pub elastic_secs: f64,
+    /// Total simulated seconds of the crash-without-handoff baseline;
+    /// `-1.0` when the baseline itself failed to complete (the elastic
+    /// run then wins by definition).
+    pub baseline_secs: f64,
+    /// Recovery overhead inside `elastic_secs` (retries, re-execution,
+    /// checkpoints, restores).
+    pub recovery_overhead_secs: f64,
+    /// Handoff/rebalance migration seconds inside `elastic_secs`.
+    pub handoff_secs: f64,
+    /// Bytes moved only because of recovery.
+    pub recovery_bytes: u64,
+    /// Bytes streamed by handoffs and committed rebalances.
+    pub handoff_bytes: u64,
+    /// Epochs of training progress lost to crashes.
+    pub lost_progress_epochs: f64,
+    /// Invariant 1: rerun with the same seeds is bit-identical.
+    pub deterministic: bool,
+    /// Invariant 2: an enabled trace sink changes nothing.
+    pub trace_transparent: bool,
+    /// Invariant 3: elastic run ≤ crash-without-handoff baseline.
+    pub elastic_never_worse: bool,
+    /// Invariant 4: every worker's span sums reproduce the phase
+    /// totals of exactly its live epochs.
+    pub spans_exact: bool,
+}
+
+impl ChaosRow {
+    /// Whether the soak completed and every invariant held.
+    pub fn holds(&self) -> bool {
+        self.completed_epochs == self.epochs
+            && self.deterministic
+            && self.trace_transparent
+            && self.elastic_never_worse
+            && self.spans_exact
+    }
+
+    /// Wall-time inflation of the elastic run over the healthy
+    /// baseline.
+    pub fn slowdown(&self) -> f64 {
+        if self.healthy_secs <= 0.0 {
+            return 1.0;
+        }
+        self.elastic_secs / self.healthy_secs
+    }
+
+    /// Percentage of the crash-baseline wall time saved by elasticity
+    /// (0 when the baseline is unavailable).
+    pub fn elastic_saving_pct(&self) -> f64 {
+        if self.baseline_secs <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.baseline_secs - self.elastic_secs) / self.baseline_secs
+    }
+
+    /// The row of a run that errored out before completing.
+    fn failed(name: String, epochs: u32) -> ChaosRow {
+        ChaosRow { name, epochs, ..ChaosRow::default() }
+    }
+}
+
+/// Fold the four run variants (plain, rerun, baseline, traced) and the
+/// recorded spans into one verdict-carrying row.
+#[allow(clippy::too_many_arguments)]
+fn assemble_row(
+    name: String,
+    k: u32,
+    epochs: u32,
+    phases: &[TracePhase],
+    healthy_secs: f64,
+    elastic: &ElasticRunReport,
+    again: &ElasticRunReport,
+    baseline: Option<&ElasticRunReport>,
+    traced: &ElasticRunReport,
+    sink: &TraceSink,
+) -> ChaosRow {
+    let deterministic = elastic == again;
+    let trace_transparent = traced == elastic;
+    let (baseline_secs, elastic_never_worse) = match baseline {
+        Some(b) => (b.total_seconds(), elastic.total_seconds() <= b.total_seconds() + 1e-9),
+        // The rigid baseline died mid-soak; surviving at all wins.
+        None => (-1.0, true),
+    };
+    let snap = MetricsSnapshot::from_sink(sink);
+    // Every worker, not only the never-churned: a worker's recorded
+    // span sum must reproduce the phase totals of exactly the epochs it
+    // was live for. (On a long soak the whole fleet churns at least
+    // once, so an always-live-only check would go vacuous.)
+    let mut spans_exact = true;
+    for w in 0..k {
+        for (i, phase) in phases.iter().enumerate() {
+            let per_epoch: Vec<f64> = elastic
+                .phase_seconds
+                .iter()
+                .enumerate()
+                .filter(|(e, _)| elastic.live_workers[*e].contains(&w))
+                .map(|(_, row)| row[i].1)
+                .collect();
+            // Bit-exactness is the contract, not a tolerance band.
+            if snap.phase_seconds(w, *phase) != fold_exact(&per_epoch) {
+                spans_exact = false;
+            }
+        }
+    }
+    ChaosRow {
+        name,
+        epochs,
+        completed_epochs: elastic.completed_epochs,
+        leaves: elastic.leaves,
+        joins: elastic.joins,
+        handoffs: elastic.handoffs,
+        rebalances: elastic.rebalances,
+        rejected_rebalances: elastic.rejected_rebalances,
+        crashes: elastic.recovery.crashes,
+        retries: elastic.recovery.retries,
+        checkpoints: elastic.recovery.checkpoints,
+        corrupted_checkpoints: elastic.recovery.corrupted_checkpoints,
+        healthy_secs,
+        elastic_secs: elastic.total_seconds(),
+        baseline_secs,
+        recovery_overhead_secs: elastic.recovery.total_overhead_seconds(),
+        handoff_secs: elastic.handoff_seconds,
+        recovery_bytes: elastic.recovery.recovery_bytes,
+        handoff_bytes: elastic.handoff_bytes,
+        lost_progress_epochs: elastic.recovery.lost_progress_epochs,
+        deterministic,
+        trace_transparent,
+        elastic_never_worse,
+        spans_exact,
+    }
+}
+
+/// Soak DistGNN (full-batch, edge-partitioned) over every timed
+/// partition: churn from [`chaos_churn_spec`], faults from
+/// [`FaultSpec::standard`] at `mtbf`, snapshots every
+/// `checkpoint_every` epochs. Same seed ⇒ bit-identical rows.
+pub fn distgnn_chaos_soak(
+    graph: &Graph,
+    timed: &[TimedEdgePartition],
+    params: PaperParams,
+    epochs: u32,
+    mtbf: f64,
+    checkpoint_every: u32,
+    seed: u64,
+) -> Vec<ChaosRow> {
+    distgnn_chaos_soak_threaded(
+        graph,
+        timed,
+        params,
+        epochs,
+        mtbf,
+        checkpoint_every,
+        seed,
+        Threads::serial(),
+    )
+}
+
+/// [`distgnn_chaos_soak`] on the `gp-exec` pool: one job per
+/// partitioner, rows in `timed` order, bit-identical for every thread
+/// count (each cell is pure and owns its trace sink).
+#[allow(clippy::too_many_arguments)]
+pub fn distgnn_chaos_soak_threaded(
+    graph: &Graph,
+    timed: &[TimedEdgePartition],
+    params: PaperParams,
+    epochs: u32,
+    mtbf: f64,
+    checkpoint_every: u32,
+    seed: u64,
+    threads: Threads,
+) -> Vec<ChaosRow> {
+    let jobs: Vec<_> = timed
+        .iter()
+        .map(|t| {
+            move || {
+                let k = t.partition.k();
+                let config =
+                    DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
+                let engine = DistGnnEngine::builder(graph, &t.partition)
+                    .config(config)
+                    .build()
+                    .expect("valid config");
+                let faults = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
+                let churn = ChurnPlan::generate(&chaos_churn_spec(k, epochs, seed));
+                let ckpt = CheckpointConfig::periodic(checkpoint_every);
+                let opts = ElasticOptions::default();
+                let Ok(elastic) = engine.simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
+                else {
+                    return ChaosRow::failed(t.name.clone(), epochs);
+                };
+                let again = engine
+                    .simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
+                    .expect("rerun of a completed schedule");
+                let baseline = engine
+                    .simulate_run_elastic(
+                        epochs,
+                        &faults,
+                        &churn,
+                        &ckpt,
+                        ElasticOptions::no_handoff(),
+                    )
+                    .ok();
+                let sink = TraceSink::enabled();
+                let traced = DistGnnEngine::builder(graph, &t.partition)
+                    .config(config)
+                    .trace(sink.clone())
+                    .build()
+                    .expect("valid config")
+                    .simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
+                    .expect("traced rerun of a completed schedule");
+                let healthy =
+                    engine.simulate_epoch().epoch_time() * f64::from(elastic.completed_epochs);
+                assemble_row(
+                    t.name.clone(),
+                    k,
+                    epochs,
+                    &DISTGNN_PHASES,
+                    healthy,
+                    &elastic,
+                    &again,
+                    baseline.as_ref(),
+                    &traced,
+                    &sink,
+                )
+            }
+        })
+        .collect();
+    par_map(threads, jobs)
+}
+
+/// Soak DistDGL (mini-batch, vertex-partitioned) over every timed
+/// partition; mirrors [`distgnn_chaos_soak`]. The healthy baseline
+/// re-prices each epoch without churn or faults (DistDGL epochs differ
+/// by sampled mini-batches, so a single epoch cannot stand in for the
+/// run).
+#[allow(clippy::too_many_arguments)]
+pub fn distdgl_chaos_soak(
+    graph: &Graph,
+    split: &VertexSplit,
+    timed: &[TimedVertexPartition],
+    params: PaperParams,
+    kind: ModelKind,
+    global_batch_size: u32,
+    epochs: u32,
+    mtbf: f64,
+    checkpoint_every: u32,
+    seed: u64,
+) -> Vec<ChaosRow> {
+    distdgl_chaos_soak_threaded(
+        graph,
+        split,
+        timed,
+        params,
+        kind,
+        global_batch_size,
+        epochs,
+        mtbf,
+        checkpoint_every,
+        seed,
+        Threads::serial(),
+    )
+}
+
+/// [`distdgl_chaos_soak`] on the `gp-exec` pool: one job per
+/// partitioner, rows in `timed` order, bit-identical for every thread
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub fn distdgl_chaos_soak_threaded(
+    graph: &Graph,
+    split: &VertexSplit,
+    timed: &[TimedVertexPartition],
+    params: PaperParams,
+    kind: ModelKind,
+    global_batch_size: u32,
+    epochs: u32,
+    mtbf: f64,
+    checkpoint_every: u32,
+    seed: u64,
+    threads: Threads,
+) -> Vec<ChaosRow> {
+    let jobs: Vec<_> = timed
+        .iter()
+        .map(|t| {
+            move || {
+                let k = t.partition.k();
+                let mut config = DistDglConfig::paper(params.model(kind), ClusterSpec::paper(k));
+                config.global_batch_size = global_batch_size;
+                let engine = DistDglEngine::builder(graph, &t.partition, split)
+                    .config(config.clone())
+                    .build()
+                    .expect("valid config");
+                let faults = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
+                let churn = ChurnPlan::generate(&chaos_churn_spec(k, epochs, seed));
+                let ckpt = CheckpointConfig::periodic(checkpoint_every);
+                let opts = ElasticOptions::default();
+                let Ok(elastic) = engine.simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
+                else {
+                    return ChaosRow::failed(t.name.clone(), epochs);
+                };
+                let again = engine
+                    .simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
+                    .expect("rerun of a completed schedule");
+                let baseline = engine
+                    .simulate_run_elastic(
+                        epochs,
+                        &faults,
+                        &churn,
+                        &ckpt,
+                        ElasticOptions::no_handoff(),
+                    )
+                    .ok();
+                let sink = TraceSink::enabled();
+                let traced = DistDglEngine::builder(graph, &t.partition, split)
+                    .config(config)
+                    .trace(sink.clone())
+                    .build()
+                    .expect("valid config")
+                    .simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
+                    .expect("traced rerun of a completed schedule");
+                let healthy: f64 = (0..elastic.completed_epochs)
+                    .map(|e| engine.simulate_epoch(e).epoch_time())
+                    .sum();
+                assemble_row(
+                    t.name.clone(),
+                    k,
+                    epochs,
+                    &DISTDGL_PHASES,
+                    healthy,
+                    &elastic,
+                    &again,
+                    baseline.as_ref(),
+                    &traced,
+                    &sink,
+                )
+            }
+        })
+        .collect();
+    par_map(threads, jobs)
+}
+
+/// Render chaos rows as a [`Table`] (CSV / Markdown ready). The last
+/// column is the invariant verdict (`ok` / `FAIL`).
+pub fn chaos_table(name: &str, rows: &[ChaosRow]) -> Table {
+    let mut table = Table::new(
+        name,
+        &[
+            "partitioner",
+            "epochs",
+            "completed",
+            "leaves",
+            "joins",
+            "handoffs",
+            "rebalances",
+            "crashes",
+            "corrupt_ckpts",
+            "healthy_s",
+            "elastic_s",
+            "baseline_s",
+            "slowdown",
+            "saving_pct",
+            "overhead_s",
+            "recovery_MB",
+            "lost_epochs",
+            "invariants",
+        ],
+    );
+    for r in rows {
+        table.push(vec![
+            r.name.clone(),
+            r.epochs.to_string(),
+            r.completed_epochs.to_string(),
+            r.leaves.to_string(),
+            r.joins.to_string(),
+            r.handoffs.to_string(),
+            r.rebalances.to_string(),
+            r.crashes.to_string(),
+            r.corrupted_checkpoints.to_string(),
+            format!("{:.4}", r.healthy_secs),
+            format!("{:.4}", r.elastic_secs),
+            format!("{:.4}", r.baseline_secs),
+            format!("{:.3}", r.slowdown()),
+            format!("{:.2}", r.elastic_saving_pct()),
+            format!("{:.4}", r.recovery_overhead_secs),
+            format!("{:.2}", r.recovery_bytes as f64 / 1e6),
+            format!("{:.3}", r.lost_progress_epochs),
+            if r.holds() { "ok".to_string() } else { "FAIL".to_string() },
+        ]);
+    }
+    table
+}
+
+fn fmt9(x: f64) -> String {
+    format!("{x:.9}")
+}
+
+fn chaos_rows_json(rows: &[ChaosRow]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"partitioner\":\"{}\",\"epochs\":{},\"completed_epochs\":{},\
+                 \"leaves\":{},\"joins\":{},\"handoffs\":{},\"rebalances\":{},\
+                 \"rejected_rebalances\":{},\"crashes\":{},\"retries\":{},\
+                 \"checkpoints\":{},\"corrupted_checkpoints\":{},\
+                 \"healthy_seconds\":{},\"elastic_seconds\":{},\"baseline_seconds\":{},\
+                 \"recovery_overhead_seconds\":{},\"handoff_seconds\":{},\
+                 \"recovery_bytes\":{},\"handoff_bytes\":{},\"lost_progress_epochs\":{},\
+                 \"slowdown\":{},\"elastic_saving_pct\":{},\"invariants_hold\":{}}}",
+                r.name,
+                r.epochs,
+                r.completed_epochs,
+                r.leaves,
+                r.joins,
+                r.handoffs,
+                r.rebalances,
+                r.rejected_rebalances,
+                r.crashes,
+                r.retries,
+                r.checkpoints,
+                r.corrupted_checkpoints,
+                fmt9(r.healthy_secs),
+                fmt9(r.elastic_secs),
+                fmt9(r.baseline_secs),
+                fmt9(r.recovery_overhead_secs),
+                fmt9(r.handoff_secs),
+                r.recovery_bytes,
+                r.handoff_bytes,
+                fmt9(r.lost_progress_epochs),
+                fmt9(r.slowdown()),
+                fmt9(r.elastic_saving_pct()),
+                r.holds(),
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// The `BENCH_chaos.json` payload: per-partitioner recovery-overhead
+/// and lost-progress metrics for both engines, plus the invariant
+/// verdicts. Deterministic rows ⇒ byte-identical artifact.
+pub fn chaos_bench_json(distgnn: &[ChaosRow], distdgl: &[ChaosRow]) -> String {
+    format!(
+        "{{\"bench\":\"chaos\",\"distgnn\":{},\"distdgl\":{}}}\n",
+        chaos_rows_json(distgnn),
+        chaos_rows_json(distdgl)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{timed_edge_partitions, timed_vertex_partitions};
+    use gp_graph::{DatasetId, GraphScale};
+
+    #[test]
+    fn chaos_churn_spec_schedules_actual_churn() {
+        let plan = ChurnPlan::generate(&chaos_churn_spec(8, 40, 0xc0de));
+        assert!(plan.total_leaves() >= 3, "leaves: {}", plan.total_leaves());
+        assert!(plan.total_joins() >= 2, "joins: {}", plan.total_joins());
+    }
+
+    #[test]
+    fn distgnn_chaos_rows_hold_all_invariants() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let timed: Vec<_> = timed_edge_partitions(&g, 4, 1).into_iter().take(3).collect();
+        let params = PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 };
+        let rows = distgnn_chaos_soak(&g, &timed, params, 10, 6.0, 2, 0xc0de);
+        assert_eq!(rows.len(), timed.len());
+        for r in &rows {
+            assert!(r.holds(), "{}: invariants must hold: {r:?}", r.name);
+            assert_eq!(r.completed_epochs, 10);
+            assert!(r.leaves > 0, "{}: soak must exercise churn", r.name);
+            assert!(r.checkpoints > 0);
+            assert!(r.elastic_secs > r.healthy_secs, "chaos is never free");
+        }
+        let again = distgnn_chaos_soak(&g, &timed, params, 10, 6.0, 2, 0xc0de);
+        assert_eq!(rows, again, "same seed must give bit-identical rows");
+    }
+
+    #[test]
+    fn distdgl_chaos_rows_hold_all_invariants() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let timed: Vec<_> =
+            timed_vertex_partitions(&g, 4, 1, &split.train).into_iter().take(2).collect();
+        let params = PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 };
+        let rows =
+            distdgl_chaos_soak(&g, &split, &timed, params, ModelKind::Sage, 256, 8, 6.0, 2, 0xc0de);
+        assert_eq!(rows.len(), timed.len());
+        for r in &rows {
+            assert!(r.holds(), "{}: invariants must hold: {r:?}", r.name);
+            assert_eq!(r.completed_epochs, 8);
+            assert!(r.leaves > 0, "{}: soak must exercise churn", r.name);
+        }
+        let again =
+            distdgl_chaos_soak(&g, &split, &timed, params, ModelKind::Sage, 256, 8, 6.0, 2, 0xc0de);
+        assert_eq!(rows, again);
+    }
+
+    #[test]
+    fn chaos_soaks_threaded_are_bit_identical_to_serial() {
+        let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
+        let params = PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 };
+        let timed: Vec<_> = timed_edge_partitions(&g, 4, 1).into_iter().take(3).collect();
+        let serial = distgnn_chaos_soak(&g, &timed, params, 8, 6.0, 2, 7);
+        for threads in [2usize, 4] {
+            let par = distgnn_chaos_soak_threaded(
+                &g, &timed, params, 8, 6.0, 2, 7,
+                gp_exec::Threads::new(threads),
+            );
+            assert_eq!(par, serial, "distgnn threads = {threads}");
+        }
+        let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+        let vtimed: Vec<_> =
+            timed_vertex_partitions(&g, 4, 1, &split.train).into_iter().take(2).collect();
+        let vserial =
+            distdgl_chaos_soak(&g, &split, &vtimed, params, ModelKind::Sage, 256, 6, 6.0, 2, 7);
+        let vpar = distdgl_chaos_soak_threaded(
+            &g, &split, &vtimed, params, ModelKind::Sage, 256, 6, 6.0, 2, 7,
+            gp_exec::Threads::new(4),
+        );
+        assert_eq!(vpar, vserial);
+    }
+
+    #[test]
+    fn table_and_json_render_all_rows_and_verdicts() {
+        let ok = ChaosRow {
+            name: "Metis".into(),
+            epochs: 10,
+            completed_epochs: 10,
+            leaves: 3,
+            joins: 2,
+            handoffs: 2,
+            rebalances: 1,
+            crashes: 1,
+            checkpoints: 5,
+            healthy_secs: 1.0,
+            elastic_secs: 1.4,
+            baseline_secs: 1.9,
+            recovery_overhead_secs: 0.2,
+            recovery_bytes: 3_000_000,
+            lost_progress_epochs: 0.25,
+            deterministic: true,
+            trace_transparent: true,
+            elastic_never_worse: true,
+            spans_exact: true,
+            ..ChaosRow::default()
+        };
+        let failed = ChaosRow::failed("Random".into(), 10);
+        assert!(ok.holds());
+        assert!(!failed.holds());
+        let t = chaos_table("chaos", &[ok.clone(), failed.clone()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("Metis"));
+        assert!(csv.contains("1.400"), "slowdown column: {csv}");
+        assert!(csv.contains(",ok"), "verdict column: {csv}");
+        assert!(csv.contains(",FAIL"), "failed verdict: {csv}");
+        assert!(t.to_markdown().contains("corrupt_ckpts"));
+        let json = chaos_bench_json(&[ok], &[failed]);
+        assert!(json.starts_with("{\"bench\":\"chaos\""));
+        assert!(json.contains("\"invariants_hold\":true"));
+        assert!(json.contains("\"invariants_hold\":false"));
+        assert!(json.contains("\"lost_progress_epochs\":0.250000000"));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -16,6 +16,12 @@
 //!   under seeded fault injection, plus mitigated-vs-unmitigated
 //!   comparisons of the straggler-mitigation layer (extension beyond
 //!   the paper).
+//! * [`chaos`] — elastic-membership soak harness: every partitioner
+//!   runs a multi-epoch churn + fault + checkpoint schedule through
+//!   the engines' `simulate_run_elastic` paths, with the elastic
+//!   contract (determinism, trace transparency, never-worse handoffs,
+//!   exact span sums) checked per row — behind `gnnpart chaos` and the
+//!   `chaos` ablation (extension).
 //! * [`trace_run`] — traced engine runs feeding the Chrome-JSON /
 //!   phase-CSV exports of the `gnnpart trace` subcommand (extension).
 //! * [`diagnose`] — metrics aggregation and automated run diagnosis
@@ -30,6 +36,7 @@
 
 pub mod advisor;
 pub mod amortize;
+pub mod chaos;
 pub mod config;
 pub mod correlate;
 pub mod diagnose;
@@ -47,6 +54,10 @@ pub mod prelude {
         recommend_vertex_partitioner, recommend_vertex_partitioner_threaded,
     };
     pub use crate::amortize::epochs_to_amortize;
+    pub use crate::chaos::{
+        chaos_bench_json, chaos_churn_spec, chaos_table, distdgl_chaos_soak,
+        distdgl_chaos_soak_threaded, distgnn_chaos_soak, distgnn_chaos_soak_threaded, ChaosRow,
+    };
     pub use crate::config::{ParamGrid, PaperParams, SCALE_OUT_FACTORS};
     pub use crate::correlate::{pearson, r_squared};
     pub use crate::diagnose::{

@@ -83,10 +83,29 @@ impl PartitionedStore {
     /// of partitions stays `k` — crashed workers simply own nothing and
     /// sit idle. Returns `None` when no survivors remain.
     pub fn with_failed(&self, failed: &[u32]) -> Option<PartitionedStore> {
-        let mut is_failed = vec![false; self.k as usize];
+        let mut live = vec![true; self.k as usize];
         for &m in failed {
             if m < self.k {
-                is_failed[m as usize] = true;
+                live[m as usize] = false;
+            }
+        }
+        let members: Vec<u32> = (0..self.k).filter(|&m| live[m as usize]).collect();
+        self.with_members(&members)
+    }
+
+    /// Generalisation of [`PartitionedStore::with_failed`] to an
+    /// arbitrary live set (the elastic-membership primitive): every
+    /// vertex (and training vertex) owned by a worker *not* in `live`
+    /// is reassigned round-robin across the live workers, in vertex-id
+    /// order. Vertices already owned by a live worker stay put, so a
+    /// join applied to the *pristine* store returns exactly the
+    /// departed-and-returned worker's original shard to it. `k` is
+    /// preserved; returns `None` when `live` is empty.
+    pub fn with_members(&self, live: &[u32]) -> Option<PartitionedStore> {
+        let mut is_failed = vec![true; self.k as usize];
+        for &m in live {
+            if m < self.k {
+                is_failed[m as usize] = false;
             }
         }
         let survivors: Vec<u32> =
@@ -119,6 +138,29 @@ impl PartitionedStore {
             }
         }
         Some(PartitionedStore { k: self.k, owner, local_train })
+    }
+
+    /// Minimal join repair: return to `joiner` exactly the vertices
+    /// (and training vertices) that `pristine` assigns to it, leaving
+    /// every other vertex — including other absent workers' shards,
+    /// wherever they currently live — untouched. Moving anything beyond
+    /// the joiner's own shard is the engines' migrate-then-commit
+    /// decision, not an automatic effect of the join.
+    pub fn with_rejoined(&self, joiner: u32, pristine: &PartitionedStore) -> PartitionedStore {
+        let mut owner = self.owner.clone();
+        for (v, o) in owner.iter_mut().enumerate() {
+            if pristine.owner[v] == joiner {
+                *o = joiner;
+            }
+        }
+        let mut local_train = vec![Vec::new(); self.k as usize];
+        for (w, train) in self.local_train.iter().enumerate() {
+            local_train[w] =
+                train.iter().copied().filter(|&v| owner[v as usize] == w as u32).collect();
+        }
+        // The joiner's training vertices come back in pristine order.
+        local_train[joiner as usize] = pristine.local_train[joiner as usize].clone();
+        PartitionedStore { k: self.k, owner, local_train }
     }
 }
 
@@ -173,6 +215,70 @@ mod tests {
         assert_eq!(total, s.train.len());
         // No survivors ⇒ None.
         assert!(store.with_failed(&[0, 1]).is_none());
+    }
+
+    #[test]
+    fn with_members_is_the_general_form() {
+        let (g, p, s) = setup();
+        let store = PartitionedStore::new(&g, &p, &s).unwrap();
+        // with_failed(X) and with_members(complement of X) agree.
+        let a = store.with_failed(&[1]).unwrap();
+        let b = store.with_members(&[0]).unwrap();
+        assert_eq!(a.owned_counts(), b.owned_counts());
+        for v in 0..6 {
+            assert_eq!(a.owner(v), b.owner(v));
+        }
+        // A rejoin applied to the pristine store restores the original
+        // shard exactly.
+        let rejoined = store.with_members(&[0, 1]).unwrap();
+        assert_eq!(rejoined.owned_counts(), store.owned_counts());
+        for v in 0..6 {
+            assert_eq!(rejoined.owner(v), store.owner(v));
+        }
+        for w in 0..2u32 {
+            assert_eq!(
+                rejoined.local_train_vertices(w),
+                store.local_train_vertices(w)
+            );
+        }
+        // Out-of-range live ids are ignored; an effectively empty live
+        // set is None.
+        assert!(store.with_members(&[7]).is_none());
+        assert!(store.with_members(&[]).is_none());
+    }
+
+    #[test]
+    fn with_rejoined_restores_only_the_joiners_shard() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], false).unwrap();
+        let p = VertexPartition::new(&g, 3, vec![0, 0, 1, 1, 2, 2]).unwrap();
+        let s = VertexSplit::random(6, 1.0, 0.0, 1).unwrap();
+        let pristine = PartitionedStore::new(&g, &p, &s).unwrap();
+        // Workers 1 and 2 both depart; worker 1 rejoins.
+        let degraded = pristine.with_members(&[0]).unwrap();
+        let rejoined = degraded.with_rejoined(1, &pristine);
+        // Worker 1 gets back exactly its pristine shard...
+        for v in 0..6u32 {
+            if pristine.owner(v) == 1 {
+                assert_eq!(rejoined.owner(v), 1);
+            } else {
+                // ...while worker 2's vertices stay on their stand-in.
+                assert_eq!(rejoined.owner(v), degraded.owner(v));
+            }
+        }
+        assert_eq!(rejoined.local_train_vertices(1), pristine.local_train_vertices(1));
+        // Every training vertex still lives with its owner, exactly once.
+        let total: usize = (0..3).map(|w| rejoined.local_train_vertices(w).len()).sum();
+        assert_eq!(total, s.train.len());
+        for w in 0..3u32 {
+            for &v in rejoined.local_train_vertices(w) {
+                assert_eq!(rejoined.owner(v), w);
+            }
+        }
+        // Rejoining the last absentee restores the pristine layout.
+        let whole = rejoined.with_rejoined(2, &pristine);
+        for v in 0..6u32 {
+            assert_eq!(whole.owner(v), pristine.owner(v));
+        }
     }
 
     #[test]

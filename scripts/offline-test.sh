@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Offline build + test harness for environments without crates.io
+# access (the CI container cannot fetch the registry, so `cargo build`
+# fails before compiling anything).
+#
+# Compiles the whole workspace with bare rustc against the deterministic
+# `rand` stub in scripts/rand-stub/ and runs every unit/integration
+# suite that does not require proptest/criterion (those dev-deps are
+# registry-only; the proptest files are exercised in registry-enabled
+# environments).
+#
+# Usage:
+#   scripts/offline-test.sh            # build everything + run all tests
+#   scripts/offline-test.sh build      # build rlibs + binaries only
+#   scripts/offline-test.sh test NAME  # run one crate's tests (e.g. cluster)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-target/offline}
+LIB=$OUT/lib
+BIN=$OUT/bin
+TESTDIR=$OUT/tests
+mkdir -p "$LIB" "$BIN" "$TESTDIR"
+
+RUSTC=${RUSTC:-rustc}
+FLAGS=(--edition 2021 -O -Awarnings -L "$LIB")
+
+# crate name -> source path and dependency list (topological order).
+CRATES=(graph partition tensor cluster exec distgnn distdgl core bench cli facade)
+
+src_of() {
+  case $1 in
+    facade) echo src/lib.rs ;;
+    *) echo crates/$1/src/lib.rs ;;
+  esac
+}
+
+name_of() {
+  case $1 in
+    facade) echo gnnpart ;;
+    *) echo gp_$1 ;;
+  esac
+}
+
+deps_of() {
+  case $1 in
+    graph) echo "rand" ;;
+    partition) echo "rand gp_graph" ;;
+    tensor) echo "rand" ;;
+    cluster) echo "" ;;
+    exec) echo "" ;;
+    distgnn) echo "rand gp_graph gp_partition gp_tensor gp_cluster" ;;
+    distdgl) echo "rand gp_graph gp_partition gp_tensor gp_cluster" ;;
+    core) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl" ;;
+    bench) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl gp_core" ;;
+    cli) echo "gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl gp_core" ;;
+    facade) echo "gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl gp_core" ;;
+  esac
+}
+
+# Extra externs available to a crate's #[cfg(test)] code (dev-deps).
+dev_deps_of() {
+  case $1 in
+    distdgl) echo "gp_distgnn" ;;
+    *) echo "" ;;
+  esac
+}
+
+externs() {
+  local out=()
+  for d in $1; do
+    out+=(--extern "$d=$LIB/lib$d.rlib")
+  done
+  echo "${out[@]:-}"
+}
+
+build_all() {
+  echo "== rand stub"
+  "$RUSTC" "${FLAGS[@]}" --crate-type lib --crate-name rand -Cmetadata=rand \
+    scripts/rand-stub/lib.rs -o "$LIB/librand.rlib"
+  for c in "${CRATES[@]}"; do
+    local_name=$(name_of "$c")
+    echo "== lib $local_name"
+    # shellcheck disable=SC2046
+    "$RUSTC" "${FLAGS[@]}" --crate-type lib --crate-name "$local_name" \
+      -Cmetadata="$local_name" $(externs "$(deps_of "$c")") \
+      "$(src_of "$c")" -o "$LIB/lib$local_name.rlib"
+  done
+  echo "== bin gnnpart"
+  # shellcheck disable=SC2046
+  "$RUSTC" "${FLAGS[@]}" --crate-name gnnpart $(externs "$(deps_of cli) gp_cli") \
+    crates/cli/src/main.rs -o "$BIN/gnnpart"
+  for b in ablations figures; do
+    echo "== bin $b"
+    # shellcheck disable=SC2046
+    "$RUSTC" "${FLAGS[@]}" --crate-name "$b" $(externs "$(deps_of bench) gp_bench") \
+      crates/bench/src/bin/$b.rs -o "$BIN/$b"
+  done
+}
+
+run_test_bin() { # name, binary
+  echo "-- test $1"
+  "$2" --test-threads "${TEST_THREADS:-4}" -q
+}
+
+test_crate() { # crate key
+  local c=$1 name deps
+  name=$(name_of "$c")
+  deps="$(deps_of "$c") $(dev_deps_of "$c")"
+  # shellcheck disable=SC2046
+  CARGO_BIN_EXE_gnnpart="$PWD/$BIN/gnnpart" \
+    "$RUSTC" "${FLAGS[@]}" --test --crate-name "${name}_tests" \
+    -Cmetadata="${name}_tests" $(externs "$deps") \
+    "$(src_of "$c")" -o "$TESTDIR/${name}_tests"
+  run_test_bin "$name" "$TESTDIR/${name}_tests"
+  # Crate-level integration tests (skip registry-only proptest suites).
+  if [ "$c" != facade ] && [ -d "crates/$c/tests" ]; then
+    for t in crates/$c/tests/*.rs; do
+      base=$(basename "$t" .rs)
+      [ "$base" = proptests ] && continue
+      # shellcheck disable=SC2046
+      CARGO_BIN_EXE_gnnpart="$PWD/$BIN/gnnpart" \
+        "$RUSTC" "${FLAGS[@]}" --test --crate-name "${name}_${base}" \
+        -Cmetadata="${name}_${base}" $(externs "$deps $name") \
+        "$t" -o "$TESTDIR/${name}_${base}"
+      run_test_bin "$name/$base" "$TESTDIR/${name}_${base}"
+    done
+  fi
+}
+
+test_root() {
+  for t in tests/*.rs; do
+    base=$(basename "$t" .rs)
+    # shellcheck disable=SC2046
+    "$RUSTC" "${FLAGS[@]}" --test --crate-name "root_${base}" \
+      -Cmetadata="root_${base}" $(externs "$(deps_of facade) gnnpart") \
+      "$t" -o "$TESTDIR/root_${base}"
+    run_test_bin "root/$base" "$TESTDIR/root_${base}"
+  done
+}
+
+case "${1:-all}" in
+  build) build_all ;;
+  test) test_crate "${2:?crate name}" ;;
+  root) test_root ;;
+  all)
+    build_all
+    for c in "${CRATES[@]}"; do test_crate "$c"; done
+    test_root
+    echo "ALL SUITES GREEN"
+    ;;
+  *) echo "usage: $0 [build|test CRATE|root|all]" >&2; exit 2 ;;
+esac

@@ -1,0 +1,184 @@
+//! Minimal deterministic stand-in for the `rand` crate, used by the
+//! offline test harness (`scripts/offline-test.sh`) in environments
+//! where the crates.io registry is unreachable.
+//!
+//! It implements exactly the surface this workspace consumes —
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, `RngExt`
+//! (`random`/`random_bool`/`random_range`), `seq::SliceRandom::shuffle`
+//! and `seq::index::sample` — over a SplitMix64 core. Streams are
+//! deterministic per seed but are NOT the real `rand` streams, so
+//! value-sensitive artifacts regenerated under the stub may differ from
+//! ones generated with crates.io `rand`.
+
+/// Core source of randomness (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    /// Deterministic stand-in for `rand::rngs::StdRng` (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed.wrapping_mul(0x2545_f491_4f6c_dd1d) };
+            let _ = super::RngCore::next_u64(&mut rng);
+            rng
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draw a value from the standard distribution of the type.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw in `[lo, hi)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "random_range: empty range");
+                let span = (hi as u128).wrapping_sub(lo as u128) as u64;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Convenience methods (subset of `rand::Rng` / `rand::RngExt`).
+pub trait RngExt: RngCore {
+    /// Draw a value from the type's standard distribution.
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        p > 0.0 && f64::draw(self) < p
+    }
+
+    /// Uniform draw from a half-open range.
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+
+    pub mod index {
+        use super::super::RngCore;
+
+        /// Result of [`sample`]: distinct indices in `[0, length)`.
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Iterate the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+
+            /// Consume into a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+        }
+
+        /// Sample `amount` distinct indices from `[0, length)` (partial
+        /// Fisher–Yates).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> IndexVec {
+            assert!(amount <= length, "sample: amount > length");
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = i + (rng.next_u64() % (length - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The robustness acceptance soak for the elastic-membership layer:
+//! a 200-epoch run of seeded churn (machines leaving and rejoining)
+//! plus the standard fault schedule, on both engines, with every
+//! invariant green —
+//!
+//! * the soak is bit-identical when rerun at pool widths 1/2/4/8
+//!   (`ChaosRow` derives `PartialEq` over every field, including the
+//!   simulated-seconds f64s);
+//! * the traced run equals the untraced one and the recorded span
+//!   sums equal the engines' phase totals exactly (the
+//!   `trace_transparent` / `spans_exact` verdicts inside each row);
+//! * the elastic run is never worse than the crash-without-handoff
+//!   baseline (`elastic_never_worse`).
+//!
+//! The churn schedule itself must clear the acceptance floors — at
+//! least 5 leaves and 3 joins — rather than being satisfied vacuously.
+
+use gnnpart::cluster::ChurnPlan;
+use gnnpart::core::chaos::chaos_churn_spec;
+use gnnpart::core::config::PaperParams;
+use gnnpart::prelude::*;
+
+const EPOCHS: u32 = 200;
+const MACHINES: u32 = 8;
+const MTBF: f64 = 10.0;
+const CHECKPOINT_EVERY: u32 = 5;
+const SEED: u64 = 0x50a4;
+
+fn graph() -> Graph {
+    DatasetId::OR.generate(GraphScale::Tiny).unwrap()
+}
+
+fn params() -> PaperParams {
+    PaperParams { feature_size: 16, hidden_dim: 16, num_layers: 2 }
+}
+
+#[test]
+fn churn_schedule_clears_the_acceptance_floors() {
+    let plan = ChurnPlan::generate(&chaos_churn_spec(MACHINES, EPOCHS, SEED));
+    assert!(plan.total_leaves() >= 5, "need >= 5 leaves, got {}", plan.total_leaves());
+    assert!(plan.total_joins() >= 3, "need >= 3 joins, got {}", plan.total_joins());
+}
+
+fn assert_green(row: &gnnpart::core::chaos::ChaosRow, engine: &str) {
+    assert!(
+        row.holds(),
+        "{engine}/{}: completed {}/{}, deterministic={}, trace_transparent={}, \
+         elastic_never_worse={}, spans_exact={}",
+        row.name,
+        row.completed_epochs,
+        row.epochs,
+        row.deterministic,
+        row.trace_transparent,
+        row.elastic_never_worse,
+        row.spans_exact,
+    );
+    assert_eq!(row.completed_epochs, EPOCHS, "{engine}/{}: full horizon", row.name);
+    assert!(row.leaves >= 5, "{engine}/{}: churn actually exercised", row.name);
+    assert!(row.joins >= 3, "{engine}/{}: rejoins actually exercised", row.name);
+    assert!(row.crashes > 0, "{engine}/{}: standard faults actually crash", row.name);
+    assert!(row.checkpoints > 0, "{engine}/{}: checkpoint path exercised", row.name);
+    if row.baseline_secs >= 0.0 {
+        assert!(
+            row.elastic_secs <= row.baseline_secs + 1e-9,
+            "{engine}/{}: elastic {} > no-handoff baseline {}",
+            row.name,
+            row.elastic_secs,
+            row.baseline_secs,
+        );
+    }
+}
+
+#[test]
+fn distgnn_200_epoch_soak_is_green_at_every_pool_width() {
+    let g = graph();
+    // Two partitioners bound the wall clock; the full roster runs in
+    // the `chaos` ablation and `gnnpart chaos`.
+    let timed: Vec<_> =
+        timed_edge_partitions(&g, MACHINES, 1).into_iter().take(2).collect();
+    let serial = distgnn_chaos_soak(&g, &timed, params(), EPOCHS, MTBF, CHECKPOINT_EVERY, SEED);
+    assert_eq!(serial.len(), 2);
+    for row in &serial {
+        assert_green(row, "distgnn");
+    }
+    for threads in [2usize, 4, 8] {
+        let par = distgnn_chaos_soak_threaded(
+            &g,
+            &timed,
+            params(),
+            EPOCHS,
+            MTBF,
+            CHECKPOINT_EVERY,
+            SEED,
+            Threads::new(threads),
+        );
+        assert_eq!(par, serial, "threads = {threads}");
+    }
+}
+
+#[test]
+fn distdgl_200_epoch_soak_is_green_at_every_pool_width() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed: Vec<_> =
+        timed_vertex_partitions(&g, MACHINES, 1, &split.train).into_iter().take(2).collect();
+    let serial = distdgl_chaos_soak(
+        &g,
+        &split,
+        &timed,
+        params(),
+        ModelKind::Sage,
+        256,
+        EPOCHS,
+        MTBF,
+        CHECKPOINT_EVERY,
+        SEED,
+    );
+    assert_eq!(serial.len(), 2);
+    for row in &serial {
+        assert_green(row, "distdgl");
+    }
+    for threads in [2usize, 4, 8] {
+        let par = distdgl_chaos_soak_threaded(
+            &g,
+            &split,
+            &timed,
+            params(),
+            ModelKind::Sage,
+            256,
+            EPOCHS,
+            MTBF,
+            CHECKPOINT_EVERY,
+            SEED,
+            Threads::new(threads),
+        );
+        assert_eq!(par, serial, "threads = {threads}");
+    }
+}

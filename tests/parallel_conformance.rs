@@ -163,6 +163,48 @@ fn mitigation_sweeps_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn chaos_soaks_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed_e = timed_edge_partitions(&g, 4, 1);
+    let timed_v = timed_vertex_partitions(&g, 4, 1, &split.train);
+    let params = PaperParams::middle();
+
+    let serial_e = distgnn_chaos_soak(&g, &timed_e, params, 8, 5.0, 2, 0xc4a05);
+    let serial_v =
+        distdgl_chaos_soak(&g, &split, &timed_v, params, ModelKind::Sage, 256, 6, 5.0, 2, 0xc4a05);
+    for threads in THREAD_COUNTS {
+        let par_e = distgnn_chaos_soak_threaded(
+            &g, &timed_e, params, 8, 5.0, 2, 0xc4a05,
+            Threads::new(threads),
+        );
+        assert_eq!(par_e, serial_e, "distgnn threads = {threads}");
+        let par_v = distdgl_chaos_soak_threaded(
+            &g, &split, &timed_v, params, ModelKind::Sage, 256, 6, 5.0, 2, 0xc4a05,
+            Threads::new(threads),
+        );
+        assert_eq!(par_v, serial_v, "distdgl threads = {threads}");
+    }
+    // Both exported artifacts are byte-identical, not just f64-equal.
+    let par_e =
+        distgnn_chaos_soak_threaded(&g, &timed_e, params, 8, 5.0, 2, 0xc4a05, Threads::new(4));
+    let par_v = distdgl_chaos_soak_threaded(
+        &g, &split, &timed_v, params, ModelKind::Sage, 256, 6, 5.0, 2, 0xc4a05,
+        Threads::new(4),
+    );
+    assert_eq!(
+        chaos_table("conformance", &par_e).to_csv(),
+        chaos_table("conformance", &serial_e).to_csv(),
+        "CSV bytes"
+    );
+    assert_eq!(
+        chaos_bench_json(&par_e, &par_v),
+        chaos_bench_json(&serial_e, &serial_v),
+        "bench JSON bytes"
+    );
+}
+
+#[test]
 fn trace_runs_are_bit_identical_across_thread_counts() {
     let g = graph();
     let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
