@@ -26,6 +26,12 @@
 //!   crash-only recovery, exact span sums) verified per row, plus
 //!   `BENCH_chaos.json` with the recovery-overhead and lost-progress
 //!   trajectory (extension; the soak behind `gnnpart chaos`).
+//! * `netchaos` — the chaos soak composed with a seeded message-level
+//!   network-fault plan (loss, duplication, reorder, partition windows)
+//!   through both engines' `simulate_run_partitioned`, verifying
+//!   exactly-once delivery and that the bounded-staleness degraded mode
+//!   is never worse than abort-and-recover, plus `BENCH_netchaos.json`
+//!   (extension; the soak behind `gnnpart netchaos`).
 //!
 //! ```text
 //! cargo run -p gp-bench --release --bin ablations -- all
@@ -81,6 +87,7 @@ fn main() {
         "phases" => phases(&ctx, quick),
         "diagnose" => diagnose(&ctx, quick),
         "chaos" => chaos(&ctx, quick),
+        "netchaos" => netchaos(&ctx, quick),
         "all" => {
             hdrf_lambda(&ctx);
             hep_tau(&ctx);
@@ -95,12 +102,13 @@ fn main() {
             phases(&ctx, quick);
             diagnose(&ctx, quick);
             chaos(&ctx, quick);
+            netchaos(&ctx, quick);
         }
         other => {
             eprintln!(
                 "unknown ablation {other:?} \
                  (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|\
-                 mitigation|phases|diagnose|chaos|all) [--quick] [--threads N|auto]"
+                 mitigation|phases|diagnose|chaos|netchaos|all) [--quick] [--threads N|auto]"
             );
             std::process::exit(2);
         }
@@ -584,6 +592,77 @@ fn chaos(ctx: &Ctx, quick: bool) {
         );
     }
     write_artifact(ctx, "BENCH_chaos.json", &chaos_bench_json(&gnn_rows, &dgl_rows));
+}
+
+/// Network-fault chaos soak: the `chaos` environment composed with a
+/// seeded message-level fault plan — per-message loss, duplication and
+/// reorder plus partition windows splitting the fleet into quorum and
+/// minority islands — through both engines'
+/// `simulate_run_partitioned` (extension; the soak behind `gnnpart
+/// netchaos`). Per row the network contract is checked: bit-identical
+/// reruns, traced == untraced, exactly-once-effective delivery, exact
+/// span sums, and the bounded-staleness degraded mode never worse than
+/// the abort-and-recover baseline (adopt-only by construction). A red
+/// invariant aborts the ablation. Emits per-engine CSVs plus
+/// `BENCH_netchaos.json`; all artifacts are deterministic —
+/// bit-identical across `--threads` choices and repeated runs.
+fn netchaos(ctx: &Ctx, quick: bool) {
+    use gp_core::netchaos::{
+        distdgl_netchaos_soak_threaded, distgnn_netchaos_soak_threaded, netchaos_bench_json,
+        netchaos_table,
+    };
+    let (k, epochs, mtbf, every) = if quick { (8, 10, 4.0, 2) } else { (16, 40, 6.0, 4) };
+    // Not the chaos seed: 0xc4a05 happens to arm zero partition
+    // windows at both scales, and a windowless soak never exercises
+    // the degraded/abort decision this ablation exists to check.
+    let seed = 7;
+    let graph = ctx.graph(DatasetId::OR);
+    let parts = ctx.edge_partitions(DatasetId::OR, k);
+    let gnn_rows = distgnn_netchaos_soak_threaded(
+        &graph,
+        &parts,
+        PaperParams::middle(),
+        epochs,
+        mtbf,
+        every,
+        seed,
+        ctx.threads,
+    );
+    ctx.emit(&netchaos_table("ablation_netchaos_distgnn", &gnn_rows));
+
+    let split = ctx.split(DatasetId::OR);
+    let vparts = ctx.vertex_partitions(DatasetId::OR, k);
+    let dgl_rows = distdgl_netchaos_soak_threaded(
+        &graph,
+        &split,
+        &vparts,
+        PaperParams::middle(),
+        ModelKind::Sage,
+        1024,
+        epochs,
+        mtbf,
+        every,
+        seed,
+        ctx.threads,
+    );
+    ctx.emit(&netchaos_table("ablation_netchaos_distdgl", &dgl_rows));
+
+    for r in gnn_rows.iter().chain(&dgl_rows) {
+        assert!(
+            r.holds(),
+            "{}: network fault contract violated (completed {}/{}, deterministic={}, \
+             trace_transparent={}, degraded_never_worse={}, exactly_once={}, spans_exact={})",
+            r.name,
+            r.completed_epochs,
+            r.epochs,
+            r.deterministic,
+            r.trace_transparent,
+            r.degraded_never_worse,
+            r.exactly_once,
+            r.spans_exact,
+        );
+    }
+    write_artifact(ctx, "BENCH_netchaos.json", &netchaos_bench_json(&gnn_rows, &dgl_rows));
 }
 
 /// Write a non-CSV diagnose artifact (Prometheus text, markdown report,

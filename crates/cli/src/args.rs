@@ -96,6 +96,25 @@ COMMANDS:
                                     rows identical for every width)
         --bench-out FILE            machine-readable JSON verdict
         --csv-out FILE              per-partitioner CSV table
+    netchaos <edge-list>        network-fault soak: chaos plus a
+                                seeded message-level fault plan (loss,
+                                duplication, reorder, partition
+                                windows) through the engines'
+                                partitioned path, checking per
+                                partitioner: bit-identical reruns,
+                                traced == untraced, exactly-once
+                                delivery, exact span sums, and the
+                                bounded-staleness degraded mode never
+                                worse than abort-and-recover. Exits
+                                non-zero if any invariant fails.
+                                (same options and defaults as chaos:)
+        --threads N|auto            gp-exec pool width (default auto;
+                                    rows identical for every width)
+        --bench-out FILE            machine-readable JSON verdict
+        --csv-out FILE              per-partitioner CSV table
+        --prom-out FILE             Prometheus text exposition of one
+                                    traced partitioned run (includes
+                                    the gnnpart_net_* counter families)
     list                        list the 12 partitioners
     help                        this text
 ";
@@ -117,6 +136,8 @@ pub enum Command {
     Diagnose(DiagnoseCmd),
     /// `gnnpart chaos`.
     Chaos(ChaosCmd),
+    /// `gnnpart netchaos`.
+    NetChaos(NetChaosCmd),
     /// `gnnpart recommend`.
     Recommend(RecommendCmd),
     /// `gnnpart list`.
@@ -244,6 +265,32 @@ pub struct ChaosCmd {
     pub csv_out: Option<PathBuf>,
 }
 
+/// Options of `gnnpart netchaos`: the chaos soak composed with a
+/// seeded message-level network-fault plan (loss, duplication,
+/// reorder, partition windows), with the network contract
+/// (determinism, trace transparency, exactly-once delivery, exact
+/// span sums, degraded mode never worse than abort-and-recover)
+/// checked per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetChaosCmd {
+    /// The simulation environment (same options as `gnnpart simulate`).
+    /// `algo` narrows the roster (`"all"` soaks every partitioner of
+    /// the chosen system); `fault_seed` seeds the fault, churn AND
+    /// network-fault schedules; `faults` is always true.
+    pub sim: SimulateCmd,
+    /// `gp-exec` pool width for the per-partitioner cells (rows are
+    /// bit-identical for every width).
+    pub threads: Threads,
+    /// Optional machine-readable JSON verdict output path.
+    pub bench_out: Option<PathBuf>,
+    /// Optional per-partitioner CSV table output path.
+    pub csv_out: Option<PathBuf>,
+    /// Optional Prometheus text exposition output path: the metrics
+    /// snapshot of one traced partitioned run (the roster's first
+    /// partitioner), including the `gnnpart_net_*` counter families.
+    pub prom_out: Option<PathBuf>,
+}
+
 /// Options of `gnnpart recommend`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecommendCmd {
@@ -318,6 +365,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "trace" => parse_trace(&mut opts),
         "diagnose" => parse_diagnose(&mut opts),
         "chaos" => parse_chaos(&mut opts),
+        "netchaos" => parse_netchaos(&mut opts),
         "recommend" => parse_recommend(&mut opts),
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -592,6 +640,54 @@ fn parse_chaos(opts: &mut Opts) -> Result<Command, ParseError> {
     Ok(Command::Chaos(cmd))
 }
 
+fn parse_netchaos(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("netchaos requires an edge-list path");
+    };
+    let mut sim = default_simulate(PathBuf::from(input));
+    // Same rationale as chaos: the soak is pointless without fault
+    // pressure, and the network-fault plan is derived from the same
+    // seed so one --fault-seed moves every schedule together.
+    sim.algo = "all".into();
+    sim.faults = true;
+    sim.epochs = 20;
+    sim.checkpoint_every = 4;
+    let mut cmd = NetChaosCmd {
+        sim,
+        threads: Threads::auto(),
+        bench_out: None,
+        csv_out: None,
+        prom_out: None,
+    };
+    while let Some(flag) = opts.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let value = opts.value_for("--threads")?;
+                cmd.threads = Threads::parse(&value).ok_or_else(|| {
+                    ParseError(format!(
+                        "--threads expects a count or \"auto\", got {value:?}"
+                    ))
+                })?;
+            }
+            "--bench-out" => {
+                cmd.bench_out = Some(PathBuf::from(opts.value_for("--bench-out")?));
+            }
+            "--csv-out" => cmd.csv_out = Some(PathBuf::from(opts.value_for("--csv-out")?)),
+            "--prom-out" => cmd.prom_out = Some(PathBuf::from(opts.value_for("--prom-out")?)),
+            "--faults" => return err("netchaos always injects faults; drop --faults"),
+            "--mitigate" => {
+                return err("netchaos runs unmitigated; `gnnpart simulate` takes --mitigate");
+            }
+            other => {
+                if !apply_simulate_flag(&mut cmd.sim, other, opts)? {
+                    return err(format!("unknown option {other:?}"));
+                }
+            }
+        }
+    }
+    Ok(Command::NetChaos(cmd))
+}
+
 fn parse_recommend(opts: &mut Opts) -> Result<Command, ParseError> {
     let Some(input) = opts.next() else {
         return err("recommend requires an edge-list path");
@@ -757,7 +853,7 @@ mod tests {
     fn simulate_rejects_zero_epochs() {
         // The validation lives in the shared flag handler, so every
         // command that composes simulate options inherits it.
-        for cmd in ["simulate", "trace", "diagnose", "chaos"] {
+        for cmd in ["simulate", "trace", "diagnose", "chaos", "netchaos"] {
             assert!(parse(&[cmd, "g.el", "--epochs", "0"])
                 .unwrap_err()
                 .0
@@ -771,7 +867,7 @@ mod tests {
 
     #[test]
     fn simulate_rejects_zero_checkpoint_every() {
-        for cmd in ["simulate", "trace", "diagnose", "chaos"] {
+        for cmd in ["simulate", "trace", "diagnose", "chaos", "netchaos"] {
             assert!(parse(&[cmd, "g.el", "--checkpoint-every", "0"])
                 .unwrap_err()
                 .0
@@ -919,6 +1015,68 @@ mod tests {
             .unwrap_err()
             .0
             .contains("requires a value"));
+    }
+
+    #[test]
+    fn netchaos_defaults() {
+        let Command::NetChaos(c) = parse(&["netchaos", "g.el"]).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.sim.algo, "all", "whole roster by default");
+        assert!(c.sim.faults, "faults always on");
+        assert_eq!(c.sim.epochs, 20);
+        assert_eq!(c.sim.checkpoint_every, 4, "checkpoints mandatory");
+        assert_eq!(c.sim.system, "distgnn");
+        assert_eq!(c.sim.fault_seed, 42);
+        assert_eq!(c.threads, Threads::auto());
+        assert_eq!(c.bench_out, None);
+        assert_eq!(c.csv_out, None);
+        assert_eq!(c.prom_out, None);
+    }
+
+    #[test]
+    fn netchaos_composes_simulate_and_netchaos_flags() {
+        let Command::NetChaos(c) = parse(&[
+            "netchaos", "g.el", "--system", "distdgl", "--algo", "METIS", "-k", "6",
+            "--epochs", "12", "--checkpoint-every", "3", "--mtbf", "2.5",
+            "--fault-seed", "7", "--threads", "2", "--bench-out", "b.json",
+            "--csv-out", "c.csv", "--prom-out", "m.prom",
+        ])
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.sim.system, "distdgl");
+        assert_eq!(c.sim.algo, "METIS");
+        assert_eq!(c.sim.k, 6);
+        assert_eq!(c.sim.epochs, 12);
+        assert_eq!(c.sim.checkpoint_every, 3);
+        assert_eq!(c.sim.mtbf, 2.5);
+        assert_eq!(c.sim.fault_seed, 7);
+        assert_eq!(c.threads, Threads::new(2));
+        assert_eq!(c.bench_out, Some(PathBuf::from("b.json")));
+        assert_eq!(c.csv_out, Some(PathBuf::from("c.csv")));
+        assert_eq!(c.prom_out, Some(PathBuf::from("m.prom")));
+    }
+
+    #[test]
+    fn netchaos_rejects_fault_toggles_and_unknowns() {
+        assert!(parse(&["netchaos"]).unwrap_err().0.contains("edge-list path"));
+        assert!(parse(&["netchaos", "g.el", "--faults"])
+            .unwrap_err()
+            .0
+            .contains("always injects faults"));
+        assert!(parse(&["netchaos", "g.el", "--mitigate", "all"])
+            .unwrap_err()
+            .0
+            .contains("runs unmitigated"));
+        assert!(parse(&["netchaos", "g.el", "--bogus"])
+            .unwrap_err()
+            .0
+            .contains("unknown option"));
+        assert!(parse(&["netchaos", "g.el", "--threads", "many"])
+            .unwrap_err()
+            .0
+            .contains("--threads expects"));
     }
 
     #[test]

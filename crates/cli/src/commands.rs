@@ -15,8 +15,8 @@ use gp_graph::{edgelist, DatasetId, DegreeStats, Graph, VertexSplit};
 use gp_tensor::{ModelConfig, ModelKind};
 
 use crate::args::{
-    ChaosCmd, DiagnoseCmd, GenerateCmd, PartitionCmd, RecommendCmd, SimulateCmd, StatsCmd,
-    TraceCmd,
+    ChaosCmd, DiagnoseCmd, GenerateCmd, NetChaosCmd, PartitionCmd, RecommendCmd, SimulateCmd,
+    StatsCmd, TraceCmd,
 };
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -604,6 +604,218 @@ pub fn chaos(cmd: &ChaosCmd) -> CmdResult {
     println!(
         "all {} rows green: bit-identical reruns, exact span sums, \
          elastic never worse than crash-only recovery",
+        rows.len()
+    );
+    Ok(())
+}
+
+/// `gnnpart netchaos`.
+///
+/// The chaos soak composed with a seeded message-level network-fault
+/// plan: per-message loss, duplication and reorder plus partition
+/// windows that split the fleet into quorum and minority islands,
+/// driven through the engines' `simulate_run_partitioned` path. Every
+/// row additionally verifies exactly-once-effective delivery and that
+/// the bounded-staleness degraded mode is never worse than the
+/// abort-and-recover baseline (an adopt-only guarantee, not a
+/// tolerance band). The fault/churn composition is validated up front:
+/// a crash schedule that would drain the fleet below the churn floor
+/// is rejected before any cell runs. Any red invariant makes the
+/// command return an error (exit 1).
+pub fn netchaos(cmd: &NetChaosCmd) -> CmdResult {
+    use gp_cluster::{
+        validate_fault_churn, CheckpointConfig, ChurnPlan, ElasticOptions, MetricsSnapshot,
+        NetFaultPlan, NetRunOptions,
+    };
+    use gp_core::chaos::chaos_churn_spec;
+    use gp_core::config::PaperParams;
+    use gp_core::experiment::{
+        timed_edge_partitions_threaded, timed_vertex_partitions_threaded,
+    };
+    use gp_core::netchaos::{
+        distdgl_netchaos_soak_threaded, distgnn_netchaos_soak_threaded, netchaos_bench_json,
+        netchaos_net_spec, netchaos_table,
+    };
+    let sim = &cmd.sim;
+    let graph = load(&sim.input, sim.directed)?;
+    let kind = ModelKind::parse(&sim.model)
+        .ok_or_else(|| format!("unknown model {:?} (sage|gcn|gat)", sim.model))?;
+    let params = PaperParams {
+        feature_size: sim.features,
+        hidden_dim: sim.hidden,
+        num_layers: sim.layers,
+    };
+    // Reject a crash schedule that would drain the fleet below the
+    // churn floor before any (expensive) soak cell runs: the soak
+    // would only report zero-completed rows, and the composition error
+    // is the actionable message.
+    let churn_spec = chaos_churn_spec(sim.k, sim.epochs, sim.fault_seed);
+    let faults =
+        FaultPlan::generate(&FaultSpec::standard(sim.k, sim.epochs, sim.mtbf, sim.fault_seed));
+    let churn = ChurnPlan::generate(&churn_spec);
+    validate_fault_churn(&faults, &churn, churn_spec.min_live)
+        .map_err(|e| format!("invalid fault/churn composition: {e}"))?;
+    let net = NetFaultPlan::generate(&netchaos_net_spec(sim.k, sim.epochs, sim.fault_seed));
+    let ckpt = CheckpointConfig::periodic(sim.checkpoint_every);
+    let (rows, prom) = match sim.system.as_str() {
+        "distgnn" => {
+            let mut timed = timed_edge_partitions_threaded(&graph, sim.k, 42, cmd.threads);
+            if sim.algo != "all" {
+                timed.retain(|t| t.name == sim.algo);
+                if timed.is_empty() {
+                    return Err(format!("{:?} is not an edge partitioner", sim.algo).into());
+                }
+            }
+            println!(
+                "netchaos: DistGNN, {} machines, {} partitioner(s), {} epochs \
+                 (mtbf {}, checkpoint every {}, seed {})",
+                sim.k,
+                timed.len(),
+                sim.epochs,
+                sim.mtbf,
+                sim.checkpoint_every,
+                sim.fault_seed
+            );
+            let rows = distgnn_netchaos_soak_threaded(
+                &graph,
+                &timed,
+                params,
+                sim.epochs,
+                sim.mtbf,
+                sim.checkpoint_every,
+                sim.fault_seed,
+                cmd.threads,
+            );
+            // One extra traced partitioned run of the roster's first
+            // partitioner feeds the Prometheus exposition: the soak's
+            // own sinks stay internal to its verdicts.
+            let mut prom = None;
+            if cmd.prom_out.is_some() {
+                let t = timed.first().expect("edge roster is never empty");
+                let config = DistGnnConfig::paper(
+                    params.model(ModelKind::Sage),
+                    ClusterSpec::paper(sim.k),
+                );
+                let sink = TraceSink::enabled();
+                DistGnnEngine::builder(&graph, &t.partition)
+                    .config(config)
+                    .trace(sink.clone())
+                    .build()?
+                    .simulate_run_partitioned(
+                        sim.epochs,
+                        &faults,
+                        &churn,
+                        &net,
+                        &ckpt,
+                        ElasticOptions::default(),
+                        NetRunOptions::default(),
+                    )?;
+                prom = Some(MetricsSnapshot::from_sink(&sink).to_prometheus());
+            }
+            (rows, prom)
+        }
+        "distdgl" => {
+            let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
+            let mut timed =
+                timed_vertex_partitions_threaded(&graph, sim.k, 42, &split.train, cmd.threads);
+            if sim.algo != "all" {
+                timed.retain(|t| t.name == sim.algo);
+                if timed.is_empty() {
+                    return Err(format!("{:?} is not a vertex partitioner", sim.algo).into());
+                }
+            }
+            println!(
+                "netchaos: DistDGL, {} machines, {} partitioner(s), {} epochs \
+                 (mtbf {}, checkpoint every {}, seed {})",
+                sim.k,
+                timed.len(),
+                sim.epochs,
+                sim.mtbf,
+                sim.checkpoint_every,
+                sim.fault_seed
+            );
+            let rows = distdgl_netchaos_soak_threaded(
+                &graph,
+                &split,
+                &timed,
+                params,
+                kind,
+                1024,
+                sim.epochs,
+                sim.mtbf,
+                sim.checkpoint_every,
+                sim.fault_seed,
+                cmd.threads,
+            );
+            let mut prom = None;
+            if cmd.prom_out.is_some() {
+                let t = timed.first().expect("vertex roster is never empty");
+                let mut config =
+                    DistDglConfig::paper(params.model(kind), ClusterSpec::paper(sim.k));
+                config.global_batch_size = 1024;
+                let sink = TraceSink::enabled();
+                DistDglEngine::builder(&graph, &t.partition, &split)
+                    .config(config)
+                    .trace(sink.clone())
+                    .build()?
+                    .simulate_run_partitioned(
+                        sim.epochs,
+                        &faults,
+                        &churn,
+                        &net,
+                        &ckpt,
+                        ElasticOptions::default(),
+                        NetRunOptions::default(),
+                    )?;
+                prom = Some(MetricsSnapshot::from_sink(&sink).to_prometheus());
+            }
+            (rows, prom)
+        }
+        other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
+    };
+    let table = netchaos_table(&format!("netchaos_{}", sim.system), &rows);
+    print!("{}", table.to_markdown());
+    for r in rows.iter().filter(|r| !r.holds()) {
+        println!(
+            "FAIL {}: completed {}/{}, deterministic={}, trace_transparent={}, \
+             degraded_never_worse={}, exactly_once={}, spans_exact={}",
+            r.name,
+            r.completed_epochs,
+            r.epochs,
+            r.deterministic,
+            r.trace_transparent,
+            r.degraded_never_worse,
+            r.exactly_once,
+            r.spans_exact
+        );
+    }
+    if let Some(csv) = &cmd.csv_out {
+        std::fs::write(csv, table.to_csv())?;
+        println!("netchaos CSV  -> {}", csv.display());
+    }
+    if let Some(bench) = &cmd.bench_out {
+        let json = match sim.system.as_str() {
+            "distgnn" => netchaos_bench_json(&rows, &[]),
+            _ => netchaos_bench_json(&[], &rows),
+        };
+        std::fs::write(bench, json)?;
+        println!("netchaos JSON -> {}", bench.display());
+    }
+    if let (Some(path), Some(prom)) = (&cmd.prom_out, &prom) {
+        std::fs::write(path, prom)?;
+        println!("netchaos prom -> {}", path.display());
+    }
+    let failed = rows.iter().filter(|r| !r.holds()).count();
+    if failed > 0 {
+        return Err(format!(
+            "{failed} of {} netchaos rows violated the network fault contract",
+            rows.len()
+        )
+        .into());
+    }
+    println!(
+        "all {} rows green: bit-identical reruns, exactly-once delivery, \
+         degraded mode never worse than abort-and-recover",
         rows.len()
     );
     Ok(())

@@ -10,6 +10,7 @@
 //! gnnpart trace or.el --algo HDRF -k 8 --trace-out trace.json
 //! gnnpart diagnose or.el --algo HDRF -k 8 --prom-out m.prom --report-out r.md
 //! gnnpart chaos or.el -k 8 --epochs 20                 # elastic-membership soak
+//! gnnpart netchaos or.el -k 8 --epochs 20              # + message-level net faults
 //! gnnpart recommend or.el -k 8 --epochs 200               # best partitioner
 //! gnnpart list                                         # available partitioners
 //! ```
@@ -33,6 +34,7 @@ pub fn run(command: Command) -> i32 {
         Command::Trace(c) => commands::trace(&c),
         Command::Diagnose(c) => commands::diagnose(&c),
         Command::Chaos(c) => commands::chaos(&c),
+        Command::NetChaos(c) => commands::netchaos(&c),
         Command::Recommend(c) => commands::recommend(c),
         Command::List => {
             commands::list();

@@ -37,7 +37,7 @@ fn help_lists_all_commands() {
     let text = stdout(&out);
     for cmd in
         ["generate", "stats", "partition", "simulate", "trace", "diagnose", "chaos",
-         "recommend", "list"]
+         "netchaos", "recommend", "list"]
     {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
@@ -165,6 +165,59 @@ fn chaos_soak_holds_and_rejects_degenerate_flags() {
     let out = gnnpart(&["chaos", el_str, "--checkpoint-every", "0"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("--checkpoint-every must be at least 1"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn netchaos_soak_holds_and_rejects_draining_compositions() {
+    let dir = workdir();
+    let el = dir.join("netchaos.el");
+    let el_str = el.to_str().expect("utf8 path");
+    let out = gnnpart(&["generate", "OR", "--scale", "tiny", "--out", el_str]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    let bench = dir.join("netchaos.json");
+    let csv = dir.join("netchaos.csv");
+    let prom = dir.join("netchaos.prom");
+    let out = gnnpart(&[
+        "netchaos", el_str, "--algo", "HDRF", "-k", "4", "--epochs", "8", "--mtbf", "4.0",
+        "--checkpoint-every", "2", "--threads", "2", "--bench-out",
+        bench.to_str().expect("utf8"), "--csv-out", csv.to_str().expect("utf8"),
+        "--prom-out", prom.to_str().expect("utf8"),
+    ]);
+    assert!(out.status.success(), "netchaos failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("rows green"), "verdict line missing: {text}");
+    let json = std::fs::read_to_string(&bench).expect("bench written");
+    gp_cli::jsonlint::validate_json(&json).expect("well-formed netchaos JSON");
+    assert!(json.contains("\"bench\":\"netchaos\""));
+    assert!(json.contains("\"invariants_hold\":true"));
+    assert!(std::fs::read_to_string(&csv).expect("csv written").lines().count() > 1);
+    // The Prometheus exposition of the traced run carries the network
+    // counter families — the loss/dup noise fires on every schedule.
+    let exposition = std::fs::read_to_string(&prom).expect("prom written");
+    for family in ["gnnpart_net_retries_total", "gnnpart_net_dup_discarded_total"] {
+        assert!(
+            exposition.contains(&format!("# TYPE {family} counter")),
+            "{family} missing from exposition:\n{exposition}"
+        );
+    }
+
+    // A crash schedule dense enough to drain the fleet below the churn
+    // floor is rejected up front (runtime error, exit 1) — no soak
+    // cell runs against an unsurvivable composition.
+    let out = gnnpart(&[
+        "netchaos", el_str, "--algo", "HDRF", "-k", "4", "--epochs", "8", "--mtbf", "0.4",
+        "--fault-seed", "7",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    assert!(stderr(&out).contains("invalid fault/churn composition"));
+
+    // Degenerate soak parameters stay usage errors (exit 2).
+    let out = gnnpart(&["netchaos", el_str, "--epochs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--epochs must be at least 1"));
 
     let _ = std::fs::remove_dir_all(dir);
 }

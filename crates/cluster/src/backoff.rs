@@ -1,0 +1,240 @@
+//! Shared retry/backoff policy: capped exponential delays with
+//! deterministic jitter, plus the flow-level loss-retry charge both
+//! training engines price lossy exchanges with.
+//!
+//! Before this module the "how much does message loss cost" arithmetic
+//! lived inline in three places — the DistDGL sampling-RPC and
+//! feature-fetch fault paths and the DistGNN replica-sync loop — each
+//! repeating the same four lines (expected retries, proportional retry
+//! bytes, transfer + timeout backoff). [`charge_loss_retries`] is that
+//! logic extracted verbatim: the float operation order is identical, so
+//! every previously published simulated time is bit-for-bit unchanged.
+//!
+//! [`BackoffPolicy`] is the per-attempt ladder the message-level
+//! transport model ([`crate::net`]) walks: capped exponential growth
+//! with jitter derived from a [`DetRng`] keyed on (seed, flow, attempt)
+//! — deterministic across reruns and thread counts, yet decorrelated
+//! between concurrent flows the way production RPC stacks spread
+//! retry storms.
+
+use crate::faults::{expected_retries, retry_backoff_secs, DetRng, RecoveryReport};
+use crate::spec::NetworkSpec;
+use crate::time::transfer_time;
+
+/// Capped-exponential retry ladder with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in simulated seconds.
+    pub base_secs: f64,
+    /// Multiplier applied per attempt (2.0 = classic doubling).
+    pub factor: f64,
+    /// Ceiling of any single delay, in simulated seconds.
+    pub cap_secs: f64,
+    /// Jitter amplitude as a fraction of the delay: each delay is
+    /// scaled by a factor drawn uniformly from `[1 − j, 1 + j)`.
+    pub jitter_frac: f64,
+    /// Seed of the jitter stream (mixed with the flow key and attempt
+    /// index, so equal policies give equal delays).
+    pub seed: u64,
+}
+
+impl BackoffPolicy {
+    /// The ladder an RPC stack on `network` would run: first retry
+    /// after one timeout (modelled as `3 × latency`, matching
+    /// [`retry_backoff_secs`]), doubling, capped at
+    /// [`crate::MAX_RETRY_BACKOFF_SECS`], ±10% jitter.
+    pub fn rpc(network: &NetworkSpec, seed: u64) -> BackoffPolicy {
+        BackoffPolicy {
+            base_secs: 3.0 * network.latency_sec,
+            factor: 2.0,
+            cap_secs: crate::MAX_RETRY_BACKOFF_SECS,
+            jitter_frac: 0.1,
+            seed,
+        }
+    }
+
+    /// The jitter multiplier of `(key, attempt)`: uniform in
+    /// `[1 − jitter_frac, 1 + jitter_frac)`, a pure function of the
+    /// policy seed, the flow key and the attempt index.
+    fn jitter(&self, key: u64, attempt: u32) -> f64 {
+        if self.jitter_frac <= 0.0 {
+            return 1.0;
+        }
+        let mut rng = DetRng::new(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(key.rotate_left(17))
+                .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9)),
+        );
+        1.0 + self.jitter_frac * (2.0 * rng.next_f64() - 1.0)
+    }
+
+    /// Delay before retry number `attempt` (0-based) of flow `key`:
+    /// `base · factor^attempt`, capped, then jittered. Never negative.
+    pub fn delay(&self, key: u64, attempt: u32) -> f64 {
+        let raw = self.base_secs * self.factor.powi(attempt.min(62) as i32);
+        (raw.min(self.cap_secs) * self.jitter(key, attempt)).max(0.0)
+    }
+
+    /// Total delay of the first `attempts` retries of flow `key`.
+    pub fn total_delay(&self, key: u64, attempts: u32) -> f64 {
+        (0..attempts).map(|a| self.delay(key, a)).sum()
+    }
+}
+
+/// What one lossy exchange costs beyond its lossless price.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetryCharge {
+    /// Retransmitted messages.
+    pub retries: u64,
+    /// Bytes moved by the retransmissions.
+    pub retry_bytes: u64,
+    /// Simulated seconds of retransmission transfer plus
+    /// timeout/backoff wait.
+    pub extra_secs: f64,
+}
+
+impl RetryCharge {
+    /// Whether the exchange was effectively lossless.
+    pub fn is_zero(&self) -> bool {
+        self.retries == 0 && self.retry_bytes == 0 && self.extra_secs == 0.0
+    }
+
+    /// Fold the retry/byte counts into a [`RecoveryReport`]. The
+    /// seconds stay with the caller — which phase they land in is the
+    /// engine's decision.
+    pub fn apply_counts(&self, recovery: &mut RecoveryReport) {
+        recovery.retries += self.retries;
+        recovery.retry_bytes += self.retry_bytes;
+    }
+}
+
+/// Flow-level price of message loss on one exchange of `messages`
+/// messages totalling `bytes`: the expected retransmissions at
+/// `loss_rate`, the proportional share of the payload they re-move, and
+/// the transfer + timeout-backoff seconds they add.
+///
+/// This is the exact arithmetic (operation order included) previously
+/// inlined in both engines' fault paths, so replacing those blocks with
+/// this call changes no simulated time.
+pub fn charge_loss_retries(
+    network: &NetworkSpec,
+    messages: u64,
+    bytes: u64,
+    loss_rate: f64,
+) -> RetryCharge {
+    if messages == 0 || loss_rate <= 0.0 {
+        return RetryCharge::default();
+    }
+    let retries = expected_retries(messages, loss_rate);
+    let retry_bytes = bytes / messages * retries;
+    let extra_secs = transfer_time(network, retry_bytes, retries)
+        + retry_backoff_secs(retries, network.latency_sec);
+    RetryCharge { retries, retry_bytes, extra_secs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetworkSpec {
+        NetworkSpec::ten_gbit()
+    }
+
+    #[test]
+    fn charge_matches_the_inlined_engine_arithmetic() {
+        let n = net();
+        let (messages, bytes, loss) = (120u64, 7_500_000u64, 0.05);
+        let c = charge_loss_retries(&n, messages, bytes, loss);
+        // The exact expressions the engines used inline.
+        let retries = expected_retries(messages, loss);
+        let retry_bytes = bytes / messages * retries;
+        let extra = transfer_time(&n, retry_bytes, retries)
+            + retry_backoff_secs(retries, n.latency_sec);
+        assert_eq!(c.retries, retries);
+        assert_eq!(c.retry_bytes, retry_bytes);
+        assert_eq!(c.extra_secs, extra, "bit-exact, not approximate");
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn charge_is_zero_without_loss_or_messages() {
+        let n = net();
+        assert!(charge_loss_retries(&n, 0, 1_000, 0.5).is_zero());
+        assert!(charge_loss_retries(&n, 10, 1_000, 0.0).is_zero());
+        assert!(charge_loss_retries(&n, 10, 1_000, -1.0).is_zero());
+    }
+
+    #[test]
+    fn charge_is_monotone_in_loss() {
+        let n = net();
+        let lo = charge_loss_retries(&n, 100, 1_000_000, 0.02);
+        let hi = charge_loss_retries(&n, 100, 1_000_000, 0.2);
+        assert!(hi.retries > lo.retries);
+        assert!(hi.retry_bytes > lo.retry_bytes);
+        assert!(hi.extra_secs > lo.extra_secs);
+    }
+
+    #[test]
+    fn apply_counts_folds_into_recovery() {
+        let mut r = RecoveryReport::default();
+        let c = RetryCharge { retries: 5, retry_bytes: 500, extra_secs: 0.25 };
+        c.apply_counts(&mut r);
+        c.apply_counts(&mut r);
+        assert_eq!(r.retries, 10);
+        assert_eq!(r.retry_bytes, 1_000);
+        assert_eq!(r.retry_seconds, 0.0, "seconds placement is the caller's call");
+    }
+
+    #[test]
+    fn ladder_grows_exponentially_then_caps() {
+        let p = BackoffPolicy {
+            base_secs: 1.0,
+            factor: 2.0,
+            cap_secs: 8.0,
+            jitter_frac: 0.0,
+            seed: 0,
+        };
+        assert_eq!(p.delay(0, 0), 1.0);
+        assert_eq!(p.delay(0, 1), 2.0);
+        assert_eq!(p.delay(0, 2), 4.0);
+        assert_eq!(p.delay(0, 3), 8.0);
+        assert_eq!(p.delay(0, 10), 8.0, "capped");
+        assert_eq!(p.delay(0, 62), 8.0, "huge attempt indices cannot overflow");
+        assert_eq!(p.total_delay(0, 4), 15.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_flow_decorrelated() {
+        let p = BackoffPolicy {
+            base_secs: 1.0,
+            factor: 2.0,
+            cap_secs: 30.0,
+            jitter_frac: 0.1,
+            seed: 0xabc,
+        };
+        for attempt in 0..6 {
+            let d = p.delay(7, attempt);
+            let nominal = (1.0f64 * 2.0f64.powi(attempt as i32)).min(30.0);
+            assert!(d >= nominal * 0.9 - 1e-12 && d < nominal * 1.1 + 1e-12, "bounded: {d}");
+            assert_eq!(d, p.delay(7, attempt), "deterministic");
+        }
+        // Different flows see different jitter (retry storms spread out).
+        let flows: Vec<f64> = (0..16).map(|k| p.delay(k, 0)).collect();
+        let distinct = flows.iter().filter(|&&d| d != flows[0]).count();
+        assert!(distinct > 0, "flow key must decorrelate jitter: {flows:?}");
+    }
+
+    #[test]
+    fn rpc_policy_matches_the_flow_level_timeout_model() {
+        let n = net();
+        let p = BackoffPolicy::rpc(&n, 9);
+        assert_eq!(p.base_secs, 3.0 * n.latency_sec);
+        assert_eq!(p.cap_secs, crate::MAX_RETRY_BACKOFF_SECS);
+        // First-retry nominal delay equals the flow-level per-retry
+        // charge of `retry_backoff_secs(1, latency)`.
+        let nominal = retry_backoff_secs(1, n.latency_sec);
+        let d = p.delay(0, 0);
+        assert!((d - nominal).abs() <= nominal * p.jitter_frac + 1e-15);
+    }
+}

@@ -38,17 +38,31 @@
 //! restores are checksum-validated against the fault plan's corruption
 //! schedule — the substrate of the engines' `simulate_run_elastic`
 //! paths and the `gnnpart chaos` soak harness.
+//!
+//! [`net`] drops below the scalar brownout model to *message*
+//! granularity: typed flows with sequence numbers, seeded per-message
+//! loss/duplication/reorder priced by [`noise_charge`], exactly-once
+//! effective delivery via [`DedupWindow`], and [`PartitionWindow`]s
+//! that split the fleet into quorum/minority islands — the substrate of
+//! the engines' `simulate_run_partitioned` paths and `gnnpart
+//! netchaos`. [`backoff`] is the shared capped-exponential retry ladder
+//! (deterministic jitter) both that transport and the engines' scalar
+//! loss paths charge through.
 
+pub mod backoff;
 pub mod checkpoint;
 pub mod counters;
 pub mod detect;
 pub mod faults;
 pub mod membership;
 pub mod metrics;
+pub mod net;
 pub mod outcome;
 pub mod spec;
 pub mod time;
 pub mod trace;
+
+pub use backoff::{charge_loss_retries, BackoffPolicy, RetryCharge};
 
 pub use checkpoint::{
     CheckpointConfig, CheckpointStore, RestoreOutcome, SnapshotMeta, WriteOutcome,
@@ -66,6 +80,11 @@ pub use detect::{DetectorConfig, MitigationPolicy, MitigationReport, StragglerDe
 pub use faults::{
     expected_retries, retry_backoff_secs, retry_backoff_secs_capped, FaultEvent, FaultPlan,
     FaultSpec, RecoveryReport, MAX_RETRY_BACKOFF_SECS,
+};
+pub use net::{
+    noise_charge, validate_fault_churn, DedupWindow, MessageKind, NetCharge, NetFaultPlan,
+    NetFaultSpec, NetRunOptions, NetRunReport, PartitionWindow, PartitionedRunReport,
+    MAX_DELIVERY_ATTEMPTS,
 };
 pub use outcome::EpochOutcome;
 pub use spec::{ClusterSpec, MachineSpec, NetworkSpec, SpecError};

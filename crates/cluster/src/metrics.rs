@@ -627,6 +627,46 @@ impl MetricsSnapshot {
                 prom_f64(c.peak)
             ));
         }
+        // Network transport families, present only when a run actually
+        // recorded `net_*` counters (the partitioned path), so every
+        // artifact produced by earlier paths stays byte-identical.
+        let net_families: [(&str, &str, &str); 4] = [
+            (
+                crate::trace::counter_names::NET_RETRIES,
+                "gnnpart_net_retries_total",
+                "Loss-induced message retransmissions (message-level transport model).",
+            ),
+            (
+                crate::trace::counter_names::NET_RETRY_SECONDS,
+                "gnnpart_net_retry_seconds_total",
+                "Simulated seconds lost to transport noise (retries, backoff, reorder).",
+            ),
+            (
+                crate::trace::counter_names::NET_DUP_DISCARDED,
+                "gnnpart_net_dup_discarded_total",
+                "Duplicate message arrivals discarded by dedup windows.",
+            ),
+            (
+                crate::trace::counter_names::NET_PARTITION_EPOCHS,
+                "gnnpart_net_partition_epochs_total",
+                "Epochs spent inside network partition windows.",
+            ),
+        ];
+        for (counter, family, help) in net_families {
+            let rows: Vec<_> =
+                self.counters.iter().filter(|((_, name), _)| *name == counter).collect();
+            if rows.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("# HELP {family} {help}\n# TYPE {family} counter\n"));
+            for ((worker, _), c) in rows {
+                out.push_str(&format!(
+                    "{family}{{worker=\"{}\"}} {}\n",
+                    worker_label(*worker),
+                    prom_f64(c.peak)
+                ));
+            }
+        }
         out
     }
 }
@@ -931,6 +971,49 @@ mod tests {
         reg2.observe_span(&span(1, 0, TracePhase::Sync, 2.0, 32));
         reg2.observe_counter(&CounterEvent { t: 0.0, worker: 0, name: "bytes_sent", value: 64.0 });
         assert_eq!(text, reg2.snapshot().to_prometheus());
+    }
+
+    #[test]
+    fn prometheus_net_families_appear_only_when_recorded() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe_span(&span(0, 0, TracePhase::Forward, 1.5e-4, 64));
+        let without = reg.snapshot().to_prometheus();
+        assert!(!without.contains("gnnpart_net_"), "no net counters, no net families");
+        reg.observe_counter(&CounterEvent {
+            t: 0.0,
+            worker: 0,
+            name: crate::trace::counter_names::NET_RETRIES,
+            value: 12.0,
+        });
+        reg.observe_counter(&CounterEvent {
+            t: 0.0,
+            worker: 0,
+            name: crate::trace::counter_names::NET_RETRY_SECONDS,
+            value: 0.5,
+        });
+        reg.observe_counter(&CounterEvent {
+            t: 0.0,
+            worker: 0,
+            name: crate::trace::counter_names::NET_DUP_DISCARDED,
+            value: 3.0,
+        });
+        reg.observe_counter(&CounterEvent {
+            t: 0.0,
+            worker: 0,
+            name: crate::trace::counter_names::NET_PARTITION_EPOCHS,
+            value: 2.0,
+        });
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(text.matches("# TYPE gnnpart_net_retries_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_net_retry_seconds_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_net_dup_discarded_total counter").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_net_partition_epochs_total counter").count(), 1);
+        assert!(text.contains("gnnpart_net_retries_total{worker=\"0\"} 12"));
+        assert!(text.contains("gnnpart_net_retry_seconds_total{worker=\"0\"} 0.5"));
+        assert!(text.contains("gnnpart_net_dup_discarded_total{worker=\"0\"} 3"));
+        assert!(text.contains("gnnpart_net_partition_epochs_total{worker=\"0\"} 2"));
+        // The untouched prefix (pre-existing families) is unchanged.
+        assert!(text.starts_with(&without));
     }
 
     #[test]

@@ -1,0 +1,812 @@
+//! Seeded message-level transport simulation: loss, duplication,
+//! reorder, and network partitions.
+//!
+//! Every earlier robustness layer models the network as a scalar
+//! brownout on link bandwidth. Real distributed GNN training fails at
+//! *message* granularity — DistDGL's KVStore RPC fetches get lost and
+//! retried, DistGNN's delayed-remote-aggregation sync messages arrive
+//! duplicated or out of order, and racks partition into islands that
+//! cannot reach each other at all. This module supplies that model:
+//!
+//! * [`MessageKind`] — the four typed flows the engines exchange
+//!   (feature fetch, gradient sync, shard handoff, checkpoint write),
+//!   each with per-flow sequence numbers;
+//! * [`NetFaultSpec`] / [`NetFaultPlan`] — seeded generation of
+//!   per-message loss/duplication/reorder probabilities plus
+//!   [`PartitionWindow`]s that split the fleet into a quorum island and
+//!   a minority island for a bounded interval (mirrors
+//!   [`crate::FaultPlan`]: same spec ⇒ bit-identical plan);
+//! * [`DedupWindow`] — the receiver-side sequence-number window that
+//!   makes delivery *exactly-once-effective*: retries and duplicates
+//!   are discarded on arrival, so every unique message takes effect
+//!   exactly once no matter how the transport mangles it;
+//! * [`noise_charge`] — the pure per-flow cost function: each message
+//!   is walked through seeded loss (timeout + capped-exponential retry
+//!   with deterministic jitter via [`BackoffPolicy`]), duplication
+//!   (second arrival discarded by the dedup window) and reorder (one
+//!   extra latency of in-order release delay). Same arguments ⇒
+//!   bit-identical [`NetCharge`], so the engines' adopt-only probes
+//!   price exactly what execution later charges;
+//! * [`validate_fault_churn`] — the composition guard: a crash
+//!   schedule that could drop the live fleet below the churn plan's
+//!   `min_live` quorum floor is rejected up front instead of draining
+//!   the cluster mid-run.
+//!
+//! An empty plan ([`NetFaultPlan::empty`]) is the healthy transport:
+//! engines short-circuit on it and reproduce their elastic paths
+//! bit-for-bit, so no published artifact drifts.
+
+use crate::backoff::BackoffPolicy;
+use crate::faults::{DetRng, FaultPlan};
+use crate::membership::{ChurnPlan, ElasticRunReport, Fleet};
+use crate::spec::NetworkSpec;
+use crate::time::transfer_time;
+
+/// Retry attempts per message before the model hands the flow to the
+/// application-level recovery path. At the loss rates the specs
+/// schedule (≤ a few percent) the cap is effectively never reached —
+/// it exists to bound the simulation, and the final attempt is assumed
+/// to succeed (the retry-until-success idiom of the flow-level model).
+pub const MAX_DELIVERY_ATTEMPTS: u32 = 8;
+
+/// A typed message flow between workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Remote feature / embedding fetch (DistDGL KVStore pull, DistGNN
+    /// replica read).
+    FeatureFetch,
+    /// Gradient / model synchronisation (all-reduce segments, replica
+    /// sync).
+    GradientSync,
+    /// Partition-shard migration (handoffs, rebalances).
+    ShardHandoff,
+    /// Checkpoint shard write to the snapshot store.
+    CheckpointWrite,
+}
+
+impl MessageKind {
+    /// Every kind, in stable order.
+    pub const ALL: [MessageKind; 4] = [
+        MessageKind::FeatureFetch,
+        MessageKind::GradientSync,
+        MessageKind::ShardHandoff,
+        MessageKind::CheckpointWrite,
+    ];
+
+    /// Stable display / metric-label name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageKind::FeatureFetch => "feature_fetch",
+            MessageKind::GradientSync => "gradient_sync",
+            MessageKind::ShardHandoff => "shard_handoff",
+            MessageKind::CheckpointWrite => "checkpoint_write",
+        }
+    }
+
+    /// Stable numeric id (seeds the per-flow RNG stream).
+    fn id(self) -> u64 {
+        match self {
+            MessageKind::FeatureFetch => 1,
+            MessageKind::GradientSync => 2,
+            MessageKind::ShardHandoff => 3,
+            MessageKind::CheckpointWrite => 4,
+        }
+    }
+}
+
+/// Parameters of a seeded message-level fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultSpec {
+    /// Worker slots in the cluster (at most 64, like [`Fleet`]).
+    pub machines: u32,
+    /// Epochs the schedule covers.
+    pub epochs: u32,
+    /// Per-message loss probability (each loss costs one timeout +
+    /// backoff rung + retransmission).
+    pub loss_prob: f64,
+    /// Per-message duplication probability (the duplicate arrival is
+    /// discarded by the receiver's [`DedupWindow`]).
+    pub dup_prob: f64,
+    /// Per-message reorder probability (one extra latency of in-order
+    /// release delay).
+    pub reorder_prob: f64,
+    /// Per-epoch probability that a partition window starts (outside an
+    /// existing window).
+    pub partition_prob: f64,
+    /// Length of a partition window in epochs.
+    pub partition_epochs: u32,
+    /// Bounded-staleness budget: degraded mode may serve stale remote
+    /// state for at most this many consecutive epochs; longer windows
+    /// force abort-and-recover.
+    pub staleness_bound: u32,
+    /// Seed of the deterministic schedule and noise streams.
+    pub seed: u64,
+}
+
+impl NetFaultSpec {
+    /// A realistic lossy-datacenter schedule: 1% loss, 2% duplication,
+    /// 5% reorder, and a partition window of 2 epochs starting with 4%
+    /// probability per epoch, with a 3-epoch staleness budget.
+    pub fn standard(machines: u32, epochs: u32, seed: u64) -> Self {
+        NetFaultSpec {
+            machines,
+            epochs,
+            loss_prob: 0.01,
+            dup_prob: 0.02,
+            reorder_prob: 0.05,
+            partition_prob: 0.04,
+            partition_epochs: 2,
+            staleness_bound: 3,
+            seed,
+        }
+    }
+}
+
+/// One network partition: during `[from_epoch, until_epoch)` the
+/// `minority` island (a bitmask of worker slots) cannot reach the rest
+/// of the fleet. The complement is always the strict majority, so the
+/// quorum side is well defined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// First partitioned epoch.
+    pub from_epoch: u32,
+    /// First healed epoch (exclusive bound).
+    pub until_epoch: u32,
+    /// Bitmask of the minority-island worker slots.
+    pub minority: u64,
+}
+
+impl PartitionWindow {
+    /// Window length in epochs.
+    pub fn len(&self) -> u32 {
+        self.until_epoch.saturating_sub(self.from_epoch)
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `epoch` falls inside the window.
+    pub fn contains(&self, epoch: u32) -> bool {
+        self.from_epoch <= epoch && epoch < self.until_epoch
+    }
+
+    /// Minority-island members, ascending.
+    pub fn minority_workers(&self) -> Vec<u32> {
+        (0..64).filter(|&w| self.minority & (1u64 << w) != 0).collect()
+    }
+}
+
+/// A fully materialised, deterministic message-level fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetFaultPlan {
+    /// Partition windows, non-overlapping, ascending by epoch.
+    pub windows: Vec<PartitionWindow>,
+    /// Per-message loss probability.
+    pub loss_prob: f64,
+    /// Per-message duplication probability.
+    pub dup_prob: f64,
+    /// Per-message reorder probability.
+    pub reorder_prob: f64,
+    /// Bounded-staleness budget for degraded mode, in epochs.
+    pub staleness_bound: u32,
+    /// Worker slots the plan was generated for.
+    pub machines: u32,
+    /// Epochs the plan covers.
+    pub epochs: u32,
+    /// Seed of the noise streams ([`noise_charge`] mixes it per flow).
+    pub seed: u64,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> Self {
+        NetFaultPlan::empty()
+    }
+}
+
+impl NetFaultPlan {
+    /// The healthy transport: no partitions, no noise. Engines
+    /// short-circuit on it and reproduce their elastic paths
+    /// bit-for-bit.
+    pub fn empty() -> Self {
+        NetFaultPlan {
+            windows: Vec::new(),
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+            reorder_prob: 0.0,
+            staleness_bound: 0,
+            machines: 0,
+            epochs: 0,
+            seed: 0,
+        }
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty() && !self.has_noise()
+    }
+
+    /// Whether any per-message noise (loss / duplication / reorder) is
+    /// scheduled.
+    pub fn has_noise(&self) -> bool {
+        self.loss_prob > 0.0 || self.dup_prob > 0.0 || self.reorder_prob > 0.0
+    }
+
+    /// Materialise the schedule for a spec. Partition windows are drawn
+    /// epoch by epoch (outside an existing window) with a minority
+    /// island of `1 ..= (machines − 1) / 2` uniformly drawn members, so
+    /// the complement is always a strict majority. Fleets of fewer than
+    /// three machines cannot partition into quorum + minority and get
+    /// noise only. Same spec ⇒ bit-identical plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.machines` exceeds 64.
+    pub fn generate(spec: &NetFaultSpec) -> NetFaultPlan {
+        assert!(spec.machines <= 64, "net fleet must have at most 64 worker slots");
+        let mut windows = Vec::new();
+        if spec.partition_prob > 0.0 && spec.partition_epochs > 0 && spec.machines >= 3 {
+            let mut rng = DetRng::new(spec.seed ^ 0x9a11_ce11_ab1e_c0de);
+            let max_minority = (spec.machines - 1) / 2;
+            let mut epoch = 0;
+            while epoch < spec.epochs {
+                if !rng.chance(spec.partition_prob) {
+                    epoch += 1;
+                    continue;
+                }
+                let size = 1 + rng.below(u64::from(max_minority)) as u32;
+                let mut minority = 0u64;
+                while minority.count_ones() < size {
+                    minority |= 1u64 << rng.below(u64::from(spec.machines));
+                }
+                let until = epoch.saturating_add(spec.partition_epochs).min(spec.epochs);
+                windows.push(PartitionWindow { from_epoch: epoch, until_epoch: until, minority });
+                epoch = until;
+            }
+        }
+        NetFaultPlan {
+            windows,
+            loss_prob: spec.loss_prob.clamp(0.0, 0.9),
+            dup_prob: spec.dup_prob.clamp(0.0, 1.0),
+            reorder_prob: spec.reorder_prob.clamp(0.0, 1.0),
+            staleness_bound: spec.staleness_bound,
+            machines: spec.machines,
+            epochs: spec.epochs,
+            seed: spec.seed,
+        }
+    }
+
+    /// The partition window covering `epoch`, if any.
+    pub fn window_at(&self, epoch: u32) -> Option<&PartitionWindow> {
+        self.windows.iter().find(|w| w.contains(epoch))
+    }
+
+    /// Minority-island bitmask at `epoch` (0 when unpartitioned).
+    pub fn minority_at(&self, epoch: u32) -> u64 {
+        self.window_at(epoch).map_or(0, |w| w.minority)
+    }
+
+    /// Total partitioned epochs scheduled.
+    pub fn total_partition_epochs(&self) -> u32 {
+        self.windows.iter().map(|w| w.len()).sum()
+    }
+}
+
+/// Receiver-side sequence-number window: accepts each sequence number
+/// at most once, discarding retransmissions and duplicates, so delivery
+/// is exactly-once-effective as long as duplicates arrive within the
+/// window.
+#[derive(Debug, Clone)]
+pub struct DedupWindow {
+    capacity: usize,
+    order: std::collections::VecDeque<u64>,
+    seen: std::collections::BTreeSet<u64>,
+    /// One past the highest accepted sequence number.
+    high: u64,
+}
+
+impl DedupWindow {
+    /// A window remembering the last `capacity` accepted sequence
+    /// numbers (at least 1).
+    pub fn new(capacity: usize) -> DedupWindow {
+        DedupWindow {
+            capacity: capacity.max(1),
+            order: std::collections::VecDeque::new(),
+            seen: std::collections::BTreeSet::new(),
+            high: 0,
+        }
+    }
+
+    /// Offer an arriving sequence number. Returns `true` exactly when
+    /// the message should take effect: the first arrival of a number
+    /// the window still covers. Duplicates inside the window and
+    /// arrivals older than the window are rejected (an old arrival can
+    /// only be a straggling retransmission of an already-effective
+    /// message).
+    pub fn accept(&mut self, seq: u64) -> bool {
+        if seq.saturating_add(self.capacity as u64) <= self.high {
+            return false;
+        }
+        if !self.seen.insert(seq) {
+            return false;
+        }
+        self.order.push_back(seq);
+        if self.order.len() > self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.seen.remove(&old);
+            }
+        }
+        self.high = self.high.max(seq + 1);
+        true
+    }
+
+    /// Sequence numbers currently remembered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether nothing has been accepted yet.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+/// What the transport noise did to one flow (or a whole run, via
+/// [`NetCharge::merge`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetCharge {
+    /// Unique messages offered to the flow.
+    pub messages: u64,
+    /// Messages that took effect (always equals `messages`:
+    /// exactly-once-effective).
+    pub delivered: u64,
+    /// Loss-induced retransmissions.
+    pub retries: u64,
+    /// Bytes re-moved by retransmissions.
+    pub retry_bytes: u64,
+    /// Duplicate arrivals injected by the transport.
+    pub duplicates: u64,
+    /// Duplicate arrivals discarded by the dedup window (equals
+    /// `duplicates` when the window holds).
+    pub dup_discarded: u64,
+    /// Messages delivered out of order (held for in-order release).
+    pub reordered: u64,
+    /// Simulated seconds of retransmission transfer, timeout/backoff
+    /// wait, and reorder release delay.
+    pub extra_secs: f64,
+}
+
+impl NetCharge {
+    /// Fold another charge into this one.
+    pub fn merge(&mut self, other: &NetCharge) {
+        self.messages += other.messages;
+        self.delivered += other.delivered;
+        self.retries += other.retries;
+        self.retry_bytes += other.retry_bytes;
+        self.duplicates += other.duplicates;
+        self.dup_discarded += other.dup_discarded;
+        self.reordered += other.reordered;
+        self.extra_secs += other.extra_secs;
+    }
+
+    /// Whether the noise was free.
+    pub fn is_zero(&self) -> bool {
+        self.retries == 0 && self.duplicates == 0 && self.reordered == 0 && self.extra_secs == 0.0
+    }
+}
+
+/// Price the transport noise on one flow: `messages` sequence-numbered
+/// messages totalling `bytes`, of kind `kind`, sent by `src` during
+/// `epoch`. Pure and seeded — equal arguments give a bit-identical
+/// charge on any thread, which is what lets the engines' adopt-only
+/// probes price exactly what execution later pays.
+///
+/// Per message: loss retries up to [`MAX_DELIVERY_ATTEMPTS`] walk the
+/// [`BackoffPolicy::rpc`] ladder (deterministic jitter keyed on the
+/// sequence number); a duplicate arrival is offered to the
+/// [`DedupWindow`] and discarded; a reordered message waits one extra
+/// network latency for in-order release. Retransmission bytes are
+/// charged flow-level through [`transfer_time`], mirroring the
+/// scalar-loss model, and the total backoff wait is clamped at
+/// [`crate::MAX_RETRY_BACKOFF_SECS`] like every other retry ladder in
+/// the crate.
+pub fn noise_charge(
+    plan: &NetFaultPlan,
+    kind: MessageKind,
+    epoch: u32,
+    src: u32,
+    messages: u64,
+    bytes: u64,
+    network: &NetworkSpec,
+) -> NetCharge {
+    let mut charge = NetCharge { messages, delivered: messages, ..NetCharge::default() };
+    if messages == 0 || !plan.has_noise() {
+        return charge;
+    }
+    let mut rng = DetRng::new(
+        plan.seed
+            .wrapping_mul(0x94d0_49bb_1331_11eb)
+            .wrapping_add(kind.id().rotate_left(48))
+            .wrapping_add(u64::from(epoch).rotate_left(24))
+            .wrapping_add(u64::from(src)),
+    );
+    let policy = BackoffPolicy::rpc(network, plan.seed ^ kind.id());
+    let mut dedup = DedupWindow::new(messages.min(4096) as usize);
+    let per_msg = bytes / messages;
+    let mut backoff_secs = 0.0;
+    for seq in 0..messages {
+        let mut attempt = 0;
+        while attempt + 1 < MAX_DELIVERY_ATTEMPTS && rng.chance(plan.loss_prob) {
+            backoff_secs += policy.delay(seq, attempt);
+            charge.retries += 1;
+            charge.retry_bytes += per_msg;
+            attempt += 1;
+        }
+        assert!(dedup.accept(seq), "first arrival of a fresh sequence number takes effect");
+        if rng.chance(plan.dup_prob) {
+            charge.duplicates += 1;
+            if !dedup.accept(seq) {
+                charge.dup_discarded += 1;
+            }
+        }
+        if rng.chance(plan.reorder_prob) {
+            charge.reordered += 1;
+            charge.extra_secs += network.latency_sec;
+        }
+    }
+    charge.extra_secs += transfer_time(network, charge.retry_bytes, charge.retries)
+        + backoff_secs.min(crate::MAX_RETRY_BACKOFF_SECS);
+    charge
+}
+
+/// Policy knobs of a partitioned run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetRunOptions {
+    /// Allow bounded-staleness degraded mode during partitions (true),
+    /// or always abort and recover from the last checkpoint (false —
+    /// the baseline the degraded mode must never lose to).
+    pub degraded: bool,
+}
+
+impl Default for NetRunOptions {
+    fn default() -> Self {
+        NetRunOptions { degraded: true }
+    }
+}
+
+impl NetRunOptions {
+    /// The abort-and-recover baseline.
+    pub fn abort_only() -> Self {
+        NetRunOptions { degraded: false }
+    }
+}
+
+/// Transport-layer accounting of one partitioned run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetRunReport {
+    /// Partition windows that actually split the live fleet.
+    pub windows: u32,
+    /// Windows served in bounded-staleness degraded mode.
+    pub degraded_windows: u32,
+    /// Windows handled by abort-and-recover.
+    pub aborted_windows: u32,
+    /// Epochs spent inside partition windows.
+    pub partitioned_epochs: u32,
+    /// Partitioned epochs served in degraded mode.
+    pub degraded_epochs: u32,
+    /// Partitioned epochs burned and re-executed by aborts.
+    pub aborted_epochs: u32,
+    /// Remote aggregations served from stale replicas (DistGNN degraded
+    /// mode).
+    pub stale_served: u64,
+    /// Feature fetches deferred to the local cache (DistDGL degraded
+    /// mode).
+    pub deferred_fetches: u64,
+    /// Maximum staleness any served value reached, in epochs.
+    pub max_staleness: u32,
+    /// Bytes streamed to refresh minority islands after heal.
+    pub catchup_bytes: u64,
+    /// Simulated seconds of post-heal catch-up streaming.
+    pub catchup_seconds: f64,
+    /// Transport noise totals over every charged flow.
+    pub noise: NetCharge,
+}
+
+impl NetRunReport {
+    /// Fold a flow charge into the run totals.
+    pub fn absorb(&mut self, charge: &NetCharge) {
+        self.noise.merge(charge);
+    }
+
+    /// Whether delivery stayed exactly-once-effective: every unique
+    /// message took effect and every duplicate was discarded.
+    pub fn exactly_once(&self) -> bool {
+        self.noise.delivered == self.noise.messages
+            && self.noise.dup_discarded == self.noise.duplicates
+    }
+
+    /// Total transport-layer overhead in simulated seconds.
+    pub fn overhead_seconds(&self) -> f64 {
+        self.noise.extra_secs + self.catchup_seconds
+    }
+}
+
+/// Outcome of a `simulate_run_partitioned` call: the elastic run report
+/// plus the transport-layer accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionedRunReport {
+    /// The membership/fault accounting (same shape as
+    /// `simulate_run_elastic`).
+    pub elastic: ElasticRunReport,
+    /// The transport accounting.
+    pub net: NetRunReport,
+}
+
+impl PartitionedRunReport {
+    /// Total simulated wall time: the elastic total plus transport
+    /// noise and post-heal catch-up.
+    pub fn total_seconds(&self) -> f64 {
+        self.elastic.total_seconds() + self.net.overhead_seconds()
+    }
+}
+
+/// Reject fault/churn compositions that can drain the cluster: if at
+/// any epoch the scheduled churn leaves the fleet with `L` live workers
+/// and the fault plan crashes `c` distinct live workers that same
+/// epoch, then `L − c` must stay at or above `min_live`. (Churn alone
+/// respects the floor by construction — [`ChurnPlan::generate`]
+/// suppresses leaves at `min_live` — but crashes are scheduled blind,
+/// so the composition must be checked.)
+pub fn validate_fault_churn(
+    faults: &FaultPlan,
+    churn: &ChurnPlan,
+    min_live: u32,
+) -> Result<(), String> {
+    if faults.is_empty() || churn.machines == 0 {
+        return Ok(());
+    }
+    let mut fleet = Fleet::full(churn.machines);
+    let epochs = churn.epochs.max(faults.epochs);
+    for epoch in 0..epochs {
+        let (leaves, joins) = churn.events_at(epoch);
+        for w in &leaves {
+            fleet.mark_left(*w);
+        }
+        for w in &joins {
+            fleet.mark_joined(*w);
+        }
+        let mut crashing = 0u64;
+        for (machine, _) in faults.crashes_in_epoch(epoch) {
+            if fleet.is_live(machine) {
+                crashing |= 1u64 << machine;
+            }
+        }
+        let live_after = fleet.live_count() - crashing.count_ones();
+        if live_after < min_live {
+            return Err(format!(
+                "fault/churn composition drains the cluster at epoch {epoch}: \
+                 {} live workers minus {} crashing leaves {live_after} < min_live {min_live}",
+                fleet.live_count(),
+                crashing.count_ones(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultEvent, FaultSpec};
+    use crate::membership::{ChurnEvent, ChurnSpec};
+
+    fn spec(seed: u64) -> NetFaultSpec {
+        NetFaultSpec::standard(8, 64, seed)
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_seed_sensitive() {
+        let a = NetFaultPlan::generate(&spec(7));
+        let b = NetFaultPlan::generate(&spec(7));
+        assert_eq!(a, b);
+        let c = NetFaultPlan::generate(&spec(8));
+        assert_ne!(a, c, "different seeds give different schedules");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn windows_are_disjoint_with_strict_minorities() {
+        let plan = NetFaultPlan::generate(&spec(0xbeef));
+        assert!(!plan.windows.is_empty(), "standard spec over 64 epochs partitions");
+        let mut last_end = 0;
+        for w in &plan.windows {
+            assert!(w.from_epoch >= last_end, "windows must not overlap");
+            assert!(w.until_epoch <= plan.epochs);
+            assert!(!w.is_empty());
+            last_end = w.until_epoch;
+            let size = w.minority.count_ones();
+            assert!(size >= 1 && size <= (plan.machines - 1) / 2, "strict minority: {size}");
+            assert!(w.minority < 1u64 << plan.machines, "members within the fleet");
+            assert_eq!(w.minority_workers().len(), size as usize);
+        }
+    }
+
+    #[test]
+    fn tiny_fleets_get_noise_but_never_partitions() {
+        for machines in [1u32, 2] {
+            let plan = NetFaultPlan::generate(&NetFaultSpec::standard(machines, 64, 3));
+            assert!(plan.windows.is_empty(), "{machines} machines cannot split into quorum+minority");
+            assert!(plan.has_noise());
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = NetFaultPlan::empty();
+        assert!(plan.is_empty());
+        assert!(!plan.has_noise());
+        assert_eq!(plan.minority_at(0), 0);
+        let n = NetworkSpec::ten_gbit();
+        let c = noise_charge(&plan, MessageKind::FeatureFetch, 0, 0, 100, 1_000_000, &n);
+        assert!(c.is_zero());
+        assert_eq!(c.delivered, 100);
+    }
+
+    #[test]
+    fn window_lookup_matches_membership() {
+        let plan = NetFaultPlan {
+            windows: vec![PartitionWindow { from_epoch: 3, until_epoch: 5, minority: 0b0110 }],
+            machines: 8,
+            epochs: 10,
+            ..NetFaultPlan::empty()
+        };
+        assert!(plan.window_at(2).is_none());
+        assert_eq!(plan.minority_at(3), 0b0110);
+        assert_eq!(plan.minority_at(4), 0b0110);
+        assert!(plan.window_at(5).is_none());
+        assert_eq!(plan.total_partition_epochs(), 2);
+    }
+
+    #[test]
+    fn dedup_window_is_exactly_once_effective() {
+        let mut w = DedupWindow::new(8);
+        assert!(w.is_empty());
+        assert!(w.accept(0), "first arrival takes effect");
+        assert!(!w.accept(0), "duplicate discarded");
+        assert!(w.accept(1));
+        assert!(!w.accept(1));
+        assert!(!w.accept(0), "late duplicate still discarded");
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn dedup_window_rejects_arrivals_older_than_the_window() {
+        let mut w = DedupWindow::new(4);
+        for seq in 0..10 {
+            assert!(w.accept(seq));
+        }
+        // 0..=5 have fallen out of the 4-wide window; a straggling
+        // retransmission of them must not take effect twice.
+        for seq in 0..6 {
+            assert!(!w.accept(seq), "stale seq {seq} re-accepted");
+        }
+        assert!(!w.accept(9), "recent duplicate discarded");
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn noise_charge_is_deterministic_and_exactly_once() {
+        let plan = NetFaultPlan::generate(&spec(0x7e57));
+        let n = NetworkSpec::ten_gbit();
+        let a = noise_charge(&plan, MessageKind::GradientSync, 5, 2, 500, 5_000_000, &n);
+        let b = noise_charge(&plan, MessageKind::GradientSync, 5, 2, 500, 5_000_000, &n);
+        assert_eq!(a, b, "pure function of its arguments");
+        assert_eq!(a.delivered, 500, "every message takes effect");
+        assert_eq!(a.dup_discarded, a.duplicates, "every duplicate discarded");
+        assert!(a.retries > 0, "1% loss over 500 messages retries");
+        assert!(a.duplicates > 0);
+        assert!(a.reordered > 0);
+        assert!(a.extra_secs > 0.0);
+        // Different flows draw different noise.
+        let other = noise_charge(&plan, MessageKind::FeatureFetch, 5, 2, 500, 5_000_000, &n);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn noise_charge_retry_bytes_are_proportional() {
+        let plan = NetFaultPlan { loss_prob: 0.5, ..NetFaultPlan::empty() };
+        let n = NetworkSpec::ten_gbit();
+        let c = noise_charge(&plan, MessageKind::FeatureFetch, 0, 0, 100, 100_000, &n);
+        assert_eq!(c.retry_bytes, c.retries * 1_000, "per-message share re-moved");
+        assert!(c.retries >= 50, "heavy loss retries a lot: {}", c.retries);
+        assert!(
+            c.retries < 100 * u64::from(MAX_DELIVERY_ATTEMPTS),
+            "attempt cap bounds the simulation"
+        );
+    }
+
+    #[test]
+    fn net_run_report_folds_charges() {
+        let mut report = NetRunReport { catchup_seconds: 0.25, ..NetRunReport::default() };
+        report.absorb(&NetCharge {
+            messages: 10,
+            delivered: 10,
+            retries: 2,
+            retry_bytes: 200,
+            duplicates: 1,
+            dup_discarded: 1,
+            reordered: 3,
+            extra_secs: 0.5,
+        });
+        assert!(report.exactly_once());
+        assert_eq!(report.overhead_seconds(), 0.75);
+        report.absorb(&NetCharge { messages: 5, delivered: 4, ..NetCharge::default() });
+        assert!(!report.exactly_once(), "a swallowed message must trip the verdict");
+    }
+
+    #[test]
+    fn partitioned_report_total_includes_transport_overhead() {
+        let r = PartitionedRunReport {
+            elastic: ElasticRunReport {
+                epoch_seconds: vec![1.0, 2.0],
+                ..ElasticRunReport::default()
+            },
+            net: NetRunReport {
+                noise: NetCharge { extra_secs: 0.5, ..NetCharge::default() },
+                catchup_seconds: 0.25,
+                ..NetRunReport::default()
+            },
+        };
+        assert_eq!(r.total_seconds(), 3.75);
+    }
+
+    #[test]
+    fn validate_rejects_crashes_that_drain_the_quorum() {
+        // 4 machines, min_live 2: churn removes workers 0 and 1 at
+        // epoch 0; a crash of worker 2 the same epoch leaves 1 < 2.
+        let churn = ChurnPlan {
+            events: vec![
+                ChurnEvent::Leave { worker: 0, epoch: 0 },
+                ChurnEvent::Leave { worker: 1, epoch: 0 },
+            ],
+            machines: 4,
+            epochs: 4,
+        };
+        let mut faults = FaultPlan::empty();
+        faults.machines = 4;
+        faults.epochs = 4;
+        faults.events.push(FaultEvent::Crash { machine: 2, epoch: 0, step_frac: 0.5 });
+        let err = validate_fault_churn(&faults, &churn, 2).unwrap_err();
+        assert!(err.contains("epoch 0"), "{err}");
+        assert!(err.contains("min_live 2"), "{err}");
+        // The same crash against a machine that already left is inert.
+        let mut inert = FaultPlan::empty();
+        inert.machines = 4;
+        inert.epochs = 4;
+        inert.events.push(FaultEvent::Crash { machine: 0, epoch: 1, step_frac: 0.5 });
+        assert!(validate_fault_churn(&inert, &churn, 2).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_empty_and_safe_compositions() {
+        let churn = ChurnPlan::generate(&ChurnSpec::standard(8, 100, 0xc0de));
+        assert!(validate_fault_churn(&FaultPlan::empty(), &churn, 4).is_ok());
+        let faults = FaultPlan::generate(&FaultSpec::crashes_only(8, 100, 25.0, 7));
+        let safe_churn = ChurnPlan::generate(&ChurnSpec::standard(8, 100, 7));
+        assert!(validate_fault_churn(&faults, &safe_churn, 4).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_a_generated_drain() {
+        // Seed 0xc0de is a real example of a crash landing exactly when
+        // churn has the fleet at the min_live floor — the composition
+        // the guard exists for.
+        let churn = ChurnPlan::generate(&ChurnSpec::standard(8, 100, 0xc0de));
+        let faults = FaultPlan::generate(&FaultSpec::crashes_only(8, 100, 25.0, 0xc0de));
+        let err = validate_fault_churn(&faults, &churn, 4).unwrap_err();
+        assert!(err.contains("min_live 4"), "{err}");
+        // The guard is monotone: a lower floor tolerates the same plan.
+        assert!(validate_fault_churn(&faults, &churn, 0).is_ok());
+    }
+}

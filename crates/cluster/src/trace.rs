@@ -133,6 +133,16 @@ pub mod counter_names {
     pub const STOLEN_BYTES: &str = "stolen_bytes";
     /// Bytes fetched by speculative backup executions (mitigation path).
     pub const SPECULATION_BYTES: &str = "speculation_bytes";
+    /// Cumulative loss-induced message retransmissions (network path).
+    pub const NET_RETRIES: &str = "net_retries";
+    /// Cumulative simulated seconds lost to transport noise — retry
+    /// transfer, timeout/backoff wait, reorder release (network path).
+    pub const NET_RETRY_SECONDS: &str = "net_retry_seconds";
+    /// Cumulative duplicate arrivals discarded by dedup windows
+    /// (network path).
+    pub const NET_DUP_DISCARDED: &str = "net_dup_discarded";
+    /// Cumulative epochs spent inside partition windows (network path).
+    pub const NET_PARTITION_EPOCHS: &str = "net_partition_epochs";
 }
 
 /// A named counter sample at a simulated time (Chrome `ph:"C"` event).

@@ -7,8 +7,9 @@
 
 use gp_cluster::time::allreduce_time;
 use gp_cluster::{
-    compute_time, expected_retries, max_mean_ratio, transfer_time, FaultPlan, FaultSpec,
-    MachineSpec, NetworkSpec,
+    compute_time, expected_retries, max_mean_ratio, noise_charge, transfer_time, DedupWindow,
+    FaultPlan, FaultSpec, MachineSpec, MessageKind, NetFaultPlan, NetFaultSpec, NetworkSpec,
+    MAX_DELIVERY_ATTEMPTS,
 };
 use proptest::prelude::*;
 
@@ -197,5 +198,135 @@ proptest! {
         let n = NetworkSpec::validated(bw, lat).expect("positive finite");
         prop_assert_eq!(n.bandwidth_bytes_per_sec, bw);
         prop_assert_eq!(n.latency_sec, lat);
+    }
+
+    /// Exactly-once-effective delivery holds for every noise mix: no
+    /// matter how aggressive the seeded loss, duplication and reorder
+    /// probabilities, every unique message takes effect exactly once
+    /// and every injected duplicate is discarded by the dedup window.
+    #[test]
+    fn noise_charge_is_exactly_once_effective(
+        net in arb_network(),
+        (loss, dup, reorder) in (0.0..0.6f64, 0.0..0.6f64, 0.0..0.6f64),
+        messages in 1..2000u64,
+        bytes in 0..(1u64 << 32),
+        epoch in 0u32..100,
+        src in 0u32..64,
+        kind_ix in 0u8..4,
+        seed in any::<u64>(),
+    ) {
+        let plan = NetFaultPlan {
+            loss_prob: loss,
+            dup_prob: dup,
+            reorder_prob: reorder,
+            staleness_bound: 3,
+            machines: 8,
+            epochs: 100,
+            seed,
+            ..NetFaultPlan::empty()
+        };
+        let kind = [
+            MessageKind::FeatureFetch,
+            MessageKind::GradientSync,
+            MessageKind::ShardHandoff,
+            MessageKind::CheckpointWrite,
+        ][kind_ix as usize];
+        let c = noise_charge(&plan, kind, epoch, src, messages, bytes, &net);
+        prop_assert_eq!(c.delivered, c.messages, "every unique message takes effect");
+        prop_assert_eq!(c.dup_discarded, c.duplicates, "every duplicate is discarded");
+        prop_assert!(c.retries <= c.messages * u64::from(MAX_DELIVERY_ATTEMPTS - 1));
+        prop_assert!(c.duplicates <= c.messages);
+        prop_assert!(c.reordered <= c.messages);
+        prop_assert!(c.extra_secs >= 0.0 && c.extra_secs.is_finite());
+    }
+
+    /// The transport charge is a pure function of its arguments: the
+    /// same flow priced twice — on any thread, in any order — is
+    /// bit-identical. The engines' adopt-only probes depend on this.
+    #[test]
+    fn noise_charge_is_deterministic(
+        net in arb_network(),
+        (loss, dup, reorder) in (0.0..0.6f64, 0.0..0.6f64, 0.0..0.6f64),
+        messages in 0..500u64,
+        bytes in 0..(1u64 << 32),
+        epoch in 0u32..100,
+        src in 0u32..64,
+        seed in any::<u64>(),
+    ) {
+        let plan = NetFaultPlan {
+            loss_prob: loss,
+            dup_prob: dup,
+            reorder_prob: reorder,
+            staleness_bound: 3,
+            machines: 8,
+            epochs: 100,
+            seed,
+            ..NetFaultPlan::empty()
+        };
+        let a = noise_charge(&plan, MessageKind::FeatureFetch, epoch, src, messages, bytes, &net);
+        let b = noise_charge(&plan, MessageKind::FeatureFetch, epoch, src, messages, bytes, &net);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The dedup window accepts each sequence number at most once for
+    /// any arrival pattern within its capacity: duplicated and
+    /// reshuffled offers of `n` unique in-window numbers always produce
+    /// exactly `n` effective deliveries.
+    #[test]
+    fn dedup_window_is_exactly_once_under_duplication_and_reorder(
+        n in 1usize..300,
+        dup_every in 1u64..5,
+        shuffle_seed in any::<u64>(),
+    ) {
+        use gp_cluster::faults::DetRng;
+        // Arrival stream: every seq twice per `dup_every`, then
+        // Fisher–Yates shuffled — duplication AND reorder at once.
+        let mut arrivals: Vec<u64> = (0..n as u64).collect();
+        arrivals.extend((0..n as u64).filter(|s| s % dup_every == 0));
+        let mut rng = DetRng::new(shuffle_seed);
+        for i in (1..arrivals.len()).rev() {
+            arrivals.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let mut w = DedupWindow::new(n);
+        let accepted = arrivals.iter().filter(|&&s| w.accept(s)).count();
+        prop_assert_eq!(accepted, n, "each unique seq takes effect exactly once");
+        // Re-offering anything already covered by the window is a no-op.
+        for s in 0..n as u64 {
+            prop_assert!(!w.accept(s), "straggling retransmission of {s} rejected");
+        }
+    }
+
+    /// Partition schedules are deterministic and structurally sound for
+    /// every machine count and seed: windows are non-overlapping,
+    /// ascending, inside the horizon, and every minority island is
+    /// non-empty but a strict minority of the fleet.
+    #[test]
+    fn net_fault_plan_windows_are_disjoint_strict_minorities(
+        machines in 3u32..=64,
+        epochs in 1u32..200,
+        partition_prob in 0.0..0.5f64,
+        partition_epochs in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let spec = NetFaultSpec {
+            partition_prob,
+            partition_epochs,
+            ..NetFaultSpec::standard(machines, epochs, seed)
+        };
+        let plan = NetFaultPlan::generate(&spec);
+        prop_assert_eq!(&plan, &NetFaultPlan::generate(&spec), "seed-deterministic");
+        let mut prev_end = 0;
+        for w in &plan.windows {
+            prop_assert!(w.from_epoch >= prev_end, "windows ascending and disjoint");
+            prop_assert!(w.from_epoch < w.until_epoch && w.until_epoch <= epochs);
+            let minority = w.minority.count_ones();
+            prop_assert!(minority >= 1, "minority island non-empty");
+            prop_assert!(2 * minority < machines, "complement is a strict majority");
+            prop_assert!(
+                machines == 64 || w.minority >> machines == 0,
+                "island within the fleet"
+            );
+            prev_end = w.until_epoch;
+        }
     }
 }

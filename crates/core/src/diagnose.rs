@@ -99,6 +99,12 @@ pub fn rank_causes(snap: &MetricsSnapshot, workers: u32) -> Vec<Cause> {
         COMM_PHASES.iter().map(|&p| phase_critical_seconds(snap, workers, p)).sum();
     let faults: f64 =
         FAULT_PHASES.iter().map(|&p| phase_critical_seconds(snap, workers, p)).sum();
+    // Transport-level loss retries and partition handling are recorded
+    // as a cumulative per-run counter, so the peak is the total.
+    let net: f64 = (0..workers)
+        .filter_map(|w| snap.counter(w, gp_cluster::trace::counter_names::NET_RETRY_SECONDS))
+        .map(|c| c.peak)
+        .fold(0.0, f64::max);
     let skew = snap.compute_skew();
     let balanced = if skew > 1.0 { compute / skew } else { compute };
     let mut causes = vec![
@@ -106,6 +112,7 @@ pub fn rank_causes(snap: &MetricsSnapshot, workers: u32) -> Vec<Cause> {
         Cause { label: "compute imbalance", seconds: compute - balanced },
         Cause { label: "fetch/sync volume", seconds: comm },
         Cause { label: "injected faults & recovery", seconds: faults },
+        Cause { label: "network loss/partition", seconds: net },
     ];
     causes.sort_by(|a, b| b.seconds.total_cmp(&a.seconds).then(a.label.cmp(b.label)));
     causes
@@ -576,12 +583,14 @@ mod tests {
         assert_eq!(d.epochs, 3);
         assert!(d.epoch_seconds > 0.0);
         assert!(d.total_bytes > 0);
-        assert_eq!(d.causes.len(), 4);
+        assert_eq!(d.causes.len(), 5);
         assert!(d.causes.windows(2).all(|w| w[0].seconds >= w[1].seconds), "ranked descending");
-        // Healthy run: no fault overhead.
+        // Healthy run: no fault overhead, no transport overhead.
         let faults =
             d.causes.iter().find(|c| c.label == "injected faults & recovery").unwrap();
         assert_eq!(faults.seconds, 0.0);
+        let net = d.causes.iter().find(|c| c.label == "network loss/partition").unwrap();
+        assert_eq!(net.seconds, 0.0);
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod correlate;
 pub mod diagnose;
 pub mod experiment;
 pub mod fault_sweep;
+pub mod netchaos;
 pub mod registry;
 pub mod report;
 pub mod sweep;
@@ -74,6 +75,11 @@ pub mod prelude {
         distdgl_mitigation_sweep_threaded, distgnn_fault_sweep, distgnn_fault_sweep_threaded,
         distgnn_mitigation_sweep, distgnn_mitigation_sweep_threaded, fault_sweep_table,
         mitigation_stress_spec, mitigation_sweep_table, FaultSweepRow, MitigationSweepRow,
+    };
+    pub use crate::netchaos::{
+        distdgl_netchaos_soak, distdgl_netchaos_soak_threaded, distgnn_netchaos_soak,
+        distgnn_netchaos_soak_threaded, netchaos_bench_json, netchaos_net_spec, netchaos_table,
+        NetChaosRow,
     };
     pub use crate::registry::{edge_partitioner, edge_partitioner_names, vertex_partitioner, vertex_partitioner_names};
     pub use crate::report::{Distribution, Table};

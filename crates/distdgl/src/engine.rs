@@ -8,10 +8,12 @@
 
 use gp_cluster::trace::counter_names;
 use gp_cluster::{
-    compute_time, expected_retries, retry_backoff_secs, transfer_time, CheckpointConfig,
-    CheckpointStore, ChurnPlan, ClusterCounters, ClusterSpec, ElasticOptions, ElasticRunReport,
-    EpochOutcome, FaultPlan, Fleet, MitigationPolicy, MitigationReport, NetworkSpec,
-    RecoveryReport, StragglerDetector, TracePhase, TraceSink,
+    charge_loss_retries, compute_time, noise_charge, transfer_time, CheckpointConfig,
+    CheckpointStore,
+    ChurnPlan, ClusterCounters, ClusterSpec, ElasticOptions, ElasticRunReport, EpochOutcome,
+    FaultPlan, Fleet, MessageKind, MitigationPolicy, MitigationReport, NetFaultPlan,
+    NetRunOptions, NetRunReport, NetworkSpec, PartitionedRunReport, RecoveryReport,
+    StragglerDetector, TracePhase, TraceSink,
 };
 use gp_graph::{Graph, VertexSplit};
 use gp_partition::VertexPartition;
@@ -586,19 +588,19 @@ impl<'a> DistDglEngine<'a> {
             // Lost sampling RPCs time out and are retransmitted with
             // backoff; the retry accounting is attributed to the
             // requesting worker.
-            if f.loss_rate > 0.0 && stats.remote_sample_messages > 0 {
-                let retries = expected_retries(stats.remote_sample_messages, f.loss_rate);
-                let retry_bytes =
-                    stats.remote_sample_bytes / stats.remote_sample_messages * retries;
-                let extra = transfer_time(&network, retry_bytes, retries)
-                    + retry_backoff_secs(retries, network.latency_sec);
-                sampling += extra;
-                recovery.retries += retries;
-                recovery.retry_bytes += retry_bytes;
-                recovery.retry_seconds += extra;
+            let charge = charge_loss_retries(
+                &network,
+                stats.remote_sample_messages,
+                stats.remote_sample_bytes,
+                f.loss_rate,
+            );
+            if !charge.is_zero() {
+                sampling += charge.extra_secs;
+                charge.apply_counts(recovery);
+                recovery.retry_seconds += charge.extra_secs;
                 let c = counters.machine_mut(worker);
-                c.bytes_received += retry_bytes;
-                c.messages += retries;
+                c.bytes_received += charge.retry_bytes;
+                c.messages += charge.retries;
             }
         }
         {
@@ -655,18 +657,15 @@ impl<'a> DistDglEngine<'a> {
             }
         }
         if let Some(f) = faults {
-            if f.loss_rate > 0.0 && owners_contacted > 0 {
-                let retries = expected_retries(owners_contacted, f.loss_rate);
-                let retry_bytes = remote_bytes / owners_contacted * retries;
-                let extra = transfer_time(&network, retry_bytes, retries)
-                    + retry_backoff_secs(retries, network.latency_sec);
-                feature_load += extra;
-                recovery.retries += retries;
-                recovery.retry_bytes += retry_bytes;
-                recovery.retry_seconds += extra;
+            let charge =
+                charge_loss_retries(&network, owners_contacted, remote_bytes, f.loss_rate);
+            if !charge.is_zero() {
+                feature_load += charge.extra_secs;
+                charge.apply_counts(recovery);
+                recovery.retry_seconds += charge.extra_secs;
                 let c = counters.machine_mut(worker);
-                c.bytes_received += retry_bytes;
-                c.messages += retries;
+                c.bytes_received += charge.retry_bytes;
+                c.messages += charge.retries;
             }
         }
 
@@ -1221,6 +1220,77 @@ impl<'a> DistDglEngine<'a> {
         ckpt: &CheckpointConfig,
         opts: ElasticOptions,
     ) -> Result<ElasticRunReport, DistDglError> {
+        self.run_elastic_inner(
+            epochs,
+            faults,
+            churn,
+            &NetFaultPlan::empty(),
+            ckpt,
+            opts,
+            NetRunOptions::default(),
+        )
+        .map(|r| r.elastic)
+    }
+
+    /// [`DistDglEngine::simulate_run_elastic`] under a message-level
+    /// network fault plan: per-message loss/duplication/reorder noise
+    /// on every flow, and [`gp_cluster::PartitionWindow`]s splitting the
+    /// live fleet into a quorum island and a minority island.
+    ///
+    /// While a window is armed, the run picks one of two modes for the
+    /// whole window by pricing both with the adopt-only probe pattern:
+    ///
+    /// * **Degraded** — sampling and training redistribute to the
+    ///   quorum side ([`PartitionedStore::with_failed`] over the
+    ///   minority island); feature fetches that would cross the cut are
+    ///   *deferred* — served from the local feature cache and the
+    ///   snapshot store instead of the unreachable owners — with
+    ///   explicit bounded-staleness accounting. After heal, the
+    ///   minority shards stream back (catch-up).
+    /// * **Abort** — every window epoch is burned and re-executed after
+    ///   heal, plus a restore from the newest valid snapshot.
+    ///
+    /// Degraded mode is adopted only when its priced cost (including
+    /// catch-up and transport noise) is at most the abort price, so the
+    /// degraded run is never worse than the abort-and-recover baseline
+    /// (`NetRunOptions::abort_only`) *by construction*. Churn, crashes,
+    /// rebalances and checkpoint writes defer to the first post-window
+    /// epoch in both modes, keeping persistent state evolution
+    /// identical. An empty `net` plan reproduces
+    /// `simulate_run_elastic` bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DistDglEngine::simulate_run_elastic`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`DistDglEngine::simulate_run_elastic`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_run_partitioned(
+        &self,
+        epochs: u32,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+        net: &NetFaultPlan,
+        ckpt: &CheckpointConfig,
+        opts: ElasticOptions,
+        nopts: NetRunOptions,
+    ) -> Result<PartitionedRunReport, DistDglError> {
+        self.run_elastic_inner(epochs, faults, churn, net, ckpt, opts, nopts)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_elastic_inner(
+        &self,
+        epochs: u32,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+        net: &NetFaultPlan,
+        ckpt: &CheckpointConfig,
+        opts: ElasticOptions,
+        nopts: NetRunOptions,
+    ) -> Result<PartitionedRunReport, DistDglError> {
         let cluster = &self.config.cluster;
         let k = cluster.machines;
         let full = full_mask(k);
@@ -1233,6 +1303,49 @@ impl<'a> DistDglEngine<'a> {
         let mut fleet = Fleet::full(k);
         let mut store = CheckpointStore::new(*ckpt);
         let mut out = ElasticRunReport::default();
+        let mut netr = NetRunReport::default();
+        let noisy = net.has_noise();
+
+        // Transport noise on one epoch's flows: per-step gradient
+        // all-reduce and the counted sampling/feature-fetch exchange. A
+        // pure function of the epoch counters and config, so the
+        // adopt-only probes price exactly what execution charges.
+        let noise_for = |counters: &ClusterCounters, live: u64, we: u32| -> gp_cluster::NetCharge {
+            let mut total = gp_cluster::NetCharge::default();
+            if !noisy {
+                return total;
+            }
+            let net_at = faults.degraded_network(&cluster.network, we);
+            let sync_msgs = 2 * u64::from(live.count_ones().saturating_sub(1));
+            total.merge(&noise_charge(
+                net,
+                MessageKind::GradientSync,
+                we,
+                0,
+                sync_msgs,
+                2 * param_bytes,
+                &net_at,
+            ));
+            let mut fetch_msgs = 0u64;
+            let mut fetch_bytes = 0u64;
+            for m in 0..k {
+                if live & (1u64 << m) != 0 {
+                    let c = counters.machine(m);
+                    fetch_msgs += c.messages;
+                    fetch_bytes += c.bytes_sent;
+                }
+            }
+            total.merge(&noise_charge(
+                net,
+                MessageKind::FeatureFetch,
+                we,
+                1,
+                fetch_msgs,
+                fetch_bytes,
+                &net_at,
+            ));
+            total
+        };
 
         // The ownership layout actually carrying work.
         let mut active = full;
@@ -1241,10 +1354,142 @@ impl<'a> DistDglEngine<'a> {
         // attempted each epoch until one commits (or none is needed).
         let mut rebalance_pending = false;
 
+        // Sticky per-window degraded-mode state (armed windows only),
+        // plus the membership/fault events deferred until heal.
+        struct WindowState {
+            entered: u32,
+            until: u32,
+            degraded: bool,
+            quorum: u64,
+            deg_layout: PartitionedStore,
+            deferred_per_epoch: u64,
+            catchup_bytes: u64,
+            catchup_secs: f64,
+        }
+        let mut win: Option<WindowState> = None;
+        let mut deferred_leaves: Vec<u32> = Vec::new();
+        let mut deferred_joins: Vec<u32> = Vec::new();
+        let mut deferred_crashes: Vec<(u32, f64)> = Vec::new();
+
         for epoch in 0..epochs {
             sink.set_epoch(epoch);
             let network = faults.degraded_network(&cluster.network, epoch);
-            let (leave_evs, join_evs) = churn.events_at(epoch);
+
+            // --- Arm a partition window covering this epoch (inert
+            // when either island misses the active set). Mode is
+            // decided once for the whole window: both alternatives are
+            // priced with disabled probes, and degraded is adopted only
+            // when it fits the staleness budget and costs at most the
+            // abort. ---
+            if win.is_none() && !net.windows.is_empty() {
+                if let Some(w) = net.window_at(epoch) {
+                    let minority = w.minority & active;
+                    let quorum = active & !w.minority;
+                    if minority != 0 && quorum != 0 {
+                        let until = w.until_epoch.min(epochs);
+                        let cut: Vec<u32> =
+                            (0..k).filter(|&m| minority & (1u64 << m) != 0).collect();
+                        let deg_layout =
+                            layout.with_failed(&cut).expect("quorum side is non-empty");
+                        let owned = layout.owned_counts();
+                        let deferred_per_epoch: u64 =
+                            cut.iter().map(|&m| owned[m as usize]).sum();
+                        let catchup_bytes = deferred_per_epoch * fbytes;
+                        let catchup_secs =
+                            transfer_time(&network, catchup_bytes, cut.len() as u64);
+                        // Abort restore: live machines reload the newest
+                        // valid snapshot in parallel (wall time = the
+                        // slowest shard).
+                        let mut restore_secs = 0.0f64;
+                        let mut restore_bytes = 0u64;
+                        let mut restore_corrupt = 0u64;
+                        for m in 0..k {
+                            if active & (1u64 << m) != 0 {
+                                let r = store.restore(m, faults);
+                                restore_secs = restore_secs.max(r.seconds);
+                                restore_bytes += r.bytes_read;
+                                restore_corrupt += r.corrupted;
+                            }
+                        }
+                        let mut deg_price = catchup_secs;
+                        let mut abort_price = restore_secs;
+                        for we in epoch..until {
+                            let mut scratch = RecoveryReport::default();
+                            let dctx = self.elastic_ctx(faults, we, quorum);
+                            let dsum = self
+                                .probe(deg_layout.clone())
+                                .elastic_epoch(we, &dctx, &mut scratch);
+                            deg_price += dsum.epoch_time()
+                                + scratch.retry_seconds
+                                + noise_for(&dsum.counters, quorum, we).extra_secs;
+                            let mut scratch = RecoveryReport::default();
+                            let fctx = self.elastic_ctx(faults, we, active);
+                            let fsum = self
+                                .probe(layout.clone())
+                                .elastic_epoch(we, &fctx, &mut scratch);
+                            // Burned attempt + post-heal re-execution.
+                            abort_price += fsum.epoch_time()
+                                + scratch.retry_seconds
+                                + noise_for(&fsum.counters, active, we).extra_secs
+                                + fsum.epoch_time();
+                        }
+                        let degraded = nopts.degraded
+                            && until - epoch <= net.staleness_bound
+                            && deg_price <= abort_price;
+                        netr.windows += 1;
+                        if degraded {
+                            netr.degraded_windows += 1;
+                        } else {
+                            netr.aborted_windows += 1;
+                            out.recovery.restore_seconds += restore_secs;
+                            out.recovery.recovery_bytes += restore_bytes;
+                            out.recovery.corrupted_checkpoints += restore_corrupt;
+                            if sink.is_enabled() && (restore_bytes > 0 || restore_secs > 0.0) {
+                                sink.span(
+                                    0,
+                                    0,
+                                    TracePhase::Recovery,
+                                    sink.now(),
+                                    restore_secs,
+                                    restore_bytes,
+                                    0,
+                                );
+                                sink.advance(restore_secs);
+                            }
+                        }
+                        win = Some(WindowState {
+                            entered: epoch,
+                            until,
+                            degraded,
+                            quorum,
+                            deg_layout,
+                            deferred_per_epoch,
+                            catchup_bytes,
+                            catchup_secs,
+                        });
+                    }
+                }
+            }
+            let in_window = win.is_some();
+
+            let (mut leave_evs, mut join_evs) = churn.events_at(epoch);
+            if in_window {
+                // Membership changes wait out the partition: neither
+                // island can coordinate a handoff or admission across
+                // the cut, and deferring them identically in both modes
+                // keeps the adopt-only probes exact.
+                deferred_leaves.append(&mut leave_evs);
+                deferred_joins.append(&mut join_evs);
+            } else {
+                if !deferred_leaves.is_empty() {
+                    deferred_leaves.append(&mut leave_evs);
+                    leave_evs = std::mem::take(&mut deferred_leaves);
+                }
+                if !deferred_joins.is_empty() {
+                    deferred_joins.append(&mut join_evs);
+                    join_evs = std::mem::take(&mut deferred_joins);
+                }
+            }
 
             for &w in &leave_evs {
                 if !fleet.is_live(w) {
@@ -1281,6 +1526,17 @@ impl<'a> DistDglEngine<'a> {
                     out.handoffs += 1;
                     out.handoff_bytes += bytes;
                     out.handoff_seconds += secs;
+                    if noisy {
+                        netr.absorb(&noise_charge(
+                            net,
+                            MessageKind::ShardHandoff,
+                            epoch,
+                            w,
+                            msgs,
+                            bytes,
+                            &network,
+                        ));
+                    }
                     if sink.is_enabled() {
                         sink.span(w, 0, TracePhase::Migration, sink.now(), secs, bytes, 0);
                         sink.counter(w, counter_names::MIGRATION_BYTES, bytes as f64);
@@ -1367,7 +1623,7 @@ impl<'a> DistDglEngine<'a> {
             // the canonical live-set layout; commit only when the
             // speed-up pays for the feature migration within this
             // epoch, retrying every epoch until it does.
-            if rebalance_pending {
+            if rebalance_pending && win.is_none() {
                 let live: Vec<u32> = (0..k).filter(|&m| active & (1u64 << m) != 0).collect();
                 let cand = self.store.with_members(&live).expect("live set is non-empty");
                 let mut moved = 0u64;
@@ -1401,6 +1657,17 @@ impl<'a> DistDglEngine<'a> {
                         out.handoff_bytes += mig_bytes;
                         out.handoff_seconds += mig_secs;
                         rebalance_pending = false;
+                        if noisy {
+                            netr.absorb(&noise_charge(
+                                net,
+                                MessageKind::ShardHandoff,
+                                epoch,
+                                k,
+                                moved,
+                                mig_bytes,
+                                &network,
+                            ));
+                        }
                         if sink.is_enabled() {
                             let t = sink.now();
                             let n = u64::from(receivers.count_ones().max(1));
@@ -1420,19 +1687,61 @@ impl<'a> DistDglEngine<'a> {
                 }
             }
 
-            // --- The epoch itself, on the live layout. ---
-            let ctx = self.elastic_ctx(faults, epoch, active);
-            let eng = self.with_store(layout.clone()); // shares the trace
-            let summary = eng.elastic_epoch(epoch, &ctx, &mut out.recovery);
+            // --- The epoch itself. Inside a degraded window sampling
+            // and training redistribute to the quorum island (minority
+            // fetches deferred to cache and snapshots); inside an abort
+            // window the epoch runs on the full layout but is burned —
+            // re-executed after heal. ---
+            let (summary, epoch_live) = match &win {
+                Some(w) if w.degraded => {
+                    let ctx = self.elastic_ctx(faults, epoch, w.quorum);
+                    let eng = self.with_store(w.deg_layout.clone()); // shares the trace
+                    let s = eng.elastic_epoch(epoch, &ctx, &mut out.recovery);
+                    netr.degraded_epochs += 1;
+                    netr.deferred_fetches += w.deferred_per_epoch;
+                    netr.stale_served += s.cache_hits;
+                    (s, w.quorum)
+                }
+                _ => {
+                    let ctx = self.elastic_ctx(faults, epoch, active);
+                    let eng = self.with_store(layout.clone()); // shares the trace
+                    let s = eng.elastic_epoch(epoch, &ctx, &mut out.recovery);
+                    (s, active)
+                }
+            };
             let epoch_time = summary.epoch_time();
             let steps = summary.steps.max(1);
             out.epoch_seconds.push(epoch_time);
             out.phase_seconds.push(summary.phase_breakdown());
-            out.live_workers.push((0..k).filter(|&m| active & (1u64 << m) != 0).collect());
+            out.live_workers.push((0..k).filter(|&m| epoch_live & (1u64 << m) != 0).collect());
+            if noisy {
+                netr.absorb(&noise_for(&summary.counters, epoch_live, epoch));
+            }
+            if let Some(w) = &win {
+                netr.partitioned_epochs += 1;
+                netr.max_staleness = netr.max_staleness.max(epoch - w.entered + 1);
+                if !w.degraded {
+                    // Burned attempt: the abort baseline re-executes
+                    // this epoch after heal.
+                    netr.aborted_epochs += 1;
+                    out.recovery.lost_progress_epochs += 1.0;
+                    out.recovery.reexecuted_steps += 1;
+                    out.recovery.reexecution_seconds += epoch_time;
+                }
+            }
 
             // --- Crashes repair in place: the slot restarts on a
-            // replacement before the next epoch and stays active. ---
-            for (machine, _frac) in faults.crashes_in_epoch(epoch) {
+            // replacement before the next epoch and stays active.
+            // During a partition window repairs cannot reach across the
+            // cut, so crash handling waits for heal (in both modes). ---
+            let mut crash_evs = faults.crashes_in_epoch(epoch);
+            if in_window {
+                deferred_crashes.append(&mut crash_evs);
+            } else if !deferred_crashes.is_empty() {
+                deferred_crashes.append(&mut crash_evs);
+                crash_evs = std::mem::take(&mut deferred_crashes);
+            }
+            for (machine, _frac) in crash_evs {
                 if machine >= k || active & (1u64 << machine) == 0 {
                     continue;
                 }
@@ -1479,8 +1788,10 @@ impl<'a> DistDglEngine<'a> {
 
             // --- Snapshot (live shards only; commit is atomic at the
             // epoch boundary, so a later crash can never see a torn
-            // snapshot of this epoch). ---
-            if store.due(epoch) {
+            // snapshot of this epoch). Skipped during partition windows:
+            // the store is not reachable from both islands, and a torn
+            // cross-island snapshot must never become restorable. ---
+            if store.due(epoch) && win.is_none() {
                 let owned = layout.owned_counts();
                 let shards: Vec<u64> = (0..k)
                     .map(|m| {
@@ -1491,9 +1802,21 @@ impl<'a> DistDglEngine<'a> {
                         }
                     })
                     .collect();
+                let shard_total: u64 = shards.iter().sum();
                 let wr = store.write(epoch, shards);
                 out.recovery.checkpoints += 1;
                 out.recovery.checkpoint_seconds += wr.seconds;
+                if noisy {
+                    netr.absorb(&noise_charge(
+                        net,
+                        MessageKind::CheckpointWrite,
+                        epoch,
+                        0,
+                        u64::from(active.count_ones()),
+                        shard_total,
+                        &network,
+                    ));
+                }
                 if sink.is_enabled() {
                     let t = sink.now();
                     let snap = store.snapshots().last().expect("just written");
@@ -1512,6 +1835,44 @@ impl<'a> DistDglEngine<'a> {
                 }
             }
 
+            // --- Window heal: after the last window epoch the minority
+            // island streams its feature shards back in (degraded mode
+            // only; the abort path restored at entry instead). ---
+            if win.as_ref().is_some_and(|w| epoch + 1 >= w.until) {
+                let w = win.take().expect("healed window");
+                if w.degraded {
+                    netr.catchup_bytes += w.catchup_bytes;
+                    netr.catchup_seconds += w.catchup_secs;
+                    if sink.is_enabled() && (w.catchup_bytes > 0 || w.catchup_secs > 0.0) {
+                        sink.span(
+                            0,
+                            0,
+                            TracePhase::Recovery,
+                            sink.now(),
+                            w.catchup_secs,
+                            w.catchup_bytes,
+                            0,
+                        );
+                        sink.advance(w.catchup_secs);
+                    }
+                }
+            }
+
+            if sink.is_enabled() && !net.is_empty() {
+                sink.counter(0, counter_names::NET_RETRIES, netr.noise.retries as f64);
+                sink.counter(0, counter_names::NET_RETRY_SECONDS, netr.noise.extra_secs);
+                sink.counter(
+                    0,
+                    counter_names::NET_DUP_DISCARDED,
+                    netr.noise.dup_discarded as f64,
+                );
+                sink.counter(
+                    0,
+                    counter_names::NET_PARTITION_EPOCHS,
+                    f64::from(netr.partitioned_epochs),
+                );
+            }
+
             let overhead = out.recovery.total_overhead_seconds();
             if overhead > faults.recovery_budget_secs {
                 return Err(DistDglError::RecoveryBudgetExceeded {
@@ -1521,7 +1882,7 @@ impl<'a> DistDglEngine<'a> {
             }
             out.completed_epochs = epoch + 1;
         }
-        Ok(out)
+        Ok(PartitionedRunReport { elastic: out, net: netr })
     }
 
     /// A fresh mitigation session for this cluster under `policy`. The
@@ -2837,6 +3198,165 @@ mod tests {
         // The baseline pays for leaves through recovery instead.
         assert!(baseline.recovery.crashes > elastic.recovery.crashes);
         assert!(baseline.recovery.restore_seconds > elastic.recovery.restore_seconds);
+    }
+
+    // ---- Partitioned runs (network fault model) ----
+
+    fn net_spec(epochs: u32) -> gp_cluster::NetFaultSpec {
+        gp_cluster::NetFaultSpec {
+            partition_prob: 0.15,
+            ..gp_cluster::NetFaultSpec::standard(4, epochs, 0x7a57_11e7)
+        }
+    }
+
+    #[test]
+    fn partitioned_with_empty_net_plan_is_the_elastic_run() {
+        let (g, rnd, _, split) = setup(4);
+        let eng = elastic_eng(&g, &rnd, &split);
+        let faults = FaultPlan::generate(&gp_cluster::FaultSpec::standard(4, 12, 6.0, 0xfa11));
+        let churn = ChurnPlan::generate(&churn_spec(12));
+        let ckpt = CheckpointConfig::periodic(4);
+        let elastic = eng
+            .simulate_run_elastic(12, &faults, &churn, &ckpt, ElasticOptions::default())
+            .unwrap();
+        let part = eng
+            .simulate_run_partitioned(
+                12,
+                &faults,
+                &churn,
+                &NetFaultPlan::empty(),
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(part.elastic, elastic, "empty net plan reproduces the elastic run bit-for-bit");
+        assert_eq!(part.net, NetRunReport::default());
+        assert_eq!(part.total_seconds(), elastic.total_seconds());
+    }
+
+    #[test]
+    fn partitioned_run_is_deterministic_and_exactly_once() {
+        let (g, rnd, _, split) = setup(4);
+        let eng = elastic_eng(&g, &rnd, &split);
+        let faults = FaultPlan::generate(&gp_cluster::FaultSpec::standard(4, 12, 6.0, 0xfa11));
+        let churn = ChurnPlan::generate(&churn_spec(12));
+        let net = NetFaultPlan::generate(&net_spec(12));
+        let ckpt = CheckpointConfig::periodic(4);
+        let run = |_| {
+            eng.simulate_run_partitioned(
+                12,
+                &faults,
+                &churn,
+                &net,
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::default(),
+            )
+            .unwrap()
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a, b, "partitioned runs replay bit-identically");
+        assert!(a.net.windows > 0, "premise: the schedule actually partitions");
+        assert!(a.net.noise.delivered > 0, "premise: noisy flows were charged");
+        assert!(a.net.exactly_once(), "dedup must make delivery exactly-once-effective");
+    }
+
+    #[test]
+    fn degraded_mode_never_worse_than_abort_baseline() {
+        let (g, rnd, _, split) = setup(4);
+        let eng = elastic_eng(&g, &rnd, &split);
+        let faults = FaultPlan::generate(&gp_cluster::FaultSpec::standard(4, 16, 8.0, 0xfa11));
+        let churn = ChurnPlan::generate(&churn_spec(16));
+        let net = NetFaultPlan::generate(&net_spec(16));
+        let ckpt = CheckpointConfig::periodic(4);
+        let degraded = eng
+            .simulate_run_partitioned(
+                16,
+                &faults,
+                &churn,
+                &net,
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::default(),
+            )
+            .unwrap();
+        let abort = eng
+            .simulate_run_partitioned(
+                16,
+                &faults,
+                &churn,
+                &net,
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::abort_only(),
+            )
+            .unwrap();
+        assert!(degraded.net.partitioned_epochs > 0, "premise: a window armed");
+        assert_eq!(abort.net.degraded_windows, 0, "baseline must always abort");
+        assert!(
+            degraded.total_seconds() <= abort.total_seconds() + 1e-9,
+            "degraded run {} must not exceed the abort-and-recover baseline {}",
+            degraded.total_seconds(),
+            abort.total_seconds()
+        );
+        if degraded.net.degraded_windows > 0 {
+            assert!(
+                degraded.net.max_staleness <= net.staleness_bound,
+                "staleness {} beyond the bound {}",
+                degraded.net.max_staleness,
+                net.staleness_bound
+            );
+            assert!(
+                degraded.net.deferred_fetches > 0,
+                "degraded epochs defer minority fetches to the cache"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_only_plan_keeps_training_progress_and_charges_transport() {
+        let (g, rnd, _, split) = setup(4);
+        let eng = elastic_eng(&g, &rnd, &split);
+        let net = NetFaultPlan::generate(&gp_cluster::NetFaultSpec {
+            partition_prob: 0.0,
+            loss_prob: 0.1,
+            dup_prob: 0.1,
+            ..gp_cluster::NetFaultSpec::standard(4, 8, 0xb0)
+        });
+        assert!(net.windows.is_empty());
+        let ckpt = CheckpointConfig::periodic(4);
+        let plain = eng
+            .simulate_run_elastic(
+                8,
+                &FaultPlan::empty(),
+                &ChurnPlan::empty(),
+                &ckpt,
+                ElasticOptions::default(),
+            )
+            .unwrap();
+        let noisy = eng
+            .simulate_run_partitioned(
+                8,
+                &FaultPlan::empty(),
+                &ChurnPlan::empty(),
+                &net,
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::default(),
+            )
+            .unwrap();
+        // Noise rides on top of the same schedule: epochs are untouched,
+        // the transport overhead is strictly positive and separable.
+        assert_eq!(noisy.elastic, plain);
+        assert!(noisy.net.noise.retries > 0, "10% loss over many messages must retry");
+        assert!(noisy.net.noise.extra_secs > 0.0);
+        assert!(noisy.net.exactly_once());
+        assert_eq!(
+            noisy.total_seconds(),
+            plain.total_seconds() + noisy.net.overhead_seconds()
+        );
     }
 
     #[test]

@@ -2,10 +2,12 @@
 
 use gp_cluster::trace::counter_names;
 use gp_cluster::{
-    compute_time, expected_retries, retry_backoff_secs, transfer_time, CheckpointConfig,
-    CheckpointStore, ChurnPlan, ClusterCounters, ClusterSpec, DetectorConfig, ElasticOptions,
-    ElasticRunReport, EpochOutcome, FaultPlan, Fleet, MitigationPolicy, MitigationReport,
-    NetworkSpec, RecoveryReport, StragglerDetector, TracePhase, TraceSink,
+    charge_loss_retries, compute_time, noise_charge, transfer_time, CheckpointConfig,
+    CheckpointStore,
+    ChurnPlan, ClusterCounters, ClusterSpec, DetectorConfig, ElasticOptions, ElasticRunReport,
+    EpochOutcome, FaultPlan, Fleet, MessageKind, MitigationPolicy, MitigationReport, NetFaultPlan,
+    NetRunOptions, NetRunReport, NetworkSpec, PartitionedRunReport, RecoveryReport,
+    StragglerDetector, TracePhase, TraceSink,
 };
 use gp_graph::Graph;
 use gp_partition::EdgePartition;
@@ -579,14 +581,9 @@ impl<'a> DistGnnEngine<'a> {
                     let mut t = transfer_time(&network, bytes, msgs);
                     if let Some(f) = faults {
                         max_sync_lossless = max_sync_lossless.max(t);
-                        if f.loss_rate > 0.0 && msgs > 0 {
-                            let retries = expected_retries(msgs, f.loss_rate);
-                            let retry_bytes = bytes / msgs * retries;
-                            t += transfer_time(&network, retry_bytes, retries)
-                                + retry_backoff_secs(retries, network.latency_sec);
-                            recovery.retries += retries;
-                            recovery.retry_bytes += retry_bytes;
-                        }
+                        let charge = charge_loss_retries(&network, msgs, bytes, f.loss_rate);
+                        t += charge.extra_secs;
+                        charge.apply_counts(recovery);
                     }
                     max_sync = max_sync.max(t);
                 }
@@ -1044,17 +1041,135 @@ impl<'a> DistGnnEngine<'a> {
         ckpt: &CheckpointConfig,
         opts: ElasticOptions,
     ) -> Result<ElasticRunReport, DistGnnError> {
+        self.run_elastic_inner(
+            epochs,
+            faults,
+            churn,
+            &NetFaultPlan::empty(),
+            ckpt,
+            opts,
+            NetRunOptions::default(),
+        )
+        .map(|r| r.elastic)
+    }
+
+    /// [`DistGnnEngine::simulate_run_elastic`] under a message-level
+    /// network fault plan: per-message loss/duplication/reorder noise on
+    /// every flow, and [`gp_cluster::PartitionWindow`]s that split the
+    /// live fleet into a quorum island and a minority island.
+    ///
+    /// While a window is armed (its minority and quorum sides both
+    /// intersect the active set) the run picks one of two modes for the
+    /// *whole* window, by pricing both up front with the adopt-only
+    /// probe pattern of the mitigation layer:
+    ///
+    /// * **Degraded** — training continues on the quorum side only.
+    ///   Vertices mastered on the minority island are served from their
+    ///   quorum replicas (*stale* — cd-r already tolerates delayed
+    ///   remote aggregates, this makes that tolerance a first-class
+    ///   mode), with explicit bounded-staleness accounting; after the
+    ///   window heals, the minority streams fresh state back in
+    ///   (catch-up). Only allowed while the window fits the plan's
+    ///   `staleness_bound`.
+    /// * **Abort** — every window epoch is burned (attempted and lost)
+    ///   and re-executed after heal, plus a restore from the newest
+    ///   valid snapshot: the classic stop-the-world reaction.
+    ///
+    /// Degraded mode is adopted only when its priced cost (including
+    /// catch-up and transport noise) is at most the abort price, so a
+    /// degraded run is never worse than the abort-and-recover baseline
+    /// (`NetRunOptions::abort_only`) *by construction*. Churn events,
+    /// crashes, rebalances and checkpoint writes are deferred to the
+    /// first post-window epoch in **both** modes, so the two runs'
+    /// persistent state evolves identically and the probes price
+    /// exactly what execution later charges.
+    ///
+    /// An empty `net` plan reproduces `simulate_run_elastic`
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DistGnnEngine::simulate_run_elastic`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_run_partitioned(
+        &self,
+        epochs: u32,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+        net: &NetFaultPlan,
+        ckpt: &CheckpointConfig,
+        opts: ElasticOptions,
+        nopts: NetRunOptions,
+    ) -> Result<PartitionedRunReport, DistGnnError> {
+        self.run_elastic_inner(epochs, faults, churn, net, ckpt, opts, nopts)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_elastic_inner(
+        &self,
+        epochs: u32,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+        net: &NetFaultPlan,
+        ckpt: &CheckpointConfig,
+        opts: ElasticOptions,
+        nopts: NetRunOptions,
+    ) -> Result<PartitionedRunReport, DistGnnError> {
         let model = self.config.model;
         let cluster = &self.config.cluster;
         let k = cluster.machines;
         let full = full_mask(k);
         let state = per_vertex_state_bytes(&model);
         let model_bytes = model_param_count(&model) * 4 * 3;
+        let param_bytes = model_param_count(&model) * 4;
         let sink = &self.trace;
 
         let mut fleet = Fleet::full(k);
         let mut store = CheckpointStore::new(*ckpt);
         let mut out = ElasticRunReport::default();
+        let mut netr = NetRunReport::default();
+        let noisy = net.has_noise();
+
+        // Transport noise on one epoch's flows: gradient sync (ring
+        // segments) and feature fetch (the counted sync exchange).
+        // A pure function of the epoch report and config, so the
+        // adopt-only probes price exactly what execution charges.
+        let noise_for = |report: &EpochReport, live: u64, we: u32| -> gp_cluster::NetCharge {
+            let mut total = gp_cluster::NetCharge::default();
+            if !noisy {
+                return total;
+            }
+            let net_at = faults.degraded_network(&cluster.network, we);
+            let sync_msgs = 2 * u64::from(live.count_ones().saturating_sub(1));
+            total.merge(&noise_charge(
+                net,
+                MessageKind::GradientSync,
+                we,
+                0,
+                sync_msgs,
+                2 * param_bytes,
+                &net_at,
+            ));
+            let mut fetch_msgs = 0u64;
+            let mut fetch_bytes = 0u64;
+            for m in 0..k {
+                if live & (1u64 << m) != 0 {
+                    let c = report.counters.machine(m);
+                    fetch_msgs += c.messages;
+                    fetch_bytes += c.bytes_sent;
+                }
+            }
+            total.merge(&noise_charge(
+                net,
+                MessageKind::FeatureFetch,
+                we,
+                1,
+                fetch_msgs,
+                fetch_bytes,
+                &net_at,
+            ));
+            total
+        };
 
         // The layout actually carrying work.
         let mut active = full;
@@ -1064,10 +1179,167 @@ impl<'a> DistGnnEngine<'a> {
         // is attempted each epoch until one commits (or none is needed).
         let mut rebalance_pending = false;
 
+        // Sticky per-window degraded-mode state (armed windows only),
+        // plus the membership/fault events deferred until heal.
+        struct WindowState {
+            entered: u32,
+            until: u32,
+            degraded: bool,
+            quorum: u64,
+            deg_masters: Vec<u32>,
+            deg_views: Vec<PartitionView>,
+            stale_per_epoch: u64,
+            catchup_bytes: u64,
+            catchup_secs: f64,
+        }
+        let mut win: Option<WindowState> = None;
+        let mut deferred_leaves: Vec<u32> = Vec::new();
+        let mut deferred_joins: Vec<u32> = Vec::new();
+        let mut deferred_crashes: Vec<(u32, f64)> = Vec::new();
+
         for epoch in 0..epochs {
             sink.set_epoch(epoch);
             let network = faults.degraded_network(&cluster.network, epoch);
-            let (leave_evs, join_evs) = churn.events_at(epoch);
+
+            // --- Arm a partition window covering this epoch. A window
+            // whose minority or quorum side misses the active set is
+            // inert (no live link is cut). Mode is decided once for the
+            // whole window: both alternatives are priced with disabled
+            // probes, and degraded is adopted only when it fits the
+            // staleness budget and costs at most the abort. ---
+            if win.is_none() && !net.windows.is_empty() {
+                if let Some(w) = net.window_at(epoch) {
+                    let minority = w.minority & active;
+                    let quorum = active & !w.minority;
+                    if minority != 0 && quorum != 0 {
+                        let until = w.until_epoch.min(epochs);
+                        let mut deg_masters = masters.clone();
+                        for m in 0..k {
+                            if minority & (1u64 << m) != 0 {
+                                deg_masters = self.repair_masters(&deg_masters, m, quorum);
+                            }
+                        }
+                        let deg_views = build_views(self.graph, self.partition, &deg_masters);
+                        let stale_per_epoch = masters
+                            .iter()
+                            .filter(|&&m| m != NO_MASTER && minority & (1u64 << m) != 0)
+                            .count() as u64;
+                        let catchup_bytes: u64 = (0..k)
+                            .filter(|&m| minority & (1u64 << m) != 0)
+                            .map(|m| views[m as usize].num_local_vertices() * state)
+                            .sum();
+                        let catchup_secs = transfer_time(
+                            &network,
+                            catchup_bytes,
+                            u64::from(minority.count_ones()),
+                        );
+                        // Abort restore: live machines reload the newest
+                        // valid snapshot in parallel (wall time = the
+                        // slowest shard).
+                        let mut restore_secs = 0.0f64;
+                        let mut restore_bytes = 0u64;
+                        let mut restore_corrupt = 0u64;
+                        for m in 0..k {
+                            if active & (1u64 << m) != 0 {
+                                let r = store.restore(m, faults);
+                                restore_secs = restore_secs.max(r.seconds);
+                                restore_bytes += r.bytes_read;
+                                restore_corrupt += r.corrupted;
+                            }
+                        }
+                        let probe = TraceSink::disabled();
+                        let mut deg_price = catchup_secs;
+                        let mut abort_price = restore_secs;
+                        for we in epoch..until {
+                            let mut scratch = RecoveryReport::default();
+                            let dctx = self.elastic_ctx(faults, we, quorum);
+                            let dreport = self.simulate_epoch_inner(
+                                &model,
+                                &deg_views,
+                                &deg_masters,
+                                self.config.sync_period,
+                                Some(&dctx),
+                                &mut scratch,
+                                &probe,
+                            );
+                            deg_price += dreport.epoch_time()
+                                + scratch.retry_seconds
+                                + noise_for(&dreport, quorum, we).extra_secs;
+                            let mut scratch = RecoveryReport::default();
+                            let fctx = self.elastic_ctx(faults, we, active);
+                            let freport = self.simulate_epoch_inner(
+                                &model,
+                                &views,
+                                &masters,
+                                self.config.sync_period,
+                                Some(&fctx),
+                                &mut scratch,
+                                &probe,
+                            );
+                            // Burned attempt + post-heal re-execution.
+                            abort_price += freport.epoch_time()
+                                + scratch.retry_seconds
+                                + noise_for(&freport, active, we).extra_secs
+                                + freport.epoch_time();
+                        }
+                        let degraded = nopts.degraded
+                            && until - epoch <= net.staleness_bound
+                            && deg_price <= abort_price;
+                        netr.windows += 1;
+                        if degraded {
+                            netr.degraded_windows += 1;
+                        } else {
+                            netr.aborted_windows += 1;
+                            out.recovery.restore_seconds += restore_secs;
+                            out.recovery.recovery_bytes += restore_bytes;
+                            out.recovery.corrupted_checkpoints += restore_corrupt;
+                            if sink.is_enabled() && (restore_bytes > 0 || restore_secs > 0.0) {
+                                sink.span(
+                                    0,
+                                    0,
+                                    TracePhase::Recovery,
+                                    sink.now(),
+                                    restore_secs,
+                                    restore_bytes,
+                                    0,
+                                );
+                                sink.advance(restore_secs);
+                            }
+                        }
+                        win = Some(WindowState {
+                            entered: epoch,
+                            until,
+                            degraded,
+                            quorum,
+                            deg_masters,
+                            deg_views,
+                            stale_per_epoch,
+                            catchup_bytes,
+                            catchup_secs,
+                        });
+                    }
+                }
+            }
+            let in_window = win.is_some();
+
+            let (mut leave_evs, mut join_evs) = churn.events_at(epoch);
+            if in_window {
+                // Membership changes wait out the partition: neither
+                // island can coordinate a handoff or admission across
+                // the cut, and deferring them identically in both modes
+                // keeps the adopt-only probes exact.
+                deferred_leaves.append(&mut leave_evs);
+                deferred_joins.append(&mut join_evs);
+            } else {
+                if !deferred_leaves.is_empty() {
+                    deferred_leaves.append(&mut leave_evs);
+                    leave_evs = std::mem::take(&mut deferred_leaves);
+                }
+                if !deferred_joins.is_empty() {
+                    deferred_joins.append(&mut join_evs);
+                    join_evs = std::mem::take(&mut deferred_joins);
+                }
+            }
             // Ungraceful departures re-execute lost epochs; priced after
             // the epoch runs, once its duration is known.
             let mut pending_reexec: Vec<(u32, u64, f64, f64)> = Vec::new();
@@ -1129,6 +1401,17 @@ impl<'a> DistGnnEngine<'a> {
                     out.handoffs += 1;
                     out.handoff_bytes += stream_bytes;
                     out.handoff_seconds += stream_secs;
+                    if noisy {
+                        netr.absorb(&noise_charge(
+                            net,
+                            MessageKind::ShardHandoff,
+                            epoch,
+                            w,
+                            msgs,
+                            stream_bytes,
+                            &network,
+                        ));
+                    }
                     if sink.is_enabled() {
                         sink.span(
                             w,
@@ -1221,7 +1504,7 @@ impl<'a> DistGnnEngine<'a> {
             // under a freshly balanced one; the rebalance commits only
             // when the speed-up pays for the migration within this
             // epoch, and is retried every epoch until it does.
-            if rebalance_pending {
+            if rebalance_pending && win.is_none() {
                 let cand_masters = assign_masters_avoiding(self.partition, full & !active);
                 let moved =
                     masters.iter().zip(&cand_masters).filter(|(a, b)| a != b).count() as u64;
@@ -1270,6 +1553,17 @@ impl<'a> DistGnnEngine<'a> {
                         out.handoff_bytes += mig_bytes;
                         out.handoff_seconds += mig_secs;
                         rebalance_pending = false;
+                        if noisy {
+                            netr.absorb(&noise_charge(
+                                net,
+                                MessageKind::ShardHandoff,
+                                epoch,
+                                k,
+                                moved,
+                                mig_bytes,
+                                &network,
+                            ));
+                        }
                         if sink.is_enabled() {
                             let t = sink.now();
                             let n = u64::from(receivers.count_ones().max(1));
@@ -1289,17 +1583,41 @@ impl<'a> DistGnnEngine<'a> {
                 }
             }
 
-            // --- The epoch itself, on the live layout. ---
-            let ctx = self.elastic_ctx(faults, epoch, active);
-            let report = self.simulate_epoch_inner(
-                &model,
-                &views,
-                &masters,
-                self.config.sync_period,
-                Some(&ctx),
-                &mut out.recovery,
-                sink,
-            );
+            // --- The epoch itself. Inside a degraded window the
+            // quorum island trains on the temporarily repaired layout
+            // (minority-mastered vertices served from stale quorum
+            // replicas); inside an abort window the epoch runs on the
+            // full layout but is burned — re-executed after heal. ---
+            let (report, epoch_live) = match &win {
+                Some(w) if w.degraded => {
+                    let ctx = self.elastic_ctx(faults, epoch, w.quorum);
+                    let r = self.simulate_epoch_inner(
+                        &model,
+                        &w.deg_views,
+                        &w.deg_masters,
+                        self.config.sync_period,
+                        Some(&ctx),
+                        &mut out.recovery,
+                        sink,
+                    );
+                    netr.degraded_epochs += 1;
+                    netr.stale_served += w.stale_per_epoch;
+                    (r, w.quorum)
+                }
+                _ => {
+                    let ctx = self.elastic_ctx(faults, epoch, active);
+                    let r = self.simulate_epoch_inner(
+                        &model,
+                        &views,
+                        &masters,
+                        self.config.sync_period,
+                        Some(&ctx),
+                        &mut out.recovery,
+                        sink,
+                    );
+                    (r, active)
+                }
+            };
             let epoch_time = report.epoch_time();
             out.epoch_seconds.push(epoch_time);
             out.phase_seconds.push(vec![
@@ -1308,7 +1626,22 @@ impl<'a> DistGnnEngine<'a> {
                 (TracePhase::Sync.name(), report.phases.sync),
                 (TracePhase::Optimizer.name(), report.phases.optimizer),
             ]);
-            out.live_workers.push((0..k).filter(|&m| active & (1u64 << m) != 0).collect());
+            out.live_workers.push((0..k).filter(|&m| epoch_live & (1u64 << m) != 0).collect());
+            if noisy {
+                netr.absorb(&noise_for(&report, epoch_live, epoch));
+            }
+            if let Some(w) = &win {
+                netr.partitioned_epochs += 1;
+                netr.max_staleness = netr.max_staleness.max(epoch - w.entered + 1);
+                if !w.degraded {
+                    // Burned attempt: the abort baseline re-executes
+                    // this epoch after heal.
+                    netr.aborted_epochs += 1;
+                    out.recovery.lost_progress_epochs += 1.0;
+                    out.recovery.reexecuted_steps += 1;
+                    out.recovery.reexecution_seconds += epoch_time;
+                }
+            }
 
             for (w, span_bytes, restore_secs, lost) in pending_reexec.drain(..) {
                 let reexec = lost * epoch_time;
@@ -1322,8 +1655,17 @@ impl<'a> DistGnnEngine<'a> {
             }
 
             // --- Crashes repair in place: the slot restarts on a
-            // replacement before the next epoch and stays active. ---
-            for (machine, step_frac) in faults.crashes_in_epoch(epoch) {
+            // replacement before the next epoch and stays active.
+            // During a partition window repairs cannot reach across the
+            // cut, so crash handling waits for heal (in both modes). ---
+            let mut crash_evs = faults.crashes_in_epoch(epoch);
+            if in_window {
+                deferred_crashes.append(&mut crash_evs);
+            } else if !deferred_crashes.is_empty() {
+                deferred_crashes.append(&mut crash_evs);
+                crash_evs = std::mem::take(&mut deferred_crashes);
+            }
+            for (machine, step_frac) in crash_evs {
                 if machine >= k || active & (1u64 << machine) == 0 {
                     continue;
                 }
@@ -1380,8 +1722,10 @@ impl<'a> DistGnnEngine<'a> {
 
             // --- Snapshot (live shards only; commit is atomic at the
             // epoch boundary, so a later crash can never see a torn
-            // snapshot of this epoch). ---
-            if store.due(epoch) {
+            // snapshot of this epoch). Skipped during partition windows:
+            // the store is not reachable from both islands, and a torn
+            // cross-island snapshot must never become restorable. ---
+            if store.due(epoch) && win.is_none() {
                 let shards: Vec<u64> = (0..k)
                     .map(|m| {
                         if active & (1u64 << m) != 0 {
@@ -1391,9 +1735,21 @@ impl<'a> DistGnnEngine<'a> {
                         }
                     })
                     .collect();
+                let shard_total: u64 = shards.iter().sum();
                 let wr = store.write(epoch, shards);
                 out.recovery.checkpoints += 1;
                 out.recovery.checkpoint_seconds += wr.seconds;
+                if noisy {
+                    netr.absorb(&noise_charge(
+                        net,
+                        MessageKind::CheckpointWrite,
+                        epoch,
+                        0,
+                        u64::from(active.count_ones()),
+                        shard_total,
+                        &network,
+                    ));
+                }
                 if sink.is_enabled() {
                     let t = sink.now();
                     let snap = store.snapshots().last().expect("just written");
@@ -1412,6 +1768,44 @@ impl<'a> DistGnnEngine<'a> {
                 }
             }
 
+            // --- Window heal: after the last window epoch the minority
+            // island streams fresh state back in (degraded mode only;
+            // the abort path restored at entry instead). ---
+            if win.as_ref().is_some_and(|w| epoch + 1 >= w.until) {
+                let w = win.take().expect("healed window");
+                if w.degraded {
+                    netr.catchup_bytes += w.catchup_bytes;
+                    netr.catchup_seconds += w.catchup_secs;
+                    if sink.is_enabled() && (w.catchup_bytes > 0 || w.catchup_secs > 0.0) {
+                        sink.span(
+                            0,
+                            0,
+                            TracePhase::Recovery,
+                            sink.now(),
+                            w.catchup_secs,
+                            w.catchup_bytes,
+                            0,
+                        );
+                        sink.advance(w.catchup_secs);
+                    }
+                }
+            }
+
+            if sink.is_enabled() && !net.is_empty() {
+                sink.counter(0, counter_names::NET_RETRIES, netr.noise.retries as f64);
+                sink.counter(0, counter_names::NET_RETRY_SECONDS, netr.noise.extra_secs);
+                sink.counter(
+                    0,
+                    counter_names::NET_DUP_DISCARDED,
+                    netr.noise.dup_discarded as f64,
+                );
+                sink.counter(
+                    0,
+                    counter_names::NET_PARTITION_EPOCHS,
+                    f64::from(netr.partitioned_epochs),
+                );
+            }
+
             let overhead = out.recovery.total_overhead_seconds();
             if overhead > faults.recovery_budget_secs {
                 return Err(DistGnnError::RecoveryBudgetExceeded {
@@ -1421,7 +1815,7 @@ impl<'a> DistGnnEngine<'a> {
             }
             out.completed_epochs = epoch + 1;
         }
-        Ok(out)
+        Ok(PartitionedRunReport { elastic: out, net: netr })
     }
 
     /// Start a mitigation session for this engine. DistGNN observes one
@@ -2677,6 +3071,160 @@ mod tests {
         );
         // The baseline pays for leaves through recovery instead.
         assert!(baseline.recovery.crashes > elastic.recovery.crashes);
+    }
+
+    // ---- Partitioned runs (network fault model) ----
+
+    fn net_spec(epochs: u32) -> gp_cluster::NetFaultSpec {
+        gp_cluster::NetFaultSpec {
+            partition_prob: 0.15,
+            ..gp_cluster::NetFaultSpec::standard(8, epochs, 0x7a57_11e7)
+        }
+    }
+
+    #[test]
+    fn partitioned_with_empty_net_plan_is_the_elastic_run() {
+        let (g, _, hep) = setup(8);
+        let eng = DistGnnEngine::builder(&g, &hep).config(cfg(8, 64, 64, 2)).build().unwrap();
+        let faults = FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 20, 6.0, 0xfa11));
+        let churn = ChurnPlan::generate(&churn_spec(20));
+        let ckpt = CheckpointConfig::periodic(4);
+        let elastic = eng
+            .simulate_run_elastic(20, &faults, &churn, &ckpt, ElasticOptions::default())
+            .unwrap();
+        let part = eng
+            .simulate_run_partitioned(
+                20,
+                &faults,
+                &churn,
+                &NetFaultPlan::empty(),
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(part.elastic, elastic, "empty net plan reproduces the elastic run bit-for-bit");
+        assert_eq!(part.net, NetRunReport::default());
+        assert_eq!(part.total_seconds(), elastic.total_seconds());
+    }
+
+    #[test]
+    fn partitioned_run_is_deterministic_and_exactly_once() {
+        let (g, _, hep) = setup(8);
+        let eng = DistGnnEngine::builder(&g, &hep).config(cfg(8, 64, 64, 2)).build().unwrap();
+        let faults = FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 20, 6.0, 0xfa11));
+        let churn = ChurnPlan::generate(&churn_spec(20));
+        let net = NetFaultPlan::generate(&net_spec(20));
+        let ckpt = CheckpointConfig::periodic(4);
+        let run = |_| {
+            eng.simulate_run_partitioned(
+                20,
+                &faults,
+                &churn,
+                &net,
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::default(),
+            )
+            .unwrap()
+        };
+        let a = run(());
+        let b = run(());
+        assert_eq!(a, b, "partitioned runs replay bit-identically");
+        assert!(a.net.windows > 0, "premise: the schedule actually partitions");
+        assert!(a.net.noise.delivered > 0, "premise: noisy flows were charged");
+        assert!(a.net.exactly_once(), "dedup must make delivery exactly-once-effective");
+    }
+
+    #[test]
+    fn degraded_mode_never_worse_than_abort_baseline() {
+        let (g, _, hep) = setup(8);
+        let eng = DistGnnEngine::builder(&g, &hep).config(cfg(8, 64, 64, 2)).build().unwrap();
+        let faults = FaultPlan::generate(&gp_cluster::FaultSpec::standard(8, 24, 8.0, 0xfa11));
+        let churn = ChurnPlan::generate(&churn_spec(24));
+        let net = NetFaultPlan::generate(&net_spec(24));
+        let ckpt = CheckpointConfig::periodic(4);
+        let degraded = eng
+            .simulate_run_partitioned(
+                24,
+                &faults,
+                &churn,
+                &net,
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::default(),
+            )
+            .unwrap();
+        let abort = eng
+            .simulate_run_partitioned(
+                24,
+                &faults,
+                &churn,
+                &net,
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::abort_only(),
+            )
+            .unwrap();
+        assert!(degraded.net.partitioned_epochs > 0, "premise: a window armed");
+        assert_eq!(abort.net.degraded_windows, 0, "baseline must always abort");
+        assert!(
+            degraded.total_seconds() <= abort.total_seconds() + 1e-9,
+            "degraded run {} must not exceed the abort-and-recover baseline {}",
+            degraded.total_seconds(),
+            abort.total_seconds()
+        );
+        if degraded.net.degraded_windows > 0 {
+            assert!(
+                degraded.net.max_staleness <= net.staleness_bound,
+                "staleness {} beyond the bound {}",
+                degraded.net.max_staleness,
+                net.staleness_bound
+            );
+            assert!(degraded.net.stale_served > 0, "degraded epochs serve stale replicas");
+        }
+    }
+
+    #[test]
+    fn noise_only_plan_keeps_training_progress_and_charges_transport() {
+        let (g, _, hep) = setup(8);
+        let eng = DistGnnEngine::builder(&g, &hep).config(cfg(8, 64, 64, 2)).build().unwrap();
+        let net = NetFaultPlan::generate(&gp_cluster::NetFaultSpec {
+            partition_prob: 0.0,
+            ..gp_cluster::NetFaultSpec::standard(8, 10, 0xb0)
+        });
+        assert!(net.windows.is_empty());
+        let ckpt = CheckpointConfig::periodic(4);
+        let plain = eng
+            .simulate_run_elastic(
+                10,
+                &FaultPlan::empty(),
+                &ChurnPlan::empty(),
+                &ckpt,
+                ElasticOptions::default(),
+            )
+            .unwrap();
+        let noisy = eng
+            .simulate_run_partitioned(
+                10,
+                &FaultPlan::empty(),
+                &ChurnPlan::empty(),
+                &net,
+                &ckpt,
+                ElasticOptions::default(),
+                NetRunOptions::default(),
+            )
+            .unwrap();
+        // Noise rides on top of the same schedule: epochs are untouched,
+        // the transport overhead is strictly positive and separable.
+        assert_eq!(noisy.elastic, plain);
+        assert!(noisy.net.noise.retries > 0, "1% loss over many messages must retry");
+        assert!(noisy.net.noise.extra_secs > 0.0);
+        assert!(noisy.net.exactly_once());
+        assert_eq!(
+            noisy.total_seconds(),
+            plain.total_seconds() + noisy.net.overhead_seconds()
+        );
     }
 
     #[test]

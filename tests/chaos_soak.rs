@@ -14,10 +14,19 @@
 //!
 //! The churn schedule itself must clear the acceptance floors — at
 //! least 5 leaves and 3 joins — rather than being satisfied vacuously.
+//!
+//! The network-chaos soaks below compose a third fault axis on top:
+//! a seeded message-level plan of loss, duplication, reorder and
+//! partition windows through `simulate_run_partitioned`, with the
+//! degraded-mode invariant (never worse than abort-and-recover) and
+//! exactly-once delivery green while churn and crashes keep running
+//! underneath. The network schedule must arm real partition windows —
+//! not hold vacuously on a window-free run.
 
-use gnnpart::cluster::ChurnPlan;
+use gnnpart::cluster::{ChurnPlan, NetFaultPlan};
 use gnnpart::core::chaos::chaos_churn_spec;
 use gnnpart::core::config::PaperParams;
+use gnnpart::core::netchaos::netchaos_net_spec;
 use gnnpart::prelude::*;
 
 const EPOCHS: u32 = 200;
@@ -67,6 +76,123 @@ fn assert_green(row: &gnnpart::core::chaos::ChaosRow, engine: &str) {
             row.elastic_secs,
             row.baseline_secs,
         );
+    }
+}
+
+#[test]
+fn network_schedule_arms_real_partition_windows() {
+    let plan = NetFaultPlan::generate(&netchaos_net_spec(MACHINES, EPOCHS, SEED));
+    assert!(!plan.is_empty(), "non-degenerate network schedule");
+    assert!(!plan.windows.is_empty(), "partition windows scheduled");
+}
+
+fn assert_net_green(row: &gnnpart::core::netchaos::NetChaosRow, engine: &str) {
+    assert!(
+        row.holds(),
+        "{engine}/{}: completed {}/{}, deterministic={}, trace_transparent={}, \
+         degraded_never_worse={}, exactly_once={}, spans_exact={}",
+        row.name,
+        row.completed_epochs,
+        row.epochs,
+        row.deterministic,
+        row.trace_transparent,
+        row.degraded_never_worse,
+        row.exactly_once,
+        row.spans_exact,
+    );
+    assert_eq!(row.completed_epochs, EPOCHS, "{engine}/{}: full horizon", row.name);
+    // All three fault axes actually compose: churn, crashes AND
+    // partition windows fire in the same run.
+    assert!(row.leaves >= 5, "{engine}/{}: churn still exercised", row.name);
+    assert!(row.crashes > 0, "{engine}/{}: crashes still exercised", row.name);
+    assert!(row.windows > 0, "{engine}/{}: partition windows armed", row.name);
+    assert!(row.partitioned_epochs > 0, "{engine}/{}: epochs spent partitioned", row.name);
+    assert!(row.net_retries > 0, "{engine}/{}: loss retries exercised", row.name);
+    assert!(row.dup_discarded > 0, "{engine}/{}: dedup window exercised", row.name);
+    if row.degraded_windows > 0 {
+        // DistGNN serves remote aggregations from stale replicas;
+        // DistDGL defers minority-island fetches to cache + snapshots.
+        // Either way the bounded-staleness path must actually fire.
+        assert!(
+            row.stale_served > 0 || row.deferred_fetches > 0,
+            "{engine}/{}: degraded epochs used the bounded-staleness path",
+            row.name
+        );
+    }
+    if row.abort_secs >= 0.0 {
+        assert!(
+            row.degraded_secs <= row.abort_secs + 1e-9,
+            "{engine}/{}: degraded {} > abort-and-recover {}",
+            row.name,
+            row.degraded_secs,
+            row.abort_secs,
+        );
+    }
+}
+
+#[test]
+fn distgnn_netchaos_soak_composes_all_three_fault_axes() {
+    let g = graph();
+    let timed: Vec<_> =
+        timed_edge_partitions(&g, MACHINES, 1).into_iter().take(2).collect();
+    let serial =
+        distgnn_netchaos_soak(&g, &timed, params(), EPOCHS, MTBF, CHECKPOINT_EVERY, SEED);
+    assert_eq!(serial.len(), 2);
+    for row in &serial {
+        assert_net_green(row, "distgnn");
+    }
+    for threads in [2usize, 4, 8] {
+        let par = distgnn_netchaos_soak_threaded(
+            &g,
+            &timed,
+            params(),
+            EPOCHS,
+            MTBF,
+            CHECKPOINT_EVERY,
+            SEED,
+            Threads::new(threads),
+        );
+        assert_eq!(par, serial, "threads = {threads}");
+    }
+}
+
+#[test]
+fn distdgl_netchaos_soak_composes_all_three_fault_axes() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed: Vec<_> =
+        timed_vertex_partitions(&g, MACHINES, 1, &split.train).into_iter().take(2).collect();
+    let serial = distdgl_netchaos_soak(
+        &g,
+        &split,
+        &timed,
+        params(),
+        ModelKind::Sage,
+        256,
+        EPOCHS,
+        MTBF,
+        CHECKPOINT_EVERY,
+        SEED,
+    );
+    assert_eq!(serial.len(), 2);
+    for row in &serial {
+        assert_net_green(row, "distdgl");
+    }
+    for threads in [2usize, 4, 8] {
+        let par = distdgl_netchaos_soak_threaded(
+            &g,
+            &split,
+            &timed,
+            params(),
+            ModelKind::Sage,
+            256,
+            EPOCHS,
+            MTBF,
+            CHECKPOINT_EVERY,
+            SEED,
+            Threads::new(threads),
+        );
+        assert_eq!(par, serial, "threads = {threads}");
     }
 }
 

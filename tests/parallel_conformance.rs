@@ -205,6 +205,55 @@ fn chaos_soaks_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn netchaos_soaks_are_bit_identical_across_thread_counts() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed_e = timed_edge_partitions(&g, 4, 1);
+    let timed_v = timed_vertex_partitions(&g, 4, 1, &split.train);
+    let params = PaperParams::middle();
+
+    // Seed 7 arms real partition windows at this scale, so the
+    // conformance check covers the degraded-mode epochs too — not just
+    // the window-free transport-noise path.
+    let serial_e = distgnn_netchaos_soak(&g, &timed_e, params, 8, 5.0, 2, 7);
+    let serial_v =
+        distdgl_netchaos_soak(&g, &split, &timed_v, params, ModelKind::Sage, 256, 6, 5.0, 2, 7);
+    assert!(
+        serial_e.iter().chain(&serial_v).any(|r| r.windows > 0),
+        "at least one cell arms a partition window"
+    );
+    for threads in THREAD_COUNTS {
+        let par_e = distgnn_netchaos_soak_threaded(
+            &g, &timed_e, params, 8, 5.0, 2, 7,
+            Threads::new(threads),
+        );
+        assert_eq!(par_e, serial_e, "distgnn threads = {threads}");
+        let par_v = distdgl_netchaos_soak_threaded(
+            &g, &split, &timed_v, params, ModelKind::Sage, 256, 6, 5.0, 2, 7,
+            Threads::new(threads),
+        );
+        assert_eq!(par_v, serial_v, "distdgl threads = {threads}");
+    }
+    // Both exported artifacts are byte-identical, not just f64-equal.
+    let par_e =
+        distgnn_netchaos_soak_threaded(&g, &timed_e, params, 8, 5.0, 2, 7, Threads::new(4));
+    let par_v = distdgl_netchaos_soak_threaded(
+        &g, &split, &timed_v, params, ModelKind::Sage, 256, 6, 5.0, 2, 7,
+        Threads::new(4),
+    );
+    assert_eq!(
+        netchaos_table("conformance", &par_e).to_csv(),
+        netchaos_table("conformance", &serial_e).to_csv(),
+        "CSV bytes"
+    );
+    assert_eq!(
+        netchaos_bench_json(&par_e, &par_v),
+        netchaos_bench_json(&serial_e, &serial_v),
+        "bench JSON bytes"
+    );
+}
+
+#[test]
 fn trace_runs_are_bit_identical_across_thread_counts() {
     let g = graph();
     let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
