@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use gp_cluster::ClusterSpec;
+use gp_cluster::{ClusterSpec, RunSpec};
 use gp_core::config::PaperParams;
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
@@ -17,8 +17,8 @@ fn bench_distgnn_simulation(c: &mut Criterion) {
     let partition = Hdrf::default().partition_edges(&graph, 8, 1).expect("valid");
     let config = DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), ClusterSpec::paper(8));
     let engine = DistGnnEngine::builder(&graph, &partition).config(config).build().expect("valid");
-    c.bench_function("distgnn_simulate_epoch", |b| {
-        b.iter(|| black_box(engine.simulate_epoch()));
+    c.bench_function("distgnn_healthy_epoch", |b| {
+        b.iter(|| black_box(engine.run(&RunSpec::healthy()).expect("healthy run")));
     });
 }
 
@@ -35,8 +35,8 @@ fn bench_distdgl_sampling(c: &mut Criterion) {
     c.bench_function("distdgl_sample_epoch", |b| {
         b.iter(|| black_box(engine.sample_epoch(0)));
     });
-    c.bench_function("distdgl_simulate_epoch", |b| {
-        b.iter(|| black_box(engine.simulate_epoch(0)));
+    c.bench_function("distdgl_healthy_epoch", |b| {
+        b.iter(|| black_box(engine.run(&RunSpec::healthy()).expect("healthy run")));
     });
 }
 

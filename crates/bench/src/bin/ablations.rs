@@ -21,14 +21,14 @@
 //!   reports (extension; the aggregates behind `gnnpart diagnose`).
 //! * `chaos` — elastic-membership soak per partitioner: seeded churn
 //!   (leaves + rejoins) and faults with periodic checkpoints through
-//!   both engines' `simulate_run_elastic`, the elastic contract
+//!   both engines' `.elastic(..)` `RunSpec` legs, the elastic contract
 //!   (bit-identical reruns, traced == untraced, never worse than
 //!   crash-only recovery, exact span sums) verified per row, plus
 //!   `BENCH_chaos.json` with the recovery-overhead and lost-progress
 //!   trajectory (extension; the soak behind `gnnpart chaos`).
 //! * `netchaos` — the chaos soak composed with a seeded message-level
 //!   network-fault plan (loss, duplication, reorder, partition windows)
-//!   through both engines' `simulate_run_partitioned`, verifying
+//!   through both engines' `.net(..)` `RunSpec` legs, verifying
 //!   exactly-once delivery and that the bounded-staleness degraded mode
 //!   is never worse than abort-and-recover, plus `BENCH_netchaos.json`
 //!   (extension; the soak behind `gnnpart netchaos`).
@@ -41,12 +41,15 @@
 //! `--quick` shrinks the fault/mitigation ablations to a tiny-scale
 //! smoke configuration (CSVs land in `results/ablations-quick` so the
 //! committed full-scale results stay untouched). `--threads N|auto`
-//! sets the `gp-exec` pool width; the emitted CSVs are bit-identical
-//! for every choice (`--threads 1` is the serial reference oracle) —
-//! only the wall-clock speedup printed to stdout changes.
+//! sets the sweep-level `gp-exec` pool width (one cell per job) and
+//! `--engine-threads N|auto` the intra-epoch width inside each engine
+//! (per-worker compute); the emitted CSVs are bit-identical for every
+//! choice of either knob (`--threads 1 --engine-threads 1` is the
+//! serial reference oracle) — only the wall-clock speedup printed to
+//! stdout changes.
 
 use gp_bench::Ctx;
-use gp_cluster::{ClusterSpec, NetworkSpec};
+use gp_cluster::{ClusterSpec, NetworkSpec, RunSpec};
 use gp_core::config::PaperParams;
 use gp_core::report::{fmt, Table};
 use gp_distdgl::{DistDglConfig, DistDglEngine};
@@ -59,7 +62,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
-    let threads = match gp_bench::take_threads_flag(&mut args) {
+    let threads = match gp_bench::take_parallelism_flags(&mut args) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("{e}");
@@ -108,7 +111,8 @@ fn main() {
             eprintln!(
                 "unknown ablation {other:?} \
                  (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|\
-                 mitigation|phases|diagnose|chaos|netchaos|all) [--quick] [--threads N|auto]"
+                 mitigation|phases|diagnose|chaos|netchaos|all) [--quick] [--threads N|auto] \
+                 [--engine-threads N|auto]"
             );
             std::process::exit(2);
         }
@@ -176,9 +180,12 @@ fn fanout(ctx: &Ctx) {
             ClusterSpec::paper(8),
         );
         config.fanouts = fanouts;
-        let engine =
-            DistDglEngine::builder(&graph, &partition, &split).config(config).build().expect("valid");
-        let summary = engine.simulate_epoch(0);
+        let engine = DistDglEngine::builder(&graph, &partition, &split)
+            .config(config)
+            .threads(ctx.threads.engine)
+            .build()
+            .expect("valid");
+        let summary = engine.run(&RunSpec::healthy()).expect("healthy run").into_healthy().remove(0);
         t.push(vec![
             name.to_string(),
             summary.total_input_vertices.to_string(),
@@ -214,12 +221,24 @@ fn costmodel(ctx: &Ctx) {
         cluster.network = network;
         let config =
             DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), cluster);
-        let base = DistGnnEngine::builder(&graph, &random.partition).config(config).build()
+        let base = DistGnnEngine::builder(&graph, &random.partition)
+            .config(config)
+            .threads(ctx.threads.engine)
+            .build()
             .expect("valid")
-            .simulate_epoch();
-        let own = DistGnnEngine::builder(&graph, &hep.partition).config(config).build()
+            .run(&RunSpec::healthy())
+            .expect("healthy run")
+            .into_healthy()
+            .remove(0);
+        let own = DistGnnEngine::builder(&graph, &hep.partition)
+            .config(config)
+            .threads(ctx.threads.engine)
+            .build()
             .expect("valid")
-            .simulate_epoch();
+            .run(&RunSpec::healthy())
+            .expect("healthy run")
+            .into_healthy()
+            .remove(0);
         t.push(vec![name.to_string(), fmt(base.epoch_time() / own.epoch_time())]);
     }
     ctx.emit(&t);
@@ -242,8 +261,12 @@ fn cache(ctx: &Ctx) {
             ClusterSpec::paper(8),
         );
         config.feature_cache_entries = entries;
-        let engine = DistDglEngine::builder(&graph, &partition, &split).config(config).build().expect("valid");
-        let s = engine.simulate_epoch(0);
+        let engine = DistDglEngine::builder(&graph, &partition, &split)
+            .config(config)
+            .threads(ctx.threads.engine)
+            .build()
+            .expect("valid");
+        let s = engine.run(&RunSpec::healthy()).expect("healthy run").into_healthy().remove(0);
         let hit_rate = s.cache_hits as f64 / s.total_remote_vertices.max(1) as f64;
         t.push(vec![
             entries.to_string(),
@@ -529,7 +552,7 @@ fn diagnose(ctx: &Ctx, quick: bool) {
 
 /// Elastic-membership chaos soak: every partitioner of both rosters
 /// runs a multi-epoch schedule of seeded churn (leaves + rejoins) and
-/// faults with periodic checkpoints through `simulate_run_elastic`,
+/// faults with periodic checkpoints through the `.elastic(..)` leg,
 /// and the elastic contract is checked per row — the rerun is
 /// bit-identical, the traced run equals the untraced one, the elastic
 /// run is never worse than the crash-without-handoff baseline, and
@@ -598,7 +621,7 @@ fn chaos(ctx: &Ctx, quick: bool) {
 /// seeded message-level fault plan — per-message loss, duplication and
 /// reorder plus partition windows splitting the fleet into quorum and
 /// minority islands — through both engines'
-/// `simulate_run_partitioned` (extension; the soak behind `gnnpart
+/// the `.net(..)` `RunSpec` leg (extension; the soak behind `gnnpart
 /// netchaos`). Per row the network contract is checked: bit-identical
 /// reruns, traced == untraced, exactly-once-effective delivery, exact
 /// span sums, and the bounded-staleness degraded mode never worse than
@@ -718,9 +741,15 @@ fn cdr(ctx: &Ctx) {
             ClusterSpec::paper(16),
         );
         config.sync_period = period;
-        let report = DistGnnEngine::builder(&graph, &random.partition).config(config).build()
+        let report = DistGnnEngine::builder(&graph, &random.partition)
+            .config(config)
+            .threads(ctx.threads.engine)
+            .build()
             .expect("valid")
-            .simulate_epoch();
+            .run(&RunSpec::healthy())
+            .expect("healthy run")
+            .into_healthy()
+            .remove(0);
         t.push(vec![
             period.to_string(),
             format!("{:.3}", report.epoch_time() * 1e3),

@@ -5,17 +5,18 @@
 //! figures fig7 table4              # selected artifacts
 //! figures all --scale tiny         # quick smoke run
 //! figures all --out results/       # output directory
-//! figures all --threads 4          # gp-exec pool width (CSVs identical)
+//! figures all --threads 4          # sweep-level pool width (CSVs identical)
+//! figures all --engine-threads 4   # intra-epoch engine width (CSVs identical)
 //! ```
 
 use std::path::PathBuf;
 
-use gp_bench::{run_artifact, take_threads_flag, Ctx, ALL_ARTIFACTS};
+use gp_bench::{run_artifact, take_parallelism_flags, Ctx, ALL_ARTIFACTS};
 use gp_graph::GraphScale;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let threads = match take_threads_flag(&mut args) {
+    let threads = match take_parallelism_flags(&mut args) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("{e}");
@@ -82,7 +83,7 @@ fn main() {
 fn print_usage() {
     eprintln!(
         "usage: figures <artifact>... [--scale tiny|small|medium] [--out DIR] \
-         [--threads N|auto]"
+         [--threads N|auto] [--engine-threads N|auto]"
     );
     eprintln!("artifacts: all {}", ALL_ARTIFACTS.join(" "));
 }

@@ -25,7 +25,7 @@ use gp_core::experiment::{
     timed_edge_partitions_threaded, timed_vertex_partitions_threaded, TimedEdgePartition,
     TimedVertexPartition,
 };
-use gp_exec::Threads;
+use gp_exec::{Parallelism, Threads};
 use gp_graph::{DatasetId, Graph, GraphScale, VertexSplit};
 
 /// Memoisation table keyed by `(dataset, k)`.
@@ -34,14 +34,19 @@ type PartCache<T> = RefCell<HashMap<(DatasetId, u32), Rc<Vec<T>>>>;
 /// Shared, memoising experiment context.
 ///
 /// The context itself is single-threaded (`Rc`-memoised); parallelism
-/// lives inside the `gp_core` sweeps it calls, steered by [`Ctx::threads`].
+/// lives inside the `gp_core` sweeps it calls, steered by
+/// [`Ctx::threads`] — a two-level [`Parallelism`]: sweep-level cell
+/// fan-out plus intra-epoch engine compute. Both levels are
+/// bit-transparent, so any width pair reproduces the serial artifacts
+/// byte-for-byte.
 pub struct Ctx {
     /// Dataset scale for every experiment.
     pub scale: GraphScale,
     /// Output directory for CSV files.
     pub out_dir: PathBuf,
-    /// Worker-count policy handed to every `*_threaded` sweep.
-    pub threads: Threads,
+    /// `(sweep, engine)` worker-count policy handed to every
+    /// `*_threaded` sweep.
+    pub threads: Parallelism,
     graphs: RefCell<HashMap<DatasetId, Rc<Graph>>>,
     splits: RefCell<HashMap<DatasetId, Rc<VertexSplit>>>,
     edge_parts: PartCache<TimedEdgePartition>,
@@ -50,19 +55,25 @@ pub struct Ctx {
 
 impl Ctx {
     /// New context writing CSVs to `out_dir`, sweeping with
-    /// [`Threads::auto`] workers.
+    /// [`Threads::auto`] workers (engines stay serial unless asked).
     pub fn new(scale: GraphScale, out_dir: PathBuf) -> Self {
         Ctx::with_threads(scale, out_dir, Threads::auto())
     }
 
-    /// New context with an explicit worker-count policy
+    /// New context with an explicit worker-count policy. A bare
+    /// [`Threads`] sets the sweep level only; a full [`Parallelism`]
+    /// additionally threads the engines' intra-epoch compute
     /// (`Threads::serial()` reproduces the historical sequential runs
     /// bit-for-bit).
-    pub fn with_threads(scale: GraphScale, out_dir: PathBuf, threads: Threads) -> Self {
+    pub fn with_threads(
+        scale: GraphScale,
+        out_dir: PathBuf,
+        threads: impl Into<Parallelism>,
+    ) -> Self {
         Ctx {
             scale,
             out_dir,
-            threads,
+            threads: threads.into(),
             graphs: RefCell::new(HashMap::new()),
             splits: RefCell::new(HashMap::new()),
             edge_parts: RefCell::new(HashMap::new()),
@@ -100,7 +111,7 @@ impl Ctx {
             return p.clone();
         }
         let graph = self.graph(id);
-        let parts = Rc::new(timed_edge_partitions_threaded(&graph, k, 0x9a9a, self.threads));
+        let parts = Rc::new(timed_edge_partitions_threaded(&graph, k, 0x9a9a, self.threads.sweep));
         self.edge_parts.borrow_mut().insert((id, k), parts.clone());
         parts
     }
@@ -117,7 +128,7 @@ impl Ctx {
             k,
             0x9a9a,
             &split.train,
-            self.threads,
+            self.threads.sweep,
         ));
         self.vertex_parts.borrow_mut().insert((id, k), parts.clone());
         parts
@@ -207,6 +218,54 @@ pub fn take_threads_flag(args: &mut Vec<String>) -> Result<Threads, String> {
     Ok(threads)
 }
 
+/// Pop an `--engine-threads N|auto` (or `--engine-threads=N`) flag out
+/// of `args`; absent means [`Threads::serial`] — intra-epoch engine
+/// compute stays sequential unless explicitly requested. Combine with
+/// [`take_threads_flag`] into a [`Parallelism`] via
+/// [`take_parallelism_flags`].
+///
+/// # Errors
+///
+/// A usage message when the value is missing or unparsable.
+pub fn take_engine_threads_flag(args: &mut Vec<String>) -> Result<Threads, String> {
+    let mut threads = Threads::serial();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(value) = args[i].strip_prefix("--engine-threads=") {
+            let value = value.to_string();
+            threads = Threads::parse(&value).ok_or_else(|| {
+                format!("--engine-threads expects a count or \"auto\", got {value:?}")
+            })?;
+            args.remove(i);
+        } else if args[i] == "--engine-threads" {
+            if i + 1 >= args.len() {
+                return Err("--engine-threads expects a count or \"auto\"".into());
+            }
+            let value = args.remove(i + 1);
+            threads = Threads::parse(&value).ok_or_else(|| {
+                format!("--engine-threads expects a count or \"auto\", got {value:?}")
+            })?;
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(threads)
+}
+
+/// Pop both `--threads` (sweep level) and `--engine-threads`
+/// (intra-epoch level) out of `args` and fold them into one two-level
+/// [`Parallelism`].
+///
+/// # Errors
+///
+/// A usage message when either value is missing or unparsable.
+pub fn take_parallelism_flags(args: &mut Vec<String>) -> Result<Parallelism, String> {
+    let engine = take_engine_threads_flag(args)?;
+    let sweep = take_threads_flag(args)?;
+    Ok(Parallelism::new(sweep, engine))
+}
+
 /// Cluster sizes used throughout (paper's scale-out factors), trimmed at
 /// tiny scale where 32 partitions of a 1k-vertex graph are degenerate.
 pub fn scale_out_factors(scale: GraphScale) -> Vec<u32> {
@@ -284,6 +343,35 @@ mod tests {
         let mut args: Vec<String> =
             ["--threads", "lots"].iter().map(|s| s.to_string()).collect();
         assert!(take_threads_flag(&mut args).is_err());
+    }
+
+    #[test]
+    fn engine_threads_flag_is_popped_and_parsed() {
+        let mut args: Vec<String> = ["quick", "--engine-threads", "4", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let par = take_parallelism_flags(&mut args).unwrap();
+        assert_eq!(par.engine.count(), 4);
+        assert_eq!(par.sweep.count(), 2);
+        assert_eq!(args, ["quick"]);
+
+        // Absent flag keeps the engine level serial.
+        let mut args: Vec<String> = ["--threads=4"].iter().map(|s| s.to_string()).collect();
+        let par = take_parallelism_flags(&mut args).unwrap();
+        assert!(par.engine.is_serial());
+        assert_eq!(par.sweep.count(), 4);
+
+        let mut args: Vec<String> =
+            ["--engine-threads=auto"].iter().map(|s| s.to_string()).collect();
+        assert!(take_engine_threads_flag(&mut args).unwrap().count() >= 1);
+        assert!(args.is_empty());
+
+        let mut args: Vec<String> = ["--engine-threads"].iter().map(|s| s.to_string()).collect();
+        assert!(take_engine_threads_flag(&mut args).is_err());
+        let mut args: Vec<String> =
+            ["--engine-threads", "lots"].iter().map(|s| s.to_string()).collect();
+        assert!(take_engine_threads_flag(&mut args).is_err());
     }
 
     #[test]

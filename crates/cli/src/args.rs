@@ -58,6 +58,10 @@ COMMANDS:
                                     none|steal|speculate|adaptive|all
                                     (default none; steal/speculate are
                                     DistDGL, adaptive cd-r is DistGNN)
+        --engine-threads N|auto     intra-epoch gp-exec pool width for
+                                    the engines' per-worker compute
+                                    (default 1; reports are identical
+                                    for every width)
     trace <edge-list>           simulate epochs and record a span trace
                                 (accepts every simulate option, incl.
                                 --faults and --mitigate, plus:)
@@ -217,6 +221,9 @@ pub struct SimulateCmd {
     /// Mitigation mode (`none|steal|speculate|adaptive|all`), validated
     /// at parse time against [`gp_cluster::MitigationPolicy::parse`].
     pub mitigate: String,
+    /// Intra-epoch `gp-exec` pool width for the engines' per-worker
+    /// compute (reports are bit-identical for every width).
+    pub engine_threads: Threads,
 }
 
 /// Options of `gnnpart trace`: a full simulation plus trace-export
@@ -464,6 +471,7 @@ fn default_simulate(input: PathBuf) -> SimulateCmd {
         checkpoint_every: 0,
         fault_seed: 42,
         mitigate: "none".into(),
+        engine_threads: Threads::serial(),
     }
 }
 
@@ -527,6 +535,14 @@ fn apply_simulate_flag(
                 ));
             }
             cmd.mitigate = mode;
+        }
+        "--engine-threads" => {
+            let value = opts.value_for("--engine-threads")?;
+            cmd.engine_threads = Threads::parse(&value).ok_or_else(|| {
+                ParseError(format!(
+                    "--engine-threads expects a count or \"auto\", got {value:?}"
+                ))
+            })?;
         }
         _ => return Ok(false),
     }
@@ -797,6 +813,39 @@ mod tests {
         assert_eq!(c.checkpoint_every, 0);
         assert_eq!(c.fault_seed, 42);
         assert_eq!(c.mitigate, "none", "mitigation off by default");
+        assert_eq!(c.engine_threads, Threads::serial(), "serial engines by default");
+    }
+
+    #[test]
+    fn engine_threads_flag_shared_by_engine_commands() {
+        // The flag lives in the shared simulate handler, so every
+        // engine-running command inherits it.
+        for cmd in ["simulate", "trace", "diagnose", "chaos", "netchaos"] {
+            let parsed = parse(&[cmd, "g.el", "--engine-threads", "4"]).unwrap();
+            let sim = match &parsed {
+                Command::Simulate(c) => c,
+                Command::Trace(c) => &c.sim,
+                Command::Diagnose(c) => &c.sim,
+                Command::Chaos(c) => &c.sim,
+                Command::NetChaos(c) => &c.sim,
+                other => panic!("wrong command {other:?}"),
+            };
+            assert_eq!(sim.engine_threads, Threads::new(4), "{cmd}");
+        }
+        let Command::Simulate(c) =
+            parse(&["simulate", "g.el", "--engine-threads", "auto"]).unwrap()
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.engine_threads, Threads::auto());
+        assert!(parse(&["simulate", "g.el", "--engine-threads", "many"])
+            .unwrap_err()
+            .0
+            .contains("--engine-threads expects"));
+        assert!(parse(&["simulate", "g.el", "--engine-threads"])
+            .unwrap_err()
+            .0
+            .contains("requires a value"));
     }
 
     #[test]

@@ -6,8 +6,9 @@ use std::path::Path;
 
 use gp_cluster::{
     ClusterSpec, FaultPlan, FaultSpec, MitigationPolicy, MitigationReport, RecoveryReport,
-    TraceSink,
+    RunSpec, TraceSink,
 };
+use gp_exec::Parallelism;
 use gp_core::registry;
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
@@ -145,54 +146,57 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
             let part = p.partition_edges(&graph, cmd.k, 42)?;
             let mut config = DistGnnConfig::paper(model, ClusterSpec::paper(cmd.k));
             config.checkpoint_every = cmd.checkpoint_every;
-            let engine = DistGnnEngine::builder(&graph, &part).config(config).build()?;
+            let engine = DistGnnEngine::builder(&graph, &part)
+                .config(config)
+                .threads(cmd.engine_threads)
+                .build()?;
             println!("DistGNN (full-batch) on {} machines with {}", cmd.k, p.name());
             println!("replication factor: {:.3}", part.replication_factor());
             if cmd.faults {
                 let plan = fault_plan(&cmd);
                 let mut recovery = RecoveryReport::default();
                 let mut mitigation = MitigationReport::default();
-                let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
+                let spec = RunSpec::healthy().epochs(cmd.epochs).faults(plan);
+                let (epochs, aborted) = if policy.is_none() {
+                    let (faulty, err) = engine.run(&spec)?.into_faulty();
+                    let lifted = faulty
+                        .into_iter()
+                        .map(|r| gp_distgnn::MitigatedEpochReport {
+                            report: r.report,
+                            recovery: r.recovery,
+                            crashed_machines: r.crashed_machines,
+                            mitigation: MitigationReport::default(),
+                        })
+                        .collect::<Vec<_>>();
+                    (lifted, err)
+                } else {
+                    engine.run(&spec.mitigate(policy))?.into_mitigated()
+                };
                 let mut total = 0.0;
-                for epoch in 0..cmd.epochs {
-                    let result = match session.as_mut() {
-                        Some(s) => engine.simulate_epoch_mitigated(epoch, &plan, s),
-                        None => engine.simulate_epoch_with_faults(epoch, &plan).map(|r| {
-                            gp_distgnn::MitigatedEpochReport {
-                                report: r.report,
-                                recovery: r.recovery,
-                                crashed_machines: r.crashed_machines,
-                                mitigation: MitigationReport::default(),
-                            }
-                        }),
+                for (epoch, r) in epochs.iter().enumerate() {
+                    total += r.report.epoch_time();
+                    recovery.merge(&r.recovery);
+                    mitigation.merge(&r.mitigation);
+                    let note = if r.crashed_machines.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  (crash: machines {:?})", r.crashed_machines)
                     };
-                    match result {
-                        Ok(r) => {
-                            total += r.report.epoch_time();
-                            recovery.merge(&r.recovery);
-                            mitigation.merge(&r.mitigation);
-                            let note = if r.crashed_machines.is_empty() {
-                                String::new()
-                            } else {
-                                format!("  (crash: machines {:?})", r.crashed_machines)
-                            };
-                            println!(
-                                "epoch {epoch:>3}: {:>10.3} ms{note}",
-                                r.report.epoch_time() * 1e3
-                            );
-                        }
-                        Err(e) => {
-                            println!("epoch {epoch:>3}: training aborted: {e}");
-                            break;
-                        }
-                    }
+                    println!(
+                        "epoch {epoch:>3}: {:>10.3} ms{note}",
+                        r.report.epoch_time() * 1e3
+                    );
+                }
+                if let Some(e) = aborted {
+                    println!("epoch {:>3}: training aborted: {e}", epochs.len());
                 }
                 print_recovery(total, &recovery);
-                if session.is_some() {
+                if !policy.is_none() {
                     print_mitigation(&cmd.mitigate, &mitigation);
                 }
             } else {
-                let report = engine.simulate_epoch();
+                let report =
+                    engine.run(&RunSpec::healthy())?.into_healthy().remove(0);
                 println!("epoch time:         {:.3} ms", report.epoch_time() * 1e3);
                 println!("  forward:          {:.3} ms", report.phases.forward * 1e3);
                 println!("  backward:         {:.3} ms", report.phases.backward * 1e3);
@@ -214,56 +218,58 @@ pub fn simulate(cmd: SimulateCmd) -> CmdResult {
             let part = p.partition_vertices(&graph, cmd.k, 42)?;
             let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
             let config = DistDglConfig::paper(model, ClusterSpec::paper(cmd.k));
-            let engine =
-                DistDglEngine::builder(&graph, &part, &split).config(config).build()?;
+            let engine = DistDglEngine::builder(&graph, &part, &split)
+                .config(config)
+                .threads(cmd.engine_threads)
+                .build()?;
             println!("DistDGL (mini-batch) on {} machines with {}", cmd.k, p.name());
             println!("edge-cut ratio:  {:.4}", part.edge_cut_ratio());
             if cmd.faults {
                 let plan = fault_plan(&cmd);
                 let mut recovery = RecoveryReport::default();
                 let mut mitigation = MitigationReport::default();
-                let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
+                let spec = RunSpec::healthy().epochs(cmd.epochs).faults(plan);
+                let (epochs, aborted) = if policy.is_none() {
+                    let (faulty, err) = engine.run(&spec)?.into_faulty();
+                    let lifted = faulty
+                        .into_iter()
+                        .map(|r| gp_distdgl::MitigatedEpochSummary {
+                            summary: r.summary,
+                            recovery: r.recovery,
+                            mitigation: MitigationReport::default(),
+                            failed_workers: r.failed_workers,
+                        })
+                        .collect::<Vec<_>>();
+                    (lifted, err)
+                } else {
+                    engine.run(&spec.mitigate(policy))?.into_mitigated()
+                };
                 let mut total = 0.0;
-                for epoch in 0..cmd.epochs {
-                    let result = match session.as_mut() {
-                        Some(s) => engine.simulate_epoch_mitigated(epoch, &plan, s),
-                        None => engine.simulate_epoch_with_faults(epoch, &plan).map(|r| {
-                            gp_distdgl::MitigatedEpochSummary {
-                                summary: r.summary,
-                                recovery: r.recovery,
-                                mitigation: MitigationReport::default(),
-                                failed_workers: r.failed_workers,
-                            }
-                        }),
+                for (epoch, r) in epochs.iter().enumerate() {
+                    total += r.summary.epoch_time();
+                    recovery.merge(&r.recovery);
+                    mitigation.merge(&r.mitigation);
+                    let note = if r.failed_workers.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  (workers down: {:?})", r.failed_workers)
                     };
-                    match result {
-                        Ok(r) => {
-                            total += r.summary.epoch_time();
-                            recovery.merge(&r.recovery);
-                            mitigation.merge(&r.mitigation);
-                            let note = if r.failed_workers.is_empty() {
-                                String::new()
-                            } else {
-                                format!("  (workers down: {:?})", r.failed_workers)
-                            };
-                            println!(
-                                "epoch {epoch:>3}: {:>10.3} ms, {} steps{note}",
-                                r.summary.epoch_time() * 1e3,
-                                r.summary.steps
-                            );
-                        }
-                        Err(e) => {
-                            println!("epoch {epoch:>3}: training aborted: {e}");
-                            break;
-                        }
-                    }
+                    println!(
+                        "epoch {epoch:>3}: {:>10.3} ms, {} steps{note}",
+                        r.summary.epoch_time() * 1e3,
+                        r.summary.steps
+                    );
+                }
+                if let Some(e) = aborted {
+                    println!("epoch {:>3}: training aborted: {e}", epochs.len());
                 }
                 print_recovery(total, &recovery);
-                if session.is_some() {
+                if !policy.is_none() {
                     print_mitigation(&cmd.mitigate, &mitigation);
                 }
             } else {
-                let summary = engine.simulate_epoch(0);
+                let summary =
+                    engine.run(&RunSpec::healthy())?.into_healthy().remove(0);
                 println!("steps/epoch:     {}", summary.steps);
                 println!("epoch time:      {:.3} ms", summary.epoch_time() * 1e3);
                 println!("  sampling:      {:.3} ms", summary.phases.sampling * 1e3);
@@ -324,18 +330,19 @@ pub fn trace(cmd: &TraceCmd) -> CmdResult {
             let engine = DistGnnEngine::builder(&graph, &part)
                 .config(config)
                 .trace(sink.clone())
+                .threads(sim.engine_threads)
                 .build()?;
             println!("tracing DistGNN on {} machines with {}", sim.k, p.name());
-            let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
-            for epoch in 0..sim.epochs {
-                let result = match session.as_mut() {
-                    Some(s) => engine.simulate_epoch_mitigated(epoch, &plan, s).map(|_| ()),
-                    None => engine.simulate_epoch_with_faults(epoch, &plan).map(|_| ()),
-                };
-                if let Err(e) = result {
-                    println!("epoch {epoch:>3}: training aborted: {e}");
-                    break;
-                }
+            let spec = RunSpec::healthy().epochs(sim.epochs).faults(plan);
+            let (completed, aborted) = if policy.is_none() {
+                let (epochs, err) = engine.run(&spec)?.into_faulty();
+                (epochs.len(), err.map(|e| e.to_string()))
+            } else {
+                let (epochs, err) = engine.run(&spec.mitigate(policy))?.into_mitigated();
+                (epochs.len(), err.map(|e| e.to_string()))
+            };
+            if let Some(e) = aborted {
+                println!("epoch {completed:>3}: training aborted: {e}");
             }
         }
         "distdgl" => {
@@ -347,18 +354,19 @@ pub fn trace(cmd: &TraceCmd) -> CmdResult {
             let engine = DistDglEngine::builder(&graph, &part, &split)
                 .config(config)
                 .trace(sink.clone())
+                .threads(sim.engine_threads)
                 .build()?;
             println!("tracing DistDGL on {} machines with {}", sim.k, p.name());
-            let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
-            for epoch in 0..sim.epochs {
-                let result = match session.as_mut() {
-                    Some(s) => engine.simulate_epoch_mitigated(epoch, &plan, s).map(|_| ()),
-                    None => engine.simulate_epoch_with_faults(epoch, &plan).map(|_| ()),
-                };
-                if let Err(e) = result {
-                    println!("epoch {epoch:>3}: training aborted: {e}");
-                    break;
-                }
+            let spec = RunSpec::healthy().epochs(sim.epochs).faults(plan);
+            let (completed, aborted) = if policy.is_none() {
+                let (epochs, err) = engine.run(&spec)?.into_faulty();
+                (epochs.len(), err.map(|e| e.to_string()))
+            } else {
+                let (epochs, err) = engine.run(&spec.mitigate(policy))?.into_mitigated();
+                (epochs.len(), err.map(|e| e.to_string()))
+            };
+            if let Some(e) = aborted {
+                println!("epoch {completed:>3}: training aborted: {e}");
             }
         }
         other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
@@ -417,7 +425,16 @@ pub fn diagnose(cmd: &DiagnoseCmd) -> CmdResult {
             let mut config = DistGnnConfig::paper(model, ClusterSpec::paper(sim.k));
             config.checkpoint_every = sim.checkpoint_every;
             println!("diagnosing DistGNN on {} machines with {}", sim.k, p.name());
-            diagnose_distgnn(&graph, &part, p.name(), config, sim.epochs, plan.as_ref(), policy)?
+            diagnose_distgnn(
+                &graph,
+                &part,
+                p.name(),
+                config,
+                sim.epochs,
+                plan.as_ref(),
+                policy,
+                sim.engine_threads,
+            )?
         }
         "distdgl" => {
             let p = registry::vertex_partitioner(&sim.algo, None)
@@ -435,6 +452,7 @@ pub fn diagnose(cmd: &DiagnoseCmd) -> CmdResult {
                 sim.epochs,
                 plan.as_ref(),
                 policy,
+                sim.engine_threads,
             )?
         }
         other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
@@ -475,8 +493,8 @@ pub fn diagnose(cmd: &DiagnoseCmd) -> CmdResult {
 ///
 /// Elastic-membership soak: every partitioner of the chosen system
 /// (or the single `--algo`) runs `--epochs` epochs of seeded churn,
-/// crashes and periodic checkpoints through the engines'
-/// `simulate_run_elastic` path, and the elastic contract is verified
+/// crashes and periodic checkpoints through the engines' `.elastic(..)`
+/// `RunSpec` leg, and the elastic contract is verified
 /// per row — the rerun is bit-identical, the traced run equals the
 /// untraced one, the elastic run is never worse than the
 /// crash-without-handoff baseline, and per-worker span sums equal the
@@ -527,7 +545,7 @@ pub fn chaos(cmd: &ChaosCmd) -> CmdResult {
                 sim.mtbf,
                 sim.checkpoint_every,
                 sim.fault_seed,
-                cmd.threads,
+                Parallelism::new(cmd.threads, sim.engine_threads),
             )
         }
         "distdgl" => {
@@ -561,7 +579,7 @@ pub fn chaos(cmd: &ChaosCmd) -> CmdResult {
                 sim.mtbf,
                 sim.checkpoint_every,
                 sim.fault_seed,
-                cmd.threads,
+                Parallelism::new(cmd.threads, sim.engine_threads),
             )
         }
         other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
@@ -614,7 +632,7 @@ pub fn chaos(cmd: &ChaosCmd) -> CmdResult {
 /// The chaos soak composed with a seeded message-level network-fault
 /// plan: per-message loss, duplication and reorder plus partition
 /// windows that split the fleet into quorum and minority islands,
-/// driven through the engines' `simulate_run_partitioned` path. Every
+/// driven through the engines' `.net(..)` `RunSpec` leg. Every
 /// row additionally verifies exactly-once-effective delivery and that
 /// the bounded-staleness degraded mode is never worse than the
 /// abort-and-recover baseline (an adopt-only guarantee, not a
@@ -684,7 +702,7 @@ pub fn netchaos(cmd: &NetChaosCmd) -> CmdResult {
                 sim.mtbf,
                 sim.checkpoint_every,
                 sim.fault_seed,
-                cmd.threads,
+                Parallelism::new(cmd.threads, sim.engine_threads),
             );
             // One extra traced partitioned run of the roster's first
             // partitioner feeds the Prometheus exposition: the soak's
@@ -697,19 +715,17 @@ pub fn netchaos(cmd: &NetChaosCmd) -> CmdResult {
                     ClusterSpec::paper(sim.k),
                 );
                 let sink = TraceSink::enabled();
+                let spec = RunSpec::healthy()
+                    .epochs(sim.epochs)
+                    .faults(faults.clone())
+                    .elastic(churn.clone(), ckpt.clone(), ElasticOptions::default())
+                    .net(net.clone(), NetRunOptions::default());
                 DistGnnEngine::builder(&graph, &t.partition)
                     .config(config)
                     .trace(sink.clone())
+                    .threads(sim.engine_threads)
                     .build()?
-                    .simulate_run_partitioned(
-                        sim.epochs,
-                        &faults,
-                        &churn,
-                        &net,
-                        &ckpt,
-                        ElasticOptions::default(),
-                        NetRunOptions::default(),
-                    )?;
+                    .run(&spec)?;
                 prom = Some(MetricsSnapshot::from_sink(&sink).to_prometheus());
             }
             (rows, prom)
@@ -745,7 +761,7 @@ pub fn netchaos(cmd: &NetChaosCmd) -> CmdResult {
                 sim.mtbf,
                 sim.checkpoint_every,
                 sim.fault_seed,
-                cmd.threads,
+                Parallelism::new(cmd.threads, sim.engine_threads),
             );
             let mut prom = None;
             if cmd.prom_out.is_some() {
@@ -754,19 +770,17 @@ pub fn netchaos(cmd: &NetChaosCmd) -> CmdResult {
                     DistDglConfig::paper(params.model(kind), ClusterSpec::paper(sim.k));
                 config.global_batch_size = 1024;
                 let sink = TraceSink::enabled();
+                let spec = RunSpec::healthy()
+                    .epochs(sim.epochs)
+                    .faults(faults.clone())
+                    .elastic(churn.clone(), ckpt.clone(), ElasticOptions::default())
+                    .net(net.clone(), NetRunOptions::default());
                 DistDglEngine::builder(&graph, &t.partition, &split)
                     .config(config)
                     .trace(sink.clone())
+                    .threads(sim.engine_threads)
                     .build()?
-                    .simulate_run_partitioned(
-                        sim.epochs,
-                        &faults,
-                        &churn,
-                        &net,
-                        &ckpt,
-                        ElasticOptions::default(),
-                        NetRunOptions::default(),
-                    )?;
+                    .run(&spec)?;
                 prom = Some(MetricsSnapshot::from_sink(&sink).to_prometheus());
             }
             (rows, prom)
@@ -988,6 +1002,7 @@ mod tests {
             checkpoint_every: 0,
             fault_seed: 42,
             mitigate: "none".into(),
+            engine_threads: gp_exec::Threads::serial(),
         }
     }
 
@@ -1002,6 +1017,13 @@ mod tests {
         .unwrap();
         simulate(sim_cmd(&el, "HDRF", "distgnn", "sage")).unwrap();
         simulate(sim_cmd(&el, "METIS", "distdgl", "gcn")).unwrap();
+        // Threaded intra-epoch engines take the same path end to end.
+        let mut c = sim_cmd(&el, "HDRF", "distgnn", "sage");
+        c.engine_threads = gp_exec::Threads::new(4);
+        simulate(c).unwrap();
+        let mut c = sim_cmd(&el, "METIS", "distdgl", "gcn");
+        c.engine_threads = gp_exec::Threads::new(4);
+        simulate(c).unwrap();
         let _ = std::fs::remove_file(el);
     }
 

@@ -58,6 +58,7 @@ pub mod membership;
 pub mod metrics;
 pub mod net;
 pub mod outcome;
+pub mod runspec;
 pub mod spec;
 pub mod time;
 pub mod trace;
@@ -87,6 +88,7 @@ pub use net::{
     MAX_DELIVERY_ATTEMPTS,
 };
 pub use outcome::EpochOutcome;
+pub use runspec::{ElasticSpec, NetSpec, RunSpec, RunSpecError, Scenario};
 pub use spec::{ClusterSpec, MachineSpec, NetworkSpec, SpecError};
 pub use time::{compute_time, transfer_time};
 pub use trace::{CounterEvent, PhaseRow, Span, TracePhase, TraceSink};

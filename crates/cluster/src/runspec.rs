@@ -1,0 +1,279 @@
+//! Unified run scenario builder.
+//!
+//! Seven PRs of growth left the engines with five parallel entry points
+//! (`simulate_epoch`, `simulate_epoch_with_faults`,
+//! `simulate_epoch_mitigated`, `simulate_run_elastic`,
+//! `simulate_run_partitioned`) whose option structs do not compose —
+//! every new scenario multiplied the API surface. [`RunSpec`] collapses
+//! them into one declarative description:
+//!
+//! ```
+//! use gp_cluster::{FaultPlan, MitigationPolicy, RunSpec, Scenario};
+//!
+//! let plan = FaultPlan::empty();
+//! let spec = RunSpec::healthy().epochs(4).faults(plan).mitigate(MitigationPolicy::all());
+//! assert!(matches!(spec.scenario(), Ok(Scenario::Mitigated { .. })));
+//! ```
+//!
+//! The engines consume a spec through `engine.run(&spec)`, which
+//! resolves it to a [`Scenario`] and dispatches to the one matching
+//! internal path, returning a common report enum. Invalid combinations
+//! (mitigation layered on elastic membership, message-level network
+//! faults without the elastic substrate they run on) are rejected up
+//! front as [`RunSpecError`]s instead of panicking mid-run.
+
+use crate::checkpoint::CheckpointConfig;
+use crate::detect::MitigationPolicy;
+use crate::faults::FaultPlan;
+use crate::membership::{ChurnPlan, ElasticOptions};
+use crate::net::{NetFaultPlan, NetRunOptions};
+
+/// The elastic-membership leg of a [`RunSpec`]: a churn schedule plus
+/// the checkpoint and handoff policies that make it survivable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticSpec {
+    /// Seeded leave/join/rejoin schedule.
+    pub churn: ChurnPlan,
+    /// Snapshot policy (period, retention, bandwidths).
+    pub checkpoints: CheckpointConfig,
+    /// Handoff/rebalance knobs.
+    pub options: ElasticOptions,
+}
+
+/// The message-level network leg of a [`RunSpec`]. Requires the elastic
+/// leg: partitions act on the fleet the churn schedule maintains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSpec {
+    /// Partition windows and per-message noise schedule.
+    pub plan: NetFaultPlan,
+    /// Degraded-mode vs abort-only policy.
+    pub options: NetRunOptions,
+}
+
+/// Declarative description of one engine run.
+///
+/// Build with [`RunSpec::healthy`] and layer scenarios on with the
+/// chainable setters; [`RunSpec::scenario`] validates the combination.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSpec {
+    epochs: u32,
+    faults: Option<FaultPlan>,
+    mitigate: Option<MitigationPolicy>,
+    elastic: Option<ElasticSpec>,
+    net: Option<NetSpec>,
+}
+
+impl RunSpec {
+    /// A healthy single-epoch run — the base every scenario builds on.
+    pub fn healthy() -> Self {
+        RunSpec { epochs: 1, ..RunSpec::default() }
+    }
+
+    /// Set the run horizon in epochs.
+    #[must_use]
+    pub fn epochs(mut self, epochs: u32) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Inject a machine-fault schedule (crashes, stragglers,
+    /// degradations).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Run the straggler detector and the given mitigations on top of
+    /// the (possibly healthy) fault schedule.
+    #[must_use]
+    pub fn mitigate(mut self, policy: MitigationPolicy) -> Self {
+        self.mitigate = Some(policy);
+        self
+    }
+
+    /// Run on an elastic fleet: apply a churn schedule under the given
+    /// checkpoint and handoff policies.
+    #[must_use]
+    pub fn elastic(
+        mut self,
+        churn: ChurnPlan,
+        checkpoints: CheckpointConfig,
+        options: ElasticOptions,
+    ) -> Self {
+        self.elastic = Some(ElasticSpec { churn, checkpoints, options });
+        self
+    }
+
+    /// Drop to message-level network faults (partitions, loss,
+    /// duplication). Only valid together with [`RunSpec::elastic`].
+    #[must_use]
+    pub fn net(mut self, plan: NetFaultPlan, options: NetRunOptions) -> Self {
+        self.net = Some(NetSpec { plan, options });
+        self
+    }
+
+    /// The run horizon in epochs.
+    pub fn num_epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// The fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Resolve the spec to the single scenario it describes.
+    ///
+    /// # Errors
+    ///
+    /// [`RunSpecError::MitigateWithElastic`] when mitigation is layered
+    /// on an elastic or partitioned run (the elastic paths have their
+    /// own recovery machinery), [`RunSpecError::NetWithoutElastic`]
+    /// when message-level faults are requested without the elastic
+    /// fleet they act on.
+    pub fn scenario(&self) -> Result<Scenario<'_>, RunSpecError> {
+        if self.mitigate.is_some() && (self.elastic.is_some() || self.net.is_some()) {
+            return Err(RunSpecError::MitigateWithElastic);
+        }
+        if let Some(net) = &self.net {
+            let Some(elastic) = &self.elastic else {
+                return Err(RunSpecError::NetWithoutElastic);
+            };
+            return Ok(Scenario::Partitioned { faults: self.faults.as_ref(), elastic, net });
+        }
+        if let Some(elastic) = &self.elastic {
+            return Ok(Scenario::Elastic { faults: self.faults.as_ref(), elastic });
+        }
+        if let Some(policy) = &self.mitigate {
+            return Ok(Scenario::Mitigated { plan: self.faults.as_ref(), policy });
+        }
+        match &self.faults {
+            Some(plan) => Ok(Scenario::Faulty(plan)),
+            None => Ok(Scenario::Healthy),
+        }
+    }
+}
+
+/// The resolved scenario of a [`RunSpec`] — exactly one of the engines'
+/// five internal run paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario<'a> {
+    /// No faults, no mitigation, fixed fleet.
+    Healthy,
+    /// Machine faults priced by the recovery model, no mitigation.
+    Faulty(&'a FaultPlan),
+    /// Detector plus mitigations over a (possibly empty) fault plan.
+    Mitigated {
+        /// Fault schedule the mitigations respond to (`None` = healthy
+        /// cluster, detector still runs).
+        plan: Option<&'a FaultPlan>,
+        /// Which mitigations are armed.
+        policy: &'a MitigationPolicy,
+    },
+    /// Elastic fleet under churn, checkpoint-protected.
+    Elastic {
+        /// Machine faults layered on the churn (`None` = churn only).
+        faults: Option<&'a FaultPlan>,
+        /// Churn schedule and policies.
+        elastic: &'a ElasticSpec,
+    },
+    /// Elastic fleet with message-level network faults.
+    Partitioned {
+        /// Machine faults layered on the churn (`None` = none).
+        faults: Option<&'a FaultPlan>,
+        /// Churn schedule and policies.
+        elastic: &'a ElasticSpec,
+        /// Message-level fault schedule and partition policy.
+        net: &'a NetSpec,
+    },
+}
+
+/// Rejected [`RunSpec`] combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunSpecError {
+    /// Mitigation composed with elastic membership or network faults —
+    /// the elastic paths carry their own recovery machinery.
+    MitigateWithElastic,
+    /// Message-level network faults without the elastic fleet they act
+    /// on.
+    NetWithoutElastic,
+}
+
+impl std::fmt::Display for RunSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunSpecError::MitigateWithElastic => {
+                write!(f, "mitigation cannot compose with elastic/partitioned runs")
+            }
+            RunSpecError::NetWithoutElastic => {
+                write!(f, "network faults require an elastic fleet (add .elastic(..))")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunSpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elastic_args() -> (ChurnPlan, CheckpointConfig, ElasticOptions) {
+        (ChurnPlan::empty(), CheckpointConfig::default(), ElasticOptions::default())
+    }
+
+    #[test]
+    fn healthy_by_default() {
+        let spec = RunSpec::healthy();
+        assert_eq!(spec.num_epochs(), 1);
+        assert!(matches!(spec.scenario(), Ok(Scenario::Healthy)));
+    }
+
+    #[test]
+    fn faults_alone_is_faulty() {
+        let spec = RunSpec::healthy().epochs(8).faults(FaultPlan::empty());
+        assert_eq!(spec.num_epochs(), 8);
+        assert!(matches!(spec.scenario(), Ok(Scenario::Faulty(_))));
+    }
+
+    #[test]
+    fn mitigate_with_or_without_faults() {
+        let with = RunSpec::healthy().faults(FaultPlan::empty()).mitigate(MitigationPolicy::all());
+        assert!(matches!(with.scenario(), Ok(Scenario::Mitigated { plan: Some(_), .. })));
+        let without = RunSpec::healthy().mitigate(MitigationPolicy::steal());
+        assert!(matches!(without.scenario(), Ok(Scenario::Mitigated { plan: None, .. })));
+    }
+
+    #[test]
+    fn elastic_and_partitioned() {
+        let (churn, ckpt, opts) = elastic_args();
+        let spec = RunSpec::healthy().epochs(10).elastic(churn.clone(), ckpt, opts);
+        assert!(matches!(spec.scenario(), Ok(Scenario::Elastic { faults: None, .. })));
+        let spec = spec
+            .faults(FaultPlan::empty())
+            .net(NetFaultPlan::empty(), NetRunOptions::default());
+        assert!(matches!(spec.scenario(), Ok(Scenario::Partitioned { faults: Some(_), .. })));
+    }
+
+    #[test]
+    fn net_requires_elastic() {
+        let spec = RunSpec::healthy().net(NetFaultPlan::empty(), NetRunOptions::default());
+        assert_eq!(spec.scenario().unwrap_err(), RunSpecError::NetWithoutElastic);
+    }
+
+    #[test]
+    fn mitigate_conflicts_with_elastic() {
+        let (churn, ckpt, opts) = elastic_args();
+        let spec = RunSpec::healthy()
+            .mitigate(MitigationPolicy::all())
+            .elastic(churn, ckpt, opts);
+        assert_eq!(spec.scenario().unwrap_err(), RunSpecError::MitigateWithElastic);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(RunSpecError::MitigateWithElastic.to_string().contains("mitigation"));
+        assert!(RunSpecError::NetWithoutElastic.to_string().contains("elastic"));
+    }
+}

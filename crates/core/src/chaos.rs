@@ -2,7 +2,7 @@
 //!
 //! Extends the robustness axis of [`crate::fault_sweep`] to full
 //! cluster churn: every partitioner runs a multi-epoch soak through its
-//! engine's `simulate_run_elastic` path under a seeded [`ChurnPlan`]
+//! engine's `.elastic(..)` [`RunSpec`] leg under a seeded [`ChurnPlan`]
 //! (leaves, rejoins) *and* a seeded [`FaultPlan`] (crashes, stragglers,
 //! brownouts, checkpoint corruption), with a crash-consistent
 //! [`CheckpointConfig`] snapshot policy. Each cell also *checks* the
@@ -25,11 +25,11 @@
 
 use gp_cluster::{
     fold_exact, CheckpointConfig, ChurnPlan, ChurnSpec, ClusterSpec, ElasticOptions,
-    ElasticRunReport, FaultPlan, FaultSpec, MetricsSnapshot, TracePhase, TraceSink,
+    ElasticRunReport, FaultPlan, FaultSpec, MetricsSnapshot, RunSpec, TracePhase, TraceSink,
 };
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
-use gp_exec::{par_map, Threads};
+use gp_exec::{par_map, Parallelism, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_tensor::ModelKind;
 
@@ -250,8 +250,9 @@ pub fn distgnn_chaos_soak(
 }
 
 /// [`distgnn_chaos_soak`] on the `gp-exec` pool: one job per
-/// partitioner, rows in `timed` order, bit-identical for every thread
-/// count (each cell is pure and owns its trace sink).
+/// partitioner, rows in `timed` order, bit-identical for every
+/// `(sweep, engine)` width pair (each cell is pure and owns its trace
+/// sink).
 #[allow(clippy::too_many_arguments)]
 pub fn distgnn_chaos_soak_threaded(
     graph: &Graph,
@@ -261,8 +262,9 @@ pub fn distgnn_chaos_soak_threaded(
     mtbf: f64,
     checkpoint_every: u32,
     seed: u64,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<ChaosRow> {
+    let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
         .map(|t| {
@@ -272,38 +274,43 @@ pub fn distgnn_chaos_soak_threaded(
                     DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
                 let engine = DistGnnEngine::builder(graph, &t.partition)
                     .config(config)
+                    .threads(par.engine)
                     .build()
                     .expect("valid config");
                 let faults = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
                 let churn = ChurnPlan::generate(&chaos_churn_spec(k, epochs, seed));
                 let ckpt = CheckpointConfig::periodic(checkpoint_every);
-                let opts = ElasticOptions::default();
-                let Ok(elastic) = engine.simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
-                else {
+                let spec = RunSpec::healthy()
+                    .epochs(epochs)
+                    .faults(faults.clone())
+                    .elastic(churn.clone(), ckpt.clone(), ElasticOptions::default());
+                let Ok(report) = engine.run(&spec) else {
                     return ChaosRow::failed(t.name.clone(), epochs);
                 };
+                let elastic = report.into_elastic();
                 let again = engine
-                    .simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
-                    .expect("rerun of a completed schedule");
-                let baseline = engine
-                    .simulate_run_elastic(
-                        epochs,
-                        &faults,
-                        &churn,
-                        &ckpt,
-                        ElasticOptions::no_handoff(),
-                    )
-                    .ok();
+                    .run(&spec)
+                    .expect("rerun of a completed schedule")
+                    .into_elastic();
+                let baseline_spec = RunSpec::healthy()
+                    .epochs(epochs)
+                    .faults(faults.clone())
+                    .elastic(churn.clone(), ckpt.clone(), ElasticOptions::no_handoff());
+                let baseline = engine.run(&baseline_spec).ok().map(|r| r.into_elastic());
                 let sink = TraceSink::enabled();
                 let traced = DistGnnEngine::builder(graph, &t.partition)
                     .config(config)
                     .trace(sink.clone())
+                    .threads(par.engine)
                     .build()
                     .expect("valid config")
-                    .simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
-                    .expect("traced rerun of a completed schedule");
-                let healthy =
-                    engine.simulate_epoch().epoch_time() * f64::from(elastic.completed_epochs);
+                    .run(&spec)
+                    .expect("traced rerun of a completed schedule")
+                    .into_elastic();
+                let healthy = engine.run(&RunSpec::healthy()).expect("healthy run").into_healthy()
+                    [0]
+                .epoch_time()
+                    * f64::from(elastic.completed_epochs);
                 assemble_row(
                     t.name.clone(),
                     k,
@@ -319,7 +326,7 @@ pub fn distgnn_chaos_soak_threaded(
             }
         })
         .collect();
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 /// Soak DistDGL (mini-batch, vertex-partitioned) over every timed
@@ -356,8 +363,8 @@ pub fn distdgl_chaos_soak(
 }
 
 /// [`distdgl_chaos_soak`] on the `gp-exec` pool: one job per
-/// partitioner, rows in `timed` order, bit-identical for every thread
-/// count.
+/// partitioner, rows in `timed` order, bit-identical for every
+/// `(sweep, engine)` width pair.
 #[allow(clippy::too_many_arguments)]
 pub fn distdgl_chaos_soak_threaded(
     graph: &Graph,
@@ -370,8 +377,9 @@ pub fn distdgl_chaos_soak_threaded(
     mtbf: f64,
     checkpoint_every: u32,
     seed: u64,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<ChaosRow> {
+    let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
         .map(|t| {
@@ -381,38 +389,45 @@ pub fn distdgl_chaos_soak_threaded(
                 config.global_batch_size = global_batch_size;
                 let engine = DistDglEngine::builder(graph, &t.partition, split)
                     .config(config.clone())
+                    .threads(par.engine)
                     .build()
                     .expect("valid config");
                 let faults = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
                 let churn = ChurnPlan::generate(&chaos_churn_spec(k, epochs, seed));
                 let ckpt = CheckpointConfig::periodic(checkpoint_every);
-                let opts = ElasticOptions::default();
-                let Ok(elastic) = engine.simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
-                else {
+                let spec = RunSpec::healthy()
+                    .epochs(epochs)
+                    .faults(faults.clone())
+                    .elastic(churn.clone(), ckpt.clone(), ElasticOptions::default());
+                let Ok(report) = engine.run(&spec) else {
                     return ChaosRow::failed(t.name.clone(), epochs);
                 };
+                let elastic = report.into_elastic();
                 let again = engine
-                    .simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
-                    .expect("rerun of a completed schedule");
-                let baseline = engine
-                    .simulate_run_elastic(
-                        epochs,
-                        &faults,
-                        &churn,
-                        &ckpt,
-                        ElasticOptions::no_handoff(),
-                    )
-                    .ok();
+                    .run(&spec)
+                    .expect("rerun of a completed schedule")
+                    .into_elastic();
+                let baseline_spec = RunSpec::healthy()
+                    .epochs(epochs)
+                    .faults(faults.clone())
+                    .elastic(churn.clone(), ckpt.clone(), ElasticOptions::no_handoff());
+                let baseline = engine.run(&baseline_spec).ok().map(|r| r.into_elastic());
                 let sink = TraceSink::enabled();
                 let traced = DistDglEngine::builder(graph, &t.partition, split)
                     .config(config)
                     .trace(sink.clone())
+                    .threads(par.engine)
                     .build()
                     .expect("valid config")
-                    .simulate_run_elastic(epochs, &faults, &churn, &ckpt, opts)
-                    .expect("traced rerun of a completed schedule");
-                let healthy: f64 = (0..elastic.completed_epochs)
-                    .map(|e| engine.simulate_epoch(e).epoch_time())
+                    .run(&spec)
+                    .expect("traced rerun of a completed schedule")
+                    .into_elastic();
+                let healthy: f64 = engine
+                    .run(&RunSpec::healthy().epochs(epochs))
+                    .expect("healthy run")
+                    .into_healthy()[..elastic.completed_epochs as usize]
+                    .iter()
+                    .map(|e| e.epoch_time())
                     .sum();
                 assemble_row(
                     t.name.clone(),
@@ -429,7 +444,7 @@ pub fn distdgl_chaos_soak_threaded(
             }
         })
         .collect();
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 /// Render chaos rows as a [`Table`] (CSV / Markdown ready). The last

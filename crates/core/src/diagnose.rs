@@ -19,11 +19,11 @@
 
 use gp_cluster::{
     fold_exact, EpochOutcome, FaultPlan, MetricsRegistry, MetricsSnapshot, MitigationPolicy,
-    TracePhase, TraceSink,
+    RunSpec, TracePhase, TraceSink,
 };
-use gp_distdgl::{DistDglConfig, DistDglEngine};
-use gp_distgnn::{DistGnnConfig, DistGnnEngine};
-use gp_exec::{par_map_indexed, ExecTiming, Threads};
+use gp_distdgl::{DistDglConfig, DistDglEngine, DistDglRunReport};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine, DistGnnRunReport};
+use gp_exec::{par_map_indexed, ExecTiming, Parallelism, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_partition::{EdgePartition, VertexPartition};
 
@@ -196,31 +196,50 @@ pub fn diagnose_distgnn(
     epochs: u32,
     plan: Option<&FaultPlan>,
     policy: MitigationPolicy,
+    engine_threads: Threads,
 ) -> Result<RunDiagnosis, gp_distgnn::DistGnnError> {
     let sink = TraceSink::enabled();
-    let engine =
-        DistGnnEngine::builder(graph, partition).config(config).trace(sink.clone()).build()?;
-    let empty = FaultPlan::empty();
-    let plan = plan.unwrap_or(&empty);
+    let engine = DistGnnEngine::builder(graph, partition)
+        .config(config)
+        .trace(sink.clone())
+        .threads(engine_threads)
+        .build()?;
     let k = config.cluster.machines;
     let mut epoch_times = Vec::with_capacity(epochs as usize);
     let mut per_epoch = Vec::with_capacity(epochs as usize);
     let mut total_bytes = 0u64;
-    let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
-    for epoch in 0..epochs {
-        if let Some(s) = session.as_mut() {
-            let r = engine.simulate_epoch_mitigated(epoch, plan, s)?;
-            epoch_times.push(r.report.epoch_time());
-            total_bytes += r.report.total_bytes();
-            per_epoch.push(r.report.phase_breakdown());
-        } else {
-            let r = engine.simulate_epoch_with_faults(epoch, plan)?;
-            epoch_times.push(r.report.epoch_time());
-            total_bytes += r.report.total_bytes();
-            per_epoch.push(r.report.phase_breakdown());
+    let mut observe = |time: f64, bytes: u64, phases: Vec<(&'static str, f64)>| {
+        epoch_times.push(time);
+        total_bytes += bytes;
+        per_epoch.push(phases);
+    };
+    match engine.run(&diagnose_spec(epochs, plan, policy))?.strict()? {
+        DistGnnRunReport::Faulty { epochs: rs, .. } => {
+            for r in &rs {
+                observe(r.report.epoch_time(), r.report.total_bytes(), r.report.phase_breakdown());
+            }
         }
+        DistGnnRunReport::Mitigated { epochs: rs, .. } => {
+            for r in &rs {
+                observe(r.report.epoch_time(), r.report.total_bytes(), r.report.phase_breakdown());
+            }
+        }
+        other => unreachable!("diagnose spec resolves to faulty/mitigated, got {other:?}"),
     }
     Ok(diagnose_from(name, &sink, k, epochs, &epoch_times, total_bytes, &per_epoch))
+}
+
+/// The [`RunSpec`] both diagnosers share: always an explicit fault plan
+/// (empty when none was given, like the pre-RunSpec entry points), plus
+/// the mitigation layer when the policy enables anything.
+fn diagnose_spec(epochs: u32, plan: Option<&FaultPlan>, policy: MitigationPolicy) -> RunSpec {
+    let mut spec = RunSpec::healthy()
+        .epochs(epochs)
+        .faults(plan.cloned().unwrap_or_else(FaultPlan::empty));
+    if !policy.is_none() {
+        spec = spec.mitigate(policy);
+    }
+    spec
 }
 
 /// Diagnose `epochs` DistDGL epochs; mirrors [`diagnose_distgnn`].
@@ -238,31 +257,43 @@ pub fn diagnose_distdgl(
     epochs: u32,
     plan: Option<&FaultPlan>,
     policy: MitigationPolicy,
+    engine_threads: Threads,
 ) -> Result<RunDiagnosis, gp_distdgl::DistDglError> {
     let sink = TraceSink::enabled();
     let k = config.cluster.machines;
     let engine = DistDglEngine::builder(graph, partition, split)
         .config(config)
         .trace(sink.clone())
+        .threads(engine_threads)
         .build()?;
-    let empty = FaultPlan::empty();
-    let plan = plan.unwrap_or(&empty);
     let mut epoch_times = Vec::with_capacity(epochs as usize);
     let mut per_epoch = Vec::with_capacity(epochs as usize);
     let mut total_bytes = 0u64;
-    let mut session = (!policy.is_none()).then(|| engine.mitigation(policy));
-    for epoch in 0..epochs {
-        if let Some(s) = session.as_mut() {
-            let r = engine.simulate_epoch_mitigated(epoch, plan, s)?;
-            epoch_times.push(r.summary.epoch_time());
-            total_bytes += r.summary.total_bytes();
-            per_epoch.push(r.summary.phase_breakdown());
-        } else {
-            let r = engine.simulate_epoch_with_faults(epoch, plan)?;
-            epoch_times.push(r.summary.epoch_time());
-            total_bytes += r.summary.total_bytes();
-            per_epoch.push(r.summary.phase_breakdown());
+    let mut observe = |time: f64, bytes: u64, phases: Vec<(&'static str, f64)>| {
+        epoch_times.push(time);
+        total_bytes += bytes;
+        per_epoch.push(phases);
+    };
+    match engine.run(&diagnose_spec(epochs, plan, policy))?.strict()? {
+        DistDglRunReport::Faulty { epochs: rs, .. } => {
+            for r in &rs {
+                observe(
+                    r.summary.epoch_time(),
+                    r.summary.total_bytes(),
+                    r.summary.phase_breakdown(),
+                );
+            }
         }
+        DistDglRunReport::Mitigated { epochs: rs, .. } => {
+            for r in &rs {
+                observe(
+                    r.summary.epoch_time(),
+                    r.summary.total_bytes(),
+                    r.summary.phase_breakdown(),
+                );
+            }
+        }
+        other => unreachable!("diagnose spec resolves to faulty/mitigated, got {other:?}"),
     }
     Ok(diagnose_from(name, &sink, k, epochs, &epoch_times, total_bytes, &per_epoch))
 }
@@ -281,15 +312,27 @@ pub fn diagnose_distgnn_runs(
     epochs: u32,
     plan: Option<&FaultPlan>,
     policy: MitigationPolicy,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Result<(Vec<RunDiagnosis>, ExecTiming), gp_distgnn::DistGnnError> {
+    let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
         .map(|t| {
-            move || diagnose_distgnn(graph, &t.partition, &t.name, config, epochs, plan, policy)
+            move || {
+                diagnose_distgnn(
+                    graph,
+                    &t.partition,
+                    &t.name,
+                    config,
+                    epochs,
+                    plan,
+                    policy,
+                    par.engine,
+                )
+            }
         })
         .collect();
-    let report = par_map_indexed(threads, jobs);
+    let report = par_map_indexed(par.sweep, jobs);
     let timing = report.timing();
     let mut runs = Vec::with_capacity(timed.len());
     for r in report.into_results() {
@@ -313,8 +356,9 @@ pub fn diagnose_distdgl_runs(
     epochs: u32,
     plan: Option<&FaultPlan>,
     policy: MitigationPolicy,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Result<(Vec<RunDiagnosis>, ExecTiming), gp_distdgl::DistDglError> {
+    let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
         .map(|t| {
@@ -329,11 +373,12 @@ pub fn diagnose_distdgl_runs(
                     epochs,
                     plan,
                     policy,
+                    par.engine,
                 )
             }
         })
         .collect();
-    let report = par_map_indexed(threads, jobs);
+    let report = par_map_indexed(par.sweep, jobs);
     let timing = report.timing();
     let mut runs = Vec::with_capacity(timed.len());
     for r in report.into_results() {
@@ -575,6 +620,7 @@ mod tests {
             3,
             None,
             MitigationPolicy::none(),
+            Threads::serial(),
         )
         .unwrap();
         // 4 workers × 4 reported phases × one exact comparison each.
@@ -612,6 +658,7 @@ mod tests {
                 3,
                 Some(&plan),
                 policy,
+                Threads::serial(),
             )
             .unwrap();
             assert_eq!(d.cross_checks, 16, "policy = {policy:?}");
@@ -638,6 +685,7 @@ mod tests {
             2,
             None,
             MitigationPolicy::none(),
+            Threads::serial(),
         )
         .unwrap();
         // 4 workers × 5 reported phases.

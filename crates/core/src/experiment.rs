@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use gp_cluster::ClusterSpec;
+use gp_cluster::{ClusterSpec, RunSpec};
 use gp_distdgl::{DistDglConfig, DistDglEngine, EpochSummary};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine, EpochReport};
 use gp_exec::{par_map, Threads};
@@ -136,7 +136,14 @@ pub fn timed_vertex_partitions_threaded(
 /// Panics on configuration mismatch (callers control both sides).
 pub fn distgnn_epoch(graph: &Graph, partition: &EdgePartition, params: PaperParams) -> EpochReport {
     let config = DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(partition.k()));
-    DistGnnEngine::builder(graph, partition).config(config).build().expect("valid config").simulate_epoch()
+    DistGnnEngine::builder(graph, partition)
+        .config(config)
+        .build()
+        .expect("valid config")
+        .run(&RunSpec::healthy())
+        .expect("healthy run")
+        .into_healthy()
+        .remove(0)
 }
 
 /// Simulate one DistDGL epoch with the paper's defaults.
@@ -155,9 +162,14 @@ pub fn distdgl_epoch(
     let mut config =
         DistDglConfig::paper(params.model(kind), ClusterSpec::paper(partition.k()));
     config.global_batch_size = global_batch_size;
-    DistDglEngine::builder(graph, partition, split).config(config).build()
+    DistDglEngine::builder(graph, partition, split)
+        .config(config)
+        .build()
         .expect("valid config")
-        .simulate_epoch(0)
+        .run(&RunSpec::healthy())
+        .expect("healthy run")
+        .into_healthy()
+        .remove(0)
 }
 
 #[cfg(test)]

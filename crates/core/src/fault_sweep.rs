@@ -7,10 +7,12 @@
 //! through one of the engines and records the recovery overhead next to
 //! the healthy baseline. Same seed ⇒ bit-identical rows.
 
-use gp_cluster::{ClusterSpec, FaultPlan, FaultSpec, MitigationPolicy, MitigationReport, RecoveryReport};
+use gp_cluster::{
+    ClusterSpec, FaultPlan, FaultSpec, MitigationPolicy, MitigationReport, RecoveryReport, RunSpec,
+};
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
-use gp_exec::{par_map, Threads};
+use gp_exec::{par_map, Parallelism, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_tensor::ModelKind;
 
@@ -84,9 +86,12 @@ pub fn distgnn_fault_sweep(
 
 /// [`distgnn_fault_sweep`] on the `gp-exec` pool: one job per
 /// (partitioner, MTBF) cell, rows in the serial loop's order
-/// (partitioner-major), bit-identical for every thread count. Each cell
-/// rebuilds its engine and healthy baseline — both are pure, so the
-/// recomputation changes no `f64`.
+/// (partitioner-major), bit-identical for every `(sweep, engine)`
+/// width pair. Each cell rebuilds its engine and healthy baseline —
+/// both are pure, so the recomputation changes no `f64`. The faulty
+/// run uses the [`RunSpec`] truncate-and-record contract: completed
+/// epochs are exactly the prefix before the first unrecoverable
+/// failure, as the old per-epoch loop observed.
 #[allow(clippy::too_many_arguments)]
 pub fn distgnn_fault_sweep_threaded(
     graph: &Graph,
@@ -96,8 +101,9 @@ pub fn distgnn_fault_sweep_threaded(
     mtbfs: &[f64],
     checkpoint_every: u32,
     seed: u64,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<FaultSweepRow> {
+    let par = par.into();
     let mut jobs = Vec::with_capacity(timed.len() * mtbfs.len());
     for t in timed {
         for &mtbf in mtbfs {
@@ -108,23 +114,24 @@ pub fn distgnn_fault_sweep_threaded(
                 config.checkpoint_every = checkpoint_every;
                 let engine = DistGnnEngine::builder(graph, &t.partition)
                     .config(config)
+                    .threads(par.engine)
                     .build()
                     .expect("valid config");
-                let healthy_epoch = engine.simulate_epoch().epoch_time();
+                let healthy_epoch =
+                    engine.run(&RunSpec::healthy()).expect("healthy run").into_healthy()[0]
+                        .epoch_time();
                 let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
+                let (faulty, _) = engine
+                    .run(&RunSpec::healthy().epochs(epochs).faults(plan))
+                    .expect("valid spec")
+                    .into_faulty();
                 let mut recovery = RecoveryReport::default();
                 let mut faulty_secs = 0.0;
-                let mut completed = 0u32;
-                for epoch in 0..epochs {
-                    match engine.simulate_epoch_with_faults(epoch, &plan) {
-                        Ok(r) => {
-                            faulty_secs += r.report.epoch_time();
-                            recovery.merge(&r.recovery);
-                            completed += 1;
-                        }
-                        Err(_) => break,
-                    }
+                for r in &faulty {
+                    faulty_secs += r.report.epoch_time();
+                    recovery.merge(&r.recovery);
                 }
+                let completed = faulty.len() as u32;
                 FaultSweepRow {
                     name: t.name.clone(),
                     mtbf_epochs: mtbf,
@@ -140,7 +147,7 @@ pub fn distgnn_fault_sweep_threaded(
             });
         }
     }
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 /// Sweep DistDGL (mini-batch, vertex-partitioned) over every timed
@@ -175,7 +182,11 @@ pub fn distdgl_fault_sweep(
 
 /// [`distdgl_fault_sweep`] on the `gp-exec` pool: one job per
 /// (partitioner, MTBF) cell, rows in the serial loop's order,
-/// bit-identical for every thread count.
+/// bit-identical for every `(sweep, engine)` width pair. The healthy
+/// baseline is a separate [`RunSpec::healthy`] run over the same
+/// horizon, summed over the faulty run's completed prefix — epochs are
+/// stateless, so the per-epoch values match the old interleaved loop
+/// exactly.
 #[allow(clippy::too_many_arguments)]
 pub fn distdgl_fault_sweep_threaded(
     graph: &Graph,
@@ -187,8 +198,9 @@ pub fn distdgl_fault_sweep_threaded(
     epochs: u32,
     mtbfs: &[f64],
     seed: u64,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<FaultSweepRow> {
+    let par = par.into();
     let mut jobs = Vec::with_capacity(timed.len() * mtbfs.len());
     for t in timed {
         for &mtbf in mtbfs {
@@ -198,24 +210,27 @@ pub fn distdgl_fault_sweep_threaded(
                 config.global_batch_size = global_batch_size;
                 let engine = DistDglEngine::builder(graph, &t.partition, split)
                     .config(config)
+                    .threads(par.engine)
                     .build()
                     .expect("valid config");
                 let plan = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
+                let (faulty, _) = engine
+                    .run(&RunSpec::healthy().epochs(epochs).faults(plan))
+                    .expect("valid spec")
+                    .into_faulty();
+                let healthy = engine
+                    .run(&RunSpec::healthy().epochs(epochs))
+                    .expect("healthy run")
+                    .into_healthy();
                 let mut recovery = RecoveryReport::default();
                 let mut healthy_secs = 0.0;
                 let mut faulty_secs = 0.0;
-                let mut completed = 0u32;
-                for epoch in 0..epochs {
-                    match engine.simulate_epoch_with_faults(epoch, &plan) {
-                        Ok(r) => {
-                            healthy_secs += engine.simulate_epoch(epoch).epoch_time();
-                            faulty_secs += r.summary.epoch_time();
-                            recovery.merge(&r.recovery);
-                            completed += 1;
-                        }
-                        Err(_) => break,
-                    }
+                for (r, h) in faulty.iter().zip(&healthy) {
+                    healthy_secs += h.epoch_time();
+                    faulty_secs += r.summary.epoch_time();
+                    recovery.merge(&r.recovery);
                 }
+                let completed = faulty.len() as u32;
                 FaultSweepRow {
                     name: t.name.clone(),
                     mtbf_epochs: mtbf,
@@ -231,7 +246,7 @@ pub fn distdgl_fault_sweep_threaded(
             });
         }
     }
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 /// One (partitioner, policy) cell of a mitigation sweep: the *same*
@@ -324,7 +339,13 @@ pub fn distgnn_mitigation_sweep(
 /// [`distgnn_mitigation_sweep`] on the `gp-exec` pool: one job per
 /// partitioner (the mitigation session is stateful across that
 /// partitioner's epochs, so a cell is the whole epoch loop), rows in
-/// `timed` order, bit-identical for every thread count.
+/// `timed` order, bit-identical for every `(sweep, engine)` width
+/// pair. The unmitigated and mitigated totals come from two separate
+/// [`RunSpec`] runs over the shared plan; epochs are stateless outside
+/// the mitigation session (which lives inside the mitigated run), so
+/// the per-epoch values match the old interleaved loop exactly, and
+/// `completed` — the prefix both runs finished — matches its break
+/// condition.
 pub fn distgnn_mitigation_sweep_threaded(
     graph: &Graph,
     timed: &[TimedEdgePartition],
@@ -332,8 +353,9 @@ pub fn distgnn_mitigation_sweep_threaded(
     spec: &FaultSpec,
     checkpoint_every: u32,
     policy: MitigationPolicy,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<MitigationSweepRow> {
+    let par = par.into();
     let plan = FaultPlan::generate(spec);
     let jobs: Vec<_> = timed
         .iter()
@@ -346,27 +368,32 @@ pub fn distgnn_mitigation_sweep_threaded(
                 config.checkpoint_every = checkpoint_every;
                 let engine = DistGnnEngine::builder(graph, &t.partition)
                     .config(config)
+                    .threads(par.engine)
                     .build()
                     .expect("valid config");
-                let mut session = engine.mitigation(policy);
+                let (unmit, _) = engine
+                    .run(&RunSpec::healthy().epochs(spec.epochs).faults(plan.clone()))
+                    .expect("valid spec")
+                    .into_faulty();
+                let (mit, _) = engine
+                    .run(
+                        &RunSpec::healthy()
+                            .epochs(spec.epochs)
+                            .faults(plan.clone())
+                            .mitigate(policy),
+                    )
+                    .expect("valid spec")
+                    .into_mitigated();
+                let completed = unmit.len().min(mit.len()) as u32;
                 let mut unmitigated_secs = 0.0;
                 let mut mitigated_secs = 0.0;
                 let mut mitigation = MitigationReport::default();
-                let mut completed = 0u32;
-                for epoch in 0..spec.epochs {
-                    let unmit = engine.simulate_epoch_with_faults(epoch, plan);
-                    let mit = engine.simulate_epoch_mitigated(epoch, plan, &mut session);
-                    match (unmit, mit) {
-                        (Ok(u), Ok(m)) => {
-                            unmitigated_secs +=
-                                u.report.epoch_time() + u.recovery.total_overhead_seconds();
-                            mitigated_secs +=
-                                m.report.epoch_time() + m.recovery.total_overhead_seconds();
-                            mitigation.merge(&m.mitigation);
-                            completed += 1;
-                        }
-                        _ => break,
-                    }
+                for (u, m) in unmit.iter().zip(mit.iter()) {
+                    unmitigated_secs +=
+                        u.report.epoch_time() + u.recovery.total_overhead_seconds();
+                    mitigated_secs +=
+                        m.report.epoch_time() + m.recovery.total_overhead_seconds();
+                    mitigation.merge(&m.mitigation);
                 }
                 // Master migration is a one-off cost outside the epoch phases.
                 mitigated_secs += mitigation.migration_seconds;
@@ -386,7 +413,7 @@ pub fn distgnn_mitigation_sweep_threaded(
             }
         })
         .collect();
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 /// Run DistDGL over every timed partition under `spec`'s fault plan,
@@ -417,8 +444,10 @@ pub fn distdgl_mitigation_sweep(
 }
 
 /// [`distdgl_mitigation_sweep`] on the `gp-exec` pool: one job per
-/// partitioner, rows in `timed` order, bit-identical for every thread
-/// count.
+/// partitioner, rows in `timed` order, bit-identical for every
+/// `(sweep, engine)` width pair. Totals come from two separate
+/// [`RunSpec`] runs; see [`distgnn_mitigation_sweep_threaded`] for the
+/// equivalence argument.
 #[allow(clippy::too_many_arguments)]
 pub fn distdgl_mitigation_sweep_threaded(
     graph: &Graph,
@@ -429,8 +458,9 @@ pub fn distdgl_mitigation_sweep_threaded(
     global_batch_size: u32,
     spec: &FaultSpec,
     policy: MitigationPolicy,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<MitigationSweepRow> {
+    let par = par.into();
     let plan = FaultPlan::generate(spec);
     let jobs: Vec<_> = timed
         .iter()
@@ -442,27 +472,32 @@ pub fn distdgl_mitigation_sweep_threaded(
                 config.global_batch_size = global_batch_size;
                 let engine = DistDglEngine::builder(graph, &t.partition, split)
                     .config(config)
+                    .threads(par.engine)
                     .build()
                     .expect("valid config");
-                let mut session = engine.mitigation(policy);
+                let (unmit, _) = engine
+                    .run(&RunSpec::healthy().epochs(spec.epochs).faults(plan.clone()))
+                    .expect("valid spec")
+                    .into_faulty();
+                let (mit, _) = engine
+                    .run(
+                        &RunSpec::healthy()
+                            .epochs(spec.epochs)
+                            .faults(plan.clone())
+                            .mitigate(policy),
+                    )
+                    .expect("valid spec")
+                    .into_mitigated();
+                let completed = unmit.len().min(mit.len()) as u32;
                 let mut unmitigated_secs = 0.0;
                 let mut mitigated_secs = 0.0;
                 let mut mitigation = MitigationReport::default();
-                let mut completed = 0u32;
-                for epoch in 0..spec.epochs {
-                    let unmit = engine.simulate_epoch_with_faults(epoch, plan);
-                    let mit = engine.simulate_epoch_mitigated(epoch, plan, &mut session);
-                    match (unmit, mit) {
-                        (Ok(u), Ok(m)) => {
-                            unmitigated_secs +=
-                                u.summary.epoch_time() + u.recovery.total_overhead_seconds();
-                            mitigated_secs +=
-                                m.summary.epoch_time() + m.recovery.total_overhead_seconds();
-                            mitigation.merge(&m.mitigation);
-                            completed += 1;
-                        }
-                        _ => break,
-                    }
+                for (u, m) in unmit.iter().zip(mit.iter()) {
+                    unmitigated_secs +=
+                        u.summary.epoch_time() + u.recovery.total_overhead_seconds();
+                    mitigated_secs +=
+                        m.summary.epoch_time() + m.recovery.total_overhead_seconds();
+                    mitigation.merge(&m.mitigation);
                 }
                 MitigationSweepRow {
                     name: t.name.clone(),
@@ -480,7 +515,7 @@ pub fn distdgl_mitigation_sweep_threaded(
             }
         })
         .collect();
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 /// Render mitigation-sweep rows as a [`Table`] (CSV / Markdown ready).

@@ -10,15 +10,20 @@
 //! * [`sweep`] — grid sweeps producing speedup/memory distributions.
 //!   Every sweep (and the fault/mitigation/trace runners below) has a
 //!   `*_threaded` variant running its cells on the `gp-exec`
-//!   work-stealing pool with bit-identical output for every thread
-//!   count; the plain names are the `Threads::serial()` oracle.
+//!   work-stealing pool; the variants accept
+//!   `impl Into<gp_exec::Parallelism>`, so a bare `Threads` selects
+//!   sweep-level fan-out only, while a full
+//!   [`Parallelism`](gp_exec::Parallelism) additionally threads the
+//!   engines' intra-epoch compute. Output is bit-identical for every
+//!   `(sweep, engine)` width pair; the plain names are the
+//!   `Threads::serial()` oracle.
 //! * [`fault_sweep`] — partitioner × failure-rate robustness sweeps
 //!   under seeded fault injection, plus mitigated-vs-unmitigated
 //!   comparisons of the straggler-mitigation layer (extension beyond
 //!   the paper).
 //! * [`chaos`] — elastic-membership soak harness: every partitioner
 //!   runs a multi-epoch churn + fault + checkpoint schedule through
-//!   the engines' `simulate_run_elastic` paths, with the elastic
+//!   the engines' `.elastic(..)` `RunSpec` legs, with the elastic
 //!   contract (determinism, trace transparency, never-worse handoffs,
 //!   exact span sums) checked per row — behind `gnnpart chaos` and the
 //!   `chaos` ablation (extension).
@@ -90,5 +95,7 @@ pub mod prelude {
     pub use crate::trace_run::{
         distdgl_trace_run, distdgl_trace_runs, distgnn_trace_run, distgnn_trace_runs, phase_table,
     };
-    pub use gp_exec::{par_map, par_map_indexed, CellPanic, ExecTiming, ParReport, Threads};
+    pub use gp_exec::{
+        par_map, par_map_indexed, CellPanic, ExecTiming, ParReport, Parallelism, Threads,
+    };
 }

@@ -2,7 +2,7 @@
 //! top of the elastic chaos environment of [`crate::chaos`].
 //!
 //! Every partitioner runs a multi-epoch soak through its engine's
-//! `simulate_run_partitioned` path under a seeded [`ChurnPlan`]
+//! `.elastic(..).net(..)` [`RunSpec`] legs under a seeded [`ChurnPlan`]
 //! (leaves, rejoins), a seeded [`FaultPlan`] (crashes, stragglers,
 //! brownouts) *and* a seeded [`NetFaultPlan`] (per-message loss,
 //! duplication, reorder, plus partition windows splitting the fleet
@@ -32,12 +32,12 @@
 
 use gp_cluster::{
     fold_exact, CheckpointConfig, ChurnPlan, ClusterSpec, ElasticOptions, FaultPlan, FaultSpec,
-    MetricsSnapshot, NetFaultPlan, NetFaultSpec, NetRunOptions, PartitionedRunReport, TracePhase,
-    TraceSink,
+    MetricsSnapshot, NetFaultPlan, NetFaultSpec, NetRunOptions, PartitionedRunReport, RunSpec,
+    TracePhase, TraceSink,
 };
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
-use gp_exec::{par_map, Threads};
+use gp_exec::{par_map, Parallelism, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_tensor::ModelKind;
 
@@ -250,8 +250,9 @@ pub fn distgnn_netchaos_soak(
 }
 
 /// [`distgnn_netchaos_soak`] on the `gp-exec` pool: one job per
-/// partitioner, rows in `timed` order, bit-identical for every thread
-/// count (each cell is pure and owns its trace sink).
+/// partitioner, rows in `timed` order, bit-identical for every
+/// `(sweep, engine)` width pair (each cell is pure and owns its trace
+/// sink).
 #[allow(clippy::too_many_arguments)]
 pub fn distgnn_netchaos_soak_threaded(
     graph: &Graph,
@@ -261,8 +262,9 @@ pub fn distgnn_netchaos_soak_threaded(
     mtbf: f64,
     checkpoint_every: u32,
     seed: u64,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<NetChaosRow> {
+    let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
         .map(|t| {
@@ -272,40 +274,43 @@ pub fn distgnn_netchaos_soak_threaded(
                     DistGnnConfig::paper(params.model(ModelKind::Sage), ClusterSpec::paper(k));
                 let engine = DistGnnEngine::builder(graph, &t.partition)
                     .config(config)
+                    .threads(par.engine)
                     .build()
                     .expect("valid config");
                 let faults = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
                 let churn = ChurnPlan::generate(&chaos_churn_spec(k, epochs, seed));
                 let net = NetFaultPlan::generate(&netchaos_net_spec(k, epochs, seed));
                 let ckpt = CheckpointConfig::periodic(checkpoint_every);
-                let opts = ElasticOptions::default();
-                let run = |nopts: NetRunOptions| {
-                    engine.simulate_run_partitioned(
-                        epochs, &faults, &churn, &net, &ckpt, opts, nopts,
-                    )
+                let spec_with = |nopts: NetRunOptions| {
+                    RunSpec::healthy()
+                        .epochs(epochs)
+                        .faults(faults.clone())
+                        .elastic(churn.clone(), ckpt.clone(), ElasticOptions::default())
+                        .net(net.clone(), nopts)
                 };
-                let Ok(degraded) = run(NetRunOptions::default()) else {
+                let spec = spec_with(NetRunOptions::default());
+                let Ok(report) = engine.run(&spec) else {
                     return NetChaosRow::failed(t.name.clone(), epochs);
                 };
-                let again = run(NetRunOptions::default())
-                    .expect("rerun of a completed schedule");
-                let abort = run(NetRunOptions::abort_only()).ok();
+                let degraded = report.into_partitioned();
+                let again = engine
+                    .run(&spec)
+                    .expect("rerun of a completed schedule")
+                    .into_partitioned();
+                let abort = engine
+                    .run(&spec_with(NetRunOptions::abort_only()))
+                    .ok()
+                    .map(|r| r.into_partitioned());
                 let sink = TraceSink::enabled();
                 let traced = DistGnnEngine::builder(graph, &t.partition)
                     .config(config)
                     .trace(sink.clone())
+                    .threads(par.engine)
                     .build()
                     .expect("valid config")
-                    .simulate_run_partitioned(
-                        epochs,
-                        &faults,
-                        &churn,
-                        &net,
-                        &ckpt,
-                        opts,
-                        NetRunOptions::default(),
-                    )
-                    .expect("traced rerun of a completed schedule");
+                    .run(&spec)
+                    .expect("traced rerun of a completed schedule")
+                    .into_partitioned();
                 assemble_row(
                     t.name.clone(),
                     k,
@@ -320,7 +325,7 @@ pub fn distgnn_netchaos_soak_threaded(
             }
         })
         .collect();
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 /// Soak DistDGL (mini-batch, vertex-partitioned) over every timed
@@ -354,8 +359,8 @@ pub fn distdgl_netchaos_soak(
 }
 
 /// [`distdgl_netchaos_soak`] on the `gp-exec` pool: one job per
-/// partitioner, rows in `timed` order, bit-identical for every thread
-/// count.
+/// partitioner, rows in `timed` order, bit-identical for every
+/// `(sweep, engine)` width pair.
 #[allow(clippy::too_many_arguments)]
 pub fn distdgl_netchaos_soak_threaded(
     graph: &Graph,
@@ -368,8 +373,9 @@ pub fn distdgl_netchaos_soak_threaded(
     mtbf: f64,
     checkpoint_every: u32,
     seed: u64,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<NetChaosRow> {
+    let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
         .map(|t| {
@@ -379,40 +385,43 @@ pub fn distdgl_netchaos_soak_threaded(
                 config.global_batch_size = global_batch_size;
                 let engine = DistDglEngine::builder(graph, &t.partition, split)
                     .config(config.clone())
+                    .threads(par.engine)
                     .build()
                     .expect("valid config");
                 let faults = FaultPlan::generate(&FaultSpec::standard(k, epochs, mtbf, seed));
                 let churn = ChurnPlan::generate(&chaos_churn_spec(k, epochs, seed));
                 let net = NetFaultPlan::generate(&netchaos_net_spec(k, epochs, seed));
                 let ckpt = CheckpointConfig::periodic(checkpoint_every);
-                let opts = ElasticOptions::default();
-                let run = |nopts: NetRunOptions| {
-                    engine.simulate_run_partitioned(
-                        epochs, &faults, &churn, &net, &ckpt, opts, nopts,
-                    )
+                let spec_with = |nopts: NetRunOptions| {
+                    RunSpec::healthy()
+                        .epochs(epochs)
+                        .faults(faults.clone())
+                        .elastic(churn.clone(), ckpt.clone(), ElasticOptions::default())
+                        .net(net.clone(), nopts)
                 };
-                let Ok(degraded) = run(NetRunOptions::default()) else {
+                let spec = spec_with(NetRunOptions::default());
+                let Ok(report) = engine.run(&spec) else {
                     return NetChaosRow::failed(t.name.clone(), epochs);
                 };
-                let again = run(NetRunOptions::default())
-                    .expect("rerun of a completed schedule");
-                let abort = run(NetRunOptions::abort_only()).ok();
+                let degraded = report.into_partitioned();
+                let again = engine
+                    .run(&spec)
+                    .expect("rerun of a completed schedule")
+                    .into_partitioned();
+                let abort = engine
+                    .run(&spec_with(NetRunOptions::abort_only()))
+                    .ok()
+                    .map(|r| r.into_partitioned());
                 let sink = TraceSink::enabled();
                 let traced = DistDglEngine::builder(graph, &t.partition, split)
                     .config(config)
                     .trace(sink.clone())
+                    .threads(par.engine)
                     .build()
                     .expect("valid config")
-                    .simulate_run_partitioned(
-                        epochs,
-                        &faults,
-                        &churn,
-                        &net,
-                        &ckpt,
-                        opts,
-                        NetRunOptions::default(),
-                    )
-                    .expect("traced rerun of a completed schedule");
+                    .run(&spec)
+                    .expect("traced rerun of a completed schedule")
+                    .into_partitioned();
                 assemble_row(
                     t.name.clone(),
                     k,
@@ -427,7 +436,7 @@ pub fn distdgl_netchaos_soak_threaded(
             }
         })
         .collect();
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 /// Render network-chaos rows as a [`Table`] (CSV / Markdown ready). The

@@ -10,7 +10,7 @@
 use gp_cluster::ClusterSpec;
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
-use gp_exec::{par_map, Threads};
+use gp_exec::{par_map, Parallelism, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_tensor::ModelKind;
 
@@ -63,7 +63,8 @@ pub fn distgnn_grid(
 }
 
 /// [`distgnn_grid`] on the `gp-exec` pool: one job per partitioner,
-/// outcomes in `timed` order, bit-identical for every thread count.
+/// outcomes in `timed` order, bit-identical for every `(sweep, engine)`
+/// width pair.
 ///
 /// # Panics
 ///
@@ -72,21 +73,27 @@ pub fn distgnn_grid_threaded(
     graph: &Graph,
     timed: &[TimedEdgePartition],
     grid: &[PaperParams],
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<DistGnnGridOutcome> {
+    let par = par.into();
     let random = timed.iter().find(|t| t.name == "Random").expect("Random baseline required");
     let cluster = ClusterSpec::paper(random.partition.k());
     fn mk_engine<'g>(
         graph: &'g Graph,
         t: &'g TimedEdgePartition,
         cluster: ClusterSpec,
+        engine_threads: Threads,
     ) -> DistGnnEngine<'g> {
         let config =
             DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), cluster);
-        DistGnnEngine::builder(graph, &t.partition).config(config).build().expect("valid config")
+        DistGnnEngine::builder(graph, &t.partition)
+            .config(config)
+            .threads(engine_threads)
+            .build()
+            .expect("valid config")
     }
     // Baseline reports per grid point, computed once up front.
-    let random_engine = mk_engine(graph, random, cluster);
+    let random_engine = mk_engine(graph, random, cluster, par.engine);
     let base: Vec<_> = grid
         .iter()
         .map(|p| random_engine.simulate_epoch_for(&p.model(ModelKind::Sage)))
@@ -97,7 +104,7 @@ pub fn distgnn_grid_threaded(
         .map(|t| {
             let base = &base;
             move || {
-                let engine = mk_engine(graph, t, cluster);
+                let engine = mk_engine(graph, t, cluster, par.engine);
                 let mut speedups = Vec::with_capacity(grid.len());
                 let mut memory_pct = Vec::with_capacity(grid.len());
                 let mut traffic_pct = Vec::with_capacity(grid.len());
@@ -129,7 +136,7 @@ pub fn distgnn_grid_threaded(
             }
         })
         .collect();
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 /// Per-partitioner outcome of a DistDGL grid sweep.
@@ -180,7 +187,8 @@ pub fn distdgl_grid(
 }
 
 /// [`distdgl_grid`] on the `gp-exec` pool: one job per partitioner,
-/// outcomes in `timed` order, bit-identical for every thread count.
+/// outcomes in `timed` order, bit-identical for every `(sweep, engine)`
+/// width pair.
 ///
 /// # Panics
 ///
@@ -192,8 +200,9 @@ pub fn distdgl_grid_threaded(
     grid: &[PaperParams],
     kind: ModelKind,
     global_batch_size: u32,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Vec<DistDglGridOutcome> {
+    let par = par.into();
     let random = timed.iter().find(|t| t.name == "Random").expect("Random baseline required");
     let k = random.partition.k();
     let cluster = ClusterSpec::paper(k);
@@ -212,13 +221,19 @@ pub fn distdgl_grid_threaded(
             let probe = PaperParams { num_layers: layers, ..PaperParams::middle() };
             let mut config = DistDglConfig::paper(probe.model(kind), cluster);
             config.global_batch_size = global_batch_size;
-            let engine =
-                DistDglEngine::builder(graph, &t.partition, split).config(config).build().expect("valid config");
+            let engine = DistDglEngine::builder(graph, &t.partition, split)
+                .config(config)
+                .threads(par.engine)
+                .build()
+                .expect("valid config");
             let sampled = engine.sample_epoch(0);
             for params in grid.iter().filter(|p| p.num_layers == layers) {
                 let mut config = DistDglConfig::paper(params.model(kind), cluster);
                 config.global_batch_size = global_batch_size;
-                let engine = DistDglEngine::builder(graph, &t.partition, split).config(config).build()
+                let engine = DistDglEngine::builder(graph, &t.partition, split)
+                    .config(config)
+                    .threads(par.engine)
+                    .build()
                     .expect("valid config");
                 summaries.push((params, engine.simulate_epoch_from(&sampled)));
             }
@@ -269,7 +284,7 @@ pub fn distdgl_grid_threaded(
             }
         })
         .collect();
-    par_map(threads, jobs)
+    par_map(par.sweep, jobs)
 }
 
 fn pct(own: u64, base: u64) -> f64 {

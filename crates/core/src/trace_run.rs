@@ -11,10 +11,10 @@
 //! reports with and without a sink attached (asserted by the engine
 //! test suites), so a traced run is also a faithful run.
 
-use gp_cluster::{FaultPlan, MitigationPolicy, TraceSink};
+use gp_cluster::{FaultPlan, MitigationPolicy, RunSpec, TraceSink};
 use gp_distdgl::{DistDglConfig, DistDglEngine};
 use gp_distgnn::{DistGnnConfig, DistGnnEngine};
-use gp_exec::{par_map_indexed, ExecTiming, Threads};
+use gp_exec::{par_map_indexed, ExecTiming, Parallelism, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_partition::{EdgePartition, VertexPartition};
 
@@ -39,23 +39,33 @@ pub fn distgnn_trace_run(
     epochs: u32,
     plan: Option<&FaultPlan>,
     mitigate: bool,
+    engine_threads: Threads,
 ) -> Result<TraceSink, gp_distgnn::DistGnnError> {
     let sink = TraceSink::enabled();
-    let engine =
-        DistGnnEngine::builder(graph, partition).config(config).trace(sink.clone()).build()?;
-    let empty = FaultPlan::empty();
-    let plan = plan.unwrap_or(&empty);
-    if mitigate {
-        let mut session = engine.mitigation(MitigationPolicy::all());
-        for epoch in 0..epochs {
-            engine.simulate_epoch_mitigated(epoch, plan, &mut session)?;
-        }
-    } else {
-        for epoch in 0..epochs {
-            engine.simulate_epoch_with_faults(epoch, plan)?;
-        }
-    }
+    let engine = DistGnnEngine::builder(graph, partition)
+        .config(config)
+        .trace(sink.clone())
+        .threads(engine_threads)
+        .build()?;
+    engine.run(&run_spec(epochs, plan, mitigate))?.strict()?;
     Ok(sink)
+}
+
+/// The [`RunSpec`] both trace runners share: `epochs` epochs, faults
+/// when a plan is given, the full mitigation policy when `mitigate`.
+fn run_spec(epochs: u32, plan: Option<&FaultPlan>, mitigate: bool) -> RunSpec {
+    let mut spec = RunSpec::healthy().epochs(epochs);
+    if let Some(plan) = plan {
+        spec = spec.faults(plan.clone());
+    } else if mitigate {
+        // The mitigated scenario observes an explicit (empty) plan, like
+        // the pre-RunSpec entry point did.
+        spec = spec.faults(FaultPlan::empty());
+    }
+    if mitigate {
+        spec = spec.mitigate(MitigationPolicy::all());
+    }
+    spec
 }
 
 /// Run `epochs` traced DistDGL epochs over `partition` / `split`.
@@ -75,24 +85,15 @@ pub fn distdgl_trace_run(
     epochs: u32,
     plan: Option<&FaultPlan>,
     mitigate: bool,
+    engine_threads: Threads,
 ) -> Result<TraceSink, gp_distdgl::DistDglError> {
     let sink = TraceSink::enabled();
     let engine = DistDglEngine::builder(graph, partition, split)
         .config(config)
         .trace(sink.clone())
+        .threads(engine_threads)
         .build()?;
-    let empty = FaultPlan::empty();
-    let plan = plan.unwrap_or(&empty);
-    if mitigate {
-        let mut session = engine.mitigation(MitigationPolicy::all());
-        for epoch in 0..epochs {
-            engine.simulate_epoch_mitigated(epoch, plan, &mut session)?;
-        }
-    } else {
-        for epoch in 0..epochs {
-            engine.simulate_epoch_with_faults(epoch, plan)?;
-        }
-    }
+    engine.run(&run_spec(epochs, plan, mitigate))?.strict()?;
     Ok(sink)
 }
 
@@ -116,13 +117,18 @@ pub fn distgnn_trace_runs(
     epochs: u32,
     plan: Option<&FaultPlan>,
     mitigate: bool,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Result<(Vec<(String, TraceSink)>, ExecTiming), gp_distgnn::DistGnnError> {
+    let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
-        .map(|t| move || distgnn_trace_run(graph, &t.partition, config, epochs, plan, mitigate))
+        .map(|t| {
+            move || {
+                distgnn_trace_run(graph, &t.partition, config, epochs, plan, mitigate, par.engine)
+            }
+        })
         .collect();
-    let report = par_map_indexed(threads, jobs);
+    let report = par_map_indexed(par.sweep, jobs);
     let timing = report.timing();
     let mut sinks = Vec::with_capacity(timed.len());
     for (t, r) in timed.iter().zip(report.into_results()) {
@@ -147,16 +153,28 @@ pub fn distdgl_trace_runs(
     epochs: u32,
     plan: Option<&FaultPlan>,
     mitigate: bool,
-    threads: Threads,
+    par: impl Into<Parallelism>,
 ) -> Result<(Vec<(String, TraceSink)>, ExecTiming), gp_distdgl::DistDglError> {
+    let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
         .map(|t| {
             let config = config.clone();
-            move || distdgl_trace_run(graph, &t.partition, split, config, epochs, plan, mitigate)
+            move || {
+                distdgl_trace_run(
+                    graph,
+                    &t.partition,
+                    split,
+                    config,
+                    epochs,
+                    plan,
+                    mitigate,
+                    par.engine,
+                )
+            }
         })
         .collect();
-    let report = par_map_indexed(threads, jobs);
+    let report = par_map_indexed(par.sweep, jobs);
     let timing = report.timing();
     let mut sinks = Vec::with_capacity(timed.len());
     for (t, r) in timed.iter().zip(report.into_results()) {
@@ -217,7 +235,9 @@ mod tests {
             PaperParams::middle().model(ModelKind::Sage),
             ClusterSpec::paper(4),
         );
-        let sink = distgnn_trace_run(&g, &timed[0].partition, config, 2, None, false).unwrap();
+        let sink =
+            distgnn_trace_run(&g, &timed[0].partition, config, 2, None, false, Threads::serial())
+                .unwrap();
         assert!(!sink.spans().is_empty());
         assert!(sink.spans().iter().any(|s| s.epoch == 1), "both epochs recorded");
         let json = sink.to_chrome_json();
@@ -266,9 +286,17 @@ mod tests {
         );
         config.global_batch_size = 256;
         let plan = slowdown_plan();
-        let sink =
-            distdgl_trace_run(&g, &timed[0].partition, &split, config, 3, Some(&plan), true)
-                .unwrap();
+        let sink = distdgl_trace_run(
+            &g,
+            &timed[0].partition,
+            &split,
+            config,
+            3,
+            Some(&plan),
+            true,
+            Threads::serial(),
+        )
+        .unwrap();
         assert!(!sink.spans().is_empty());
         assert!(sink.spans().iter().any(|s| s.epoch == 2), "all epochs recorded");
         assert!(!sink.phase_csv().is_empty());

@@ -12,9 +12,10 @@ use gp_cluster::{
     CheckpointStore,
     ChurnPlan, ClusterCounters, ClusterSpec, ElasticOptions, ElasticRunReport, EpochOutcome,
     FaultPlan, Fleet, MessageKind, MitigationPolicy, MitigationReport, NetFaultPlan,
-    NetRunOptions, NetRunReport, NetworkSpec, PartitionedRunReport, RecoveryReport,
-    StragglerDetector, TracePhase, TraceSink,
+    NetRunOptions, NetRunReport, NetworkSpec, PartitionedRunReport, RecoveryReport, RunSpec,
+    Scenario, StragglerDetector, TracePhase, TraceSink,
 };
+use gp_exec::{par_map, Threads};
 use gp_graph::{Graph, VertexSplit};
 use gp_partition::VertexPartition;
 use gp_tensor::flops::{model_param_count, model_train_flops};
@@ -252,6 +253,120 @@ pub struct MitigatedEpochSummary {
     pub failed_workers: Vec<u32>,
 }
 
+/// Result of [`DistDglEngine::run`]: one variant per resolved
+/// [`Scenario`], mirroring `DistGnnRunReport` on the full-batch side.
+///
+/// The `Faulty` and `Mitigated` variants record a run cut short by a
+/// terminal fault (`error: Some(..)`) together with the epochs that
+/// *did* complete, instead of discarding them; [`DistDglRunReport::strict`]
+/// restores fail-fast semantics.
+#[derive(Debug)]
+pub enum DistDglRunReport {
+    /// Healthy scenario: one summary per epoch.
+    Healthy {
+        /// Per-epoch summaries, in epoch order.
+        epochs: Vec<EpochSummary>,
+    },
+    /// Faulty scenario: per-epoch summaries until completion or the
+    /// first terminal fault.
+    Faulty {
+        /// Completed epochs, in epoch order.
+        epochs: Vec<FaultyEpochSummary>,
+        /// The terminal fault that ended the run early, if any.
+        error: Option<DistDglError>,
+    },
+    /// Mitigated scenario: per-epoch summaries until completion or the
+    /// first terminal fault.
+    Mitigated {
+        /// Completed epochs, in epoch order.
+        epochs: Vec<MitigatedEpochSummary>,
+        /// The terminal fault that ended the run early, if any.
+        error: Option<DistDglError>,
+    },
+    /// Elastic scenario: the whole-run elastic report.
+    Elastic(ElasticRunReport),
+    /// Partitioned scenario: the whole-run elastic + network report.
+    Partitioned(PartitionedRunReport),
+}
+
+impl DistDglRunReport {
+    /// Fail-fast view: a run cut short by a terminal fault becomes that
+    /// fault's `Err`, everything else passes through unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The recorded terminal fault, if the run ended early.
+    pub fn strict(self) -> Result<Self, DistDglError> {
+        match self {
+            DistDglRunReport::Faulty { error: Some(e), .. }
+            | DistDglRunReport::Mitigated { error: Some(e), .. } => Err(e),
+            other => Ok(other),
+        }
+    }
+
+    /// The healthy per-epoch summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is not the `Healthy` variant.
+    pub fn into_healthy(self) -> Vec<EpochSummary> {
+        match self {
+            DistDglRunReport::Healthy { epochs } => epochs,
+            other => panic!("expected a healthy run report, got {other:?}"),
+        }
+    }
+
+    /// The faulty per-epoch summaries (completed epochs only) and the
+    /// truncation error, if the run ended early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is not the `Faulty` variant.
+    pub fn into_faulty(self) -> (Vec<FaultyEpochSummary>, Option<DistDglError>) {
+        match self {
+            DistDglRunReport::Faulty { epochs, error } => (epochs, error),
+            other => panic!("expected a faulty run report, got {other:?}"),
+        }
+    }
+
+    /// The mitigated per-epoch summaries (completed epochs only) and
+    /// the truncation error, if the run ended early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is not the `Mitigated` variant.
+    pub fn into_mitigated(self) -> (Vec<MitigatedEpochSummary>, Option<DistDglError>) {
+        match self {
+            DistDglRunReport::Mitigated { epochs, error } => (epochs, error),
+            other => panic!("expected a mitigated run report, got {other:?}"),
+        }
+    }
+
+    /// The elastic whole-run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is not the `Elastic` variant.
+    pub fn into_elastic(self) -> ElasticRunReport {
+        match self {
+            DistDglRunReport::Elastic(r) => r,
+            other => panic!("expected an elastic run report, got {other:?}"),
+        }
+    }
+
+    /// The partitioned whole-run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is not the `Partitioned` variant.
+    pub fn into_partitioned(self) -> PartitionedRunReport {
+        match self {
+            DistDglRunReport::Partitioned(r) => r,
+            other => panic!("expected a partitioned run report, got {other:?}"),
+        }
+    }
+}
+
 /// Persistent mitigation state for a DistDGL training run: the policy
 /// and the online detector it drives. Create one via
 /// [`DistDglEngine::mitigation`] and thread it through every epoch of
@@ -336,6 +451,7 @@ pub struct DistDglEngineBuilder<'a, 'b> {
     feature_cache_entries: u32,
     seed: u64,
     trace: TraceSink,
+    threads: Threads,
 }
 
 impl<'a, 'b> DistDglEngineBuilder<'a, 'b> {
@@ -395,6 +511,19 @@ impl<'a, 'b> DistDglEngineBuilder<'a, 'b> {
         self
     }
 
+    /// Intra-epoch `gp-exec` width (default: serial). Per-worker
+    /// mini-batch sampling within a step — and the flattened
+    /// (step × worker) sampling of a whole epoch — fan out over index-
+    /// addressed slots on the deterministic pool; each slot derives its
+    /// RNG stream by hashing `(seed, epoch, step, worker)`, so results
+    /// are byte-identical at any width. Composes with sweep-level
+    /// parallelism: the engine width applies inside whichever sweep
+    /// cell runs this engine.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validate and build the engine.
     ///
     /// # Errors
@@ -437,7 +566,14 @@ impl<'a, 'b> DistDglEngineBuilder<'a, 'b> {
         }
         let store = PartitionedStore::new(self.graph, self.partition, self.split)?;
         let cached = hot_vertex_mask(self.graph, config.feature_cache_entries);
-        Ok(DistDglEngine { graph: self.graph, store, config, cached, trace: self.trace })
+        Ok(DistDglEngine {
+            graph: self.graph,
+            store,
+            config,
+            cached,
+            trace: self.trace,
+            threads: self.threads,
+        })
     }
 }
 
@@ -452,6 +588,9 @@ pub struct DistDglEngine<'a> {
     /// Span recorder (disabled by default; see
     /// [`DistDglEngineBuilder::trace`]).
     trace: TraceSink,
+    /// Intra-epoch `gp-exec` width (see
+    /// [`DistDglEngineBuilder::threads`]).
+    threads: Threads,
 }
 
 impl<'a> DistDglEngine<'a> {
@@ -473,25 +612,8 @@ impl<'a> DistDglEngine<'a> {
             feature_cache_entries: 0,
             seed: 0x9d15,
             trace: TraceSink::disabled(),
+            threads: Threads::serial(),
         }
-    }
-
-    /// Build an engine.
-    ///
-    /// # Errors
-    ///
-    /// Fails if partition/cluster sizes disagree or the configuration is
-    /// inconsistent.
-    #[deprecated(
-        note = "use `DistDglEngine::builder(graph, partition, split).config(config).build()`"
-    )]
-    pub fn new(
-        graph: &'a Graph,
-        partition: &VertexPartition,
-        split: &VertexSplit,
-        config: DistDglConfig,
-    ) -> Result<Self, DistDglError> {
-        Self::builder(graph, partition, split).config(config).build()
     }
 
     /// The ownership store.
@@ -530,26 +652,34 @@ impl<'a> DistDglEngine<'a> {
         (self.config.global_batch_size as usize / self.config.cluster.machines as usize).max(1)
     }
 
-    /// Sample all workers' mini-batches for one step.
+    /// Sample all workers' mini-batches for one step. Per-worker jobs
+    /// fan out over the engine's `gp-exec` width; each slot is indexed
+    /// by its worker id, so the returned order — and every drawn edge —
+    /// is identical at any width.
     pub fn sample_step(&self, epoch: u32, step: usize) -> Vec<MiniBatch> {
         let k = self.config.cluster.machines;
+        let jobs: Vec<_> = (0..k).map(|w| move || self.sample_worker(epoch, step, w)).collect();
+        par_map(self.threads, jobs)
+    }
+
+    /// One worker's k-hop block sampling for one step — a pure function
+    /// of `(seed, epoch, step, worker)`: the RNG stream is derived by
+    /// hashing the full tuple, so per-worker jobs can run on any thread
+    /// schedule without changing a single drawn edge.
+    fn sample_worker(&self, epoch: u32, step: usize, w: u32) -> MiniBatch {
         let bpw = self.batch_per_worker();
         // Derive independent streams by hashing (seed, epoch, step,
         // worker) through a mixer; shifted XOR would collide as soon as
         // a field outgrows its bit window (e.g. step >= 256).
         let epoch_seed = mix_seed(self.config.seed, u64::from(epoch), 0, 0);
-        (0..k)
-            .map(|w| {
-                let seeds = worker_seeds(&self.store, w, step, bpw, epoch_seed);
-                let mut rng = StdRng::seed_from_u64(mix_seed(
-                    self.config.seed,
-                    u64::from(epoch),
-                    step as u64 + 1,
-                    u64::from(w) + 1,
-                ));
-                sample_minibatch(self.graph, &self.store, w, &seeds, &self.config.fanouts, &mut rng)
-            })
-            .collect()
+        let seeds = worker_seeds(&self.store, w, step, bpw, epoch_seed);
+        let mut rng = StdRng::seed_from_u64(mix_seed(
+            self.config.seed,
+            u64::from(epoch),
+            step as u64 + 1,
+            u64::from(w) + 1,
+        ));
+        sample_minibatch(self.graph, &self.store, w, &seeds, &self.config.fanouts, &mut rng)
     }
 
     /// Convert one worker's sampled mini-batch into per-phase times and
@@ -700,8 +830,22 @@ impl<'a> DistDglEngine<'a> {
     /// Sample every step of an epoch (for reuse across model
     /// configurations that share the same layer count: sampling depends
     /// only on the fan-outs and seed, not on dimensions).
+    ///
+    /// The whole epoch's (step × worker) jobs are flattened into one
+    /// index-addressed fan-out on the engine's `gp-exec` width — a
+    /// single pool pass instead of one per step — and regrouped by step
+    /// afterwards, so the nesting never stacks pool invocations.
     pub fn sample_epoch(&self, epoch: u32) -> Vec<Vec<MiniBatch>> {
-        (0..self.steps_per_epoch()).map(|step| self.sample_step(epoch, step)).collect()
+        let steps = self.steps_per_epoch();
+        let k = self.config.cluster.machines;
+        let jobs: Vec<_> = (0..steps)
+            .flat_map(|step| (0..k).map(move |w| (step, w)))
+            .map(|(step, w)| move || self.sample_worker(epoch, step, w))
+            .collect();
+        let mut flat = par_map(self.threads, jobs).into_iter();
+        (0..steps)
+            .map(|_| (0..k).map(|_| flat.next().expect("one batch per (step, worker)")).collect())
+            .collect()
     }
 
     /// Simulate one step, sampling it first.
@@ -866,8 +1010,94 @@ impl<'a> DistDglEngine<'a> {
         }
     }
 
+    /// Run the scenario described by `spec` — the unified entry point
+    /// over the engine's five internal run paths.
+    ///
+    /// The spec is resolved to a [`Scenario`] up front; each scenario
+    /// maps to exactly one internal path and returns the matching
+    /// [`DistDglRunReport`] variant. `Faulty` and `Mitigated` runs that
+    /// hit a terminal fault keep the epochs completed so far and record
+    /// the error in the variant ([`DistDglRunReport::strict`] restores
+    /// fail-fast); `Elastic`/`Partitioned` runs propagate their errors
+    /// directly, as the whole-run reports carry no partial state.
+    ///
+    /// # Errors
+    ///
+    /// [`DistDglError::InvalidConfig`] when the spec's combination is
+    /// rejected ([`gp_cluster::RunSpecError`]); the elastic and
+    /// partitioned paths' own errors otherwise.
+    pub fn run(&self, spec: &RunSpec) -> Result<DistDglRunReport, DistDglError> {
+        let scenario =
+            spec.scenario().map_err(|e| DistDglError::InvalidConfig(e.to_string()))?;
+        let epochs = spec.num_epochs();
+        let empty_plan = FaultPlan::empty();
+        match scenario {
+            Scenario::Healthy => Ok(DistDglRunReport::Healthy {
+                epochs: (0..epochs).map(|e| self.healthy_epoch(e)).collect(),
+            }),
+            Scenario::Faulty(plan) => {
+                let mut reports = Vec::with_capacity(epochs as usize);
+                let mut error = None;
+                for epoch in 0..epochs {
+                    match self.faulty_epoch(epoch, plan) {
+                        Ok(r) => reports.push(r),
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                Ok(DistDglRunReport::Faulty { epochs: reports, error })
+            }
+            Scenario::Mitigated { plan, policy } => {
+                let plan = plan.unwrap_or(&empty_plan);
+                let mut session = self.mitigation(*policy);
+                let mut reports = Vec::with_capacity(epochs as usize);
+                let mut error = None;
+                for epoch in 0..epochs {
+                    match self.mitigated_epoch(epoch, plan, &mut session) {
+                        Ok(r) => reports.push(r),
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                Ok(DistDglRunReport::Mitigated { epochs: reports, error })
+            }
+            Scenario::Elastic { faults, elastic } => self
+                .run_elastic_inner(
+                    epochs,
+                    faults.unwrap_or(&empty_plan),
+                    &elastic.churn,
+                    &NetFaultPlan::empty(),
+                    &elastic.checkpoints,
+                    elastic.options,
+                    NetRunOptions::default(),
+                )
+                .map(|r| DistDglRunReport::Elastic(r.elastic)),
+            Scenario::Partitioned { faults, elastic, net } => self
+                .run_elastic_inner(
+                    epochs,
+                    faults.unwrap_or(&empty_plan),
+                    &elastic.churn,
+                    &net.plan,
+                    &elastic.checkpoints,
+                    elastic.options,
+                    net.options,
+                )
+                .map(DistDglRunReport::Partitioned),
+        }
+    }
+
     /// Simulate a full epoch (samples internally).
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy())`")]
     pub fn simulate_epoch(&self, epoch: u32) -> EpochSummary {
+        self.healthy_epoch(epoch)
+    }
+
+    /// One healthy epoch — the `Healthy` leg of [`DistDglEngine::run`].
+    fn healthy_epoch(&self, epoch: u32) -> EpochSummary {
         self.trace.set_epoch(epoch);
         self.simulate_epoch_from(&self.sample_epoch(epoch))
     }
@@ -914,6 +1144,7 @@ impl<'a> DistDglEngine<'a> {
             // Clones share the recording buffer: spans emitted by the
             // sibling (post-crash) engine land in the same trace.
             trace: self.trace.clone(),
+            threads: self.threads,
         }
     }
 
@@ -938,11 +1169,18 @@ impl<'a> DistDglEngine<'a> {
     /// [`DistDglError::WorkerFailed`] when no survivors remain;
     /// [`DistDglError::RecoveryBudgetExceeded`] when accumulated
     /// overhead passes the plan's budget.
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy().epochs(n).faults(plan))`")]
     pub fn simulate_epoch_with_faults(
         &self,
         epoch: u32,
         plan: &FaultPlan,
     ) -> Result<FaultyEpochSummary, DistDglError> {
+        self.faulty_epoch(epoch, plan)
+    }
+
+    /// One epoch under a fault plan — the `Faulty` leg of
+    /// [`DistDglEngine::run`].
+    fn faulty_epoch(&self, epoch: u32, plan: &FaultPlan) -> Result<FaultyEpochSummary, DistDglError> {
         self.simulate_epoch_faulty_with(
             epoch,
             plan,
@@ -976,7 +1214,7 @@ impl<'a> DistDglEngine<'a> {
         self.trace.set_epoch(epoch);
         if plan.is_empty() {
             return Ok(FaultyEpochSummary {
-                summary: self.simulate_epoch(epoch),
+                summary: self.healthy_epoch(epoch),
                 recovery: RecoveryReport::default(),
                 failed_workers: Vec::new(),
             });
@@ -1139,6 +1377,7 @@ impl<'a> DistDglEngine<'a> {
             config: self.config.clone(),
             cached: self.cached.clone(),
             trace: TraceSink::disabled(),
+            threads: self.threads,
         }
     }
 
@@ -1212,6 +1451,7 @@ impl<'a> DistDglEngine<'a> {
     ///
     /// Panics if `ckpt` enables checkpointing with zero retention or a
     /// non-positive bandwidth (see [`CheckpointStore::new`]).
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy().epochs(n).faults(plan).elastic(churn, ckpt, opts))`")]
     pub fn simulate_run_elastic(
         &self,
         epochs: u32,
@@ -1266,6 +1506,7 @@ impl<'a> DistDglEngine<'a> {
     /// # Panics
     ///
     /// Same conditions as [`DistDglEngine::simulate_run_elastic`].
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy().epochs(n).faults(plan).elastic(..).net(..))`")]
     #[allow(clippy::too_many_arguments)]
     pub fn simulate_run_partitioned(
         &self,
@@ -1917,14 +2158,26 @@ impl<'a> DistDglEngine<'a> {
     /// # Errors
     ///
     /// Same as [`DistDglEngine::simulate_epoch_with_faults`].
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy().epochs(n).faults(plan).mitigate(policy))`")]
     pub fn simulate_epoch_mitigated(
         &self,
         epoch: u32,
         plan: &FaultPlan,
         session: &mut DistDglMitigation,
     ) -> Result<MitigatedEpochSummary, DistDglError> {
+        self.mitigated_epoch(epoch, plan, session)
+    }
+
+    /// One epoch under faults + mitigation — the `Mitigated` leg of
+    /// [`DistDglEngine::run`].
+    fn mitigated_epoch(
+        &self,
+        epoch: u32,
+        plan: &FaultPlan,
+        session: &mut DistDglMitigation,
+    ) -> Result<MitigatedEpochSummary, DistDglError> {
         if plan.is_empty() || (!session.policy.work_stealing && !session.policy.speculation) {
-            let base = self.simulate_epoch_with_faults(epoch, plan)?;
+            let base = self.faulty_epoch(epoch, plan)?;
             return Ok(MitigatedEpochSummary {
                 summary: base.summary,
                 recovery: base.recovery,
@@ -2230,6 +2483,9 @@ fn hot_vertex_mask(graph: &Graph, entries: u32) -> Vec<bool> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `simulate_*` wrappers stay exercised until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use gp_cluster::Span;
     use gp_graph::generators::{community, CommunityParams};
@@ -2788,20 +3044,6 @@ mod tests {
             .simulate_epoch(0);
         assert_eq!(via_config.phases, via_setters.phases);
         assert_eq!(via_config.counters, via_setters.counters);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_shim_still_works() {
-        let (g, rnd, _, split) = setup(4);
-        let c = cfg(4, 16, 16, 2, ModelKind::Sage);
-        let shim = DistDglEngine::new(&g, &rnd, &split, c.clone()).unwrap().simulate_epoch(0);
-        let built = DistDglEngine::builder(&g, &rnd, &split)
-            .config(c)
-            .build()
-            .unwrap()
-            .simulate_epoch(0);
-        assert_eq!(shim.phases, built.phases);
     }
 
     /// The load-bearing invariant: per-worker, per-phase span-duration

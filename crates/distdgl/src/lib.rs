@@ -21,17 +21,19 @@
 //! data-parallel SGD equals sequential gradient accumulation over the
 //! per-worker batches.
 //!
-//! [`DistDglEngine::simulate_epoch_with_faults`] runs an epoch under a
-//! seeded `gp_cluster::FaultPlan`: remote expansions and feature fetches
-//! get timeout/retry/backoff under lossy links, and worker crashes are
-//! permanent — the crashed worker's training set is redistributed across
-//! the survivors (graceful degradation). An empty plan reproduces the
-//! healthy baseline bit-for-bit.
-//! [`DistDglEngine::simulate_epoch_mitigated`] layers the mitigation
-//! subsystem on top: an online detector (`gp_cluster::detect`) drives
-//! intra-epoch work stealing from flagged stragglers and speculative
-//! re-execution of deadline-violating steps, each applied per step only
-//! when strictly faster than the unmitigated step.
+//! [`DistDglEngine::run`] consumes a declarative `gp_cluster::RunSpec`
+//! and dispatches on its resolved scenario. A `.faults(plan)` leg runs
+//! an epoch under a seeded `gp_cluster::FaultPlan`: remote expansions
+//! and feature fetches get timeout/retry/backoff under lossy links, and
+//! worker crashes are permanent — the crashed worker's training set is
+//! redistributed across the survivors (graceful degradation); an empty
+//! plan reproduces the healthy baseline bit-for-bit. A
+//! `.mitigate(policy)` leg layers the mitigation subsystem on top: an
+//! online detector (`gp_cluster::detect`) drives intra-epoch work
+//! stealing from flagged stragglers and speculative re-execution of
+//! deadline-violating steps, each applied per step only when strictly
+//! faster than the unmitigated step. `.elastic(..)` and `.net(..)`
+//! select the churn-tolerant and message-level-network run paths.
 
 pub mod engine;
 pub mod error;
@@ -40,8 +42,8 @@ pub mod store;
 pub mod train;
 
 pub use engine::{
-    DistDglConfig, DistDglEngine, DistDglEngineBuilder, DistDglMitigation, EpochSummary,
-    FaultyEpochSummary, MitigatedEpochSummary, StepPhases, StepReport,
+    DistDglConfig, DistDglEngine, DistDglEngineBuilder, DistDglMitigation, DistDglRunReport,
+    EpochSummary, FaultyEpochSummary, MitigatedEpochSummary, StepPhases, StepReport,
 };
 pub use error::DistDglError;
 pub use sampler::{MiniBatch, SampleStats};

@@ -6,9 +6,10 @@ use gp_cluster::{
     CheckpointStore,
     ChurnPlan, ClusterCounters, ClusterSpec, DetectorConfig, ElasticOptions, ElasticRunReport,
     EpochOutcome, FaultPlan, Fleet, MessageKind, MitigationPolicy, MitigationReport, NetFaultPlan,
-    NetRunOptions, NetRunReport, NetworkSpec, PartitionedRunReport, RecoveryReport,
-    StragglerDetector, TracePhase, TraceSink,
+    NetRunOptions, NetRunReport, NetworkSpec, PartitionedRunReport, RecoveryReport, RunSpec,
+    Scenario, StragglerDetector, TracePhase, TraceSink,
 };
+use gp_exec::{par_map, Threads};
 use gp_graph::Graph;
 use gp_partition::EdgePartition;
 use gp_tensor::flops::{layer_train_flops, model_param_count, BlockShape};
@@ -206,12 +207,124 @@ pub struct MitigatedEpochReport {
     pub mitigation: MitigationReport,
 }
 
+/// Common result of [`DistGnnEngine::run`] — one variant per resolved
+/// [`Scenario`].
+///
+/// The epoch-wise scenarios (`Faulty`, `Mitigated`) never abort
+/// mid-run: on an unrecoverable fault the run truncates, keeping the
+/// epochs that completed and recording the error in the variant.
+/// Callers that want the old propagating behaviour chain
+/// [`DistGnnRunReport::strict`].
+#[derive(Debug)]
+pub enum DistGnnRunReport {
+    /// Healthy fixed-fleet run: one report per epoch.
+    Healthy {
+        /// Per-epoch reports, epoch order.
+        epochs: Vec<EpochReport>,
+    },
+    /// Run under a fault plan; truncated at the first unrecoverable
+    /// fault.
+    Faulty {
+        /// Reports of the epochs that completed, epoch order.
+        epochs: Vec<FaultyEpochReport>,
+        /// The fault that ended the run early, if any.
+        error: Option<DistGnnError>,
+    },
+    /// Run under a fault plan with mitigation; truncated like `Faulty`.
+    Mitigated {
+        /// Reports of the epochs that completed, epoch order.
+        epochs: Vec<MitigatedEpochReport>,
+        /// The fault that ended the run early, if any.
+        error: Option<DistGnnError>,
+    },
+    /// Elastic-membership run.
+    Elastic(ElasticRunReport),
+    /// Elastic run under message-level network faults.
+    Partitioned(PartitionedRunReport),
+}
+
+impl DistGnnRunReport {
+    /// Turn a truncated run back into an error — the behaviour of the
+    /// old per-epoch entry points, for callers that propagate.
+    ///
+    /// # Errors
+    ///
+    /// The recorded mid-run error, when the run truncated.
+    pub fn strict(self) -> Result<Self, DistGnnError> {
+        match self {
+            DistGnnRunReport::Faulty { error: Some(e), .. }
+            | DistGnnRunReport::Mitigated { error: Some(e), .. } => Err(e),
+            other => Ok(other),
+        }
+    }
+
+    /// Unwrap a healthy run's per-epoch reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run was not healthy.
+    pub fn into_healthy(self) -> Vec<EpochReport> {
+        match self {
+            DistGnnRunReport::Healthy { epochs } => epochs,
+            other => panic!("expected a healthy run report, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a faulty run's completed epochs and truncation error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run was not faulty.
+    pub fn into_faulty(self) -> (Vec<FaultyEpochReport>, Option<DistGnnError>) {
+        match self {
+            DistGnnRunReport::Faulty { epochs, error } => (epochs, error),
+            other => panic!("expected a faulty run report, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a mitigated run's completed epochs and truncation error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run was not mitigated.
+    pub fn into_mitigated(self) -> (Vec<MitigatedEpochReport>, Option<DistGnnError>) {
+        match self {
+            DistGnnRunReport::Mitigated { epochs, error } => (epochs, error),
+            other => panic!("expected a mitigated run report, got {other:?}"),
+        }
+    }
+
+    /// Unwrap an elastic run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run was not elastic.
+    pub fn into_elastic(self) -> ElasticRunReport {
+        match self {
+            DistGnnRunReport::Elastic(r) => r,
+            other => panic!("expected an elastic run report, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a partitioned run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run was not partitioned.
+    pub fn into_partitioned(self) -> PartitionedRunReport {
+        match self {
+            DistGnnRunReport::Partitioned(r) => r,
+            other => panic!("expected a partitioned run report, got {other:?}"),
+        }
+    }
+}
+
 /// Cross-epoch state of DistGNN's mitigation layer: the per-epoch
 /// straggler/degradation detector plus the adaptations it has enacted
 /// (current cd-r period, machines the master role has been migrated away
 /// from). Create one per training run with [`DistGnnEngine::mitigation`]
-/// and pass it to every [`DistGnnEngine::simulate_epoch_mitigated`] call
-/// in epoch order.
+/// and pass it to every mitigated epoch in epoch order (the
+/// [`DistGnnEngine::run`] `Mitigated` scenario does this internally).
 #[derive(Debug, Clone)]
 pub struct DistGnnMitigation {
     policy: MitigationPolicy,
@@ -259,6 +372,7 @@ pub struct DistGnnEngineBuilder<'a> {
     cluster: Option<ClusterSpec>,
     sync_period: u32,
     checkpoint_every: u32,
+    threads: Threads,
     trace: TraceSink,
 }
 
@@ -294,6 +408,15 @@ impl<'a> DistGnnEngineBuilder<'a> {
     /// Checkpoint period in epochs (default 0 — disabled).
     pub fn checkpoint_every(mut self, every: u32) -> Self {
         self.checkpoint_every = every;
+        self
+    }
+
+    /// Intra-epoch `gp-exec` width (default: serial). The pool fans
+    /// per-layer vertex-block scans over index-addressed slots, so any
+    /// width reproduces the serial epoch bit-for-bit; it composes
+    /// freely with the sweep-level pool one layer up.
+    pub fn threads(mut self, threads: Threads) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -350,6 +473,7 @@ impl<'a> DistGnnEngineBuilder<'a> {
             views,
             masters,
             config,
+            threads: self.threads,
             trace: self.trace,
         })
     }
@@ -362,6 +486,7 @@ pub struct DistGnnEngine<'a> {
     views: Vec<PartitionView>,
     masters: Vec<u32>,
     config: DistGnnConfig,
+    threads: Threads,
     trace: TraceSink,
 }
 
@@ -376,23 +501,9 @@ impl<'a> DistGnnEngine<'a> {
             cluster: None,
             sync_period: 1,
             checkpoint_every: 0,
+            threads: Threads::serial(),
             trace: TraceSink::disabled(),
         }
-    }
-
-    /// Build an engine for a partitioned graph.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the partition size and cluster size disagree, or the
-    /// model is not GraphSAGE.
-    #[deprecated(note = "use `DistGnnEngine::builder(graph, partition).config(config).build()`")]
-    pub fn new(
-        graph: &'a Graph,
-        partition: &'a EdgePartition,
-        config: DistGnnConfig,
-    ) -> Result<Self, DistGnnError> {
-        DistGnnEngine::builder(graph, partition).config(config).build()
     }
 
     /// The underlying graph.
@@ -421,7 +532,94 @@ impl<'a> DistGnnEngine<'a> {
         &self.trace
     }
 
+    /// Run the scenario a [`RunSpec`] describes and return the matching
+    /// report variant — the single entry point replacing the five
+    /// `simulate_*` methods.
+    ///
+    /// `Faulty`/`Mitigated` scenarios truncate on an unrecoverable
+    /// fault instead of erroring: completed epochs are kept and the
+    /// error is recorded in the variant (chain
+    /// [`DistGnnRunReport::strict`] to propagate it instead).
+    ///
+    /// # Errors
+    ///
+    /// [`DistGnnError::InvalidConfig`] when the spec's scenario
+    /// combination is invalid; elastic/partitioned scenarios also
+    /// surface their run errors directly.
+    pub fn run(&self, spec: &RunSpec) -> Result<DistGnnRunReport, DistGnnError> {
+        let scenario =
+            spec.scenario().map_err(|e| DistGnnError::InvalidConfig(e.to_string()))?;
+        let epochs = spec.num_epochs();
+        let empty_plan = FaultPlan::empty();
+        match scenario {
+            Scenario::Healthy => {
+                let out = (0..epochs).map(|e| self.healthy_epoch(e)).collect();
+                Ok(DistGnnRunReport::Healthy { epochs: out })
+            }
+            Scenario::Faulty(plan) => {
+                let mut out = Vec::with_capacity(epochs as usize);
+                let mut error = None;
+                for epoch in 0..epochs {
+                    match self.faulty_epoch(epoch, plan) {
+                        Ok(r) => out.push(r),
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                Ok(DistGnnRunReport::Faulty { epochs: out, error })
+            }
+            Scenario::Mitigated { plan, policy } => {
+                let plan = plan.unwrap_or(&empty_plan);
+                let mut session = self.mitigation(*policy);
+                let mut out = Vec::with_capacity(epochs as usize);
+                let mut error = None;
+                for epoch in 0..epochs {
+                    match self.mitigated_epoch(epoch, plan, &mut session) {
+                        Ok(r) => out.push(r),
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    }
+                }
+                Ok(DistGnnRunReport::Mitigated { epochs: out, error })
+            }
+            Scenario::Elastic { faults, elastic } => self
+                .run_elastic_inner(
+                    epochs,
+                    faults.unwrap_or(&empty_plan),
+                    &elastic.churn,
+                    &NetFaultPlan::empty(),
+                    &elastic.checkpoints,
+                    elastic.options,
+                    NetRunOptions::default(),
+                )
+                .map(|r| DistGnnRunReport::Elastic(r.elastic)),
+            Scenario::Partitioned { faults, elastic, net } => self
+                .run_elastic_inner(
+                    epochs,
+                    faults.unwrap_or(&empty_plan),
+                    &elastic.churn,
+                    &net.plan,
+                    &elastic.checkpoints,
+                    elastic.options,
+                    net.options,
+                )
+                .map(DistGnnRunReport::Partitioned),
+        }
+    }
+
+    /// One healthy epoch, trace stamped with its epoch number — the
+    /// `Healthy` leg of [`DistGnnEngine::run`].
+    fn healthy_epoch(&self, epoch: u32) -> EpochReport {
+        self.trace.set_epoch(epoch);
+        self.simulate_epoch_for(&self.config.model)
+    }
+
     /// Run the cost model for one epoch with the configured model.
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy())`")]
     pub fn simulate_epoch(&self) -> EpochReport {
         self.simulate_epoch_for(&self.config.model)
     }
@@ -489,37 +687,71 @@ impl<'a> DistGnnEngine<'a> {
         let mut phases = EpochPhases::default();
         let tracing = sink.is_enabled();
 
+        // The epoch's hot path is the per-(layer, direction) O(V)
+        // replica-traffic scan. Each scan is a pure function of
+        // (partition, masters, dims), so all `2 × num_layers` of them
+        // run up front as index-addressed pool jobs; with a serial
+        // width they execute in index order on this thread — the same
+        // arithmetic either way, so any width is bit-identical.
+        let sync_dims: Vec<(u64, u64)> = (0..model.num_layers)
+            .flat_map(|layer| {
+                let (in_dim, out_dim) = model.layer_dims(layer);
+                let (i, o) = (in_dim as u64, out_dim as u64);
+                [(i, o), (o, i)]
+            })
+            .collect();
+        let partition = self.partition;
+        let sync_jobs = sync_dims
+            .iter()
+            .map(|&(gather, scatter)| {
+                move || layer_sync_traffic_dims(partition, masters, gather, scatter)
+            })
+            .collect();
+        let mut sync_scans = par_map(self.threads, sync_jobs).into_iter();
+
         for layer in 0..model.num_layers {
             let (in_dim, out_dim) = model.layer_dims(layer);
-            // --- Compute (forward + backward), straggler-gated. ---
+            // --- Compute (forward + backward), straggler-gated. Each
+            // live view's block cost is a pure function of its slot, so
+            // the per-worker compute fans out as index-addressed jobs;
+            // the counter/straggler fold below consumes the slots in
+            // index order, reproducing the serial loop exactly. ---
             let mut max_fwd = 0.0f64;
             let mut max_bwd = 0.0f64;
             let mut view_flops: Vec<(u32, u64, u64)> = Vec::new();
-            for view in views {
-                if !all_live && live_mask & (1u64 << view.machine) == 0 {
-                    continue;
-                }
-                let shape = BlockShape {
-                    num_dst: view.num_masters(),
-                    num_src: view.num_local_vertices(),
-                    num_edges: view.num_local_edges(),
-                };
-                let train_flops =
-                    layer_train_flops(model.kind, shape, in_dim as u64, out_dim as u64);
-                let fwd_flops = train_flops / 3;
-                let bwd_flops = train_flops - fwd_flops;
-                counters.machine_mut(view.machine).flops += train_flops;
-                let mut fwd = compute_time(&cluster.machine, fwd_flops);
-                let mut bwd = compute_time(&cluster.machine, bwd_flops);
-                if let Some(f) = faults {
-                    let cf = f.compute_factor[view.machine as usize];
-                    fwd /= cf;
-                    bwd /= cf;
-                }
+            let compute_jobs = views
+                .iter()
+                .filter(|view| all_live || live_mask & (1u64 << view.machine) != 0)
+                .map(|view| {
+                    move || {
+                        let shape = BlockShape {
+                            num_dst: view.num_masters(),
+                            num_src: view.num_local_vertices(),
+                            num_edges: view.num_local_edges(),
+                        };
+                        let train_flops =
+                            layer_train_flops(model.kind, shape, in_dim as u64, out_dim as u64);
+                        let fwd_flops = train_flops / 3;
+                        let bwd_flops = train_flops - fwd_flops;
+                        let mut fwd = compute_time(&cluster.machine, fwd_flops);
+                        let mut bwd = compute_time(&cluster.machine, bwd_flops);
+                        if let Some(f) = faults {
+                            let cf = f.compute_factor[view.machine as usize];
+                            fwd /= cf;
+                            bwd /= cf;
+                        }
+                        (view.machine, train_flops, fwd_flops, bwd_flops, fwd, bwd)
+                    }
+                })
+                .collect();
+            for (machine, train_flops, fwd_flops, bwd_flops, fwd, bwd) in
+                par_map(self.threads, compute_jobs)
+            {
+                counters.machine_mut(machine).flops += train_flops;
                 max_fwd = max_fwd.max(fwd);
                 max_bwd = max_bwd.max(bwd);
                 if tracing {
-                    view_flops.push((view.machine, fwd_flops, bwd_flops));
+                    view_flops.push((machine, fwd_flops, bwd_flops));
                 }
             }
             phases.forward += max_fwd;
@@ -542,13 +774,8 @@ impl<'a> DistGnnEngine<'a> {
             // backward pass mirrors it with gradients. Under cd-r the
             // sync runs every r-th epoch, so the per-epoch amortised
             // cost is divided by the period. ---
-            for (gather, scatter) in [(in_dim, out_dim), (out_dim, in_dim)] {
-                let mut traffic = layer_sync_traffic_dims(
-                    self.partition,
-                    masters,
-                    gather as u64,
-                    scatter as u64,
-                );
+            for _direction in 0..2 {
+                let mut traffic = sync_scans.next().expect("one scan per layer direction");
                 if sync_period > 1 {
                     let p = u64::from(sync_period);
                     for v in traffic
@@ -734,11 +961,18 @@ impl<'a> DistGnnEngine<'a> {
     /// [`DistGnnError::WorkerFailed`] if a crash is unrecoverable (single
     /// machine, no checkpointing); [`DistGnnError::RecoveryBudgetExceeded`]
     /// if the accumulated overhead passes the plan's budget.
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy().epochs(n).faults(plan))`")]
     pub fn simulate_epoch_with_faults(
         &self,
         epoch: u32,
         plan: &FaultPlan,
     ) -> Result<FaultyEpochReport, DistGnnError> {
+        self.faulty_epoch(epoch, plan)
+    }
+
+    /// One epoch under a fault plan — the `Faulty` leg of
+    /// [`DistGnnEngine::run`].
+    fn faulty_epoch(&self, epoch: u32, plan: &FaultPlan) -> Result<FaultyEpochReport, DistGnnError> {
         self.trace.set_epoch(epoch);
         self.simulate_epoch_with_faults_using(
             epoch,
@@ -1033,6 +1267,7 @@ impl<'a> DistGnnEngine<'a> {
     ///
     /// Panics if `ckpt` enables checkpointing with zero retention or a
     /// non-positive bandwidth (see [`CheckpointStore::new`]).
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy().epochs(n).faults(plan).elastic(churn, ckpt, opts))`")]
     pub fn simulate_run_elastic(
         &self,
         epochs: u32,
@@ -1090,6 +1325,7 @@ impl<'a> DistGnnEngine<'a> {
     /// # Errors
     ///
     /// Same conditions as [`DistGnnEngine::simulate_run_elastic`].
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy().epochs(n).faults(plan).elastic(..).net(..))`")]
     #[allow(clippy::too_many_arguments)]
     pub fn simulate_run_partitioned(
         &self,
@@ -1892,14 +2128,26 @@ impl<'a> DistGnnEngine<'a> {
     /// # Errors
     ///
     /// As [`DistGnnEngine::simulate_epoch_with_faults`].
+    #[deprecated(note = "use `engine.run(&RunSpec::healthy().epochs(n).faults(plan).mitigate(policy))`")]
     pub fn simulate_epoch_mitigated(
         &self,
         epoch: u32,
         plan: &FaultPlan,
         session: &mut DistGnnMitigation,
     ) -> Result<MitigatedEpochReport, DistGnnError> {
+        self.mitigated_epoch(epoch, plan, session)
+    }
+
+    /// One epoch under faults + mitigation — the `Mitigated` leg of
+    /// [`DistGnnEngine::run`].
+    fn mitigated_epoch(
+        &self,
+        epoch: u32,
+        plan: &FaultPlan,
+        session: &mut DistGnnMitigation,
+    ) -> Result<MitigatedEpochReport, DistGnnError> {
         if plan.is_empty() || !session.policy.adaptive_sync {
-            let base = self.simulate_epoch_with_faults(epoch, plan)?;
+            let base = self.faulty_epoch(epoch, plan)?;
             return Ok(MitigatedEpochReport {
                 report: base.report,
                 recovery: base.recovery,
@@ -2117,6 +2365,9 @@ impl<'a> DistGnnEngine<'a> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `simulate_*` wrappers stay exercised until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use gp_graph::generators::{rmat, RmatParams};
     use gp_partition::prelude::*;
@@ -2615,17 +2866,6 @@ mod tests {
             .simulate_epoch();
         assert_eq!(via_config.phases, via_setters.phases);
         assert_eq!(via_config.counters, via_setters.counters);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_new_shim_still_works() {
-        let (g, random, _) = setup(4);
-        let c = cfg(4, 16, 16, 2);
-        let shim = DistGnnEngine::new(&g, &random, c).unwrap().simulate_epoch();
-        let built =
-            DistGnnEngine::builder(&g, &random).config(c).build().unwrap().simulate_epoch();
-        assert_eq!(shim.phases, built.phases);
     }
 
     /// The load-bearing invariant: per-worker, per-phase span-duration

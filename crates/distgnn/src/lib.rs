@@ -14,20 +14,23 @@
 //!   training (gradients are all-reduced every epoch), so the math runs
 //!   once globally while FLOPs, bytes and memory are attributed to
 //!   machines exactly as the distributed execution would incur them.
-//! * [`DistGnnEngine::simulate_epoch`] — pure cost model: counts the
-//!   same quantities analytically without touching floats, fast enough
-//!   to sweep the paper's full hyper-parameter grid at `hidden = 512`.
+//! * [`DistGnnEngine::run`] — pure cost model: counts the same
+//!   quantities analytically without touching floats, fast enough to
+//!   sweep the paper's full hyper-parameter grid at `hidden = 512`.
 //!
-//! [`DistGnnEngine::simulate_epoch_with_faults`] runs the cost model
-//! under a seeded `gp_cluster::FaultPlan`: periodic checkpointing,
-//! replica-based crash recovery (recovery traffic ∝ replication factor),
-//! transient stragglers and lossy links. An empty plan reproduces the
-//! healthy baseline bit-for-bit.
-//! [`DistGnnEngine::simulate_epoch_mitigated`] layers the mitigation
-//! subsystem on top: an online detector (`gp_cluster::detect`) drives
-//! adaptive cd-r (longer sync period during network brownouts) and
-//! master rebalancing away from persistently slow machines, never making
-//! an epoch worse than the unmitigated fault path.
+//! [`DistGnnEngine::run`] consumes a declarative
+//! `gp_cluster::RunSpec` and dispatches on its resolved scenario: a
+//! `.faults(plan)` leg runs the cost model under a seeded
+//! `gp_cluster::FaultPlan` — periodic checkpointing, replica-based
+//! crash recovery (recovery traffic ∝ replication factor), transient
+//! stragglers and lossy links; an empty plan reproduces the healthy
+//! baseline bit-for-bit. A `.mitigate(policy)` leg layers the
+//! mitigation subsystem on top: an online detector
+//! (`gp_cluster::detect`) drives adaptive cd-r (longer sync period
+//! during network brownouts) and master rebalancing away from
+//! persistently slow machines, never making an epoch worse than the
+//! unmitigated fault path. `.elastic(..)` and `.net(..)` select the
+//! churn-tolerant and message-level-network run paths.
 //!
 //! Work attribution per machine `m`, per layer:
 //!
@@ -49,8 +52,8 @@ pub mod train;
 pub mod view;
 
 pub use engine::{
-    DistGnnConfig, DistGnnEngine, DistGnnEngineBuilder, DistGnnMitigation, EpochPhases,
-    EpochReport, FaultyEpochReport, MitigatedEpochReport,
+    DistGnnConfig, DistGnnEngine, DistGnnEngineBuilder, DistGnnMitigation, DistGnnRunReport,
+    EpochPhases, EpochReport, FaultyEpochReport, MitigatedEpochReport,
 };
 pub use error::DistGnnError;
 pub use memory::MemoryBreakdown;

@@ -107,6 +107,55 @@ impl Default for Threads {
     }
 }
 
+/// A two-level width policy: how many workers the *sweep* pool fans
+/// cells onto, and how many workers each engine uses *inside* an epoch
+/// (intra-epoch `par_map_indexed` over per-worker compute, blocked
+/// kernels, per-worker sampling).
+///
+/// Every front end that used to take a bare [`Threads`] now accepts
+/// `impl Into<Parallelism>`; a bare `Threads` converts with a serial
+/// engine level, so existing call sites keep their exact behaviour.
+/// Both levels are index-addressed, so any `(sweep, engine)` pair is
+/// bit-identical to `(serial, serial)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    /// Pool width for sweep-level cells (one job per grid cell).
+    pub sweep: Threads,
+    /// Pool width for intra-epoch work inside each engine.
+    pub engine: Threads,
+}
+
+impl Parallelism {
+    /// Serial at both levels — the conformance oracle.
+    pub const fn serial() -> Self {
+        Parallelism { sweep: Threads::serial(), engine: Threads::serial() }
+    }
+
+    /// An explicit `(sweep, engine)` pair.
+    pub const fn new(sweep: Threads, engine: Threads) -> Self {
+        Parallelism { sweep, engine }
+    }
+
+    /// The same width at both levels.
+    pub const fn uniform(threads: Threads) -> Self {
+        Parallelism { sweep: threads, engine: threads }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::serial()
+    }
+}
+
+impl From<Threads> for Parallelism {
+    /// A bare sweep width with a serial engine level — exactly what
+    /// every pre-existing `threads: Threads` call site meant.
+    fn from(sweep: Threads) -> Self {
+        Parallelism { sweep, engine: Threads::serial() }
+    }
+}
+
 impl fmt::Display for Threads {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 == 0 {

@@ -11,6 +11,8 @@
 //! makes GAT noticeably more compute-heavy than GraphSAGE — an effect
 //! the paper's Figure 25 shows directly.
 
+use gp_exec::Threads;
+
 use crate::block::Aggregation;
 use crate::init::xavier_uniform;
 use crate::layers::Layer;
@@ -30,6 +32,7 @@ pub struct GatLayer {
     relu: bool,
     in_dim: usize,
     out_dim: usize,
+    threads: Threads,
     cache_x: Option<Tensor>,
     cache_z: Option<Tensor>,
     /// Attention weights per block edge (in `Aggregation` index order).
@@ -50,6 +53,7 @@ impl GatLayer {
             relu,
             in_dim,
             out_dim,
+            threads: Threads::serial(),
             cache_x: None,
             cache_z: None,
             cache_alpha: None,
@@ -67,7 +71,7 @@ impl Layer for GatLayer {
     fn forward(&mut self, block: &Aggregation, x: &Tensor) -> Tensor {
         assert_eq!(x.rows(), block.num_src(), "x rows must equal num_src");
         assert_eq!(x.cols(), self.in_dim);
-        let z = x.matmul(&self.w.value);
+        let z = x.matmul_with(&self.w.value, self.threads);
         let a_l = self.a_left.value.row(0);
         let a_r = self.a_right.value.row(0);
         // Right attention term per source (reused across destinations).
@@ -175,8 +179,8 @@ impl Layer for GatLayer {
 
         self.a_left.grad.add_assign(&Tensor::from_vec(1, self.out_dim, da_l));
         self.a_right.grad.add_assign(&Tensor::from_vec(1, self.out_dim, da_r));
-        self.w.grad.add_assign(&x.matmul_at_b(&dz));
-        dz.matmul_a_bt(&self.w.value)
+        self.w.grad.add_assign(&x.matmul_at_b_with(&dz, self.threads));
+        dz.matmul_a_bt_with(&self.w.value, self.threads)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -189,6 +193,10 @@ impl Layer for GatLayer {
 
     fn out_dim(&self) -> usize {
         self.out_dim
+    }
+
+    fn set_threads(&mut self, threads: Threads) {
+        self.threads = threads;
     }
 }
 

@@ -54,7 +54,7 @@ fn main() {
         let partition = partitioner.partition_edges(&graph, machines, 9).expect("valid");
         let report = DistGnnEngine::builder(&graph, &partition).config(config).build()
             .expect("matching cluster")
-            .simulate_epoch();
+            .run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
         println!(
             "  {:<8} rf {:>5.2}  epoch {:>7.2} ms  (fwd {:.2} / bwd {:.2} / sync {:.2} ms)  mem {:.1} MB",
             partitioner.name(),

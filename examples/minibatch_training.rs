@@ -56,7 +56,7 @@ fn main() {
         let stats = train(&engine, &mut model, &features, &labels, &mut opt, 8);
 
         // Simulated phase cost of one epoch.
-        let summary = engine.simulate_epoch(0);
+        let summary = engine.run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
         println!(
             "\n{name}: edge-cut {:.3}, {} steps/epoch",
             partition.edge_cut_ratio(),

@@ -48,7 +48,7 @@ fn main() {
         let partition = p.partition_edges(&graph, machines, 42).expect("valid k");
         let report = DistGnnEngine::builder(&graph, &partition).config(config).build()
             .expect("matching cluster")
-            .simulate_epoch();
+            .run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
         if p.name() == "Random" {
             random_time = Some(report.epoch_time());
         }

@@ -27,7 +27,7 @@ RUSTC=${RUSTC:-rustc}
 FLAGS=(--edition 2021 -O -Awarnings -L "$LIB")
 
 # crate name -> source path and dependency list (topological order).
-CRATES=(graph partition tensor cluster exec distgnn distdgl core bench cli facade)
+CRATES=(graph partition exec tensor cluster distgnn distdgl core bench cli facade)
 
 src_of() {
   case $1 in
@@ -47,11 +47,11 @@ deps_of() {
   case $1 in
     graph) echo "rand" ;;
     partition) echo "rand gp_graph" ;;
-    tensor) echo "rand" ;;
+    tensor) echo "rand gp_exec" ;;
     cluster) echo "" ;;
     exec) echo "" ;;
-    distgnn) echo "rand gp_graph gp_partition gp_tensor gp_cluster" ;;
-    distdgl) echo "rand gp_graph gp_partition gp_tensor gp_cluster" ;;
+    distgnn) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec" ;;
+    distdgl) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec" ;;
     core) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl" ;;
     bench) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl gp_core" ;;
     cli) echo "gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl gp_core" ;;

@@ -20,6 +20,9 @@
 //! assert!(partition.replication_factor() >= 1.0);
 //!
 //! // Simulate one full-batch DistGNN epoch on the paper's cluster.
+//! // Every run goes through one entry point: `engine.run(&RunSpec)`,
+//! // where the spec composes faults, mitigation, elastic membership
+//! // and network-fault legs onto the healthy baseline.
 //! let config = DistGnnConfig::paper(
 //!     ModelConfig {
 //!         kind: ModelKind::Sage,
@@ -35,17 +38,24 @@
 //!     .config(config)
 //!     .build()
 //!     .unwrap()
-//!     .simulate_epoch();
+//!     .run(&RunSpec::healthy())
+//!     .unwrap()
+//!     .into_healthy()
+//!     .remove(0);
 //! assert!(report.epoch_time() > 0.0);
 //!
-//! // Record the same epoch as a span trace (zero-cost when disabled).
+//! // Record the same epoch as a span trace (zero-cost when disabled),
+//! // with the intra-epoch compute spread over 4 pool threads — both
+//! // knobs are observational: the report is bit-identical.
 //! let sink = TraceSink::enabled();
 //! let traced = DistGnnEngine::builder(&graph, &partition)
 //!     .config(config)
 //!     .trace(sink.clone())
+//!     .threads(Threads::new(4))
 //!     .build()
 //!     .unwrap();
-//! let traced_report = traced.simulate_epoch();
+//! let traced_report =
+//!     traced.run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
 //! assert_eq!(traced_report.epoch_time(), report.epoch_time(), "tracing is observational");
 //! assert!(!sink.spans().is_empty());
 //! ```
@@ -62,14 +72,19 @@ pub use gp_tensor as tensor;
 /// Convenience prelude with the most common types.
 pub mod prelude {
     pub use gp_cluster::{
-        ClusterSpec, CounterEvent, EpochOutcome, MachineSpec, NetworkSpec, PhaseRow, Span,
-        TracePhase, TraceSink,
+        CheckpointConfig, ChurnPlan, ChurnSpec, ClusterSpec, CounterEvent, ElasticOptions,
+        ElasticSpec, EpochOutcome, FaultPlan, FaultSpec, MachineSpec, MitigationPolicy,
+        NetFaultPlan, NetFaultSpec, NetRunOptions, NetSpec, NetworkSpec, PhaseRow, RunSpec,
+        RunSpecError, Scenario, Span, TracePhase, TraceSink,
     };
     pub use gp_core::prelude::*;
     pub use gp_distdgl::{
-        scaled_fanouts, DistDglConfig, DistDglEngine, DistDglEngineBuilder, EpochSummary,
+        scaled_fanouts, DistDglConfig, DistDglEngine, DistDglEngineBuilder, DistDglRunReport,
+        EpochSummary,
     };
-    pub use gp_distgnn::{DistGnnConfig, DistGnnEngine, DistGnnEngineBuilder, EpochReport};
+    pub use gp_distgnn::{
+        DistGnnConfig, DistGnnEngine, DistGnnEngineBuilder, DistGnnRunReport, EpochReport,
+    };
     pub use gp_graph::{DatasetId, Graph, GraphBuilder, GraphScale, VertexSplit};
     pub use gp_partition::prelude::*;
     pub use gp_tensor::{Adam, GnnModel, ModelConfig, ModelKind, Sgd, Tensor};

@@ -17,7 +17,7 @@
 //!
 //! The network-chaos soaks below compose a third fault axis on top:
 //! a seeded message-level plan of loss, duplication, reorder and
-//! partition windows through `simulate_run_partitioned`, with the
+//! partition windows through the engines' `.net(..)` `RunSpec` leg, with the
 //! degraded-mode invariant (never worse than abort-and-recover) and
 //! exactly-once delivery green while churn and crashes keep running
 //! underneath. The network schedule must arm real partition windows —

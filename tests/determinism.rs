@@ -38,8 +38,8 @@ fn distgnn_simulation_is_deterministic() {
     let graph = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
     let partition = Hdrf::default().partition_edges(&graph, 4, 1).unwrap();
     let config = DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), ClusterSpec::paper(4));
-    let a = DistGnnEngine::builder(&graph, &partition).config(config).build().unwrap().simulate_epoch();
-    let b = DistGnnEngine::builder(&graph, &partition).config(config).build().unwrap().simulate_epoch();
+    let a = DistGnnEngine::builder(&graph, &partition).config(config).build().unwrap().run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
+    let b = DistGnnEngine::builder(&graph, &partition).config(config).build().unwrap().run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
     assert_eq!(a.epoch_time(), b.epoch_time());
     assert_eq!(a.counters, b.counters);
 }

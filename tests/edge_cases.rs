@@ -82,7 +82,7 @@ fn engines_handle_degenerate_splits() {
         ClusterSpec::paper(4),
     );
     let engine = DistDglEngine::builder(&g, &part, &split).config(config).build().unwrap();
-    let summary = engine.simulate_epoch(0);
+    let summary = engine.run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
     assert!(summary.epoch_time().is_finite());
     assert_eq!(summary.total_input_vertices, 0);
 }
@@ -92,7 +92,7 @@ fn distgnn_single_machine_has_no_traffic() {
     let g = DatasetId::OR.generate(GraphScale::Tiny).unwrap();
     let part = Hdrf::default().partition_edges(&g, 1, 1).unwrap();
     let config = DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), ClusterSpec::paper(1));
-    let report = DistGnnEngine::builder(&g, &part).config(config).build().unwrap().simulate_epoch();
+    let report = DistGnnEngine::builder(&g, &part).config(config).build().unwrap().run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
     // One machine: no replica sync, no gradient exchange over the wire
     // (the counters record the loopback all-reduce as zero-cost).
     assert_eq!(report.phases.sync, 0.0);
@@ -107,7 +107,7 @@ fn single_layer_models_work_end_to_end() {
     let params = PaperParams { num_layers: 1, ..PaperParams::middle() };
     let config = DistDglConfig::paper(params.model(ModelKind::Gcn), ClusterSpec::paper(4));
     let engine = DistDglEngine::builder(&g, &part, &split).config(config).build().unwrap();
-    let summary = engine.simulate_epoch(0);
+    let summary = engine.run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
     assert!(summary.epoch_time() > 0.0);
 }
 
@@ -119,13 +119,13 @@ fn directed_graphs_through_both_engines() {
     let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
     let ep = Hep::hep100().partition_edges(&g, 4, 1).unwrap();
     let config = DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), ClusterSpec::paper(4));
-    assert!(DistGnnEngine::builder(&g, &ep).config(config).build().unwrap().simulate_epoch().epoch_time() > 0.0);
+    assert!(DistGnnEngine::builder(&g, &ep).config(config).build().unwrap().run(&RunSpec::healthy()).unwrap().into_healthy().remove(0).epoch_time() > 0.0);
 
     let vp = Kahip::default().partition_vertices(&g, 4, 1).unwrap();
     let config =
         DistDglConfig::paper(PaperParams::middle().model(ModelKind::Gat), ClusterSpec::paper(4));
     let engine = DistDglEngine::builder(&g, &vp, &split).config(config).build().unwrap();
-    assert!(engine.simulate_epoch(0).epoch_time() > 0.0);
+    assert!(engine.run(&RunSpec::healthy()).unwrap().into_healthy().remove(0).epoch_time() > 0.0);
 }
 
 #[test]
@@ -134,7 +134,7 @@ fn empty_graph_partitions_and_simulates() {
     let part = RandomEdgePartitioner.partition_edges(&g, 4, 1).unwrap();
     assert_eq!(part.replication_factor(), 0.0);
     let config = DistGnnConfig::paper(PaperParams::middle().model(ModelKind::Sage), ClusterSpec::paper(4));
-    let report = DistGnnEngine::builder(&g, &part).config(config).build().unwrap().simulate_epoch();
+    let report = DistGnnEngine::builder(&g, &part).config(config).build().unwrap().run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
     // No replica traffic; the only bytes are the gradient all-reduce
     // (the model still synchronises even over an empty graph).
     let param_bytes =
@@ -155,6 +155,6 @@ fn oversized_feature_cache_is_harmless() {
     // Cache larger than the graph: every remote input hits.
     config.feature_cache_entries = 10 * g.num_vertices();
     let engine = DistDglEngine::builder(&g, &part, &split).config(config).build().unwrap();
-    let summary = engine.simulate_epoch(0);
+    let summary = engine.run(&RunSpec::healthy()).unwrap().into_healthy().remove(0);
     assert_eq!(summary.cache_hits, summary.total_remote_vertices);
 }

@@ -139,7 +139,7 @@ fn oom_detection_under_tight_memory() {
             PaperParams { feature_size: 512, ..PaperParams::middle() }.model(ModelKind::Sage),
             tight,
         );
-        DistGnnEngine::builder(&graph, &t.partition).config(config).build().unwrap().simulate_epoch()
+        DistGnnEngine::builder(&graph, &t.partition).config(config).build().unwrap().run(&RunSpec::healthy()).unwrap().into_healthy().remove(0)
     };
     assert!(report_for("Random").any_oom(), "Random should exceed the tight budget");
     assert!(!report_for("HEP-100").any_oom(), "HEP-100 should fit the tight budget");

@@ -10,7 +10,9 @@
 //! simulation, and are excluded from every comparison here.
 
 use gnnpart::cluster::MitigationPolicy;
+use gnnpart::core::chaos::chaos_churn_spec;
 use gnnpart::core::config::PaperParams;
+use gnnpart::core::netchaos::netchaos_net_spec;
 use gnnpart::core::trace_run::{distdgl_trace_runs, distgnn_trace_runs};
 use gnnpart::prelude::*;
 
@@ -436,6 +438,135 @@ fn merged_metric_snapshots_are_associative_and_order_insensitive() {
         // The Prometheus rendering of equal snapshots is byte-equal.
         assert_eq!(right.to_prometheus(), oracle.to_prometheus(), "threads = {threads}");
     }
+}
+
+/// Every `RunSpec` path a conformance run must cover, keyed by name so
+/// failures say which scenario diverged. All five legs of the unified
+/// simulate API: healthy, faulty, mitigated, elastic, partitioned.
+fn conformance_specs(machines: u32, epochs: u32, seed: u64) -> Vec<(&'static str, RunSpec)> {
+    let faults = FaultPlan::generate(&FaultSpec::standard(machines, epochs, 3.0, seed));
+    let churn = ChurnPlan::generate(&chaos_churn_spec(machines, epochs, seed));
+    let ckpt = CheckpointConfig::periodic(2);
+    let net = NetFaultPlan::generate(&netchaos_net_spec(machines, epochs, seed));
+    let elastic = RunSpec::healthy().epochs(epochs).faults(faults.clone()).elastic(
+        churn,
+        ckpt,
+        ElasticOptions::default(),
+    );
+    vec![
+        ("healthy", RunSpec::healthy().epochs(epochs)),
+        ("faulty", RunSpec::healthy().epochs(epochs).faults(faults.clone())),
+        (
+            "mitigated",
+            RunSpec::healthy().epochs(epochs).faults(faults).mitigate(MitigationPolicy::all()),
+        ),
+        ("elastic", elastic.clone()),
+        ("partitioned", elastic.net(net, NetRunOptions::default())),
+    ]
+}
+
+/// Run one spec on a DistGNN engine at the given intra-epoch width and
+/// render the full outcome — every epoch report, recovery account,
+/// mitigation tally and error — as its `Debug` form. Rust's `Debug` for
+/// `f64` prints the shortest round-tripping decimal, so string equality
+/// here is bit equality of every float in the report.
+fn distgnn_outcome(g: &Graph, p: &EdgePartition, spec: &RunSpec, threads: Threads) -> String {
+    let config = DistGnnConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(p.k()),
+    );
+    let result = DistGnnEngine::builder(g, p)
+        .config(config)
+        .threads(threads)
+        .build()
+        .expect("valid config")
+        .run(spec);
+    format!("{result:?}")
+}
+
+/// DistDGL twin of [`distgnn_outcome`].
+fn distdgl_outcome(
+    g: &Graph,
+    p: &VertexPartition,
+    split: &VertexSplit,
+    spec: &RunSpec,
+    threads: Threads,
+) -> String {
+    let mut config = DistDglConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(p.k()),
+    );
+    config.global_batch_size = 256;
+    let result = DistDglEngine::builder(g, p, split)
+        .config(config)
+        .threads(threads)
+        .build()
+        .expect("valid config")
+        .run(spec);
+    format!("{result:?}")
+}
+
+#[test]
+fn distgnn_engine_widths_are_bit_identical_on_every_runspec_path() {
+    let g = graph();
+    let partition = Hdrf::default().partition_edges(&g, 4, 1).unwrap();
+    for (name, spec) in conformance_specs(4, 6, 7) {
+        let serial = distgnn_outcome(&g, &partition, &spec, Threads::serial());
+        for threads in THREAD_COUNTS {
+            let par = distgnn_outcome(&g, &partition, &spec, Threads::new(threads));
+            assert_eq!(par, serial, "{name}: engine threads = {threads}");
+        }
+        // Run-to-run stability at a fixed parallel width.
+        let a = distgnn_outcome(&g, &partition, &spec, Threads::new(4));
+        let b = distgnn_outcome(&g, &partition, &spec, Threads::new(4));
+        assert_eq!(a, b, "{name}: repeated 4-thread runs");
+    }
+}
+
+#[test]
+fn distdgl_engine_widths_are_bit_identical_on_every_runspec_path() {
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let partition = Metis::default().partition_vertices(&g, 4, 1).unwrap();
+    for (name, spec) in conformance_specs(4, 6, 7) {
+        let serial = distdgl_outcome(&g, &partition, &split, &spec, Threads::serial());
+        for threads in THREAD_COUNTS {
+            let par = distdgl_outcome(&g, &partition, &split, &spec, Threads::new(threads));
+            assert_eq!(par, serial, "{name}: engine threads = {threads}");
+        }
+        let a = distdgl_outcome(&g, &partition, &split, &spec, Threads::new(4));
+        let b = distdgl_outcome(&g, &partition, &split, &spec, Threads::new(4));
+        assert_eq!(a, b, "{name}: repeated 4-thread runs");
+    }
+}
+
+#[test]
+fn nested_sweep_and_engine_pools_match_the_serial_oracle() {
+    // The two pool levels compose: a 4-wide sweep whose every cell runs
+    // a 4-wide intra-epoch engine must still equal the fully-serial
+    // oracle, grid and soak alike.
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let timed_e = timed_edge_partitions(&g, 4, 1);
+    let timed_v = timed_vertex_partitions(&g, 4, 1, &split.train);
+    let grid = small_grid();
+    let nested = Parallelism::new(Threads::new(4), Threads::new(4));
+
+    let serial_e = distgnn_grid(&g, &timed_e, &grid);
+    let par_e = distgnn_grid_threaded(&g, &timed_e, &grid, nested);
+    assert_eq!(par_e, serial_e, "distgnn grid: sweep 4 x engine 4");
+
+    let serial_v = distdgl_grid(&g, &split, &timed_v, &grid, ModelKind::Sage, 256);
+    let par_v =
+        distdgl_grid_threaded(&g, &split, &timed_v, &grid, ModelKind::Sage, 256, nested);
+    assert_eq!(par_v, serial_v, "distdgl grid: sweep 4 x engine 4");
+
+    let params = PaperParams::middle();
+    let soak_timed: Vec<_> = timed_e.into_iter().take(1).collect();
+    let serial_soak = distgnn_chaos_soak(&g, &soak_timed, params, 8, 5.0, 2, 0xc4a05);
+    let par_soak =
+        distgnn_chaos_soak_threaded(&g, &soak_timed, params, 8, 5.0, 2, 0xc4a05, nested);
+    assert_eq!(par_soak, serial_soak, "distgnn chaos soak: sweep 4 x engine 4");
 }
 
 #[test]
