@@ -32,6 +32,15 @@
 //!   exactly-once delivery and that the bounded-staleness degraded mode
 //!   is never worse than abort-and-recover, plus `BENCH_netchaos.json`
 //!   (extension; the soak behind `gnnpart netchaos`).
+//! * `stream` — streaming dynamic-graph sweep: every partitioner of
+//!   both rosters replays a seeded mutation stream under each
+//!   repartition policy (never / threshold / periodic), the partition
+//!   maintained incrementally with the modeled repartition cost
+//!   charged in simulated seconds, the stream contract (bit-identical
+//!   reruns, traced == untraced, policies never worse than `never`)
+//!   verified per row, plus `BENCH_stream.json` with the per-batch
+//!   quality-decay curves and recovered speedups (extension; the
+//!   sweep behind `gnnpart stream`).
 //!
 //! ```text
 //! cargo run -p gp-bench --release --bin ablations -- all
@@ -91,6 +100,7 @@ fn main() {
         "diagnose" => diagnose(&ctx, quick),
         "chaos" => chaos(&ctx, quick),
         "netchaos" => netchaos(&ctx, quick),
+        "stream" => stream(&ctx, quick),
         "all" => {
             hdrf_lambda(&ctx);
             hep_tau(&ctx);
@@ -106,12 +116,13 @@ fn main() {
             diagnose(&ctx, quick);
             chaos(&ctx, quick);
             netchaos(&ctx, quick);
+            stream(&ctx, quick);
         }
         other => {
             eprintln!(
                 "unknown ablation {other:?} \
                  (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|\
-                 mitigation|phases|diagnose|chaos|netchaos|all) [--quick] [--threads N|auto] \
+                 mitigation|phases|diagnose|chaos|netchaos|stream|all) [--quick] [--threads N|auto] \
                  [--engine-threads N|auto]"
             );
             std::process::exit(2);
@@ -686,6 +697,76 @@ fn netchaos(ctx: &Ctx, quick: bool) {
         );
     }
     write_artifact(ctx, "BENCH_netchaos.json", &netchaos_bench_json(&gnn_rows, &dgl_rows));
+}
+
+/// Streaming dynamic-graph sweep: every partitioner of both rosters
+/// replays the same seeded mutation stream through its engine's
+/// `.stream(..)` `RunSpec` leg once per repartition policy (never /
+/// threshold-on-imbalance / periodic), training one epoch per batch on
+/// the live snapshot while the partition is maintained incrementally
+/// and policy-triggered full repartitions are charged their modeled
+/// cost in simulated seconds (extension; the sweep behind `gnnpart
+/// stream`). Per row the stream contract is checked: bit-identical
+/// reruns, traced == untraced, and — the adopt-only gate — no policy
+/// worse than the `never` baseline on total training time. A red
+/// invariant aborts the ablation. Emits per-engine CSVs plus
+/// `BENCH_stream.json` with the per-batch quality-decay curves,
+/// repartition counts/costs, recovered speedups and amortization
+/// epochs; all artifacts are deterministic — bit-identical across
+/// `--threads` choices and repeated runs (no wall-clock fields).
+fn stream(ctx: &Ctx, quick: bool) {
+    use gp_core::registry;
+    use gp_core::stream_sweep::{
+        distdgl_stream_sweep_threaded, distgnn_stream_sweep_threaded, stream_bench_json,
+        stream_policies, stream_table,
+    };
+    let (k, batches) = if quick { (4, 6) } else { (8, 10) };
+    let spec = gp_graph::StreamSpec::paper_default(batches, 0xd21f7);
+    let policies = stream_policies();
+    let graph = ctx.graph(DatasetId::OR);
+    let gnn_rows = distgnn_stream_sweep_threaded(
+        &graph,
+        registry::edge_partitioner_names(),
+        k,
+        PaperParams::middle(),
+        &spec,
+        &policies,
+        1,
+        ctx.threads,
+    );
+    ctx.emit(&stream_table("ablation_stream_distgnn", &gnn_rows));
+
+    let split = ctx.split(DatasetId::OR);
+    let dgl_rows = distdgl_stream_sweep_threaded(
+        &graph,
+        &split,
+        registry::vertex_partitioner_names(),
+        k,
+        PaperParams::middle(),
+        ModelKind::Sage,
+        1024,
+        &spec,
+        &policies,
+        1,
+        ctx.threads,
+    );
+    ctx.emit(&stream_table("ablation_stream_distdgl", &dgl_rows));
+
+    for r in gnn_rows.iter().chain(&dgl_rows) {
+        assert!(
+            r.holds(),
+            "{}/{}: stream contract violated (completed {}/{}, deterministic={}, \
+             trace_transparent={}, never_worse={})",
+            r.name,
+            r.policy,
+            r.completed_batches,
+            r.batches,
+            r.deterministic,
+            r.trace_transparent,
+            r.never_worse,
+        );
+    }
+    write_artifact(ctx, "BENCH_stream.json", &stream_bench_json(&gnn_rows, &dgl_rows));
 }
 
 /// Write a non-CSV diagnose artifact (Prometheus text, markdown report,

@@ -119,6 +119,32 @@ COMMANDS:
         --prom-out FILE             Prometheus text exposition of one
                                     traced partitioned run (includes
                                     the gnnpart_net_* counter families)
+    stream <edge-list>          streaming dynamic-graph sweep: every
+                                partitioner of the chosen system
+                                replays the same seeded mutation
+                                stream (edge inserts/deletes + vertex
+                                arrivals) once per repartition policy
+                                (never / threshold / periodic),
+                                training one epoch per batch while the
+                                partition is maintained incrementally;
+                                full repartitions are charged their
+                                modeled cost in simulated seconds and
+                                adopted only when not worse. Verifies
+                                per row: bit-identical reruns, traced
+                                == untraced, and no policy worse than
+                                never-repartition. Exits non-zero if
+                                any invariant fails. (accepts every
+                                simulate option except the fault
+                                family — the stream runs on a healthy
+                                cluster; --algo narrows the roster,
+                                default all, plus:)
+        --batches N                 stream length in batches
+                                    (default 8, must be at least 1)
+        --stream-seed N             mutation-stream seed (default 42)
+        --threads N|auto            gp-exec pool width (default auto;
+                                    rows identical for every width)
+        --bench-out FILE            machine-readable JSON verdict
+        --csv-out FILE              per-(partitioner, policy) CSV table
     list                        list the 12 partitioners
     help                        this text
 ";
@@ -142,6 +168,8 @@ pub enum Command {
     Chaos(ChaosCmd),
     /// `gnnpart netchaos`.
     NetChaos(NetChaosCmd),
+    /// `gnnpart stream`.
+    Stream(StreamCmd),
     /// `gnnpart recommend`.
     Recommend(RecommendCmd),
     /// `gnnpart list`.
@@ -298,6 +326,31 @@ pub struct NetChaosCmd {
     pub prom_out: Option<PathBuf>,
 }
 
+/// Options of `gnnpart stream`: a streaming dynamic-graph sweep over
+/// the partitioner roster × the repartition-policy trio, with the
+/// stream contract (determinism, trace transparency, policies never
+/// worse than `never`) checked per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamCmd {
+    /// The simulation environment (same options as `gnnpart simulate`
+    /// minus the fault family — the stream runs on a healthy cluster).
+    /// `algo` narrows the roster (`"all"` sweeps every partitioner of
+    /// the chosen system); `epochs` is ignored — the horizon is
+    /// `batches`.
+    pub sim: SimulateCmd,
+    /// Stream length in batches (one training epoch each).
+    pub batches: u32,
+    /// Seed of the mutation stream.
+    pub stream_seed: u64,
+    /// `gp-exec` pool width for the per-partitioner cells (rows are
+    /// bit-identical for every width).
+    pub threads: Threads,
+    /// Optional machine-readable JSON verdict output path.
+    pub bench_out: Option<PathBuf>,
+    /// Optional per-(partitioner, policy) CSV table output path.
+    pub csv_out: Option<PathBuf>,
+}
+
 /// Options of `gnnpart recommend`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecommendCmd {
@@ -373,6 +426,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "diagnose" => parse_diagnose(&mut opts),
         "chaos" => parse_chaos(&mut opts),
         "netchaos" => parse_netchaos(&mut opts),
+        "stream" => parse_stream(&mut opts),
         "recommend" => parse_recommend(&mut opts),
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -702,6 +756,77 @@ fn parse_netchaos(opts: &mut Opts) -> Result<Command, ParseError> {
         }
     }
     Ok(Command::NetChaos(cmd))
+}
+
+fn parse_stream(opts: &mut Opts) -> Result<Command, ParseError> {
+    let Some(input) = opts.next() else {
+        return err("stream requires an edge-list path");
+    };
+    let mut sim = default_simulate(PathBuf::from(input));
+    // The sweep's point is the roster-wide decay comparison, and the
+    // stream leg composes with nothing else: the fault knobs are
+    // rejected below rather than silently ignored.
+    sim.algo = "all".into();
+    let mut cmd = StreamCmd {
+        sim,
+        batches: 8,
+        stream_seed: 42,
+        threads: Threads::auto(),
+        bench_out: None,
+        csv_out: None,
+    };
+    while let Some(flag) = opts.next() {
+        match flag.as_str() {
+            "--batches" => {
+                cmd.batches = opts
+                    .value_for("--batches")?
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --batches: {e}")))?;
+                if cmd.batches == 0 {
+                    return err("--batches must be at least 1");
+                }
+            }
+            "--stream-seed" => {
+                cmd.stream_seed = opts
+                    .value_for("--stream-seed")?
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --stream-seed: {e}")))?;
+            }
+            "--threads" => {
+                let value = opts.value_for("--threads")?;
+                cmd.threads = Threads::parse(&value).ok_or_else(|| {
+                    ParseError(format!(
+                        "--threads expects a count or \"auto\", got {value:?}"
+                    ))
+                })?;
+            }
+            "--bench-out" => {
+                cmd.bench_out = Some(PathBuf::from(opts.value_for("--bench-out")?));
+            }
+            "--csv-out" => cmd.csv_out = Some(PathBuf::from(opts.value_for("--csv-out")?)),
+            // The stream leg composes with no other RunSpec leg, and
+            // its horizon is the batch count — accepting these would
+            // suggest otherwise.
+            "--faults" | "--mtbf" | "--fault-seed" | "--checkpoint-every" => {
+                return err(format!(
+                    "stream runs on a healthy cluster; {flag} belongs to \
+                     `gnnpart simulate --faults`"
+                ));
+            }
+            "--mitigate" => {
+                return err("stream runs unmitigated; `gnnpart simulate` takes --mitigate");
+            }
+            "--epochs" => {
+                return err("stream trains one epoch per batch; use --batches for the horizon");
+            }
+            other => {
+                if !apply_simulate_flag(&mut cmd.sim, other, opts)? {
+                    return err(format!("unknown option {other:?}"));
+                }
+            }
+        }
+    }
+    Ok(Command::Stream(cmd))
 }
 
 fn parse_recommend(opts: &mut Opts) -> Result<Command, ParseError> {
@@ -1123,6 +1248,76 @@ mod tests {
             .0
             .contains("unknown option"));
         assert!(parse(&["netchaos", "g.el", "--threads", "many"])
+            .unwrap_err()
+            .0
+            .contains("--threads expects"));
+    }
+
+    #[test]
+    fn stream_defaults() {
+        let Command::Stream(c) = parse(&["stream", "g.el"]).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.sim.algo, "all", "whole roster by default");
+        assert!(!c.sim.faults, "stream runs healthy");
+        assert_eq!(c.sim.system, "distgnn");
+        assert_eq!(c.batches, 8);
+        assert_eq!(c.stream_seed, 42);
+        assert_eq!(c.threads, Threads::auto());
+        assert_eq!(c.bench_out, None);
+        assert_eq!(c.csv_out, None);
+    }
+
+    #[test]
+    fn stream_composes_simulate_and_stream_flags() {
+        let Command::Stream(c) = parse(&[
+            "stream", "g.el", "--system", "distdgl", "--algo", "LDG", "-k", "6",
+            "--model", "gcn", "--batches", "12", "--stream-seed", "7",
+            "--threads", "2", "--engine-threads", "4", "--bench-out", "b.json",
+            "--csv-out", "c.csv",
+        ])
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.sim.system, "distdgl");
+        assert_eq!(c.sim.algo, "LDG");
+        assert_eq!(c.sim.k, 6);
+        assert_eq!(c.sim.model, "gcn");
+        assert_eq!(c.batches, 12);
+        assert_eq!(c.stream_seed, 7);
+        assert_eq!(c.threads, Threads::new(2));
+        assert_eq!(c.sim.engine_threads, Threads::new(4));
+        assert_eq!(c.bench_out, Some(PathBuf::from("b.json")));
+        assert_eq!(c.csv_out, Some(PathBuf::from("c.csv")));
+    }
+
+    #[test]
+    fn stream_rejects_fault_family_and_unknowns() {
+        assert!(parse(&["stream"]).unwrap_err().0.contains("edge-list path"));
+        for flag in ["--faults", "--mtbf", "--fault-seed", "--checkpoint-every"] {
+            assert!(
+                parse(&["stream", "g.el", flag, "3"])
+                    .unwrap_err()
+                    .0
+                    .contains("healthy cluster"),
+                "{flag}"
+            );
+        }
+        assert!(parse(&["stream", "g.el", "--mitigate", "all"])
+            .unwrap_err()
+            .0
+            .contains("runs unmitigated"));
+        assert!(parse(&["stream", "g.el", "--epochs", "5"])
+            .unwrap_err()
+            .0
+            .contains("use --batches"));
+        assert!(parse(&["stream", "g.el", "--batches", "0"])
+            .unwrap_err()
+            .0
+            .contains("--batches must be at least 1"));
+        assert!(parse(&["stream", "g.el", "--batches", "zz"]).unwrap_err().0.contains("bad --batches"));
+        assert!(parse(&["stream", "g.el", "--bogus"]).unwrap_err().0.contains("unknown option"));
+        assert!(parse(&["stream", "g.el", "--threads", "many"])
             .unwrap_err()
             .0
             .contains("--threads expects"));

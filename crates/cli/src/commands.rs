@@ -17,7 +17,7 @@ use gp_tensor::{ModelConfig, ModelKind};
 
 use crate::args::{
     ChaosCmd, DiagnoseCmd, GenerateCmd, NetChaosCmd, PartitionCmd, RecommendCmd, SimulateCmd,
-    StatsCmd, TraceCmd,
+    StatsCmd, StreamCmd, TraceCmd,
 };
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -835,6 +835,146 @@ pub fn netchaos(cmd: &NetChaosCmd) -> CmdResult {
     Ok(())
 }
 
+/// `gnnpart stream`.
+///
+/// Streaming dynamic-graph sweep: every partitioner of the chosen
+/// system (or the single `--algo`) replays the same seeded mutation
+/// stream once per repartition policy (never / threshold / periodic),
+/// training one epoch per batch on the live snapshot while the
+/// partition is maintained incrementally and policy-triggered full
+/// repartitions are charged their modeled cost in simulated seconds.
+/// The stream contract is verified per row — the rerun is
+/// bit-identical, the traced run equals the untraced one, and no
+/// policy is worse than the `never` baseline on total training time
+/// (the engines adopt a repartition only when it is not worse). Any
+/// red invariant makes the command return an error (exit 1), so a CI
+/// step can gate on it directly.
+pub fn stream(cmd: &StreamCmd) -> CmdResult {
+    use gp_core::config::PaperParams;
+    use gp_core::stream_sweep::{
+        distdgl_stream_sweep_threaded, distgnn_stream_sweep_threaded, stream_bench_json,
+        stream_policies, stream_table,
+    };
+    use gp_graph::StreamSpec;
+    let sim = &cmd.sim;
+    let graph = load(&sim.input, sim.directed)?;
+    let kind = ModelKind::parse(&sim.model)
+        .ok_or_else(|| format!("unknown model {:?} (sage|gcn|gat)", sim.model))?;
+    let params = PaperParams {
+        feature_size: sim.features,
+        hidden_dim: sim.hidden,
+        num_layers: sim.layers,
+    };
+    let spec = StreamSpec::paper_default(cmd.batches, cmd.stream_seed);
+    let policies = stream_policies();
+    let rows = match sim.system.as_str() {
+        "distgnn" => {
+            let names: Vec<&str> = registry::edge_partitioner_names()
+                .iter()
+                .copied()
+                .filter(|n| sim.algo == "all" || *n == sim.algo)
+                .collect();
+            if names.is_empty() {
+                return Err(format!("{:?} is not an edge partitioner", sim.algo).into());
+            }
+            println!(
+                "stream: DistGNN, {} machines, {} partitioner(s) x {} policies, \
+                 {} batches (stream seed {})",
+                sim.k,
+                names.len(),
+                policies.len(),
+                cmd.batches,
+                cmd.stream_seed
+            );
+            distgnn_stream_sweep_threaded(
+                &graph,
+                &names,
+                sim.k,
+                params,
+                &spec,
+                &policies,
+                42,
+                Parallelism::new(cmd.threads, sim.engine_threads),
+            )
+        }
+        "distdgl" => {
+            let split = VertexSplit::paper_default(graph.num_vertices(), 42)?;
+            let names: Vec<&str> = registry::vertex_partitioner_names()
+                .iter()
+                .copied()
+                .filter(|n| sim.algo == "all" || *n == sim.algo)
+                .collect();
+            if names.is_empty() {
+                return Err(format!("{:?} is not a vertex partitioner", sim.algo).into());
+            }
+            println!(
+                "stream: DistDGL, {} machines, {} partitioner(s) x {} policies, \
+                 {} batches (stream seed {})",
+                sim.k,
+                names.len(),
+                policies.len(),
+                cmd.batches,
+                cmd.stream_seed
+            );
+            distdgl_stream_sweep_threaded(
+                &graph,
+                &split,
+                &names,
+                sim.k,
+                params,
+                kind,
+                1024,
+                &spec,
+                &policies,
+                42,
+                Parallelism::new(cmd.threads, sim.engine_threads),
+            )
+        }
+        other => return Err(format!("unknown system {other:?} (distgnn|distdgl)").into()),
+    };
+    let table = stream_table(&format!("stream_{}", sim.system), &rows);
+    print!("{}", table.to_markdown());
+    for r in rows.iter().filter(|r| !r.holds()) {
+        println!(
+            "FAIL {}/{}: completed {}/{}, deterministic={}, trace_transparent={}, \
+             never_worse={}",
+            r.name,
+            r.policy,
+            r.completed_batches,
+            r.batches,
+            r.deterministic,
+            r.trace_transparent,
+            r.never_worse
+        );
+    }
+    if let Some(csv) = &cmd.csv_out {
+        std::fs::write(csv, table.to_csv())?;
+        println!("stream CSV  -> {}", csv.display());
+    }
+    if let Some(bench) = &cmd.bench_out {
+        let json = match sim.system.as_str() {
+            "distgnn" => stream_bench_json(&rows, &[]),
+            _ => stream_bench_json(&[], &rows),
+        };
+        std::fs::write(bench, json)?;
+        println!("stream JSON -> {}", bench.display());
+    }
+    let failed = rows.iter().filter(|r| !r.holds()).count();
+    if failed > 0 {
+        return Err(format!(
+            "{failed} of {} stream rows violated the stream contract",
+            rows.len()
+        )
+        .into());
+    }
+    println!(
+        "all {} rows green: bit-identical reruns, traced == untraced, \
+         no adopted repartition regressed on quality or epoch time",
+        rows.len()
+    );
+    Ok(())
+}
+
 fn fault_plan(cmd: &SimulateCmd) -> FaultPlan {
     FaultPlan::generate(&FaultSpec::standard(cmd.k, cmd.epochs, cmd.mtbf, cmd.fault_seed))
 }
@@ -1238,6 +1378,75 @@ mod tests {
         sim.checkpoint_every = 2;
         let r = chaos(&ChaosCmd {
             sim,
+            threads: gp_exec::Threads::new(1),
+            bench_out: None,
+            csv_out: None,
+        });
+        assert!(r.unwrap_err().to_string().contains("not a vertex partitioner"));
+        let _ = std::fs::remove_file(el);
+    }
+
+    #[test]
+    fn stream_single_partitioner_writes_artifacts_and_holds() {
+        let el = tmp("st.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        let bench = tmp("st.json");
+        let csv = tmp("st.csv");
+        let cmd = StreamCmd {
+            sim: sim_cmd(&el, "HDRF", "distgnn", "sage"),
+            batches: 5,
+            stream_seed: 7,
+            threads: gp_exec::Threads::new(2),
+            bench_out: Some(bench.clone()),
+            csv_out: Some(csv.clone()),
+        };
+        stream(&cmd).unwrap();
+        let json = std::fs::read_to_string(&bench).unwrap();
+        crate::jsonlint::validate_json(&json).expect("well-formed stream JSON");
+        assert!(json.contains("\"bench\":\"stream\""));
+        assert!(json.contains("\"invariants_hold\":true"));
+        assert!(!json.contains("\"invariants_hold\":false"));
+        let rows = std::fs::read_to_string(&csv).unwrap();
+        assert!(rows.starts_with("partitioner,"));
+        assert_eq!(rows.lines().count(), 4, "header + HDRF x 3 policies");
+        assert!(rows.contains("never") && rows.contains("threshold") && rows.contains("periodic"));
+        // Repeated sweeps produce byte-identical artifacts (no
+        // wall-clock fields anywhere in the stream pipeline).
+        stream(&cmd).unwrap();
+        assert_eq!(std::fs::read_to_string(&bench).unwrap(), json, "sweep deterministic");
+        for f in [el, bench, csv] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn stream_distdgl_and_wrong_algo_kind() {
+        let el = tmp("std.el");
+        generate(GenerateCmd {
+            dataset: "OR".into(),
+            scale: GraphScale::Tiny,
+            out: Some(el.clone()),
+        })
+        .unwrap();
+        stream(&StreamCmd {
+            sim: sim_cmd(&el, "LDG", "distdgl", "sage"),
+            batches: 4,
+            stream_seed: 1,
+            threads: gp_exec::Threads::new(2),
+            bench_out: None,
+            csv_out: None,
+        })
+        .unwrap();
+        // HDRF is an edge partitioner; the distdgl roster has no such row.
+        let r = stream(&StreamCmd {
+            sim: sim_cmd(&el, "HDRF", "distdgl", "sage"),
+            batches: 3,
+            stream_seed: 1,
             threads: gp_exec::Threads::new(1),
             bench_out: None,
             csv_out: None,

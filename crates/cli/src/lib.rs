@@ -11,6 +11,7 @@
 //! gnnpart diagnose or.el --algo HDRF -k 8 --prom-out m.prom --report-out r.md
 //! gnnpart chaos or.el -k 8 --epochs 20                 # elastic-membership soak
 //! gnnpart netchaos or.el -k 8 --epochs 20              # + message-level net faults
+//! gnnpart stream or.el -k 8 --batches 12               # dynamic-graph decay sweep
 //! gnnpart recommend or.el -k 8 --epochs 200               # best partitioner
 //! gnnpart list                                         # available partitioners
 //! ```
@@ -35,6 +36,7 @@ pub fn run(command: Command) -> i32 {
         Command::Diagnose(c) => commands::diagnose(&c),
         Command::Chaos(c) => commands::chaos(&c),
         Command::NetChaos(c) => commands::netchaos(&c),
+        Command::Stream(c) => commands::stream(&c),
         Command::Recommend(c) => commands::recommend(c),
         Command::List => {
             commands::list();

@@ -48,6 +48,13 @@
 //! netchaos`. [`backoff`] is the shared capped-exponential retry ladder
 //! (deterministic jitter) both that transport and the engines' scalar
 //! loss paths charge through.
+//!
+//! [`stream`] declares the dynamic-graph run leg: a [`StreamLeg`]
+//! attaches a `gp_graph::stream` mutation schedule and a
+//! `gp_partition` repartition policy to a [`RunSpec`], and the engines
+//! answer with per-batch [`StreamBatchReport`] quality-decay rows
+//! (replication factor / edge-cut / balance as the stream ages, and
+//! the modeled, simulated-seconds cost of adopted repartitions).
 
 pub mod backoff;
 pub mod checkpoint;
@@ -60,6 +67,7 @@ pub mod net;
 pub mod outcome;
 pub mod runspec;
 pub mod spec;
+pub mod stream;
 pub mod time;
 pub mod trace;
 
@@ -90,5 +98,6 @@ pub use net::{
 pub use outcome::EpochOutcome;
 pub use runspec::{ElasticSpec, NetSpec, RunSpec, RunSpecError, Scenario};
 pub use spec::{ClusterSpec, MachineSpec, NetworkSpec, SpecError};
+pub use stream::{StreamBatchReport, StreamLeg, StreamRunReport};
 pub use time::{compute_time, transfer_time};
 pub use trace::{CounterEvent, PhaseRow, Span, TracePhase, TraceSink};

@@ -667,6 +667,71 @@ impl MetricsSnapshot {
                 ));
             }
         }
+        // Streaming dynamic-graph families, present only when a run
+        // actually recorded `stream_*` counters (the stream path), so
+        // artifacts of every other path stay byte-identical. Quality
+        // metrics fluctuate, so they export as gauges with the *peak*
+        // (worst decay) value; the repartition tallies are cumulative
+        // counters.
+        let stream_families: [(&str, &str, &str, &str); 7] = [
+            (
+                crate::trace::counter_names::STREAM_LIVE_EDGES,
+                "gnnpart_stream_live_edges",
+                "gauge",
+                "Live edges in the stream snapshot (peak over batches).",
+            ),
+            (
+                crate::trace::counter_names::STREAM_REPLICATION_FACTOR,
+                "gnnpart_stream_replication_factor",
+                "gauge",
+                "Replication factor as the stream ages (peak = worst decay).",
+            ),
+            (
+                crate::trace::counter_names::STREAM_EDGE_CUT,
+                "gnnpart_stream_edge_cut",
+                "gauge",
+                "Edge-cut ratio as the stream ages (peak = worst decay).",
+            ),
+            (
+                crate::trace::counter_names::STREAM_BALANCE,
+                "gnnpart_stream_balance",
+                "gauge",
+                "Partition balance (max/mean) as the stream ages (peak).",
+            ),
+            (
+                crate::trace::counter_names::STREAM_TRAIN_BALANCE,
+                "gnnpart_stream_train_balance",
+                "gauge",
+                "Training-vertex balance as the stream ages (peak).",
+            ),
+            (
+                crate::trace::counter_names::STREAM_REPARTITIONS,
+                "gnnpart_stream_repartitions_total",
+                "counter",
+                "Adopted full repartitions over the stream.",
+            ),
+            (
+                crate::trace::counter_names::STREAM_PARTITION_SECONDS,
+                "gnnpart_stream_partition_seconds_total",
+                "counter",
+                "Modeled repartitioning cost in simulated seconds.",
+            ),
+        ];
+        for (counter, family, kind, help) in stream_families {
+            let rows: Vec<_> =
+                self.counters.iter().filter(|((_, name), _)| *name == counter).collect();
+            if rows.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("# HELP {family} {help}\n# TYPE {family} {kind}\n"));
+            for ((worker, _), c) in rows {
+                out.push_str(&format!(
+                    "{family}{{worker=\"{}\"}} {}\n",
+                    worker_label(*worker),
+                    prom_f64(c.peak)
+                ));
+            }
+        }
         out
     }
 }
@@ -1012,6 +1077,46 @@ mod tests {
         assert!(text.contains("gnnpart_net_retry_seconds_total{worker=\"0\"} 0.5"));
         assert!(text.contains("gnnpart_net_dup_discarded_total{worker=\"0\"} 3"));
         assert!(text.contains("gnnpart_net_partition_epochs_total{worker=\"0\"} 2"));
+        // The untouched prefix (pre-existing families) is unchanged.
+        assert!(text.starts_with(&without));
+    }
+
+    #[test]
+    fn prometheus_stream_families_appear_only_when_recorded() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe_span(&span(0, 0, TracePhase::Forward, 1.5e-4, 64));
+        let without = reg.snapshot().to_prometheus();
+        assert!(!without.contains("gnnpart_stream_"), "no stream counters, no stream families");
+        let samples: [(&str, f64); 7] = [
+            (crate::trace::counter_names::STREAM_LIVE_EDGES, 120.0),
+            (crate::trace::counter_names::STREAM_REPLICATION_FACTOR, 2.5),
+            (crate::trace::counter_names::STREAM_EDGE_CUT, 0.75),
+            (crate::trace::counter_names::STREAM_BALANCE, 1.25),
+            (crate::trace::counter_names::STREAM_TRAIN_BALANCE, 1.5),
+            (crate::trace::counter_names::STREAM_REPARTITIONS, 3.0),
+            (crate::trace::counter_names::STREAM_PARTITION_SECONDS, 0.125),
+        ];
+        for (name, value) in samples {
+            reg.observe_counter(&CounterEvent { t: 0.0, worker: 0, name, value });
+        }
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(text.matches("# TYPE gnnpart_stream_live_edges gauge").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_stream_replication_factor gauge").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_stream_edge_cut gauge").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_stream_balance gauge").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_stream_train_balance gauge").count(), 1);
+        assert_eq!(text.matches("# TYPE gnnpart_stream_repartitions_total counter").count(), 1);
+        assert_eq!(
+            text.matches("# TYPE gnnpart_stream_partition_seconds_total counter").count(),
+            1
+        );
+        assert!(text.contains("gnnpart_stream_live_edges{worker=\"0\"} 120"));
+        assert!(text.contains("gnnpart_stream_replication_factor{worker=\"0\"} 2.5"));
+        assert!(text.contains("gnnpart_stream_edge_cut{worker=\"0\"} 0.75"));
+        assert!(text.contains("gnnpart_stream_balance{worker=\"0\"} 1.25"));
+        assert!(text.contains("gnnpart_stream_train_balance{worker=\"0\"} 1.5"));
+        assert!(text.contains("gnnpart_stream_repartitions_total{worker=\"0\"} 3"));
+        assert!(text.contains("gnnpart_stream_partition_seconds_total{worker=\"0\"} 0.125"));
         // The untouched prefix (pre-existing families) is unchanged.
         assert!(text.starts_with(&without));
     }

@@ -22,11 +22,15 @@
 //! faults without the elastic substrate they run on) are rejected up
 //! front as [`RunSpecError`]s instead of panicking mid-run.
 
+use gp_graph::StreamSpec;
+use gp_partition::RepartitionPolicy;
+
 use crate::checkpoint::CheckpointConfig;
 use crate::detect::MitigationPolicy;
 use crate::faults::FaultPlan;
 use crate::membership::{ChurnPlan, ElasticOptions};
 use crate::net::{NetFaultPlan, NetRunOptions};
+use crate::stream::StreamLeg;
 
 /// The elastic-membership leg of a [`RunSpec`]: a churn schedule plus
 /// the checkpoint and handoff policies that make it survivable.
@@ -61,6 +65,8 @@ pub struct RunSpec {
     mitigate: Option<MitigationPolicy>,
     elastic: Option<ElasticSpec>,
     net: Option<NetSpec>,
+    stream: Option<StreamLeg>,
+    stream_partitioner: Option<String>,
 }
 
 impl RunSpec {
@@ -113,6 +119,29 @@ impl RunSpec {
         self
     }
 
+    /// Replay a dynamic-graph mutation stream, training one epoch per
+    /// batch on the live snapshot while the engine's partition is
+    /// maintained incrementally. Composes with no other leg; the run
+    /// horizon is the stream's batch count (the `epochs` setter is
+    /// ignored). The incremental partitioner defaults to the engine's
+    /// streaming default (HDRF / LDG); override it with
+    /// [`RunSpec::stream_partitioner`].
+    #[must_use]
+    pub fn stream(mut self, spec: StreamSpec, policy: RepartitionPolicy) -> Self {
+        self.stream = Some(StreamLeg { spec, policy, partitioner: None });
+        self
+    }
+
+    /// Name the partitioner the stream leg drives incrementally (and
+    /// re-runs on adopted repartitions). Order-independent with
+    /// [`RunSpec::stream`]; resolving a spec that names a partitioner
+    /// but never called [`RunSpec::stream`] is an error.
+    #[must_use]
+    pub fn stream_partitioner(mut self, name: impl Into<String>) -> Self {
+        self.stream_partitioner = Some(name.into());
+        self
+    }
+
     /// The run horizon in epochs.
     pub fn num_epochs(&self) -> u32 {
         self.epochs
@@ -133,6 +162,22 @@ impl RunSpec {
     /// when message-level faults are requested without the elastic
     /// fleet they act on.
     pub fn scenario(&self) -> Result<Scenario<'_>, RunSpecError> {
+        if let Some(leg) = &self.stream {
+            if self.faults.is_some()
+                || self.mitigate.is_some()
+                || self.elastic.is_some()
+                || self.net.is_some()
+            {
+                return Err(RunSpecError::StreamWithOtherLegs);
+            }
+            return Ok(Scenario::Stream {
+                leg,
+                partitioner: self.stream_partitioner.as_deref().or(leg.partitioner.as_deref()),
+            });
+        }
+        if self.stream_partitioner.is_some() {
+            return Err(RunSpecError::StreamPartitionerWithoutStream);
+        }
         if self.mitigate.is_some() && (self.elastic.is_some() || self.net.is_some()) {
             return Err(RunSpecError::MitigateWithElastic);
         }
@@ -187,6 +232,15 @@ pub enum Scenario<'a> {
         /// Message-level fault schedule and partition policy.
         net: &'a NetSpec,
     },
+    /// Dynamic-graph stream replay: one training epoch per mutation
+    /// batch on the live snapshot, partition maintained incrementally.
+    Stream {
+        /// Mutation schedule and repartition policy.
+        leg: &'a StreamLeg,
+        /// Partitioner override ([`RunSpec::stream_partitioner`] wins
+        /// over the leg's own field; `None` = engine default).
+        partitioner: Option<&'a str>,
+    },
 }
 
 /// Rejected [`RunSpec`] combinations.
@@ -198,6 +252,13 @@ pub enum RunSpecError {
     /// Message-level network faults without the elastic fleet they act
     /// on.
     NetWithoutElastic,
+    /// A stream leg composed with faults, mitigation, elastic
+    /// membership or network faults — the stream path rebuilds the
+    /// training substrate every batch and supports none of them.
+    StreamWithOtherLegs,
+    /// [`RunSpec::stream_partitioner`] named a partitioner but no
+    /// stream leg was attached with [`RunSpec::stream`].
+    StreamPartitionerWithoutStream,
 }
 
 impl std::fmt::Display for RunSpecError {
@@ -208,6 +269,12 @@ impl std::fmt::Display for RunSpecError {
             }
             RunSpecError::NetWithoutElastic => {
                 write!(f, "network faults require an elastic fleet (add .elastic(..))")
+            }
+            RunSpecError::StreamWithOtherLegs => {
+                write!(f, "a stream leg cannot compose with faults/mitigation/elastic/net legs")
+            }
+            RunSpecError::StreamPartitionerWithoutStream => {
+                write!(f, "stream_partitioner set without a stream leg (add .stream(..))")
             }
         }
     }
@@ -275,5 +342,59 @@ mod tests {
     fn errors_display() {
         assert!(RunSpecError::MitigateWithElastic.to_string().contains("mitigation"));
         assert!(RunSpecError::NetWithoutElastic.to_string().contains("elastic"));
+        assert!(RunSpecError::StreamWithOtherLegs.to_string().contains("stream"));
+        assert!(RunSpecError::StreamPartitionerWithoutStream.to_string().contains("stream"));
+    }
+
+    #[test]
+    fn stream_leg_resolves() {
+        let spec = RunSpec::healthy()
+            .stream(StreamSpec::paper_default(4, 1), RepartitionPolicy::Never);
+        match spec.scenario().unwrap() {
+            Scenario::Stream { leg, partitioner } => {
+                assert_eq!(leg.spec.batches, 4);
+                assert_eq!(leg.policy, RepartitionPolicy::Never);
+                assert_eq!(partitioner, None);
+            }
+            other => panic!("expected stream scenario, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_partitioner_is_order_independent() {
+        let before = RunSpec::healthy()
+            .stream_partitioner("HDRF")
+            .stream(StreamSpec::paper_default(2, 0), RepartitionPolicy::Periodic { every: 2 });
+        let after = RunSpec::healthy()
+            .stream(StreamSpec::paper_default(2, 0), RepartitionPolicy::Periodic { every: 2 })
+            .stream_partitioner("HDRF");
+        for spec in [before, after] {
+            match spec.scenario().unwrap() {
+                Scenario::Stream { partitioner, .. } => assert_eq!(partitioner, Some("HDRF")),
+                other => panic!("expected stream scenario, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stream_composes_with_nothing_else() {
+        let spec = RunSpec::healthy()
+            .stream(StreamSpec::paper_default(2, 0), RepartitionPolicy::Never)
+            .faults(FaultPlan::empty());
+        assert_eq!(spec.scenario().unwrap_err(), RunSpecError::StreamWithOtherLegs);
+        let (churn, ckpt, opts) = elastic_args();
+        let spec = RunSpec::healthy()
+            .stream(StreamSpec::paper_default(2, 0), RepartitionPolicy::Never)
+            .elastic(churn, ckpt, opts);
+        assert_eq!(spec.scenario().unwrap_err(), RunSpecError::StreamWithOtherLegs);
+    }
+
+    #[test]
+    fn stream_partitioner_requires_stream_leg() {
+        let spec = RunSpec::healthy().stream_partitioner("LDG");
+        assert_eq!(
+            spec.scenario().unwrap_err(),
+            RunSpecError::StreamPartitionerWithoutStream
+        );
     }
 }

@@ -143,6 +143,21 @@ pub mod counter_names {
     pub const NET_DUP_DISCARDED: &str = "net_dup_discarded";
     /// Cumulative epochs spent inside partition windows (network path).
     pub const NET_PARTITION_EPOCHS: &str = "net_partition_epochs";
+    /// Live edges in the stream snapshot after a batch (stream path).
+    pub const STREAM_LIVE_EDGES: &str = "stream_live_edges";
+    /// Replication factor after a batch (vertex-cut stream path).
+    pub const STREAM_REPLICATION_FACTOR: &str = "stream_replication_factor";
+    /// Edge-cut ratio after a batch (edge-cut stream path).
+    pub const STREAM_EDGE_CUT: &str = "stream_edge_cut";
+    /// Partition balance (max/mean) after a batch (stream path).
+    pub const STREAM_BALANCE: &str = "stream_balance";
+    /// Training-vertex balance after a batch (edge-cut stream path).
+    pub const STREAM_TRAIN_BALANCE: &str = "stream_train_balance";
+    /// Cumulative adopted repartitions (stream path).
+    pub const STREAM_REPARTITIONS: &str = "stream_repartitions";
+    /// Cumulative modeled repartitioning cost in simulated seconds
+    /// (stream path).
+    pub const STREAM_PARTITION_SECONDS: &str = "stream_partition_seconds";
 }
 
 /// A named counter sample at a simulated time (Chrome `ph:"C"` event).

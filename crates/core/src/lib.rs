@@ -27,6 +27,13 @@
 //!   contract (determinism, trace transparency, never-worse handoffs,
 //!   exact span sums) checked per row — behind `gnnpart chaos` and the
 //!   `chaos` ablation (extension).
+//! * [`stream_sweep`] — streaming dynamic-graph sweeps: every
+//!   partitioner replays a seeded mutation stream under each
+//!   repartition policy, with per-batch quality-decay curves, modeled
+//!   repartition costs, recovered speedups, and the stream contract
+//!   (determinism, trace transparency, never-worse adoption) checked
+//!   per row — behind `gnnpart stream` and the `stream` ablation
+//!   (extension).
 //! * [`trace_run`] — traced engine runs feeding the Chrome-JSON /
 //!   phase-CSV exports of the `gnnpart trace` subcommand (extension).
 //! * [`diagnose`] — metrics aggregation and automated run diagnosis
@@ -50,6 +57,7 @@ pub mod fault_sweep;
 pub mod netchaos;
 pub mod registry;
 pub mod report;
+pub mod stream_sweep;
 pub mod sweep;
 pub mod trace_run;
 
@@ -88,6 +96,11 @@ pub mod prelude {
     };
     pub use crate::registry::{edge_partitioner, edge_partitioner_names, vertex_partitioner, vertex_partitioner_names};
     pub use crate::report::{Distribution, Table};
+    pub use crate::stream_sweep::{
+        distdgl_stream_sweep, distdgl_stream_sweep_threaded, distgnn_stream_sweep,
+        distgnn_stream_sweep_threaded, stream_bench_json, stream_policies, stream_table,
+        StreamSweepRow,
+    };
     pub use crate::sweep::{
         distdgl_grid, distdgl_grid_threaded, distgnn_grid, distgnn_grid_threaded,
         DistDglGridOutcome, DistGnnGridOutcome,

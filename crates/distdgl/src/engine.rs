@@ -13,11 +13,15 @@ use gp_cluster::{
     ChurnPlan, ClusterCounters, ClusterSpec, ElasticOptions, ElasticRunReport, EpochOutcome,
     FaultPlan, Fleet, MessageKind, MitigationPolicy, MitigationReport, NetFaultPlan,
     NetRunOptions, NetRunReport, NetworkSpec, PartitionedRunReport, RecoveryReport, RunSpec,
-    Scenario, StragglerDetector, TracePhase, TraceSink,
+    Scenario, StragglerDetector, StreamBatchReport, StreamLeg, StreamRunReport, TracePhase,
+    TraceSink, AGGREGATE_WORKER,
 };
 use gp_exec::{par_map, Threads};
-use gp_graph::{Graph, VertexSplit};
-use gp_partition::VertexPartition;
+use gp_graph::{Graph, StreamGraph, StreamPlan, VertexSplit};
+use gp_partition::{
+    full_vertex_partitioner, modeled_partition_seconds, IncrementalVertexPartitioner,
+    VertexPartition,
+};
 use gp_tensor::flops::{model_param_count, model_train_flops};
 use gp_tensor::ModelConfig;
 use rand::rngs::StdRng;
@@ -287,6 +291,9 @@ pub enum DistDglRunReport {
     Elastic(ElasticRunReport),
     /// Partitioned scenario: the whole-run elastic + network report.
     Partitioned(PartitionedRunReport),
+    /// Stream scenario: one epoch per mutation batch over the aging
+    /// graph.
+    Stream(StreamRunReport),
 }
 
 impl DistDglRunReport {
@@ -363,6 +370,18 @@ impl DistDglRunReport {
         match self {
             DistDglRunReport::Partitioned(r) => r,
             other => panic!("expected a partitioned run report, got {other:?}"),
+        }
+    }
+
+    /// The stream whole-run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is not the `Stream` variant.
+    pub fn into_stream(self) -> StreamRunReport {
+        match self {
+            DistDglRunReport::Stream(r) => r,
+            other => panic!("expected a stream run report, got {other:?}"),
         }
     }
 }
@@ -569,6 +588,8 @@ impl<'a, 'b> DistDglEngineBuilder<'a, 'b> {
         Ok(DistDglEngine {
             graph: self.graph,
             store,
+            partition: self.partition.clone(),
+            split: self.split.clone(),
             config,
             cached,
             trace: self.trace,
@@ -581,6 +602,13 @@ impl<'a, 'b> DistDglEngineBuilder<'a, 'b> {
 pub struct DistDglEngine<'a> {
     graph: &'a Graph,
     store: PartitionedStore,
+    /// Owned copy of the builder's partition — the `t = 0` state the
+    /// stream leg continues from (the builder's reference has a shorter
+    /// lifetime than the engine).
+    partition: VertexPartition,
+    /// Owned copy of the builder's split, reused verbatim for every
+    /// stream snapshot (new vertices join no role).
+    split: VertexSplit,
     config: DistDglConfig,
     /// Mask of vertices whose features every worker caches (the
     /// `feature_cache_entries` highest-degree vertices).
@@ -1087,7 +1115,164 @@ impl<'a> DistDglEngine<'a> {
                     net.options,
                 )
                 .map(DistDglRunReport::Partitioned),
+            Scenario::Stream { leg, partitioner } => {
+                self.run_stream(leg, partitioner).map(DistDglRunReport::Stream)
+            }
         }
+    }
+
+    /// The streaming dynamic-graph leg of [`DistDglEngine::run`].
+    ///
+    /// The engine's own graph/partition are the `t = 0` state. Each
+    /// batch of the seeded mutation stream is applied to a
+    /// [`StreamGraph`]; arriving vertices are placed online by an
+    /// [`IncrementalVertexPartitioner`] (edge insertions and deletions
+    /// never move a placed vertex), and one mini-batch epoch is trained
+    /// on the resulting snapshot with the *base* split — new vertices
+    /// join no train/val/test role. When the repartition policy fires
+    /// (on train-vertex imbalance, the axis that stretches
+    /// `steps_per_epoch`), a candidate full repartition is probed with
+    /// a disabled trace and adopted only if it is no worse on *both*
+    /// edge-cut ratio and probed epoch time; adoption is charged
+    /// `modeled_partition_seconds` — simulated, never wall-clock —
+    /// through a `Migration` span.
+    fn run_stream(
+        &self,
+        leg: &StreamLeg,
+        partitioner: Option<&str>,
+    ) -> Result<StreamRunReport, DistDglError> {
+        let invalid = |e: &dyn std::fmt::Display| DistDglError::InvalidConfig(e.to_string());
+        leg.spec.validate().map_err(|e| invalid(&e))?;
+        leg.policy.validate().map_err(|e| invalid(&e))?;
+        let name = partitioner.unwrap_or("LDG");
+        let full =
+            full_vertex_partitioner(name, Some(self.split.train.clone())).ok_or_else(|| {
+                DistDglError::InvalidConfig(format!(
+                    "unknown edge-cut partitioner '{name}' for a stream run"
+                ))
+            })?;
+        let k = self.partition.k();
+        let seed = leg.spec.seed;
+        let plan = StreamPlan::generate(self.graph, &leg.spec).map_err(|e| invalid(&e))?;
+        let mut live = StreamGraph::new(self.graph);
+        let mut inc =
+            IncrementalVertexPartitioner::from_partition(name, self.graph, &self.partition, seed)
+                .map_err(|e| invalid(&e))?;
+        let mut report = StreamRunReport {
+            partitioner: name.to_string(),
+            policy: leg.policy.label(),
+            batches: Vec::with_capacity(plan.len()),
+        };
+        let mut repartitions = 0u32;
+        let mut repartition_seconds = 0.0f64;
+        for (b, batch) in plan.batches().iter().enumerate() {
+            let b = b as u32;
+            let old_n = live.num_vertices();
+            live.apply(batch).map_err(|e| invalid(&e))?;
+            // Place arrivals in id order: each sees the partitions of
+            // its already-placed wiring neighbours (later same-batch
+            // arrivals are not placed yet and are simply not counted).
+            for v in old_n..old_n + batch.new_vertices {
+                let neighbors: Vec<u32> = batch
+                    .inserts
+                    .iter()
+                    .filter(|&&(x, y)| x == v || y == v)
+                    .filter_map(|&(x, y)| inc.partition_of(if x == v { y } else { x }))
+                    .collect();
+                inc.place_vertex(v, &neighbors).map_err(|e| invalid(&e))?;
+            }
+            let snapshot = live.snapshot().map_err(|e| invalid(&e))?;
+            let mut part = inc.materialize(&snapshot).map_err(|e| invalid(&e))?;
+            let mut repartitioned = false;
+            let mut partition_seconds = 0.0;
+            if leg.policy.should_fire(b, part.subset_balance(&self.split.train)) {
+                let candidate =
+                    full.partition_vertices(&snapshot, k, seed).map_err(|e| invalid(&e))?;
+                // Adopt only if not worse on both axes: cut quality and
+                // the probed epoch time it buys. This keeps
+                // threshold/periodic policies no worse than `never` by
+                // construction.
+                if candidate.edge_cut_ratio() <= part.edge_cut_ratio()
+                    && self.stream_probe(&snapshot, &candidate, b)?
+                        <= self.stream_probe(&snapshot, &part, b)?
+                {
+                    inc = IncrementalVertexPartitioner::from_partition(
+                        name, &snapshot, &candidate, seed,
+                    )
+                    .map_err(|e| invalid(&e))?;
+                    part = candidate;
+                    repartitioned = true;
+                    partition_seconds =
+                        modeled_partition_seconds(name, u64::from(snapshot.num_edges()));
+                    repartitions += 1;
+                    repartition_seconds += partition_seconds;
+                    self.trace.set_epoch(b);
+                    self.trace.span(
+                        AGGREGATE_WORKER,
+                        0,
+                        TracePhase::Migration,
+                        self.trace.now(),
+                        partition_seconds,
+                        0,
+                        0,
+                    );
+                    self.trace.advance(partition_seconds);
+                }
+            }
+            let epoch_seconds = {
+                let inner = DistDglEngine::builder(&snapshot, &part, &self.split)
+                    .config(self.config.clone())
+                    .threads(self.threads)
+                    .trace(self.trace.clone())
+                    .build()?;
+                inner.healthy_epoch(b).epoch_time()
+            };
+            if self.trace.is_enabled() {
+                let t = &self.trace;
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_LIVE_EDGES,
+                    f64::from(snapshot.num_edges()));
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_EDGE_CUT,
+                    part.edge_cut_ratio());
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_BALANCE,
+                    part.vertex_balance());
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_TRAIN_BALANCE,
+                    part.subset_balance(&self.split.train));
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_REPARTITIONS,
+                    f64::from(repartitions));
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_PARTITION_SECONDS,
+                    repartition_seconds);
+            }
+            report.batches.push(StreamBatchReport {
+                batch: b,
+                num_vertices: snapshot.num_vertices(),
+                num_edges: u64::from(snapshot.num_edges()),
+                mutations: batch.num_mutations() as u32,
+                replication_factor: 0.0,
+                edge_cut: part.edge_cut_ratio(),
+                balance: part.vertex_balance(),
+                train_balance: part.subset_balance(&self.split.train),
+                repartitioned,
+                partition_seconds,
+                epoch_seconds,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Probed epoch time of `part` on `snapshot` with tracing disabled —
+    /// the second axis of the stream repartition adoption gate.
+    fn stream_probe(
+        &self,
+        snapshot: &Graph,
+        part: &VertexPartition,
+        epoch: u32,
+    ) -> Result<f64, DistDglError> {
+        let probe = DistDglEngine::builder(snapshot, part, &self.split)
+            .config(self.config.clone())
+            .threads(self.threads)
+            .trace(TraceSink::disabled())
+            .build()?;
+        Ok(probe.healthy_epoch(epoch).epoch_time())
     }
 
     /// Simulate a full epoch (samples internally).
@@ -1139,6 +1324,8 @@ impl<'a> DistDglEngine<'a> {
         DistDglEngine {
             graph: self.graph,
             store,
+            partition: self.partition.clone(),
+            split: self.split.clone(),
             config: self.config.clone(),
             cached: self.cached.clone(),
             // Clones share the recording buffer: spans emitted by the
@@ -1374,6 +1561,8 @@ impl<'a> DistDglEngine<'a> {
         DistDglEngine {
             graph: self.graph,
             store,
+            partition: self.partition.clone(),
+            split: self.split.clone(),
             config: self.config.clone(),
             cached: self.cached.clone(),
             trace: TraceSink::disabled(),
@@ -3742,5 +3931,137 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn stream_spec(batches: u32, seed: u64) -> gp_graph::StreamSpec {
+        gp_graph::StreamSpec {
+            batches,
+            inserts_per_batch: 64,
+            deletes_per_batch: 32,
+            arrivals_per_batch: 6,
+            edges_per_arrival: 3,
+            seed,
+        }
+    }
+
+    #[test]
+    fn stream_run_reports_quality_per_batch() {
+        let (g, rnd, _, split) = setup(4);
+        let engine = DistDglEngine::builder(&g, &rnd, &split)
+            .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+            .build()
+            .unwrap();
+        let spec = RunSpec::healthy().stream(stream_spec(4, 11), RepartitionPolicy::Never);
+        let r = engine.run(&spec).unwrap().into_stream();
+        assert_eq!(r.partitioner, "LDG");
+        assert_eq!(r.policy, "never");
+        assert_eq!(r.batches.len(), 4);
+        assert_eq!(r.repartitions(), 0);
+        for (i, b) in r.batches.iter().enumerate() {
+            assert_eq!(b.batch, i as u32);
+            assert!((0.0..=1.0).contains(&b.edge_cut), "cut ratio {}", b.edge_cut);
+            assert!(b.balance >= 1.0);
+            assert!(b.train_balance >= 1.0);
+            assert!(b.epoch_seconds > 0.0);
+            assert!(!b.repartitioned);
+        }
+        // Arrivals grow the snapshot but never join the training set,
+        // so the per-batch train balance stays a statement about the
+        // base split.
+        assert!(r.batches.last().unwrap().num_vertices > g.num_vertices());
+        let r2 = engine.run(&spec).unwrap().into_stream();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn stream_threshold_no_worse_than_never_on_epoch_time() {
+        let (g, rnd, _, split) = setup(4);
+        let engine = DistDglEngine::builder(&g, &rnd, &split)
+            .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+            .build()
+            .unwrap();
+        let spec = stream_spec(5, 3);
+        let never = engine
+            .run(&RunSpec::healthy().stream(spec.clone(), RepartitionPolicy::Never))
+            .unwrap()
+            .into_stream();
+        let thresh = engine
+            .run(&RunSpec::healthy()
+                .stream(spec, RepartitionPolicy::Threshold { imbalance: 1.0 }))
+            .unwrap()
+            .into_stream();
+        // The adoption gate probes epoch time and only adopts candidates
+        // that are no worse — so the threshold policy can never lose to
+        // `never` on training time at equal seeds.
+        assert!(
+            thresh.total_epoch_seconds() <= never.total_epoch_seconds() + 1e-12,
+            "threshold {} > never {}",
+            thresh.total_epoch_seconds(),
+            never.total_epoch_seconds()
+        );
+        let first = thresh.batches.iter().position(|b| b.repartitioned);
+        for i in 0..first.unwrap_or(thresh.batches.len()) {
+            assert_eq!(thresh.batches[i].epoch_seconds, never.batches[i].epoch_seconds);
+        }
+        if let Some(i) = first {
+            assert!(thresh.batches[i].partition_seconds > 0.0);
+            assert!(thresh.batches[i].edge_cut <= never.batches[i].edge_cut + 1e-12);
+        }
+    }
+
+    #[test]
+    fn stream_override_unknown_partitioner_and_trace() {
+        let (g, rnd, _, split) = setup(4);
+        let sink = TraceSink::enabled();
+        let engine = DistDglEngine::builder(&g, &rnd, &split)
+            .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let r = engine
+            .run(&RunSpec::healthy()
+                .stream(stream_spec(3, 5), RepartitionPolicy::Periodic { every: 2 })
+                .stream_partitioner("Random"))
+            .unwrap()
+            .into_stream();
+        assert_eq!(r.partitioner, "Random");
+        let counters = sink.counters();
+        for name in [
+            counter_names::STREAM_LIVE_EDGES,
+            counter_names::STREAM_EDGE_CUT,
+            counter_names::STREAM_BALANCE,
+            counter_names::STREAM_TRAIN_BALANCE,
+            counter_names::STREAM_REPARTITIONS,
+            counter_names::STREAM_PARTITION_SECONDS,
+        ] {
+            assert_eq!(
+                counters.iter().filter(|c| c.name == name).count(),
+                r.batches.len(),
+                "one {name} sample per batch"
+            );
+        }
+        let n_migrations =
+            sink.spans().iter().filter(|s| s.phase == TracePhase::Migration).count();
+        assert_eq!(n_migrations as u32, r.repartitions());
+        // HDRF is a vertex-cut partitioner — not valid for the edge-cut
+        // engine.
+        let err = engine
+            .run(&RunSpec::healthy()
+                .stream(stream_spec(2, 5), RepartitionPolicy::Never)
+                .stream_partitioner("HDRF"))
+            .unwrap_err();
+        assert!(matches!(err, DistDglError::InvalidConfig(_)));
+        // Tracing is observational: an untraced engine reports the same.
+        let bare = DistDglEngine::builder(&g, &rnd, &split)
+            .config(cfg(4, 32, 32, 2, ModelKind::Sage))
+            .build()
+            .unwrap();
+        let r2 = bare
+            .run(&RunSpec::healthy()
+                .stream(stream_spec(3, 5), RepartitionPolicy::Periodic { every: 2 })
+                .stream_partitioner("Random"))
+            .unwrap()
+            .into_stream();
+        assert_eq!(r, r2);
     }
 }

@@ -7,11 +7,14 @@ use gp_cluster::{
     ChurnPlan, ClusterCounters, ClusterSpec, DetectorConfig, ElasticOptions, ElasticRunReport,
     EpochOutcome, FaultPlan, Fleet, MessageKind, MitigationPolicy, MitigationReport, NetFaultPlan,
     NetRunOptions, NetRunReport, NetworkSpec, PartitionedRunReport, RecoveryReport, RunSpec,
-    Scenario, StragglerDetector, TracePhase, TraceSink,
+    Scenario, StragglerDetector, StreamBatchReport, StreamLeg, StreamRunReport, TracePhase,
+    TraceSink, AGGREGATE_WORKER,
 };
 use gp_exec::{par_map, Threads};
-use gp_graph::Graph;
-use gp_partition::EdgePartition;
+use gp_graph::{Graph, StreamGraph, StreamPlan};
+use gp_partition::{
+    full_edge_partitioner, modeled_partition_seconds, EdgePartition, IncrementalEdgePartitioner,
+};
 use gp_tensor::flops::{layer_train_flops, model_param_count, BlockShape};
 use gp_tensor::{ModelConfig, ModelKind};
 
@@ -241,6 +244,8 @@ pub enum DistGnnRunReport {
     Elastic(ElasticRunReport),
     /// Elastic run under message-level network faults.
     Partitioned(PartitionedRunReport),
+    /// Streaming dynamic-graph run: one epoch per mutation batch.
+    Stream(StreamRunReport),
 }
 
 impl DistGnnRunReport {
@@ -315,6 +320,18 @@ impl DistGnnRunReport {
         match self {
             DistGnnRunReport::Partitioned(r) => r,
             other => panic!("expected a partitioned run report, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a stream run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run was not a stream run.
+    pub fn into_stream(self) -> StreamRunReport {
+        match self {
+            DistGnnRunReport::Stream(r) => r,
+            other => panic!("expected a stream run report, got {other:?}"),
         }
     }
 }
@@ -608,6 +625,9 @@ impl<'a> DistGnnEngine<'a> {
                     net.options,
                 )
                 .map(DistGnnRunReport::Partitioned),
+            Scenario::Stream { leg, partitioner } => {
+                self.run_stream(leg, partitioner).map(DistGnnRunReport::Stream)
+            }
         }
     }
 
@@ -616,6 +636,147 @@ impl<'a> DistGnnEngine<'a> {
     fn healthy_epoch(&self, epoch: u32) -> EpochReport {
         self.trace.set_epoch(epoch);
         self.simulate_epoch_for(&self.config.model)
+    }
+
+    /// The streaming dynamic-graph leg of [`DistGnnEngine::run`].
+    ///
+    /// The engine's own graph/partition are the `t = 0` state. Each
+    /// batch of the seeded mutation stream is applied to a
+    /// [`StreamGraph`], new edges are placed online by an
+    /// [`IncrementalEdgePartitioner`] (deletions update bookkeeping
+    /// only), and one full-batch epoch is trained on the resulting
+    /// snapshot. When the repartition policy fires, a candidate full
+    /// repartition is probed with a disabled trace and adopted only if
+    /// it is no worse on *both* replication factor and probed epoch
+    /// time; adoption is charged `modeled_partition_seconds` — never
+    /// wall-clock — through a `Migration` span, so amortization stays
+    /// deterministic.
+    fn run_stream(
+        &self,
+        leg: &StreamLeg,
+        partitioner: Option<&str>,
+    ) -> Result<StreamRunReport, DistGnnError> {
+        let invalid = |e: &dyn std::fmt::Display| DistGnnError::InvalidConfig(e.to_string());
+        leg.spec.validate().map_err(|e| invalid(&e))?;
+        leg.policy.validate().map_err(|e| invalid(&e))?;
+        let name = partitioner.unwrap_or("HDRF");
+        let full = full_edge_partitioner(name).ok_or_else(|| {
+            DistGnnError::InvalidConfig(format!(
+                "unknown vertex-cut partitioner '{name}' for a stream run"
+            ))
+        })?;
+        let k = self.partition.k();
+        let seed = leg.spec.seed;
+        let plan = StreamPlan::generate(self.graph, &leg.spec).map_err(|e| invalid(&e))?;
+        let mut live = StreamGraph::new(self.graph);
+        let mut inc =
+            IncrementalEdgePartitioner::from_partition(name, self.graph, self.partition, seed)
+                .map_err(|e| invalid(&e))?;
+        let mut report = StreamRunReport {
+            partitioner: name.to_string(),
+            policy: leg.policy.label(),
+            batches: Vec::with_capacity(plan.len()),
+        };
+        let mut repartitions = 0u32;
+        let mut repartition_seconds = 0.0f64;
+        for (b, batch) in plan.batches().iter().enumerate() {
+            let b = b as u32;
+            live.apply(batch).map_err(|e| invalid(&e))?;
+            for &(u, v) in &batch.inserts {
+                inc.insert_edge(u, v).map_err(|e| invalid(&e))?;
+            }
+            for &(u, v) in &batch.deletes {
+                inc.delete_edge(u, v).map_err(|e| invalid(&e))?;
+            }
+            let snapshot = live.snapshot().map_err(|e| invalid(&e))?;
+            let mut part = inc.materialize(&snapshot).map_err(|e| invalid(&e))?;
+            let mut repartitioned = false;
+            let mut partition_seconds = 0.0;
+            if leg.policy.should_fire(b, part.edge_balance()) {
+                let candidate =
+                    full.partition_edges(&snapshot, k, seed).map_err(|e| invalid(&e))?;
+                // Adopt only if not worse on both axes: partition
+                // quality and the probed epoch time it buys. This keeps
+                // threshold/periodic policies no worse than `never` by
+                // construction.
+                if candidate.replication_factor() <= part.replication_factor()
+                    && self.stream_probe(&snapshot, &candidate, b)?
+                        <= self.stream_probe(&snapshot, &part, b)?
+                {
+                    inc = IncrementalEdgePartitioner::from_partition(
+                        name, &snapshot, &candidate, seed,
+                    )
+                    .map_err(|e| invalid(&e))?;
+                    part = candidate;
+                    repartitioned = true;
+                    partition_seconds =
+                        modeled_partition_seconds(name, u64::from(snapshot.num_edges()));
+                    repartitions += 1;
+                    repartition_seconds += partition_seconds;
+                    self.trace.set_epoch(b);
+                    self.trace.span(
+                        AGGREGATE_WORKER,
+                        0,
+                        TracePhase::Migration,
+                        self.trace.now(),
+                        partition_seconds,
+                        0,
+                        0,
+                    );
+                    self.trace.advance(partition_seconds);
+                }
+            }
+            let epoch_seconds = {
+                let inner = DistGnnEngine::builder(&snapshot, &part)
+                    .config(self.config)
+                    .threads(self.threads)
+                    .trace(self.trace.clone())
+                    .build()?;
+                inner.healthy_epoch(b).epoch_time()
+            };
+            if self.trace.is_enabled() {
+                let t = &self.trace;
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_LIVE_EDGES,
+                    f64::from(snapshot.num_edges()));
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_REPLICATION_FACTOR,
+                    part.replication_factor());
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_BALANCE, part.edge_balance());
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_REPARTITIONS,
+                    f64::from(repartitions));
+                t.counter(AGGREGATE_WORKER, counter_names::STREAM_PARTITION_SECONDS,
+                    repartition_seconds);
+            }
+            report.batches.push(StreamBatchReport {
+                batch: b,
+                num_vertices: snapshot.num_vertices(),
+                num_edges: u64::from(snapshot.num_edges()),
+                mutations: batch.num_mutations() as u32,
+                replication_factor: part.replication_factor(),
+                edge_cut: 0.0,
+                balance: part.edge_balance(),
+                train_balance: 0.0,
+                repartitioned,
+                partition_seconds,
+                epoch_seconds,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Probed epoch time of `part` on `snapshot` with tracing disabled —
+    /// the second axis of the stream repartition adoption gate.
+    fn stream_probe(
+        &self,
+        snapshot: &Graph,
+        part: &EdgePartition,
+        epoch: u32,
+    ) -> Result<f64, DistGnnError> {
+        let probe = DistGnnEngine::builder(snapshot, part)
+            .config(self.config)
+            .threads(self.threads)
+            .trace(TraceSink::disabled())
+            .build()?;
+        Ok(probe.healthy_epoch(epoch).epoch_time())
     }
 
     /// Run the cost model for one epoch with the configured model.
@@ -3594,5 +3755,149 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn stream_spec(batches: u32, seed: u64) -> gp_graph::StreamSpec {
+        gp_graph::StreamSpec {
+            batches,
+            inserts_per_batch: 48,
+            deletes_per_batch: 24,
+            arrivals_per_batch: 4,
+            edges_per_arrival: 3,
+            seed,
+        }
+    }
+
+    #[test]
+    fn stream_run_reports_quality_per_batch() {
+        let (g, random, _) = setup(4);
+        let engine =
+            DistGnnEngine::builder(&g, &random).config(cfg(4, 32, 32, 2)).build().unwrap();
+        let spec = RunSpec::healthy().stream(stream_spec(5, 11), RepartitionPolicy::Never);
+        let r = engine.run(&spec).unwrap().into_stream();
+        assert_eq!(r.partitioner, "HDRF");
+        assert_eq!(r.policy, "never");
+        assert_eq!(r.batches.len(), 5);
+        assert_eq!(r.repartitions(), 0);
+        assert_eq!(r.total_partition_seconds(), 0.0);
+        for (i, b) in r.batches.iter().enumerate() {
+            assert_eq!(b.batch, i as u32);
+            assert!(b.replication_factor >= 1.0, "RF {} < 1", b.replication_factor);
+            assert!(b.balance >= 1.0);
+            assert!(b.epoch_seconds > 0.0);
+            assert!(!b.repartitioned);
+            assert_eq!(b.partition_seconds, 0.0);
+            assert!(b.mutations > 0);
+        }
+        // The graph ages: vertex arrivals grow the snapshot.
+        assert!(r.batches.last().unwrap().num_vertices > g.num_vertices());
+        // Deterministic: a second run is identical.
+        let r2 = engine.run(&spec).unwrap().into_stream();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn stream_threshold_no_worse_than_never_on_epoch_time() {
+        let (g, random, _) = setup(4);
+        let engine =
+            DistGnnEngine::builder(&g, &random).config(cfg(4, 32, 32, 2)).build().unwrap();
+        let spec = stream_spec(6, 3);
+        let never = engine
+            .run(&RunSpec::healthy().stream(spec.clone(), RepartitionPolicy::Never))
+            .unwrap()
+            .into_stream();
+        let thresh = engine
+            .run(&RunSpec::healthy()
+                .stream(spec, RepartitionPolicy::Threshold { imbalance: 1.0 }))
+            .unwrap()
+            .into_stream();
+        // The adoption gate probes epoch time and only adopts candidates
+        // that are no worse — so the threshold policy can never lose to
+        // `never` on training time at equal seeds.
+        assert!(
+            thresh.total_epoch_seconds() <= never.total_epoch_seconds() + 1e-12,
+            "threshold {} > never {}",
+            thresh.total_epoch_seconds(),
+            never.total_epoch_seconds()
+        );
+        // Until the first adoption the two runs are the same partition.
+        let first = thresh.batches.iter().position(|b| b.repartitioned);
+        for i in 0..first.unwrap_or(thresh.batches.len()) {
+            assert_eq!(thresh.batches[i].epoch_seconds, never.batches[i].epoch_seconds);
+        }
+        // An adopted repartition is charged simulated partitioner cost
+        // and is never worse on replication factor than the incremental
+        // state the `never` run kept.
+        if let Some(i) = first {
+            assert!(thresh.batches[i].partition_seconds > 0.0);
+            assert!(
+                thresh.batches[i].replication_factor
+                    <= never.batches[i].replication_factor + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn stream_override_and_unknown_partitioner() {
+        let (g, random, _) = setup(4);
+        let engine =
+            DistGnnEngine::builder(&g, &random).config(cfg(4, 32, 32, 2)).build().unwrap();
+        let r = engine
+            .run(&RunSpec::healthy()
+                .stream(stream_spec(2, 5), RepartitionPolicy::Never)
+                .stream_partitioner("DBH"))
+            .unwrap()
+            .into_stream();
+        assert_eq!(r.partitioner, "DBH");
+        // LDG is a vertex partitioner — not valid for the vertex-cut engine.
+        let err = engine
+            .run(&RunSpec::healthy()
+                .stream(stream_spec(2, 5), RepartitionPolicy::Never)
+                .stream_partitioner("LDG"))
+            .unwrap_err();
+        assert!(matches!(err, DistGnnError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn stream_trace_counters_and_migration_spans() {
+        let (g, random, _) = setup(4);
+        let sink = TraceSink::enabled();
+        let engine = DistGnnEngine::builder(&g, &random)
+            .config(cfg(4, 32, 32, 2))
+            .trace(sink.clone())
+            .build()
+            .unwrap();
+        let r = engine
+            .run(&RunSpec::healthy()
+                .stream(stream_spec(4, 7), RepartitionPolicy::Periodic { every: 2 }))
+            .unwrap()
+            .into_stream();
+        let counters = sink.counters();
+        for name in [
+            counter_names::STREAM_LIVE_EDGES,
+            counter_names::STREAM_REPLICATION_FACTOR,
+            counter_names::STREAM_BALANCE,
+            counter_names::STREAM_REPARTITIONS,
+            counter_names::STREAM_PARTITION_SECONDS,
+        ] {
+            assert_eq!(
+                counters.iter().filter(|c| c.name == name).count(),
+                r.batches.len(),
+                "one {name} sample per batch"
+            );
+        }
+        // Adopted repartitions appear as Migration spans.
+        let n_migrations =
+            sink.spans().iter().filter(|s| s.phase == TracePhase::Migration).count();
+        assert_eq!(n_migrations as u32, r.repartitions());
+        // Tracing is observational: an untraced engine reports the same.
+        let bare =
+            DistGnnEngine::builder(&g, &random).config(cfg(4, 32, 32, 2)).build().unwrap();
+        let r2 = bare
+            .run(&RunSpec::healthy()
+                .stream(stream_spec(4, 7), RepartitionPolicy::Periodic { every: 2 }))
+            .unwrap()
+            .into_stream();
+        assert_eq!(r, r2);
     }
 }

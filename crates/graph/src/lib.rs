@@ -13,6 +13,9 @@
 //!   the paper).
 //! * [`stats`] — degree-distribution statistics used to validate that the
 //!   generated analogues have the right structural shape.
+//! * [`stream`] — seeded dynamic-graph mutation streams (insertions,
+//!   deletions, vertex arrivals) with replayable batch plans and a
+//!   mutable [`StreamGraph`] that snapshots back to CSR (extension).
 //! * [`edgelist`] — plain-text edge-list reading/writing.
 //! * [`algo`] — connected components, BFS, diameter and clustering
 //!   estimates used for validation and diagnostics.
@@ -29,6 +32,7 @@ pub mod error;
 pub mod generators;
 pub mod splits;
 pub mod stats;
+pub mod stream;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, VertexId};
@@ -36,3 +40,4 @@ pub use datasets::{DatasetId, GraphScale};
 pub use error::GraphError;
 pub use splits::VertexSplit;
 pub use stats::DegreeStats;
+pub use stream::{MutationBatch, StreamGraph, StreamPlan, StreamSpec};

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use gp_graph::{Graph, GraphBuilder, VertexSplit};
+use gp_graph::{Graph, GraphBuilder, StreamGraph, StreamPlan, StreamSpec, VertexSplit};
 
 /// Strategy: a random raw edge list over `n` vertices.
 fn raw_edges(max_n: u32, max_m: usize) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
@@ -96,6 +96,137 @@ proptest! {
             b2.add_edge(u, v);
         }
         prop_assert_eq!(b1.build().expect("ok"), b2.build().expect("ok"));
+    }
+}
+
+/// Strategy: a valid mutation schedule (validate() accepts it by
+/// construction: at least one rate positive, arrivals always wired).
+fn arb_stream_spec() -> impl Strategy<Value = StreamSpec> {
+    (1u32..8, 0u32..24, 0u32..14, 0u32..4, 1u32..4, any::<u64>()).prop_map(
+        |(batches, inserts, deletes, arrivals, wires, seed)| StreamSpec {
+            batches,
+            inserts_per_batch: if inserts == 0 && deletes == 0 && arrivals == 0 {
+                1
+            } else {
+                inserts
+            },
+            deletes_per_batch: deletes,
+            arrivals_per_batch: arrivals,
+            edges_per_arrival: wires,
+            seed,
+        },
+    )
+}
+
+/// Strategy: a base graph plus a schedule to stream over it.
+fn arb_stream_case() -> impl Strategy<Value = (Graph, StreamSpec)> {
+    (raw_edges(60, 120), arb_stream_spec()).prop_map(|((n, edges), spec)| {
+        let mut b = GraphBuilder::undirected(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        (b.build().expect("in-range edges"), spec)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every deletion a generated plan schedules targets an edge that is
+    /// live at that point of the replay — checked against an independent
+    /// mirror of the live set, not the StreamGraph's own validation.
+    #[test]
+    fn stream_plan_deletions_only_target_live_edges((g, spec) in arb_stream_case()) {
+        let plan = StreamPlan::generate(&g, &spec).expect("valid spec by construction");
+        prop_assert_eq!(plan.len() as u32, spec.batches);
+        let mut live: std::collections::HashSet<(u32, u32)> = g.edges().collect();
+        for batch in plan.batches() {
+            for &e in &batch.inserts {
+                prop_assert!(e.0 != e.1, "self-loop scheduled");
+                prop_assert!(live.insert(e), "duplicate insertion of live edge {e:?}");
+            }
+            for &e in &batch.deletes {
+                prop_assert!(live.remove(&e), "deletion of non-live edge {e:?}");
+            }
+        }
+        // And the StreamGraph agrees end to end.
+        let mut sg = StreamGraph::new(&g);
+        for batch in plan.batches() {
+            sg.apply(batch).expect("plan mutations are valid by construction");
+        }
+        prop_assert_eq!(sg.num_live_edges() as usize, live.len());
+    }
+
+    /// Plan generation is a pure function of (base, spec): regenerating
+    /// and replaying is bit-identical, down to the final snapshot.
+    #[test]
+    fn stream_plan_replay_is_bit_identical((g, spec) in arb_stream_case()) {
+        let a = StreamPlan::generate(&g, &spec).expect("valid");
+        let b = StreamPlan::generate(&g, &spec).expect("valid");
+        prop_assert_eq!(&a, &b);
+        let mut sa = StreamGraph::new(&g);
+        let mut sb = StreamGraph::new(&g);
+        for (x, y) in a.batches().iter().zip(b.batches()) {
+            sa.apply(x).expect("valid");
+            sb.apply(y).expect("valid");
+            prop_assert_eq!(sa.num_live_edges(), sb.num_live_edges());
+        }
+        prop_assert_eq!(sa.snapshot().expect("ok"), sb.snapshot().expect("ok"));
+    }
+
+    /// After any interleaving of inserts and deletes, the snapshot is
+    /// CSR-identical to a graph rebuilt from scratch over the same live
+    /// edge sequence — the log adds no hidden state.
+    #[test]
+    fn stream_snapshot_equals_rebuilt_csr((g, spec) in arb_stream_case()) {
+        let plan = StreamPlan::generate(&g, &spec).expect("valid");
+        let mut sg = StreamGraph::new(&g);
+        for batch in plan.batches() {
+            sg.apply(batch).expect("valid");
+            let snap = sg.snapshot().expect("ok");
+            let edges: Vec<(u32, u32)> = snap.edges().collect();
+            let rebuilt = Graph::from_edges(snap.num_vertices(), &edges, snap.is_directed())
+                .expect("ok");
+            prop_assert_eq!(snap, rebuilt);
+        }
+    }
+
+    /// Deleting any prefix of the base edges and reinserting them in the
+    /// same relative order restores the exact edge set, and the snapshot
+    /// round-trips through from_edges CSR-identically.
+    #[test]
+    fn stream_delete_reinsert_roundtrip_restores_edge_set(
+        (n, edges) in raw_edges(60, 120),
+        take in 0usize..40,
+    ) {
+        let mut b = GraphBuilder::undirected(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build().expect("in-range edges");
+        let victims: Vec<(u32, u32)> = g.edges().take(take).collect();
+        let mut sg = StreamGraph::new(&g);
+        for &(u, v) in &victims {
+            sg.delete(u, v).expect("base edges are live");
+        }
+        for &(u, v) in &victims {
+            sg.insert(u, v).expect("deleted edges are free to reinsert");
+        }
+        prop_assert_eq!(sg.num_live_edges(), g.num_edges());
+        prop_assert_eq!(sg.log_len() as usize, g.num_edges() as usize + victims.len());
+        let snap = sg.snapshot().expect("ok");
+        let mut a: Vec<_> = snap.edges().collect();
+        let mut b2: Vec<_> = g.edges().collect();
+        a.sort_unstable();
+        b2.sort_unstable();
+        prop_assert_eq!(a, b2, "same edge set as the base");
+        let rebuilt = Graph::from_edges(
+            snap.num_vertices(),
+            &snap.edges().collect::<Vec<_>>(),
+            snap.is_directed(),
+        )
+        .expect("ok");
+        prop_assert_eq!(snap, rebuilt);
     }
 }
 

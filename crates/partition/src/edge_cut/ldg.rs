@@ -29,16 +29,26 @@ impl Default for Ldg {
     }
 }
 
-impl VertexPartitioner for Ldg {
-    fn name(&self) -> &'static str {
-        "LDG"
-    }
-
-    fn partition_vertices(
+impl Ldg {
+    /// The streaming core: place the vertices of `order` one at a time,
+    /// each on the partition holding most of its *already-placed*
+    /// neighbours, damped by the linear capacity penalty.
+    /// [`VertexPartitioner::partition_vertices`] drives this with a
+    /// seed-shuffled order; the incremental partitioner
+    /// (`crate::incremental`) drives the same rule with arrival order,
+    /// which is what makes the incremental-vs-batch oracle exact.
+    ///
+    /// `order` must enumerate every vertex exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range `k`, `slack < 1`, or an `order` whose
+    /// length does not match the graph.
+    pub fn partition_in_order(
         &self,
         graph: &Graph,
         k: u32,
-        seed: u64,
+        order: &[u32],
     ) -> Result<VertexPartition, PartitionError> {
         if k == 0 || k > crate::MAX_PARTITIONS {
             return Err(PartitionError::BadPartitionCount { k });
@@ -50,17 +60,19 @@ impl VertexPartitioner for Ldg {
             )));
         }
         let n = graph.num_vertices();
-        let capacity =
-            ((self.slack * f64::from(n) / f64::from(k)).ceil() as u64).max(1);
-        let mut order: Vec<u32> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        order.shuffle(&mut rng);
+        if order.len() != n as usize {
+            return Err(PartitionError::LengthMismatch {
+                expected: n as usize,
+                actual: order.len(),
+            });
+        }
+        let capacity = ldg_capacity(self.slack, n, k);
 
         const NONE: u32 = u32::MAX;
         let mut assignments = vec![NONE; n as usize];
         let mut sizes = vec![0u64; k as usize];
         let mut neighbor_counts = vec![0u32; k as usize];
-        for &v in &order {
+        for &v in order {
             // Count already-placed neighbours per partition. For directed
             // graphs both directions matter for the cut, so scan both.
             neighbor_counts.iter_mut().for_each(|c| *c = 0);
@@ -78,31 +90,61 @@ impl VertexPartitioner for Ldg {
                     }
                 }
             }
-            let mut best = 0u32;
-            let mut best_score = f64::NEG_INFINITY;
-            for p in 0..k {
-                if sizes[p as usize] >= capacity {
-                    continue;
-                }
-                let weight = 1.0 - sizes[p as usize] as f64 / capacity as f64;
-                let score = f64::from(neighbor_counts[p as usize]) * weight
-                    // Tiny tiebreaker keeps empty partitions attractive.
-                    + weight * 1e-6;
-                if score > best_score {
-                    best_score = score;
-                    best = p;
-                }
-            }
-            if best_score == f64::NEG_INFINITY {
-                // All partitions at capacity (can only happen with slack
-                // rounding); fall back to least loaded.
-                best = (0..k).min_by_key(|&p| sizes[p as usize]).expect("k >= 1");
-            }
+            let best = ldg_choose(k, capacity, &sizes, &neighbor_counts);
             assignments[v as usize] = best;
             sizes[best as usize] += 1;
         }
         VertexPartition::new(graph, k, assignments)
     }
+}
+
+impl VertexPartitioner for Ldg {
+    fn name(&self) -> &'static str {
+        "LDG"
+    }
+
+    fn partition_vertices(
+        &self,
+        graph: &Graph,
+        k: u32,
+        seed: u64,
+    ) -> Result<VertexPartition, PartitionError> {
+        let mut order: Vec<u32> = (0..graph.num_vertices()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        self.partition_in_order(graph, k, &order)
+    }
+}
+
+/// LDG partition capacity: `ceil(slack * n / k)`, at least one.
+pub(crate) fn ldg_capacity(slack: f64, n: u32, k: u32) -> u64 {
+    ((slack * f64::from(n) / f64::from(k)).ceil() as u64).max(1)
+}
+
+/// LDG's per-vertex selection rule over current sizes and placed
+/// neighbour counts (shared with the incremental partitioner).
+pub(crate) fn ldg_choose(k: u32, capacity: u64, sizes: &[u64], neighbor_counts: &[u32]) -> u32 {
+    let mut best = 0u32;
+    let mut best_score = f64::NEG_INFINITY;
+    for p in 0..k {
+        if sizes[p as usize] >= capacity {
+            continue;
+        }
+        let weight = 1.0 - sizes[p as usize] as f64 / capacity as f64;
+        let score = f64::from(neighbor_counts[p as usize]) * weight
+            // Tiny tiebreaker keeps empty partitions attractive.
+            + weight * 1e-6;
+        if score > best_score {
+            best_score = score;
+            best = p;
+        }
+    }
+    if best_score == f64::NEG_INFINITY {
+        // All partitions at capacity (can only happen with slack
+        // rounding); fall back to least loaded.
+        best = (0..k).min_by_key(|&p| sizes[p as usize]).expect("k >= 1");
+    }
+    best
 }
 
 #[cfg(test)]

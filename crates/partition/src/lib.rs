@@ -34,11 +34,16 @@
 pub mod assignment;
 pub mod edge_cut;
 pub mod error;
+pub mod incremental;
 pub mod metrics;
 pub mod traits;
 pub mod vertex_cut;
 
 pub use assignment::{EdgePartition, VertexPartition, MAX_PARTITIONS};
+pub use incremental::{
+    full_edge_partitioner, full_vertex_partitioner, modeled_partition_seconds,
+    IncrementalEdgePartitioner, IncrementalVertexPartitioner, RepartitionPolicy,
+};
 pub use error::PartitionError;
 pub use traits::{EdgePartitioner, VertexPartitioner};
 
@@ -47,6 +52,10 @@ pub mod prelude {
     pub use crate::assignment::{EdgePartition, VertexPartition};
     pub use crate::edge_cut::{ByteGnn, Kahip, Ldg, Metis, RandomVertexPartitioner, ReLdg, Spinner};
     pub use crate::error::PartitionError;
+    pub use crate::incremental::{
+        full_edge_partitioner, full_vertex_partitioner, modeled_partition_seconds,
+        IncrementalEdgePartitioner, IncrementalVertexPartitioner, RepartitionPolicy,
+    };
     pub use crate::traits::{EdgePartitioner, VertexPartitioner};
     pub use crate::vertex_cut::{Dbh, Greedy, Grid2d, Hdrf, Hep, RandomEdgePartitioner, TwoPsL};
 }

@@ -63,42 +63,18 @@ impl EdgePartitioner for Hdrf {
             let (ui, vi) = (u as usize, v as usize);
             partial_degree[ui] += 1;
             partial_degree[vi] += 1;
-            let du = f64::from(partial_degree[ui]);
-            let dv = f64::from(partial_degree[vi]);
-            let theta_u = du / (du + dv);
-            let theta_v = 1.0 - theta_u;
-
-            let mut best = 0u32;
-            let mut best_score = f64::NEG_INFINITY;
-            let mut ties = 0u32;
-            let denom = 1e-9 + (max_load - min_load) as f64;
-            for p in 0..k {
-                let bit = 1u64 << p;
-                // Replication term: g(v, p) = 1 + (1 - θ) when p already
-                // holds a replica of v. Replicating the higher-degree
-                // endpoint is cheaper, hence the (1 - θ) bonus.
-                let mut c_rep = 0.0;
-                if replicas[ui] & bit != 0 {
-                    c_rep += 1.0 + (1.0 - theta_u);
-                }
-                if replicas[vi] & bit != 0 {
-                    c_rep += 1.0 + (1.0 - theta_v);
-                }
-                let c_bal = self.lambda * (max_load - load[p as usize]) as f64 / denom;
-                let score = c_rep + c_bal;
-                if score > best_score + 1e-12 {
-                    best_score = score;
-                    best = p;
-                    ties = 1;
-                } else if (score - best_score).abs() <= 1e-12 {
-                    // Reservoir-sample among exact ties for determinism
-                    // w.r.t. the seed but no fixed bias to partition 0.
-                    ties += 1;
-                    if rng.random_range(0..ties) == 0 {
-                        best = p;
-                    }
-                }
-            }
+            let best = hdrf_choose(
+                k,
+                self.lambda,
+                partial_degree[ui],
+                partial_degree[vi],
+                replicas[ui],
+                replicas[vi],
+                &load,
+                max_load,
+                min_load,
+                &mut rng,
+            );
 
             assignments.push(best);
             let bit = 1u64 << best;
@@ -110,6 +86,62 @@ impl EdgePartitioner for Hdrf {
         }
         EdgePartition::new(graph, k, assignments)
     }
+}
+
+/// HDRF's per-edge selection rule (shared with the incremental
+/// partitioner so incremental-vs-batch equality holds by construction).
+/// `du`/`dv` are the partial degrees *after* counting the edge being
+/// placed; ties are reservoir-sampled from `rng`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hdrf_choose(
+    k: u32,
+    lambda: f64,
+    du: u32,
+    dv: u32,
+    replicas_u: u64,
+    replicas_v: u64,
+    load: &[u64],
+    max_load: u64,
+    min_load: u64,
+    rng: &mut StdRng,
+) -> u32 {
+    let du = f64::from(du);
+    let dv = f64::from(dv);
+    let theta_u = du / (du + dv);
+    let theta_v = 1.0 - theta_u;
+
+    let mut best = 0u32;
+    let mut best_score = f64::NEG_INFINITY;
+    let mut ties = 0u32;
+    let denom = 1e-9 + (max_load - min_load) as f64;
+    for p in 0..k {
+        let bit = 1u64 << p;
+        // Replication term: g(v, p) = 1 + (1 - θ) when p already
+        // holds a replica of v. Replicating the higher-degree
+        // endpoint is cheaper, hence the (1 - θ) bonus.
+        let mut c_rep = 0.0;
+        if replicas_u & bit != 0 {
+            c_rep += 1.0 + (1.0 - theta_u);
+        }
+        if replicas_v & bit != 0 {
+            c_rep += 1.0 + (1.0 - theta_v);
+        }
+        let c_bal = lambda * (max_load - load[p as usize]) as f64 / denom;
+        let score = c_rep + c_bal;
+        if score > best_score + 1e-12 {
+            best_score = score;
+            best = p;
+            ties = 1;
+        } else if (score - best_score).abs() <= 1e-12 {
+            // Reservoir-sample among exact ties for determinism
+            // w.r.t. the seed but no fixed bias to partition 0.
+            ties += 1;
+            if rng.random_range(0..ties) == 0 {
+                best = p;
+            }
+        }
+    }
+    best
 }
 
 #[cfg(test)]

@@ -131,3 +131,178 @@ proptest! {
         }
     }
 }
+
+/// An insert-only mutation schedule growing a graph from nothing.
+fn insert_only_spec(batches: u32, seed: u64) -> gp_graph::StreamSpec {
+    gp_graph::StreamSpec {
+        batches,
+        inserts_per_batch: 10,
+        deletes_per_batch: 0,
+        arrivals_per_batch: 3,
+        edges_per_arrival: 3,
+        seed,
+    }
+}
+
+/// Drive an incremental edge partitioner over a stream from an empty
+/// base, returning the state and the final live snapshot.
+fn drive_edge_stream(
+    name: &str,
+    k: u32,
+    seed: u64,
+    spec: &gp_graph::StreamSpec,
+) -> (IncrementalEdgePartitioner, Graph) {
+    let empty = Graph::from_edges(0, &[], false).expect("empty base");
+    let plan = gp_graph::StreamPlan::generate(&empty, spec).expect("valid spec");
+    let mut sg = gp_graph::StreamGraph::new(&empty);
+    let mut inc = IncrementalEdgePartitioner::fresh(name, k, seed, false).expect("valid k");
+    for batch in plan.batches() {
+        sg.apply(batch).expect("plan mutations are valid");
+        for &(u, v) in &batch.inserts {
+            inc.insert_edge(u, v).expect("fresh edge");
+        }
+        for &(u, v) in &batch.deletes {
+            inc.delete_edge(u, v).expect("live edge");
+        }
+    }
+    (inc, sg.snapshot().expect("snapshot"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The incremental-vs-batch oracle, universally quantified: HDRF's
+    /// online rule fed an insert-only stream in arrival order assigns
+    /// every edge exactly as the one-shot partitioner does on the final
+    /// snapshot (which enumerates edges in arrival order).
+    #[test]
+    fn hdrf_incremental_equals_one_shot_universally(
+        batches in 2u32..14,
+        k in 2u32..9,
+        seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+    ) {
+        let (inc, snap) = drive_edge_stream("HDRF", k, seed, &insert_only_spec(batches, stream_seed));
+        let one_shot = Hdrf::default().partition_edges(&snap, k, seed).expect("valid");
+        let materialized = inc.materialize(&snap).expect("tracked");
+        prop_assert_eq!(materialized.assignments(), one_shot.assignments());
+        prop_assert_eq!(materialized, one_shot);
+    }
+
+    /// 2PS-L's oracle is batch-boundary independence: the same insert
+    /// sequence delivered batch by batch or replayed edge by edge in one
+    /// pass yields exactly the same assignments.
+    #[test]
+    fn twops_batch_boundaries_never_change_assignments(
+        batches in 2u32..12,
+        k in 2u32..8,
+        seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+    ) {
+        let spec = insert_only_spec(batches, stream_seed);
+        let (inc, snap) = drive_edge_stream("2PS-L", k, seed, &spec);
+        let empty = Graph::from_edges(0, &[], false).expect("empty base");
+        let plan = gp_graph::StreamPlan::generate(&empty, &spec).expect("valid");
+        let mut one = IncrementalEdgePartitioner::fresh("2PS-L", k, seed, false).expect("valid k");
+        for batch in plan.batches() {
+            for &(u, v) in &batch.inserts {
+                one.insert_edge(u, v).expect("fresh edge");
+            }
+        }
+        prop_assert_eq!(
+            inc.materialize(&snap).expect("tracked").assignments(),
+            one.materialize(&snap).expect("tracked").assignments()
+        );
+    }
+
+    /// LDG's oracle on arrival-only streams: online placement of each
+    /// arriving vertex (seeing only already-placed neighbours) equals
+    /// the one-shot LDG fed the vertices in arrival order.
+    #[test]
+    fn ldg_incremental_equals_one_shot_universally(
+        batches in 2u32..14,
+        k in 2u32..8,
+        stream_seed in any::<u64>(),
+    ) {
+        let empty = Graph::from_edges(0, &[], false).expect("empty base");
+        let spec = gp_graph::StreamSpec {
+            batches,
+            inserts_per_batch: 0,
+            deletes_per_batch: 0,
+            arrivals_per_batch: 4,
+            edges_per_arrival: 3,
+            seed: stream_seed,
+        };
+        let plan = gp_graph::StreamPlan::generate(&empty, &spec).expect("valid");
+        let n = batches * 4;
+        let mut sg = gp_graph::StreamGraph::new(&empty);
+        let mut inc = IncrementalVertexPartitioner::fresh("LDG", k, 1).expect("valid k");
+        inc.provision_capacity(n);
+        for batch in plan.batches() {
+            sg.apply(batch).expect("valid");
+            let first_new = sg.num_vertices() - batch.new_vertices;
+            for v in first_new..sg.num_vertices() {
+                let neighbors: Vec<u32> = batch
+                    .inserts
+                    .iter()
+                    .filter_map(|&(a, b)| {
+                        let w = if a == v { b } else if b == v { a } else { return None };
+                        inc.partition_of(w)
+                    })
+                    .collect();
+                inc.place_vertex(v, &neighbors).expect("fresh vertex");
+            }
+        }
+        let snap = sg.snapshot().expect("snapshot");
+        prop_assert_eq!(snap.num_vertices(), n);
+        let order: Vec<u32> = (0..n).collect();
+        let one_shot = Ldg::default().partition_in_order(&snap, k, &order).expect("valid");
+        let materialized = inc.materialize(&snap).expect("tracked");
+        prop_assert_eq!(materialized.assignments(), one_shot.assignments());
+    }
+
+    /// Under arbitrary churn (inserts, deletes, arrivals) every roster
+    /// name's live ledger agrees exactly with the eagerly recomputed
+    /// partition — the deletion bookkeeping leaves no residue.
+    #[test]
+    fn ledger_matches_materialized_truth_under_churn(
+        g in arb_graph(),
+        k in 2u32..8,
+        seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+    ) {
+        let spec = gp_graph::StreamSpec {
+            batches: 6,
+            inserts_per_batch: 8,
+            deletes_per_batch: 10,
+            arrivals_per_batch: 2,
+            edges_per_arrival: 2,
+            seed: stream_seed,
+        };
+        let plan = gp_graph::StreamPlan::generate(&g, &spec).expect("valid");
+        for name in ["Random", "DBH", "HDRF", "2PS-L", "HEP-10"] {
+            let full = full_edge_partitioner(name)
+                .expect("roster name")
+                .partition_edges(&g, k, seed)
+                .expect("valid");
+            let mut inc = IncrementalEdgePartitioner::from_partition(name, &g, &full, seed)
+                .expect("matching partition");
+            let mut sg = gp_graph::StreamGraph::new(&g);
+            for batch in plan.batches() {
+                sg.apply(batch).expect("valid");
+                for &(u, v) in &batch.inserts {
+                    inc.insert_edge(u, v).expect("fresh edge");
+                }
+                for &(u, v) in &batch.deletes {
+                    inc.delete_edge(u, v).expect("live edge");
+                }
+            }
+            let snap = sg.snapshot().expect("snapshot");
+            let part = inc.materialize(&snap).expect("tracked");
+            prop_assert_eq!(inc.num_live_edges(), u64::from(snap.num_edges()), "{}", name);
+            prop_assert_eq!(inc.total_replicas(), part.total_replicas(), "{}", name);
+            prop_assert_eq!(inc.live_replication_factor(), part.replication_factor(), "{}", name);
+            prop_assert_eq!(inc.live_edge_balance(), part.edge_balance(), "{}", name);
+        }
+    }
+}

@@ -48,7 +48,7 @@ deps_of() {
     graph) echo "rand" ;;
     partition) echo "rand gp_graph" ;;
     tensor) echo "rand gp_exec" ;;
-    cluster) echo "" ;;
+    cluster) echo "gp_graph gp_partition" ;;
     exec) echo "" ;;
     distgnn) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec" ;;
     distdgl) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec" ;;

@@ -22,6 +22,14 @@
 //! exactly-once delivery green while churn and crashes keep running
 //! underneath. The network schedule must arm real partition windows —
 //! not hold vacuously on a window-free run.
+//!
+//! The streaming soaks at the bottom run the dynamic-graph axis for
+//! 200 mutation batches per policy and check the decay metrics are
+//! monotone-consistent: a policy run is bit-identical to the `never`
+//! baseline until its first adopted repartition, and at that batch the
+//! post-repartition quality is no worse than the incremental quality
+//! it replaced (observable as the `never` run's quality at the same
+//! batch, since the two states coincide up to that point).
 
 use gnnpart::cluster::{ChurnPlan, NetFaultPlan};
 use gnnpart::core::chaos::chaos_churn_spec;
@@ -221,6 +229,115 @@ fn distgnn_200_epoch_soak_is_green_at_every_pool_width() {
         );
         assert_eq!(par, serial, "threads = {threads}");
     }
+}
+
+/// Decay monotone-consistency of one engine's 200-batch stream sweep.
+///
+/// Every policy row must be green, and each non-`never` row must agree
+/// with its `never` twin batch-for-batch (quality AND epoch seconds)
+/// up to its first adopted repartition — the incremental state is the
+/// same until then — after which the adopted quality at that batch
+/// must not exceed the incremental quality it replaced (the `never`
+/// twin's value at the same batch).
+fn assert_stream_green(rows: &[StreamSweepRow], engine: &str) {
+    for row in rows {
+        assert!(
+            row.holds(),
+            "{engine}/{}/{}: completed {}/{}, deterministic={}, trace_transparent={}, \
+             never_worse={}",
+            row.name,
+            row.policy,
+            row.completed_batches,
+            row.batches,
+            row.deterministic,
+            row.trace_transparent,
+            row.never_worse,
+        );
+        assert_eq!(row.completed_batches, 200, "{engine}/{}/{}: full horizon", row.name, row.policy);
+    }
+    for row in rows.iter().filter(|r| r.policy != "never") {
+        let never = rows
+            .iter()
+            .find(|r| r.name == row.name && r.policy == "never")
+            .expect("never baseline row present");
+        let first = row
+            .quality_series
+            .iter()
+            .zip(&row.epoch_series)
+            .zip(never.quality_series.iter().zip(&never.epoch_series))
+            .position(|((q, e), (nq, ne))| q != nq || e != ne);
+        match first {
+            None => assert_eq!(
+                row.repartitions, 0,
+                "{engine}/{}/{}: identical to never yet claims repartitions",
+                row.name, row.policy
+            ),
+            Some(b) => {
+                assert!(
+                    row.repartitions > 0,
+                    "{engine}/{}/{}: diverged from never at batch {b} without a repartition",
+                    row.name,
+                    row.policy
+                );
+                assert!(
+                    row.quality_series[b] <= never.quality_series[b] + 1e-9,
+                    "{engine}/{}/{}: post-repartition quality {} at batch {b} worse than the \
+                     incremental {} it replaced",
+                    row.name,
+                    row.policy,
+                    row.quality_series[b],
+                    never.quality_series[b],
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn distgnn_200_batch_stream_soak_decay_is_monotone_consistent() {
+    use gnnpart::graph::StreamSpec;
+    let g = graph();
+    let names = ["Random", "HDRF"];
+    let spec = StreamSpec::paper_default(200, SEED);
+    let policies = stream_policies();
+    // Width conformance lives in parallel_conformance.rs; here one
+    // threaded rerun guards the long-horizon path specifically.
+    let serial = distgnn_stream_sweep(&g, &names, MACHINES, params(), &spec, &policies, 1);
+    assert_eq!(serial.len(), names.len() * policies.len());
+    assert_stream_green(&serial, "distgnn");
+    assert!(
+        serial.iter().any(|r| r.repartitions > 0),
+        "200 periodic/threshold fire points must adopt at least one repartition"
+    );
+    let par = distgnn_stream_sweep_threaded(
+        &g, &names, MACHINES, params(), &spec, &policies, 1,
+        Threads::new(4),
+    );
+    assert_eq!(par, serial, "threaded rerun");
+}
+
+#[test]
+fn distdgl_200_batch_stream_soak_decay_is_monotone_consistent() {
+    use gnnpart::graph::StreamSpec;
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let names = ["Random", "LDG"];
+    let spec = StreamSpec::paper_default(200, SEED);
+    let policies = stream_policies();
+    let serial = distdgl_stream_sweep(
+        &g, &split, &names, MACHINES, params(), ModelKind::Sage, 256, &spec, &policies, 1,
+    );
+    assert_eq!(serial.len(), names.len() * policies.len());
+    assert_stream_green(&serial, "distdgl");
+    assert!(
+        serial.iter().any(|r| r.repartitions > 0),
+        "200 periodic/threshold fire points must adopt at least one repartition"
+    );
+    let par = distdgl_stream_sweep_threaded(
+        &g, &split, &names, MACHINES, params(), ModelKind::Sage, 256, &spec, &policies, 1,
+        Threads::new(4),
+    );
+    assert_eq!(par, serial, "threaded rerun");
 }
 
 #[test]

@@ -256,6 +256,56 @@ fn netchaos_soaks_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn stream_sweeps_are_bit_identical_across_thread_counts() {
+    use gnnpart::graph::StreamSpec;
+
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let params = PaperParams::middle();
+    let spec = StreamSpec::paper_default(5, 0xd21f7);
+    let policies = stream_policies();
+    let names_e = ["Random", "HDRF"];
+    let names_v = ["Random", "LDG"];
+
+    let serial_e = distgnn_stream_sweep(&g, &names_e, 4, params, &spec, &policies, 1);
+    let serial_v = distdgl_stream_sweep(
+        &g, &split, &names_v, 4, params, ModelKind::Sage, 256, &spec, &policies, 1,
+    );
+    for r in serial_e.iter().chain(&serial_v) {
+        assert!(r.holds(), "{}/{}: stream contract", r.name, r.policy);
+    }
+    for threads in THREAD_COUNTS {
+        let par_e = distgnn_stream_sweep_threaded(
+            &g, &names_e, 4, params, &spec, &policies, 1,
+            Threads::new(threads),
+        );
+        assert_eq!(par_e, serial_e, "distgnn threads = {threads}");
+        let par_v = distdgl_stream_sweep_threaded(
+            &g, &split, &names_v, 4, params, ModelKind::Sage, 256, &spec, &policies, 1,
+            Threads::new(threads),
+        );
+        assert_eq!(par_v, serial_v, "distdgl threads = {threads}");
+    }
+    // Nested pools (4-wide sweep x 4-wide engines) still match, and
+    // both exported artifacts are byte-identical, not just f64-equal.
+    let nested = Parallelism::new(Threads::new(4), Threads::new(4));
+    let par_e = distgnn_stream_sweep_threaded(&g, &names_e, 4, params, &spec, &policies, 1, nested);
+    let par_v = distdgl_stream_sweep_threaded(
+        &g, &split, &names_v, 4, params, ModelKind::Sage, 256, &spec, &policies, 1, nested,
+    );
+    assert_eq!(
+        stream_table("conformance", &par_e).to_csv(),
+        stream_table("conformance", &serial_e).to_csv(),
+        "CSV bytes"
+    );
+    assert_eq!(
+        stream_bench_json(&par_e, &par_v),
+        stream_bench_json(&serial_e, &serial_v),
+        "bench JSON bytes"
+    );
+}
+
+#[test]
 fn trace_runs_are_bit_identical_across_thread_counts() {
     let g = graph();
     let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
