@@ -41,6 +41,15 @@
 //!   verified per row, plus `BENCH_stream.json` with the per-batch
 //!   quality-decay curves and recovered speedups (extension; the
 //!   sweep behind `gnnpart stream`).
+//! * `perf` — host-time benchmark of the pinned workload matrix
+//!   (generated OR analogue → all 12 partitioners → one healthy epoch
+//!   per (partitioner, engine) at pool widths 1 and auto), measured
+//!   with `gp-prof` scoped timers and the counting allocator, plus
+//!   `BENCH_perf.json` and `PERF_report.md` (extension; the matrix
+//!   behind `gnnpart bench`). Unlike every other ablation its values
+//!   are real wall seconds and vary run to run, so it is **not** part
+//!   of `all` and its artifact is compared structurally
+//!   (`scripts/bench_diff.py`), never byte for byte.
 //!
 //! ```text
 //! cargo run -p gp-bench --release --bin ablations -- all
@@ -71,6 +80,16 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     args.retain(|a| a != "--quick");
+    // `--prof` turns the gp-prof scoped timers on for any ablation and
+    // prints the host-time profile to stdout afterwards. The profile
+    // never reaches an artifact file: every emitted CSV/JSON stays
+    // byte-identical with and without the flag.
+    let prof = args.iter().any(|a| a == "--prof");
+    args.retain(|a| a != "--prof");
+    if prof {
+        gp_prof::set_enabled(true);
+        gp_prof::set_mem_enabled(true);
+    }
     let threads = match gp_bench::take_parallelism_flags(&mut args) {
         Ok(t) => t,
         Err(e) => {
@@ -101,6 +120,7 @@ fn main() {
         "chaos" => chaos(&ctx, quick),
         "netchaos" => netchaos(&ctx, quick),
         "stream" => stream(&ctx, quick),
+        "perf" => perf(&ctx, quick),
         "all" => {
             hdrf_lambda(&ctx);
             hep_tau(&ctx);
@@ -117,15 +137,24 @@ fn main() {
             chaos(&ctx, quick);
             netchaos(&ctx, quick);
             stream(&ctx, quick);
+            // `perf` is deliberately absent: its artifact holds host
+            // wall-clock values, and `all` must stay byte-reproducible.
         }
         other => {
             eprintln!(
                 "unknown ablation {other:?} \
                  (hdrf-lambda|hep-tau|fanout|costmodel|cache|greedy|extensions|cdr|faults|\
-                 mitigation|phases|diagnose|chaos|netchaos|stream|all) [--quick] [--threads N|auto] \
-                 [--engine-threads N|auto]"
+                 mitigation|phases|diagnose|chaos|netchaos|stream|perf|all) [--quick] \
+                 [--prof] [--threads N|auto] [--engine-threads N|auto]"
             );
             std::process::exit(2);
+        }
+    }
+    if prof {
+        let profile = gp_prof::take_profile();
+        if !profile.is_empty() {
+            println!("\nhost-time profile:");
+            print!("{}", profile.to_markdown());
         }
     }
 }
@@ -767,6 +796,40 @@ fn stream(ctx: &Ctx, quick: bool) {
         );
     }
     write_artifact(ctx, "BENCH_stream.json", &stream_bench_json(&gnn_rows, &dgl_rows));
+}
+
+/// Host-time benchmark: the pinned workload matrix behind
+/// `gnnpart bench`, emitting `BENCH_perf.json` (single-line JSON with
+/// the pinned structure `scripts/bench_diff.py` keys on) and
+/// `PERF_report.md` (tables plus the hierarchical host-time profile).
+fn perf(ctx: &Ctx, quick: bool) {
+    use gp_core::perf::{perf_bench_json, perf_report_markdown, run_perf, PerfSpec};
+    let k = if quick { 4 } else { 8 };
+    let spec = PerfSpec { scale: ctx.scale, k, ..PerfSpec::pinned(ctx.scale) };
+    println!(
+        "perf: pinned workload {} at {:?} scale, {k} parts \
+         (12 partitioners, 2 engines, pool widths 1 and auto)",
+        spec.dataset.name(),
+        spec.scale,
+    );
+    let (report, profile) = run_perf(&spec);
+    for r in &report.engines {
+        println!(
+            "perf[{}/{}]: t1 {:.4}s, auto {:.4}s (speedup {:.2}x), \
+             peak {:.1} MiB, identical_across_widths={}",
+            r.engine,
+            r.partitioner,
+            r.wall_seconds_t1,
+            r.wall_seconds_auto,
+            r.pool_speedup,
+            r.peak_bytes as f64 / (1 << 20) as f64,
+            r.identical_across_widths,
+        );
+    }
+    write_artifact(ctx, "BENCH_perf.json", &perf_bench_json(&report));
+    write_artifact(ctx, "PERF_report.md", &perf_report_markdown(&report, &profile));
+    let diverged = report.engines.iter().filter(|r| !r.identical_across_widths).count();
+    assert_eq!(diverged, 0, "{diverged} engine rows diverged between pool widths");
 }
 
 /// Write a non-CSV diagnose artifact (Prometheus text, markdown report,

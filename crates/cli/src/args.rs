@@ -145,6 +145,27 @@ COMMANDS:
                                     rows identical for every width)
         --bench-out FILE            machine-readable JSON verdict
         --csv-out FILE              per-(partitioner, policy) CSV table
+    bench                       host-time benchmark of the pinned
+                                workload matrix: generate the OR
+                                analogue, run all 12 partitioners,
+                                then one healthy epoch per
+                                (partitioner, engine) at engine
+                                threads 1 and auto — measuring real
+                                wall seconds, throughput and allocator
+                                peaks via gp-prof (values vary run to
+                                run; the JSON *structure* is pinned
+                                for scripts/bench_diff.py). Exits
+                                non-zero if any dual-width pair
+                                diverges.
+        --scale tiny|small|medium   generation scale (default small)
+        --quick                     shorthand for --scale tiny
+        --parts N                   machines / parts (default 8)
+        --out FILE                  single-line JSON output
+                                    (default BENCH_perf.json)
+        --report-out FILE           markdown report incl. the
+                                    hierarchical host-time profile
+        --profile                   print the host-time profile tree
+                                    to stdout
     list                        list the 12 partitioners
     help                        this text
 ";
@@ -170,6 +191,8 @@ pub enum Command {
     NetChaos(NetChaosCmd),
     /// `gnnpart stream`.
     Stream(StreamCmd),
+    /// `gnnpart bench`.
+    Bench(BenchCmd),
     /// `gnnpart recommend`.
     Recommend(RecommendCmd),
     /// `gnnpart list`.
@@ -351,6 +374,24 @@ pub struct StreamCmd {
     pub csv_out: Option<PathBuf>,
 }
 
+/// Options of `gnnpart bench`: the host-time benchmark of the pinned
+/// workload matrix (generated OR analogue → all 12 partitioners → one
+/// healthy epoch per (partitioner, engine) at both pool widths),
+/// measured with `gp-prof` scoped timers and the counting allocator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCmd {
+    /// Generation scale of the pinned OR workload.
+    pub scale: GraphScale,
+    /// Machines / parts.
+    pub k: u32,
+    /// Single-line `BENCH_perf.json` output path.
+    pub out: PathBuf,
+    /// Optional markdown report output path (tables + profile tree).
+    pub report_out: Option<PathBuf>,
+    /// Print the hierarchical host-time profile to stdout.
+    pub profile: bool,
+}
+
 /// Options of `gnnpart recommend`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecommendCmd {
@@ -427,6 +468,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "chaos" => parse_chaos(&mut opts),
         "netchaos" => parse_netchaos(&mut opts),
         "stream" => parse_stream(&mut opts),
+        "bench" => parse_bench(&mut opts),
         "recommend" => parse_recommend(&mut opts),
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -756,6 +798,38 @@ fn parse_netchaos(opts: &mut Opts) -> Result<Command, ParseError> {
         }
     }
     Ok(Command::NetChaos(cmd))
+}
+
+fn parse_bench(opts: &mut Opts) -> Result<Command, ParseError> {
+    let mut cmd = BenchCmd {
+        scale: GraphScale::Small,
+        k: 8,
+        out: PathBuf::from("BENCH_perf.json"),
+        report_out: None,
+        profile: false,
+    };
+    while let Some(flag) = opts.next() {
+        match flag.as_str() {
+            "--scale" => cmd.scale = parse_scale(&opts.value_for("--scale")?)?,
+            "--quick" => cmd.scale = GraphScale::Tiny,
+            "--parts" => {
+                cmd.k = opts
+                    .value_for("--parts")?
+                    .parse()
+                    .map_err(|e| ParseError(format!("bad --parts: {e}")))?;
+                if cmd.k < 2 {
+                    return err("--parts must be at least 2");
+                }
+            }
+            "--out" => cmd.out = PathBuf::from(opts.value_for("--out")?),
+            "--report-out" => {
+                cmd.report_out = Some(PathBuf::from(opts.value_for("--report-out")?));
+            }
+            "--profile" => cmd.profile = true,
+            other => return err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Command::Bench(cmd))
 }
 
 fn parse_stream(opts: &mut Opts) -> Result<Command, ParseError> {
@@ -1321,6 +1395,46 @@ mod tests {
             .unwrap_err()
             .0
             .contains("--threads expects"));
+    }
+
+    #[test]
+    fn bench_defaults() {
+        let Command::Bench(c) = parse(&["bench"]).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.scale, GraphScale::Small);
+        assert_eq!(c.k, 8);
+        assert_eq!(c.out, PathBuf::from("BENCH_perf.json"));
+        assert_eq!(c.report_out, None);
+        assert!(!c.profile);
+    }
+
+    #[test]
+    fn bench_options_and_quick_shorthand() {
+        let Command::Bench(c) = parse(&[
+            "bench", "--scale", "medium", "--parts", "16", "--out", "p.json", "--report-out",
+            "p.md", "--profile",
+        ])
+        .unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(c.scale, GraphScale::Medium);
+        assert_eq!(c.k, 16);
+        assert_eq!(c.out, PathBuf::from("p.json"));
+        assert_eq!(c.report_out, Some(PathBuf::from("p.md")));
+        assert!(c.profile);
+        let Command::Bench(q) = parse(&["bench", "--quick"]).unwrap() else {
+            panic!("wrong command");
+        };
+        assert_eq!(q.scale, GraphScale::Tiny);
+    }
+
+    #[test]
+    fn bench_rejects_bad_options() {
+        assert!(parse(&["bench", "--parts", "1"]).unwrap_err().0.contains("at least 2"));
+        assert!(parse(&["bench", "--parts", "zz"]).unwrap_err().0.contains("bad --parts"));
+        assert!(parse(&["bench", "--scale", "huge"]).unwrap_err().0.contains("unknown scale"));
+        assert!(parse(&["bench", "--bogus"]).unwrap_err().0.contains("unknown option"));
     }
 
     #[test]

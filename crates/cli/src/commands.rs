@@ -16,8 +16,8 @@ use gp_graph::{edgelist, DatasetId, DegreeStats, Graph, VertexSplit};
 use gp_tensor::{ModelConfig, ModelKind};
 
 use crate::args::{
-    ChaosCmd, DiagnoseCmd, GenerateCmd, NetChaosCmd, PartitionCmd, RecommendCmd, SimulateCmd,
-    StatsCmd, StreamCmd, TraceCmd,
+    BenchCmd, ChaosCmd, DiagnoseCmd, GenerateCmd, NetChaosCmd, PartitionCmd, RecommendCmd,
+    SimulateCmd, StatsCmd, StreamCmd, TraceCmd,
 };
 
 type CmdResult = Result<(), Box<dyn Error>>;
@@ -1019,6 +1019,69 @@ fn print_mitigation(mode: &str, m: &MitigationReport) {
     );
 }
 
+/// `gnnpart bench`.
+pub fn bench(cmd: &BenchCmd) -> CmdResult {
+    use gp_core::perf::{perf_bench_json, perf_report_markdown, run_perf, PerfSpec};
+    let spec = PerfSpec { scale: cmd.scale, k: cmd.k, ..PerfSpec::pinned(cmd.scale) };
+    println!(
+        "bench: pinned workload {} at {:?} scale, {} parts \
+         (12 partitioners, 2 engines, pool widths 1 and auto)",
+        spec.dataset.name(),
+        spec.scale,
+        spec.k
+    );
+    let (report, profile) = run_perf(&spec);
+    println!(
+        "graph: {} vertices, {} edges, generated in {:.3} s",
+        report.graph.vertices, report.graph.edges, report.graph.gen_seconds
+    );
+    println!("{:<10} {:>7} {:>10} {:>14} {:>12}", "name", "family", "seconds", "edges/s", "peak MiB");
+    for r in &report.partitioners {
+        println!(
+            "{:<10} {:>7} {:>10.4} {:>14.0} {:>12.1}",
+            r.name,
+            r.family,
+            r.seconds,
+            r.edges_per_second,
+            r.peak_bytes as f64 / (1 << 20) as f64
+        );
+    }
+    println!(
+        "{:<9} {:<10} {:>9} {:>9} {:>8} {:>10} {:>12}",
+        "engine", "partition", "t1 s", "auto s", "speedup", "epochs/s", "peak MiB"
+    );
+    for r in &report.engines {
+        println!(
+            "{:<9} {:<10} {:>9.4} {:>9.4} {:>8.2} {:>10.2} {:>12.1}",
+            r.engine,
+            r.partitioner,
+            r.wall_seconds_t1,
+            r.wall_seconds_auto,
+            r.pool_speedup,
+            r.epochs_per_second,
+            r.peak_bytes as f64 / (1 << 20) as f64
+        );
+    }
+    std::fs::write(&cmd.out, perf_bench_json(&report))?;
+    println!("bench JSON -> {}", cmd.out.display());
+    if let Some(md) = &cmd.report_out {
+        std::fs::write(md, perf_report_markdown(&report, &profile))?;
+        println!("bench report -> {}", md.display());
+    }
+    if cmd.profile {
+        print!("{}", profile.to_markdown());
+    }
+    let diverged = report.engines.iter().filter(|r| !r.identical_across_widths).count();
+    if diverged > 0 {
+        return Err(format!(
+            "{diverged} of {} engine rows diverged between pool widths",
+            report.engines.len()
+        )
+        .into());
+    }
+    Ok(())
+}
+
 /// `gnnpart recommend`.
 pub fn recommend(cmd: RecommendCmd) -> CmdResult {
     use gp_core::advisor;
@@ -1420,6 +1483,40 @@ mod tests {
         stream(&cmd).unwrap();
         assert_eq!(std::fs::read_to_string(&bench).unwrap(), json, "sweep deterministic");
         for f in [el, bench, csv] {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn bench_quick_emits_valid_and_structurally_stable_json() {
+        let out = tmp("perf.json");
+        let md = tmp("perf.md");
+        let cmd = crate::args::BenchCmd {
+            scale: GraphScale::Tiny,
+            k: 4,
+            out: out.clone(),
+            report_out: Some(md.clone()),
+            profile: false,
+        };
+        bench(&cmd).unwrap();
+        let json = std::fs::read_to_string(&out).unwrap();
+        crate::jsonlint::validate_json(&json).expect("well-formed perf JSON");
+        assert!(json.contains("\"bench\":\"perf\""));
+        assert!(json.contains("\"engine\":\"distgnn\""));
+        assert!(json.contains("\"engine\":\"distdgl\""));
+        assert!(json.contains("\"identical_across_widths\":true"));
+        assert!(!json.contains("\"identical_across_widths\":false"));
+        let report = std::fs::read_to_string(&md).unwrap();
+        assert!(report.contains("## Host-time profile"));
+        // Values are host times and vary; the structure is pinned.
+        bench(&cmd).unwrap();
+        let again = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(
+            gp_core::benchjson::structure_of(&json),
+            gp_core::benchjson::structure_of(&again),
+            "perf JSON structure stable across reruns"
+        );
+        for f in [out, md] {
             let _ = std::fs::remove_file(f);
         }
     }

@@ -37,6 +37,7 @@ pub fn run(command: Command) -> i32 {
         Command::Chaos(c) => commands::chaos(&c),
         Command::NetChaos(c) => commands::netchaos(&c),
         Command::Stream(c) => commands::stream(&c),
+        Command::Bench(c) => commands::bench(&c),
         Command::Recommend(c) => commands::recommend(c),
         Command::List => {
             commands::list();

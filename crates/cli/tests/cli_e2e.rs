@@ -37,7 +37,7 @@ fn help_lists_all_commands() {
     let text = stdout(&out);
     for cmd in
         ["generate", "stats", "partition", "simulate", "trace", "diagnose", "chaos",
-         "netchaos", "recommend", "list"]
+         "netchaos", "stream", "bench", "recommend", "list"]
     {
         assert!(text.contains(cmd), "help missing {cmd}");
     }

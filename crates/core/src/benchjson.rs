@@ -1,0 +1,200 @@
+//! Shared writer for the `BENCH_*` JSON artifacts.
+//!
+//! Every benchmark snapshot this workspace commits
+//! (`BENCH_diagnose.json`, `BENCH_chaos.json`, `BENCH_netchaos.json`,
+//! `BENCH_stream.json`, `BENCH_perf.json`) is a single-line JSON
+//! document with one grammar:
+//!
+//! * floats are fixed-precision `{:.9}` — valid under the strict
+//!   `gnnpart jsonlint` number grammar and byte-stable across
+//!   platforms;
+//! * integers print as plain decimal, booleans as `true`/`false`;
+//! * the top level is `{"bench":"<kind>", <section>: <rows>, ...}`
+//!   terminated by a newline.
+//!
+//! The emitters in `diagnose`, `chaos`, `netchaos`, `stream_sweep` and
+//! `perf` all build their rows through [`Obj`] so the grammar lives in
+//! exactly one place; the pinned-schema unit test below freezes the
+//! byte-level output shape.
+
+/// Fixed-precision float for artifact cells: deterministic,
+/// byte-stable across platforms, and valid under the strict JSON
+/// number grammar (no `inf`/`NaN`, no bare `.5`).
+pub fn fmt9(x: f64) -> String {
+    format!("{x:.9}")
+}
+
+/// Minimal JSON string escaping (quote, backslash, control chars).
+/// Partitioner and policy names are ASCII identifiers, but the writer
+/// must not be able to emit invalid JSON for any input.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Single-line JSON object builder with typed field appenders. Field
+/// order is the call order — the schema of every BENCH artifact is the
+/// sequence of appender calls in its emitter.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    pub fn new() -> Obj {
+        Obj { buf: String::new() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(key);
+        self.buf.push_str("\":");
+    }
+
+    /// A string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Obj {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// A float field in the fixed `{:.9}` grammar.
+    pub fn f9(mut self, key: &str, value: f64) -> Obj {
+        self.key(key);
+        self.buf.push_str(&fmt9(value));
+        self
+    }
+
+    /// An unsigned integer field.
+    pub fn uint(mut self, key: &str, value: u64) -> Obj {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// A boolean field.
+    pub fn boolean(mut self, key: &str, value: bool) -> Obj {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// A pre-rendered JSON value (array, nested object).
+    pub fn raw(mut self, key: &str, value: &str) -> Obj {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Close the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Render pre-built JSON values as an array.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+/// Render an `f64` series as a JSON array in the `{:.9}` grammar.
+pub fn f64_array(xs: &[f64]) -> String {
+    let vals: Vec<String> = xs.iter().map(|&x| fmt9(x)).collect();
+    format!("[{}]", vals.join(","))
+}
+
+/// The canonical top level of a BENCH artifact:
+/// `{"bench":"<kind>",<name>:<value>,...}` + newline. Sections are
+/// pre-rendered JSON values (usually [`array`]s of [`Obj`] rows).
+pub fn bench_doc(kind: &str, sections: &[(&str, String)]) -> String {
+    let mut out = format!("{{\"bench\":\"{}\"", escape(kind));
+    for (name, value) in sections {
+        out.push_str(&format!(",\"{name}\":{value}"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Structural signature of a rendered document: every number replaced
+/// by `#`. Two runs of the same deterministic workload must have equal
+/// structures even when host-measured fields differ.
+pub fn structure_of(doc: &str) -> String {
+    gp_prof::redact_numbers(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_schema_bench_doc_shape() {
+        // The frozen byte-level shape every BENCH artifact shares: a
+        // change here is a schema break for committed artifacts and
+        // downstream scripts (scripts/bench_diff.py, CI validators).
+        let row = Obj::new()
+            .str("partitioner", "HEP-100")
+            .uint("epochs", 10)
+            .f9("seconds", 1.5)
+            .boolean("invariants_hold", true)
+            .raw("series", &f64_array(&[0.25, 2.0]))
+            .finish();
+        assert_eq!(
+            row,
+            "{\"partitioner\":\"HEP-100\",\"epochs\":10,\"seconds\":1.500000000,\
+             \"invariants_hold\":true,\"series\":[0.250000000,2.000000000]}"
+        );
+        let doc = bench_doc("example", &[("rows", array(&[row.clone(), row]))]);
+        assert!(doc.starts_with("{\"bench\":\"example\",\"rows\":[{\"partitioner\":"));
+        assert!(doc.ends_with("}]}\n"), "single line, newline-terminated: {doc:?}");
+        assert_eq!(doc.lines().count(), 1);
+    }
+
+    #[test]
+    fn fmt9_stays_inside_the_jsonlint_number_grammar() {
+        assert_eq!(fmt9(0.0), "0.000000000");
+        assert_eq!(fmt9(-1.25), "-1.250000000");
+        assert_eq!(fmt9(1e-10), "0.000000000");
+        for s in [fmt9(3.5), fmt9(-0.125), fmt9(1234.0)] {
+            // No leading zeros beyond a single digit, no bare dots, no
+            // exponent form — the strict-lint-safe subset.
+            assert!(!s.starts_with('.') && !s.ends_with('.'), "{s}");
+            assert!(!s.contains('e') && !s.contains('E'), "{s}");
+            let unsigned = s.strip_prefix('-').unwrap_or(&s);
+            assert!(
+                !(unsigned.len() > 1 && unsigned.starts_with('0') && !unsigned.starts_with("0.")),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\n\t\u{1}"), "x\\n\\t\\u0001");
+    }
+
+    #[test]
+    fn structure_of_erases_measurements_only() {
+        let a = bench_doc("perf", &[("rows", array(&[Obj::new().f9("wall", 0.123).finish()]))]);
+        let b = bench_doc("perf", &[("rows", array(&[Obj::new().f9("wall", 9.876).finish()]))]);
+        assert_eq!(structure_of(&a), structure_of(&b));
+        assert_ne!(a, b);
+    }
+}

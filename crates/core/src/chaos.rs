@@ -498,60 +498,49 @@ pub fn chaos_table(name: &str, rows: &[ChaosRow]) -> Table {
     table
 }
 
-fn fmt9(x: f64) -> String {
-    format!("{x:.9}")
-}
+use crate::benchjson;
 
 fn chaos_rows_json(rows: &[ChaosRow]) -> String {
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
-            format!(
-                "{{\"partitioner\":\"{}\",\"epochs\":{},\"completed_epochs\":{},\
-                 \"leaves\":{},\"joins\":{},\"handoffs\":{},\"rebalances\":{},\
-                 \"rejected_rebalances\":{},\"crashes\":{},\"retries\":{},\
-                 \"checkpoints\":{},\"corrupted_checkpoints\":{},\
-                 \"healthy_seconds\":{},\"elastic_seconds\":{},\"baseline_seconds\":{},\
-                 \"recovery_overhead_seconds\":{},\"handoff_seconds\":{},\
-                 \"recovery_bytes\":{},\"handoff_bytes\":{},\"lost_progress_epochs\":{},\
-                 \"slowdown\":{},\"elastic_saving_pct\":{},\"invariants_hold\":{}}}",
-                r.name,
-                r.epochs,
-                r.completed_epochs,
-                r.leaves,
-                r.joins,
-                r.handoffs,
-                r.rebalances,
-                r.rejected_rebalances,
-                r.crashes,
-                r.retries,
-                r.checkpoints,
-                r.corrupted_checkpoints,
-                fmt9(r.healthy_secs),
-                fmt9(r.elastic_secs),
-                fmt9(r.baseline_secs),
-                fmt9(r.recovery_overhead_secs),
-                fmt9(r.handoff_secs),
-                r.recovery_bytes,
-                r.handoff_bytes,
-                fmt9(r.lost_progress_epochs),
-                fmt9(r.slowdown()),
-                fmt9(r.elastic_saving_pct()),
-                r.holds(),
-            )
+            benchjson::Obj::new()
+                .str("partitioner", &r.name)
+                .uint("epochs", u64::from(r.epochs))
+                .uint("completed_epochs", u64::from(r.completed_epochs))
+                .uint("leaves", u64::from(r.leaves))
+                .uint("joins", u64::from(r.joins))
+                .uint("handoffs", u64::from(r.handoffs))
+                .uint("rebalances", u64::from(r.rebalances))
+                .uint("rejected_rebalances", u64::from(r.rejected_rebalances))
+                .uint("crashes", u64::from(r.crashes))
+                .uint("retries", r.retries)
+                .uint("checkpoints", r.checkpoints)
+                .uint("corrupted_checkpoints", r.corrupted_checkpoints)
+                .f9("healthy_seconds", r.healthy_secs)
+                .f9("elastic_seconds", r.elastic_secs)
+                .f9("baseline_seconds", r.baseline_secs)
+                .f9("recovery_overhead_seconds", r.recovery_overhead_secs)
+                .f9("handoff_seconds", r.handoff_secs)
+                .uint("recovery_bytes", r.recovery_bytes)
+                .uint("handoff_bytes", r.handoff_bytes)
+                .f9("lost_progress_epochs", r.lost_progress_epochs)
+                .f9("slowdown", r.slowdown())
+                .f9("elastic_saving_pct", r.elastic_saving_pct())
+                .boolean("invariants_hold", r.holds())
+                .finish()
         })
         .collect();
-    format!("[{}]", entries.join(","))
+    benchjson::array(&entries)
 }
 
 /// The `BENCH_chaos.json` payload: per-partitioner recovery-overhead
 /// and lost-progress metrics for both engines, plus the invariant
 /// verdicts. Deterministic rows ⇒ byte-identical artifact.
 pub fn chaos_bench_json(distgnn: &[ChaosRow], distdgl: &[ChaosRow]) -> String {
-    format!(
-        "{{\"bench\":\"chaos\",\"distgnn\":{},\"distdgl\":{}}}\n",
-        chaos_rows_json(distgnn),
-        chaos_rows_json(distdgl)
+    benchjson::bench_doc(
+        "chaos",
+        &[("distgnn", chaos_rows_json(distgnn)), ("distdgl", chaos_rows_json(distdgl))],
     )
 }
 

@@ -314,6 +314,7 @@ pub fn diagnose_distgnn_runs(
     policy: MitigationPolicy,
     par: impl Into<Parallelism>,
 ) -> Result<(Vec<RunDiagnosis>, ExecTiming), gp_distgnn::DistGnnError> {
+    let _prof = gp_prof::scope("core.diagnose.distgnn");
     let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
@@ -358,6 +359,7 @@ pub fn diagnose_distdgl_runs(
     policy: MitigationPolicy,
     par: impl Into<Parallelism>,
 ) -> Result<(Vec<RunDiagnosis>, ExecTiming), gp_distdgl::DistDglError> {
+    let _prof = gp_prof::scope("core.diagnose.distdgl");
     let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
@@ -399,10 +401,8 @@ pub fn merged_snapshot(runs: &[RunDiagnosis]) -> MetricsSnapshot {
 }
 
 /// Fixed-precision float for report/CSV cells: deterministic and
-/// byte-stable across platforms.
-fn fmt9(v: f64) -> String {
-    format!("{v:.9}")
-}
+/// byte-stable across platforms (the shared BENCH-artifact grammar).
+use crate::benchjson::{self, fmt9};
 
 /// Per-(partitioner, phase) skew table: quantiles from the cluster-wide
 /// histogram, load/traffic imbalance from the per-worker totals.
@@ -556,25 +556,26 @@ pub fn bench_json(runs: &[RunDiagnosis]) -> String {
         let mut phases = Vec::new();
         for phase in run.snapshot.phases_present() {
             let Some(stat) = run.snapshot.cluster_phase_stat(phase) else { continue };
-            phases.push(format!(
-                "{{\"phase\":\"{}\",\"p99\":{},\"max\":{},\"flops_imbalance\":{}}}",
-                phase.name(),
-                fmt9(stat.quantile(0.99)),
-                fmt9(stat.max),
-                fmt9(run.snapshot.phase_flops_imbalance(phase))
-            ));
+            phases.push(
+                benchjson::Obj::new()
+                    .str("phase", phase.name())
+                    .f9("p99", stat.quantile(0.99))
+                    .f9("max", stat.max)
+                    .f9("flops_imbalance", run.snapshot.phase_flops_imbalance(phase))
+                    .finish(),
+            );
         }
-        entries.push(format!(
-            "{{\"partitioner\":\"{}\",\"epoch_seconds\":{},\"compute_skew\":{},\
-             \"comm_skew\":{},\"phases\":[{}]}}",
-            run.name,
-            fmt9(run.epoch_seconds),
-            fmt9(run.snapshot.compute_skew()),
-            fmt9(run.snapshot.communication_skew()),
-            phases.join(",")
-        ));
+        entries.push(
+            benchjson::Obj::new()
+                .str("partitioner", &run.name)
+                .f9("epoch_seconds", run.epoch_seconds)
+                .f9("compute_skew", run.snapshot.compute_skew())
+                .f9("comm_skew", run.snapshot.communication_skew())
+                .raw("phases", &benchjson::array(&phases))
+                .finish(),
+        );
     }
-    format!("{{\"bench\":\"diagnose\",\"runs\":[{}]}}\n", entries.join(","))
+    benchjson::bench_doc("diagnose", &[("runs", benchjson::array(&entries))])
 }
 
 #[cfg(test)]

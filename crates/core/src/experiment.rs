@@ -1,6 +1,5 @@
 //! Timed partitioning runs and engine invocations.
 
-use std::time::Instant;
 
 use gp_cluster::{ClusterSpec, RunSpec};
 use gp_distdgl::{DistDglConfig, DistDglEngine, EpochSummary};
@@ -66,13 +65,14 @@ pub fn timed_edge_partitions_threaded(
         .map(|&name| {
             move || {
                 let p = registry::edge_partitioner(name).expect("registered");
-                let start = Instant::now();
+                let _prof = gp_prof::scope_label(|| format!("partition.{name}"));
+                let start = gp_prof::now();
                 let partition =
                     p.partition_edges(graph, k, seed).unwrap_or_else(|e| panic!("{name}: {e}"));
                 TimedEdgePartition {
                     name: name.to_string(),
                     partition,
-                    seconds: start.elapsed().as_secs_f64(),
+                    seconds: start.elapsed_secs(),
                 }
             }
         })
@@ -115,13 +115,14 @@ pub fn timed_vertex_partitions_threaded(
             move || {
                 let p = registry::vertex_partitioner(name, Some(train.to_vec()))
                     .expect("registered");
-                let start = Instant::now();
+                let _prof = gp_prof::scope_label(|| format!("partition.{name}"));
+                let start = gp_prof::now();
                 let partition =
                     p.partition_vertices(graph, k, seed).unwrap_or_else(|e| panic!("{name}: {e}"));
                 TimedVertexPartition {
                     name: name.to_string(),
                     partition,
-                    seconds: start.elapsed().as_secs_f64(),
+                    seconds: start.elapsed_secs(),
                 }
             }
         })

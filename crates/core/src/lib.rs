@@ -41,6 +41,10 @@
 //!   indices, straggler attribution, ranked causes of epoch time, and
 //!   the Prometheus / markdown-report / skew-CSV artifacts behind
 //!   `gnnpart diagnose` and the `diagnose` ablation (extension).
+//! * [`perf`] — host-time benchmark harness: the pinned workload
+//!   matrix behind `gnnpart bench` and the `perf` ablation, measuring
+//!   real wall seconds, throughput and allocator high-water marks of
+//!   the implementation itself via `gp-prof` (extension).
 //! * [`amortize`] — partitioning-time amortisation (Tables 4 and 5).
 //! * [`advisor`] — EASE-style partitioner recommendation (extension).
 //! * [`correlate`] — Pearson correlation / R² (Figures 3, 5).
@@ -48,6 +52,7 @@
 
 pub mod advisor;
 pub mod amortize;
+pub mod benchjson;
 pub mod chaos;
 pub mod config;
 pub mod correlate;
@@ -55,6 +60,7 @@ pub mod diagnose;
 pub mod experiment;
 pub mod fault_sweep;
 pub mod netchaos;
+pub mod perf;
 pub mod registry;
 pub mod report;
 pub mod stream_sweep;
@@ -93,6 +99,10 @@ pub mod prelude {
         distdgl_netchaos_soak, distdgl_netchaos_soak_threaded, distgnn_netchaos_soak,
         distgnn_netchaos_soak_threaded, netchaos_bench_json, netchaos_net_spec, netchaos_table,
         NetChaosRow,
+    };
+    pub use crate::perf::{
+        perf_bench_json, perf_report_markdown, run_perf, PerfEngineRow, PerfGraphStats,
+        PerfPartitionerRow, PerfReport, PerfSpec,
     };
     pub use crate::registry::{edge_partitioner, edge_partitioner_names, vertex_partitioner, vertex_partitioner_names};
     pub use crate::report::{Distribution, Table};

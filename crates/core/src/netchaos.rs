@@ -488,59 +488,48 @@ pub fn netchaos_table(name: &str, rows: &[NetChaosRow]) -> Table {
     table
 }
 
-fn fmt9(x: f64) -> String {
-    format!("{x:.9}")
-}
+use crate::benchjson;
 
 fn netchaos_rows_json(rows: &[NetChaosRow]) -> String {
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
-            format!(
-                "{{\"partitioner\":\"{}\",\"epochs\":{},\"completed_epochs\":{},\
-                 \"windows\":{},\"degraded_windows\":{},\"aborted_windows\":{},\
-                 \"partitioned_epochs\":{},\"degraded_epochs\":{},\"max_staleness\":{},\
-                 \"stale_served\":{},\"deferred_fetches\":{},\"net_retries\":{},\
-                 \"dup_discarded\":{},\"leaves\":{},\"joins\":{},\"crashes\":{},\
-                 \"catchup_seconds\":{},\"net_overhead_seconds\":{},\
-                 \"degraded_seconds\":{},\"abort_seconds\":{},\
-                 \"degraded_saving_pct\":{},\"invariants_hold\":{}}}",
-                r.name,
-                r.epochs,
-                r.completed_epochs,
-                r.windows,
-                r.degraded_windows,
-                r.aborted_windows,
-                r.partitioned_epochs,
-                r.degraded_epochs,
-                r.max_staleness,
-                r.stale_served,
-                r.deferred_fetches,
-                r.net_retries,
-                r.dup_discarded,
-                r.leaves,
-                r.joins,
-                r.crashes,
-                fmt9(r.catchup_secs),
-                fmt9(r.net_overhead_secs),
-                fmt9(r.degraded_secs),
-                fmt9(r.abort_secs),
-                fmt9(r.degraded_saving_pct()),
-                r.holds(),
-            )
+            benchjson::Obj::new()
+                .str("partitioner", &r.name)
+                .uint("epochs", u64::from(r.epochs))
+                .uint("completed_epochs", u64::from(r.completed_epochs))
+                .uint("windows", u64::from(r.windows))
+                .uint("degraded_windows", u64::from(r.degraded_windows))
+                .uint("aborted_windows", u64::from(r.aborted_windows))
+                .uint("partitioned_epochs", u64::from(r.partitioned_epochs))
+                .uint("degraded_epochs", u64::from(r.degraded_epochs))
+                .uint("max_staleness", u64::from(r.max_staleness))
+                .uint("stale_served", r.stale_served)
+                .uint("deferred_fetches", r.deferred_fetches)
+                .uint("net_retries", r.net_retries)
+                .uint("dup_discarded", r.dup_discarded)
+                .uint("leaves", u64::from(r.leaves))
+                .uint("joins", u64::from(r.joins))
+                .uint("crashes", u64::from(r.crashes))
+                .f9("catchup_seconds", r.catchup_secs)
+                .f9("net_overhead_seconds", r.net_overhead_secs)
+                .f9("degraded_seconds", r.degraded_secs)
+                .f9("abort_seconds", r.abort_secs)
+                .f9("degraded_saving_pct", r.degraded_saving_pct())
+                .boolean("invariants_hold", r.holds())
+                .finish()
         })
         .collect();
-    format!("[{}]", entries.join(","))
+    benchjson::array(&entries)
 }
 
 /// The `BENCH_netchaos.json` payload: per-partitioner degraded-mode and
 /// transport-noise metrics for both engines, plus the invariant
 /// verdicts. Deterministic rows ⇒ byte-identical artifact.
 pub fn netchaos_bench_json(distgnn: &[NetChaosRow], distdgl: &[NetChaosRow]) -> String {
-    format!(
-        "{{\"bench\":\"netchaos\",\"distgnn\":{},\"distdgl\":{}}}\n",
-        netchaos_rows_json(distgnn),
-        netchaos_rows_json(distdgl)
+    benchjson::bench_doc(
+        "netchaos",
+        &[("distgnn", netchaos_rows_json(distgnn)), ("distdgl", netchaos_rows_json(distdgl))],
     )
 }
 

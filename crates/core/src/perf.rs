@@ -1,0 +1,525 @@
+//! Host-time performance benchmark: the pinned workload matrix behind
+//! `gnnpart bench` and the `perf` ablation.
+//!
+//! Unlike every other harness in this crate — whose outputs are
+//! *simulated* seconds from the calibrated cost models and therefore
+//! bit-deterministic — this module measures **host wall-clock time and
+//! memory** of the implementation itself via [`gp_prof`]: how long the
+//! generators, partitioners and engines take to run on this machine,
+//! and how many bytes they allocate doing it. The numbers vary run to
+//! run; the *structure* of the report (row set, field set, ordering)
+//! is pinned so artifacts from two machines or two commits line up
+//! row for row in `scripts/bench_diff.py`.
+//!
+//! The workload is deliberately frozen ([`PerfSpec::pinned`]): the OR
+//! (Orkut-analogue) graph, `k = 8` parts, the Table-3 middle
+//! hyper-parameters, one healthy epoch per engine — once at
+//! `engine-threads 1` and once at `auto`, giving the pool speedup as a
+//! free column. Simulated epoch seconds ride along so host cost can be
+//! normalised against modeled cost, and the dual-width runs double as
+//! a determinism check (`identical_across_widths`).
+
+use gp_cluster::{ClusterSpec, RunSpec};
+use gp_distdgl::{DistDglConfig, DistDglEngine};
+use gp_distgnn::{DistGnnConfig, DistGnnEngine};
+use gp_exec::Threads;
+use gp_graph::{DatasetId, Graph, GraphScale, VertexSplit};
+use gp_prof::{MemRegion, Profile};
+use gp_tensor::ModelKind;
+
+use crate::benchjson::{self, Obj};
+use crate::config::PaperParams;
+use crate::registry;
+
+/// The frozen workload description. All fields are public so the CLI
+/// can surface overrides (`--scale`, `--parts`), but the committed
+/// baseline always uses [`PerfSpec::pinned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfSpec {
+    /// Dataset to generate (pinned: OR — the densest analogue, so the
+    /// partitioners and engines all do non-trivial work).
+    pub dataset: DatasetId,
+    /// Generation scale.
+    pub scale: GraphScale,
+    /// Number of parts / machines.
+    pub k: u32,
+    /// Seed for generation, partitioning and splits.
+    pub seed: u64,
+    /// Model hyper-parameters.
+    pub params: PaperParams,
+    /// DistDGL global batch size.
+    pub global_batch: u32,
+}
+
+impl PerfSpec {
+    /// The pinned benchmark workload at the given scale.
+    pub fn pinned(scale: GraphScale) -> PerfSpec {
+        PerfSpec {
+            dataset: DatasetId::OR,
+            scale,
+            k: 8,
+            seed: 0x9a9a,
+            params: PaperParams::middle(),
+            global_batch: 1024,
+        }
+    }
+}
+
+/// Host cost of generating the benchmark graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfGraphStats {
+    /// Vertices generated.
+    pub vertices: u32,
+    /// Edges generated.
+    pub edges: u32,
+    /// Host wall seconds for generation.
+    pub gen_seconds: f64,
+    /// Peak live bytes above the pre-generation baseline.
+    pub gen_peak_bytes: u64,
+    /// Total bytes allocated during generation.
+    pub gen_allocated_bytes: u64,
+}
+
+/// Host cost of one partitioner on the benchmark graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfPartitionerRow {
+    /// Registry name (e.g. `"HDRF"`).
+    pub name: String,
+    /// `"edge"` or `"vertex"`.
+    pub family: &'static str,
+    /// Host wall seconds for the partitioning call.
+    pub seconds: f64,
+    /// Edge throughput: graph edges / host seconds.
+    pub edges_per_second: f64,
+    /// Peak live bytes above the baseline at partitioner entry.
+    pub peak_bytes: u64,
+    /// Total bytes allocated by the call.
+    pub allocated_bytes: u64,
+    /// Allocation count of the call.
+    pub allocs: u64,
+}
+
+/// Host cost of one healthy epoch of one engine over one partition,
+/// measured at two pool widths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEngineRow {
+    /// `"distgnn"` or `"distdgl"`.
+    pub engine: &'static str,
+    /// Partitioner that produced the partition.
+    pub partitioner: String,
+    /// Host wall seconds at `engine-threads 1`.
+    pub wall_seconds_t1: f64,
+    /// Host wall seconds at `engine-threads auto`.
+    pub wall_seconds_auto: f64,
+    /// `wall_seconds_t1 / wall_seconds_auto` (≈ 1.0 on one core).
+    pub pool_speedup: f64,
+    /// Epoch throughput at auto width: `1 / wall_seconds_auto`.
+    pub epochs_per_second: f64,
+    /// Edge throughput at auto width: edges / `wall_seconds_auto`.
+    pub edges_per_second: f64,
+    /// *Simulated* epoch seconds from the cost model (identical at
+    /// both widths — that identity is `identical_across_widths`).
+    pub sim_epoch_seconds: f64,
+    /// Peak live bytes above baseline during the auto-width run.
+    pub peak_bytes: u64,
+    /// Whether the t1 and auto epoch reports were bit-identical.
+    pub identical_across_widths: bool,
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// The workload that was run.
+    pub spec: PerfSpec,
+    /// Graph-generation cost.
+    pub graph: PerfGraphStats,
+    /// One row per partitioner, edge family first, registry order.
+    pub partitioners: Vec<PerfPartitionerRow>,
+    /// One row per (engine, partitioner), DistGNN first.
+    pub engines: Vec<PerfEngineRow>,
+}
+
+/// Guard against a sub-resolution timing reading zero: throughput
+/// denominators clamp to one nanosecond.
+fn per_second(units: f64, seconds: f64) -> f64 {
+    units / seconds.max(1e-9)
+}
+
+/// Run the pinned workload matrix and return the report plus the
+/// hierarchical host-time profile accumulated while it ran.
+///
+/// Profiling and memory accounting are force-enabled for the duration
+/// and restored to their previous state afterwards; the profile
+/// registry is reset on entry so the returned [`Profile`] covers
+/// exactly this run.
+///
+/// # Panics
+///
+/// Panics if generation, a registered partitioner, or an engine build
+/// fails — the pinned spec is valid for every registry entry.
+pub fn run_perf(spec: &PerfSpec) -> (PerfReport, Profile) {
+    let prof_was = gp_prof::is_enabled();
+    let mem_was = gp_prof::mem_enabled();
+    gp_prof::set_enabled(true);
+    gp_prof::set_mem_enabled(true);
+    gp_prof::reset();
+
+    // Graph generation.
+    let (graph, gstats) = {
+        let _prof = gp_prof::scope("perf.graph_gen");
+        let region = MemRegion::enter();
+        let start = gp_prof::now();
+        let graph = spec.dataset.generate(spec.scale).expect("pinned dataset generates");
+        let seconds = start.elapsed_secs();
+        let mem = region.finish();
+        let stats = PerfGraphStats {
+            vertices: graph.num_vertices(),
+            edges: graph.num_edges(),
+            gen_seconds: seconds,
+            gen_peak_bytes: mem.peak_delta_bytes,
+            gen_allocated_bytes: mem.allocated_bytes,
+        };
+        (graph, stats)
+    };
+    let edges = f64::from(graph.num_edges());
+
+    // Partitioners, serially (concurrent timings would contend).
+    let mut partitioners = Vec::new();
+    let mut edge_parts = Vec::new();
+    for &name in registry::edge_partitioner_names() {
+        let p = registry::edge_partitioner(name).expect("registered");
+        let _prof = gp_prof::scope_label(|| format!("partition.{name}"));
+        let region = MemRegion::enter();
+        let start = gp_prof::now();
+        let partition =
+            p.partition_edges(&graph, spec.k, spec.seed).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let seconds = start.elapsed_secs();
+        let mem = region.finish();
+        partitioners.push(PerfPartitionerRow {
+            name: name.to_string(),
+            family: "edge",
+            seconds,
+            edges_per_second: per_second(edges, seconds),
+            peak_bytes: mem.peak_delta_bytes,
+            allocated_bytes: mem.allocated_bytes,
+            allocs: mem.allocs,
+        });
+        edge_parts.push((name, partition));
+    }
+    let split =
+        VertexSplit::paper_default(graph.num_vertices(), 0x5eed).expect("valid split");
+    let mut vertex_parts = Vec::new();
+    for &name in registry::vertex_partitioner_names() {
+        let p = registry::vertex_partitioner(name, Some(split.train.clone()))
+            .expect("registered");
+        let _prof = gp_prof::scope_label(|| format!("partition.{name}"));
+        let region = MemRegion::enter();
+        let start = gp_prof::now();
+        let partition = p
+            .partition_vertices(&graph, spec.k, spec.seed)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let seconds = start.elapsed_secs();
+        let mem = region.finish();
+        partitioners.push(PerfPartitionerRow {
+            name: name.to_string(),
+            family: "vertex",
+            seconds,
+            edges_per_second: per_second(edges, seconds),
+            peak_bytes: mem.peak_delta_bytes,
+            allocated_bytes: mem.allocated_bytes,
+            allocs: mem.allocs,
+        });
+        vertex_parts.push((name, partition));
+    }
+
+    // Engines: one healthy epoch per partition at both pool widths.
+    let cluster = ClusterSpec::paper(spec.k);
+    let mut engines = Vec::new();
+    for (name, partition) in &edge_parts {
+        let config = DistGnnConfig::paper(spec.params.model(ModelKind::Sage), cluster.clone());
+        let run_at = |threads: Threads| {
+            let engine = DistGnnEngine::builder(&graph, partition)
+                .config(config.clone())
+                .threads(threads)
+                .build()
+                .expect("valid config");
+            let region = MemRegion::enter();
+            let start = gp_prof::now();
+            let report = engine
+                .run(&RunSpec::healthy())
+                .expect("healthy run")
+                .into_healthy()
+                .remove(0);
+            (start.elapsed_secs(), region.finish(), report)
+        };
+        let (t1, _, report_t1) = run_at(Threads::serial());
+        let (auto, mem, report_auto) = run_at(Threads::auto());
+        engines.push(PerfEngineRow {
+            engine: "distgnn",
+            partitioner: name.to_string(),
+            wall_seconds_t1: t1,
+            wall_seconds_auto: auto,
+            pool_speedup: t1 / auto.max(1e-9),
+            epochs_per_second: per_second(1.0, auto),
+            edges_per_second: per_second(edges, auto),
+            sim_epoch_seconds: report_auto.epoch_time(),
+            peak_bytes: mem.peak_delta_bytes,
+            identical_across_widths: format!("{report_t1:?}") == format!("{report_auto:?}"),
+        });
+    }
+    for (name, partition) in &vertex_parts {
+        let mut config = DistDglConfig::paper(spec.params.model(ModelKind::Sage), cluster.clone());
+        config.global_batch_size = spec.global_batch;
+        let run_at = |threads: Threads| {
+            let engine = DistDglEngine::builder(&graph, partition, &split)
+                .config(config.clone())
+                .threads(threads)
+                .build()
+                .expect("valid config");
+            let region = MemRegion::enter();
+            let start = gp_prof::now();
+            let summary = engine
+                .run(&RunSpec::healthy())
+                .expect("healthy run")
+                .into_healthy()
+                .remove(0);
+            (start.elapsed_secs(), region.finish(), summary)
+        };
+        let (t1, _, sum_t1) = run_at(Threads::serial());
+        let (auto, mem, sum_auto) = run_at(Threads::auto());
+        engines.push(PerfEngineRow {
+            engine: "distdgl",
+            partitioner: name.to_string(),
+            wall_seconds_t1: t1,
+            wall_seconds_auto: auto,
+            pool_speedup: t1 / auto.max(1e-9),
+            epochs_per_second: per_second(1.0, auto),
+            edges_per_second: per_second(edges, auto),
+            sim_epoch_seconds: sum_auto.epoch_time(),
+            peak_bytes: mem.peak_delta_bytes,
+            identical_across_widths: format!("{sum_t1:?}") == format!("{sum_auto:?}"),
+        });
+    }
+
+    let profile = gp_prof::take_profile();
+    gp_prof::set_enabled(prof_was);
+    gp_prof::set_mem_enabled(mem_was);
+    (PerfReport { spec: *spec, graph: gstats, partitioners, engines }, profile)
+}
+
+fn scale_name(scale: GraphScale) -> &'static str {
+    match scale {
+        GraphScale::Tiny => "tiny",
+        GraphScale::Small => "small",
+        GraphScale::Medium => "medium",
+    }
+}
+
+/// Render the report as the single-line `BENCH_perf.json` document.
+///
+/// Values are host measurements and vary run to run; the *structure*
+/// (see [`benchjson::structure_of`]) is identical across reruns,
+/// machines and thread widths, which is what CI and
+/// `scripts/bench_diff.py` key on.
+pub fn perf_bench_json(report: &PerfReport) -> String {
+    let graph = Obj::new()
+        .uint("vertices", u64::from(report.graph.vertices))
+        .uint("edges", u64::from(report.graph.edges))
+        .f9("gen_seconds", report.graph.gen_seconds)
+        .uint("gen_peak_bytes", report.graph.gen_peak_bytes)
+        .uint("gen_allocated_bytes", report.graph.gen_allocated_bytes)
+        .finish();
+    let partitioners: Vec<String> = report
+        .partitioners
+        .iter()
+        .map(|r| {
+            Obj::new()
+                .str("partitioner", &r.name)
+                .str("family", r.family)
+                .f9("seconds", r.seconds)
+                .f9("edges_per_second", r.edges_per_second)
+                .uint("peak_bytes", r.peak_bytes)
+                .uint("allocated_bytes", r.allocated_bytes)
+                .uint("allocs", r.allocs)
+                .finish()
+        })
+        .collect();
+    let engines: Vec<String> = report
+        .engines
+        .iter()
+        .map(|r| {
+            Obj::new()
+                .str("engine", r.engine)
+                .str("partitioner", &r.partitioner)
+                .f9("wall_seconds_t1", r.wall_seconds_t1)
+                .f9("wall_seconds_auto", r.wall_seconds_auto)
+                .f9("pool_speedup", r.pool_speedup)
+                .f9("epochs_per_second", r.epochs_per_second)
+                .f9("edges_per_second", r.edges_per_second)
+                .f9("sim_epoch_seconds", r.sim_epoch_seconds)
+                .uint("peak_bytes", r.peak_bytes)
+                .boolean("identical_across_widths", r.identical_across_widths)
+                .finish()
+        })
+        .collect();
+    let doc = Obj::new()
+        .str("bench", "perf")
+        .str("dataset", report.spec.dataset.name())
+        .str("scale", scale_name(report.spec.scale))
+        .uint("parts", u64::from(report.spec.k))
+        .uint("seed", report.spec.seed)
+        .uint("feature_size", report.spec.params.feature_size as u64)
+        .uint("hidden_dim", report.spec.params.hidden_dim as u64)
+        .uint("num_layers", report.spec.params.num_layers as u64)
+        .uint("global_batch", u64::from(report.spec.global_batch))
+        .raw("graph", &graph)
+        .raw("partitioners", &benchjson::array(&partitioners))
+        .raw("engines", &benchjson::array(&engines))
+        .finish();
+    format!("{doc}\n")
+}
+
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.1} MiB", bytes as f64 / f64::from(1u32 << 20))
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Human-readable markdown companion to [`perf_bench_json`]: the same
+/// rows as tables, followed by the hierarchical host-time profile.
+pub fn perf_report_markdown(report: &PerfReport, profile: &Profile) -> String {
+    let mut out = String::new();
+    out.push_str("# Host-time benchmark\n\n");
+    out.push_str(&format!(
+        "Workload: `{}` at `{}` scale, k = {}, seed = {:#x}, \
+         (f={}, h={}, L={}), global batch {}.\n\n",
+        report.spec.dataset.name(),
+        scale_name(report.spec.scale),
+        report.spec.k,
+        report.spec.seed,
+        report.spec.params.feature_size,
+        report.spec.params.hidden_dim,
+        report.spec.params.num_layers,
+        report.spec.global_batch,
+    ));
+    out.push_str(&format!(
+        "Graph: {} vertices, {} edges, generated in {:.3} s \
+         (peak {}, allocated {}).\n\n",
+        report.graph.vertices,
+        report.graph.edges,
+        report.graph.gen_seconds,
+        fmt_bytes(report.graph.gen_peak_bytes),
+        fmt_bytes(report.graph.gen_allocated_bytes),
+    ));
+
+    out.push_str("## Partitioners\n\n");
+    out.push_str("| partitioner | family | seconds | edges/s | peak | allocated | allocs |\n");
+    out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+    for r in &report.partitioners {
+        out.push_str(&format!(
+            "| {} | {} | {:.4} | {:.0} | {} | {} | {} |\n",
+            r.name,
+            r.family,
+            r.seconds,
+            r.edges_per_second,
+            fmt_bytes(r.peak_bytes),
+            fmt_bytes(r.allocated_bytes),
+            r.allocs,
+        ));
+    }
+
+    out.push_str("\n## Engines (one healthy epoch)\n\n");
+    out.push_str(
+        "| engine | partitioner | t1 s | auto s | speedup | epochs/s | \
+         sim epoch s | peak | identical |\n",
+    );
+    out.push_str("|---|---|---:|---:|---:|---:|---:|---:|---|\n");
+    for r in &report.engines {
+        out.push_str(&format!(
+            "| {} | {} | {:.4} | {:.4} | {:.2} | {:.2} | {:.6} | {} | {} |\n",
+            r.engine,
+            r.partitioner,
+            r.wall_seconds_t1,
+            r.wall_seconds_auto,
+            r.pool_speedup,
+            r.epochs_per_second,
+            r.sim_epoch_seconds,
+            fmt_bytes(r.peak_bytes),
+            if r.identical_across_widths { "yes" } else { "NO" },
+        ));
+    }
+
+    out.push_str("\n## Host-time profile\n\n");
+    if profile.is_empty() {
+        out.push_str("(profiling disabled)\n");
+    } else {
+        out.push_str(&profile.to_markdown());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchjson::structure_of;
+    use std::sync::Mutex;
+
+    /// `run_perf` resets and drains the process-global profile
+    /// registry; run these tests one at a time so they do not steal
+    /// each other's scopes.
+    static PERF_GUARD: Mutex<()> = Mutex::new(());
+
+    fn tiny_spec() -> PerfSpec {
+        PerfSpec::pinned(GraphScale::Tiny)
+    }
+
+    #[test]
+    fn tiny_perf_run_covers_the_full_matrix() {
+        let _guard = PERF_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let (report, profile) = run_perf(&tiny_spec());
+        assert_eq!(report.partitioners.len(), 12);
+        assert_eq!(report.partitioners.iter().filter(|r| r.family == "edge").count(), 6);
+        assert_eq!(report.engines.len(), 12);
+        assert!(report.engines.iter().all(|r| r.identical_across_widths));
+        assert!(report.engines.iter().all(|r| r.sim_epoch_seconds > 0.0));
+        assert!(report.engines.iter().all(|r| r.wall_seconds_auto >= 0.0));
+        assert!(report.graph.edges > 0);
+        // The profile saw the run's own scopes.
+        assert!(!profile.is_empty());
+        let structure = profile.structure();
+        assert!(structure.contains("perf.graph_gen"), "{structure}");
+        assert!(structure.contains("partition."), "{structure}");
+    }
+
+    #[test]
+    fn perf_json_structure_is_identical_across_reruns() {
+        let _guard = PERF_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let (r1, _) = run_perf(&tiny_spec());
+        let (r2, _) = run_perf(&tiny_spec());
+        let j1 = perf_bench_json(&r1);
+        let j2 = perf_bench_json(&r2);
+        assert_eq!(structure_of(&j1), structure_of(&j2));
+        assert!(j1.ends_with('\n'));
+        // Simulated values (not host times) are bit-identical.
+        for (a, b) in r1.engines.iter().zip(&r2.engines) {
+            assert_eq!(a.sim_epoch_seconds, b.sim_epoch_seconds);
+            assert_eq!(a.engine, b.engine);
+            assert_eq!(a.partitioner, b.partitioner);
+        }
+    }
+
+    #[test]
+    fn perf_markdown_renders_every_row() {
+        let _guard = PERF_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let (report, profile) = run_perf(&tiny_spec());
+        let md = perf_report_markdown(&report, &profile);
+        for r in &report.partitioners {
+            assert!(md.contains(&format!("| {} |", r.name)), "{}", r.name);
+        }
+        assert!(md.contains("## Host-time profile"));
+    }
+}

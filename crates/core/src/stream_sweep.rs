@@ -445,45 +445,32 @@ pub fn stream_table(name: &str, rows: &[StreamSweepRow]) -> Table {
     table
 }
 
-fn fmt9(x: f64) -> String {
-    format!("{x:.9}")
-}
-
-fn series_json(xs: &[f64]) -> String {
-    let vals: Vec<String> = xs.iter().map(|&x| fmt9(x)).collect();
-    format!("[{}]", vals.join(","))
-}
+use crate::benchjson;
 
 fn stream_rows_json(rows: &[StreamSweepRow]) -> String {
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
-            format!(
-                "{{\"partitioner\":\"{}\",\"policy\":\"{}\",\"batches\":{},\
-                 \"completed_batches\":{},\"repartitions\":{},\
-                 \"partition_seconds\":{},\"epoch_seconds\":{},\
-                 \"initial_quality\":{},\"final_quality\":{},\"peak_quality\":{},\
-                 \"speedup_vs_never\":{},\"amortize_epochs\":{},\
-                 \"quality_series\":{},\"epoch_series\":{},\"invariants_hold\":{}}}",
-                r.name,
-                r.policy,
-                r.batches,
-                r.completed_batches,
-                r.repartitions,
-                fmt9(r.partition_seconds),
-                fmt9(r.epoch_seconds),
-                fmt9(r.initial_quality),
-                fmt9(r.final_quality),
-                fmt9(r.peak_quality),
-                fmt9(r.speedup_vs_never),
-                fmt9(r.amortize_epochs),
-                series_json(&r.quality_series),
-                series_json(&r.epoch_series),
-                r.holds(),
-            )
+            benchjson::Obj::new()
+                .str("partitioner", &r.name)
+                .str("policy", &r.policy)
+                .uint("batches", u64::from(r.batches))
+                .uint("completed_batches", u64::from(r.completed_batches))
+                .uint("repartitions", u64::from(r.repartitions))
+                .f9("partition_seconds", r.partition_seconds)
+                .f9("epoch_seconds", r.epoch_seconds)
+                .f9("initial_quality", r.initial_quality)
+                .f9("final_quality", r.final_quality)
+                .f9("peak_quality", r.peak_quality)
+                .f9("speedup_vs_never", r.speedup_vs_never)
+                .f9("amortize_epochs", r.amortize_epochs)
+                .raw("quality_series", &benchjson::f64_array(&r.quality_series))
+                .raw("epoch_series", &benchjson::f64_array(&r.epoch_series))
+                .boolean("invariants_hold", r.holds())
+                .finish()
         })
         .collect();
-    format!("[{}]", entries.join(","))
+    benchjson::array(&entries)
 }
 
 /// The `BENCH_stream.json` payload: per-(partitioner, policy) decay
@@ -491,10 +478,9 @@ fn stream_rows_json(rows: &[StreamSweepRow]) -> String {
 /// plus the contract verdicts. Deterministic rows ⇒ byte-identical
 /// artifact.
 pub fn stream_bench_json(distgnn: &[StreamSweepRow], distdgl: &[StreamSweepRow]) -> String {
-    format!(
-        "{{\"bench\":\"stream\",\"distgnn\":{},\"distdgl\":{}}}\n",
-        stream_rows_json(distgnn),
-        stream_rows_json(distdgl)
+    benchjson::bench_doc(
+        "stream",
+        &[("distgnn", stream_rows_json(distgnn)), ("distdgl", stream_rows_json(distdgl))],
     )
 }
 

@@ -75,6 +75,7 @@ pub fn distgnn_grid_threaded(
     grid: &[PaperParams],
     par: impl Into<Parallelism>,
 ) -> Vec<DistGnnGridOutcome> {
+    let _prof = gp_prof::scope("core.sweep.distgnn_grid");
     let par = par.into();
     let random = timed.iter().find(|t| t.name == "Random").expect("Random baseline required");
     let cluster = ClusterSpec::paper(random.partition.k());
@@ -202,6 +203,7 @@ pub fn distdgl_grid_threaded(
     global_batch_size: u32,
     par: impl Into<Parallelism>,
 ) -> Vec<DistDglGridOutcome> {
+    let _prof = gp_prof::scope("core.sweep.distdgl_grid");
     let par = par.into();
     let random = timed.iter().find(|t| t.name == "Random").expect("Random baseline required");
     let k = random.partition.k();

@@ -119,6 +119,7 @@ pub fn distgnn_trace_runs(
     mitigate: bool,
     par: impl Into<Parallelism>,
 ) -> Result<(Vec<(String, TraceSink)>, ExecTiming), gp_distgnn::DistGnnError> {
+    let _prof = gp_prof::scope("core.trace.distgnn");
     let par = par.into();
     let jobs: Vec<_> = timed
         .iter()
@@ -155,6 +156,7 @@ pub fn distdgl_trace_runs(
     mitigate: bool,
     par: impl Into<Parallelism>,
 ) -> Result<(Vec<(String, TraceSink)>, ExecTiming), gp_distdgl::DistDglError> {
+    let _prof = gp_prof::scope("core.trace.distdgl");
     let par = par.into();
     let jobs: Vec<_> = timed
         .iter()

@@ -695,6 +695,7 @@ impl<'a> DistDglEngine<'a> {
     /// hashing the full tuple, so per-worker jobs can run on any thread
     /// schedule without changing a single drawn edge.
     fn sample_worker(&self, epoch: u32, step: usize, w: u32) -> MiniBatch {
+        let _prof = gp_prof::scope("distdgl.sample");
         let bpw = self.batch_per_worker();
         // Derive independent streams by hashing (seed, epoch, step,
         // worker) through a mixer; shifted XOR would collide as soon as
@@ -723,6 +724,7 @@ impl<'a> DistDglEngine<'a> {
         faults: Option<&StepFaultCtx>,
         recovery: &mut RecoveryReport,
     ) -> WorkerCost {
+        let _prof = gp_prof::scope("distdgl.fetch_compute");
         let cluster = &self.config.cluster;
         let network = faults.map_or(cluster.network, |f| f.network);
         let model = &self.config.model;
@@ -1295,6 +1297,7 @@ impl<'a> DistDglEngine<'a> {
     ///
     /// Panics if `sampled` is empty.
     pub fn simulate_epoch_from(&self, sampled: &[Vec<MiniBatch>]) -> EpochSummary {
+        let _prof = gp_prof::scope("distdgl.epoch");
         assert!(!sampled.is_empty(), "need at least one sampled step");
         let k = self.config.cluster.machines;
         let mut counters = ClusterCounters::new(k);

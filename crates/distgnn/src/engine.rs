@@ -836,6 +836,7 @@ impl<'a> DistGnnEngine<'a> {
         sink: &TraceSink,
     ) -> EpochReport {
         assert_eq!(model.kind, self.config.model.kind, "model kind mismatch");
+        let _prof = gp_prof::scope("distgnn.epoch");
         let cluster = &self.config.cluster;
         let network = faults.map_or(cluster.network, |f| f.network);
         let k = cluster.machines;
@@ -865,7 +866,10 @@ impl<'a> DistGnnEngine<'a> {
         let sync_jobs = sync_dims
             .iter()
             .map(|&(gather, scatter)| {
-                move || layer_sync_traffic_dims(partition, masters, gather, scatter)
+                move || {
+                    let _prof = gp_prof::scope("distgnn.sync_scan");
+                    layer_sync_traffic_dims(partition, masters, gather, scatter)
+                }
             })
             .collect();
         let mut sync_scans = par_map(self.threads, sync_jobs).into_iter();
@@ -885,6 +889,7 @@ impl<'a> DistGnnEngine<'a> {
                 .filter(|view| all_live || live_mask & (1u64 << view.machine) != 0)
                 .map(|view| {
                     move || {
+                        let _prof = gp_prof::scope("distgnn.layer_compute");
                         let shape = BlockShape {
                             num_dst: view.num_masters(),
                             num_src: view.num_local_vertices(),

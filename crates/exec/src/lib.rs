@@ -49,7 +49,7 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use gp_prof::now;
 
 /// Worker-count policy for [`par_map_indexed`].
 ///
@@ -226,6 +226,28 @@ impl ExecTiming {
         }
         self.serial_seconds() / self.wall_seconds
     }
+
+    /// Median per-cell wall time (0.0 when the map ran zero jobs).
+    /// Computed on demand — no new serialized fields, so existing
+    /// consumers of the struct see an unchanged shape.
+    pub fn cell_p50(&self) -> f64 {
+        if self.cell_seconds.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.cell_seconds.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
+    }
+
+    /// Slowest cell's wall time (0.0 when the map ran zero jobs).
+    pub fn cell_max(&self) -> f64 {
+        self.cell_seconds.iter().copied().fold(0.0, f64::max)
+    }
 }
 
 impl<T> ParReport<T> {
@@ -305,10 +327,11 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Run one job under panic isolation, timing it.
 fn run_cell<T, F: FnOnce() -> T>(index: usize, job: F) -> (Result<T, CellPanic>, f64) {
-    let start = Instant::now();
+    let _prof = gp_prof::scope("exec.cell");
+    let start = now();
     let result = catch_unwind(AssertUnwindSafe(job))
         .map_err(|payload| CellPanic { index, message: panic_message(payload) });
-    (result, start.elapsed().as_secs_f64())
+    (result, start.elapsed_secs())
 }
 
 /// Map `jobs` to an index-addressed result vector on a work-stealing
@@ -325,7 +348,7 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    let wall = Instant::now();
+    let wall = now();
     let n_jobs = jobs.len();
     let workers = threads.count().min(n_jobs).max(1);
 
@@ -341,7 +364,7 @@ where
         return ParReport {
             results,
             cell_seconds,
-            wall_seconds: wall.elapsed().as_secs_f64(),
+            wall_seconds: wall.elapsed_secs(),
             steals: 0,
             threads: 1,
         };
@@ -415,7 +438,7 @@ where
             .map(|s| s.expect("every job ran exactly once"))
             .collect(),
         cell_seconds,
-        wall_seconds: wall.elapsed().as_secs_f64(),
+        wall_seconds: wall.elapsed_secs(),
         steals: steals.load(Ordering::Relaxed),
         threads: workers,
     }
@@ -676,5 +699,62 @@ mod tests {
                 assert!(a == b, "threads = {threads}: {a} != {b}");
             }
         }
+    }
+
+    #[test]
+    fn cell_quantiles_p50_and_max() {
+        let t = ExecTiming {
+            cell_seconds: vec![0.4, 0.1, 0.3, 0.2],
+            wall_seconds: 0.5,
+            steals: 0,
+            threads: 2,
+        };
+        assert_eq!(t.cell_p50(), 0.25, "even length: mean of the middle pair");
+        assert_eq!(t.cell_max(), 0.4);
+        let odd = ExecTiming { cell_seconds: vec![0.3, 0.1, 0.2], ..t.clone() };
+        assert_eq!(odd.cell_p50(), 0.2);
+        let empty = ExecTiming { cell_seconds: vec![], ..t };
+        assert_eq!(empty.cell_p50(), 0.0);
+        assert_eq!(empty.cell_max(), 0.0);
+    }
+
+    #[test]
+    fn exec_timing_serialized_shape_is_unchanged() {
+        // Regression pin for satellite consumers that render the
+        // timing struct: p50/max are computed methods, not fields, so
+        // the Debug serialization must keep its pre-prof shape.
+        let t = ExecTiming {
+            cell_seconds: vec![1.0, 3.0],
+            wall_seconds: 2.0,
+            steals: 1,
+            threads: 2,
+        };
+        assert_eq!(
+            format!("{t:?}"),
+            "ExecTiming { cell_seconds: [1.0, 3.0], wall_seconds: 2.0, steals: 1, threads: 2 }"
+        );
+        let jobs: Vec<_> = (0..3u64).map(|i| move || i).collect();
+        let report = par_map_indexed(Threads::serial(), jobs);
+        let rendered = format!("{report:?}");
+        for field in ["results", "cell_seconds", "wall_seconds", "steals", "threads"] {
+            assert!(rendered.contains(field), "ParReport keeps field {field}: {rendered}");
+        }
+        assert!(!rendered.contains("p50"), "no new serialized fields: {rendered}");
+    }
+
+    #[test]
+    fn pool_timing_comes_from_the_prof_clock_and_emits_cell_scopes() {
+        gp_prof::set_enabled(true);
+        gp_prof::reset();
+        let jobs: Vec<_> = (0..4u64).map(|i| move || i * 3).collect();
+        let report = par_map_indexed(Threads::serial(), jobs);
+        let profile = gp_prof::take_profile();
+        gp_prof::set_enabled(false);
+        assert_eq!(report.into_values(), vec![0, 3, 6, 9]);
+        // Other tests in this binary may run pool cells concurrently
+        // while profiling is enabled, so assert at-least rather than
+        // exactly-our-four.
+        let root = profile.roots.iter().find(|n| n.name == "exec.cell").expect("cell scope");
+        assert!(root.count >= 4, "one scope per pool cell: {}", root.count);
     }
 }

@@ -292,6 +292,7 @@ where
     F: Fn(usize, usize, &mut [f32]) + Sync,
 {
     if threads.count() <= 1 || rows <= ROW_PANEL {
+        let _prof = gp_prof::scope("tensor.matmul.panel");
         kernel(0, rows, out);
         return;
     }
@@ -302,6 +303,7 @@ where
         .iter()
         .map(|&(i0, i1)| {
             move || {
+                let _prof = gp_prof::scope("tensor.matmul.panel");
                 let mut buf = vec![0.0f32; (i1 - i0) * cols];
                 kernel(i0, i1, &mut buf);
                 buf

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_perf.json snapshots (see `gnnpart bench`).
+
+Rows are joined by identity — (engine, partitioner) for engine rows,
+(family, partitioner) for partitioner rows — and the host measurements
+(wall seconds, peak bytes) are compared as current/baseline ratios
+against configurable regression thresholds. Host times are noisy, so
+the defaults are deliberately loose; tighten them on quiet machines.
+
+Exit codes: 0 ok (or --warn-only), 1 regression found, 2 structural
+mismatch (row sets differ — the workload matrix itself changed).
+
+Usage:
+    scripts/bench_diff.py baseline.json current.json
+    scripts/bench_diff.py --wall-threshold 1.3 --peak-threshold 1.1 a b
+    scripts/bench_diff.py --warn-only a b      # report, never fail
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if doc.get("bench") != "perf":
+        sys.exit(f"bench_diff: {path} is not a BENCH_perf.json (bench={doc.get('bench')!r})")
+    return doc
+
+
+def keyed(rows, *key_fields):
+    out = {}
+    for row in rows:
+        out[tuple(row[f] for f in key_fields)] = row
+    return out
+
+
+def ratio(cur, base):
+    if base <= 0:
+        return float("inf") if cur > 0 else 1.0
+    return cur / base
+
+
+def fmt_bytes(n):
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f} MiB"
+    if n >= 1 << 10:
+        return f"{n / 1024:.1f} KiB"
+    return f"{n} B"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline BENCH_perf.json")
+    ap.add_argument("current", help="current BENCH_perf.json")
+    ap.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=1.5,
+        help="max allowed current/baseline wall-seconds ratio (default 1.5)",
+    )
+    ap.add_argument(
+        "--peak-threshold",
+        type=float,
+        default=1.25,
+        help="max allowed current/baseline peak-bytes ratio (default 1.25)",
+    )
+    ap.add_argument(
+        "--min-wall-seconds",
+        type=float,
+        default=0.005,
+        help="ignore wall regressions when both sides are below this "
+        "(sub-resolution noise; default 0.005)",
+    )
+    ap.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print regressions but exit 0 (CI smoke on shared runners)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+
+    def check(label, name, base_val, cur_val, threshold, floor=0.0, render=str):
+        r = ratio(cur_val, base_val)
+        arrow = f"{render(base_val)} -> {render(cur_val)} ({r:.2f}x)"
+        print(f"  {name:<24} {arrow}")
+        if r > threshold and max(base_val, cur_val) >= floor:
+            regressions.append(f"{label} {name}: {arrow} exceeds {threshold:.2f}x")
+
+    # Structural comparison first: a changed row set means the two
+    # files describe different workload matrices, and value deltas
+    # would be meaningless.
+    structural = []
+    for section, fields in (("partitioners", ("family", "partitioner")), ("engines", ("engine", "partitioner"))):
+        b, c = keyed(base[section], *fields), keyed(cur[section], *fields)
+        if set(b) != set(c):
+            only_b = sorted(set(b) - set(c))
+            only_c = sorted(set(c) - set(b))
+            structural.append(f"{section}: baseline-only {only_b}, current-only {only_c}")
+    if structural:
+        for s in structural:
+            print(f"STRUCTURAL MISMATCH {s}", file=sys.stderr)
+        sys.exit(2)
+
+    print(f"graph: {base['graph']['edges']} -> {cur['graph']['edges']} edges")
+    print("partitioners (wall seconds):")
+    b, c = keyed(base["partitioners"], "family", "partitioner"), keyed(
+        cur["partitioners"], "family", "partitioner"
+    )
+    for key in sorted(b):
+        check(
+            "partitioner",
+            "/".join(key),
+            b[key]["seconds"],
+            c[key]["seconds"],
+            args.wall_threshold,
+            floor=args.min_wall_seconds,
+            render=lambda v: f"{v:.4f}s",
+        )
+    print("partitioners (peak bytes):")
+    for key in sorted(b):
+        check(
+            "partitioner-peak",
+            "/".join(key),
+            b[key]["peak_bytes"],
+            c[key]["peak_bytes"],
+            args.peak_threshold,
+            render=fmt_bytes,
+        )
+    print("engines (auto-width wall seconds):")
+    b, c = keyed(base["engines"], "engine", "partitioner"), keyed(
+        cur["engines"], "engine", "partitioner"
+    )
+    for key in sorted(b):
+        check(
+            "engine",
+            "/".join(key),
+            b[key]["wall_seconds_auto"],
+            c[key]["wall_seconds_auto"],
+            args.wall_threshold,
+            floor=args.min_wall_seconds,
+            render=lambda v: f"{v:.4f}s",
+        )
+    print("engines (peak bytes):")
+    for key in sorted(b):
+        check(
+            "engine-peak",
+            "/".join(key),
+            b[key]["peak_bytes"],
+            c[key]["peak_bytes"],
+            args.peak_threshold,
+            render=fmt_bytes,
+        )
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        if not args.warn_only:
+            sys.exit(1)
+        print("(warn-only: exiting 0)", file=sys.stderr)
+    else:
+        print("\nno regressions")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,7 +27,7 @@ RUSTC=${RUSTC:-rustc}
 FLAGS=(--edition 2021 -O -Awarnings -L "$LIB")
 
 # crate name -> source path and dependency list (topological order).
-CRATES=(graph partition exec tensor cluster distgnn distdgl core bench cli facade)
+CRATES=(graph partition prof exec tensor cluster distgnn distdgl core bench cli facade)
 
 src_of() {
   case $1 in
@@ -47,15 +47,16 @@ deps_of() {
   case $1 in
     graph) echo "rand" ;;
     partition) echo "rand gp_graph" ;;
-    tensor) echo "rand gp_exec" ;;
+    prof) echo "" ;;
+    tensor) echo "rand gp_exec gp_prof" ;;
     cluster) echo "gp_graph gp_partition" ;;
-    exec) echo "" ;;
-    distgnn) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec" ;;
-    distdgl) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec" ;;
-    core) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl" ;;
-    bench) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl gp_core" ;;
-    cli) echo "gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl gp_core" ;;
-    facade) echo "gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_distgnn gp_distdgl gp_core" ;;
+    exec) echo "gp_prof" ;;
+    distgnn) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_prof" ;;
+    distdgl) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_prof" ;;
+    core) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_prof gp_distgnn gp_distdgl" ;;
+    bench) echo "rand gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_prof gp_distgnn gp_distdgl gp_core" ;;
+    cli) echo "gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_prof gp_distgnn gp_distdgl gp_core" ;;
+    facade) echo "gp_graph gp_partition gp_tensor gp_cluster gp_exec gp_prof gp_distgnn gp_distdgl gp_core" ;;
   esac
 }
 

@@ -67,6 +67,7 @@ pub use gp_distgnn as distgnn;
 pub use gp_exec as exec;
 pub use gp_graph as graph;
 pub use gp_partition as partition;
+pub use gp_prof as prof;
 pub use gp_tensor as tensor;
 
 /// Convenience prelude with the most common types.

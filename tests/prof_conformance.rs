@@ -1,0 +1,179 @@
+//! Profiling-transparency conformance: turning the `gp-prof` scoped
+//! timers and memory accounting ON must not change a single bit of any
+//! simulation output. The profiler observes the host (wall clock,
+//! allocator); the engines compute over seeded integers and modeled
+//! floats — by construction nothing in the simulation ever reads a
+//! profiler counter, and this suite pins that invariant on **every**
+//! `RunSpec` path × both engines: profiled and unprofiled outcomes are
+//! compared as full `Debug` renderings (shortest round-tripping
+//! decimals, so string equality is bit equality of every float).
+
+use gnnpart::cluster::{
+    CheckpointConfig, ChurnPlan, ClusterSpec, ElasticOptions, FaultPlan, FaultSpec,
+    MitigationPolicy, NetFaultPlan, NetRunOptions, RunSpec,
+};
+use gnnpart::core::chaos::chaos_churn_spec;
+use gnnpart::core::config::PaperParams;
+use gnnpart::core::netchaos::netchaos_net_spec;
+use gnnpart::prelude::*;
+use gnnpart::prof;
+use std::sync::Mutex;
+
+/// The enable flags and profile registry are process-global; run the
+/// suite's tests one at a time so one test's `take_profile` cannot
+/// drain another's scopes mid-assertion.
+static PROF_GUARD: Mutex<()> = Mutex::new(());
+
+fn graph() -> Graph {
+    DatasetId::OR.generate(GraphScale::Tiny).unwrap()
+}
+
+/// All five legs of the unified simulate API, keyed by name so a
+/// failure says which scenario the profiler perturbed.
+fn conformance_specs(machines: u32, epochs: u32, seed: u64) -> Vec<(&'static str, RunSpec)> {
+    let faults = FaultPlan::generate(&FaultSpec::standard(machines, epochs, 3.0, seed));
+    let churn = ChurnPlan::generate(&chaos_churn_spec(machines, epochs, seed));
+    let ckpt = CheckpointConfig::periodic(2);
+    let net = NetFaultPlan::generate(&netchaos_net_spec(machines, epochs, seed));
+    let elastic = RunSpec::healthy().epochs(epochs).faults(faults.clone()).elastic(
+        churn,
+        ckpt,
+        ElasticOptions::default(),
+    );
+    vec![
+        ("healthy", RunSpec::healthy().epochs(epochs)),
+        ("faulty", RunSpec::healthy().epochs(epochs).faults(faults.clone())),
+        (
+            "mitigated",
+            RunSpec::healthy().epochs(epochs).faults(faults).mitigate(MitigationPolicy::all()),
+        ),
+        ("elastic", elastic.clone()),
+        ("partitioned", elastic.net(net, NetRunOptions::default())),
+    ]
+}
+
+fn distgnn_outcome(g: &Graph, p: &EdgePartition, spec: &RunSpec, threads: Threads) -> String {
+    let config = DistGnnConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(p.k()),
+    );
+    let result = DistGnnEngine::builder(g, p)
+        .config(config)
+        .threads(threads)
+        .build()
+        .expect("valid config")
+        .run(spec);
+    format!("{result:?}")
+}
+
+fn distdgl_outcome(
+    g: &Graph,
+    p: &VertexPartition,
+    split: &VertexSplit,
+    spec: &RunSpec,
+    threads: Threads,
+) -> String {
+    let mut config = DistDglConfig::paper(
+        PaperParams::middle().model(ModelKind::Sage),
+        ClusterSpec::paper(p.k()),
+    );
+    config.global_batch_size = 256;
+    let result = DistDglEngine::builder(g, p, split)
+        .config(config)
+        .threads(threads)
+        .build()
+        .expect("valid config")
+        .run(spec);
+    format!("{result:?}")
+}
+
+/// Run `f` once with profiling fully off and once fully on (timers +
+/// memory accounting), returning both outcomes. The enable flags are
+/// process-global, so the whole comparison runs under one lock to keep
+/// concurrent test binaries from interleaving enable states; the
+/// profile accumulated during the ON leg is drained and sanity-checked
+/// non-empty by the caller where asserted.
+fn off_and_on<T>(f: impl Fn() -> T) -> (T, T) {
+    let off = {
+        prof::set_enabled(false);
+        prof::set_mem_enabled(false);
+        f()
+    };
+    let on = {
+        prof::set_enabled(true);
+        prof::set_mem_enabled(true);
+        let v = f();
+        prof::set_enabled(false);
+        prof::set_mem_enabled(false);
+        v
+    };
+    (off, on)
+}
+
+#[test]
+fn distgnn_outputs_are_byte_identical_with_profiling_on_every_runspec_path() {
+    let _guard = PROF_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let g = graph();
+    let partition = Hdrf::default().partition_edges(&g, 4, 1).unwrap();
+    for (name, spec) in conformance_specs(4, 6, 7) {
+        for threads in [Threads::serial(), Threads::new(4)] {
+            let (off, on) = off_and_on(|| distgnn_outcome(&g, &partition, &spec, threads));
+            assert_eq!(off, on, "{name}: profiling must be observational (distgnn)");
+        }
+    }
+    // The ON legs really profiled: scopes reached the registry.
+    prof::set_enabled(true);
+    let _ = distgnn_outcome(&g, &partition, &RunSpec::healthy(), Threads::serial());
+    prof::set_enabled(false);
+    let profile = prof::take_profile();
+    assert!(
+        profile.structure().contains("distgnn.epoch"),
+        "expected distgnn scopes, got {}",
+        profile.structure()
+    );
+}
+
+#[test]
+fn distdgl_outputs_are_byte_identical_with_profiling_on_every_runspec_path() {
+    let _guard = PROF_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let partition = Metis::default().partition_vertices(&g, 4, 1).unwrap();
+    for (name, spec) in conformance_specs(4, 6, 7) {
+        for threads in [Threads::serial(), Threads::new(4)] {
+            let (off, on) =
+                off_and_on(|| distdgl_outcome(&g, &partition, &split, &spec, threads));
+            assert_eq!(off, on, "{name}: profiling must be observational (distdgl)");
+        }
+    }
+    prof::set_enabled(true);
+    let _ = distdgl_outcome(&g, &partition, &split, &RunSpec::healthy(), Threads::serial());
+    prof::set_enabled(false);
+    let profile = prof::take_profile();
+    assert!(
+        profile.structure().contains("distdgl.epoch"),
+        "expected distdgl scopes, got {}",
+        profile.structure()
+    );
+}
+
+#[test]
+fn partitioners_are_byte_identical_with_profiling() {
+    let _guard = PROF_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let g = graph();
+    let split = VertexSplit::paper_default(g.num_vertices(), 1).unwrap();
+    let (off_e, on_e) = off_and_on(|| {
+        timed_edge_partitions(&g, 4, 7)
+            .into_iter()
+            .map(|t| (t.name, t.partition))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(off_e, on_e, "edge partitions must not see the profiler");
+    let (off_v, on_v) = off_and_on(|| {
+        timed_vertex_partitions(&g, 4, 7, &split.train)
+            .into_iter()
+            .map(|t| (t.name, t.partition))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(off_v, on_v, "vertex partitions must not see the profiler");
+}
